@@ -1,0 +1,446 @@
+//! Hurst parameter estimation via the aggregated variance method.
+//!
+//! This is Section III-B of the paper. The packet-count sequence is binned
+//! at a base interval (the paper uses m = 10 ms), then re-aggregated at a
+//! ladder of block sizes m; for each m, the variance of the block means is
+//! recorded. On a log-log plot of normalized variance against block size, a
+//! short-range-dependent process shows slope −1 (H = ½); long-range
+//! dependence flattens the slope (`H = 1 − β/2`).
+//!
+//! Everything is computed in one streaming pass: each base bin is fed to a
+//! set of block accumulators, so memory is O(#block sizes) regardless of
+//! trace length.
+
+use crate::fit::{fit_line, LineFit};
+use crate::welford::Welford;
+use csprov_net::{TraceRecord, TraceSink};
+use csprov_sim::{SimDuration, SimTime};
+
+/// One point of the variance-time plot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VtPoint {
+    /// Block size in base bins.
+    pub block: u64,
+    /// Block size as wall time.
+    pub interval: SimDuration,
+    /// Variance of block means, normalized by the base-sequence variance.
+    pub normalized_variance: f64,
+    /// Number of complete blocks that contributed.
+    pub blocks_seen: u64,
+}
+
+impl VtPoint {
+    /// `log10` of the block size (the paper's x axis).
+    pub fn log_block(&self) -> f64 {
+        (self.block as f64).log10()
+    }
+
+    /// `log10` of the normalized variance (the paper's y axis).
+    pub fn log_variance(&self) -> f64 {
+        self.normalized_variance.log10()
+    }
+}
+
+struct BlockAcc {
+    block: u64,
+    sum: f64,
+    filled: u64,
+    stats: Welford,
+}
+
+/// Streaming aggregated-variance estimator.
+///
+/// Feed it the packet stream (it bins internally at `base`), then call
+/// [`VarianceTime::points`] / [`VarianceTime::hurst`].
+///
+/// ```
+/// use csprov_analysis::VarianceTime;
+/// use csprov_net::{Direction, PacketKind, TraceRecord, TraceSink};
+/// use csprov_sim::{RngStream, SimDuration, SimTime};
+///
+/// let mut vt = VarianceTime::new(SimDuration::from_millis(10), 1_000, 4);
+/// let mut rng = RngStream::new(1);
+/// for i in 0..500_000u64 {
+///     // Poisson-ish traffic: short-range dependent.
+///     if rng.chance(0.5) {
+///         vt.on_packet(&TraceRecord {
+///             time: SimTime::from_millis(i / 5),
+///             direction: Direction::Inbound,
+///             kind: PacketKind::ClientCommand,
+///             session: 0,
+///             app_len: 40,
+///         });
+///     }
+/// }
+/// vt.on_end(SimTime::from_secs(100)); // 500k slots at 5 per ms = 100 s
+/// // Fit over block sizes with plenty of samples each.
+/// let (h, _fit) = vt.hurst(1, 100).unwrap();
+/// assert!((h - 0.5).abs() < 0.12, "iid traffic has H near 1/2");
+/// ```
+pub struct VarianceTime {
+    base: SimDuration,
+    accs: Vec<BlockAcc>,
+    current_bin: Option<(u64, u64)>, // (bin index, packet count)
+    bins_emitted: u64,
+}
+
+impl VarianceTime {
+    /// Creates an estimator with base bin `base` and a log-spaced ladder of
+    /// block sizes from 1 up to `max_block` base bins (`points_per_decade`
+    /// sizes per decade, deduplicated).
+    pub fn new(base: SimDuration, max_block: u64, points_per_decade: u32) -> Self {
+        assert!(!base.is_zero());
+        assert!(max_block >= 1);
+        assert!(points_per_decade >= 1);
+        let mut blocks = Vec::new();
+        let mut k = 0u32;
+        loop {
+            let b = 10f64.powf(f64::from(k) / f64::from(points_per_decade));
+            let b = b.round() as u64;
+            if b > max_block {
+                break;
+            }
+            if blocks.last() != Some(&b) {
+                blocks.push(b);
+            }
+            k += 1;
+        }
+        if blocks.is_empty() {
+            blocks.push(1);
+        }
+        let accs = blocks
+            .into_iter()
+            .map(|block| BlockAcc {
+                block,
+                sum: 0.0,
+                filled: 0,
+                stats: Welford::new(),
+            })
+            .collect();
+        VarianceTime {
+            base,
+            accs,
+            current_bin: None,
+            bins_emitted: 0,
+        }
+    }
+
+    /// Base bin width.
+    pub fn base(&self) -> SimDuration {
+        self.base
+    }
+
+    fn emit_bin(&mut self, count: u64) {
+        self.bins_emitted += 1;
+        let x = count as f64;
+        for acc in &mut self.accs {
+            acc.sum += x;
+            acc.filled += 1;
+            if acc.filled == acc.block {
+                acc.stats.push(acc.sum / acc.block as f64);
+                acc.sum = 0.0;
+                acc.filled = 0;
+            }
+        }
+    }
+
+    fn flush_current(&mut self) {
+        if let Some((idx, count)) = self.current_bin.take() {
+            while self.bins_emitted < idx {
+                self.emit_bin(0);
+            }
+            self.emit_bin(count);
+        }
+    }
+
+    /// Number of base bins processed.
+    pub fn bins_seen(&self) -> u64 {
+        self.bins_emitted
+    }
+
+    /// The variance-time plot: one point per block size that accumulated at
+    /// least two complete blocks. Call after the trace ends.
+    pub fn points(&self) -> Vec<VtPoint> {
+        let base_var = self
+            .accs
+            .first()
+            .map(|a| a.stats.variance())
+            .unwrap_or(0.0);
+        if base_var <= 0.0 {
+            return Vec::new();
+        }
+        self.accs
+            .iter()
+            // A block size whose variance is exactly zero (possible only for
+            // pathologically periodic synthetic input) has no representable
+            // log-variance; drop it rather than emit -inf.
+            .filter(|a| a.stats.count() >= 2 && a.stats.variance() > 0.0)
+            .map(|a| VtPoint {
+                block: a.block,
+                interval: self.base.mul_u64(a.block),
+                normalized_variance: a.stats.variance() / base_var,
+                blocks_seen: a.stats.count(),
+            })
+            .collect()
+    }
+
+    /// Fits the log-log plot over block sizes in `[min_block, max_block]`
+    /// and returns `(H, fit)`, with `H = 1 − β/2` clamped to `[0, 1]`.
+    ///
+    /// The paper reads different slopes off different regions of Figure 5;
+    /// the block range selects the region.
+    pub fn hurst(&self, min_block: u64, max_block: u64) -> Option<(f64, LineFit)> {
+        let pts: Vec<(f64, f64)> = self
+            .points()
+            .iter()
+            .filter(|p| p.block >= min_block && p.block <= max_block)
+            .map(|p| (p.log_block(), p.log_variance()))
+            .collect();
+        let fit = fit_line(&pts)?;
+        let beta = -fit.slope;
+        let h = (1.0 - beta / 2.0).clamp(0.0, 1.0);
+        Some((h, fit))
+    }
+}
+
+impl TraceSink for VarianceTime {
+    fn on_packet(&mut self, rec: &TraceRecord) {
+        let idx = rec.time.bin_index(self.base);
+        match &mut self.current_bin {
+            Some((cur, count)) if *cur == idx => *count += 1,
+            Some(_) => {
+                self.flush_current();
+                self.current_bin = Some((idx, 1));
+            }
+            None => self.current_bin = Some((idx, 1)),
+        }
+    }
+
+    fn on_end(&mut self, end: SimTime) {
+        self.flush_current();
+        // See RateSeries::on_end: a boundary-aligned end opens no new bin.
+        let total = end.as_nanos().div_ceil(self.base.as_nanos());
+        while self.bins_emitted < total {
+            self.emit_bin(0);
+        }
+    }
+}
+
+/// Rescaled-range (R/S) Hurst estimation over a binned count series — the
+/// classic estimator of Hurst's reservoir paper (which this paper cites),
+/// used as a cross-check on the aggregated variance method.
+///
+/// The series is split into non-overlapping windows of `window` samples; for
+/// each, R/S = (max − min of the mean-adjusted cumulative sum) / std-dev.
+/// `log(R/S)` grows as `H·log(window)`.
+pub fn rs_statistic(series: &[f64], window: usize) -> Option<f64> {
+    if window < 4 || series.len() < window {
+        return None;
+    }
+    let mut values = Vec::new();
+    for chunk in series.chunks_exact(window) {
+        let mean = chunk.iter().sum::<f64>() / window as f64;
+        let mut cum = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut var = 0.0;
+        for &x in chunk {
+            cum += x - mean;
+            min = min.min(cum);
+            max = max.max(cum);
+            var += (x - mean) * (x - mean);
+        }
+        let s = (var / window as f64).sqrt();
+        if s > 0.0 {
+            values.push((max - min) / s);
+        }
+    }
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Estimates H by regressing `log10(R/S)` on `log10(window)` over a
+/// log-spaced ladder of window sizes between `min_window` and
+/// `series.len() / 4`.
+pub fn rs_hurst(series: &[f64], min_window: usize) -> Option<(f64, LineFit)> {
+    let max_window = series.len() / 4;
+    if max_window < min_window.max(4) {
+        return None;
+    }
+    let mut pts = Vec::new();
+    let mut w = min_window.max(4);
+    while w <= max_window {
+        if let Some(rs) = rs_statistic(series, w) {
+            pts.push(((w as f64).log10(), rs.log10()));
+        }
+        w = ((w as f64) * 1.5).ceil() as usize;
+    }
+    let fit = fit_line(&pts)?;
+    Some((fit.slope.clamp(0.0, 1.0), fit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csprov_net::{Direction, PacketKind};
+    use csprov_sim::RngStream;
+
+    fn rec(ns: u64) -> TraceRecord {
+        TraceRecord {
+            time: SimTime::from_nanos(ns),
+            direction: Direction::Inbound,
+            kind: PacketKind::ClientCommand,
+            session: 0,
+            app_len: 40,
+        }
+    }
+
+    fn feed_counts(vt: &mut VarianceTime, counts: &[u64]) {
+        let base = vt.base().as_nanos();
+        for (i, &c) in counts.iter().enumerate() {
+            for j in 0..c {
+                vt.on_packet(&rec(i as u64 * base + j));
+            }
+        }
+        vt.on_end(SimTime::from_nanos(counts.len() as u64 * base - 1));
+    }
+
+    #[test]
+    fn ladder_is_log_spaced_and_deduplicated() {
+        let vt = VarianceTime::new(SimDuration::from_millis(10), 1000, 4);
+        let blocks: Vec<u64> = vt.accs.iter().map(|a| a.block).collect();
+        assert_eq!(blocks.first(), Some(&1));
+        assert_eq!(blocks.last(), Some(&1000));
+        for w in blocks.windows(2) {
+            assert!(w[0] < w[1], "ladder must be strictly increasing: {blocks:?}");
+        }
+    }
+
+    #[test]
+    fn iid_noise_has_hurst_half() {
+        // Poisson-ish iid counts: aggregated variance should fall as 1/m.
+        let mut vt = VarianceTime::new(SimDuration::from_millis(10), 1000, 4);
+        let mut rng = RngStream::new(42);
+        let counts: Vec<u64> = (0..200_000).map(|_| rng.next_below(20)).collect();
+        feed_counts(&mut vt, &counts);
+        let (h, fit) = vt.hurst(1, 1000).unwrap();
+        assert!((h - 0.5).abs() < 0.05, "H = {h}, slope = {}", fit.slope);
+        assert!(fit.r_squared > 0.98);
+    }
+
+    #[test]
+    fn constant_rate_is_antipersistent_at_subperiod_scales() {
+        // A strictly periodic burst every 5 bins: variance at m >= 5
+        // collapses far faster than 1/m (the paper's m < 50 ms region).
+        let mut vt = VarianceTime::new(SimDuration::from_millis(10), 100, 4);
+        let counts: Vec<u64> = (0..50_000).map(|i| if i % 5 == 0 { 20 } else { 0 }).collect();
+        feed_counts(&mut vt, &counts);
+        let (h, _) = vt.hurst(1, 50).unwrap();
+        assert!(h < 0.4, "periodic bursts must smooth aggressively, H = {h}");
+    }
+
+    #[test]
+    fn long_range_dependent_series_has_high_hurst() {
+        // Per-bin rate modulated by a slowly-mixing on/off process with
+        // Pareto sojourn times: a classic LRD construction.
+        let mut vt = VarianceTime::new(SimDuration::from_millis(10), 10_000, 4);
+        let mut rng = RngStream::new(7);
+        let mut counts = Vec::with_capacity(400_000);
+        let mut on = true;
+        while counts.len() < 400_000 {
+            // Pareto(shape 1.2) sojourn in bins — infinite variance.
+            let u: f64 = rng.next_f64_open();
+            let sojourn = (5.0 / u.powf(1.0 / 1.2)).min(50_000.0) as usize;
+            let rate = if on { 20 } else { 2 };
+            for _ in 0..sojourn.max(1) {
+                counts.push(rate);
+            }
+            on = !on;
+        }
+        feed_counts(&mut vt, &counts);
+        let (h, _) = vt.hurst(10, 10_000).unwrap();
+        assert!(h > 0.7, "LRD construction should give high H, got {h}");
+    }
+
+    #[test]
+    fn empty_trace_has_no_points() {
+        let mut vt = VarianceTime::new(SimDuration::from_millis(10), 100, 4);
+        vt.on_end(SimTime::from_secs(1));
+        assert!(vt.points().is_empty());
+        assert!(vt.hurst(1, 100).is_none());
+    }
+
+    #[test]
+    fn gaps_are_zero_bins() {
+        let mut vt = VarianceTime::new(SimDuration::from_millis(10), 10, 4);
+        vt.on_packet(&rec(0));
+        vt.on_packet(&rec(100 * 1_000_000)); // 100 ms later
+        vt.on_end(SimTime::from_millis(109));
+        assert_eq!(vt.bins_seen(), 11);
+    }
+
+    #[test]
+    fn rs_hurst_of_iid_noise_is_near_half() {
+        let mut rng = RngStream::new(21);
+        let series: Vec<f64> = (0..100_000).map(|_| rng.next_f64()).collect();
+        let (h, fit) = rs_hurst(&series, 16).unwrap();
+        // R/S on iid data biases slightly above 0.5 at finite n (the
+        // Anis–Lloyd correction); accept the classic band.
+        assert!((0.45..0.65).contains(&h), "H = {h}");
+        assert!(fit.r_squared > 0.95);
+    }
+
+    #[test]
+    fn rs_hurst_detects_persistence() {
+        // A long-memory series: sum of a slowly varying level plus noise.
+        let mut rng = RngStream::new(22);
+        let mut level = 0.0_f64;
+        let series: Vec<f64> = (0..100_000)
+            .map(|_| {
+                // Random walk level (strong persistence) plus noise.
+                level += rng.next_f64() - 0.5;
+                level + rng.next_f64()
+            })
+            .collect();
+        let (h, _) = rs_hurst(&series, 16).unwrap();
+        assert!(h > 0.8, "random-walk level must read persistent: H = {h}");
+    }
+
+    #[test]
+    fn rs_degenerate_inputs() {
+        assert!(rs_statistic(&[], 8).is_none());
+        assert!(rs_statistic(&[1.0; 10], 16).is_none(), "series shorter than window");
+        assert!(rs_statistic(&[5.0; 64], 8).is_none(), "constant series has no std");
+        assert!(rs_hurst(&[1.0; 8], 4).is_none());
+    }
+
+    #[test]
+    fn rs_and_aggregated_variance_agree_on_noise() {
+        let mut rng = RngStream::new(23);
+        let counts: Vec<u64> = (0..200_000).map(|_| rng.next_below(20)).collect();
+        let series: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+        let (h_rs, _) = rs_hurst(&series, 16).unwrap();
+
+        let mut vt = VarianceTime::new(SimDuration::from_millis(10), 1000, 4);
+        feed_counts(&mut vt, &counts);
+        let (h_av, _) = vt.hurst(1, 1000).unwrap();
+        assert!(
+            (h_rs - h_av).abs() < 0.15,
+            "estimators must roughly agree: R/S {h_rs} vs AV {h_av}"
+        );
+    }
+
+    #[test]
+    fn normalized_variance_starts_at_one() {
+        let mut vt = VarianceTime::new(SimDuration::from_millis(10), 100, 4);
+        let mut rng = RngStream::new(9);
+        let counts: Vec<u64> = (0..10_000).map(|_| rng.next_below(10)).collect();
+        feed_counts(&mut vt, &counts);
+        let pts = vt.points();
+        assert_eq!(pts[0].block, 1);
+        assert!((pts[0].normalized_variance - 1.0).abs() < 1e-12);
+        assert_eq!(pts[0].interval, SimDuration::from_millis(10));
+    }
+}

@@ -1,0 +1,386 @@
+//! Interval binning of the packet stream.
+//!
+//! [`RateSeries`] is the workhorse behind Figures 1, 2, 4, 6–10 of the
+//! paper: it folds the trace into fixed-width bins of packet and byte
+//! counts, optionally filtered by direction, optionally keeping only the
+//! first `limit` bins (Figures 6–8 plot only the first 200 intervals, so a
+//! 10 ms binning of a week-long trace need not allocate 60 M bins).
+
+use crate::welford::Welford;
+use csprov_net::{Direction, TraceRecord, TraceSink};
+use csprov_sim::{SimDuration, SimTime};
+
+/// One bin of a [`RateSeries`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RateBin {
+    /// Packets observed in the bin.
+    pub packets: u64,
+    /// Wire bytes observed in the bin.
+    pub wire_bytes: u64,
+}
+
+/// Streaming fixed-width binning of packets and bytes.
+///
+/// ```
+/// use csprov_analysis::RateSeries;
+/// use csprov_net::{Direction, PacketKind, TraceRecord, TraceSink};
+/// use csprov_sim::{SimDuration, SimTime};
+///
+/// let mut s = RateSeries::new(SimDuration::from_millis(10));
+/// for ms in [1u64, 4, 12] {
+///     s.on_packet(&TraceRecord {
+///         time: SimTime::from_millis(ms),
+///         direction: Direction::Inbound,
+///         kind: PacketKind::ClientCommand,
+///         session: 1,
+///         app_len: 40,
+///     });
+/// }
+/// s.on_end(SimTime::from_millis(19));
+/// assert_eq!(s.bins().len(), 2);
+/// assert_eq!(s.pps(), vec![200.0, 100.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RateSeries {
+    width: SimDuration,
+    filter: Option<Direction>,
+    skip: u64,
+    limit: Option<usize>,
+    bins: Vec<RateBin>,
+    /// Total bins emitted (stored or not); stored bins are a prefix.
+    emitted: u64,
+    stats: Welford,
+    current: Option<(u64, RateBin)>,
+    end: Option<SimTime>,
+}
+
+impl RateSeries {
+    /// Creates a series with the given bin width over all packets.
+    pub fn new(width: SimDuration) -> Self {
+        Self::with_options(width, None, None)
+    }
+
+    /// Creates a series with a direction filter and/or a cap on stored bins.
+    ///
+    /// `stats` (per-bin packet-count mean/variance) is maintained over *all*
+    /// bins regardless of the cap; the cap only bounds the stored vector.
+    pub fn with_options(
+        width: SimDuration,
+        filter: Option<Direction>,
+        limit: Option<usize>,
+    ) -> Self {
+        Self::with_window(width, filter, 0, limit)
+    }
+
+    /// Creates a series that stores only bins in `[skip, skip + limit)` —
+    /// e.g. the paper's Figures 6–8 plot a 200-bin window taken after the
+    /// trace has warmed up. Statistics still cover every bin.
+    pub fn with_window(
+        width: SimDuration,
+        filter: Option<Direction>,
+        skip: u64,
+        limit: Option<usize>,
+    ) -> Self {
+        assert!(!width.is_zero(), "bin width must be positive");
+        RateSeries {
+            width,
+            filter,
+            skip,
+            limit,
+            bins: Vec::new(),
+            emitted: 0,
+            stats: Welford::new(),
+            current: None,
+            end: None,
+        }
+    }
+
+    /// Bin width.
+    pub fn width(&self) -> SimDuration {
+        self.width
+    }
+
+    fn flush_current(&mut self) {
+        if let Some((idx, bin)) = self.current.take() {
+            // Materialize any empty bins between the last emitted bin and idx.
+            while self.emitted < idx {
+                self.push_bin(RateBin::default());
+            }
+            self.push_bin(bin);
+        }
+    }
+
+    fn push_bin(&mut self, bin: RateBin) {
+        let index = self.emitted;
+        self.emitted += 1;
+        self.stats.push(bin.packets as f64);
+        if index >= self.skip && self.limit.map_or(true, |l| self.bins.len() < l) {
+            self.bins.push(bin);
+        }
+    }
+
+    /// The stored bins (a prefix of all bins if a limit was set).
+    pub fn bins(&self) -> &[RateBin] {
+        &self.bins
+    }
+
+    /// Per-bin packet-count statistics over all bins seen.
+    pub fn bin_stats(&self) -> &Welford {
+        &self.stats
+    }
+
+    /// Packets-per-second for each stored bin.
+    pub fn pps(&self) -> Vec<f64> {
+        let w = self.width.as_secs_f64();
+        self.bins.iter().map(|b| b.packets as f64 / w).collect()
+    }
+
+    /// Bandwidth in kilobits per second for each stored bin.
+    pub fn kbps(&self) -> Vec<f64> {
+        let w = self.width.as_secs_f64();
+        self.bins
+            .iter()
+            .map(|b| b.wire_bytes as f64 * 8.0 / w / 1_000.0)
+            .collect()
+    }
+
+    /// End-of-trace time, if `on_end` has been delivered.
+    pub fn end(&self) -> Option<SimTime> {
+        self.end
+    }
+}
+
+impl TraceSink for RateSeries {
+    fn on_packet(&mut self, rec: &TraceRecord) {
+        if let Some(f) = self.filter {
+            if rec.direction != f {
+                return;
+            }
+        }
+        let idx = rec.time.bin_index(self.width);
+        match &mut self.current {
+            Some((cur, bin)) if *cur == idx => {
+                bin.packets += 1;
+                bin.wire_bytes += u64::from(rec.wire_len());
+            }
+            Some(_) => {
+                self.flush_current();
+                self.current = Some((
+                    idx,
+                    RateBin {
+                        packets: 1,
+                        wire_bytes: u64::from(rec.wire_len()),
+                    },
+                ));
+            }
+            None => {
+                self.current = Some((
+                    idx,
+                    RateBin {
+                        packets: 1,
+                        wire_bytes: u64::from(rec.wire_len()),
+                    },
+                ));
+            }
+        }
+    }
+
+    fn on_end(&mut self, end: SimTime) {
+        self.flush_current();
+        // Materialize trailing empty bins up to the end of the trace so the
+        // series length reflects trace duration, not last-packet time. An
+        // end falling exactly on a bin boundary closes the previous bin
+        // without opening a new one.
+        let total_bins = end.as_nanos().div_ceil(self.width.as_nanos());
+        while self.emitted < total_bins {
+            self.push_bin(RateBin::default());
+        }
+        self.end = Some(end);
+    }
+}
+
+/// A sampled gauge series (e.g. players connected), binned by mean value.
+///
+/// Samples arrive as `(time, value)` pairs; each bin reports the mean of the
+/// samples that fell in it, carrying forward the previous value for empty
+/// bins (a step function, matching how the paper plots player counts).
+#[derive(Debug, Clone)]
+pub struct GaugeSeries {
+    width: SimDuration,
+    sums: Vec<(f64, u64)>,
+    last_value: f64,
+}
+
+impl GaugeSeries {
+    /// Creates a gauge series with the given bin width.
+    pub fn new(width: SimDuration) -> Self {
+        assert!(!width.is_zero());
+        GaugeSeries {
+            width,
+            sums: Vec::new(),
+            last_value: 0.0,
+        }
+    }
+
+    /// Records a sample.
+    pub fn sample(&mut self, time: SimTime, value: f64) {
+        let idx = time.bin_index(self.width) as usize;
+        while self.sums.len() <= idx {
+            self.sums.push((0.0, 0));
+        }
+        let (sum, n) = &mut self.sums[idx];
+        *sum += value;
+        *n += 1;
+        self.last_value = value;
+    }
+
+    /// Per-bin mean values; empty bins repeat the previous bin's value.
+    pub fn values(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.sums.len());
+        let mut prev = 0.0;
+        for &(sum, n) in &self.sums {
+            let v = if n > 0 { sum / n as f64 } else { prev };
+            out.push(v);
+            prev = v;
+        }
+        out
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// True if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sums.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csprov_net::PacketKind;
+
+    fn rec(ms: u64, dir: Direction, len: u32) -> TraceRecord {
+        TraceRecord {
+            time: SimTime::from_millis(ms),
+            direction: dir,
+            kind: PacketKind::ClientCommand,
+            session: 0,
+            app_len: len,
+        }
+    }
+
+    #[test]
+    fn bins_count_packets_and_bytes() {
+        let mut s = RateSeries::new(SimDuration::from_millis(10));
+        s.on_packet(&rec(0, Direction::Inbound, 42)); // wire 100
+        s.on_packet(&rec(5, Direction::Outbound, 42));
+        s.on_packet(&rec(12, Direction::Inbound, 142)); // wire 200
+        s.on_end(SimTime::from_millis(29));
+        assert_eq!(s.bins().len(), 3);
+        assert_eq!(s.bins()[0], RateBin { packets: 2, wire_bytes: 200 });
+        assert_eq!(s.bins()[1], RateBin { packets: 1, wire_bytes: 200 });
+        assert_eq!(s.bins()[2], RateBin::default());
+    }
+
+    #[test]
+    fn pps_and_kbps() {
+        let mut s = RateSeries::new(SimDuration::from_millis(100));
+        for i in 0..5 {
+            s.on_packet(&rec(i * 10, Direction::Inbound, 67)); // wire 125 B
+        }
+        s.on_end(SimTime::from_millis(99));
+        assert_eq!(s.pps(), vec![50.0]);
+        // 5 * 125 B = 625 B in 0.1 s → 50 kbps.
+        assert_eq!(s.kbps(), vec![50.0]);
+    }
+
+    #[test]
+    fn gaps_materialize_empty_bins() {
+        let mut s = RateSeries::new(SimDuration::from_secs(1));
+        s.on_packet(&rec(500, Direction::Inbound, 40));
+        s.on_packet(&rec(3_500, Direction::Inbound, 40));
+        s.on_end(SimTime::from_millis(3_999));
+        let pkts: Vec<u64> = s.bins().iter().map(|b| b.packets).collect();
+        assert_eq!(pkts, vec![1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn direction_filter() {
+        let mut s = RateSeries::with_options(
+            SimDuration::from_millis(10),
+            Some(Direction::Outbound),
+            None,
+        );
+        s.on_packet(&rec(1, Direction::Inbound, 40));
+        s.on_packet(&rec(2, Direction::Outbound, 130));
+        s.on_packet(&rec(3, Direction::Outbound, 130));
+        s.on_end(SimTime::from_millis(9));
+        assert_eq!(s.bins()[0].packets, 2);
+    }
+
+    #[test]
+    fn limit_caps_storage_but_not_stats() {
+        let mut s =
+            RateSeries::with_options(SimDuration::from_millis(10), None, Some(3));
+        for i in 0..10 {
+            s.on_packet(&rec(i * 10 + 1, Direction::Inbound, 40));
+        }
+        s.on_end(SimTime::from_millis(99));
+        assert_eq!(s.bins().len(), 3);
+        assert_eq!(s.bin_stats().count(), 10);
+        assert!((s.bin_stats().mean() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_skips_prefix() {
+        let mut s = RateSeries::with_window(SimDuration::from_millis(10), None, 5, Some(3));
+        for i in 0..100u64 {
+            s.on_packet(&rec(i * 10, Direction::Inbound, 40));
+            s.on_packet(&rec(i * 10 + 2, Direction::Inbound, 40));
+        }
+        s.on_end(SimTime::from_millis(999));
+        assert_eq!(s.bins().len(), 3);
+        // All bins carry 2 packets; stats cover all 100 bins.
+        assert!(s.bins().iter().all(|b| b.packets == 2));
+        assert_eq!(s.bin_stats().count(), 100);
+    }
+
+    #[test]
+    fn trailing_empty_bins_padded_to_end() {
+        let mut s = RateSeries::new(SimDuration::from_secs(1));
+        s.on_packet(&rec(100, Direction::Inbound, 40));
+        s.on_end(SimTime::from_millis(4_999));
+        assert_eq!(s.bins().len(), 5);
+        assert_eq!(s.bin_stats().count(), 5);
+    }
+
+    #[test]
+    fn bin_stats_variance_of_constant_rate_is_zero() {
+        let mut s = RateSeries::new(SimDuration::from_millis(10));
+        for i in 0..100u64 {
+            s.on_packet(&rec(i * 10, Direction::Inbound, 40));
+            s.on_packet(&rec(i * 10 + 5, Direction::Inbound, 40));
+        }
+        s.on_end(SimTime::from_millis(999));
+        assert!((s.bin_stats().mean() - 2.0).abs() < 1e-12);
+        assert!(s.bin_stats().variance() < 1e-12);
+    }
+
+    #[test]
+    fn gauge_series_step_function() {
+        let mut g = GaugeSeries::new(SimDuration::from_secs(60));
+        g.sample(SimTime::from_secs(30), 10.0);
+        g.sample(SimTime::from_secs(45), 12.0);
+        g.sample(SimTime::from_secs(200), 8.0);
+        assert_eq!(g.len(), 4);
+        let v = g.values();
+        assert_eq!(v[0], 11.0); // mean of 10 and 12
+        assert_eq!(v[1], 11.0); // carried forward
+        assert_eq!(v[2], 11.0);
+        assert_eq!(v[3], 8.0);
+        assert!(!g.is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! Session bookkeeping — the inputs to Table I.
+//!
+//! The game layer logs one [`SessionRecord`] per connection *attempt*; this
+//! module reduces the log to the paper's Table I statistics (established
+//! vs. attempted connections, unique clients, mean session duration).
+
+use csprov_sim::{SimDuration, SimTime};
+use std::collections::HashSet;
+
+/// One connection attempt, as logged by the game server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionRecord {
+    /// Session id (also the trace flow id for established sessions).
+    pub session_id: u32,
+    /// Identity of the client (stable across that client's sessions).
+    pub client_id: u32,
+    /// Attempt time.
+    pub start: SimTime,
+    /// Disconnect time, if the session was established and has ended.
+    pub end: Option<SimTime>,
+    /// Whether the server had a free slot (false = connection refused).
+    pub established: bool,
+}
+
+impl SessionRecord {
+    /// Session duration; `None` if refused or still connected at trace end.
+    pub fn duration(&self) -> Option<SimDuration> {
+        self.end.map(|e| e.saturating_since(self.start))
+    }
+}
+
+/// Aggregate statistics over a session log (Table I's bottom five rows).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionSummary {
+    /// Connection attempts that got a slot.
+    pub established: u64,
+    /// Distinct clients among established sessions.
+    pub unique_establishing: u64,
+    /// All connection attempts (established + refused).
+    pub attempted: u64,
+    /// Distinct clients among all attempts.
+    pub unique_attempting: u64,
+    /// Refused attempts.
+    pub refused: u64,
+    /// Mean duration of completed established sessions.
+    pub mean_session: SimDuration,
+    /// Mean established sessions per unique establishing client.
+    pub sessions_per_client: f64,
+}
+
+/// Reduces a session log to its summary.
+pub fn summarize_sessions(log: &[SessionRecord]) -> SessionSummary {
+    let mut establishing: HashSet<u32> = HashSet::new();
+    let mut attempting: HashSet<u32> = HashSet::new();
+    let mut established = 0u64;
+    let mut dur_sum = SimDuration::ZERO;
+    let mut dur_n = 0u64;
+    for r in log {
+        attempting.insert(r.client_id);
+        if r.established {
+            established += 1;
+            establishing.insert(r.client_id);
+            if let Some(d) = r.duration() {
+                dur_sum += d;
+                dur_n += 1;
+            }
+        }
+    }
+    let attempted = log.len() as u64;
+    let unique_establishing = establishing.len() as u64;
+    SessionSummary {
+        established,
+        unique_establishing,
+        attempted,
+        unique_attempting: attempting.len() as u64,
+        refused: attempted - established,
+        mean_session: if dur_n > 0 {
+            dur_sum / dur_n
+        } else {
+            SimDuration::ZERO
+        },
+        sessions_per_client: if unique_establishing > 0 {
+            established as f64 / unique_establishing as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(sid: u32, cid: u32, start_s: u64, dur_s: Option<u64>, est: bool) -> SessionRecord {
+        SessionRecord {
+            session_id: sid,
+            client_id: cid,
+            start: SimTime::from_secs(start_s),
+            end: dur_s.map(|d| SimTime::from_secs(start_s + d)),
+            established: est,
+        }
+    }
+
+    #[test]
+    fn summary_counts() {
+        let log = vec![
+            rec(0, 100, 0, Some(600), true),
+            rec(1, 101, 10, Some(1200), true),
+            rec(2, 100, 700, Some(300), true), // same client again
+            rec(3, 102, 20, None, false),      // refused
+            rec(4, 102, 30, None, false),      // refused again
+        ];
+        let s = summarize_sessions(&log);
+        assert_eq!(s.established, 3);
+        assert_eq!(s.unique_establishing, 2);
+        assert_eq!(s.attempted, 5);
+        assert_eq!(s.unique_attempting, 3);
+        assert_eq!(s.refused, 2);
+        assert_eq!(s.mean_session, SimDuration::from_secs(700));
+        assert!((s.sessions_per_client - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn still_connected_sessions_excluded_from_duration() {
+        let log = vec![
+            rec(0, 1, 0, Some(100), true),
+            SessionRecord {
+                session_id: 1,
+                client_id: 2,
+                start: SimTime::from_secs(50),
+                end: None,
+                established: true,
+            },
+        ];
+        let s = summarize_sessions(&log);
+        assert_eq!(s.established, 2);
+        assert_eq!(s.mean_session, SimDuration::from_secs(100));
+    }
+
+    #[test]
+    fn empty_log() {
+        let s = summarize_sessions(&[]);
+        assert_eq!(s.established, 0);
+        assert_eq!(s.attempted, 0);
+        assert_eq!(s.mean_session, SimDuration::ZERO);
+        assert_eq!(s.sessions_per_client, 0.0);
+    }
+
+    #[test]
+    fn duration_helper() {
+        assert_eq!(
+            rec(0, 0, 10, Some(25), true).duration(),
+            Some(SimDuration::from_secs(25))
+        );
+        assert_eq!(rec(0, 0, 10, None, false).duration(), None);
+    }
+}

@@ -1,0 +1,164 @@
+//! Trace-level summaries: Tables II and III of the paper.
+//!
+//! Table II counts everything at the *network* level (payload plus the
+//! 54-byte link/IP/UDP overhead per packet); Table III counts only
+//! application payload. Byte totals are reported in GiB — reversing the
+//! paper's Table II/III arithmetic shows its "GB" figures are powers of two.
+
+use csprov_net::{CountingSink, Direction};
+use csprov_sim::SimDuration;
+
+/// Network-level usage summary (paper Table II).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkUsage {
+    /// Total packets.
+    pub total_packets: u64,
+    /// Packets in / out.
+    pub packets: [u64; 2],
+    /// Total wire bytes.
+    pub total_bytes: u64,
+    /// Wire bytes in / out.
+    pub bytes: [u64; 2],
+    /// Mean packet load, packets per second (total, in, out).
+    pub mean_pps: [f64; 3],
+    /// Mean bandwidth, kilobits per second (total, in, out).
+    pub mean_kbps: [f64; 3],
+    /// Trace duration used for the means.
+    pub duration: SimDuration,
+}
+
+/// Application-level summary (paper Table III).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApplicationUsage {
+    /// Total application bytes.
+    pub total_bytes: u64,
+    /// Application bytes in / out.
+    pub bytes: [u64; 2],
+    /// Mean application packet size in bytes (total, in, out).
+    pub mean_size: [f64; 3],
+}
+
+/// Bytes → GiB (the paper's "GB").
+pub fn gib(bytes: u64) -> f64 {
+    bytes as f64 / (1u64 << 30) as f64
+}
+
+/// Computes Table II from a counting sink and the trace duration.
+pub fn network_usage(counts: &CountingSink, duration: SimDuration) -> NetworkUsage {
+    let secs = duration.as_secs_f64();
+    let p_in = counts.packets_in(Direction::Inbound);
+    let p_out = counts.packets_in(Direction::Outbound);
+    let b_in = counts.wire_bytes_in(Direction::Inbound);
+    let b_out = counts.wire_bytes_in(Direction::Outbound);
+    let pps = |p: u64| if secs > 0.0 { p as f64 / secs } else { 0.0 };
+    let kbps = |b: u64| {
+        if secs > 0.0 {
+            b as f64 * 8.0 / secs / 1_000.0
+        } else {
+            0.0
+        }
+    };
+    NetworkUsage {
+        total_packets: p_in + p_out,
+        packets: [p_in, p_out],
+        total_bytes: b_in + b_out,
+        bytes: [b_in, b_out],
+        mean_pps: [pps(p_in + p_out), pps(p_in), pps(p_out)],
+        mean_kbps: [kbps(b_in + b_out), kbps(b_in), kbps(b_out)],
+        duration,
+    }
+}
+
+/// Computes Table III from a counting sink.
+pub fn application_usage(counts: &CountingSink) -> ApplicationUsage {
+    let b_in = counts.app_bytes_in(Direction::Inbound);
+    let b_out = counts.app_bytes_in(Direction::Outbound);
+    let p_in = counts.packets_in(Direction::Inbound);
+    let p_out = counts.packets_in(Direction::Outbound);
+    let mean = |b: u64, p: u64| if p > 0 { b as f64 / p as f64 } else { 0.0 };
+    ApplicationUsage {
+        total_bytes: b_in + b_out,
+        bytes: [b_in, b_out],
+        mean_size: [
+            mean(b_in + b_out, p_in + p_out),
+            mean(b_in, p_in),
+            mean(b_out, p_out),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csprov_net::{PacketKind, TraceRecord, TraceSink};
+    use csprov_sim::SimTime;
+
+    fn feed() -> CountingSink {
+        let mut c = CountingSink::new();
+        // 3 inbound of 40 B payload, 2 outbound of 130 B payload over 10 s.
+        for i in 0..3 {
+            c.on_packet(&TraceRecord {
+                time: SimTime::from_secs(i),
+                direction: Direction::Inbound,
+                kind: PacketKind::ClientCommand,
+                session: 1,
+                app_len: 40,
+            });
+        }
+        for i in 0..2 {
+            c.on_packet(&TraceRecord {
+                time: SimTime::from_secs(i),
+                direction: Direction::Outbound,
+                kind: PacketKind::StateUpdate,
+                session: 1,
+                app_len: 130,
+            });
+        }
+        c
+    }
+
+    #[test]
+    fn table2_math() {
+        let c = feed();
+        let u = network_usage(&c, SimDuration::from_secs(10));
+        assert_eq!(u.total_packets, 5);
+        assert_eq!(u.packets, [3, 2]);
+        // Wire: in 3*(40+58)=294, out 2*(130+58)=376.
+        assert_eq!(u.bytes, [294, 376]);
+        assert_eq!(u.total_bytes, 670);
+        assert!((u.mean_pps[0] - 0.5).abs() < 1e-12);
+        assert!((u.mean_pps[1] - 0.3).abs() < 1e-12);
+        assert!((u.mean_kbps[0] - 0.536).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table3_math() {
+        let c = feed();
+        let a = application_usage(&c);
+        assert_eq!(a.bytes, [120, 260]);
+        assert_eq!(a.total_bytes, 380);
+        assert!((a.mean_size[0] - 76.0).abs() < 1e-12);
+        assert!((a.mean_size[1] - 40.0).abs() < 1e-12);
+        assert!((a.mean_size[2] - 130.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_duration_and_empty() {
+        let c = CountingSink::new();
+        let u = network_usage(&c, SimDuration::ZERO);
+        assert_eq!(u.mean_pps, [0.0; 3]);
+        assert_eq!(u.mean_kbps, [0.0; 3]);
+        let a = application_usage(&c);
+        assert_eq!(a.mean_size, [0.0; 3]);
+    }
+
+    #[test]
+    fn gib_is_binary() {
+        assert_eq!(gib(1 << 30), 1.0);
+        // The paper's totals only reconcile with its bandwidth figure if
+        // "GB" means GiB: 64.42 GiB * 8 / 626,477 s ≈ 883 kbps (Table II).
+        let total_bytes = (64.42 * (1u64 << 30) as f64) as u64;
+        let kbps = total_bytes as f64 * 8.0 / 626_477.0 / 1_000.0;
+        assert!((kbps - 883.0).abs() < 1.0, "kbps = {kbps}");
+    }
+}

@@ -1,0 +1,112 @@
+//! Criterion benchmarks for the streaming analyzers — these sit on the
+//! per-packet hot path of every reproduction run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use csprov_analysis::{FlowTable, RateSeries, SizeHistogram, VarianceTime, Welford};
+use csprov_net::{Direction, PacketKind, TraceRecord, TraceSink};
+use csprov_sim::{RngStream, SimDuration, SimTime};
+
+fn synthetic_records(n: usize) -> Vec<TraceRecord> {
+    let mut rng = RngStream::new(3);
+    (0..n)
+        .map(|i| TraceRecord {
+            time: SimTime::from_micros(i as u64 * 1250), // 800 pps
+            direction: if rng.chance(0.55) {
+                Direction::Inbound
+            } else {
+                Direction::Outbound
+            },
+            kind: PacketKind::ClientCommand,
+            session: rng.next_below(22) as u32,
+            app_len: 30 + rng.next_below(200) as u32,
+        })
+        .collect()
+}
+
+fn bench_sinks(c: &mut Criterion) {
+    let records = synthetic_records(100_000);
+    let mut g = c.benchmark_group("analysis_ingest");
+    g.throughput(Throughput::Elements(records.len() as u64));
+
+    g.bench_function("rate_series_100k", |b| {
+        b.iter(|| {
+            let mut s = RateSeries::new(SimDuration::from_millis(10));
+            for r in &records {
+                s.on_packet(r);
+            }
+            s.on_end(SimTime::from_secs(125));
+            black_box(s.bin_stats().mean())
+        })
+    });
+
+    g.bench_function("variance_time_100k", |b| {
+        b.iter(|| {
+            let mut vt = VarianceTime::new(SimDuration::from_millis(10), 10_000, 8);
+            for r in &records {
+                vt.on_packet(r);
+            }
+            vt.on_end(SimTime::from_secs(125));
+            black_box(vt.points().len())
+        })
+    });
+
+    g.bench_function("size_histogram_100k", |b| {
+        b.iter(|| {
+            let mut h = SizeHistogram::new(500);
+            for r in &records {
+                h.on_packet(r);
+            }
+            black_box(h.mean(Direction::Inbound))
+        })
+    });
+
+    g.bench_function("flow_table_100k", |b| {
+        b.iter(|| {
+            let mut t = FlowTable::new();
+            for r in &records {
+                t.on_packet(r);
+            }
+            black_box(t.len())
+        })
+    });
+
+    g.finish();
+}
+
+fn bench_welford(c: &mut Criterion) {
+    let mut g = c.benchmark_group("welford");
+    g.throughput(Throughput::Elements(1_000_000));
+    g.bench_function("push_1m", |b| {
+        let xs: Vec<f64> = (0..1_000_000).map(|i| (i % 997) as f64).collect();
+        b.iter(|| {
+            let mut w = Welford::new();
+            for &x in &xs {
+                w.push(x);
+            }
+            black_box(w.variance())
+        })
+    });
+    g.finish();
+}
+
+fn bench_hurst_full_pipeline(c: &mut Criterion) {
+    // The variance-time estimator at full-trace block ladder: the most
+    // expensive analyzer per packet.
+    let records = synthetic_records(100_000);
+    let mut g = c.benchmark_group("hurst");
+    g.throughput(Throughput::Elements(records.len() as u64));
+    g.bench_function("week_scale_ladder_100k", |b| {
+        b.iter(|| {
+            let mut vt = VarianceTime::new(SimDuration::from_millis(10), 7_800_000, 8);
+            for r in &records {
+                vt.on_packet(r);
+            }
+            vt.on_end(SimTime::from_secs(125));
+            black_box(vt.bins_seen())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sinks, bench_welford, bench_hurst_full_pipeline);
+criterion_main!(benches);

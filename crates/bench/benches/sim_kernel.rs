@@ -1,0 +1,111 @@
+//! Criterion benchmarks for the discrete-event kernel: the event queue,
+//! the scheduler loop, and the PRNG — the floor under every simulation
+//! second the harness runs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use csprov_sim::{
+    dist::{Exp, Normal, Sample},
+    EventQueue, RngStream, SimDuration, SimTime, Simulator, StopFlag,
+};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("push_pop_10k_fifo", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.push(SimTime::from_nanos(i), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, _, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("push_pop_10k_interleaved", |b| {
+        // The simulator's real access pattern: near-future inserts mixed
+        // with pops.
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut rng = RngStream::new(1);
+            let mut t = 0u64;
+            let mut acc = 0u64;
+            for _ in 0..10_000 {
+                q.push(SimTime::from_nanos(t + rng.next_below(1000)), t);
+                if let Some((at, _, v)) = q.pop() {
+                    t = at.as_nanos();
+                    acc = acc.wrapping_add(v);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("periodic_100k_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new();
+            // 5 periodic processes × 20k ticks each.
+            for i in 0..5u64 {
+                csprov_sim::spawn_periodic(
+                    &mut sim,
+                    SimTime::from_nanos(i),
+                    SimDuration::from_micros(50),
+                    StopFlag::new(),
+                    |_, _| {},
+                );
+            }
+            sim.run_until(SimTime::from_secs(1));
+            black_box(sim.events_executed())
+        })
+    });
+    g.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.throughput(Throughput::Elements(1_000_000));
+    g.bench_function("next_u64_1m", |b| {
+        let mut rng = RngStream::new(7);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1_000_000 {
+                acc = acc.wrapping_add(rng.next_u64_raw());
+            }
+            black_box(acc)
+        })
+    });
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("normal_100k", |b| {
+        let mut rng = RngStream::new(8);
+        let d = Normal::new(40.0, 5.0);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..100_000 {
+                acc += d.sample(&mut rng);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("exp_100k", |b| {
+        let mut rng = RngStream::new(9);
+        let d = Exp::with_mean(18.0);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..100_000 {
+                acc += d.sample(&mut rng);
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_simulator, bench_rng);
+criterion_main!(benches);

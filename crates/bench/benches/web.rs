@@ -1,0 +1,54 @@
+//! Criterion benchmarks for the TCP cross-traffic substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use csprov_net::NullSink;
+use csprov_sim::SimDuration;
+use csprov_web::{run_web_workload, TcpConfig, TcpFlow, WebConfig};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn bench_flow_machine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tcp_flow");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("send_ack_loop_10k_segments", |b| {
+        b.iter(|| {
+            let mut f = TcpFlow::new(TcpConfig::default(), 10_000 * 1448);
+            while !f.is_complete() {
+                let mut burst = 0;
+                while f.can_send() {
+                    f.on_send();
+                    burst += 1;
+                }
+                f.on_ack(burst.max(1));
+            }
+            black_box(f.acked_segments())
+        })
+    });
+    g.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("web_workload");
+    g.sample_size(10);
+    g.bench_function("simulate_60s_persistent_flow", |b| {
+        b.iter(|| {
+            let cfg = WebConfig {
+                flow_rate: 0.0,
+                persistent_flows: 1,
+                ..WebConfig::default()
+            };
+            let sink = Rc::new(RefCell::new(NullSink));
+            black_box(run_web_workload(
+                cfg,
+                SimDuration::from_secs(60),
+                9,
+                sink,
+                None,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_flow_machine, bench_workload);
+criterion_main!(benches);

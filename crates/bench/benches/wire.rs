@@ -1,0 +1,87 @@
+//! Criterion benchmarks for the wire formats and pcap path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use csprov_net::pcap::{parse_frame, synthesize_frame};
+use csprov_net::wire::{EthernetFrame, Ipv4Packet, UdpDatagram};
+use csprov_net::{Direction, PacketKind, TraceRecord};
+use csprov_sim::SimTime;
+
+fn sample_record() -> TraceRecord {
+    TraceRecord {
+        time: SimTime::from_millis(123),
+        direction: Direction::Outbound,
+        kind: PacketKind::StateUpdate,
+        session: 42,
+        app_len: 130,
+    }
+}
+
+fn bench_synthesize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire");
+    let rec = sample_record();
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("synthesize_frame", |b| {
+        b.iter(|| black_box(synthesize_frame(black_box(&rec))))
+    });
+    let frame = synthesize_frame(&rec);
+    g.throughput(Throughput::Bytes(frame.len() as u64));
+    g.bench_function("parse_frame_checksummed", |b| {
+        b.iter(|| black_box(parse_frame(black_box(&frame), rec.time).unwrap()))
+    });
+    g.bench_function("parse_headers_only", |b| {
+        b.iter(|| {
+            let eth = EthernetFrame::new_checked(black_box(&frame[..])).unwrap();
+            let ip = Ipv4Packet::new_checked(eth.payload()).unwrap();
+            let udp = UdpDatagram::new_checked(ip.payload()).unwrap();
+            black_box((ip.src_addr(), udp.dst_port()))
+        })
+    });
+    g.finish();
+}
+
+fn bench_trace_format(c: &mut Criterion) {
+    use csprov_net::{TraceReader, TraceWriter};
+    let mut g = c.benchmark_group("trace_format");
+    let records: Vec<TraceRecord> = (0..10_000)
+        .map(|i| TraceRecord {
+            time: SimTime::from_micros(i * 100),
+            direction: if i % 2 == 0 {
+                Direction::Inbound
+            } else {
+                Direction::Outbound
+            },
+            kind: PacketKind::ClientCommand,
+            session: (i % 22) as u32,
+            app_len: 40 + (i % 100) as u32,
+        })
+        .collect();
+    g.throughput(Throughput::Elements(records.len() as u64));
+    g.bench_function("write_10k", |b| {
+        b.iter(|| {
+            let mut w = TraceWriter::new(Vec::with_capacity(256 * 1024)).unwrap();
+            for r in &records {
+                w.write(r).unwrap();
+            }
+            black_box(w.finish().unwrap().len())
+        })
+    });
+    let mut w = TraceWriter::new(Vec::new()).unwrap();
+    for r in &records {
+        w.write(r).unwrap();
+    }
+    let bytes = w.finish().unwrap();
+    g.bench_function("read_10k", |b| {
+        b.iter(|| {
+            let mut r = TraceReader::new(&bytes[..]).unwrap();
+            let mut n = 0u64;
+            while let Some(rec) = r.read().unwrap() {
+                n += u64::from(rec.app_len);
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_synthesize, bench_trace_format);
+criterion_main!(benches);

@@ -1,0 +1,250 @@
+//! Regenerates every table and figure of "Provisioning On-line Games".
+//!
+//! ```text
+//! repro [OPTIONS] <ARTIFACT>...
+//!
+//! ARTIFACT:  table1 table2 table3 table4 fig1..fig15
+//!            ablate-tick ablate-population ablate-nat-capacity
+//!            ablate-nat-buffer route-cache source-model web-vs-game
+//!            all        every artifact above
+//!            main       tables I-III and figures 1-13
+//!            nat        table IV and figures 14-15
+//!
+//! OPTIONS:
+//!   --seed N       RNG seed (default 2002)
+//!   --hours H      main-trace length in hours (default 24)
+//!   --full-week    use the paper's full 626,477 s trace (~7.25 days)
+//!   --csv DIR      also write key figures' data series as CSV into DIR
+//! ```
+
+use csprov::experiments::{ablations, aggregate, figures, nat, tables, web, ExperimentId};
+use csprov::pipeline::MainRun;
+use csprov_analysis::report::to_csv;
+use csprov_game::{ScenarioConfig, PAPER_TRACE_SECS};
+use csprov_router::EngineConfig;
+use csprov_sim::SimDuration;
+use std::process::ExitCode;
+
+struct Options {
+    seed: u64,
+    hours: f64,
+    full_week: bool,
+    csv_dir: Option<String>,
+    artifacts: Vec<ExperimentId>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        seed: 2002,
+        hours: 24.0,
+        full_week: false,
+        csv_dir: None,
+        artifacts: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--hours" => {
+                opts.hours = args
+                    .next()
+                    .ok_or("--hours needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad hours: {e}"))?;
+            }
+            "--full-week" => opts.full_week = true,
+            "--csv" => opts.csv_dir = Some(args.next().ok_or("--csv needs a directory")?),
+            "-h" | "--help" => return Err(String::new()),
+            "all" => opts.artifacts = ExperimentId::all(),
+            "main" => {
+                opts.artifacts
+                    .extend([ExperimentId::Table1, ExperimentId::Table2, ExperimentId::Table3]);
+                opts.artifacts.extend((1..=13).map(ExperimentId::Fig));
+            }
+            "nat" => {
+                opts.artifacts.extend([
+                    ExperimentId::Table4,
+                    ExperimentId::Fig14,
+                    ExperimentId::Fig15,
+                ]);
+            }
+            other => {
+                let id: ExperimentId = other.parse()?;
+                opts.artifacts.push(id);
+            }
+        }
+    }
+    if opts.artifacts.is_empty() {
+        return Err("no artifacts requested".into());
+    }
+    Ok(opts)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: repro [--seed N] [--hours H] [--full-week] [--csv DIR] <artifact|all|main|nat>..."
+    );
+    eprintln!("artifacts: table1..table4, fig1..fig15, ablate-tick, ablate-population,");
+    eprintln!("           ablate-nat-capacity, ablate-nat-buffer, route-cache, source-model,");
+    eprintln!("           web-vs-game");
+}
+
+fn write_csv(dir: &str, name: &str, headers: &[&str], cols: &[&[f64]]) {
+    let path = format!("{dir}/{name}.csv");
+    if let Err(e) =
+        std::fs::create_dir_all(dir).and_then(|_| std::fs::write(&path, to_csv(headers, cols)))
+    {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        println!("[csv] wrote {path}");
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("error: {e}");
+            }
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let duration = if opts.full_week {
+        SimDuration::from_secs(PAPER_TRACE_SECS)
+    } else {
+        SimDuration::from_secs_f64(opts.hours * 3600.0)
+    };
+
+    let needs_main = opts.artifacts.iter().any(|a| a.needs_main_run());
+    let needs_nat = opts.artifacts.iter().any(|a| a.needs_nat_run());
+
+    let main_run = needs_main.then(|| {
+        eprintln!(
+            "[run] simulating {:.1} h of server traffic (seed {})...",
+            duration.as_secs_f64() / 3600.0,
+            opts.seed
+        );
+        let t0 = std::time::Instant::now();
+        let run = MainRun::execute(ScenarioConfig::scaled(opts.seed, duration));
+        eprintln!(
+            "[run] done: {} packets in {:.1} s wall ({} events)",
+            run.analysis.counts.total_packets(),
+            t0.elapsed().as_secs_f64(),
+            run.outcome.events_executed
+        );
+        run
+    });
+    let nat_run = needs_nat.then(|| {
+        eprintln!("[run] NAT experiment: one 30-minute map through the device...");
+        nat::run_nat_experiment(opts.seed, EngineConfig::default())
+    });
+
+    for id in &opts.artifacts {
+        println!("\n================ {id} ================");
+        let main = main_run.as_ref();
+        let natr = nat_run.as_ref();
+        let out = match id {
+            ExperimentId::Table1 => tables::table1(main.unwrap()).render(),
+            ExperimentId::Table2 => tables::table2(main.unwrap()).render(),
+            ExperimentId::Table3 => tables::table3(main.unwrap()).render(),
+            ExperimentId::Table4 => tables::table4(natr.unwrap()).render(),
+            ExperimentId::Fig(n) => {
+                let r = main.unwrap();
+                match n {
+                    1 => figures::fig1(r),
+                    2 => figures::fig2(r),
+                    3 => figures::fig3(r),
+                    4 => figures::fig4(r),
+                    5 => figures::fig5(r),
+                    6 => figures::fig6(r),
+                    7 => figures::fig7(r),
+                    8 => figures::fig8(r),
+                    9 => figures::fig9(r),
+                    10 => figures::fig10(r),
+                    11 => figures::fig11(r),
+                    12 => figures::fig12(r),
+                    13 => figures::fig13(r),
+                    _ => unreachable!("validated at parse"),
+                }
+            }
+            ExperimentId::Fig14 => figures::fig14(natr.unwrap()),
+            ExperimentId::Fig15 => figures::fig15(natr.unwrap()),
+            ExperimentId::AblateTick => ablations::ablate_tick(opts.seed, 20).render(),
+            ExperimentId::AblatePopulation => {
+                ablations::ablate_population(opts.seed, 240).render()
+            }
+            ExperimentId::AblateNatCapacity => ablations::ablate_nat_capacity(opts.seed).render(),
+            ExperimentId::AblateNatBuffer => ablations::ablate_nat_buffer(opts.seed).render(),
+            ExperimentId::RouteCache => ablations::route_cache_experiment(opts.seed).render(),
+            ExperimentId::SourceModel => {
+                ablations::source_model_experiment(opts.seed, 30).render()
+            }
+            ExperimentId::WebVsGame => web::web_vs_game(opts.seed).render(),
+            ExperimentId::AblateLinkMix => ablations::ablate_link_mix(opts.seed, 20).render(),
+            ExperimentId::AggregateServers => {
+                aggregate::aggregate_servers(opts.seed, 120).render()
+            }
+        };
+        println!("{out}");
+
+        if let Some(dir) = &opts.csv_dir {
+            match id {
+                ExperimentId::Fig(1) | ExperimentId::Fig(2) => {
+                    let r = main.unwrap();
+                    let minutes: Vec<f64> =
+                        (0..r.analysis.per_minute.bins().len()).map(|i| i as f64).collect();
+                    write_csv(
+                        dir,
+                        &id.to_string(),
+                        &["minute", "kbps", "pps"],
+                        &[&minutes, &r.analysis.per_minute.kbps(), &r.analysis.per_minute.pps()],
+                    );
+                }
+                ExperimentId::Fig(5) => {
+                    let r = main.unwrap();
+                    let pts = r.analysis.variance_time.points();
+                    let xs: Vec<f64> = pts.iter().map(|p| p.log_block()).collect();
+                    let ys: Vec<f64> = pts.iter().map(|p| p.log_variance()).collect();
+                    write_csv(dir, "fig5", &["log10_block", "log10_norm_var"], &[&xs, &ys]);
+                }
+                ExperimentId::Fig(6) => {
+                    let r = main.unwrap();
+                    write_csv(dir, "fig6", &["pps"], &[&r.analysis.ms10_total.pps()]);
+                }
+                ExperimentId::Fig(9) => {
+                    let r = main.unwrap();
+                    write_csv(dir, "fig9", &["pps"], &[&r.analysis.sec1_total.pps()]);
+                }
+                ExperimentId::Fig14 => {
+                    let r = natr.unwrap();
+                    write_csv(
+                        dir,
+                        "fig14",
+                        &["clients_to_nat_pps", "nat_to_server_pps"],
+                        &[&r.clients_to_nat.pps(), &r.nat_to_server.pps()],
+                    );
+                }
+                ExperimentId::Fig15 => {
+                    let r = natr.unwrap();
+                    write_csv(
+                        dir,
+                        "fig15",
+                        &["server_to_nat_pps", "nat_to_clients_pps"],
+                        &[&r.server_to_nat.pps(), &r.nat_to_clients.pps()],
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

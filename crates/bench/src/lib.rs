@@ -1,0 +1,38 @@
+//! # csprov-bench — reproduction harness and performance benchmarks
+//!
+//! - `src/bin/repro.rs` — regenerates every table and figure of the paper
+//!   (`cargo run -p csprov-bench --release --bin repro -- all`).
+//! - `benches/` — Criterion benchmarks for the performance-critical layers
+//!   (event kernel, wire formats, streaming analyzers, router models, and
+//!   the end-to-end simulation).
+//!
+//! This crate intentionally has no library surface beyond the helpers the
+//! binary and benches share.
+
+use csprov::pipeline::MainRun;
+use csprov_game::ScenarioConfig;
+use csprov_sim::SimDuration;
+
+/// Builds the standard scaled scenario the harness uses.
+pub fn scenario(seed: u64, hours: f64) -> ScenarioConfig {
+    ScenarioConfig::scaled(seed, SimDuration::from_secs_f64(hours * 3600.0))
+}
+
+/// Runs the main trace at the standard scale.
+pub fn main_run(seed: u64, hours: f64) -> MainRun {
+    MainRun::execute(scenario(seed, hours))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_is_scaled() {
+        let cfg = scenario(1, 2.0);
+        assert_eq!(cfg.duration.as_secs(), 7200);
+        assert!(cfg.outages.is_empty(), "outages fall outside 2 h");
+        let cfg = scenario(1, 174.0);
+        assert_eq!(cfg.outages.len(), 3);
+    }
+}

@@ -1,0 +1,186 @@
+//! Every paper artifact (and ablation) as a typed, runnable experiment.
+//!
+//! The per-experiment index in `DESIGN.md` maps each id here to the paper
+//! table/figure it regenerates; `csprov-bench`'s `repro` binary dispatches
+//! on [`ExperimentId`].
+
+pub mod ablations;
+pub mod aggregate;
+pub mod figures;
+pub mod nat;
+pub mod tables;
+pub mod web;
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Identifier of a reproducible artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExperimentId {
+    /// Table I: general trace information.
+    Table1,
+    /// Table II: network usage.
+    Table2,
+    /// Table III: application information.
+    Table3,
+    /// Table IV: NAT experiment.
+    Table4,
+    /// Figures 1–13 of the main trace; `Fig(n)` with n in 1..=13.
+    Fig(u8),
+    /// Figure 14: NAT incoming packet load.
+    Fig14,
+    /// Figure 15: NAT outgoing packet load.
+    Fig15,
+    /// Ablation: server tick period.
+    AblateTick,
+    /// Ablation: population dynamics vs Hurst.
+    AblatePopulation,
+    /// Ablation: NAT capacity sweep.
+    AblateNatCapacity,
+    /// Ablation: NAT buffering vs delay.
+    AblateNatBuffer,
+    /// §IV-B route-cache policy comparison.
+    RouteCache,
+    /// §IV-B source-model fit/regenerate.
+    SourceModel,
+    /// §IV-A contrast: game vs bulk TCP through the same device.
+    WebVsGame,
+    /// Ablation: access-link mix vs the Figure 11 histogram.
+    AblateLinkMix,
+    /// §IV-B aggregation: fleet linearity and population-driven H.
+    AggregateServers,
+}
+
+impl ExperimentId {
+    /// Every artifact, in paper order.
+    pub fn all() -> Vec<ExperimentId> {
+        let mut v = vec![ExperimentId::Table1, ExperimentId::Table2, ExperimentId::Table3];
+        v.extend((1..=13).map(ExperimentId::Fig));
+        v.extend([
+            ExperimentId::Table4,
+            ExperimentId::Fig14,
+            ExperimentId::Fig15,
+            ExperimentId::AblateTick,
+            ExperimentId::AblatePopulation,
+            ExperimentId::AblateNatCapacity,
+            ExperimentId::AblateNatBuffer,
+            ExperimentId::RouteCache,
+            ExperimentId::SourceModel,
+            ExperimentId::WebVsGame,
+            ExperimentId::AblateLinkMix,
+            ExperimentId::AggregateServers,
+        ]);
+        v
+    }
+
+    /// True if this artifact is computed from the main trace run.
+    pub fn needs_main_run(self) -> bool {
+        matches!(
+            self,
+            ExperimentId::Table1
+                | ExperimentId::Table2
+                | ExperimentId::Table3
+                | ExperimentId::Fig(_)
+        )
+    }
+
+    /// True if this artifact is computed from the NAT experiment run.
+    pub fn needs_nat_run(self) -> bool {
+        matches!(
+            self,
+            ExperimentId::Table4 | ExperimentId::Fig14 | ExperimentId::Fig15
+        )
+    }
+}
+
+impl fmt::Display for ExperimentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentId::Table1 => write!(f, "table1"),
+            ExperimentId::Table2 => write!(f, "table2"),
+            ExperimentId::Table3 => write!(f, "table3"),
+            ExperimentId::Table4 => write!(f, "table4"),
+            ExperimentId::Fig(n) => write!(f, "fig{n}"),
+            ExperimentId::Fig14 => write!(f, "fig14"),
+            ExperimentId::Fig15 => write!(f, "fig15"),
+            ExperimentId::AblateTick => write!(f, "ablate-tick"),
+            ExperimentId::AblatePopulation => write!(f, "ablate-population"),
+            ExperimentId::AblateNatCapacity => write!(f, "ablate-nat-capacity"),
+            ExperimentId::AblateNatBuffer => write!(f, "ablate-nat-buffer"),
+            ExperimentId::RouteCache => write!(f, "route-cache"),
+            ExperimentId::SourceModel => write!(f, "source-model"),
+            ExperimentId::WebVsGame => write!(f, "web-vs-game"),
+            ExperimentId::AblateLinkMix => write!(f, "ablate-link-mix"),
+            ExperimentId::AggregateServers => write!(f, "aggregate-servers"),
+        }
+    }
+}
+
+impl FromStr for ExperimentId {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "table1" => Ok(ExperimentId::Table1),
+            "table2" => Ok(ExperimentId::Table2),
+            "table3" => Ok(ExperimentId::Table3),
+            "table4" => Ok(ExperimentId::Table4),
+            "fig14" => Ok(ExperimentId::Fig14),
+            "fig15" => Ok(ExperimentId::Fig15),
+            "ablate-tick" => Ok(ExperimentId::AblateTick),
+            "ablate-population" => Ok(ExperimentId::AblatePopulation),
+            "ablate-nat-capacity" => Ok(ExperimentId::AblateNatCapacity),
+            "ablate-nat-buffer" => Ok(ExperimentId::AblateNatBuffer),
+            "route-cache" => Ok(ExperimentId::RouteCache),
+            "source-model" => Ok(ExperimentId::SourceModel),
+            "web-vs-game" => Ok(ExperimentId::WebVsGame),
+            "ablate-link-mix" => Ok(ExperimentId::AblateLinkMix),
+            "aggregate-servers" => Ok(ExperimentId::AggregateServers),
+            other => {
+                if let Some(n) = other.strip_prefix("fig") {
+                    let n: u8 = n.parse().map_err(|_| format!("unknown artifact {other}"))?;
+                    if (1..=13).contains(&n) {
+                        return Ok(ExperimentId::Fig(n));
+                    }
+                }
+                Err(format!("unknown artifact {other}"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_through_strings() {
+        for id in ExperimentId::all() {
+            let s = id.to_string();
+            assert_eq!(s.parse::<ExperimentId>().unwrap(), id, "{s}");
+        }
+    }
+
+    #[test]
+    fn all_covers_every_paper_artifact() {
+        let all = ExperimentId::all();
+        assert_eq!(all.len(), 3 + 13 + 3 + 9);
+        assert!(all.contains(&ExperimentId::Fig(5)));
+        assert!(all.contains(&ExperimentId::Table4));
+    }
+
+    #[test]
+    fn unknown_ids_rejected() {
+        assert!("fig0".parse::<ExperimentId>().is_err());
+        assert!("fig16".parse::<ExperimentId>().is_err());
+        assert!("nonsense".parse::<ExperimentId>().is_err());
+    }
+
+    #[test]
+    fn run_classification() {
+        assert!(ExperimentId::Fig(5).needs_main_run());
+        assert!(!ExperimentId::Fig(5).needs_nat_run());
+        assert!(ExperimentId::Fig14.needs_nat_run());
+        assert!(!ExperimentId::RouteCache.needs_main_run());
+    }
+}

@@ -1,0 +1,321 @@
+//! Renderers for the paper's four tables, with paper-vs-measured columns.
+
+use crate::experiments::nat::NatRun;
+use crate::pipeline::MainRun;
+use csprov_analysis::report::{fmt_count, fmt_delta, fmt_f64, TextTable};
+use csprov_analysis::{application_usage, gib, network_usage, summarize_sessions};
+
+
+/// Paper values for Table I.
+pub mod paper {
+    /// Trace length in seconds.
+    pub const TRACE_SECS: f64 = 626_477.0;
+    /// Maps played.
+    pub const MAPS: f64 = 339.0;
+    /// Established connections.
+    pub const ESTABLISHED: f64 = 16_030.0;
+    /// Unique clients establishing.
+    pub const UNIQUE_EST: f64 = 5_886.0;
+    /// Attempted connections.
+    pub const ATTEMPTED: f64 = 24_004.0;
+    /// Unique clients attempting.
+    pub const UNIQUE_ATT: f64 = 8_207.0;
+    /// Total packets.
+    pub const PACKETS: f64 = 500_000_000.0;
+    /// Packets in / out.
+    pub const PACKETS_IN: f64 = 273_846_081.0;
+    /// Packets out.
+    pub const PACKETS_OUT: f64 = 226_153_919.0;
+    /// Total bytes (GiB).
+    pub const GIB_TOTAL: f64 = 64.42;
+    /// Bytes in (GiB).
+    pub const GIB_IN: f64 = 24.92;
+    /// Bytes out (GiB).
+    pub const GIB_OUT: f64 = 39.49;
+    /// Mean packet load (pps): total, in, out.
+    pub const PPS: [f64; 3] = [798.11, 437.12, 360.99];
+    /// Mean bandwidth (kbps): total, in, out.
+    pub const KBPS: [f64; 3] = [883.0, 341.0, 542.0];
+    /// Application bytes (GiB): total, in, out.
+    pub const APP_GIB: [f64; 3] = [37.41, 10.13, 27.28];
+    /// Mean application packet size (B): total, in, out.
+    pub const APP_SIZE: [f64; 3] = [80.33, 39.72, 129.51];
+    /// Table IV: NAT experiment.
+    pub const NAT_SERVER_TO_NAT: f64 = 677_278.0;
+    /// NAT → clients packets.
+    pub const NAT_TO_CLIENTS: f64 = 674_157.0;
+    /// Outgoing loss rate.
+    pub const NAT_OUT_LOSS: f64 = 0.00046;
+    /// Clients → NAT packets.
+    pub const CLIENTS_TO_NAT: f64 = 853_035.0;
+    /// NAT → server packets.
+    pub const NAT_TO_SERVER: f64 = 841_960.0;
+    /// Incoming loss rate.
+    pub const NAT_IN_LOSS: f64 = 0.013;
+}
+
+/// Table I: general trace information.
+pub fn table1(run: &MainRun) -> TextTable {
+    let s = summarize_sessions(&run.outcome.sessions);
+    let k = run.week_scale();
+    let mut t = TextTable::new("Table I: general trace information").header(vec![
+        "metric",
+        "measured",
+        "scaled to week",
+        "paper",
+        "delta",
+    ]);
+    let mut row = |name: &str, measured: f64, paper: f64| {
+        let scaled = measured * k;
+        t.row(vec![
+            name.to_string(),
+            fmt_count(measured as u64),
+            fmt_count(scaled as u64),
+            fmt_count(paper as u64),
+            fmt_delta(scaled, paper),
+        ]);
+    };
+    row(
+        "trace seconds",
+        run.config.duration.as_secs_f64(),
+        paper::TRACE_SECS,
+    );
+    row("maps played", f64::from(run.outcome.maps_played), paper::MAPS);
+    row("established connections", s.established as f64, paper::ESTABLISHED);
+    row("attempted connections", s.attempted as f64, paper::ATTEMPTED);
+    // Unique-client counts grow sublinearly (regulars recur), so the
+    // linear week-scaling overstates them on short runs; they are shown
+    // unscaled against the paper only on full-week runs.
+    t.row(vec![
+        "unique clients establishing".to_string(),
+        fmt_count(s.unique_establishing),
+        "(sublinear)".to_string(),
+        fmt_count(paper::UNIQUE_EST as u64),
+        fmt_delta(s.unique_establishing as f64, paper::UNIQUE_EST),
+    ]);
+    t.row(vec![
+        "unique clients attempting".to_string(),
+        fmt_count(s.unique_attempting),
+        "(sublinear)".to_string(),
+        fmt_count(paper::UNIQUE_ATT as u64),
+        fmt_delta(s.unique_attempting as f64, paper::UNIQUE_ATT),
+    ]);
+    t.row(vec![
+        "mean session (s)".to_string(),
+        fmt_f64(s.mean_session.as_secs_f64(), 0),
+        "-".to_string(),
+        "~900".to_string(),
+        fmt_delta(s.mean_session.as_secs_f64(), 900.0),
+    ]);
+    t.row(vec![
+        "mean players".to_string(),
+        fmt_f64(run.outcome.mean_players, 1),
+        "-".to_string(),
+        "~18".to_string(),
+        fmt_delta(run.outcome.mean_players, 18.0),
+    ]);
+    t
+}
+
+/// Table II: network usage information.
+pub fn table2(run: &MainRun) -> TextTable {
+    let u = network_usage(&run.analysis.counts, run.config.duration);
+    let k = run.week_scale();
+    let mut t = TextTable::new("Table II: network usage").header(vec![
+        "metric",
+        "measured",
+        "scaled to week",
+        "paper",
+        "delta",
+    ]);
+    let mut count_row = |name: &str, measured: u64, paper: f64| {
+        let scaled = measured as f64 * k;
+        t.row(vec![
+            name.to_string(),
+            fmt_count(measured),
+            fmt_count(scaled as u64),
+            fmt_count(paper as u64),
+            fmt_delta(scaled, paper),
+        ]);
+    };
+    count_row("total packets", u.total_packets, paper::PACKETS);
+    count_row("packets in", u.packets[0], paper::PACKETS_IN);
+    count_row("packets out", u.packets[1], paper::PACKETS_OUT);
+    let gib_row = |t: &mut TextTable, name: &str, bytes: u64, paper: f64| {
+        let scaled = gib(bytes) * k;
+        t.row(vec![
+            name.to_string(),
+            format!("{} GiB", fmt_f64(gib(bytes), 2)),
+            format!("{} GiB", fmt_f64(scaled, 2)),
+            format!("{paper} GiB"),
+            fmt_delta(scaled, paper),
+        ]);
+    };
+    gib_row(&mut t, "total bytes", u.total_bytes, paper::GIB_TOTAL);
+    gib_row(&mut t, "bytes in", u.bytes[0], paper::GIB_IN);
+    gib_row(&mut t, "bytes out", u.bytes[1], paper::GIB_OUT);
+    let labels = ["total", "in", "out"];
+    for (i, label) in labels.iter().enumerate() {
+        t.row(vec![
+            format!("mean packet load {label} (pps)"),
+            fmt_f64(u.mean_pps[i], 2),
+            "-".to_string(),
+            fmt_f64(paper::PPS[i], 2),
+            fmt_delta(u.mean_pps[i], paper::PPS[i]),
+        ]);
+    }
+    for (i, label) in labels.iter().enumerate() {
+        t.row(vec![
+            format!("mean bandwidth {label} (kbps)"),
+            fmt_f64(u.mean_kbps[i], 0),
+            "-".to_string(),
+            fmt_f64(paper::KBPS[i], 0),
+            fmt_delta(u.mean_kbps[i], paper::KBPS[i]),
+        ]);
+    }
+    t
+}
+
+/// Table III: application-level information.
+pub fn table3(run: &MainRun) -> TextTable {
+    let a = application_usage(&run.analysis.counts);
+    let k = run.week_scale();
+    let mut t = TextTable::new("Table III: application information").header(vec![
+        "metric",
+        "measured",
+        "scaled to week",
+        "paper",
+        "delta",
+    ]);
+    let bytes = [a.total_bytes, a.bytes[0], a.bytes[1]];
+    let labels = ["total", "in", "out"];
+    for (i, label) in labels.iter().enumerate() {
+        let scaled = gib(bytes[i]) * k;
+        t.row(vec![
+            format!("app bytes {label} (GiB)"),
+            fmt_f64(gib(bytes[i]), 2),
+            fmt_f64(scaled, 2),
+            fmt_f64(paper::APP_GIB[i], 2),
+            fmt_delta(scaled, paper::APP_GIB[i]),
+        ]);
+    }
+    for (i, label) in labels.iter().enumerate() {
+        t.row(vec![
+            format!("mean packet size {label} (B)"),
+            fmt_f64(a.mean_size[i], 2),
+            "-".to_string(),
+            fmt_f64(paper::APP_SIZE[i], 2),
+            fmt_delta(a.mean_size[i], paper::APP_SIZE[i]),
+        ]);
+    }
+    t
+}
+
+/// Table IV: NAT experiment loss accounting.
+pub fn table4(run: &NatRun) -> TextTable {
+    let s = &run.stats;
+    let (in_loss, out_loss) = run.loss_rates();
+    let mut t = TextTable::new("Table IV: NAT experiment").header(vec![
+        "metric", "measured", "paper", "delta",
+    ]);
+    let rows: [(&str, f64, f64); 6] = [
+        (
+            "outgoing: server -> NAT packets",
+            s.offered[1].get() as f64,
+            paper::NAT_SERVER_TO_NAT,
+        ),
+        (
+            "outgoing: NAT -> clients packets",
+            s.forwarded[1].get() as f64,
+            paper::NAT_TO_CLIENTS,
+        ),
+        ("outgoing loss rate (%)", out_loss * 100.0, paper::NAT_OUT_LOSS * 100.0),
+        (
+            "incoming: clients -> NAT packets",
+            s.offered[0].get() as f64,
+            paper::CLIENTS_TO_NAT,
+        ),
+        (
+            "incoming: NAT -> server packets",
+            s.forwarded[0].get() as f64,
+            paper::NAT_TO_SERVER,
+        ),
+        ("incoming loss rate (%)", in_loss * 100.0, paper::NAT_IN_LOSS * 100.0),
+    ];
+    for (name, measured, paper) in rows {
+        let shown = if name.contains('%') {
+            (fmt_f64(measured, 3), fmt_f64(paper, 3))
+        } else {
+            (fmt_count(measured as u64), fmt_count(paper as u64))
+        };
+        t.row(vec![
+            name.to_string(),
+            shown.0,
+            shown.1,
+            fmt_delta(measured, paper),
+        ]);
+    }
+    // The paper reports loss only; the delay side of its warning is shown
+    // as supplementary rows (no paper column).
+    for (name, d) in [
+        ("incoming sojourn mean/max (ms)", &s.delay[0]),
+        ("outgoing sojourn mean/max (ms)", &s.delay[1]),
+    ] {
+        t.row(vec![
+            name.to_string(),
+            format!(
+                "{} / {}",
+                fmt_f64(d.mean().as_secs_f64() * 1000.0, 2),
+                fmt_f64(d.max().as_secs_f64() * 1000.0, 1)
+            ),
+            "-".to_string(),
+            "-".to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csprov_game::ScenarioConfig;
+    use csprov_sim::SimDuration;
+
+    fn quick_main() -> MainRun {
+        MainRun::execute(ScenarioConfig::new(21, SimDuration::from_mins(12)))
+    }
+
+    #[test]
+    fn tables_render_nonempty() {
+        let run = quick_main();
+        let t1 = table1(&run);
+        let t2 = table2(&run);
+        let t3 = table3(&run);
+        assert!(t1.len() >= 8);
+        assert_eq!(t2.len(), 12);
+        assert_eq!(t3.len(), 6);
+        for t in [&t1, &t2, &t3] {
+            let s = t.render();
+            assert!(s.contains("paper"));
+            assert!(s.contains('%') || s.contains("n/a"));
+        }
+    }
+
+    #[test]
+    fn table2_pps_close_to_paper() {
+        // Even a 12-minute slice should land within ~15% of the paper's
+        // steady-state packet rates once the server is busy.
+        let run = quick_main();
+        let u = network_usage(&run.analysis.counts, run.config.duration);
+        let rel = (u.mean_pps[0] - paper::PPS[0]).abs() / paper::PPS[0];
+        assert!(rel < 0.2, "pps {} vs {}", u.mean_pps[0], paper::PPS[0]);
+    }
+
+    #[test]
+    fn table3_sizes_close_to_paper() {
+        let run = quick_main();
+        let a = application_usage(&run.analysis.counts);
+        assert!((a.mean_size[1] - paper::APP_SIZE[1]).abs() < 3.0);
+        assert!((a.mean_size[2] - paper::APP_SIZE[2]).abs() < 12.0);
+    }
+}

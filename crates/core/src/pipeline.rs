@@ -1,0 +1,226 @@
+//! The single-pass analysis pipeline.
+//!
+//! One simulation run feeds every analyzer the paper's figures and tables
+//! need; [`FullAnalysis`] is the composite [`TraceSink`] wired to the
+//! server tap. Everything is streaming, so the full-week 5×10⁸-packet run
+//! stays within a few hundred MB (dominated by the explicitly-bounded
+//! stored series).
+
+use csprov_analysis::{FlowTable, RateSeries, SizeHistogram, VarianceTime};
+use csprov_game::{ScenarioConfig, TraceOutcome, World};
+use csprov_net::{CountingSink, Direction, TraceRecord, TraceSink};
+use csprov_sim::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Number of bins Figures 6–8 display.
+pub const SHORT_SERIES_BINS: usize = 200;
+/// Warm-up skipped before the Figures 6–8 windows (in seconds).
+pub const SHORT_SERIES_SKIP_SECS: u64 = 60;
+/// Number of 1 s bins Figure 9 displays.
+pub const FIG9_BINS: usize = 18_000;
+
+/// Every streaming analyzer the paper's artifacts need, in one sink.
+pub struct FullAnalysis {
+    /// Packet/byte totals (Tables II, III).
+    pub counts: CountingSink,
+    /// Per-minute totals (Figures 1, 2).
+    pub per_minute: RateSeries,
+    /// Per-minute inbound (Figure 4 a/c).
+    pub per_minute_in: RateSeries,
+    /// Per-minute outbound (Figure 4 b/d).
+    pub per_minute_out: RateSeries,
+    /// First 200 bins at 10 ms, total (Figure 6).
+    pub ms10_total: RateSeries,
+    /// First 200 bins at 10 ms, inbound (Figure 7a).
+    pub ms10_in: RateSeries,
+    /// First 200 bins at 10 ms, outbound (Figure 7b).
+    pub ms10_out: RateSeries,
+    /// First 200 bins at 50 ms (Figure 8).
+    pub ms50_total: RateSeries,
+    /// First 18,000 bins at 1 s (Figure 9).
+    pub sec1_total: RateSeries,
+    /// 30-minute bins, first 200 (Figure 10).
+    pub min30_total: RateSeries,
+    /// Variance-time accumulators, m = 10 ms base (Figure 5).
+    pub variance_time: VarianceTime,
+    /// Packet-size distributions (Figures 12, 13, Table III cross-check).
+    pub sizes: SizeHistogram,
+    /// Per-flow accounting (Figure 11).
+    pub flows: FlowTable,
+}
+
+impl FullAnalysis {
+    /// Creates the composite for a trace of the given expected duration.
+    pub fn new(duration: SimDuration) -> Self {
+        let minute = SimDuration::from_secs(60);
+        let ms10 = SimDuration::from_millis(10);
+        // Block ladder up to 1/8 of the trace (beyond that too few blocks
+        // contribute a meaningful variance).
+        let max_block = (duration.as_nanos() / ms10.as_nanos() / 8).max(10);
+        FullAnalysis {
+            counts: CountingSink::new(),
+            per_minute: RateSeries::new(minute),
+            per_minute_in: RateSeries::with_options(minute, Some(Direction::Inbound), None),
+            per_minute_out: RateSeries::with_options(minute, Some(Direction::Outbound), None),
+            ms10_total: RateSeries::with_window(
+                ms10,
+                None,
+                SHORT_SERIES_SKIP_SECS * 100,
+                Some(SHORT_SERIES_BINS),
+            ),
+            ms10_in: RateSeries::with_window(
+                ms10,
+                Some(Direction::Inbound),
+                SHORT_SERIES_SKIP_SECS * 100,
+                Some(SHORT_SERIES_BINS),
+            ),
+            ms10_out: RateSeries::with_window(
+                ms10,
+                Some(Direction::Outbound),
+                SHORT_SERIES_SKIP_SECS * 100,
+                Some(SHORT_SERIES_BINS),
+            ),
+            ms50_total: RateSeries::with_window(
+                SimDuration::from_millis(50),
+                None,
+                SHORT_SERIES_SKIP_SECS * 20,
+                Some(SHORT_SERIES_BINS),
+            ),
+            sec1_total: RateSeries::with_options(SimDuration::from_secs(1), None, Some(FIG9_BINS)),
+            min30_total: RateSeries::with_options(
+                SimDuration::from_mins(30),
+                None,
+                Some(SHORT_SERIES_BINS),
+            ),
+            variance_time: VarianceTime::new(ms10, max_block, 8),
+            sizes: SizeHistogram::new(500),
+            flows: FlowTable::new(),
+        }
+    }
+}
+
+impl TraceSink for FullAnalysis {
+    fn on_packet(&mut self, rec: &TraceRecord) {
+        self.counts.on_packet(rec);
+        self.per_minute.on_packet(rec);
+        self.per_minute_in.on_packet(rec);
+        self.per_minute_out.on_packet(rec);
+        self.ms10_total.on_packet(rec);
+        self.ms10_in.on_packet(rec);
+        self.ms10_out.on_packet(rec);
+        self.ms50_total.on_packet(rec);
+        self.sec1_total.on_packet(rec);
+        self.min30_total.on_packet(rec);
+        self.variance_time.on_packet(rec);
+        self.sizes.on_packet(rec);
+        self.flows.on_packet(rec);
+    }
+
+    fn on_end(&mut self, end: SimTime) {
+        self.counts.on_end(end);
+        self.per_minute.on_end(end);
+        self.per_minute_in.on_end(end);
+        self.per_minute_out.on_end(end);
+        self.ms10_total.on_end(end);
+        self.ms10_in.on_end(end);
+        self.ms10_out.on_end(end);
+        self.ms50_total.on_end(end);
+        self.sec1_total.on_end(end);
+        self.min30_total.on_end(end);
+        self.variance_time.on_end(end);
+        self.sizes.on_end(end);
+        self.flows.on_end(end);
+    }
+}
+
+/// A finished main-trace run: the analyzers plus the world outcome.
+pub struct MainRun {
+    /// The scenario that produced it.
+    pub config: ScenarioConfig,
+    /// All analyzer state after the run.
+    pub analysis: FullAnalysis,
+    /// Session log, player series and counters from the world.
+    pub outcome: TraceOutcome,
+}
+
+impl MainRun {
+    /// Runs the scenario and collects the full analysis.
+    pub fn execute(config: ScenarioConfig) -> MainRun {
+        let analysis = Rc::new(RefCell::new(FullAnalysis::new(config.duration)));
+        let outcome = World::run(config.clone(), analysis.clone());
+        let analysis = Rc::try_unwrap(analysis)
+            .map_err(|_| ())
+            .expect("world must release the sink")
+            .into_inner();
+        MainRun {
+            config,
+            analysis,
+            outcome,
+        }
+    }
+
+    /// Ratio scaling a counted quantity to the paper's full trace length
+    /// (1.0 for a full-week run).
+    pub fn week_scale(&self) -> f64 {
+        csprov_game::PAPER_TRACE_SECS as f64 / self.config.duration.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csprov_game::ScenarioConfig;
+
+    #[test]
+    fn short_run_populates_every_analyzer() {
+        let cfg = ScenarioConfig::new(3, SimDuration::from_mins(10));
+        let run = MainRun::execute(cfg);
+        let a = &run.analysis;
+        assert!(a.counts.total_packets() > 100_000, "10 min of busy server");
+        assert_eq!(a.per_minute.bins().len(), 10);
+        assert_eq!(a.ms10_total.bins().len(), SHORT_SERIES_BINS);
+        assert_eq!(a.ms50_total.bins().len(), SHORT_SERIES_BINS);
+        assert_eq!(a.sec1_total.bins().len(), 600);
+        assert_eq!(a.min30_total.bins().len(), 1);
+        assert!(a.variance_time.bins_seen() >= 60_000);
+        assert!(a.sizes.grand_total() > 0);
+        assert!(!a.flows.is_empty());
+        assert!(!run.outcome.sessions.is_empty());
+        assert!((run.week_scale() - 626_477.0 / 600.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn directional_series_sum_to_total() {
+        let cfg = ScenarioConfig::new(4, SimDuration::from_mins(3));
+        let run = MainRun::execute(cfg);
+        let a = &run.analysis;
+        for i in 0..a.per_minute.bins().len() {
+            assert_eq!(
+                a.per_minute.bins()[i].packets,
+                a.per_minute_in.bins()[i].packets + a.per_minute_out.bins()[i].packets
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run1 = MainRun::execute(ScenarioConfig::new(7, SimDuration::from_mins(2)));
+        let run2 = MainRun::execute(ScenarioConfig::new(7, SimDuration::from_mins(2)));
+        assert_eq!(
+            run1.analysis.counts.total_packets(),
+            run2.analysis.counts.total_packets()
+        );
+        assert_eq!(
+            run1.analysis.counts.total_wire_bytes(),
+            run2.analysis.counts.total_wire_bytes()
+        );
+        assert_eq!(run1.outcome.sessions.len(), run2.outcome.sessions.len());
+        let run3 = MainRun::execute(ScenarioConfig::new(8, SimDuration::from_mins(2)));
+        assert_ne!(
+            run1.analysis.counts.total_packets(),
+            run3.analysis.counts.total_packets(),
+            "different seeds must differ"
+        );
+    }
+}

@@ -1,0 +1,225 @@
+//! Player population and session-duration models.
+//!
+//! [`Population`] decides *who* each arrival is: a Chinese-restaurant
+//! process, so a core of regulars accounts for most sessions while a long
+//! tail of one-time visitors keeps appearing — reproducing Table I's ratio
+//! of ~16 k established sessions to ~5.9 k unique clients (≈2.7 sessions
+//! per client over the week).
+
+use crate::config::WorkloadConfig;
+use csprov_sim::dist::{LogNormal, Sample};
+use csprov_sim::{RngStream, SimDuration};
+
+/// Chinese-restaurant-process client identity pool.
+///
+/// Each arrival is a brand-new client with probability `θ / (n + θ)` (where
+/// `n` is the number of past arrivals), otherwise an existing client drawn
+/// proportionally to past arrival frequency — regulars keep coming back.
+///
+/// ```
+/// use csprov_game::Population;
+/// use csprov_sim::RngStream;
+///
+/// let mut pop = Population::new(100.0);
+/// let mut rng = RngStream::new(1);
+/// for _ in 0..1000 {
+///     pop.draw(&mut rng);
+/// }
+/// // Far fewer identities than arrivals: regulars revisit.
+/// assert!(pop.unique_clients() < 500);
+/// assert_eq!(pop.total_arrivals(), 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Population {
+    theta: f64,
+    arrivals: Vec<u32>,
+    next_id: u32,
+}
+
+impl Population {
+    /// Creates a population with concentration `theta > 0`.
+    pub fn new(theta: f64) -> Self {
+        assert!(theta > 0.0);
+        Population {
+            theta,
+            arrivals: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Draws the identity of the next arriving client.
+    pub fn draw(&mut self, rng: &mut RngStream) -> u32 {
+        self.draw_biased(rng, 1.0).0
+    }
+
+    /// Draws an identity with the new-client probability scaled by
+    /// `new_bias`. The world uses a bias > 1 while the server is full:
+    /// popular servers surface at the top of the in-game browser, so
+    /// peak-hour arrivals skew towards first-time visitors — who then meet
+    /// a full server and often never return (Table I's gap between unique
+    /// attempting and unique establishing clients).
+    pub fn draw_biased(&mut self, rng: &mut RngStream, new_bias: f64) -> (u32, bool) {
+        let n = self.arrivals.len() as f64;
+        let p_new = (new_bias * self.theta / (n + self.theta)).min(1.0);
+        if self.arrivals.is_empty() || rng.chance(p_new) {
+            let id = self.next_id;
+            self.next_id += 1;
+            self.arrivals.push(id);
+            (id, true)
+        } else {
+            let id = self.arrivals[rng.next_below(self.arrivals.len() as u64) as usize];
+            self.arrivals.push(id);
+            (id, false)
+        }
+    }
+
+    /// Records an additional arrival by a known client (e.g. a retry after
+    /// refusal) without consuming a CRP draw, so retries strengthen the
+    /// client's revisit weight but never mint a new identity.
+    pub fn note_repeat(&mut self, client: u32) {
+        self.arrivals.push(client);
+    }
+
+    /// Number of distinct clients seen.
+    pub fn unique_clients(&self) -> u32 {
+        self.next_id
+    }
+
+    /// Number of arrivals recorded.
+    pub fn total_arrivals(&self) -> usize {
+        self.arrivals.len()
+    }
+}
+
+/// Draws a session duration from the workload's clipped log-normal.
+pub fn session_duration(w: &WorkloadConfig, rng: &mut RngStream) -> SimDuration {
+    let d = LogNormal::with_mean(w.session_mean.as_secs_f64(), w.session_sigma);
+    let secs = d
+        .sample(rng)
+        .clamp(w.session_range.0.as_secs_f64(), w.session_range.1.as_secs_f64());
+    SimDuration::from_secs_f64(secs)
+}
+
+/// Diurnal arrival-rate multiplier at time-of-week `t` (mean 1.0).
+pub fn diurnal_factor(w: &WorkloadConfig, t_secs: f64) -> f64 {
+    let day = 86_400.0;
+    let phase = 2.0 * std::f64::consts::PI * (t_secs / day - w.diurnal_peak_hour / 24.0);
+    1.0 + w.diurnal_amplitude * phase.cos()
+}
+
+/// Draws a per-client command rate (Hz) from the workload's clipped normal.
+pub fn cmd_rate(w: &WorkloadConfig, rng: &mut RngStream) -> f64 {
+    use csprov_sim::dist::Normal;
+    Normal::new(w.cmd_rate_mean, w.cmd_rate_std)
+        .sample(rng)
+        .clamp(w.cmd_rate_range.0, w.cmd_rate_range.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorkloadConfig;
+
+    #[test]
+    fn crp_uniques_scale_with_theta() {
+        let mut rng = RngStream::new(1);
+        let draw_n = |theta: f64, n: usize, rng: &mut RngStream| {
+            let mut p = Population::new(theta);
+            for _ in 0..n {
+                p.draw(rng);
+            }
+            p.unique_clients()
+        };
+        let low = draw_n(100.0, 10_000, &mut rng);
+        let high = draw_n(5_000.0, 10_000, &mut rng);
+        assert!(low < high, "theta raises unique count: {low} vs {high}");
+    }
+
+    #[test]
+    fn crp_matches_expected_unique_count() {
+        // E[unique] ≈ θ ln(1 + n/θ). With the calibrated θ=4400 over 24004
+        // arrivals this is ≈ 8200, matching Table I's unique attempting.
+        let mut rng = RngStream::new(2);
+        let mut p = Population::new(4400.0);
+        for _ in 0..24_004 {
+            p.draw(&mut rng);
+        }
+        let expected = 4400.0 * (1.0_f64 + 24_004.0 / 4400.0).ln();
+        let got = f64::from(p.unique_clients());
+        assert!(
+            (got - expected).abs() < expected * 0.05,
+            "got {got}, expected ≈ {expected}"
+        );
+        assert!((7_500.0..9_000.0).contains(&got));
+    }
+
+    #[test]
+    fn biased_draws_mint_more_identities() {
+        let mut rng = RngStream::new(11);
+        let count_uniques = |bias: f64, rng: &mut RngStream| {
+            let mut p = Population::new(500.0);
+            for _ in 0..5_000 {
+                p.draw_biased(rng, bias);
+            }
+            p.unique_clients()
+        };
+        let plain = count_uniques(1.0, &mut rng);
+        let biased = count_uniques(6.0, &mut rng);
+        assert!(biased > plain * 2, "bias must mint more uniques: {plain} vs {biased}");
+    }
+
+    #[test]
+    fn repeats_dont_mint_identities() {
+        let mut rng = RngStream::new(3);
+        let mut p = Population::new(10.0);
+        let c = p.draw(&mut rng);
+        let before = p.unique_clients();
+        p.note_repeat(c);
+        p.note_repeat(c);
+        assert_eq!(p.unique_clients(), before);
+        assert_eq!(p.total_arrivals(), 3);
+    }
+
+    #[test]
+    fn durations_bounded_and_mean_near_target() {
+        let w = WorkloadConfig::default();
+        let mut rng = RngStream::new(4);
+        let n = 50_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let d = session_duration(&w, &mut rng);
+            assert!(d >= w.session_range.0 && d <= w.session_range.1);
+            sum += d.as_secs_f64();
+        }
+        let mean = sum / f64::from(n);
+        let target = w.session_mean.as_secs_f64();
+        assert!(
+            (mean - target).abs() < target * 0.06,
+            "mean {mean} vs {target}"
+        );
+    }
+
+    #[test]
+    fn diurnal_factor_mean_is_one() {
+        let w = WorkloadConfig::default();
+        let n = 24 * 60;
+        let mean: f64 = (0..n)
+            .map(|i| diurnal_factor(&w, f64::from(i) * 60.0))
+            .sum::<f64>()
+            / f64::from(n);
+        assert!((mean - 1.0).abs() < 1e-6);
+        // Peak lands at the configured hour.
+        let peak = diurnal_factor(&w, w.diurnal_peak_hour * 3600.0);
+        assert!((peak - (1.0 + w.diurnal_amplitude)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cmd_rates_clipped() {
+        let w = WorkloadConfig::default();
+        let mut rng = RngStream::new(5);
+        for _ in 0..10_000 {
+            let r = cmd_rate(&w, &mut rng);
+            assert!(r >= w.cmd_rate_range.0 && r <= w.cmd_rate_range.1);
+        }
+    }
+}

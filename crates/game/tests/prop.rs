@@ -1,0 +1,136 @@
+//! Property-based tests for the game model: the server state machine's
+//! invariants must hold under arbitrary operation sequences, and the
+//! stochastic models must respect their configured bounds.
+
+use csprov_game::{packets, ConnectOutcome, Population, ServerConfig, ServerState, WorkloadConfig};
+use csprov_sim::{RngStream, SimDuration, SimTime};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Connect(u32),
+    Disconnect(u32),
+    HeardFrom(u32),
+    Tick,
+    Sweep,
+    Advance(u64),
+    MapChange(bool),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..64).prop_map(Op::Connect),
+        (0u32..64).prop_map(Op::Disconnect),
+        (0u32..64).prop_map(Op::HeardFrom),
+        Just(Op::Tick),
+        Just(Op::Sweep),
+        (1u64..30_000).prop_map(Op::Advance),
+        any::<bool>().prop_map(Op::MapChange),
+    ]
+}
+
+proptest! {
+    /// The server never exceeds its slot count, never emits snapshots for
+    /// unknown sessions, and sweeps only remove genuinely silent players.
+    #[test]
+    fn server_state_machine_invariants(ops in prop::collection::vec(arb_op(), 1..200)) {
+        let cfg = ServerConfig::default();
+        let max = cfg.max_players;
+        let mut s = ServerState::new(cfg, RngStream::new(1));
+        let mut now = SimTime::ZERO;
+        let mut connected = std::collections::BTreeSet::new();
+        for op in ops {
+            match op {
+                Op::Connect(id) => {
+                    if connected.contains(&id) {
+                        continue; // session ids are unique in the world
+                    }
+                    let outcome = s.try_connect(now, id, id, None);
+                    if connected.len() < max {
+                        prop_assert_eq!(outcome, ConnectOutcome::Accepted);
+                        connected.insert(id);
+                    } else {
+                        prop_assert_eq!(outcome, ConnectOutcome::Refused);
+                    }
+                }
+                Op::Disconnect(id) => {
+                    let was = s.disconnect(id).is_some();
+                    prop_assert_eq!(was, connected.remove(&id));
+                }
+                Op::HeardFrom(id) => {
+                    let known = s.heard_from(now, id);
+                    prop_assert_eq!(known, connected.contains(&id));
+                }
+                Op::Tick => {
+                    for (session, size) in s.tick(now) {
+                        prop_assert!(connected.contains(&session));
+                        prop_assert!(size >= 8);
+                    }
+                }
+                Op::Sweep => {
+                    for slot in s.sweep_timeouts(now) {
+                        prop_assert!(connected.remove(&slot.session));
+                        prop_assert!(
+                            now.saturating_since(slot.last_heard)
+                                > SimDuration::from_secs(15)
+                        );
+                    }
+                }
+                Op::Advance(ms) => now += SimDuration::from_millis(ms),
+                Op::MapChange(begin) => {
+                    if begin {
+                        s.begin_map_change();
+                        prop_assert!(s.tick(now).is_empty());
+                    } else {
+                        s.end_map_change();
+                    }
+                }
+            }
+            prop_assert!(s.player_count() <= max);
+            prop_assert_eq!(s.player_count(), connected.len());
+        }
+    }
+
+    /// Packet-size models respect their physical bounds for any seed and
+    /// any plausible player count / activity.
+    #[test]
+    fn size_models_bounded(seed in any::<u64>(), players in 0usize..32, activity in 0.0f64..4.0) {
+        let server = ServerConfig::default();
+        let workload = WorkloadConfig::default();
+        let mut rng = RngStream::new(seed);
+        for _ in 0..50 {
+            let snap = packets::snapshot_size(&server, players, activity, &mut rng);
+            prop_assert!(snap >= 8 && snap <= server.max_snapshot as u32);
+            let cmd = packets::cmd_size(&workload, &mut rng);
+            prop_assert!((28..=64).contains(&cmd));
+        }
+    }
+
+    /// The population process: unique ids are dense (0..n), repeats never
+    /// mint ids, and draws never return an id that was never minted.
+    #[test]
+    fn population_ids_dense(seed in any::<u64>(), theta in 0.5f64..1e4, n in 1usize..500) {
+        let mut p = Population::new(theta);
+        let mut rng = RngStream::new(seed);
+        let mut max_id = 0;
+        for _ in 0..n {
+            let id = p.draw(&mut rng);
+            prop_assert!(id <= max_id.max(p.unique_clients().saturating_sub(1)));
+            max_id = max_id.max(id);
+        }
+        prop_assert_eq!(p.total_arrivals(), n);
+        prop_assert!(p.unique_clients() as usize <= n);
+        prop_assert!(u64::from(max_id) < u64::from(p.unique_clients()));
+    }
+
+    /// Session durations always respect the configured clamp.
+    #[test]
+    fn durations_clamped(seed in any::<u64>()) {
+        let w = WorkloadConfig::default();
+        let mut rng = RngStream::new(seed);
+        for _ in 0..100 {
+            let d = csprov_game::session::session_duration(&w, &mut rng);
+            prop_assert!(d >= w.session_range.0 && d <= w.session_range.1);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Empirical distributions: capture a quantity's histogram from a trace and
+//! sample from it in O(1).
+
+use csprov_sim::dist::AliasTable;
+use csprov_sim::RngStream;
+
+/// A discrete empirical distribution over integer values `0..=max`.
+#[derive(Debug, Clone)]
+pub struct EmpiricalDist {
+    counts: Vec<u64>,
+    total: u64,
+    table: Option<AliasTable>,
+}
+
+impl EmpiricalDist {
+    /// Creates an empty distribution over `0..=max`.
+    pub fn new(max: usize) -> Self {
+        EmpiricalDist {
+            counts: vec![0; max + 1],
+            total: 0,
+            table: None,
+        }
+    }
+
+    /// Records an observation (values beyond the range are clamped to max —
+    /// appropriate for physically-bounded quantities like packet sizes).
+    pub fn record(&mut self, value: u64) {
+        let idx = (value as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.table = None; // invalidate
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of the recorded values.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| v as u64 * c)
+            .sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// The CDF evaluated over the support.
+    pub fn cdf(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        self.counts
+            .iter()
+            .map(|&c| {
+                acc += if self.total > 0 {
+                    c as f64 / self.total as f64
+                } else {
+                    0.0
+                };
+                acc
+            })
+            .collect()
+    }
+
+    /// Smallest value whose CDF reaches `q`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q));
+        let cdf = self.cdf();
+        cdf.iter().position(|&c| c >= q).unwrap_or(0) as u64
+    }
+
+    /// Draws a value distributed as the recorded data.
+    ///
+    /// # Panics
+    /// Panics if nothing has been recorded.
+    pub fn sample(&mut self, rng: &mut RngStream) -> u64 {
+        assert!(self.total > 0, "cannot sample an empty distribution");
+        let table = self.table.get_or_insert_with(|| {
+            let weights: Vec<f64> = self.counts.iter().map(|&c| c as f64).collect();
+            AliasTable::new(&weights)
+        });
+        table.sample(rng) as u64
+    }
+
+    /// Kolmogorov–Smirnov distance to another distribution over the same
+    /// support (sup-norm of the CDF difference).
+    pub fn ks_distance(&self, other: &EmpiricalDist) -> f64 {
+        let a = self.cdf();
+        let b = other.cdf();
+        let n = a.len().max(b.len());
+        let mut d: f64 = 0.0;
+        for i in 0..n {
+            let ca = a.get(i).copied().unwrap_or(1.0);
+            let cb = b.get(i).copied().unwrap_or(1.0);
+            d = d.max((ca - cb).abs());
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_quantiles() {
+        let mut d = EmpiricalDist::new(100);
+        for v in [10u64, 20, 20, 30] {
+            d.record(v);
+        }
+        assert_eq!(d.count(), 4);
+        assert_eq!(d.mean(), 20.0);
+        assert_eq!(d.quantile(0.5), 20);
+        assert_eq!(d.quantile(1.0), 30);
+    }
+
+    #[test]
+    fn out_of_range_clamped() {
+        let mut d = EmpiricalDist::new(10);
+        d.record(500);
+        assert_eq!(d.quantile(1.0), 10);
+    }
+
+    #[test]
+    fn sampling_matches_weights() {
+        let mut d = EmpiricalDist::new(4);
+        for _ in 0..10 {
+            d.record(1);
+        }
+        for _ in 0..30 {
+            d.record(3);
+        }
+        let mut rng = RngStream::new(1);
+        let n = 40_000;
+        let mut counts = [0u32; 5];
+        for _ in 0..n {
+            counts[d.sample(&mut rng) as usize] += 1;
+        }
+        assert_eq!(counts[0] + counts[2] + counts[4], 0);
+        let frac1 = f64::from(counts[1]) / f64::from(n);
+        assert!((frac1 - 0.25).abs() < 0.02, "frac1 = {frac1}");
+    }
+
+    #[test]
+    fn sampling_reflects_updates_after_new_data() {
+        let mut d = EmpiricalDist::new(4);
+        d.record(0);
+        let mut rng = RngStream::new(2);
+        assert_eq!(d.sample(&mut rng), 0);
+        // Overwhelm with value 4; cache must invalidate.
+        for _ in 0..10_000 {
+            d.record(4);
+        }
+        let fours = (0..100).filter(|_| d.sample(&mut rng) == 4).count();
+        assert!(fours > 90);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn sampling_empty_panics() {
+        EmpiricalDist::new(4).sample(&mut RngStream::new(3));
+    }
+
+    #[test]
+    fn ks_distance_properties() {
+        let mut a = EmpiricalDist::new(10);
+        let mut b = EmpiricalDist::new(10);
+        for v in 0..=10u64 {
+            a.record(v);
+            b.record(v);
+        }
+        assert!(a.ks_distance(&b) < 1e-12, "identical dists");
+        let mut c = EmpiricalDist::new(10);
+        for _ in 0..11 {
+            c.record(0);
+        }
+        // CDF of c jumps to 1 at 0; a is uniform: D = 1 - 1/11.
+        let d = a.ks_distance(&c);
+        assert!((d - 10.0 / 11.0).abs() < 1e-9, "d = {d}");
+    }
+}

@@ -1,0 +1,19 @@
+//! # csprov-model — fitted traffic source models
+//!
+//! The paper's forward-looking claim (§IV-B) is that game traffic's
+//! predictability makes modelling "a relatively simple task" and that the
+//! trace can seed source models for simulation (after Borella). This crate
+//! closes that loop:
+//!
+//! - [`empirical`] — O(1)-sampling empirical distributions with
+//!   Kolmogorov–Smirnov comparison.
+//! - [`source`] — a streaming fitter that captures per-direction packet
+//!   size and interarrival marginals from any trace, and a renewal-process
+//!   generator that regenerates statistically-equivalent traffic without
+//!   running the full game simulation.
+
+pub mod empirical;
+pub mod source;
+
+pub use empirical::EmpiricalDist;
+pub use source::{DirectionModel, SourceModel, SourceModelFit};

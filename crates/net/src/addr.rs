@@ -1,0 +1,120 @@
+//! Addressing types shared across the network substrate.
+//!
+//! IPv4 addressing reuses `std::net::Ipv4Addr`; this module adds the MAC
+//! address type the wire format needs and the `(src, dst)` endpoint pair
+//! that identifies a flow at the server.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// An IEEE 802.3 MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// Builds a locally-administered unicast MAC from a small integer id,
+    /// used to give every simulated host a stable, distinct address.
+    pub fn from_host_id(id: u32) -> Self {
+        let b = id.to_be_bytes();
+        // 0x02 = locally administered, unicast.
+        MacAddr([0x02, 0x00, b[0], b[1], b[2], b[3]])
+    }
+
+    /// True if the least-significant bit of the first octet is set
+    /// (group/multicast address).
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = &self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            m[0], m[1], m[2], m[3], m[4], m[5]
+        )
+    }
+}
+
+/// A UDP endpoint: IPv4 address plus port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Endpoint {
+    /// IPv4 address.
+    pub addr: Ipv4Addr,
+    /// UDP port.
+    pub port: u16,
+}
+
+impl Endpoint {
+    /// Creates an endpoint.
+    pub const fn new(addr: Ipv4Addr, port: u16) -> Self {
+        Endpoint { addr, port }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.addr, self.port)
+    }
+}
+
+/// The default game-server endpoint (Half-Life's canonical port).
+pub fn server_endpoint() -> Endpoint {
+    Endpoint::new(Ipv4Addr::new(192, 168, 69, 1), 27015)
+}
+
+/// A stable per-session client endpoint derived from the session id.
+///
+/// Clients are spread over a 10/8 space so that addresses never collide with
+/// the server and remain readable in pcap dumps.
+pub fn client_endpoint(session_id: u32) -> Endpoint {
+    let b = session_id.to_be_bytes();
+    Endpoint::new(
+        Ipv4Addr::new(10, b[1], b[2], b[3]),
+        27005u16.wrapping_add((session_id % 1000) as u16),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_display() {
+        let m = MacAddr([0x02, 0x00, 0xde, 0xad, 0xbe, 0xef]);
+        assert_eq!(m.to_string(), "02:00:de:ad:be:ef");
+    }
+
+    #[test]
+    fn mac_from_host_id_distinct_and_unicast() {
+        let a = MacAddr::from_host_id(1);
+        let b = MacAddr::from_host_id(2);
+        assert_ne!(a, b);
+        assert!(!a.is_multicast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+    }
+
+    #[test]
+    fn endpoint_display() {
+        let e = Endpoint::new(Ipv4Addr::new(10, 0, 0, 1), 27005);
+        assert_eq!(e.to_string(), "10.0.0.1:27005");
+    }
+
+    #[test]
+    fn client_endpoints_distinct() {
+        let a = client_endpoint(7);
+        let b = client_endpoint(8);
+        assert_ne!(a, b);
+        assert_ne!(a, server_endpoint());
+    }
+
+    #[test]
+    fn client_endpoint_stable() {
+        assert_eq!(client_endpoint(42), client_endpoint(42));
+    }
+}

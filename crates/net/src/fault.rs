@@ -1,0 +1,188 @@
+//! Fault injection, in the spirit of smoltcp's example harnesses.
+//!
+//! A [`FaultInjector`] sits in front of a delivery path and applies
+//! configurable impairments: random drop, random corruption (flagged on the
+//! packet path as a drop with a distinct counter — the simulator moves
+//! metadata, so a "corrupted" game datagram is discarded by the receiver's
+//! checksum exactly as a real one would be), and token-bucket rate shaping.
+
+use crate::packet::Packet;
+use csprov_sim::{Counter, RngStream, SimTime, TokenBucket};
+
+/// Impairment configuration.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Probability a packet is silently dropped.
+    pub drop_chance: f64,
+    /// Probability a packet is corrupted (discarded at the receiver).
+    pub corrupt_chance: f64,
+    /// Optional rate shaping: `(packets_per_refill, refill_interval_secs)`
+    /// expressed as a token bucket in packets.
+    pub rate_limit: Option<RateLimit>,
+}
+
+/// Token-bucket shaping parameters, in packets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimit {
+    /// Bucket size in packets.
+    pub burst: f64,
+    /// Refill rate in packets per second.
+    pub packets_per_sec: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            drop_chance: 0.0,
+            corrupt_chance: 0.0,
+            rate_limit: None,
+        }
+    }
+}
+
+/// Counters for each impairment cause.
+#[derive(Debug, Clone, Default)]
+pub struct FaultStats {
+    /// Packets passed through unharmed.
+    pub passed: Counter,
+    /// Packets dropped by `drop_chance`.
+    pub dropped: Counter,
+    /// Packets corrupted (and therefore lost to the application).
+    pub corrupted: Counter,
+    /// Packets dropped by rate shaping.
+    pub shaped: Counter,
+}
+
+/// Applies [`FaultConfig`] to a packet stream.
+pub struct FaultInjector {
+    config: FaultConfig,
+    rng: RngStream,
+    bucket: Option<TokenBucket>,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Creates an injector.
+    pub fn new(config: FaultConfig, rng: RngStream) -> Self {
+        let bucket = config
+            .rate_limit
+            .map(|rl| TokenBucket::new(rl.packets_per_sec, rl.burst));
+        FaultInjector {
+            config,
+            rng,
+            bucket,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Shared handles to the impairment counters.
+    pub fn stats(&self) -> FaultStats {
+        self.stats.clone()
+    }
+
+    /// Decides the fate of `packet` at time `now`; returns `true` if it
+    /// should be delivered.
+    pub fn admit(&mut self, now: SimTime, _packet: &Packet) -> bool {
+        if self.config.drop_chance > 0.0 && self.rng.chance(self.config.drop_chance) {
+            self.stats.dropped.incr();
+            return false;
+        }
+        if self.config.corrupt_chance > 0.0 && self.rng.chance(self.config.corrupt_chance) {
+            self.stats.corrupted.incr();
+            return false;
+        }
+        if let Some(bucket) = &mut self.bucket {
+            if !bucket.try_consume(now, 1.0) {
+                self.stats.shaped.incr();
+                return false;
+            }
+        }
+        self.stats.passed.incr();
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{client_endpoint, server_endpoint};
+    use crate::packet::{Direction, PacketKind};
+    use csprov_sim::SimDuration;
+
+    fn pkt() -> Packet {
+        Packet {
+            src: client_endpoint(0),
+            dst: server_endpoint(),
+            app_len: 40,
+            kind: PacketKind::ClientCommand,
+            session: 0,
+            direction: Direction::Inbound,
+            sent_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn default_config_passes_everything() {
+        let mut inj = FaultInjector::new(FaultConfig::default(), RngStream::new(1));
+        for _ in 0..1000 {
+            assert!(inj.admit(SimTime::ZERO, &pkt()));
+        }
+        assert_eq!(inj.stats().passed.get(), 1000);
+    }
+
+    #[test]
+    fn drop_chance_statistics() {
+        let mut inj = FaultInjector::new(
+            FaultConfig {
+                drop_chance: 0.15,
+                ..Default::default()
+            },
+            RngStream::new(2),
+        );
+        let n = 20_000;
+        let passed = (0..n).filter(|_| inj.admit(SimTime::ZERO, &pkt())).count();
+        let frac = passed as f64 / n as f64;
+        assert!((frac - 0.85).abs() < 0.01, "pass fraction {frac}");
+        assert_eq!(inj.stats().dropped.get() as usize + passed, n);
+    }
+
+    #[test]
+    fn corrupt_counted_separately() {
+        let mut inj = FaultInjector::new(
+            FaultConfig {
+                corrupt_chance: 0.5,
+                ..Default::default()
+            },
+            RngStream::new(3),
+        );
+        for _ in 0..1000 {
+            inj.admit(SimTime::ZERO, &pkt());
+        }
+        let s = inj.stats();
+        assert_eq!(s.dropped.get(), 0);
+        assert!(s.corrupted.get() > 400 && s.corrupted.get() < 600);
+    }
+
+    #[test]
+    fn rate_limit_shapes() {
+        let mut inj = FaultInjector::new(
+            FaultConfig {
+                rate_limit: Some(RateLimit {
+                    burst: 4.0,
+                    packets_per_sec: 4.0,
+                }),
+                ..Default::default()
+            },
+            RngStream::new(4),
+        );
+        // Burst of 10 at t=0: only the 4-token bucket passes.
+        let t0 = SimTime::ZERO;
+        let passed = (0..10).filter(|_| inj.admit(t0, &pkt())).count();
+        assert_eq!(passed, 4);
+        assert_eq!(inj.stats().shaped.get(), 6);
+        // A second later, 4 more tokens have accrued.
+        let t1 = t0 + SimDuration::from_secs(1);
+        let passed = (0..10).filter(|_| inj.admit(t1, &pkt())).count();
+        assert_eq!(passed, 4);
+    }
+}

@@ -1,0 +1,149 @@
+//! Ethernet II frame view.
+
+use super::WireError;
+use crate::addr::MacAddr;
+
+/// Length of an Ethernet II header (dst + src + ethertype).
+pub const ETHERNET_HEADER_LEN: usize = 14;
+
+/// Known EtherType values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EtherType {
+    /// IPv4 (0x0800).
+    Ipv4,
+    /// ARP (0x0806).
+    Arp,
+    /// Anything else.
+    Unknown(u16),
+}
+
+impl From<u16> for EtherType {
+    fn from(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Unknown(other),
+        }
+    }
+}
+
+impl From<EtherType> for u16 {
+    fn from(v: EtherType) -> u16 {
+        match v {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Unknown(other) => other,
+        }
+    }
+}
+
+/// A typed view over an Ethernet II frame.
+#[derive(Debug, Clone)]
+pub struct EthernetFrame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> EthernetFrame<T> {
+    /// Wraps a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        EthernetFrame { buffer }
+    }
+
+    /// Wraps a buffer, checking it is long enough to hold the header.
+    pub fn new_checked(buffer: T) -> Result<Self, WireError> {
+        if buffer.as_ref().len() < ETHERNET_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        Ok(EthernetFrame { buffer })
+    }
+
+    /// Consumes the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Destination MAC address.
+    pub fn dst_addr(&self) -> MacAddr {
+        let d = self.buffer.as_ref();
+        MacAddr([d[0], d[1], d[2], d[3], d[4], d[5]])
+    }
+
+    /// Source MAC address.
+    pub fn src_addr(&self) -> MacAddr {
+        let d = self.buffer.as_ref();
+        MacAddr([d[6], d[7], d[8], d[9], d[10], d[11]])
+    }
+
+    /// EtherType field.
+    pub fn ethertype(&self) -> EtherType {
+        let d = self.buffer.as_ref();
+        EtherType::from(u16::from_be_bytes([d[12], d[13]]))
+    }
+
+    /// The frame payload (everything after the header).
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[ETHERNET_HEADER_LEN..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> EthernetFrame<T> {
+    /// Sets the destination MAC address.
+    pub fn set_dst_addr(&mut self, addr: MacAddr) {
+        self.buffer.as_mut()[0..6].copy_from_slice(&addr.0);
+    }
+
+    /// Sets the source MAC address.
+    pub fn set_src_addr(&mut self, addr: MacAddr) {
+        self.buffer.as_mut()[6..12].copy_from_slice(&addr.0);
+    }
+
+    /// Sets the EtherType field.
+    pub fn set_ethertype(&mut self, ty: EtherType) {
+        self.buffer.as_mut()[12..14].copy_from_slice(&u16::from(ty).to_be_bytes());
+    }
+
+    /// Mutable access to the payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[ETHERNET_HEADER_LEN..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = [0u8; ETHERNET_HEADER_LEN + 4];
+        let mut frame = EthernetFrame::new_unchecked(&mut buf[..]);
+        let dst = MacAddr([1, 2, 3, 4, 5, 6]);
+        let src = MacAddr([7, 8, 9, 10, 11, 12]);
+        frame.set_dst_addr(dst);
+        frame.set_src_addr(src);
+        frame.set_ethertype(EtherType::Ipv4);
+        frame.payload_mut().copy_from_slice(&[0xaa; 4]);
+
+        let frame = EthernetFrame::new_checked(&buf[..]).unwrap();
+        assert_eq!(frame.dst_addr(), dst);
+        assert_eq!(frame.src_addr(), src);
+        assert_eq!(frame.ethertype(), EtherType::Ipv4);
+        assert_eq!(frame.payload(), &[0xaa; 4]);
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        let buf = [0u8; 13];
+        assert_eq!(
+            EthernetFrame::new_checked(&buf[..]).err(),
+            Some(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn ethertype_conversion() {
+        assert_eq!(u16::from(EtherType::Ipv4), 0x0800);
+        assert_eq!(EtherType::from(0x0806), EtherType::Arp);
+        assert_eq!(EtherType::from(0x1234), EtherType::Unknown(0x1234));
+        assert_eq!(u16::from(EtherType::Unknown(0x4321)), 0x4321);
+    }
+}

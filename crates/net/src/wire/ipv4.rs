@@ -1,0 +1,273 @@
+//! IPv4 packet view (no options — IHL is fixed at 5, as in the game traffic).
+
+use super::{fold_checksum, ones_complement_sum, WireError};
+use std::net::Ipv4Addr;
+
+/// Length of an IPv4 header without options.
+pub const IPV4_HEADER_LEN: usize = 20;
+
+/// IP protocol numbers this stack cares about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IpProtocol {
+    /// ICMP (1).
+    Icmp,
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+    /// Anything else.
+    Unknown(u8),
+}
+
+impl From<u8> for IpProtocol {
+    fn from(v: u8) -> Self {
+        match v {
+            1 => IpProtocol::Icmp,
+            6 => IpProtocol::Tcp,
+            17 => IpProtocol::Udp,
+            other => IpProtocol::Unknown(other),
+        }
+    }
+}
+
+impl From<IpProtocol> for u8 {
+    fn from(v: IpProtocol) -> u8 {
+        match v {
+            IpProtocol::Icmp => 1,
+            IpProtocol::Tcp => 6,
+            IpProtocol::Udp => 17,
+            IpProtocol::Unknown(other) => other,
+        }
+    }
+}
+
+/// A typed view over an IPv4 packet without options.
+#[derive(Debug, Clone)]
+pub struct Ipv4Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Ipv4Packet<T> {
+    /// Wraps a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        Ipv4Packet { buffer }
+    }
+
+    /// Wraps and validates: length, version, IHL and total-length coherence.
+    pub fn new_checked(buffer: T) -> Result<Self, WireError> {
+        let len = buffer.as_ref().len();
+        if len < IPV4_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let pkt = Ipv4Packet { buffer };
+        let d = pkt.buffer.as_ref();
+        if d[0] >> 4 != 4 {
+            return Err(WireError::Malformed);
+        }
+        if d[0] & 0x0f != 5 {
+            // Options are never emitted by the simulator; reject rather than
+            // silently mis-slice the payload.
+            return Err(WireError::Malformed);
+        }
+        if (pkt.total_len() as usize) > len {
+            return Err(WireError::Malformed);
+        }
+        Ok(pkt)
+    }
+
+    /// Consumes the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Total length field (header + payload).
+    pub fn total_len(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[2], d[3]])
+    }
+
+    /// Identification field.
+    pub fn ident(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[4], d[5]])
+    }
+
+    /// Time-to-live.
+    pub fn ttl(&self) -> u8 {
+        self.buffer.as_ref()[8]
+    }
+
+    /// Protocol field.
+    pub fn protocol(&self) -> IpProtocol {
+        IpProtocol::from(self.buffer.as_ref()[9])
+    }
+
+    /// Header checksum field.
+    pub fn checksum(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[10], d[11]])
+    }
+
+    /// Source address.
+    pub fn src_addr(&self) -> Ipv4Addr {
+        let d = self.buffer.as_ref();
+        Ipv4Addr::new(d[12], d[13], d[14], d[15])
+    }
+
+    /// Destination address.
+    pub fn dst_addr(&self) -> Ipv4Addr {
+        let d = self.buffer.as_ref();
+        Ipv4Addr::new(d[16], d[17], d[18], d[19])
+    }
+
+    /// True if the header checksum verifies.
+    pub fn verify_checksum(&self) -> bool {
+        let d = &self.buffer.as_ref()[..IPV4_HEADER_LEN];
+        fold_checksum(ones_complement_sum(0, d)) == 0
+    }
+
+    /// The payload as declared by the total-length field.
+    pub fn payload(&self) -> &[u8] {
+        let end = self.total_len() as usize;
+        &self.buffer.as_ref()[IPV4_HEADER_LEN..end]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
+    /// Writes version (4), IHL (5), DSCP 0 and sets total length.
+    pub fn init(&mut self, total_len: u16) {
+        let d = self.buffer.as_mut();
+        d[0] = 0x45;
+        d[1] = 0;
+        d[2..4].copy_from_slice(&total_len.to_be_bytes());
+        d[6..8].copy_from_slice(&0u16.to_be_bytes()); // flags/fragment: none
+    }
+
+    /// Sets the identification field.
+    pub fn set_ident(&mut self, v: u16) {
+        self.buffer.as_mut()[4..6].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Sets the time-to-live.
+    pub fn set_ttl(&mut self, v: u8) {
+        self.buffer.as_mut()[8] = v;
+    }
+
+    /// Sets the protocol field.
+    pub fn set_protocol(&mut self, p: IpProtocol) {
+        self.buffer.as_mut()[9] = p.into();
+    }
+
+    /// Sets the source address.
+    pub fn set_src_addr(&mut self, a: Ipv4Addr) {
+        self.buffer.as_mut()[12..16].copy_from_slice(&a.octets());
+    }
+
+    /// Sets the destination address.
+    pub fn set_dst_addr(&mut self, a: Ipv4Addr) {
+        self.buffer.as_mut()[16..20].copy_from_slice(&a.octets());
+    }
+
+    /// Computes and stores the header checksum. Call last.
+    pub fn fill_checksum(&mut self) {
+        let d = self.buffer.as_mut();
+        d[10] = 0;
+        d[11] = 0;
+        let sum = fold_checksum(ones_complement_sum(0, &d[..IPV4_HEADER_LEN]));
+        d[10..12].copy_from_slice(&sum.to_be_bytes());
+    }
+
+    /// Mutable payload slice (up to the buffer end).
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[IPV4_HEADER_LEN..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(payload: &[u8]) -> Vec<u8> {
+        let total = IPV4_HEADER_LEN + payload.len();
+        let mut buf = vec![0u8; total];
+        let mut pkt = Ipv4Packet::new_unchecked(&mut buf[..]);
+        pkt.init(total as u16);
+        pkt.set_ident(0x1234);
+        pkt.set_ttl(64);
+        pkt.set_protocol(IpProtocol::Udp);
+        pkt.set_src_addr(Ipv4Addr::new(10, 0, 0, 1));
+        pkt.set_dst_addr(Ipv4Addr::new(192, 168, 69, 1));
+        pkt.payload_mut().copy_from_slice(payload);
+        pkt.fill_checksum();
+        buf
+    }
+
+    #[test]
+    fn roundtrip_and_checksum() {
+        let buf = build(&[1, 2, 3, 4, 5]);
+        let pkt = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(pkt.total_len() as usize, buf.len());
+        assert_eq!(pkt.ident(), 0x1234);
+        assert_eq!(pkt.ttl(), 64);
+        assert_eq!(pkt.protocol(), IpProtocol::Udp);
+        assert_eq!(pkt.src_addr(), Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(pkt.dst_addr(), Ipv4Addr::new(192, 168, 69, 1));
+        assert!(pkt.verify_checksum());
+        assert_eq!(pkt.payload(), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn corrupted_checksum_detected() {
+        let mut buf = build(&[0; 8]);
+        buf[15] ^= 0xff; // flip a source-address byte
+        let pkt = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert!(!pkt.verify_checksum());
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut buf = build(&[]);
+        buf[0] = 0x65; // version 6
+        assert_eq!(
+            Ipv4Packet::new_checked(&buf[..]).err(),
+            Some(WireError::Malformed)
+        );
+    }
+
+    #[test]
+    fn rejects_options() {
+        let mut buf = build(&[0; 8]);
+        buf[0] = 0x46; // IHL 6 => options present
+        assert_eq!(
+            Ipv4Packet::new_checked(&buf[..]).err(),
+            Some(WireError::Malformed)
+        );
+    }
+
+    #[test]
+    fn rejects_short_buffer() {
+        let buf = [0u8; 19];
+        assert_eq!(
+            Ipv4Packet::new_checked(&buf[..]).err(),
+            Some(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn rejects_length_beyond_buffer() {
+        let mut buf = build(&[0; 4]);
+        buf[2..4].copy_from_slice(&100u16.to_be_bytes());
+        assert_eq!(
+            Ipv4Packet::new_checked(&buf[..]).err(),
+            Some(WireError::Malformed)
+        );
+    }
+
+    #[test]
+    fn protocol_conversion() {
+        assert_eq!(IpProtocol::from(17), IpProtocol::Udp);
+        assert_eq!(u8::from(IpProtocol::Unknown(99)), 99);
+        assert_eq!(IpProtocol::from(6), IpProtocol::Tcp);
+        assert_eq!(IpProtocol::from(1), IpProtocol::Icmp);
+    }
+}

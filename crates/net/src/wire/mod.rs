@@ -1,0 +1,89 @@
+//! Wire formats: typed views over byte buffers, in the smoltcp idiom.
+//!
+//! Each header type wraps a buffer (`T: AsRef<[u8]>`) and exposes checked
+//! accessors; with `T: AsMut<[u8]>` it also exposes setters. `new_checked`
+//! validates lengths (and structure where applicable) so downstream code can
+//! use the infallible accessors safely.
+//!
+//! Only the protocols the trace contains are implemented: Ethernet II, IPv4
+//! (no options), and UDP. Checksums are real — dumps produced by
+//! [`crate::pcap`] are valid captures.
+
+pub mod ethernet;
+pub mod ipv4;
+pub mod udp;
+
+pub use ethernet::{EtherType, EthernetFrame, ETHERNET_HEADER_LEN};
+pub use ipv4::{Ipv4Packet, IpProtocol, IPV4_HEADER_LEN};
+pub use udp::{UdpDatagram, UDP_HEADER_LEN};
+
+/// Error type for wire-format parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than the fixed header.
+    Truncated,
+    /// A length field disagrees with the buffer, or a version/IHL field is
+    /// unsupported.
+    Malformed,
+    /// A checksum failed verification.
+    Checksum,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "buffer truncated"),
+            WireError::Malformed => write!(f, "malformed header"),
+            WireError::Checksum => write!(f, "checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// One's-complement sum over a byte slice (RFC 1071), used by IPv4 and UDP.
+pub(crate) fn ones_complement_sum(mut acc: u32, data: &[u8]) -> u32 {
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        acc += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        acc += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    acc
+}
+
+/// Folds a 32-bit accumulator into a 16-bit one's-complement checksum.
+pub(crate) fn fold_checksum(mut acc: u32) -> u16 {
+    while acc > 0xffff {
+        acc = (acc & 0xffff) + (acc >> 16);
+    }
+    !(acc as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // RFC 1071 worked example: bytes 00 01 f2 03 f4 f5 f6 f7.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        let sum = ones_complement_sum(0, &data);
+        assert_eq!(sum, 0x2ddf0);
+        assert_eq!(fold_checksum(sum), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_padded() {
+        let even = ones_complement_sum(0, &[0xab, 0x00]);
+        let odd = ones_complement_sum(0, &[0xab]);
+        assert_eq!(even, odd);
+    }
+
+    #[test]
+    fn fold_handles_carries() {
+        assert_eq!(fold_checksum(0x1_fffe), !0xffff_u16);
+        assert_eq!(fold_checksum(0), 0xffff);
+    }
+}

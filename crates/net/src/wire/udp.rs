@@ -1,0 +1,220 @@
+//! UDP datagram view, with the IPv4 pseudo-header checksum.
+
+use super::{fold_checksum, ones_complement_sum, WireError};
+use std::net::Ipv4Addr;
+
+/// Length of a UDP header.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// A typed view over a UDP datagram (header + payload).
+#[derive(Debug, Clone)]
+pub struct UdpDatagram<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> UdpDatagram<T> {
+    /// Wraps a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        UdpDatagram { buffer }
+    }
+
+    /// Wraps and validates buffer and length-field coherence.
+    pub fn new_checked(buffer: T) -> Result<Self, WireError> {
+        let len = buffer.as_ref().len();
+        if len < UDP_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let dgram = UdpDatagram { buffer };
+        let l = dgram.len() as usize;
+        if l < UDP_HEADER_LEN || l > len {
+            return Err(WireError::Malformed);
+        }
+        Ok(dgram)
+    }
+
+    /// Consumes the view, returning the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[0], d[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[2], d[3]])
+    }
+
+    /// Length field (header + payload).
+    pub fn len(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[4], d[5]])
+    }
+
+    /// True if the length field is exactly the header length (no payload).
+    pub fn is_empty(&self) -> bool {
+        self.len() as usize == UDP_HEADER_LEN
+    }
+
+    /// Checksum field.
+    pub fn checksum(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[6], d[7]])
+    }
+
+    /// The payload as declared by the length field.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[UDP_HEADER_LEN..self.len() as usize]
+    }
+
+    /// Verifies the checksum against the IPv4 pseudo-header.
+    ///
+    /// A zero checksum means "not computed" and is accepted, per RFC 768.
+    pub fn verify_checksum(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
+        if self.checksum() == 0 {
+            return true;
+        }
+        let sum = pseudo_header_sum(src, dst, self.len());
+        let sum = ones_complement_sum(sum, &self.buffer.as_ref()[..self.len() as usize]);
+        fold_checksum(sum) == 0
+    }
+}
+
+fn pseudo_header_sum(src: Ipv4Addr, dst: Ipv4Addr, udp_len: u16) -> u32 {
+    let mut acc = ones_complement_sum(0, &src.octets());
+    acc = ones_complement_sum(acc, &dst.octets());
+    acc += 17; // protocol number, zero-padded high byte
+    acc += u32::from(udp_len);
+    acc
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> UdpDatagram<T> {
+    /// Sets the source port.
+    pub fn set_src_port(&mut self, p: u16) {
+        self.buffer.as_mut()[0..2].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Sets the destination port.
+    pub fn set_dst_port(&mut self, p: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Sets the length field.
+    pub fn set_len(&mut self, l: u16) {
+        self.buffer.as_mut()[4..6].copy_from_slice(&l.to_be_bytes());
+    }
+
+    /// Mutable payload slice (up to the buffer end).
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[UDP_HEADER_LEN..]
+    }
+
+    /// Computes and stores the checksum over the pseudo-header and datagram.
+    /// Call after ports, length and payload are in place.
+    pub fn fill_checksum(&mut self, src: Ipv4Addr, dst: Ipv4Addr) {
+        let len = self.len();
+        let d = self.buffer.as_mut();
+        d[6] = 0;
+        d[7] = 0;
+        let sum = pseudo_header_sum(src, dst, len);
+        let sum = ones_complement_sum(sum, &d[..len as usize]);
+        let mut ck = fold_checksum(sum);
+        if ck == 0 {
+            // RFC 768: a computed zero is transmitted as all-ones.
+            ck = 0xffff;
+        }
+        d[6..8].copy_from_slice(&ck.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(10, 1, 2, 3);
+    const DST: Ipv4Addr = Ipv4Addr::new(192, 168, 69, 1);
+
+    fn build(payload: &[u8]) -> Vec<u8> {
+        let total = UDP_HEADER_LEN + payload.len();
+        let mut buf = vec![0u8; total];
+        let mut d = UdpDatagram::new_unchecked(&mut buf[..]);
+        d.set_src_port(27005);
+        d.set_dst_port(27015);
+        d.set_len(total as u16);
+        d.payload_mut().copy_from_slice(payload);
+        d.fill_checksum(SRC, DST);
+        buf
+    }
+
+    #[test]
+    fn roundtrip_and_checksum() {
+        let buf = build(b"move +forward");
+        let d = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert_eq!(d.src_port(), 27005);
+        assert_eq!(d.dst_port(), 27015);
+        assert_eq!(d.payload(), b"move +forward");
+        assert!(!d.is_empty());
+        assert!(d.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut buf = build(b"state update");
+        buf[UDP_HEADER_LEN] ^= 0x01;
+        let d = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert!(!d.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn wrong_pseudo_header_detected() {
+        let buf = build(b"payload");
+        let d = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert!(!d.verify_checksum(Ipv4Addr::new(10, 9, 9, 9), DST));
+    }
+
+    #[test]
+    fn zero_checksum_accepted() {
+        let mut buf = build(b"x");
+        buf[6] = 0;
+        buf[7] = 0;
+        let d = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert!(d.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn empty_payload() {
+        let buf = build(b"");
+        let d = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert!(d.is_empty());
+        assert_eq!(d.payload(), b"");
+        assert!(d.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn rejects_bad_length_field() {
+        let mut buf = build(b"abcd");
+        buf[4..6].copy_from_slice(&100u16.to_be_bytes());
+        assert_eq!(
+            UdpDatagram::new_checked(&buf[..]).err(),
+            Some(WireError::Malformed)
+        );
+        buf[4..6].copy_from_slice(&4u16.to_be_bytes());
+        assert_eq!(
+            UdpDatagram::new_checked(&buf[..]).err(),
+            Some(WireError::Malformed)
+        );
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let buf = [0u8; 7];
+        assert_eq!(
+            UdpDatagram::new_checked(&buf[..]).err(),
+            Some(WireError::Truncated)
+        );
+    }
+}

@@ -1,0 +1,380 @@
+//! Route caching with pluggable eviction policies.
+//!
+//! Section IV-B's "good news": game traffic's periodicity and tiny, frequent
+//! packets make *preferential* route caching attractive — "preferential
+//! route caching strategies based on packet size or packet frequency may
+//! provide significant improvements in packet throughput". This module
+//! implements that design space: a destination cache in front of the
+//! [`crate::table::RouteTable`], with classic (LRU/LFU) and preferential
+//! (small-packet, high-frequency) eviction policies, plus a simulator that
+//! measures hit rates and effective lookup cost over a packet stream.
+
+use crate::table::{NextHop, RouteTable};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Cache eviction policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CachePolicy {
+    /// Evict the least-recently-used destination.
+    Lru,
+    /// Evict the destination with the fewest total hits.
+    Lfu,
+    /// Evict the destination with the *largest* mean packet size first —
+    /// preferring to keep small-packet (game) flows whose per-byte lookup
+    /// cost is highest.
+    SmallPacketPreferential,
+    /// Evict the destination with the lowest packet frequency
+    /// (hits per unit residence time).
+    FrequencyPreferential,
+}
+
+impl CachePolicy {
+    /// All policies, for sweeps.
+    pub const ALL: [CachePolicy; 4] = [
+        CachePolicy::Lru,
+        CachePolicy::Lfu,
+        CachePolicy::SmallPacketPreferential,
+        CachePolicy::FrequencyPreferential,
+    ];
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry {
+    hop: NextHop,
+    last_used: u64,
+    inserted: u64,
+    hits: u64,
+    mean_size: f64,
+}
+
+/// A fixed-capacity route cache.
+#[derive(Debug)]
+pub struct RouteCache {
+    policy: CachePolicy,
+    capacity: usize,
+    entries: HashMap<Ipv4Addr, CacheEntry>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl RouteCache {
+    /// Creates a cache.
+    pub fn new(policy: CachePolicy, capacity: usize) -> Self {
+        assert!(capacity > 0);
+        RouteCache {
+            policy,
+            capacity,
+            entries: HashMap::with_capacity(capacity),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The eviction policy.
+    pub fn policy(&self) -> CachePolicy {
+        self.policy
+    }
+
+    /// Current number of cached destinations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Hit rate in `[0, 1]` (0 before any traffic).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Looks up a destination; on a hit, refreshes the entry with this
+    /// packet's size and returns the hop.
+    pub fn access(&mut self, addr: Ipv4Addr, pkt_size: u32) -> Option<NextHop> {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.entries.get_mut(&addr) {
+            Some(e) => {
+                e.last_used = clock;
+                e.hits += 1;
+                // EWMA of the flow's packet size drives the size policy.
+                e.mean_size = 0.9 * e.mean_size + 0.1 * f64::from(pkt_size);
+                self.hits += 1;
+                Some(e.hop)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Installs a destination after a miss was resolved by the full table.
+    pub fn insert(&mut self, addr: Ipv4Addr, hop: NextHop, pkt_size: u32) {
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&addr) {
+            self.evict();
+        }
+        let clock = self.clock;
+        self.entries.insert(
+            addr,
+            CacheEntry {
+                hop,
+                last_used: clock,
+                inserted: clock,
+                hits: 1,
+                mean_size: f64::from(pkt_size),
+            },
+        );
+    }
+
+    fn evict(&mut self) {
+        // Score each entry; evict the *highest* score. HashMap iteration
+        // order is unspecified, so ties break on the address bits to keep
+        // behaviour deterministic.
+        let victim = self
+            .entries
+            .iter()
+            .map(|(addr, e)| {
+                let score = match self.policy {
+                    CachePolicy::Lru => -(e.last_used as f64),
+                    CachePolicy::Lfu => -(e.hits as f64),
+                    CachePolicy::SmallPacketPreferential => e.mean_size,
+                    CachePolicy::FrequencyPreferential => {
+                        let residence = (self.clock - e.inserted).max(1) as f64;
+                        -(e.hits as f64 / residence)
+                    }
+                };
+                (score, u32::from(*addr), *addr)
+            })
+            .max_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.1.cmp(&b.1))
+            })
+            .map(|(_, _, addr)| addr);
+        if let Some(addr) = victim {
+            self.entries.remove(&addr);
+            self.evictions += 1;
+        }
+    }
+}
+
+/// Outcome of running a packet stream through cache + table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheSimResult {
+    /// Cache hit rate.
+    pub hit_rate: f64,
+    /// Mean lookup cost in trie-node visits (hits cost 1).
+    pub mean_cost: f64,
+    /// Relative throughput vs. a cache-less router (full lookup every
+    /// packet): `cost_without / cost_with`.
+    pub speedup: f64,
+    /// Packets processed.
+    pub packets: u64,
+}
+
+/// Replays `(dst, size)` packets through a cache in front of a table.
+pub fn simulate_cache(
+    table: &RouteTable,
+    policy: CachePolicy,
+    capacity: usize,
+    stream: impl Iterator<Item = (Ipv4Addr, u32)>,
+) -> CacheSimResult {
+    let mut cache = RouteCache::new(policy, capacity);
+    let mut total_cost = 0u64;
+    let mut total_full_cost = 0u64;
+    let mut packets = 0u64;
+    for (addr, size) in stream {
+        packets += 1;
+        let (_, full_cost) = table.lookup(addr);
+        total_full_cost += u64::from(full_cost);
+        match cache.access(addr, size) {
+            Some(_) => total_cost += 1,
+            None => {
+                let (hop, cost) = table.lookup(addr);
+                total_cost += u64::from(cost);
+                if let Some(hop) = hop {
+                    cache.insert(addr, hop, size);
+                }
+            }
+        }
+    }
+    let mean_cost = if packets == 0 {
+        0.0
+    } else {
+        total_cost as f64 / packets as f64
+    };
+    let speedup = if total_cost == 0 {
+        1.0
+    } else {
+        total_full_cost as f64 / total_cost as f64
+    };
+    CacheSimResult {
+        hit_rate: cache.hit_rate(),
+        mean_cost,
+        speedup,
+        packets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(a: u8, b: u8, c: u8, d: u8) -> Ipv4Addr {
+        Ipv4Addr::new(a, b, c, d)
+    }
+
+    fn table() -> RouteTable {
+        let mut t = RouteTable::new();
+        t.insert(ip(0, 0, 0, 0), 0, NextHop(0));
+        t.insert(ip(10, 0, 0, 0), 8, NextHop(1));
+        t.insert(ip(20, 0, 0, 0), 8, NextHop(2));
+        t
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = RouteCache::new(CachePolicy::Lru, 4);
+        assert_eq!(c.access(ip(10, 0, 0, 1), 40), None);
+        c.insert(ip(10, 0, 0, 1), NextHop(1), 40);
+        assert_eq!(c.access(ip(10, 0, 0, 1), 40), Some(NextHop(1)));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_coldest() {
+        let mut c = RouteCache::new(CachePolicy::Lru, 2);
+        c.insert(ip(1, 0, 0, 1), NextHop(1), 40);
+        c.insert(ip(1, 0, 0, 2), NextHop(2), 40);
+        c.access(ip(1, 0, 0, 1), 40); // 1 is now warmer
+        c.insert(ip(1, 0, 0, 3), NextHop(3), 40);
+        assert!(c.access(ip(1, 0, 0, 1), 40).is_some());
+        assert!(c.access(ip(1, 0, 0, 2), 40).is_none(), "2 was evicted");
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn lfu_keeps_hot_entries() {
+        let mut c = RouteCache::new(CachePolicy::Lfu, 2);
+        c.insert(ip(1, 0, 0, 1), NextHop(1), 40);
+        for _ in 0..10 {
+            c.access(ip(1, 0, 0, 1), 40);
+        }
+        c.insert(ip(1, 0, 0, 2), NextHop(2), 40);
+        c.insert(ip(1, 0, 0, 3), NextHop(3), 40); // evicts 2 (1 hit)
+        assert!(c.access(ip(1, 0, 0, 1), 40).is_some());
+        assert!(c.access(ip(1, 0, 0, 2), 40).is_none());
+    }
+
+    #[test]
+    fn size_preferential_keeps_small_packet_flows() {
+        let mut c = RouteCache::new(CachePolicy::SmallPacketPreferential, 2);
+        c.insert(ip(1, 0, 0, 1), NextHop(1), 40); // game flow
+        c.insert(ip(1, 0, 0, 2), NextHop(2), 1400); // bulk flow
+        c.insert(ip(1, 0, 0, 3), NextHop(3), 60); // evicts the bulk flow
+        assert!(c.access(ip(1, 0, 0, 1), 40).is_some());
+        assert!(c.access(ip(1, 0, 0, 2), 1400).is_none());
+        assert!(c.access(ip(1, 0, 0, 3), 60).is_some());
+    }
+
+    #[test]
+    fn frequency_preferential_keeps_chatty_flows() {
+        let mut c = RouteCache::new(CachePolicy::FrequencyPreferential, 2);
+        c.insert(ip(1, 0, 0, 1), NextHop(1), 40);
+        for _ in 0..20 {
+            c.access(ip(1, 0, 0, 1), 40); // high frequency
+        }
+        c.insert(ip(1, 0, 0, 2), NextHop(2), 40);
+        c.insert(ip(1, 0, 0, 3), NextHop(3), 40);
+        assert!(c.access(ip(1, 0, 0, 1), 40).is_some());
+        assert!(c.access(ip(1, 0, 0, 2), 40).is_none());
+    }
+
+    #[test]
+    fn cache_sim_game_traffic_hits_hard() {
+        // 20 destinations revisited constantly: tiny cache suffices.
+        let t = table();
+        let stream = (0..10_000u32).map(|i| (ip(10, 0, 0, (i % 20) as u8), 40u32));
+        let r = simulate_cache(&t, CachePolicy::Lru, 32, stream);
+        assert!(r.hit_rate > 0.99, "hit rate {}", r.hit_rate);
+        assert!(r.speedup > 5.0, "speedup {}", r.speedup);
+        assert_eq!(r.packets, 10_000);
+    }
+
+    #[test]
+    fn cache_sim_scan_traffic_defeats_lru() {
+        // A strict cyclic scan over more destinations than slots: LRU
+        // always evicts the entry about to be reused.
+        let t = table();
+        let stream = (0..5_000u32).map(|i| (ip(10, 0, (i % 64 / 256) as u8, (i % 64) as u8), 1400));
+        let r = simulate_cache(&t, CachePolicy::Lru, 16, stream);
+        assert!(r.hit_rate < 0.05, "hit rate {}", r.hit_rate);
+    }
+
+    #[test]
+    fn preferential_beats_lru_on_mixed_traffic() {
+        // Game flows (few, hot, tiny packets) + a wide scan of bulk flows.
+        // The size-preferential policy shields the game flows from the scan.
+        let t = table();
+        let mixed = |i: u32| -> (Ipv4Addr, u32) {
+            if i % 2 == 0 {
+                (ip(10, 0, 0, ((i / 2) % 18) as u8), 40) // 18 game clients
+            } else {
+                let x = (i / 2) % 4000;
+                (ip(20, (x / 256) as u8, (x % 256) as u8, 1), 1200) // scan
+            }
+        };
+        let lru = simulate_cache(&t, CachePolicy::Lru, 24, (0..80_000).map(mixed));
+        let pref = simulate_cache(
+            &t,
+            CachePolicy::SmallPacketPreferential,
+            24,
+            (0..80_000).map(mixed),
+        );
+        assert!(
+            pref.hit_rate > lru.hit_rate + 0.05,
+            "preferential {} vs lru {}",
+            pref.hit_rate,
+            lru.hit_rate
+        );
+    }
+
+    #[test]
+    fn empty_stream() {
+        let t = table();
+        let r = simulate_cache(&t, CachePolicy::Lru, 4, std::iter::empty());
+        assert_eq!(r.packets, 0);
+        assert_eq!(r.mean_cost, 0.0);
+        assert_eq!(r.speedup, 1.0);
+    }
+}

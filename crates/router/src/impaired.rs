@@ -1,0 +1,132 @@
+//! An impairment wrapper around any [`Middlebox`]: applies a
+//! [`FaultInjector`] (random drop / corruption / token-bucket shaping)
+//! before delegating. Composes the smoltcp-style fault-injection layer with
+//! the NAT device, e.g. to study how background loss stacks with the
+//! device's own queue loss — the paper's observation that players self-tune
+//! to the worst tolerable loss means small additions matter.
+
+use csprov_game::{Deliver, Middlebox};
+use csprov_net::{FaultConfig, FaultInjector, FaultStats, Packet};
+use csprov_sim::{RngStream, Simulator};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A middlebox that impairs traffic before (optionally) forwarding it on to
+/// an inner middlebox.
+pub struct ImpairedPath {
+    injector: RefCell<FaultInjector>,
+    inner: Option<Rc<dyn Middlebox>>,
+}
+
+impl ImpairedPath {
+    /// Wraps `inner` with the given impairments.
+    pub fn new(config: FaultConfig, rng: RngStream, inner: Option<Rc<dyn Middlebox>>) -> Self {
+        ImpairedPath {
+            injector: RefCell::new(FaultInjector::new(config, rng)),
+            inner,
+        }
+    }
+
+    /// Handles to the impairment counters.
+    pub fn stats(&self) -> FaultStats {
+        self.injector.borrow().stats()
+    }
+}
+
+impl Middlebox for ImpairedPath {
+    fn forward(&self, sim: &mut Simulator, pkt: Packet, deliver: Deliver) {
+        if !self.injector.borrow_mut().admit(sim.now(), &pkt) {
+            return;
+        }
+        match &self.inner {
+            Some(inner) => inner.forward(sim, pkt, deliver),
+            None => deliver(sim, pkt),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::nat::{NatDevice, NatTaps};
+    use csprov_net::{client_endpoint, server_endpoint, Direction, PacketKind};
+    use csprov_sim::SimTime;
+
+    fn pkt(i: u32) -> Packet {
+        Packet {
+            src: client_endpoint(i),
+            dst: server_endpoint(),
+            app_len: 40,
+            kind: PacketKind::ClientCommand,
+            session: i,
+            direction: Direction::Inbound,
+            sent_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn passthrough_without_inner() {
+        let path = ImpairedPath::new(FaultConfig::default(), RngStream::new(1), None);
+        let mut sim = Simulator::new();
+        let delivered = Rc::new(RefCell::new(0));
+        for i in 0..100 {
+            let d = delivered.clone();
+            path.forward(&mut sim, pkt(i), Box::new(move |_, _| *d.borrow_mut() += 1));
+        }
+        sim.run();
+        assert_eq!(*delivered.borrow(), 100);
+        assert_eq!(path.stats().passed.get(), 100);
+    }
+
+    #[test]
+    fn drops_before_inner_device() {
+        let nat = Rc::new(NatDevice::new(EngineConfig::default(), NatTaps::default()));
+        let path = ImpairedPath::new(
+            FaultConfig {
+                drop_chance: 0.5,
+                ..Default::default()
+            },
+            RngStream::new(2),
+            Some(nat.clone()),
+        );
+        let mut sim = Simulator::new();
+        for i in 0..1_000 {
+            path.forward(&mut sim, pkt(i % 5), Box::new(|_, _| {}));
+            sim.run();
+        }
+        let dropped = path.stats().dropped.get();
+        assert!((400..600).contains(&dropped), "dropped {dropped}");
+        // Only survivors reached the NAT engine.
+        assert_eq!(
+            nat.stats().offered[0].get(),
+            1_000 - dropped,
+            "inner sees exactly the survivors"
+        );
+    }
+
+    #[test]
+    fn impairment_composes_with_delivery() {
+        // Shaped to 10 pps: a 100-packet burst mostly sheds.
+        let path = ImpairedPath::new(
+            FaultConfig {
+                rate_limit: Some(csprov_net::RateLimit {
+                    burst: 10.0,
+                    packets_per_sec: 10.0,
+                }),
+                ..Default::default()
+            },
+            RngStream::new(3),
+            None,
+        );
+        let mut sim = Simulator::new();
+        let delivered = Rc::new(RefCell::new(0));
+        for i in 0..100 {
+            let d = delivered.clone();
+            path.forward(&mut sim, pkt(i), Box::new(move |_, _| *d.borrow_mut() += 1));
+        }
+        sim.run();
+        assert_eq!(*delivered.borrow(), 10);
+        assert_eq!(path.stats().shaped.get(), 90);
+    }
+}

@@ -1,0 +1,291 @@
+//! The NAT device of Section IV: translation table + forwarding engine +
+//! tap points, implementing the game world's [`Middlebox`] interface.
+//!
+//! Four taps mirror the paper's measurement setup (Table IV, Figures 14/15):
+//! `clients → NAT`, `NAT → server` (inbound pair) and `server → NAT`,
+//! `NAT → clients` (outbound pair).
+
+use crate::engine::{EngineConfig, EngineStats, ForwardingEngine};
+use csprov_game::{Deliver, Middlebox};
+use csprov_net::{Direction, Packet, TraceRecord, TraceSink};
+use csprov_sim::{SimDuration, SimTime, Simulator};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Dynamic port-translation table with idle expiry.
+///
+/// The game server sits on the LAN side; each client flow gets an external
+/// port mapping on first sight, refreshed by traffic in either direction.
+#[derive(Debug)]
+pub struct NatTable {
+    mappings: HashMap<u32, NatEntry>,
+    next_port: u16,
+    idle_timeout: SimDuration,
+    capacity: usize,
+}
+
+/// One translation entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NatEntry {
+    /// External (WAN-side) port assigned to the flow.
+    pub external_port: u16,
+    /// Last packet time in either direction.
+    pub last_used: SimTime,
+}
+
+impl NatTable {
+    /// Creates a table with the given idle timeout and entry capacity.
+    pub fn new(idle_timeout: SimDuration, capacity: usize) -> Self {
+        NatTable {
+            mappings: HashMap::new(),
+            next_port: 1024,
+            idle_timeout,
+            capacity,
+        }
+    }
+
+    /// Number of live mappings.
+    pub fn len(&self) -> usize {
+        self.mappings.len()
+    }
+
+    /// True if the table has no mappings.
+    pub fn is_empty(&self) -> bool {
+        self.mappings.is_empty()
+    }
+
+    /// Looks up a flow's entry without refreshing it.
+    pub fn get(&self, session: u32) -> Option<&NatEntry> {
+        self.mappings.get(&session)
+    }
+
+    /// Touches (or creates) the mapping for `session`; returns its external
+    /// port, or `None` if the table is full and no entry could be made.
+    pub fn touch(&mut self, session: u32, now: SimTime) -> Option<u16> {
+        if let Some(e) = self.mappings.get_mut(&session) {
+            e.last_used = now;
+            return Some(e.external_port);
+        }
+        if self.mappings.len() >= self.capacity {
+            self.expire(now);
+            if self.mappings.len() >= self.capacity {
+                return None;
+            }
+        }
+        let port = self.next_port;
+        self.next_port = self.next_port.checked_add(1).unwrap_or(1024);
+        self.mappings.insert(
+            session,
+            NatEntry {
+                external_port: port,
+                last_used: now,
+            },
+        );
+        Some(port)
+    }
+
+    /// Evicts entries idle longer than the timeout; returns how many.
+    pub fn expire(&mut self, now: SimTime) -> usize {
+        let timeout = self.idle_timeout;
+        let before = self.mappings.len();
+        self.mappings
+            .retain(|_, e| now.saturating_since(e.last_used) <= timeout);
+        before - self.mappings.len()
+    }
+}
+
+/// Optional per-tap sinks for the four measurement points.
+#[derive(Default)]
+pub struct NatTaps {
+    /// Clients → NAT (inbound, before forwarding).
+    pub clients_to_nat: Option<Rc<RefCell<dyn TraceSink>>>,
+    /// NAT → server (inbound, after forwarding).
+    pub nat_to_server: Option<Rc<RefCell<dyn TraceSink>>>,
+    /// Server → NAT (outbound, before forwarding).
+    pub server_to_nat: Option<Rc<RefCell<dyn TraceSink>>>,
+    /// NAT → clients (outbound, after forwarding).
+    pub nat_to_clients: Option<Rc<RefCell<dyn TraceSink>>>,
+}
+
+fn tap(t: &Option<Rc<RefCell<dyn TraceSink>>>, now: SimTime, pkt: &Packet) {
+    if let Some(s) = t {
+        s.borrow_mut().on_packet(&TraceRecord::from_packet(now, pkt));
+    }
+}
+
+/// The commercial-off-the-shelf NAT device (SMC Barricade stand-in).
+pub struct NatDevice {
+    engine: ForwardingEngine,
+    table: RefCell<NatTable>,
+    taps: NatTaps,
+    /// Packets dropped because the translation table was full.
+    pub table_drops: csprov_sim::Counter,
+}
+
+impl NatDevice {
+    /// Creates a device with the given engine configuration and taps.
+    pub fn new(config: EngineConfig, taps: NatTaps) -> Self {
+        NatDevice {
+            engine: ForwardingEngine::new(config),
+            table: RefCell::new(NatTable::new(SimDuration::from_secs(300), 4096)),
+            taps,
+            table_drops: csprov_sim::Counter::new(),
+        }
+    }
+
+    /// Engine counters (Table IV's loss accounting).
+    pub fn stats(&self) -> EngineStats {
+        self.engine.stats()
+    }
+
+    /// Live NAT-table size.
+    pub fn table_len(&self) -> usize {
+        self.table.borrow().len()
+    }
+}
+
+impl Middlebox for NatDevice {
+    fn forward(&self, sim: &mut Simulator, pkt: Packet, deliver: Deliver) {
+        let now = sim.now();
+        match pkt.direction {
+            Direction::Inbound => tap(&self.taps.clients_to_nat, now, &pkt),
+            Direction::Outbound => tap(&self.taps.server_to_nat, now, &pkt),
+        }
+        // Sessionless probe traffic shares one implicit mapping (the
+        // server's static port-forward); session flows get dynamic entries.
+        if pkt.session != u32::MAX && self.table.borrow_mut().touch(pkt.session, now).is_none() {
+            self.table_drops.incr();
+            return;
+        }
+        let taps_post_in = self.taps.nat_to_server.clone();
+        let taps_post_out = self.taps.nat_to_clients.clone();
+        self.engine.submit(sim, pkt, move |sim, pkt| {
+            let now = sim.now();
+            match pkt.direction {
+                Direction::Inbound => tap(&taps_post_in, now, &pkt),
+                Direction::Outbound => tap(&taps_post_out, now, &pkt),
+            }
+            deliver(sim, pkt);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csprov_net::{client_endpoint, server_endpoint, CountingSink, PacketKind};
+
+    fn pkt(session: u32, dir: Direction) -> Packet {
+        let (src, dst) = match dir {
+            Direction::Inbound => (client_endpoint(session), server_endpoint()),
+            Direction::Outbound => (server_endpoint(), client_endpoint(session)),
+        };
+        Packet {
+            src,
+            dst,
+            app_len: 40,
+            kind: PacketKind::ClientCommand,
+            session,
+            direction: dir,
+            sent_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn nat_table_assigns_stable_ports() {
+        let mut t = NatTable::new(SimDuration::from_secs(60), 16);
+        let p1 = t.touch(1, SimTime::ZERO).unwrap();
+        let p2 = t.touch(2, SimTime::ZERO).unwrap();
+        assert_ne!(p1, p2);
+        assert_eq!(t.touch(1, SimTime::from_secs(1)), Some(p1));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(1).unwrap().external_port, p1);
+    }
+
+    #[test]
+    fn nat_table_expires_idle_entries() {
+        let mut t = NatTable::new(SimDuration::from_secs(60), 16);
+        t.touch(1, SimTime::ZERO);
+        t.touch(2, SimTime::from_secs(50));
+        let evicted = t.expire(SimTime::from_secs(90));
+        assert_eq!(evicted, 1);
+        assert!(t.get(1).is_none());
+        assert!(t.get(2).is_some());
+    }
+
+    #[test]
+    fn nat_table_full_behaviour() {
+        let mut t = NatTable::new(SimDuration::from_secs(60), 2);
+        assert!(t.touch(1, SimTime::ZERO).is_some());
+        assert!(t.touch(2, SimTime::ZERO).is_some());
+        // Full, nothing idle: refused.
+        assert!(t.touch(3, SimTime::from_secs(1)).is_none());
+        // After the others idle out, a new flow fits.
+        assert!(t.touch(3, SimTime::from_secs(120)).is_some());
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn device_taps_see_pre_and_post_streams() {
+        let pre = Rc::new(RefCell::new(CountingSink::new()));
+        let post = Rc::new(RefCell::new(CountingSink::new()));
+        let taps = NatTaps {
+            clients_to_nat: Some(pre.clone()),
+            nat_to_server: Some(post.clone()),
+            ..Default::default()
+        };
+        let dev = NatDevice::new(
+            EngineConfig {
+                lookup_time: SimDuration::from_micros(500),
+                wan_queue: 2,
+                lan_queue: 2,
+                ..EngineConfig::default()
+            },
+            taps,
+        );
+        let mut sim = Simulator::new();
+        // 6 simultaneous inbound: 1 in service + 2 queued survive.
+        for i in 0..6 {
+            dev.forward(&mut sim, pkt(i, Direction::Inbound), Box::new(|_, _| {}));
+        }
+        sim.run();
+        assert_eq!(pre.borrow().total_packets(), 6, "pre-tap sees all offers");
+        assert_eq!(post.borrow().total_packets(), 3, "post-tap sees survivors");
+        assert_eq!(dev.stats().dropped[0].get(), 3);
+        assert_eq!(dev.table_len(), 6);
+    }
+
+    #[test]
+    fn outbound_uses_lan_queue_and_taps() {
+        let pre = Rc::new(RefCell::new(CountingSink::new()));
+        let post = Rc::new(RefCell::new(CountingSink::new()));
+        let dev = NatDevice::new(
+            EngineConfig::default(),
+            NatTaps {
+                server_to_nat: Some(pre.clone()),
+                nat_to_clients: Some(post.clone()),
+                ..Default::default()
+            },
+        );
+        let mut sim = Simulator::new();
+        for i in 0..20 {
+            dev.forward(&mut sim, pkt(i, Direction::Outbound), Box::new(|_, _| {}));
+        }
+        sim.run();
+        // Default LAN queue (26) absorbs a full tick burst.
+        assert_eq!(pre.borrow().total_packets(), 20);
+        assert_eq!(post.borrow().total_packets(), 20);
+        assert_eq!(dev.stats().dropped[1].get(), 0);
+    }
+
+    #[test]
+    fn probe_traffic_bypasses_table() {
+        let dev = NatDevice::new(EngineConfig::default(), NatTaps::default());
+        let mut sim = Simulator::new();
+        dev.forward(&mut sim, pkt(u32::MAX, Direction::Inbound), Box::new(|_, _| {}));
+        sim.run();
+        assert_eq!(dev.table_len(), 0);
+        assert_eq!(dev.stats().forwarded[0].get(), 1);
+    }
+}

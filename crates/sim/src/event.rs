@@ -1,0 +1,242 @@
+//! The event queue: a time-ordered priority queue of scheduled actions.
+//!
+//! Ordering is total and deterministic: events fire in `(time, sequence)`
+//! order, where `sequence` is the order of scheduling. This tie-break makes
+//! simulations reproducible even when many events share a timestamp (the
+//! common case here — a server tick enqueues one packet per player at the
+//! same instant).
+
+use crate::time::SimTime;
+use std::cell::Cell;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::rc::Rc;
+
+/// Identifier of a scheduled event (its scheduling sequence number).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(pub(crate) u64);
+
+/// A handle that can cancel a scheduled event.
+///
+/// Cancellation is lazy: the entry stays in the heap and is discarded when
+/// popped. This keeps cancel O(1) and the queue free of tombstone management.
+#[derive(Debug, Clone)]
+pub struct EventHandle {
+    id: EventId,
+    cancelled: Rc<Cell<bool>>,
+}
+
+impl EventHandle {
+    /// The event's id.
+    pub fn id(&self) -> EventId {
+        self.id
+    }
+
+    /// Cancels the event if it has not fired yet. Idempotent.
+    pub fn cancel(&self) {
+        self.cancelled.set(true);
+    }
+
+    /// True if `cancel` has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.get()
+    }
+}
+
+pub(crate) struct Scheduled<A> {
+    pub at: SimTime,
+    pub id: EventId,
+    pub cancelled: Option<Rc<Cell<bool>>>,
+    pub action: A,
+}
+
+impl<A> PartialEq for Scheduled<A> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.id == other.id
+    }
+}
+impl<A> Eq for Scheduled<A> {}
+
+impl<A> PartialOrd for Scheduled<A> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<A> Ord for Scheduled<A> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, id) pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.id.0.cmp(&self.id.0))
+    }
+}
+
+/// A deterministic time-ordered queue of actions of type `A`.
+pub struct EventQueue<A> {
+    heap: BinaryHeap<Scheduled<A>>,
+    next_id: u64,
+}
+
+impl<A> Default for EventQueue<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A> EventQueue<A> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Number of entries (including lazily-cancelled ones).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no entries are queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `action` at time `at`; returns its id.
+    pub fn push(&mut self, at: SimTime, action: A) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.heap.push(Scheduled {
+            at,
+            id,
+            cancelled: None,
+            action,
+        });
+        id
+    }
+
+    /// Schedules a cancellable `action` at time `at`; returns a handle.
+    pub fn push_cancellable(&mut self, at: SimTime, action: A) -> EventHandle {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        let flag = Rc::new(Cell::new(false));
+        self.heap.push(Scheduled {
+            at,
+            id,
+            cancelled: Some(flag.clone()),
+            action,
+        });
+        EventHandle {
+            id,
+            cancelled: flag,
+        }
+    }
+
+    /// Pops the earliest non-cancelled event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, EventId, A)> {
+        while let Some(ev) = self.heap.pop() {
+            if let Some(flag) = &ev.cancelled {
+                if flag.get() {
+                    continue;
+                }
+            }
+            return Some((ev.at, ev.id, ev.action));
+        }
+        None
+    }
+
+    /// The timestamp of the earliest pending (non-cancelled) event.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drop cancelled heads so the peeked time is accurate.
+        while let Some(ev) = self.heap.peek() {
+            match &ev.cancelled {
+                Some(flag) if flag.get() => {
+                    self.heap.pop();
+                }
+                _ => return Some(ev.at),
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(30), "c");
+        q.push(SimTime::from_millis(10), "a");
+        q.push(SimTime::from_millis(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, _, a)| a)).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, _, a)| a)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellation_skips_event() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(1), "keep1");
+        let h = q.push_cancellable(SimTime::from_secs(2), "drop");
+        q.push(SimTime::from_secs(3), "keep2");
+        assert!(!h.is_cancelled());
+        h.cancel();
+        assert!(h.is_cancelled());
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, _, a)| a)).collect();
+        assert_eq!(order, ["keep1", "keep2"]);
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let h = q.push_cancellable(SimTime::from_secs(1), ());
+        assert!(q.pop().is_some());
+        h.cancel(); // must not panic or corrupt anything
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let h = q.push_cancellable(SimTime::from_secs(1), ());
+        q.push(SimTime::from_secs(5), ());
+        h.cancel();
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn empty_queue() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(2), 2);
+        q.push(SimTime::from_secs(4), 4);
+        assert_eq!(q.pop().unwrap().2, 2);
+        q.push(SimTime::from_secs(3), 3);
+        q.push(SimTime::from_secs(1), 1);
+        assert_eq!(q.pop().unwrap().2, 1);
+        assert_eq!(q.pop().unwrap().2, 3);
+        assert_eq!(q.pop().unwrap().2, 4);
+    }
+}

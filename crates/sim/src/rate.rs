@@ -1,0 +1,159 @@
+//! Rate limiting primitives.
+//!
+//! [`TokenBucket`] is used for the server's content-download rate limiter and
+//! for fault-injection shaping (mirroring the `--tx-rate-limit` /
+//! `--shaping-interval` knobs smoltcp's examples expose). Time is passed in
+//! explicitly so the bucket stays a pure value type the simulator can drive.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A token bucket: capacity `burst` tokens, refilled at `rate` tokens/second.
+///
+/// Tokens are tracked fractionally so low rates (e.g. 2.5 packets/sec) work
+/// without accumulating rounding error.
+///
+/// ```
+/// use csprov_sim::{SimTime, TokenBucket};
+///
+/// let mut tb = TokenBucket::new(10.0, 2.0); // 10 tok/s, burst 2
+/// assert!(tb.try_consume(SimTime::ZERO, 2.0));
+/// assert!(!tb.try_consume(SimTime::ZERO, 1.0));
+/// assert!(tb.try_consume(SimTime::from_millis(100), 1.0)); // refilled
+/// ```
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate_per_sec: f64,
+    burst: f64,
+    tokens: f64,
+    last_refill: SimTime,
+}
+
+impl TokenBucket {
+    /// Creates a bucket that starts full.
+    pub fn new(rate_per_sec: f64, burst: f64) -> Self {
+        assert!(rate_per_sec > 0.0 && rate_per_sec.is_finite());
+        assert!(burst > 0.0 && burst.is_finite());
+        TokenBucket {
+            rate_per_sec,
+            burst,
+            tokens: burst,
+            last_refill: SimTime::ZERO,
+        }
+    }
+
+    /// The configured refill rate in tokens per second.
+    pub fn rate(&self) -> f64 {
+        self.rate_per_sec
+    }
+
+    /// The configured burst capacity.
+    pub fn burst(&self) -> f64 {
+        self.burst
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        let elapsed = now.saturating_since(self.last_refill);
+        if !elapsed.is_zero() {
+            self.tokens =
+                (self.tokens + elapsed.as_secs_f64() * self.rate_per_sec).min(self.burst);
+            self.last_refill = now;
+        }
+    }
+
+    /// Current token level at time `now`.
+    pub fn available(&mut self, now: SimTime) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+
+    /// Attempts to consume `cost` tokens at time `now`; returns whether it
+    /// succeeded. On failure, no tokens are consumed.
+    pub fn try_consume(&mut self, now: SimTime, cost: f64) -> bool {
+        assert!(cost >= 0.0);
+        self.refill(now);
+        if self.tokens >= cost {
+            self.tokens -= cost;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Time until `cost` tokens will be available (zero if already available).
+    ///
+    /// Useful for scheduling a retry event instead of polling.
+    pub fn time_until_available(&mut self, now: SimTime, cost: f64) -> SimDuration {
+        self.refill(now);
+        if self.tokens >= cost {
+            SimDuration::ZERO
+        } else {
+            let deficit = cost - self.tokens;
+            SimDuration::from_secs_f64(deficit / self.rate_per_sec)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_full_and_drains() {
+        let mut tb = TokenBucket::new(10.0, 5.0);
+        let t0 = SimTime::ZERO;
+        for _ in 0..5 {
+            assert!(tb.try_consume(t0, 1.0));
+        }
+        assert!(!tb.try_consume(t0, 1.0), "bucket should be empty");
+    }
+
+    #[test]
+    fn refills_over_time() {
+        let mut tb = TokenBucket::new(10.0, 5.0);
+        let t0 = SimTime::ZERO;
+        assert!(tb.try_consume(t0, 5.0));
+        assert!(!tb.try_consume(t0, 1.0));
+        // After 200 ms at 10 tok/s, 2 tokens are back.
+        let t1 = SimTime::from_millis(200);
+        assert!(tb.try_consume(t1, 2.0));
+        assert!(!tb.try_consume(t1, 0.5));
+    }
+
+    #[test]
+    fn capped_at_burst() {
+        let mut tb = TokenBucket::new(100.0, 3.0);
+        let later = SimTime::from_secs(1000);
+        assert!((tb.available(later) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_until_available() {
+        let mut tb = TokenBucket::new(10.0, 5.0);
+        let t0 = SimTime::ZERO;
+        assert!(tb.try_consume(t0, 5.0));
+        let wait = tb.time_until_available(t0, 1.0);
+        assert_eq!(wait, SimDuration::from_millis(100));
+        // After the wait, consumption succeeds.
+        let t1 = t0 + wait;
+        assert!(tb.try_consume(t1, 1.0));
+        assert_eq!(tb.time_until_available(t1, 0.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn fractional_rates() {
+        let mut tb = TokenBucket::new(0.5, 1.0); // one token every 2 s
+        let t0 = SimTime::ZERO;
+        assert!(tb.try_consume(t0, 1.0));
+        assert!(!tb.try_consume(SimTime::from_secs(1), 1.0));
+        assert!(tb.try_consume(SimTime::from_secs(2), 1.0));
+    }
+
+    #[test]
+    fn failed_consume_preserves_tokens() {
+        let mut tb = TokenBucket::new(10.0, 5.0);
+        let t0 = SimTime::ZERO;
+        assert!(!tb.try_consume(t0, 6.0));
+        assert!((tb.available(t0) - 5.0).abs() < 1e-9);
+        assert!(tb.try_consume(t0, 5.0));
+    }
+}

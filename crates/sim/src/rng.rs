@@ -1,0 +1,314 @@
+//! Deterministic random number generation.
+//!
+//! The simulator owns its PRNG implementation (xoshiro256++ seeded through
+//! SplitMix64) instead of depending on `StdRng`'s unspecified algorithm, so
+//! that a given seed produces the same trace on every platform and across
+//! dependency upgrades. [`RngStream`] implements [`rand::RngCore`], so it
+//! composes with the `rand` ecosystem where convenient.
+//!
+//! Streams are *derived by label*: every subsystem asks for its own stream
+//! (`root.derive("sessions")`), which decorrelates subsystems and keeps a
+//! run reproducible even when unrelated subsystems change how much
+//! randomness they consume.
+
+use rand::RngCore;
+
+/// SplitMix64 step; used for seeding and label hashing.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a hash of a label, used to derive per-subsystem stream seeds.
+fn hash_label(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A deterministic PRNG stream (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct RngStream {
+    s: [u64; 4],
+}
+
+impl RngStream {
+    /// Creates the root stream for a simulation run.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // xoshiro must not be seeded with all zeros; splitmix64 of any seed
+        // cannot produce four zero outputs, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 1;
+        }
+        RngStream { s }
+    }
+
+    /// Derives an independent child stream identified by `label`.
+    ///
+    /// Deriving the same label twice from the same parent state yields the
+    /// same stream; the parent is not advanced.
+    pub fn derive(&self, label: &str) -> RngStream {
+        let mut sm = self.s[0]
+            ^ self.s[1].rotate_left(17)
+            ^ self.s[2].rotate_left(31)
+            ^ self.s[3].rotate_left(47)
+            ^ hash_label(label);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        if s == [0, 0, 0, 0] {
+            s[0] = 1;
+        }
+        RngStream { s }
+    }
+
+    /// Derives an independent child stream identified by a label and index
+    /// (e.g. one stream per client).
+    pub fn derive_indexed(&self, label: &str, index: u64) -> RngStream {
+        let child = self.derive(label);
+        let mut sm = child.s[0] ^ index.wrapping_mul(0xA24B_AED4_963E_E407);
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        if s == [0, 0, 0, 0] {
+            s[0] = 1;
+        }
+        RngStream { s }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64_raw(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64_raw() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform float in `(0, 1]`; safe as input to `ln()`.
+    #[inline]
+    pub fn next_f64_open(&mut self) -> f64 {
+        ((self.next_u64_raw() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)` using Lemire's rejection method (unbiased).
+    #[inline]
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "next_below(0)");
+        let mut x = self.next_u64_raw();
+        let mut m = (x as u128) * (n as u128);
+        let mut l = m as u64;
+        if l < n {
+            let t = n.wrapping_neg() % n;
+            while l < t {
+                x = self.next_u64_raw();
+                m = (x as u128) * (n as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    #[inline]
+    pub fn next_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi);
+        lo + self.next_below(hi - lo + 1)
+    }
+
+    /// Returns true with probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        self.next_f64() < p
+    }
+
+    /// Picks a uniformly random element of `slice`, or `None` if empty.
+    pub fn pick<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.next_below(slice.len() as u64) as usize])
+        }
+    }
+}
+
+impl RngCore for RngStream {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64_raw() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_raw()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64_raw().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64_raw().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = RngStream::new(42);
+        let mut b = RngStream::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64_raw(), b.next_u64_raw());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = RngStream::new(1);
+        let mut b = RngStream::new(2);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64_raw()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64_raw()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn derive_is_stable_and_independent() {
+        let root = RngStream::new(7);
+        let mut c1 = root.derive("sessions");
+        let mut c2 = root.derive("sessions");
+        let mut c3 = root.derive("packets");
+        let v1: Vec<u64> = (0..8).map(|_| c1.next_u64_raw()).collect();
+        let v2: Vec<u64> = (0..8).map(|_| c2.next_u64_raw()).collect();
+        let v3: Vec<u64> = (0..8).map(|_| c3.next_u64_raw()).collect();
+        assert_eq!(v1, v2, "same label must derive same stream");
+        assert_ne!(v1, v3, "different labels must derive different streams");
+    }
+
+    #[test]
+    fn derive_indexed_distinct() {
+        let root = RngStream::new(7);
+        let mut a = root.derive_indexed("client", 0);
+        let mut b = root.derive_indexed("client", 1);
+        assert_ne!(a.next_u64_raw(), b.next_u64_raw());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = RngStream::new(3);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            let y = r.next_f64_open();
+            assert!(y > 0.0 && y <= 1.0);
+        }
+    }
+
+    #[test]
+    fn next_below_unbiased_small() {
+        // Every residue must be reachable and roughly uniform.
+        let mut r = RngStream::new(9);
+        let mut counts = [0u32; 7];
+        let n = 70_000;
+        for _ in 0..n {
+            counts[r.next_below(7) as usize] += 1;
+        }
+        let expected = n as f64 / 7.0;
+        for &c in &counts {
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.1,
+                "count {c} too far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn next_range_inclusive() {
+        let mut r = RngStream::new(11);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..10_000 {
+            let x = r.next_range(5, 8);
+            assert!((5..=8).contains(&x));
+            saw_lo |= x == 5;
+            saw_hi |= x == 8;
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn chance_rates() {
+        let mut r = RngStream::new(13);
+        let hits = (0..100_000).filter(|_| r.chance(0.25)).count();
+        assert!((hits as f64 - 25_000.0).abs() < 1_000.0, "hits = {hits}");
+        assert_eq!((0..100).filter(|_| r.chance(0.0)).count(), 0);
+        assert_eq!((0..100).filter(|_| r.chance(1.0)).count(), 100);
+    }
+
+    #[test]
+    fn mean_of_uniform_draws() {
+        let mut r = RngStream::new(17);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.next_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_remainder() {
+        let mut r = RngStream::new(19);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        // Probability all 13 bytes are zero is negligible.
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn pick_from_slice() {
+        let mut r = RngStream::new(23);
+        let items = [10, 20, 30];
+        for _ in 0..100 {
+            assert!(items.contains(r.pick(&items).unwrap()));
+        }
+        let empty: [u32; 0] = [];
+        assert!(r.pick(&empty).is_none());
+    }
+}

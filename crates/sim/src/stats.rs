@@ -1,0 +1,144 @@
+//! Lightweight counters and gauges for instrumenting simulated components.
+//!
+//! Components expose shared handles (`Counter`, `Gauge`) that the analysis
+//! layer can read after — or during — a run. Single-threaded `Cell`-based
+//! implementations keep the hot path to a load+store.
+
+use std::cell::Cell;
+use std::fmt;
+use std::rc::Rc;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Rc<Cell<u64>>);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get() + n);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.get())
+    }
+}
+
+/// An instantaneous level (e.g. players connected, queue occupancy).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Rc<Cell<i64>>);
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adjusts the level by `delta` (may be negative).
+    #[inline]
+    pub fn adjust(&self, delta: i64) {
+        self.0.set(self.0.get() + delta);
+    }
+
+    /// Sets the level.
+    pub fn set(&self, value: i64) {
+        self.0.set(value);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.get()
+    }
+}
+
+/// Running byte/packet totals for one direction of a tap point.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficTotals {
+    /// Packets observed.
+    pub packets: Counter,
+    /// Application-payload bytes observed.
+    pub app_bytes: Counter,
+    /// On-the-wire bytes observed (payload + all header overhead).
+    pub wire_bytes: Counter,
+}
+
+impl TrafficTotals {
+    /// Creates zeroed totals.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one packet with the given payload and wire sizes.
+    #[inline]
+    pub fn record(&self, app_bytes: u64, wire_bytes: u64) {
+        self.packets.incr();
+        self.app_bytes.add(app_bytes);
+        self.wire_bytes.add(wire_bytes);
+    }
+
+    /// Mean application payload size in bytes (0 if no packets).
+    pub fn mean_app_size(&self) -> f64 {
+        let p = self.packets.get();
+        if p == 0 {
+            0.0
+        } else {
+            self.app_bytes.get() as f64 / p as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_shares() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c.incr();
+        c2.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c2.get(), 5);
+        assert_eq!(c.to_string(), "5");
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = Gauge::new();
+        g.adjust(3);
+        g.adjust(-5);
+        assert_eq!(g.get(), -2);
+        g.set(10);
+        assert_eq!(g.get(), 10);
+    }
+
+    #[test]
+    fn traffic_totals_mean() {
+        let t = TrafficTotals::new();
+        assert_eq!(t.mean_app_size(), 0.0);
+        t.record(40, 94);
+        t.record(60, 114);
+        assert_eq!(t.packets.get(), 2);
+        assert_eq!(t.app_bytes.get(), 100);
+        assert_eq!(t.wire_bytes.get(), 208);
+        assert!((t.mean_app_size() - 50.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,20 @@
+//! # csprov-web — bulk TCP cross-traffic
+//!
+//! Section IV-A of the paper frames its warning by contrast: routers are
+//! provisioned for "bulk data transfers using TCP" whose data segments are
+//! "close to an order of magnitude larger than game traffic". This crate
+//! provides that traffic class so the contrast can be measured rather than
+//! asserted:
+//!
+//! - [`tcp`] — a compact ACK-clocked TCP sender (slow start, congestion
+//!   avoidance, delayed ACKs, timeout back-off).
+//! - [`workload`] — heavy-tailed web-transfer arrivals (and optional
+//!   persistent flows) driven through the same [`csprov_game::Middlebox`]
+//!   interface the NAT device implements, so the identical device can be
+//!   offered game traffic and web traffic of equal bit-rate.
+
+pub mod tcp;
+pub mod workload;
+
+pub use tcp::{TcpConfig, TcpFlow};
+pub use workload::{run_web_workload, run_web_workload_on, WebConfig, WebStats};

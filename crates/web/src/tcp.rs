@@ -1,0 +1,296 @@
+//! A simplified ACK-clocked TCP sender (slow start + AIMD), sufficient to
+//! generate realistic *bulk-transfer* packet dynamics: large data segments,
+//! delayed acknowledgements, window growth, multiplicative back-off on
+//! loss. This is the traffic class the paper contrasts game traffic with —
+//! "the majority of traffic being carried in today's networks involve bulk
+//! data transfers using TCP" (§IV-A).
+
+use csprov_sim::SimDuration;
+
+/// Static sender parameters.
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Application bytes per data segment.
+    pub mss: u32,
+    /// Application bytes per acknowledgement (options/timestamps).
+    pub ack_size: u32,
+    /// Initial congestion window, segments.
+    pub init_cwnd: f64,
+    /// Slow-start threshold, segments.
+    pub init_ssthresh: f64,
+    /// Congestion-window cap (receiver window), segments.
+    pub max_cwnd: f64,
+    /// Receiver acknowledges every `ack_every` segments (delayed ACKs).
+    pub ack_every: u32,
+    /// Retransmission timeout as a multiple of the flow's RTT.
+    pub rto_factor: f64,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: 1448,
+            ack_size: 12,
+            init_cwnd: 2.0,
+            init_ssthresh: 32.0,
+            max_cwnd: 64.0,
+            ack_every: 2,
+            rto_factor: 2.5,
+        }
+    }
+}
+
+/// Sender-side state of one bulk transfer.
+///
+/// ```
+/// use csprov_web::{TcpConfig, TcpFlow};
+///
+/// let mut f = TcpFlow::new(TcpConfig::default(), 10 * 1448);
+/// while !f.is_complete() {
+///     let mut burst = 0;
+///     while f.can_send() {
+///         f.on_send();
+///         burst += 1;
+///     }
+///     f.on_ack(burst); // lossless path: every segment acknowledged
+/// }
+/// assert_eq!(f.acked_segments(), 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TcpFlow {
+    cfg: TcpConfig,
+    /// Segments not yet sent (retransmissions return here).
+    to_send: u32,
+    /// Segments sent and unacknowledged.
+    in_flight: u32,
+    /// Segments acknowledged.
+    acked: u32,
+    /// Total segments in the transfer.
+    total: u32,
+    cwnd: f64,
+    ssthresh: f64,
+    /// Timeouts experienced (loss events).
+    pub loss_events: u32,
+}
+
+impl TcpFlow {
+    /// Creates a flow transferring `bytes` of application data.
+    pub fn new(cfg: TcpConfig, bytes: u64) -> Self {
+        let total = (bytes.div_ceil(u64::from(cfg.mss))).max(1) as u32;
+        TcpFlow {
+            cwnd: cfg.init_cwnd,
+            ssthresh: cfg.init_ssthresh,
+            cfg,
+            to_send: total,
+            in_flight: 0,
+            acked: 0,
+            total,
+            loss_events: 0,
+        }
+    }
+
+    /// Total segments in the transfer.
+    pub fn total_segments(&self) -> u32 {
+        self.total
+    }
+
+    /// Segments acknowledged so far.
+    pub fn acked_segments(&self) -> u32 {
+        self.acked
+    }
+
+    /// Current congestion window (segments).
+    pub fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// True once every segment is acknowledged.
+    pub fn is_complete(&self) -> bool {
+        self.acked >= self.total
+    }
+
+    /// True if the window allows sending another segment now.
+    pub fn can_send(&self) -> bool {
+        self.to_send > 0 && (self.in_flight as f64) < self.cwnd
+    }
+
+    /// Marks one segment sent; returns its payload size.
+    pub fn on_send(&mut self) -> u32 {
+        debug_assert!(self.can_send());
+        self.to_send -= 1;
+        self.in_flight += 1;
+        self.cfg.mss
+    }
+
+    /// Handles an acknowledgement covering `segments` segments.
+    pub fn on_ack(&mut self, segments: u32) {
+        let segments = segments.min(self.in_flight);
+        self.in_flight -= segments;
+        self.acked += segments;
+        for _ in 0..segments {
+            if self.cwnd < self.ssthresh {
+                self.cwnd += 1.0; // slow start: exponential per RTT
+            } else {
+                self.cwnd += 1.0 / self.cwnd; // congestion avoidance
+            }
+        }
+        self.cwnd = self.cwnd.min(self.cfg.max_cwnd);
+    }
+
+    /// Handles a retransmission timeout for `segments` lost segments:
+    /// multiplicative decrease and re-queue.
+    pub fn on_timeout(&mut self, segments: u32) {
+        let segments = segments.min(self.in_flight);
+        if segments == 0 {
+            return;
+        }
+        self.in_flight -= segments;
+        self.to_send += segments;
+        self.ssthresh = (self.cwnd / 2.0).max(2.0);
+        self.cwnd = self.cfg.init_cwnd;
+        self.loss_events += 1;
+    }
+
+    /// The flow's retransmission timeout for a given RTT.
+    pub fn rto(&self, rtt: SimDuration) -> SimDuration {
+        rtt.mul_f64(self.cfg.rto_factor)
+    }
+
+    /// Receiver policy: how many data segments per ACK.
+    pub fn ack_every(&self) -> u32 {
+        self.cfg.ack_every
+    }
+
+    /// ACK payload size.
+    pub fn ack_size(&self) -> u32 {
+        self.cfg.ack_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flow(bytes: u64) -> TcpFlow {
+        TcpFlow::new(TcpConfig::default(), bytes)
+    }
+
+    #[test]
+    fn segment_count_rounds_up() {
+        assert_eq!(flow(1).total_segments(), 1);
+        assert_eq!(flow(1448).total_segments(), 1);
+        assert_eq!(flow(1449).total_segments(), 2);
+        assert_eq!(flow(144_800).total_segments(), 100);
+    }
+
+    #[test]
+    fn window_limits_sending() {
+        let mut f = flow(100 * 1448);
+        assert!(f.can_send());
+        let mut sent = 0;
+        while f.can_send() {
+            f.on_send();
+            sent += 1;
+        }
+        assert_eq!(sent, 2, "initial window is 2 segments");
+        f.on_ack(2);
+        assert!((f.cwnd() - 4.0).abs() < 1e-9, "slow start doubles");
+        let mut burst = 0;
+        while f.can_send() {
+            f.on_send();
+            burst += 1;
+        }
+        assert_eq!(burst, 4);
+    }
+
+    #[test]
+    fn slow_start_then_congestion_avoidance() {
+        let mut f = flow(10_000 * 1448);
+        // Ack 32 segments to reach ssthresh.
+        for _ in 0..16 {
+            while f.can_send() {
+                f.on_send();
+            }
+            let inflight = 2; // ack a couple at a time
+            f.on_ack(inflight);
+        }
+        let w = f.cwnd();
+        assert!(w >= 32.0, "should have reached ssthresh: {w}");
+        // Now growth is ~1/cwnd per ack.
+        let before = f.cwnd();
+        while f.can_send() {
+            f.on_send();
+        }
+        f.on_ack(1);
+        let growth = f.cwnd() - before;
+        assert!(growth < 0.05, "linear region growth per ack: {growth}");
+    }
+
+    #[test]
+    fn timeout_backs_off_multiplicatively() {
+        let mut f = flow(1000 * 1448);
+        for _ in 0..10 {
+            while f.can_send() {
+                f.on_send();
+            }
+            f.on_ack(f.in_flight);
+        }
+        let w = f.cwnd();
+        while f.can_send() {
+            f.on_send();
+        }
+        let inflight = f.in_flight;
+        f.on_timeout(inflight);
+        assert_eq!(f.loss_events, 1);
+        assert!((f.cwnd() - 2.0).abs() < 1e-9, "cwnd resets");
+        assert!(f.ssthresh >= w / 2.0 - 1e-9, "ssthresh halves from {w}");
+        assert_eq!(f.in_flight, 0);
+        assert!(f.can_send(), "lost segments are re-queued");
+    }
+
+    #[test]
+    fn completes_exactly() {
+        let mut f = flow(10 * 1448);
+        let mut guard = 0;
+        while !f.is_complete() {
+            while f.can_send() {
+                f.on_send();
+            }
+            f.on_ack(1);
+            guard += 1;
+            assert!(guard < 100);
+        }
+        assert_eq!(f.acked_segments(), 10);
+        assert!(!f.can_send());
+    }
+
+    #[test]
+    fn cwnd_capped() {
+        let mut f = flow(100_000 * 1448);
+        for _ in 0..10_000 {
+            while f.can_send() {
+                f.on_send();
+            }
+            let n = f.in_flight;
+            f.on_ack(n);
+        }
+        assert!(f.cwnd() <= TcpConfig::default().max_cwnd + 1e-9);
+    }
+
+    #[test]
+    fn rto_scales_with_rtt() {
+        let f = flow(1448);
+        assert_eq!(
+            f.rto(SimDuration::from_millis(100)),
+            SimDuration::from_millis(250)
+        );
+    }
+
+    #[test]
+    fn spurious_timeout_ignored_when_nothing_in_flight() {
+        let mut f = flow(1448);
+        f.on_timeout(5);
+        assert_eq!(f.loss_events, 0);
+        assert_eq!(f.total_segments(), 1);
+    }
+}

@@ -1,0 +1,509 @@
+//! Drives TCP bulk transfers through the simulator (and optionally a
+//! middlebox), producing the web-like cross-traffic the paper contrasts
+//! game traffic with: few, large packets, ACK-clocked, elastic.
+
+use crate::tcp::{TcpConfig, TcpFlow};
+use csprov_game::{Deliver, Middlebox};
+use csprov_net::{client_endpoint, server_endpoint, Direction, Packet, PacketKind, TraceRecord, TraceSink};
+use csprov_sim::dist::{Pareto, Sample};
+use csprov_sim::{EventHandle, RngStream, SimDuration, SimTime, Simulator};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+
+/// Web workload parameters: a web/FTP server behind the measured link,
+/// serving heavy-tailed transfers to clients at various RTTs.
+#[derive(Debug, Clone)]
+pub struct WebConfig {
+    /// New-transfer arrival rate, flows per second (0 = only `persistent`).
+    pub flow_rate: f64,
+    /// Number of long-lived transfers running for the whole horizon.
+    pub persistent_flows: usize,
+    /// Pareto scale (minimum transfer size, bytes).
+    pub size_min: u64,
+    /// Pareto shape (heavy tail; web sizes are ~1.1–1.3).
+    pub size_shape: f64,
+    /// Transfer size cap, bytes.
+    pub size_cap: u64,
+    /// Client RTT range (uniform).
+    pub rtt: (SimDuration, SimDuration),
+    /// Delayed-ACK flush timer.
+    pub ack_delay: SimDuration,
+    /// TCP sender parameters.
+    pub tcp: TcpConfig,
+    /// First session id to use for flows (keeps ids disjoint from game
+    /// sessions when both share a trace).
+    pub session_base: u32,
+}
+
+impl Default for WebConfig {
+    fn default() -> Self {
+        WebConfig {
+            flow_rate: 0.5,
+            persistent_flows: 0,
+            size_min: 8_192,
+            size_shape: 1.2,
+            size_cap: 5_000_000,
+            rtt: (SimDuration::from_millis(30), SimDuration::from_millis(180)),
+            ack_delay: SimDuration::from_millis(200),
+            tcp: TcpConfig::default(),
+            session_base: 1 << 20,
+        }
+    }
+}
+
+/// Aggregate outcome of a web workload run.
+#[derive(Debug, Clone, Default)]
+pub struct WebStats {
+    /// Transfers started.
+    pub flows_started: u64,
+    /// Transfers fully acknowledged within the horizon.
+    pub flows_completed: u64,
+    /// Data segments sent (including retransmissions).
+    pub data_packets: u64,
+    /// Acknowledgements sent.
+    pub ack_packets: u64,
+    /// Loss events (retransmission timeouts).
+    pub loss_events: u64,
+    /// Application bytes acknowledged.
+    pub goodput_bytes: u64,
+}
+
+struct FlowRt {
+    flow: TcpFlow,
+    rtt: SimDuration,
+    /// Timeout handle per in-flight segment, oldest first.
+    outstanding: VecDeque<EventHandle>,
+    /// Receiver-side segments awaiting acknowledgement.
+    recv_pending: u32,
+    flush_scheduled: bool,
+}
+
+struct WebState {
+    cfg: WebConfig,
+    sink: Rc<RefCell<dyn TraceSink>>,
+    middlebox: Option<Rc<dyn Middlebox>>,
+    flows: BTreeMap<u32, FlowRt>,
+    next_session: u32,
+    stats: WebStats,
+    rng: RngStream,
+}
+
+type W = Rc<RefCell<WebState>>;
+
+/// Runs a web workload for `duration`, recording packets into `sink` (the
+/// same tap-point conventions as the game world: data from the server is
+/// Outbound, ACKs from clients are Inbound).
+pub fn run_web_workload(
+    cfg: WebConfig,
+    duration: SimDuration,
+    seed: u64,
+    sink: Rc<RefCell<dyn TraceSink>>,
+    middlebox: Option<Rc<dyn Middlebox>>,
+) -> WebStats {
+    let mut sim = Simulator::new();
+    let stats = run_web_workload_on(&mut sim, cfg, duration, seed, sink, middlebox);
+    let _ = sim;
+    stats
+}
+
+/// As [`run_web_workload`], but on a caller-provided simulator (compose
+/// with other workloads).
+pub fn run_web_workload_on(
+    sim: &mut Simulator,
+    cfg: WebConfig,
+    duration: SimDuration,
+    seed: u64,
+    sink: Rc<RefCell<dyn TraceSink>>,
+    middlebox: Option<Rc<dyn Middlebox>>,
+) -> WebStats {
+    let session_base = cfg.session_base;
+    let state: W = Rc::new(RefCell::new(WebState {
+        cfg,
+        sink,
+        middlebox,
+        flows: BTreeMap::new(),
+        next_session: session_base,
+        stats: WebStats::default(),
+        rng: RngStream::new(seed).derive("web"),
+    }));
+
+    // Persistent flows: effectively infinite transfers.
+    let n_persistent = state.borrow().cfg.persistent_flows;
+    for _ in 0..n_persistent {
+        start_flow(&state, sim, Some(u64::MAX / 2));
+    }
+    // Poisson arrivals of finite transfers.
+    let rate = state.borrow().cfg.flow_rate;
+    if rate > 0.0 {
+        let rng = state.borrow().rng.derive("arrivals");
+        let w = state.clone();
+        csprov_sim::spawn_poisson(
+            sim,
+            SimTime::ZERO,
+            SimDuration::from_secs_f64(1.0 / rate),
+            rng,
+            csprov_sim::StopFlag::new(),
+            move |sim| start_flow(&w, sim, None),
+        );
+    }
+
+    sim.run_until(sim.now() + duration);
+    let end = sim.now();
+    let st = state.borrow();
+    st.sink.borrow_mut().on_end(end);
+    st.stats.clone()
+}
+
+fn start_flow(w: &W, sim: &mut Simulator, size_override: Option<u64>) {
+    let session = {
+        let mut st = w.borrow_mut();
+        let size = size_override.unwrap_or_else(|| {
+            let p = Pareto::new(st.cfg.size_min as f64, st.cfg.size_shape);
+            let mut rng = st.rng.clone();
+            let s = p.sample(&mut rng).min(st.cfg.size_cap as f64) as u64;
+            st.rng = rng;
+            s
+        });
+        let rtt = {
+            let (lo, hi) = st.cfg.rtt;
+            let mut rng = st.rng.clone();
+            let d = SimDuration::from_nanos(rng.next_range(lo.as_nanos(), hi.as_nanos()));
+            st.rng = rng;
+            d
+        };
+        let session = st.next_session;
+        st.next_session += 1;
+        st.stats.flows_started += 1;
+        let flow = TcpFlow::new(st.cfg.tcp.clone(), size);
+        st.flows.insert(
+            session,
+            FlowRt {
+                flow,
+                rtt,
+                outstanding: VecDeque::new(),
+                recv_pending: 0,
+                flush_scheduled: false,
+            },
+        );
+        session
+    };
+    pump(w, sim, session);
+}
+
+/// Sends as much of the window as currently allowed.
+fn pump(w: &W, sim: &mut Simulator, session: u32) {
+    loop {
+        let (pkt, rto) = {
+            let mut st = w.borrow_mut();
+            let Some(rt) = st.flows.get_mut(&session) else { return };
+            if !rt.flow.can_send() {
+                return;
+            }
+            let size = rt.flow.on_send();
+            let rto = rt.flow.rto(rt.rtt);
+            st.stats.data_packets += 1;
+            (
+                Packet {
+                    src: server_endpoint(),
+                    dst: client_endpoint(session),
+                    app_len: size,
+                    kind: PacketKind::TcpData,
+                    session,
+                    direction: Direction::Outbound,
+                    sent_at: sim.now(),
+                },
+                rto,
+            )
+        };
+        record(w, sim.now(), &pkt);
+
+        // Per-segment retransmission timer.
+        let w2 = w.clone();
+        let handle = sim.schedule_cancellable_in(rto, move |sim| on_timeout(&w2, sim, session));
+        w.borrow_mut()
+            .flows
+            .get_mut(&session)
+            .expect("flow exists while pumping")
+            .outstanding
+            .push_back(handle);
+
+        // Ship it (through the middlebox if present) to the receiver.
+        let w2 = w.clone();
+        let rtt = w.borrow().flows[&session].rtt;
+        let deliver: Deliver = Box::new(move |sim, pkt| {
+            // Propagation to the client: half an RTT.
+            let w3 = w2.clone();
+            sim.schedule_in(rtt / 2, move |sim| on_data_received(&w3, sim, pkt.session));
+        });
+        let mb = w.borrow().middlebox.clone();
+        match mb {
+            Some(mb) => mb.forward(sim, pkt, deliver),
+            None => deliver(sim, pkt),
+        }
+    }
+}
+
+/// Receiver got a data segment: delayed-ACK logic.
+fn on_data_received(w: &W, sim: &mut Simulator, session: u32) {
+    let flush_now = {
+        let mut st = w.borrow_mut();
+        let Some(rt) = st.flows.get_mut(&session) else { return };
+        rt.recv_pending += 1;
+        rt.recv_pending >= rt.flow.ack_every()
+    };
+    if flush_now {
+        send_ack(w, sim, session);
+    } else {
+        let (delay, schedule) = {
+            let mut st = w.borrow_mut();
+            let delay = st.cfg.ack_delay;
+            let Some(rt) = st.flows.get_mut(&session) else { return };
+            let schedule = !rt.flush_scheduled;
+            rt.flush_scheduled = true;
+            (delay, schedule)
+        };
+        if schedule {
+            let w2 = w.clone();
+            sim.schedule_in(delay, move |sim| {
+                let pending = {
+                    let mut st = w2.borrow_mut();
+                    let Some(rt) = st.flows.get_mut(&session) else { return };
+                    rt.flush_scheduled = false;
+                    rt.recv_pending
+                };
+                if pending > 0 {
+                    send_ack(&w2, sim, session);
+                }
+            });
+        }
+    }
+}
+
+/// Receiver emits a (possibly cumulative) acknowledgement.
+fn send_ack(w: &W, sim: &mut Simulator, session: u32) {
+    let (pkt, covered, rtt) = {
+        let mut st = w.borrow_mut();
+        let Some(rt) = st.flows.get_mut(&session) else { return };
+        let covered = rt.recv_pending;
+        if covered == 0 {
+            return;
+        }
+        rt.recv_pending = 0;
+        let size = rt.flow.ack_size();
+        let rtt = rt.rtt;
+        st.stats.ack_packets += 1;
+        (
+            Packet {
+                src: client_endpoint(session),
+                dst: server_endpoint(),
+                app_len: size,
+                kind: PacketKind::TcpAck,
+                session,
+                direction: Direction::Inbound,
+                sent_at: sim.now(),
+            },
+            covered,
+            rtt,
+        )
+    };
+    record(w, sim.now(), &pkt);
+    let w2 = w.clone();
+    let deliver: Deliver = Box::new(move |sim, pkt| {
+        let w3 = w2.clone();
+        sim.schedule_in(rtt / 2, move |sim| {
+            on_ack_received(&w3, sim, pkt.session, covered)
+        });
+    });
+    let mb = w.borrow().middlebox.clone();
+    match mb {
+        Some(mb) => mb.forward(sim, pkt, deliver),
+        None => deliver(sim, pkt),
+    }
+}
+
+/// Sender got an acknowledgement.
+fn on_ack_received(w: &W, sim: &mut Simulator, session: u32, covered: u32) {
+    let complete = {
+        let mut st = w.borrow_mut();
+        let mss = u64::from(st.cfg.tcp.mss);
+        let Some(rt) = st.flows.get_mut(&session) else { return };
+        for _ in 0..covered {
+            if let Some(h) = rt.outstanding.pop_front() {
+                h.cancel();
+            }
+        }
+        rt.flow.on_ack(covered);
+        let complete = rt.flow.is_complete();
+        st.stats.goodput_bytes += u64::from(covered) * mss;
+        complete
+    };
+    if complete {
+        let mut st = w.borrow_mut();
+        if let Some(rt) = st.flows.remove(&session) {
+            for h in rt.outstanding {
+                h.cancel();
+            }
+            st.stats.flows_completed += 1;
+        }
+    } else {
+        pump(w, sim, session);
+    }
+}
+
+/// A retransmission timer fired: treat the oldest in-flight segment as lost.
+fn on_timeout(w: &W, sim: &mut Simulator, session: u32) {
+    {
+        let mut st = w.borrow_mut();
+        let Some(rt) = st.flows.get_mut(&session) else { return };
+        // Our handle has fired; it is the oldest one still queued.
+        rt.outstanding.pop_front();
+        rt.flow.on_timeout(1);
+        st.stats.loss_events += 1;
+    }
+    pump(w, sim, session);
+}
+
+fn record(w: &W, now: SimTime, pkt: &Packet) {
+    let st = w.borrow();
+    st.sink
+        .borrow_mut()
+        .on_packet(&TraceRecord::from_packet(now, pkt));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csprov_net::CountingSink;
+
+    fn counting() -> Rc<RefCell<CountingSink>> {
+        Rc::new(RefCell::new(CountingSink::new()))
+    }
+
+    #[test]
+    fn single_transfer_completes_losslessly() {
+        let cfg = WebConfig {
+            flow_rate: 0.0,
+            persistent_flows: 0,
+            ..Default::default()
+        };
+        let sink = counting();
+        let mut sim = Simulator::new();
+        let state_stats = {
+            // One explicit 100-segment transfer.
+            let mut cfg2 = cfg.clone();
+            cfg2.flow_rate = 0.0;
+            let sink2: Rc<RefCell<dyn TraceSink>> = sink.clone();
+            let w: W = Rc::new(RefCell::new(WebState {
+                cfg: cfg2,
+                sink: sink2,
+                middlebox: None,
+                flows: BTreeMap::new(),
+                next_session: 0,
+                stats: WebStats::default(),
+                rng: RngStream::new(1),
+            }));
+            start_flow(&w, &mut sim, Some(100 * 1448));
+            sim.run();
+            let stats = w.borrow().stats.clone();
+            stats
+        };
+        assert_eq!(state_stats.flows_completed, 1);
+        assert_eq!(state_stats.data_packets, 100, "no loss, no retransmits");
+        assert_eq!(state_stats.loss_events, 0);
+        // Delayed ACKs: roughly one ACK per two data segments.
+        assert!(
+            (45..=60).contains(&(state_stats.ack_packets as i64)),
+            "acks {}",
+            state_stats.ack_packets
+        );
+        let c = sink.borrow();
+        assert_eq!(c.packets_in(Direction::Outbound), 100);
+        // Bulk traffic: mean outbound app size is the MSS.
+        assert_eq!(
+            c.app_bytes_in(Direction::Outbound) / c.packets_in(Direction::Outbound),
+            1448
+        );
+    }
+
+    #[test]
+    fn workload_generates_large_packets() {
+        let cfg = WebConfig {
+            flow_rate: 2.0,
+            ..Default::default()
+        };
+        let sink = counting();
+        let stats = run_web_workload(
+            cfg,
+            SimDuration::from_secs(120),
+            7,
+            sink.clone(),
+            None,
+        );
+        assert!(stats.flows_started > 100);
+        assert!(stats.flows_completed > 50);
+        let c = sink.borrow();
+        let mean_out = c.app_bytes_in(Direction::Outbound) as f64
+            / c.packets_in(Direction::Outbound) as f64;
+        // The Ames-exchange contrast the paper cites: aggregate mean packet
+        // size above 400 B.
+        let mean_all = (c.app_bytes_in(Direction::Outbound) + c.app_bytes_in(Direction::Inbound))
+            as f64
+            / c.total_packets() as f64;
+        assert!(mean_out > 1_400.0, "bulk data mean {mean_out}");
+        assert!(mean_all > 400.0, "aggregate mean {mean_all}");
+    }
+
+    #[test]
+    fn persistent_flow_saturates_window() {
+        let cfg = WebConfig {
+            flow_rate: 0.0,
+            persistent_flows: 1,
+            rtt: (SimDuration::from_millis(100), SimDuration::from_millis(100)),
+            ..Default::default()
+        };
+        let sink = counting();
+        let stats = run_web_workload(cfg, SimDuration::from_secs(30), 3, sink.clone(), None);
+        assert_eq!(stats.flows_completed, 0, "persistent flow never ends");
+        // Steady state: ~cwnd segments per RTT = 64 per 100 ms = 640 pps.
+        let pps = sink.borrow().packets_in(Direction::Outbound) as f64 / 30.0;
+        assert!((400.0..700.0).contains(&pps), "data pps {pps}");
+    }
+
+    #[test]
+    fn loss_triggers_retransmission_and_recovery() {
+        use csprov_router::{EngineConfig, NatDevice, NatTaps};
+        // A very slow device: the elastic flow backs off but still finishes.
+        let nat = Rc::new(NatDevice::new(
+            EngineConfig {
+                lookup_time: SimDuration::from_millis(4),
+                wan_queue: 4,
+                lan_queue: 4,
+                ..EngineConfig::default()
+            },
+            NatTaps::default(),
+        ));
+        let sink = counting();
+        let mut sim = Simulator::new();
+        let sink2: Rc<RefCell<dyn TraceSink>> = sink.clone();
+        let w: W = Rc::new(RefCell::new(WebState {
+            cfg: WebConfig::default(),
+            sink: sink2,
+            middlebox: Some(nat),
+            flows: BTreeMap::new(),
+            next_session: 0,
+            stats: WebStats::default(),
+            rng: RngStream::new(5),
+        }));
+        start_flow(&w, &mut sim, Some(200 * 1448));
+        sim.run_until(SimTime::from_secs(600));
+        let stats = w.borrow().stats.clone();
+        assert!(stats.loss_events > 0, "the tiny queue must drop something");
+        assert_eq!(stats.flows_completed, 1, "TCP recovers and completes");
+        assert!(
+            stats.data_packets > 200,
+            "retransmissions: {} sends for 200 segments",
+            stats.data_packets
+        );
+    }
+}

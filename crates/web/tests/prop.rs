@@ -1,0 +1,116 @@
+//! Property-based tests for the TCP sender state machine.
+
+use csprov_web::{TcpConfig, TcpFlow};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    SendAll,
+    Ack(u32),
+    Timeout(u32),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::SendAll),
+        (1u32..8).prop_map(Op::Ack),
+        (1u32..8).prop_map(Op::Timeout),
+    ]
+}
+
+proptest! {
+    /// Segment conservation: acked + in-flight + queued == total at every
+    /// step, the window bound always holds, and cwnd stays within range.
+    #[test]
+    fn flow_invariants(bytes in 1u64..2_000_000, ops in prop::collection::vec(arb_op(), 1..300)) {
+        let cfg = TcpConfig::default();
+        let mut f = TcpFlow::new(cfg.clone(), bytes);
+        let total = f.total_segments();
+        let mut sent_live = 0u32; // our external model of in-flight
+        for op in ops {
+            match op {
+                Op::SendAll => {
+                    while f.can_send() {
+                        // The window gates each send (in-flight < cwnd at
+                        // the moment of sending; a later timeout may shrink
+                        // cwnd below what is already in flight).
+                        prop_assert!((sent_live as f64) < f.cwnd() + 1e-9);
+                        f.on_send();
+                        sent_live += 1;
+                    }
+                    prop_assert!(!f.can_send());
+                }
+                Op::Ack(n) => {
+                    let n = n.min(sent_live);
+                    if n > 0 {
+                        f.on_ack(n);
+                        sent_live -= n;
+                    }
+                }
+                Op::Timeout(n) => {
+                    let n = n.min(sent_live);
+                    if n > 0 {
+                        f.on_timeout(n);
+                        sent_live -= n;
+                    }
+                }
+            }
+            prop_assert!(f.cwnd() >= cfg.init_cwnd - 1e-9);
+            prop_assert!(f.cwnd() <= cfg.max_cwnd + 1e-9);
+            prop_assert!(f.acked_segments() <= total);
+            if f.is_complete() {
+                prop_assert!(!f.can_send());
+                break;
+            }
+        }
+    }
+
+    /// Any flow completes under a lossless send/ack loop, in exactly
+    /// `total` data transmissions.
+    #[test]
+    fn lossless_loop_completes(bytes in 1u64..5_000_000) {
+        let mut f = TcpFlow::new(TcpConfig::default(), bytes);
+        let total = f.total_segments();
+        let mut sends = 0u32;
+        let mut rounds = 0u32;
+        while !f.is_complete() {
+            let mut burst = 0;
+            while f.can_send() {
+                f.on_send();
+                sends += 1;
+                burst += 1;
+            }
+            f.on_ack(burst.max(1));
+            rounds += 1;
+            prop_assert!(rounds <= total + 8, "must make progress");
+        }
+        prop_assert_eq!(sends, total);
+    }
+
+    /// Loss slows a flow but never wedges it: alternating one timeout per
+    /// window still finishes, with retransmissions accounted.
+    #[test]
+    fn lossy_loop_completes(bytes in 1448u64..500_000) {
+        let mut f = TcpFlow::new(TcpConfig::default(), bytes);
+        let total = f.total_segments();
+        let mut sends = 0u64;
+        let mut guard = 0u32;
+        while !f.is_complete() {
+            let mut burst = 0;
+            while f.can_send() {
+                f.on_send();
+                sends += 1;
+                burst += 1;
+            }
+            if burst > 1 && guard % 3 == 0 {
+                f.on_timeout(1);
+                f.on_ack(burst - 1);
+            } else {
+                f.on_ack(burst.max(1));
+            }
+            guard += 1;
+            prop_assert!(guard < 10 * total + 64);
+        }
+        prop_assert!(sends >= u64::from(total), "retransmissions add sends");
+    }
+}

@@ -1,0 +1,132 @@
+//! Provisioning study: the paper's "good news" is that game-server traffic
+//! is *effectively linear in the number of active players* and pinned at
+//! modem rates per player, so capacity planning is simple arithmetic.
+//!
+//! This example sweeps the server's slot count, measures bandwidth and
+//! packet load at each size, fits the linear model, and uses it to answer
+//! the operator's question: how many servers fit behind a given uplink —
+//! and, following Section IV, how many *route lookups per second* that
+//! implies for the access router (the real constraint).
+//!
+//! ```sh
+//! cargo run --release --example provisioning
+//! ```
+
+use csprov::pipeline::MainRun;
+use csprov_analysis::fit_line;
+use csprov_analysis::report::{fmt_f64, TextTable};
+use csprov_game::ScenarioConfig;
+use csprov_router::{provision, required_capacity, servers_supported, EngineConfig, GameLoad};
+use csprov_sim::SimDuration;
+
+fn main() {
+    println!("Sweeping server capacity (20-minute runs per point)...\n");
+
+    let mut points_bw = Vec::new(); // (players, kbps)
+    let mut points_pps = Vec::new(); // (players, pps)
+    let mut table = TextTable::new("Traffic vs. active players").header(vec![
+        "slots",
+        "mean players",
+        "kbps",
+        "pps",
+        "kbps/player",
+    ]);
+
+    for slots in [6usize, 10, 14, 18, 22] {
+        let mut cfg = ScenarioConfig::new(77, SimDuration::from_mins(20));
+        cfg.server.max_players = slots;
+        cfg.initial_players = slots; // start warm at capacity
+        cfg.workload.arrival_rate = 0.12; // keep the server full
+        let run = MainRun::execute(cfg);
+        let secs = run.config.duration.as_secs_f64();
+        let kbps = run.analysis.counts.total_wire_bytes() as f64 * 8.0 / secs / 1000.0;
+        let pps = run.analysis.counts.total_packets() as f64 / secs;
+        let players = run.outcome.mean_players;
+        points_bw.push((players, kbps));
+        points_pps.push((players, pps));
+        table.row(vec![
+            slots.to_string(),
+            fmt_f64(players, 1),
+            fmt_f64(kbps, 0),
+            fmt_f64(pps, 0),
+            fmt_f64(kbps / players, 1),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let bw = fit_line(&points_bw).expect("fit");
+    let pps = fit_line(&points_pps).expect("fit");
+    println!(
+        "linear fit: kbps = {:.1} x players + {:.0}   (r^2 = {:.4})",
+        bw.slope, bw.intercept, bw.r_squared
+    );
+    println!(
+        "linear fit: pps  = {:.1} x players + {:.0}   (r^2 = {:.4})",
+        pps.slope, pps.intercept, pps.r_squared
+    );
+    println!(
+        "\nper-player cost: ~{:.0} kbps — the narrowest-last-mile saturation constant",
+        bw.slope
+    );
+    println!("(the paper: 883 kbps / 22 slots = ~40 kbps per player)\n");
+
+    // The provisioning punchline, in both currencies.
+    let mut plan = TextTable::new("How many 22-slot servers fit?").header(vec![
+        "constraint",
+        "budget",
+        "per server",
+        "servers",
+    ]);
+    let per_server_kbps = bw.slope * 22.0 + bw.intercept;
+    let per_server_pps = pps.slope * 22.0 + pps.intercept;
+    for (label, budget_kbps) in [("T1 (1.5 Mbps)", 1_500.0), ("10 Mbps", 10_000.0), ("OC-3 (155 Mbps)", 155_000.0)] {
+        plan.row(vec![
+            format!("{label} bandwidth"),
+            format!("{budget_kbps} kbps"),
+            format!("{} kbps", fmt_f64(per_server_kbps, 0)),
+            format!("{}", (budget_kbps / per_server_kbps) as u64),
+        ]);
+    }
+    for (label, budget_pps) in [("SMC Barricade (~1.3k pps)", 1_330.0), ("mid router (50k pps)", 50_000.0)] {
+        plan.row(vec![
+            format!("{label} lookups"),
+            format!("{budget_pps} pps"),
+            format!("{} pps", fmt_f64(per_server_pps, 0)),
+            format!("{}", (budget_pps / per_server_pps) as u64),
+        ]);
+    }
+    println!("{}", plan.render());
+    println!("note the asymmetry: a T1 carries one server's bits, but a consumer");
+    println!("NAT cannot even carry one server's packets - Section IV's bad news.\n");
+
+    // The analytical model (csprov_router::provision), validated against the
+    // discrete-event NAT in the test suite: what does a device need?
+    let load = GameLoad::paper_server(19);
+    let smc = EngineConfig::default();
+    let p = provision(&load, &smc);
+    println!("analytical model, 19-player server vs the consumer NAT:");
+    println!(
+        "  utilization {:.0}%   tick-burst drain {}   est. inbound loss {:.2}%",
+        p.utilization * 100.0,
+        p.drain_window,
+        p.est_inbound_loss * 100.0
+    );
+    let needed = required_capacity(&load, &smc, 0.001);
+    println!(
+        "  lookup capacity for <0.1% loss: {:.0} pps ({}x the device's {:.0} pps)",
+        needed,
+        fmt_f64(needed / smc.capacity_pps(), 1),
+        smc.capacity_pps()
+    );
+    let router_50k = EngineConfig {
+        lookup_time: SimDuration::from_micros(20),
+        wan_queue: 256,
+        lan_queue: 256,
+        ..EngineConfig::default()
+    };
+    println!(
+        "  servers per device at 1% loss: consumer NAT {}, 50k pps router {}",
+        servers_supported(&load, &smc, 0.01),
+        servers_supported(&load, &router_50k, 0.01)
+    );
+}

@@ -1,0 +1,73 @@
+//! Section IV-B's "silver lining": game traffic's small, frequent,
+//! highly-periodic packets make *preferential route caching* effective.
+//! This example builds a routing table, mixes game flows with a wide spray
+//! of bulk web transfers, and compares eviction policies — including the
+//! paper's proposed packet-size- and frequency-preferential strategies.
+//!
+//! ```sh
+//! cargo run --release --example route_cache
+//! ```
+
+use csprov::experiments::ablations;
+use csprov_analysis::report::{fmt_f64, TextTable};
+use csprov_router::{simulate_cache, CachePolicy, NextHop, RouteTable};
+use csprov_sim::RngStream;
+use std::net::Ipv4Addr;
+
+fn main() {
+    // The standard mixed-workload comparison used by the repro harness.
+    println!("{}", ablations::route_cache_experiment(2002).render());
+
+    // A second question the paper raises implicitly: how does the win vary
+    // with cache size? Sweep capacity for LRU vs size-preferential.
+    let mut table = RouteTable::new();
+    table.insert(Ipv4Addr::new(0, 0, 0, 0), 0, NextHop(0));
+    for a in 1..=60u8 {
+        table.insert(Ipv4Addr::new(a, 0, 0, 0), 8, NextHop(u32::from(a)));
+        table.insert(Ipv4Addr::new(a, 10, 0, 0), 16, NextHop(1000 + u32::from(a)));
+        table.insert(Ipv4Addr::new(a, 10, 20, 0), 24, NextHop(2000 + u32::from(a)));
+    }
+    let stream = |n: u32, seed: u64| {
+        let mut rng = RngStream::new(seed);
+        (0..n).map(move |i| {
+            if i % 5 != 0 {
+                (
+                    Ipv4Addr::new(10, 10, 20, (rng.next_below(20) + 1) as u8),
+                    40u32,
+                )
+            } else {
+                let x = rng.next_below(3000) as u32;
+                (
+                    Ipv4Addr::new((1 + x % 60) as u8, (x / 60) as u8, 1, 1),
+                    1200u32,
+                )
+            }
+        })
+    };
+
+    let mut sweep = TextTable::new("Hit rate vs cache size (game + web mix)").header(vec![
+        "cache slots",
+        "LRU %",
+        "size-preferential %",
+        "advantage",
+    ]);
+    for cap in [8usize, 16, 24, 48, 96, 512] {
+        let lru = simulate_cache(&table, CachePolicy::Lru, cap, stream(150_000, 9));
+        let pref = simulate_cache(
+            &table,
+            CachePolicy::SmallPacketPreferential,
+            cap,
+            stream(150_000, 9),
+        );
+        sweep.row(vec![
+            cap.to_string(),
+            fmt_f64(lru.hit_rate * 100.0, 1),
+            fmt_f64(pref.hit_rate * 100.0, 1),
+            format!("{:+.1} pts", (pref.hit_rate - lru.hit_rate) * 100.0),
+        ]);
+    }
+    println!("{}", sweep.render());
+    println!("small caches under mixed traffic are where preference pays: the game");
+    println!("flows are few, hot and tiny - shielding them from the bulk-flow scan");
+    println!("keeps the high-frequency lookups fast, as Section IV-B conjectured.");
+}

@@ -1,0 +1,232 @@
+//! End-to-end reproduction checks: a scaled run must land inside
+//! calibration bands around the paper's published statistics, and every
+//! qualitative claim of the evaluation section must hold.
+
+use csprov::experiments::figures::{self, map_change_dips};
+use csprov::pipeline::MainRun;
+use csprov_analysis::{application_usage, network_usage, summarize_sessions};
+use csprov_game::ScenarioConfig;
+use csprov_net::Direction;
+use csprov_sim::SimDuration;
+
+use std::sync::OnceLock;
+
+/// One shared 4-hour run (tests only read it). Short windows carry real
+/// diurnal-phase and occupancy variance; four hours keeps the rate anchors
+/// inside the tolerance bands.
+fn hour_run() -> &'static MainRun {
+    static RUN: OnceLock<MainRun> = OnceLock::new();
+    RUN.get_or_init(|| MainRun::execute(ScenarioConfig::scaled(2002, SimDuration::from_mins(245))))
+}
+
+#[test]
+fn tables_2_and_3_within_bands() {
+    let run = hour_run();
+    let u = network_usage(&run.analysis.counts, run.config.duration);
+    let a = application_usage(&run.analysis.counts);
+
+    // Paper Table II: 798 pps (437 in / 361 out), 883 kbps (341/542).
+    // One hour of a stochastic server: allow ±15%.
+    let within = |measured: f64, paper: f64, tol: f64| {
+        let rel = (measured - paper).abs() / paper;
+        assert!(rel < tol, "{measured} vs paper {paper} (rel {rel:.3})");
+    };
+    // A four-hour window still carries diurnal-phase bias; the full-week
+    // run in EXPERIMENTS.md lands within ~2%.
+    within(u.mean_pps[0], 798.11, 0.2);
+    within(u.mean_pps[1], 437.12, 0.2);
+    within(u.mean_pps[2], 360.99, 0.2);
+    within(u.mean_kbps[0], 883.0, 0.2);
+    within(u.mean_kbps[1], 341.0, 0.2);
+    within(u.mean_kbps[2], 542.0, 0.2);
+
+    // Paper Table III: mean sizes 39.72 in / 129.51 out — the tightest
+    // anchors, nearly load-independent.
+    within(a.mean_size[1], 39.72, 0.03);
+    within(a.mean_size[2], 129.51, 0.08);
+
+    // Structural claims: more packets in than out; more bytes out than in.
+    assert!(u.packets[0] > u.packets[1]);
+    assert!(u.bytes[1] > u.bytes[0]);
+}
+
+#[test]
+fn table1_session_process_tracks_paper() {
+    let run = hour_run();
+    let s = summarize_sessions(&run.outcome.sessions);
+    let k = run.week_scale();
+    let est_week = s.established as f64 * k;
+    let att_week = s.attempted as f64 * k;
+    // Paper: 16,030 established / 24,004 attempted per week. Hour-long
+    // windows are noisy; ±30%.
+    assert!(
+        (11_000.0..21_000.0).contains(&est_week),
+        "established/week {est_week}"
+    );
+    assert!(
+        (15_000.0..33_000.0).contains(&att_week),
+        "attempted/week {att_week}"
+    );
+    assert!(s.refused > 0, "a busy 22-slot server refuses connections");
+    assert!(
+        (12.0..22.0).contains(&run.outcome.mean_players),
+        "mean players {}",
+        run.outcome.mean_players
+    );
+}
+
+#[test]
+fn figure5_variance_regions() {
+    let run = hour_run();
+    let h = figures::fig5_data(run);
+    let (h_sub, fit_sub) = h.sub_tick.expect("sub-tick fit");
+    let (h_mid, _) = h.mid.expect("mid fit");
+    // Below the 50 ms tick: aggressive smoothing, H < 1/2 (slope < -1).
+    assert!(h_sub < 0.45, "H below tick = {h_sub}");
+    assert!(fit_sub.slope < -1.0);
+    // 50 ms – 30 min: variability persists (slope shallower than -1).
+    assert!(
+        h_mid > h_sub + 0.1,
+        "mid-scale H ({h_mid}) must exceed sub-tick H ({h_sub})"
+    );
+}
+
+#[test]
+fn figure6_to_8_burst_structure() {
+    let run = hour_run();
+    // Fig 6/7: at 10 ms the outgoing stream is large periodic spikes; the
+    // incoming stream is comparatively smooth.
+    let out = run.analysis.ms10_out.pps();
+    let inb = run.analysis.ms10_in.pps();
+    let peak_mean = |v: &[f64]| {
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        v.iter().cloned().fold(0.0, f64::max) / mean
+    };
+    assert!(peak_mean(&out) > 2.5, "outgoing spikes: {}", peak_mean(&out));
+    assert!(
+        peak_mean(&out) > 1.5 * peak_mean(&inb),
+        "out {} vs in {}",
+        peak_mean(&out),
+        peak_mean(&inb)
+    );
+    // Fig 8: 50 ms aggregation smooths the total considerably.
+    let ms10 = run.analysis.ms10_total.pps();
+    let ms50 = run.analysis.ms50_total.pps();
+    assert!(peak_mean(&ms50) < peak_mean(&ms10) * 0.7);
+
+    // The spikes recur at the tick period: autocorrelation of the 10 ms
+    // outgoing series at lag 5 (50 ms) beats neighbouring lags.
+    let ac = |v: &[f64], lag: usize| {
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for i in 0..v.len() - lag {
+            num += (v[i] - mean) * (v[i + lag] - mean);
+        }
+        for x in v {
+            den += (x - mean) * (x - mean);
+        }
+        num / den
+    };
+    assert!(
+        ac(&out, 5) > ac(&out, 3) && ac(&out, 5) > ac(&out, 7),
+        "tick periodicity must dominate: lag5 {} lag3 {} lag7 {}",
+        ac(&out, 5),
+        ac(&out, 3),
+        ac(&out, 7)
+    );
+}
+
+#[test]
+fn figure9_map_change_dips() {
+    let run = hour_run();
+    let dips = map_change_dips(run);
+    assert!(
+        dips.iter().any(|&d| (1795..1835).contains(&d)),
+        "expected a dip at the 30-minute map change, got {dips:?}"
+    );
+    assert!(
+        dips.iter().any(|&d| (3595..3635).contains(&d)),
+        "expected a dip at the 60-minute map change, got {dips:?}"
+    );
+}
+
+#[test]
+fn figure11_narrowest_link_saturation() {
+    let run = hour_run();
+    let h = run
+        .analysis
+        .flows
+        .bandwidth_histogram(SimDuration::from_secs(30), 150_000.0, 30);
+    // The overwhelming majority of flows sit at or below modem rates...
+    let below_56k: u64 = h
+        .bins()
+        .filter(|&(edge, _)| edge < 55_000.0)
+        .map(|(_, c)| c)
+        .sum();
+    let total = h.total();
+    assert!(
+        below_56k as f64 / total as f64 > 0.9,
+        "flows below 56k: {below_56k}/{total}"
+    );
+    // ...but a handful of "l337" players exceed the barrier.
+    let above: u64 = total - below_56k;
+    assert!(above > 0, "some cranked clients must exceed 56 kbps");
+    assert!(
+        (above as f64) < total as f64 * 0.12,
+        "but only a handful: {above}/{total}"
+    );
+    // The mode sits at modem rates.
+    let mode = h.mode_bin().unwrap();
+    assert!((25_000.0..55_000.0).contains(&mode), "mode {mode}");
+}
+
+#[test]
+fn figures12_13_size_distributions() {
+    let run = hour_run();
+    let sizes = &run.analysis.sizes;
+    // Figure 13's statements: almost all inbound under 60 B; outbound
+    // spread between 0 and 300 B; almost everything under 200 B overall.
+    assert!(sizes.cdf(Direction::Inbound)[60] > 0.95);
+    assert!(sizes.cdf(Direction::Outbound)[300] > 0.97);
+    assert!(sizes.cdf_total()[200] > 0.85);
+    // Inbound is narrow ("extremely narrow distribution centered around
+    // 40 bytes"), outbound wide: compare interquartile ranges.
+    let iqr = |d: Direction| {
+        sizes.quantile(d, 0.75) as i64 - sizes.quantile(d, 0.25) as i64
+    };
+    assert!(iqr(Direction::Inbound) <= 8, "inbound IQR {}", iqr(Direction::Inbound));
+    assert!(
+        iqr(Direction::Outbound) > 2 * iqr(Direction::Inbound)
+            && iqr(Direction::Outbound) >= 15,
+        "outbound IQR {} vs inbound {}",
+        iqr(Direction::Outbound),
+        iqr(Direction::Inbound)
+    );
+}
+
+#[test]
+fn traffic_scales_linearly_with_players() {
+    // Section IV-B: "traffic ... is effectively linear to the number of
+    // active players". Three server sizes, fixed seed, fit a line.
+    let mut points = Vec::new();
+    for slots in [8usize, 14, 22] {
+        let mut cfg = ScenarioConfig::new(55, SimDuration::from_mins(12));
+        cfg.server.max_players = slots;
+        cfg.initial_players = slots;
+        cfg.workload.arrival_rate = 0.1;
+        let run = MainRun::execute(cfg);
+        let secs = run.config.duration.as_secs_f64();
+        points.push((
+            run.outcome.mean_players,
+            run.analysis.counts.total_packets() as f64 / secs,
+        ));
+    }
+    let fit = csprov_analysis::fit_line(&points).unwrap();
+    assert!(fit.r_squared > 0.99, "linearity r^2 = {}", fit.r_squared);
+    assert!(
+        (35.0..55.0).contains(&fit.slope),
+        "per-player pps slope {}",
+        fit.slope
+    );
+}

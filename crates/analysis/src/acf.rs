@@ -60,7 +60,9 @@ mod tests {
     #[test]
     fn perfect_period_detected() {
         // Bursts every 5 bins.
-        let xs: Vec<f64> = (0..500).map(|i| if i % 5 == 0 { 20.0 } else { 1.0 }).collect();
+        let xs: Vec<f64> = (0..500)
+            .map(|i| if i % 5 == 0 { 20.0 } else { 1.0 })
+            .collect();
         assert_eq!(dominant_period(&xs, 20), Some(5));
         assert!(autocorrelation(&xs, 5) > 0.9);
         assert!(autocorrelation(&xs, 3) < 0.1);

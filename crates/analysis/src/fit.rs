@@ -42,7 +42,11 @@ pub fn fit_line(points: &[(f64, f64)]) -> Option<LineFit> {
     }
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     Some(LineFit {
         slope,
         intercept,
@@ -83,7 +87,10 @@ mod tests {
     fn degenerate_cases() {
         assert!(fit_line(&[]).is_none());
         assert!(fit_line(&[(1.0, 2.0)]).is_none());
-        assert!(fit_line(&[(1.0, 2.0), (1.0, 3.0)]).is_none(), "vertical line");
+        assert!(
+            fit_line(&[(1.0, 2.0), (1.0, 3.0)]).is_none(),
+            "vertical line"
+        );
     }
 
     #[test]

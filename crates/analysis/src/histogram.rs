@@ -199,11 +199,7 @@ impl Histogram {
 
     /// The lower edge of the fullest bin (`None` if all bins are empty).
     pub fn mode_bin(&self) -> Option<f64> {
-        let (idx, &max) = self
-            .counts
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, &c)| c)?;
+        let (idx, &max) = self.counts.iter().enumerate().max_by_key(|&(_, &c)| c)?;
         (max > 0).then_some(self.lo + idx as f64 * self.bin_width)
     }
 }

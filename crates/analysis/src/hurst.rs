@@ -161,11 +161,7 @@ impl VarianceTime {
     /// The variance-time plot: one point per block size that accumulated at
     /// least two complete blocks. Call after the trace ends.
     pub fn points(&self) -> Vec<VtPoint> {
-        let base_var = self
-            .accs
-            .first()
-            .map(|a| a.stats.variance())
-            .unwrap_or(0.0);
+        let base_var = self.accs.first().map(|a| a.stats.variance()).unwrap_or(0.0);
         if base_var <= 0.0 {
             return Vec::new();
         }
@@ -314,7 +310,10 @@ mod tests {
         assert_eq!(blocks.first(), Some(&1));
         assert_eq!(blocks.last(), Some(&1000));
         for w in blocks.windows(2) {
-            assert!(w[0] < w[1], "ladder must be strictly increasing: {blocks:?}");
+            assert!(
+                w[0] < w[1],
+                "ladder must be strictly increasing: {blocks:?}"
+            );
         }
     }
 
@@ -335,7 +334,9 @@ mod tests {
         // A strictly periodic burst every 5 bins: variance at m >= 5
         // collapses far faster than 1/m (the paper's m < 50 ms region).
         let mut vt = VarianceTime::new(SimDuration::from_millis(10), 100, 4);
-        let counts: Vec<u64> = (0..50_000).map(|i| if i % 5 == 0 { 20 } else { 0 }).collect();
+        let counts: Vec<u64> = (0..50_000)
+            .map(|i| if i % 5 == 0 { 20 } else { 0 })
+            .collect();
         feed_counts(&mut vt, &counts);
         let (h, _) = vt.hurst(1, 50).unwrap();
         assert!(h < 0.4, "periodic bursts must smooth aggressively, H = {h}");
@@ -411,8 +412,14 @@ mod tests {
     #[test]
     fn rs_degenerate_inputs() {
         assert!(rs_statistic(&[], 8).is_none());
-        assert!(rs_statistic(&[1.0; 10], 16).is_none(), "series shorter than window");
-        assert!(rs_statistic(&[5.0; 64], 8).is_none(), "constant series has no std");
+        assert!(
+            rs_statistic(&[1.0; 10], 16).is_none(),
+            "series shorter than window"
+        );
+        assert!(
+            rs_statistic(&[5.0; 64], 8).is_none(),
+            "constant series has no std"
+        );
         assert!(rs_hurst(&[1.0; 8], 4).is_none());
     }
 

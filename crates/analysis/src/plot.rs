@@ -86,7 +86,9 @@ mod tests {
 
     #[test]
     fn line_chart_renders() {
-        let ys: Vec<f64> = (0..100).map(|i| (i as f64 / 10.0).sin().abs() * 50.0).collect();
+        let ys: Vec<f64> = (0..100)
+            .map(|i| (i as f64 / 10.0).sin().abs() * 50.0)
+            .collect();
         let s = line_chart("test", &ys, 40, 8);
         assert!(s.starts_with("test\n"));
         assert!(s.contains('*'));

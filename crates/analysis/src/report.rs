@@ -180,7 +180,7 @@ mod tests {
 
     #[test]
     fn float_and_delta_formatting() {
-        assert_eq!(fmt_f64(3.14159, 2), "3.14");
+        assert_eq!(fmt_f64(1.23456, 2), "1.23");
         assert_eq!(fmt_delta(110.0, 100.0), "+10.0%");
         assert_eq!(fmt_delta(90.0, 100.0), "-10.0%");
         assert_eq!(fmt_delta(1.0, 0.0), "n/a");

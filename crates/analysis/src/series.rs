@@ -280,8 +280,20 @@ mod tests {
         s.on_packet(&rec(12, Direction::Inbound, 142)); // wire 200
         s.on_end(SimTime::from_millis(29));
         assert_eq!(s.bins().len(), 3);
-        assert_eq!(s.bins()[0], RateBin { packets: 2, wire_bytes: 200 });
-        assert_eq!(s.bins()[1], RateBin { packets: 1, wire_bytes: 200 });
+        assert_eq!(
+            s.bins()[0],
+            RateBin {
+                packets: 2,
+                wire_bytes: 200
+            }
+        );
+        assert_eq!(
+            s.bins()[1],
+            RateBin {
+                packets: 1,
+                wire_bytes: 200
+            }
+        );
         assert_eq!(s.bins()[2], RateBin::default());
     }
 
@@ -323,8 +335,7 @@ mod tests {
 
     #[test]
     fn limit_caps_storage_but_not_stats() {
-        let mut s =
-            RateSeries::with_options(SimDuration::from_millis(10), None, Some(3));
+        let mut s = RateSeries::with_options(SimDuration::from_millis(10), None, Some(3));
         for i in 0..10 {
             s.on_packet(&rec(i * 10 + 1, Direction::Inbound, 40));
         }

@@ -7,44 +7,40 @@ use csprov_analysis::{
     VarianceTime, Welford,
 };
 use csprov_net::{Direction, PacketKind, TraceRecord, TraceSink};
+use csprov_sim::check::{check, Gen};
 use csprov_sim::{SimDuration, SimTime};
-use proptest::prelude::*;
 
-fn arb_records(max: usize) -> impl Strategy<Value = Vec<TraceRecord>> {
-    prop::collection::vec(
+fn gen_records(g: &mut Gen, max: usize) -> Vec<TraceRecord> {
+    let mut v = g.vec_with(1..max, |g| {
         (
-            0u64..10_000_000_000u64, // up to 10 s
-            any::<bool>(),
-            0u32..50,
-            0u32..500,
-        ),
-        1..max,
-    )
-    .prop_map(|mut v| {
-        v.sort_by_key(|e| e.0);
-        v.into_iter()
-            .map(|(t, inb, session, len)| TraceRecord {
-                time: SimTime::from_nanos(t),
-                direction: if inb {
-                    Direction::Inbound
-                } else {
-                    Direction::Outbound
-                },
-                kind: PacketKind::ClientCommand,
-                session,
-                app_len: len,
-            })
-            .collect()
-    })
+            g.u64_in(0..10_000_000_000), // up to 10 s
+            g.bool(),
+            g.u32_in(0..50),
+            g.u32_in(0..500),
+        )
+    });
+    v.sort_by_key(|e| e.0);
+    v.into_iter()
+        .map(|(t, inb, session, len)| TraceRecord {
+            time: SimTime::from_nanos(t),
+            direction: if inb {
+                Direction::Inbound
+            } else {
+                Direction::Outbound
+            },
+            kind: PacketKind::ClientCommand,
+            session,
+            app_len: len,
+        })
+        .collect()
 }
 
-proptest! {
-    /// Binning conserves packet and byte totals at any width.
-    #[test]
-    fn rate_series_conserves_totals(
-        records in arb_records(300),
-        width_ms in 1u64..5_000,
-    ) {
+/// Binning conserves packet and byte totals at any width.
+#[test]
+fn rate_series_conserves_totals() {
+    check("rate_series_conserves_totals", 128, |g| {
+        let records = gen_records(g, 300);
+        let width_ms = g.u64_in(1..5_000);
         let mut s = RateSeries::new(SimDuration::from_millis(width_ms));
         let mut packets = 0u64;
         let mut bytes = 0u64;
@@ -56,13 +52,16 @@ proptest! {
         s.on_end(records.last().unwrap().time);
         let bp: u64 = s.bins().iter().map(|b| b.packets).sum();
         let bb: u64 = s.bins().iter().map(|b| b.wire_bytes).sum();
-        prop_assert_eq!(bp, packets);
-        prop_assert_eq!(bb, bytes);
-    }
+        assert_eq!(bp, packets);
+        assert_eq!(bb, bytes);
+    });
+}
 
-    /// Directional sub-series partition the total exactly.
-    #[test]
-    fn rate_series_direction_partition(records in arb_records(300)) {
+/// Directional sub-series partition the total exactly.
+#[test]
+fn rate_series_direction_partition() {
+    check("rate_series_direction_partition", 128, |g| {
+        let records = gen_records(g, 300);
         let w = SimDuration::from_millis(100);
         let mut total = RateSeries::new(w);
         let mut inb = RateSeries::with_options(w, Some(Direction::Inbound), None);
@@ -76,20 +75,23 @@ proptest! {
         total.on_end(end);
         inb.on_end(end);
         out.on_end(end);
-        prop_assert_eq!(total.bins().len(), inb.bins().len());
+        assert_eq!(total.bins().len(), inb.bins().len());
         for i in 0..total.bins().len() {
-            prop_assert_eq!(
+            assert_eq!(
                 total.bins()[i].packets,
                 inb.bins()[i].packets + out.bins()[i].packets
             );
         }
-    }
+    });
+}
 
-    /// Welford matches the naive two-pass computation and merge is
-    /// associative with sequential feeding.
-    #[test]
-    fn welford_matches_two_pass(xs in prop::collection::vec(-1e6f64..1e6, 2..300), split in 1usize..250) {
-        let split = split.min(xs.len() - 1);
+/// Welford matches the naive two-pass computation and merge is associative
+/// with sequential feeding.
+#[test]
+fn welford_matches_two_pass() {
+    check("welford_matches_two_pass", 128, |g| {
+        let xs = g.vec_with(2..300, |g| g.f64_in(-1e6..1e6));
+        let split = g.usize_in(1..250).min(xs.len() - 1);
         let mut w = Welford::new();
         for &x in &xs {
             w.push(x);
@@ -97,8 +99,8 @@ proptest! {
         let n = xs.len() as f64;
         let mean = xs.iter().sum::<f64>() / n;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
-        prop_assert!((w.mean() - mean).abs() < 1e-6_f64.max(mean.abs() * 1e-9));
-        prop_assert!((w.variance() - var).abs() < 1e-3_f64.max(var * 1e-9));
+        assert!((w.mean() - mean).abs() < 1e-6_f64.max(mean.abs() * 1e-9));
+        assert!((w.variance() - var).abs() < 1e-3_f64.max(var * 1e-9));
 
         let mut a = Welford::new();
         let mut b = Welford::new();
@@ -109,14 +111,16 @@ proptest! {
             b.push(x);
         }
         a.merge(&b);
-        prop_assert_eq!(a.count(), w.count());
-        prop_assert!((a.variance() - w.variance()).abs() < 1e-3_f64.max(var * 1e-9));
-    }
+        assert_eq!(a.count(), w.count());
+        assert!((a.variance() - w.variance()).abs() < 1e-3_f64.max(var * 1e-9));
+    });
+}
 
-    /// Size histogram PDFs are normalized and CDFs are monotone for any
-    /// input.
-    #[test]
-    fn histogram_normalized(records in arb_records(300)) {
+/// Size histogram PDFs are normalized and CDFs are monotone for any input.
+#[test]
+fn histogram_normalized() {
+    check("histogram_normalized", 128, |g| {
+        let records = gen_records(g, 300);
         let mut h = SizeHistogram::new(500);
         for r in &records {
             h.on_packet(r);
@@ -127,29 +131,35 @@ proptest! {
             }
             let pdf = h.pdf(d);
             let sum: f64 = pdf.iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-9, "pdf sums to {}", sum);
+            assert!((sum - 1.0).abs() < 1e-9, "pdf sums to {sum}");
             let cdf = h.cdf(d);
             for w in cdf.windows(2) {
-                prop_assert!(w[1] >= w[0] - 1e-12);
+                assert!(w[1] >= w[0] - 1e-12);
             }
         }
-    }
+    });
+}
 
-    /// Float histograms never lose a sample.
-    #[test]
-    fn float_histogram_conserves(xs in prop::collection::vec(-100f64..1000.0, 0..300)) {
+/// Float histograms never lose a sample.
+#[test]
+fn float_histogram_conserves() {
+    check("float_histogram_conserves", 128, |g| {
+        let xs = g.vec_with(0..300, |g| g.f64_in(-100.0..1000.0));
         let mut h = Histogram::new(0.0, 500.0, 25);
         for &x in &xs {
             h.record(x);
         }
-        prop_assert_eq!(h.total(), xs.len() as u64);
+        assert_eq!(h.total(), xs.len() as u64);
         let binned: u64 = h.counts().iter().sum();
-        prop_assert_eq!(binned + h.underflow() + h.overflow(), xs.len() as u64);
-    }
+        assert_eq!(binned + h.underflow() + h.overflow(), xs.len() as u64);
+    });
+}
 
-    /// Flow-table totals equal counting-sink totals for session traffic.
-    #[test]
-    fn flow_table_conserves(records in arb_records(300)) {
+/// Flow-table totals equal counting-sink totals for session traffic.
+#[test]
+fn flow_table_conserves() {
+    check("flow_table_conserves", 128, |g| {
+        let records = gen_records(g, 300);
         let mut flows = FlowTable::new();
         let mut packets = 0u64;
         for r in &records {
@@ -159,13 +169,16 @@ proptest! {
             }
         }
         let fp: u64 = flows.iter().map(|(_, f)| f.packets[0] + f.packets[1]).sum();
-        prop_assert_eq!(fp, packets);
-    }
+        assert_eq!(fp, packets);
+    });
+}
 
-    /// The variance-time estimator's bin count equals the trace's span,
-    /// and every reported point has normalized variance in a sane range.
-    #[test]
-    fn variance_time_sane(records in arb_records(300)) {
+/// The variance-time estimator's bin count equals the trace's span, and
+/// every reported point has normalized variance in a sane range.
+#[test]
+fn variance_time_sane() {
+    check("variance_time_sane", 128, |g| {
+        let records = gen_records(g, 300);
         let base = SimDuration::from_millis(10);
         let mut vt = VarianceTime::new(base, 100, 4);
         for r in &records {
@@ -174,38 +187,47 @@ proptest! {
         let end = records.last().unwrap().time;
         vt.on_end(end);
         let expected_bins = end.as_nanos().div_ceil(base.as_nanos());
-        prop_assert_eq!(vt.bins_seen(), expected_bins);
+        assert_eq!(vt.bins_seen(), expected_bins);
         for p in vt.points() {
-            prop_assert!(p.normalized_variance > 0.0);
-            prop_assert!(p.normalized_variance <= 1.0 + 1e-9,
-                "aggregating cannot raise variance: {}", p.normalized_variance);
+            assert!(p.normalized_variance > 0.0);
+            assert!(
+                p.normalized_variance <= 1.0 + 1e-9,
+                "aggregating cannot raise variance: {}",
+                p.normalized_variance
+            );
         }
-    }
+    });
+}
 
-    /// Line fitting reproduces exact lines from arbitrary parameters.
-    #[test]
-    fn fit_recovers_exact_lines(
-        slope in -1e3f64..1e3,
-        intercept in -1e3f64..1e3,
-        n in 2usize..50,
-    ) {
+/// Line fitting reproduces exact lines from arbitrary parameters.
+#[test]
+fn fit_recovers_exact_lines() {
+    check("fit_recovers_exact_lines", 256, |g| {
+        let slope = g.f64_in(-1e3..1e3);
+        let intercept = g.f64_in(-1e3..1e3);
+        let n = g.usize_in(2..50);
         let pts: Vec<(f64, f64)> = (0..n)
             .map(|i| (i as f64, slope * i as f64 + intercept))
             .collect();
         let fit = fit_line(&pts).unwrap();
-        prop_assert!((fit.slope - slope).abs() < 1e-6_f64.max(slope.abs() * 1e-9));
-        prop_assert!((fit.intercept - intercept).abs() < 1e-5_f64.max(intercept.abs() * 1e-6));
-    }
+        assert!((fit.slope - slope).abs() < 1e-6_f64.max(slope.abs() * 1e-9));
+        assert!((fit.intercept - intercept).abs() < 1e-5_f64.max(intercept.abs() * 1e-6));
+    });
+}
 
-    /// Session summaries: established ≤ attempted, uniques ≤ totals,
-    /// refused = attempted − established.
-    #[test]
-    fn session_summary_invariants(
-        entries in prop::collection::vec(
-            (0u32..50, 0u64..10_000, 0u64..3_600, any::<bool>()),
-            0..100,
-        ),
-    ) {
+/// Session summaries: established ≤ attempted, uniques ≤ totals,
+/// refused = attempted − established.
+#[test]
+fn session_summary_invariants() {
+    check("session_summary_invariants", 128, |g| {
+        let entries = g.vec_with(0..100, |g| {
+            (
+                g.u32_in(0..50),
+                g.u64_in(0..10_000),
+                g.u64_in(0..3_600),
+                g.bool(),
+            )
+        });
         let log: Vec<SessionRecord> = entries
             .iter()
             .enumerate()
@@ -218,10 +240,10 @@ proptest! {
             })
             .collect();
         let s = summarize_sessions(&log);
-        prop_assert!(s.established <= s.attempted);
-        prop_assert_eq!(s.refused, s.attempted - s.established);
-        prop_assert!(s.unique_establishing <= s.established.max(50));
-        prop_assert!(s.unique_attempting >= s.unique_establishing);
-        prop_assert!(s.unique_attempting <= s.attempted);
-    }
+        assert!(s.established <= s.attempted);
+        assert_eq!(s.refused, s.attempted - s.established);
+        assert!(s.unique_establishing <= s.established.max(50));
+        assert!(s.unique_attempting >= s.unique_establishing);
+        assert!(s.unique_attempting <= s.attempted);
+    });
 }

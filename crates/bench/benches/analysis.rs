@@ -1,8 +1,8 @@
-//! Criterion benchmarks for the streaming analyzers — these sit on the
-//! per-packet hot path of every reproduction run.
+//! Benchmarks for the streaming analyzers — these sit on the per-packet
+//! hot path of every reproduction run.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use csprov_analysis::{FlowTable, RateSeries, SizeHistogram, VarianceTime, Welford};
+use csprov_bench::harness::{black_box, Harness, Throughput};
 use csprov_net::{Direction, PacketKind, TraceRecord, TraceSink};
 use csprov_sim::{RngStream, SimDuration, SimTime};
 
@@ -23,9 +23,9 @@ fn synthetic_records(n: usize) -> Vec<TraceRecord> {
         .collect()
 }
 
-fn bench_sinks(c: &mut Criterion) {
+fn bench_sinks(h: &mut Harness) {
     let records = synthetic_records(100_000);
-    let mut g = c.benchmark_group("analysis_ingest");
+    let mut g = h.group("analysis_ingest");
     g.throughput(Throughput::Elements(records.len() as u64));
 
     g.bench_function("rate_series_100k", |b| {
@@ -73,8 +73,8 @@ fn bench_sinks(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_welford(c: &mut Criterion) {
-    let mut g = c.benchmark_group("welford");
+fn bench_welford(h: &mut Harness) {
+    let mut g = h.group("welford");
     g.throughput(Throughput::Elements(1_000_000));
     g.bench_function("push_1m", |b| {
         let xs: Vec<f64> = (0..1_000_000).map(|i| (i % 997) as f64).collect();
@@ -89,11 +89,11 @@ fn bench_welford(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_hurst_full_pipeline(c: &mut Criterion) {
+fn bench_hurst_full_pipeline(h: &mut Harness) {
     // The variance-time estimator at full-trace block ladder: the most
     // expensive analyzer per packet.
     let records = synthetic_records(100_000);
-    let mut g = c.benchmark_group("hurst");
+    let mut g = h.group("hurst");
     g.throughput(Throughput::Elements(records.len() as u64));
     g.bench_function("week_scale_ladder_100k", |b| {
         b.iter(|| {
@@ -108,5 +108,9 @@ fn bench_hurst_full_pipeline(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_sinks, bench_welford, bench_hurst_full_pipeline);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_sinks(&mut h);
+    bench_welford(&mut h);
+    bench_hurst_full_pipeline(&mut h);
+}

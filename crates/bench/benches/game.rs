@@ -1,15 +1,15 @@
-//! Criterion benchmarks for the game workload model: end-to-end simulated
-//! seconds per wall second, plus the per-packet size models.
+//! Benchmarks for the game workload model: end-to-end simulated seconds
+//! per wall second, plus the per-packet size models.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use csprov_bench::harness::{black_box, Harness, Throughput};
 use csprov_game::{packets, Population, ScenarioConfig, ServerConfig, WorkloadConfig, World};
 use csprov_net::NullSink;
 use csprov_sim::{RngStream, SimDuration};
 use std::cell::RefCell;
 use std::rc::Rc;
 
-fn bench_world(c: &mut Criterion) {
-    let mut g = c.benchmark_group("world");
+fn bench_world(h: &mut Harness) {
+    let mut g = h.group("world");
     g.sample_size(10);
     // One simulated minute of the busy server (~48k packets).
     g.throughput(Throughput::Elements(48_000));
@@ -24,8 +24,8 @@ fn bench_world(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_size_models(c: &mut Criterion) {
-    let mut g = c.benchmark_group("size_models");
+fn bench_size_models(h: &mut Harness) {
+    let mut g = h.group("size_models");
     g.throughput(Throughput::Elements(100_000));
     let server = ServerConfig::default();
     let workload = WorkloadConfig::default();
@@ -52,8 +52,8 @@ fn bench_size_models(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_population(c: &mut Criterion) {
-    let mut g = c.benchmark_group("population");
+fn bench_population(h: &mut Harness) {
+    let mut g = h.group("population");
     g.throughput(Throughput::Elements(24_004));
     g.bench_function("crp_draw_week_of_arrivals", |b| {
         b.iter(|| {
@@ -68,5 +68,9 @@ fn bench_population(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_world, bench_size_models, bench_population);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_world(&mut h);
+    bench_size_models(&mut h);
+    bench_population(&mut h);
+}

@@ -1,0 +1,128 @@
+//! Overhead guard for the observability layer.
+//!
+//! Each pair runs the same hot path with instrumentation detached (the
+//! default — every metric hook is an `Option` that stays `None`) and
+//! attached, so the delta is the full price of the obs layer on that path.
+//! EXPERIMENTS.md records the measured overhead; the budget is <2%.
+
+use csprov_bench::harness::{black_box, Harness, Throughput};
+use csprov_net::{client_endpoint, server_endpoint, Direction, Packet, PacketKind};
+use csprov_obs::MetricsRegistry;
+use csprov_router::{EngineConfig, ForwardingEngine, RouterMetrics};
+use csprov_sim::{SimDuration, SimTime, Simulator, StopFlag};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// The kernel workload from the `sim_kernel` bench: 5 periodic processes,
+/// 100k events, optionally with a progress-style observer attached at the
+/// stride `repro --progress` uses.
+fn run_kernel(observed: bool) -> u64 {
+    let mut sim = Simulator::new();
+    for i in 0..5u64 {
+        csprov_sim::spawn_periodic(
+            &mut sim,
+            SimTime::from_nanos(i),
+            SimDuration::from_micros(50),
+            StopFlag::new(),
+            |_, _| {},
+        );
+    }
+    if observed {
+        let last = Rc::new(Cell::new(0u64));
+        let sink = last.clone();
+        sim.set_observer(8192, move |s: &Simulator| sink.set(s.events_executed()));
+    }
+    sim.run_until(SimTime::from_secs(1));
+    sim.events_executed()
+}
+
+fn bench_sim_kernel(h: &mut Harness) {
+    let mut g = h.group("obs_sim_kernel");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("periodic_100k_plain", |b| {
+        b.iter(|| black_box(run_kernel(false)))
+    });
+    g.bench_function("periodic_100k_observed", |b| {
+        b.iter(|| black_box(run_kernel(true)))
+    });
+    g.finish();
+}
+
+/// The NAT forwarding workload from the `router` bench, optionally with the
+/// full `router.*` metric bundle attached.
+fn run_forward(metrics: Option<&RouterMetrics>) -> u64 {
+    let mut sim = Simulator::new();
+    let engine = ForwardingEngine::new(EngineConfig {
+        lookup_time: SimDuration::from_micros(1),
+        wan_queue: 64,
+        lan_queue: 64,
+        ..EngineConfig::default()
+    });
+    if let Some(m) = metrics {
+        engine.attach_metrics(m.clone());
+    }
+    for i in 0..10_000u64 {
+        let engine2 = engine.clone();
+        sim.schedule_at(SimTime::from_micros(i * 2), move |sim| {
+            let pkt = Packet {
+                src: client_endpoint(1),
+                dst: server_endpoint(),
+                app_len: 40,
+                kind: PacketKind::ClientCommand,
+                session: 1,
+                direction: Direction::Inbound,
+                sent_at: sim.now(),
+            };
+            engine2.submit(sim, pkt, |_, _| {});
+        });
+    }
+    sim.run();
+    engine.stats().forwarded[0].get()
+}
+
+fn bench_router_forwarding(h: &mut Harness) {
+    let registry = MetricsRegistry::new();
+    let metrics = RouterMetrics::register(&registry);
+    let mut g = h.group("obs_router_forward");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("engine_forward_10k_plain", |b| {
+        b.iter(|| black_box(run_forward(None)))
+    });
+    g.bench_function("engine_forward_10k_metrics", |b| {
+        b.iter(|| black_box(run_forward(Some(&metrics))))
+    });
+    g.finish();
+}
+
+/// Raw cost of the primitives themselves, for context on the path deltas.
+fn bench_primitives(h: &mut Harness) {
+    let registry = MetricsRegistry::new();
+    let mut g = h.group("obs_primitives");
+    g.throughput(Throughput::Elements(1_000_000));
+    g.bench_function("counter_incr_1m", |b| {
+        let c = registry.counter("bench.counter");
+        b.iter(|| {
+            for _ in 0..1_000_000 {
+                c.incr();
+            }
+            black_box(c.get())
+        })
+    });
+    g.bench_function("histogram_record_1m", |b| {
+        let hist = registry.histogram("bench.histogram");
+        b.iter(|| {
+            for i in 0..1_000_000u64 {
+                hist.record(i);
+            }
+            black_box(hist.snapshot().count())
+        })
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut h = Harness::from_args();
+    bench_sim_kernel(&mut h);
+    bench_router_forwarding(&mut h);
+    bench_primitives(&mut h);
+}

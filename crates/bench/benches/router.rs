@@ -1,7 +1,7 @@
-//! Criterion benchmarks for the routing substrate: LPM lookups, route-cache
-//! policies (the §IV-B comparison at speed), and the NAT forwarding path.
+//! Benchmarks for the routing substrate: LPM lookups, route-cache policies
+//! (the §IV-B comparison at speed), and the NAT forwarding path.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use csprov_bench::harness::{black_box, Harness, Throughput};
 use csprov_net::{client_endpoint, server_endpoint, Direction, Packet, PacketKind};
 use csprov_router::{
     simulate_cache, CachePolicy, EngineConfig, ForwardingEngine, NatTable, NextHop, RouteTable,
@@ -24,7 +24,7 @@ fn routing_table() -> RouteTable {
     t
 }
 
-fn bench_lpm(c: &mut Criterion) {
+fn bench_lpm(h: &mut Harness) {
     let table = routing_table();
     let mut rng = RngStream::new(1);
     let addrs: Vec<Ipv4Addr> = (0..10_000)
@@ -37,14 +37,16 @@ fn bench_lpm(c: &mut Criterion) {
             )
         })
         .collect();
-    let mut g = c.benchmark_group("route_table");
+    let mut g = h.group("route_table");
     g.throughput(Throughput::Elements(addrs.len() as u64));
     g.bench_function("lpm_lookup_10k", |b| {
         b.iter(|| {
             let mut acc = 0u32;
             for &a in &addrs {
                 let (hop, cost) = table.lookup(a);
-                acc = acc.wrapping_add(hop.map(|h| h.0).unwrap_or(0)).wrapping_add(cost);
+                acc = acc
+                    .wrapping_add(hop.map(|h| h.0).unwrap_or(0))
+                    .wrapping_add(cost);
             }
             black_box(acc)
         })
@@ -52,12 +54,12 @@ fn bench_lpm(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_cache_policies(c: &mut Criterion) {
+fn bench_cache_policies(h: &mut Harness) {
     let table = routing_table();
-    let mut g = c.benchmark_group("route_cache");
+    let mut g = h.group("route_cache");
     g.throughput(Throughput::Elements(50_000));
     for policy in CachePolicy::ALL {
-        g.bench_function(format!("{policy:?}_mixed_50k"), |b| {
+        g.bench_function(&format!("{policy:?}_mixed_50k"), |b| {
             b.iter(|| {
                 let mut rng = RngStream::new(2);
                 let stream = (0..50_000u32).map(move |i| {
@@ -85,8 +87,8 @@ fn bench_cache_policies(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_nat_path(c: &mut Criterion) {
-    let mut g = c.benchmark_group("nat");
+fn bench_nat_path(h: &mut Harness) {
+    let mut g = h.group("nat");
     g.throughput(Throughput::Elements(10_000));
     g.bench_function("engine_forward_10k", |b| {
         b.iter(|| {
@@ -132,5 +134,9 @@ fn bench_nat_path(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_lpm, bench_cache_policies, bench_nat_path);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_lpm(&mut h);
+    bench_cache_policies(&mut h);
+    bench_nat_path(&mut h);
+}

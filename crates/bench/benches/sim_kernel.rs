@@ -1,15 +1,15 @@
-//! Criterion benchmarks for the discrete-event kernel: the event queue,
-//! the scheduler loop, and the PRNG — the floor under every simulation
-//! second the harness runs.
+//! Benchmarks for the discrete-event kernel: the event queue, the
+//! scheduler loop, and the PRNG — the floor under every simulation second
+//! the harness runs.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use csprov_bench::harness::{black_box, Harness, Throughput};
 use csprov_sim::{
     dist::{Exp, Normal, Sample},
     EventQueue, RngStream, SimDuration, SimTime, Simulator, StopFlag,
 };
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("event_queue");
+fn bench_event_queue(h: &mut Harness) {
+    let mut g = h.group("event_queue");
     g.throughput(Throughput::Elements(10_000));
     g.bench_function("push_pop_10k_fifo", |b| {
         b.iter(|| {
@@ -45,8 +45,8 @@ fn bench_event_queue(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_simulator(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulator");
+fn bench_simulator(h: &mut Harness) {
+    let mut g = h.group("simulator");
     g.throughput(Throughput::Elements(100_000));
     g.bench_function("periodic_100k_events", |b| {
         b.iter(|| {
@@ -68,8 +68,8 @@ fn bench_simulator(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_rng(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rng");
+fn bench_rng(h: &mut Harness) {
+    let mut g = h.group("rng");
     g.throughput(Throughput::Elements(1_000_000));
     g.bench_function("next_u64_1m", |b| {
         let mut rng = RngStream::new(7);
@@ -107,5 +107,9 @@ fn bench_rng(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_simulator, bench_rng);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_event_queue(&mut h);
+    bench_simulator(&mut h);
+    bench_rng(&mut h);
+}

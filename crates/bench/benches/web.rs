@@ -1,14 +1,14 @@
-//! Criterion benchmarks for the TCP cross-traffic substrate.
+//! Benchmarks for the TCP cross-traffic substrate.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use csprov_bench::harness::{black_box, Harness, Throughput};
 use csprov_net::NullSink;
 use csprov_sim::SimDuration;
 use csprov_web::{run_web_workload, TcpConfig, TcpFlow, WebConfig};
 use std::cell::RefCell;
 use std::rc::Rc;
 
-fn bench_flow_machine(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tcp_flow");
+fn bench_flow_machine(h: &mut Harness) {
+    let mut g = h.group("tcp_flow");
     g.throughput(Throughput::Elements(10_000));
     g.bench_function("send_ack_loop_10k_segments", |b| {
         b.iter(|| {
@@ -27,8 +27,8 @@ fn bench_flow_machine(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_workload(c: &mut Criterion) {
-    let mut g = c.benchmark_group("web_workload");
+fn bench_workload(h: &mut Harness) {
+    let mut g = h.group("web_workload");
     g.sample_size(10);
     g.bench_function("simulate_60s_persistent_flow", |b| {
         b.iter(|| {
@@ -50,5 +50,8 @@ fn bench_workload(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_flow_machine, bench_workload);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_flow_machine(&mut h);
+    bench_workload(&mut h);
+}

@@ -1,6 +1,6 @@
-//! Criterion benchmarks for the wire formats and pcap path.
+//! Benchmarks for the wire formats and pcap path.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use csprov_bench::harness::{black_box, Harness, Throughput};
 use csprov_net::pcap::{parse_frame, synthesize_frame};
 use csprov_net::wire::{EthernetFrame, Ipv4Packet, UdpDatagram};
 use csprov_net::{Direction, PacketKind, TraceRecord};
@@ -16,8 +16,8 @@ fn sample_record() -> TraceRecord {
     }
 }
 
-fn bench_synthesize(c: &mut Criterion) {
-    let mut g = c.benchmark_group("wire");
+fn bench_synthesize(h: &mut Harness) {
+    let mut g = h.group("wire");
     let rec = sample_record();
     g.throughput(Throughput::Elements(1));
     g.bench_function("synthesize_frame", |b| {
@@ -39,9 +39,9 @@ fn bench_synthesize(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_trace_format(c: &mut Criterion) {
+fn bench_trace_format(h: &mut Harness) {
     use csprov_net::{TraceReader, TraceWriter};
-    let mut g = c.benchmark_group("trace_format");
+    let mut g = h.group("trace_format");
     let records: Vec<TraceRecord> = (0..10_000)
         .map(|i| TraceRecord {
             time: SimTime::from_micros(i * 100),
@@ -83,5 +83,8 @@ fn bench_trace_format(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_synthesize, bench_trace_format);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_synthesize(&mut h);
+    bench_trace_format(&mut h);
+}

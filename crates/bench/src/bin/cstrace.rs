@@ -70,13 +70,19 @@ impl Summary {
             .unwrap_or(SimDuration::ZERO);
         let secs = span.as_secs_f64().max(1e-9);
         println!("{path}:");
-        println!("  packets           {total} ({} in / {} out)", self.packets[0], self.packets[1]);
+        println!(
+            "  packets           {total} ({} in / {} out)",
+            self.packets[0], self.packets[1]
+        );
         println!("  span              {:.3} s", span.as_secs_f64());
         println!("  mean load         {:.1} pps", total as f64 / secs);
         let wire = self.app_bytes[0]
             + self.app_bytes[1]
             + total * u64::from(csprov_net::WIRE_OVERHEAD_BYTES);
-        println!("  mean bandwidth    {:.0} kbps (wire)", wire as f64 * 8.0 / secs / 1000.0);
+        println!(
+            "  mean bandwidth    {:.0} kbps (wire)",
+            wire as f64 * 8.0 / secs / 1000.0
+        );
         for (i, d) in ["in", "out"].iter().enumerate() {
             if self.packets[i] > 0 {
                 println!(
@@ -89,7 +95,11 @@ impl Summary {
         for k in PacketKind::ALL {
             let n = self.by_kind[k.as_u8() as usize];
             if n > 0 {
-                println!("    {:<16} {n:>12} ({:.2}%)", format!("{k:?}"), n as f64 / total as f64 * 100.0);
+                println!(
+                    "    {:<16} {n:>12} ({:.2}%)",
+                    format!("{k:?}"),
+                    n as f64 / total as f64 * 100.0
+                );
             }
         }
     }
@@ -134,7 +144,9 @@ fn cmd_gen(out: &str, minutes: u64, seed: u64) -> Result<(), String> {
                 TraceWriter::new(file).map_err(|e| e.to_string())?,
             )));
             World::run(cfg, sink.clone());
-            let sink = Rc::try_unwrap(sink).map_err(|_| "sink leaked")?.into_inner();
+            let sink = Rc::try_unwrap(sink)
+                .map_err(|_| "sink leaked")?
+                .into_inner();
             let n = sink.records_written();
             sink.finish().map_err(|e| e.to_string())?;
             n
@@ -144,7 +156,9 @@ fn cmd_gen(out: &str, minutes: u64, seed: u64) -> Result<(), String> {
                 PcapWriter::new(file).map_err(|e| e.to_string())?,
             )));
             World::run(cfg, sink.clone());
-            let sink = Rc::try_unwrap(sink).map_err(|_| "sink leaked")?.into_inner();
+            let sink = Rc::try_unwrap(sink)
+                .map_err(|_| "sink leaked")?
+                .into_inner();
             let n = sink.frames_written();
             sink.finish().map_err(|e| e.to_string())?;
             n

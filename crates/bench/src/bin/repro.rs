@@ -11,25 +11,39 @@
 //!            nat        table IV and figures 14-15
 //!
 //! OPTIONS:
-//!   --seed N       RNG seed (default 2002)
-//!   --hours H      main-trace length in hours (default 24)
-//!   --full-week    use the paper's full 626,477 s trace (~7.25 days)
-//!   --csv DIR      also write key figures' data series as CSV into DIR
+//!   --seed N           RNG seed (default 2002)
+//!   --hours H          main-trace length in hours (default 24)
+//!   --full-week        use the paper's full 626,477 s trace (~7.25 days)
+//!   --csv DIR          also write key figures' data series as CSV into DIR
+//!   --progress         heartbeat on stderr (sim/wall ratio, ev/s, ETA)
+//!   --metrics-out FILE metrics snapshot per artifact (text + JSON lines)
 //! ```
+//!
+//! Instrumentation is observe-only: a seeded run's artifact output is
+//! byte-identical with and without `--progress`/`--metrics-out`.
 
 use csprov::experiments::{ablations, aggregate, figures, nat, tables, web, ExperimentId};
 use csprov::pipeline::MainRun;
 use csprov_analysis::report::to_csv;
-use csprov_game::{ScenarioConfig, PAPER_TRACE_SECS};
+use csprov_game::{GameMetrics, ScenarioConfig, WorldInstruments, PAPER_TRACE_SECS};
+use csprov_net::LinkMetrics;
+use csprov_obs::{MetricsRegistry, ProgressReporter};
 use csprov_router::EngineConfig;
-use csprov_sim::SimDuration;
+use csprov_sim::{SimDuration, Simulator};
 use std::process::ExitCode;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// How many kernel events pass between progress-observer callbacks.
+const OBSERVER_STRIDE: u64 = 8192;
 
 struct Options {
     seed: u64,
     hours: f64,
     full_week: bool,
     csv_dir: Option<String>,
+    progress: bool,
+    metrics_out: Option<String>,
     artifacts: Vec<ExperimentId>,
 }
 
@@ -39,6 +53,8 @@ fn parse_args() -> Result<Options, String> {
         hours: 24.0,
         full_week: false,
         csv_dir: None,
+        progress: false,
+        metrics_out: None,
         artifacts: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -60,11 +76,18 @@ fn parse_args() -> Result<Options, String> {
             }
             "--full-week" => opts.full_week = true,
             "--csv" => opts.csv_dir = Some(args.next().ok_or("--csv needs a directory")?),
+            "--progress" => opts.progress = true,
+            "--metrics-out" => {
+                opts.metrics_out = Some(args.next().ok_or("--metrics-out needs a file")?)
+            }
             "-h" | "--help" => return Err(String::new()),
             "all" => opts.artifacts = ExperimentId::all(),
             "main" => {
-                opts.artifacts
-                    .extend([ExperimentId::Table1, ExperimentId::Table2, ExperimentId::Table3]);
+                opts.artifacts.extend([
+                    ExperimentId::Table1,
+                    ExperimentId::Table2,
+                    ExperimentId::Table3,
+                ]);
                 opts.artifacts.extend((1..=13).map(ExperimentId::Fig));
             }
             "nat" => {
@@ -73,6 +96,9 @@ fn parse_args() -> Result<Options, String> {
                     ExperimentId::Fig14,
                     ExperimentId::Fig15,
                 ]);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option: {other}"));
             }
             other => {
                 let id: ExperimentId = other.parse()?;
@@ -88,11 +114,46 @@ fn parse_args() -> Result<Options, String> {
 
 fn usage() {
     eprintln!(
-        "usage: repro [--seed N] [--hours H] [--full-week] [--csv DIR] <artifact|all|main|nat>..."
+        "usage: repro [--seed N] [--hours H] [--full-week] [--csv DIR] [--progress] \
+         [--metrics-out FILE] <artifact|all|main|nat>..."
     );
     eprintln!("artifacts: table1..table4, fig1..fig15, ablate-tick, ablate-population,");
     eprintln!("           ablate-nat-capacity, ablate-nat-buffer, route-cache, source-model,");
     eprintln!("           web-vs-game");
+}
+
+/// Builds the observe-only side channels for one world run: metric handles
+/// registered against `registry` (when a metrics file was requested) and a
+/// kernel observer driving a [`ProgressReporter`] (when `--progress` is on).
+///
+/// The reporter is also returned so the caller can emit the final summary
+/// line after the run; the observer keeps its own `Rc` clone.
+fn instruments_for(
+    label: &str,
+    horizon_ns: u64,
+    registry: Option<&MetricsRegistry>,
+    progress: bool,
+) -> (WorldInstruments, Option<Rc<ProgressReporter>>) {
+    let mut instruments = WorldInstruments::default();
+    if let Some(registry) = registry {
+        instruments.metrics = Some(GameMetrics::register(registry));
+        instruments.link_metrics = Some(LinkMetrics::register(registry));
+    }
+    let reporter = progress.then(|| Rc::new(ProgressReporter::new(label, Some(horizon_ns))));
+    if let Some(reporter) = &reporter {
+        let reporter = reporter.clone();
+        instruments.observer = Some((
+            OBSERVER_STRIDE,
+            Box::new(move |sim: &Simulator| {
+                reporter.maybe_report(
+                    sim.now().as_nanos(),
+                    sim.events_executed(),
+                    sim.pending_events(),
+                );
+            }),
+        ));
+    }
+    (instruments, reporter)
 }
 
 fn write_csv(dir: &str, name: &str, headers: &[&str], cols: &[&[f64]]) {
@@ -127,14 +188,29 @@ fn main() -> ExitCode {
     let needs_main = opts.artifacts.iter().any(|a| a.needs_main_run());
     let needs_nat = opts.artifacts.iter().any(|a| a.needs_nat_run());
 
+    let registry = opts.metrics_out.as_ref().map(|_| MetricsRegistry::new());
+
     let main_run = needs_main.then(|| {
         eprintln!(
             "[run] simulating {:.1} h of server traffic (seed {})...",
             duration.as_secs_f64() / 3600.0,
             opts.seed
         );
-        let t0 = std::time::Instant::now();
-        let run = MainRun::execute(ScenarioConfig::scaled(opts.seed, duration));
+        let t0 = Instant::now();
+        let (instruments, reporter) = instruments_for(
+            "main",
+            duration.as_nanos(),
+            registry.as_ref(),
+            opts.progress,
+        );
+        let run = MainRun::execute_instrumented(
+            ScenarioConfig::scaled(opts.seed, duration),
+            instruments,
+            registry.as_ref(),
+        );
+        if let Some(reporter) = reporter {
+            reporter.finish(duration.as_nanos(), run.outcome.events_executed);
+        }
         eprintln!(
             "[run] done: {} packets in {:.1} s wall ({} events)",
             run.analysis.counts.total_packets(),
@@ -145,10 +221,23 @@ fn main() -> ExitCode {
     });
     let nat_run = needs_nat.then(|| {
         eprintln!("[run] NAT experiment: one 30-minute map through the device...");
-        nat::run_nat_experiment(opts.seed, EngineConfig::default())
+        let nat_horizon = SimDuration::from_mins(30).as_nanos();
+        let (instruments, reporter) =
+            instruments_for("nat", nat_horizon, registry.as_ref(), opts.progress);
+        let run = nat::run_nat_experiment_instrumented(
+            opts.seed,
+            EngineConfig::default(),
+            instruments,
+            registry.as_ref(),
+        );
+        if let Some(reporter) = reporter {
+            reporter.finish(nat_horizon, run.outcome.events_executed);
+        }
+        run
     });
 
     for id in &opts.artifacts {
+        let artifact_t0 = Instant::now();
         println!("\n================ {id} ================");
         let main = main_run.as_ref();
         let natr = nat_run.as_ref();
@@ -179,20 +268,14 @@ fn main() -> ExitCode {
             ExperimentId::Fig14 => figures::fig14(natr.unwrap()),
             ExperimentId::Fig15 => figures::fig15(natr.unwrap()),
             ExperimentId::AblateTick => ablations::ablate_tick(opts.seed, 20).render(),
-            ExperimentId::AblatePopulation => {
-                ablations::ablate_population(opts.seed, 240).render()
-            }
+            ExperimentId::AblatePopulation => ablations::ablate_population(opts.seed, 240).render(),
             ExperimentId::AblateNatCapacity => ablations::ablate_nat_capacity(opts.seed).render(),
             ExperimentId::AblateNatBuffer => ablations::ablate_nat_buffer(opts.seed).render(),
             ExperimentId::RouteCache => ablations::route_cache_experiment(opts.seed).render(),
-            ExperimentId::SourceModel => {
-                ablations::source_model_experiment(opts.seed, 30).render()
-            }
+            ExperimentId::SourceModel => ablations::source_model_experiment(opts.seed, 30).render(),
             ExperimentId::WebVsGame => web::web_vs_game(opts.seed).render(),
             ExperimentId::AblateLinkMix => ablations::ablate_link_mix(opts.seed, 20).render(),
-            ExperimentId::AggregateServers => {
-                aggregate::aggregate_servers(opts.seed, 120).render()
-            }
+            ExperimentId::AggregateServers => aggregate::aggregate_servers(opts.seed, 120).render(),
         };
         println!("{out}");
 
@@ -200,13 +283,18 @@ fn main() -> ExitCode {
             match id {
                 ExperimentId::Fig(1) | ExperimentId::Fig(2) => {
                     let r = main.unwrap();
-                    let minutes: Vec<f64> =
-                        (0..r.analysis.per_minute.bins().len()).map(|i| i as f64).collect();
+                    let minutes: Vec<f64> = (0..r.analysis.per_minute.bins().len())
+                        .map(|i| i as f64)
+                        .collect();
                     write_csv(
                         dir,
                         &id.to_string(),
                         &["minute", "kbps", "pps"],
-                        &[&minutes, &r.analysis.per_minute.kbps(), &r.analysis.per_minute.pps()],
+                        &[
+                            &minutes,
+                            &r.analysis.per_minute.kbps(),
+                            &r.analysis.per_minute.pps(),
+                        ],
                     );
                 }
                 ExperimentId::Fig(5) => {
@@ -243,6 +331,31 @@ fn main() -> ExitCode {
                     );
                 }
                 _ => {}
+            }
+        }
+        eprintln!(
+            "[time] {id}: {:.3} s wall",
+            artifact_t0.elapsed().as_secs_f64()
+        );
+    }
+
+    if let (Some(path), Some(registry)) = (&opts.metrics_out, &registry) {
+        let mut out = String::new();
+        for id in &opts.artifacts {
+            let label = id.to_string();
+            out.push_str(&format!("# ==== {label} ====\n"));
+            for line in registry.render_deterministic().lines() {
+                out.push_str("# ");
+                out.push_str(line);
+                out.push('\n');
+            }
+            out.push_str(&registry.render_jsonl(&label));
+        }
+        match std::fs::write(path, out) {
+            Ok(()) => eprintln!("[metrics] wrote {path} ({} instruments)", registry.len()),
+            Err(e) => {
+                eprintln!("error: could not write {path}: {e}");
+                return ExitCode::FAILURE;
             }
         }
     }

@@ -1,0 +1,213 @@
+//! Minimal micro-benchmark harness.
+//!
+//! The workspace builds fully offline, so the `benches/` targets use this
+//! small in-tree runner instead of an external benchmarking crate. The API
+//! mirrors the conventional group/function/iter shape:
+//!
+//! ```no_run
+//! use csprov_bench::harness::{black_box, Harness, Throughput};
+//!
+//! let mut h = Harness::from_args();
+//! let mut g = h.group("sums");
+//! g.throughput(Throughput::Elements(1_000));
+//! g.bench_function("wrapping_add_1k", |b| {
+//!     b.iter(|| (0..1_000u64).fold(0u64, |a, x| a.wrapping_add(black_box(x))))
+//! });
+//! g.finish();
+//! ```
+//!
+//! Each function is warmed up, then timed over a fixed number of samples;
+//! the report shows the median and minimum per-iteration time plus a
+//! throughput rate when one is configured. A positional argument acts as a
+//! substring filter on `group/name`, matching `cargo bench <filter>`.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Units processed per iteration, for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical items (events, packets, records) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Top-level runner: parses CLI args once, then hands out groups.
+pub struct Harness {
+    filter: Option<String>,
+    samples: u32,
+    sample_time: Duration,
+}
+
+impl Harness {
+    /// Builds a harness from `std::env::args`: flags (anything starting
+    /// with `-`, as passed by `cargo bench`) are ignored, the first
+    /// positional argument becomes a substring filter.
+    pub fn from_args() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        let sample_ms = std::env::var("CSPROV_BENCH_SAMPLE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(100u64);
+        let samples = std::env::var("CSPROV_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10u32);
+        Harness {
+            filter,
+            samples,
+            sample_time: Duration::from_millis(sample_ms),
+        }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            samples: self.samples,
+            harness: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmark functions sharing a throughput setting.
+pub struct Group<'a> {
+    harness: &'a Harness,
+    name: String,
+    throughput: Option<Throughput>,
+    samples: u32,
+}
+
+impl Group<'_> {
+    /// Sets the per-iteration throughput for subsequent functions.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Overrides the sample count for this group (for expensive workloads).
+    pub fn sample_size(&mut self, n: u32) {
+        self.samples = n.max(1);
+    }
+
+    /// Runs one benchmark function: `f` receives a [`Bencher`] and must
+    /// call [`Bencher::iter`] exactly once with the workload closure.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, name);
+        if let Some(filter) = &self.harness.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Calibration: one iteration to estimate cost, then scale the
+        // per-sample iteration count to fill the sample window.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let once = b.elapsed.max(Duration::from_nanos(1));
+        let iters =
+            (self.harness.sample_time.as_nanos() / once.as_nanos()).clamp(1, 1 << 30) as u64;
+
+        // Warmup (discarded), then measured samples.
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.samples as usize);
+        for sample in 0..self.samples + 2 {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if sample >= 2 {
+                per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+            }
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let min = per_iter_ns[0];
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>10}/s", si(n as f64 / (median * 1e-9)))
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>9}B/s", si(n as f64 / (median * 1e-9)))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{full:<44} median {:>12}  min {:>12}{rate}",
+            fmt_ns(median),
+            fmt_ns(min)
+        );
+    }
+
+    /// Ends the group (kept for call-site symmetry; no summary state).
+    pub fn finish(self) {}
+}
+
+/// Per-function measurement context handed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the harness-chosen iteration count.
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn si(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} k", rate / 1e3)
+    } else {
+        format!("{rate:.1} ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_ranges() {
+        assert_eq!(fmt_ns(12.34), "12.3 ns");
+        assert_eq!(fmt_ns(12_340.0), "12.34 µs");
+        assert_eq!(fmt_ns(12_340_000.0), "12.34 ms");
+        assert!(si(2.5e6).starts_with("2.50 M"));
+    }
+
+    #[test]
+    fn bencher_runs_requested_iterations() {
+        let mut count = 0u64;
+        let mut b = Bencher {
+            iters: 17,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 17);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+}

@@ -2,12 +2,14 @@
 //!
 //! - `src/bin/repro.rs` — regenerates every table and figure of the paper
 //!   (`cargo run -p csprov-bench --release --bin repro -- all`).
-//! - `benches/` — Criterion benchmarks for the performance-critical layers
+//! - `benches/` — micro-benchmarks for the performance-critical layers
 //!   (event kernel, wire formats, streaming analyzers, router models, and
-//!   the end-to-end simulation).
+//!   the end-to-end simulation), built on the in-tree [`harness`].
 //!
 //! This crate intentionally has no library surface beyond the helpers the
 //! binary and benches share.
+
+pub mod harness;
 
 use csprov::pipeline::MainRun;
 use csprov_game::ScenarioConfig;

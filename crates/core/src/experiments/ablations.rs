@@ -51,10 +51,7 @@ pub fn ablate_tick(seed: u64, minutes: u64) -> TextTable {
             .hurst(1, blocks)
             .map(|(h, _)| fmt_f64(h, 3))
             .unwrap_or_else(|| "-".into());
-        let mean_out = run
-            .analysis
-            .sizes
-            .mean(Direction::Outbound);
+        let mean_out = run.analysis.sizes.mean(Direction::Outbound);
         t.row(vec![
             tick_ms.to_string(),
             fmt_f64(out_pps, 1),
@@ -96,10 +93,7 @@ pub fn ablate_population(seed: u64, minutes: u64) -> TextTable {
             .map(|&p| f64::from(p))
             .collect();
         let mean = players.iter().sum::<f64>() / players.len().max(1) as f64;
-        let var = players
-            .iter()
-            .map(|p| (p - mean) * (p - mean))
-            .sum::<f64>()
+        let var = players.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>()
             / players.len().max(1) as f64;
         let h = run
             .analysis
@@ -131,12 +125,21 @@ pub fn ablate_link_mix(seed: u64, minutes: u64) -> TextTable {
         "share <56k %",
         "share >56k %",
     ]);
-    let mixes: [(&str, Vec<(LinkClass, f64)>, f64); 3] = [
-        ("2002 modem-heavy (default)", WorkloadConfig::default().link_mix, 0.02),
+    type Mix = (&'static str, Vec<(LinkClass, f64)>, f64);
+    let mixes: [Mix; 3] = [
+        (
+            "2002 modem-heavy (default)",
+            WorkloadConfig::default().link_mix,
+            0.02,
+        ),
         ("all 56k modem", vec![(LinkClass::Modem56k, 1.0)], 0.0),
         (
             "all broadband",
-            vec![(LinkClass::Dsl, 0.5), (LinkClass::Cable, 0.3), (LinkClass::Lan, 0.2)],
+            vec![
+                (LinkClass::Dsl, 0.5),
+                (LinkClass::Cable, 0.3),
+                (LinkClass::Lan, 0.2),
+            ],
             0.10,
         ),
     ];
@@ -145,11 +148,10 @@ pub fn ablate_link_mix(seed: u64, minutes: u64) -> TextTable {
         cfg.workload.link_mix = mix;
         cfg.workload.l337_fraction = l337;
         let run = MainRun::execute(cfg);
-        let h = run.analysis.flows.bandwidth_histogram(
-            SimDuration::from_secs(30),
-            150_000.0,
-            30,
-        );
+        let h = run
+            .analysis
+            .flows
+            .bandwidth_histogram(SimDuration::from_secs(30), 150_000.0, 30);
         let total = h.total().max(1);
         let below: u64 = h
             .bins()
@@ -211,14 +213,17 @@ pub fn ablate_nat_buffer(seed: u64) -> TextTable {
         let run = run_nat_experiment(seed, engine.clone());
         let (li, _) = run.loss_rates();
         // Worst case: a full WAN queue plus a full LAN tick burst ahead.
-        let delay_ms = (wan + engine.lan_queue) as f64
-            * engine.lookup_time.as_secs_f64()
-            * 1000.0;
+        let delay_ms = (wan + engine.lan_queue) as f64 * engine.lookup_time.as_secs_f64() * 1000.0;
         t.row(vec![
             wan.to_string(),
             fmt_f64(li * 100.0, 3),
             fmt_f64(delay_ms, 1),
-            if delay_ms <= 12.5 { "yes" } else { "no (>1/4 of budget)" }.to_string(),
+            if delay_ms <= 12.5 {
+                "yes"
+            } else {
+                "no (>1/4 of budget)"
+            }
+            .to_string(),
         ]);
     }
     t
@@ -233,7 +238,11 @@ pub fn route_cache_experiment(seed: u64) -> TextTable {
     for a in 1..=60u8 {
         table.insert(Ipv4Addr::new(a, 0, 0, 0), 8, NextHop(u32::from(a)));
         table.insert(Ipv4Addr::new(a, 10, 0, 0), 16, NextHop(1000 + u32::from(a)));
-        table.insert(Ipv4Addr::new(a, 10, 20, 0), 24, NextHop(2000 + u32::from(a)));
+        table.insert(
+            Ipv4Addr::new(a, 10, 20, 0),
+            24,
+            NextHop(2000 + u32::from(a)),
+        );
     }
 
     // Workload: 20 game clients at 40 B dominating the packet count, plus

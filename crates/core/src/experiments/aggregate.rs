@@ -78,12 +78,7 @@ pub fn run_fleet(
             *agg += pps[i];
         }
         for (i, agg) in agg_players.iter_mut().enumerate() {
-            *agg += run
-                .outcome
-                .players_per_minute
-                .get(i)
-                .copied()
-                .unwrap_or(0) as f64;
+            *agg += run.outcome.players_per_minute.get(i).copied().unwrap_or(0) as f64;
         }
     }
 
@@ -116,16 +111,15 @@ pub fn run_fleet(
 
 /// The rendered aggregation experiment.
 pub fn aggregate_servers(seed: u64, minutes: u64) -> TextTable {
-    let mut t = TextTable::new("Aggregation: fleet traffic vs players (Section IV-B)").header(
-        vec![
+    let mut t =
+        TextTable::new("Aggregation: fleet traffic vs players (Section IV-B)").header(vec![
             "population",
             "servers",
             "mean players",
             "pps/player",
             "linearity r^2",
             "aggregate H (R/S)",
-        ],
-    );
+        ]);
     for r in [
         run_fleet("fixed-ish (default)", seed, 4, minutes, 1.05),
         run_fleet("heavy-tail sessions", seed + 100, 4, minutes, 2.4),

@@ -115,7 +115,12 @@ pub fn fig5(run: &MainRun) -> String {
     let h = fig5_data(run);
     let mut s = String::new();
     writeln!(s, "Figure 5: variance-time plot (base m = 10 ms)").unwrap();
-    writeln!(s, "{:>12} {:>12} {:>16} {:>10}", "blocks", "interval", "log10(norm var)", "blocks#").unwrap();
+    writeln!(
+        s,
+        "{:>12} {:>12} {:>16} {:>10}",
+        "blocks", "interval", "log10(norm var)", "blocks#"
+    )
+    .unwrap();
     for p in &h.points {
         writeln!(
             s,
@@ -381,7 +386,12 @@ pub fn fig14(run: &NatRun) -> String {
         CHART_H,
     );
     let (in_loss, _) = run.loss_rates();
-    writeln!(s, "incoming loss through device: {:.3}% (paper 1.3%)", in_loss * 100.0).unwrap();
+    writeln!(
+        s,
+        "incoming loss through device: {:.3}% (paper 1.3%)",
+        in_loss * 100.0
+    )
+    .unwrap();
     s
 }
 
@@ -400,7 +410,12 @@ pub fn fig15(run: &NatRun) -> String {
         CHART_H,
     );
     let (_, out_loss) = run.loss_rates();
-    writeln!(s, "outgoing loss through device: {:.3}% (paper 0.046%)", out_loss * 100.0).unwrap();
+    writeln!(
+        s,
+        "outgoing loss through device: {:.3}% (paper 0.046%)",
+        out_loss * 100.0
+    )
+    .unwrap();
     s
 }
 
@@ -456,7 +471,10 @@ mod tests {
         let r = run();
         let h = fig5_data(&r);
         let (h_sub, _) = h.sub_tick.expect("sub-tick region");
-        assert!(h_sub < 0.5, "aggressive smoothing below the tick: H = {h_sub}");
+        assert!(
+            h_sub < 0.5,
+            "aggressive smoothing below the tick: H = {h_sub}"
+        );
         let (h_mid, _) = h.mid.expect("mid region");
         assert!(h_mid > h_sub, "mid region retains more variability");
     }

@@ -54,7 +54,11 @@ pub enum ExperimentId {
 impl ExperimentId {
     /// Every artifact, in paper order.
     pub fn all() -> Vec<ExperimentId> {
-        let mut v = vec![ExperimentId::Table1, ExperimentId::Table2, ExperimentId::Table3];
+        let mut v = vec![
+            ExperimentId::Table1,
+            ExperimentId::Table2,
+            ExperimentId::Table3,
+        ];
         v.extend((1..=13).map(ExperimentId::Fig));
         v.extend([
             ExperimentId::Table4,

@@ -3,9 +3,10 @@
 //! Figures 14 and 15).
 
 use csprov_analysis::RateSeries;
-use csprov_game::{ScenarioConfig, TraceOutcome, World};
+use csprov_game::{ScenarioConfig, TraceOutcome, World, WorldInstruments};
 use csprov_net::{Direction, NullSink, TraceSink};
-use csprov_router::{EngineConfig, EngineStats, NatDevice, NatTaps};
+use csprov_obs::MetricsRegistry;
+use csprov_router::{EngineConfig, EngineStats, NatDevice, NatTaps, RouterMetrics};
 use csprov_sim::SimDuration;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -42,6 +43,19 @@ impl NatRun {
 /// 30-minute map (plus a 5-minute warm-up, matching the paper's "after a
 /// brief warm-up period").
 pub fn run_nat_experiment(seed: u64, engine: EngineConfig) -> NatRun {
+    run_nat_experiment_instrumented(seed, engine, WorldInstruments::default(), None)
+}
+
+/// [`run_nat_experiment`] with observability attached: world/sim
+/// instruments ride along, the NAT device reports `router.*` metrics, and
+/// the four measurement-point taps export their accepted totals as
+/// `pipeline.records.*` counters.
+pub fn run_nat_experiment_instrumented(
+    seed: u64,
+    engine: EngineConfig,
+    instruments: WorldInstruments,
+    registry: Option<&MetricsRegistry>,
+) -> NatRun {
     // One 30-minute map, exactly the paper's window. The warm-up happened
     // before the trace: the scenario starts with the player count the
     // paper's Table IV packet totals imply (853k inbound packets over
@@ -60,13 +74,29 @@ pub fn run_nat_experiment(seed: u64, engine: EngineConfig) -> NatRun {
         nat_to_clients: Some(d.clone()),
     };
     let device = Rc::new(NatDevice::new(engine.clone(), taps));
+    if let Some(registry) = registry {
+        device.attach_metrics(RouterMetrics::register(registry));
+    }
     let sink = Rc::new(RefCell::new(NullSink));
     let duration = cfg.duration;
-    let outcome = World::run_with_middlebox(cfg, sink, Some(device.clone()));
+    let outcome = World::run_instrumented(cfg, sink, Some(device.clone()), instruments);
     // Close the tap series so their final partial bins are flushed.
     for tap in [&a, &b, &c, &d] {
         tap.borrow_mut()
             .on_end(csprov_sim::SimTime::ZERO + duration);
+    }
+    if let Some(registry) = registry {
+        let total = |s: &Rc<RefCell<RateSeries>>| -> u64 {
+            s.borrow().bins().iter().map(|b| b.packets).sum()
+        };
+        for (name, tap) in [
+            ("pipeline.records.clients_to_nat", &a),
+            ("pipeline.records.nat_to_server", &b),
+            ("pipeline.records.server_to_nat", &c),
+            ("pipeline.records.nat_to_clients", &d),
+        ] {
+            registry.counter(name).add(total(tap));
+        }
     }
 
     let unwrap = |s: Rc<RefCell<RateSeries>>| {
@@ -116,9 +146,8 @@ mod tests {
             tap.borrow_mut()
                 .on_end(csprov_sim::SimTime::ZERO + duration);
         }
-        let unwrap = |s: Rc<RefCell<RateSeries>>| {
-            Rc::try_unwrap(s).map_err(|_| ()).unwrap().into_inner()
-        };
+        let unwrap =
+            |s: Rc<RefCell<RateSeries>>| Rc::try_unwrap(s).map_err(|_| ()).unwrap().into_inner();
         let stats = device.stats();
         drop(device);
         NatRun {
@@ -142,7 +171,10 @@ mod tests {
             (0.002..0.05).contains(&in_loss),
             "inbound loss {in_loss} out of band"
         );
-        assert!(out_loss < in_loss / 5.0, "outbound {out_loss} vs inbound {in_loss}");
+        assert!(
+            out_loss < in_loss / 5.0,
+            "outbound {out_loss} vs inbound {in_loss}"
+        );
     }
 
     #[test]

@@ -5,7 +5,6 @@ use crate::pipeline::MainRun;
 use csprov_analysis::report::{fmt_count, fmt_delta, fmt_f64, TextTable};
 use csprov_analysis::{application_usage, gib, network_usage, summarize_sessions};
 
-
 /// Paper values for Table I.
 pub mod paper {
     /// Trace length in seconds.
@@ -80,9 +79,21 @@ pub fn table1(run: &MainRun) -> TextTable {
         run.config.duration.as_secs_f64(),
         paper::TRACE_SECS,
     );
-    row("maps played", f64::from(run.outcome.maps_played), paper::MAPS);
-    row("established connections", s.established as f64, paper::ESTABLISHED);
-    row("attempted connections", s.attempted as f64, paper::ATTEMPTED);
+    row(
+        "maps played",
+        f64::from(run.outcome.maps_played),
+        paper::MAPS,
+    );
+    row(
+        "established connections",
+        s.established as f64,
+        paper::ESTABLISHED,
+    );
+    row(
+        "attempted connections",
+        s.attempted as f64,
+        paper::ATTEMPTED,
+    );
     // Unique-client counts grow sublinearly (regulars recur), so the
     // linear week-scaling overstates them on short runs; they are shown
     // unscaled against the paper only on full-week runs.
@@ -215,9 +226,8 @@ pub fn table3(run: &MainRun) -> TextTable {
 pub fn table4(run: &NatRun) -> TextTable {
     let s = &run.stats;
     let (in_loss, out_loss) = run.loss_rates();
-    let mut t = TextTable::new("Table IV: NAT experiment").header(vec![
-        "metric", "measured", "paper", "delta",
-    ]);
+    let mut t = TextTable::new("Table IV: NAT experiment")
+        .header(vec!["metric", "measured", "paper", "delta"]);
     let rows: [(&str, f64, f64); 6] = [
         (
             "outgoing: server -> NAT packets",
@@ -229,7 +239,11 @@ pub fn table4(run: &NatRun) -> TextTable {
             s.forwarded[1].get() as f64,
             paper::NAT_TO_CLIENTS,
         ),
-        ("outgoing loss rate (%)", out_loss * 100.0, paper::NAT_OUT_LOSS * 100.0),
+        (
+            "outgoing loss rate (%)",
+            out_loss * 100.0,
+            paper::NAT_OUT_LOSS * 100.0,
+        ),
         (
             "incoming: clients -> NAT packets",
             s.offered[0].get() as f64,
@@ -240,7 +254,11 @@ pub fn table4(run: &NatRun) -> TextTable {
             s.forwarded[0].get() as f64,
             paper::NAT_TO_SERVER,
         ),
-        ("incoming loss rate (%)", in_loss * 100.0, paper::NAT_IN_LOSS * 100.0),
+        (
+            "incoming loss rate (%)",
+            in_loss * 100.0,
+            paper::NAT_IN_LOSS * 100.0,
+        ),
     ];
     for (name, measured, paper) in rows {
         let shown = if name.contains('%') {

@@ -117,17 +117,15 @@ pub fn web_vs_game_rows(seed: u64) -> Vec<WorkloadRow> {
 
 /// Renders the comparison table.
 pub fn web_vs_game(seed: u64) -> TextTable {
-    let mut t = TextTable::new(
-        "Same NAT device, game vs bulk TCP: the limit is packets, not bits",
-    )
-    .header(vec![
-        "workload",
-        "kbps",
-        "pps",
-        "mean pkt (B)",
-        "in loss %",
-        "out loss %",
-    ]);
+    let mut t = TextTable::new("Same NAT device, game vs bulk TCP: the limit is packets, not bits")
+        .header(vec![
+            "workload",
+            "kbps",
+            "pps",
+            "mean pkt (B)",
+            "in loss %",
+            "out loss %",
+        ]);
     for r in web_vs_game_rows(seed) {
         t.row(vec![
             r.name.clone(),

@@ -7,8 +7,9 @@
 //! stored series).
 
 use csprov_analysis::{FlowTable, RateSeries, SizeHistogram, VarianceTime};
-use csprov_game::{ScenarioConfig, TraceOutcome, World};
+use csprov_game::{ScenarioConfig, TraceOutcome, World, WorldInstruments};
 use csprov_net::{CountingSink, Direction, TraceRecord, TraceSink};
+use csprov_obs::MetricsRegistry;
 use csprov_sim::{SimDuration, SimTime};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -98,6 +99,55 @@ impl FullAnalysis {
             flows: FlowTable::new(),
         }
     }
+
+    /// Exports per-analyzer ingestion totals as `pipeline.records.*`
+    /// counters (plus `pipeline.flows.tracked`).
+    ///
+    /// Runs once after the trace finishes, off the packet hot path, and
+    /// reads only each analyzer's own accepted totals — so the numbers are
+    /// exact and the export can never perturb the analysis itself.
+    pub fn export_metrics(&self, registry: &MetricsRegistry) {
+        let series_total = |s: &RateSeries| -> u64 { s.bins().iter().map(|b| b.packets).sum() };
+        registry
+            .counter("pipeline.records.counts")
+            .add(self.counts.total_packets());
+        registry
+            .counter("pipeline.records.per_minute")
+            .add(series_total(&self.per_minute));
+        registry
+            .counter("pipeline.records.per_minute_in")
+            .add(series_total(&self.per_minute_in));
+        registry
+            .counter("pipeline.records.per_minute_out")
+            .add(series_total(&self.per_minute_out));
+        registry
+            .counter("pipeline.records.ms10_total")
+            .add(series_total(&self.ms10_total));
+        registry
+            .counter("pipeline.records.ms10_in")
+            .add(series_total(&self.ms10_in));
+        registry
+            .counter("pipeline.records.ms10_out")
+            .add(series_total(&self.ms10_out));
+        registry
+            .counter("pipeline.records.ms50_total")
+            .add(series_total(&self.ms50_total));
+        registry
+            .counter("pipeline.records.sec1_total")
+            .add(series_total(&self.sec1_total));
+        registry
+            .counter("pipeline.records.min30_total")
+            .add(series_total(&self.min30_total));
+        registry
+            .counter("pipeline.records.variance_time")
+            .add(self.variance_time.bins_seen());
+        registry
+            .counter("pipeline.records.sizes")
+            .add(self.sizes.grand_total());
+        registry
+            .gauge("pipeline.flows.tracked")
+            .set(self.flows.len() as i64);
+    }
 }
 
 impl TraceSink for FullAnalysis {
@@ -147,12 +197,26 @@ pub struct MainRun {
 impl MainRun {
     /// Runs the scenario and collects the full analysis.
     pub fn execute(config: ScenarioConfig) -> MainRun {
+        Self::execute_instrumented(config, WorldInstruments::default(), None)
+    }
+
+    /// [`MainRun::execute`] with observability attached: world/sim
+    /// instruments ride along, and if a registry is given the pipeline's
+    /// per-analyzer ingestion totals are exported into it after the run.
+    pub fn execute_instrumented(
+        config: ScenarioConfig,
+        instruments: WorldInstruments,
+        registry: Option<&MetricsRegistry>,
+    ) -> MainRun {
         let analysis = Rc::new(RefCell::new(FullAnalysis::new(config.duration)));
-        let outcome = World::run(config.clone(), analysis.clone());
+        let outcome = World::run_instrumented(config.clone(), analysis.clone(), None, instruments);
         let analysis = Rc::try_unwrap(analysis)
             .map_err(|_| ())
             .expect("world must release the sink")
             .into_inner();
+        if let Some(registry) = registry {
+            analysis.export_metrics(registry);
+        }
         MainRun {
             config,
             analysis,

@@ -73,8 +73,7 @@ pub fn run_parallel(scenarios: Vec<ScenarioConfig>) -> Vec<RunSummary> {
     let mut out: Vec<Option<RunSummary>> = vec![None; scenarios.len()];
     let mut queue: Vec<(usize, ScenarioConfig)> = scenarios.into_iter().enumerate().collect();
     while !queue.is_empty() {
-        let wave: Vec<(usize, ScenarioConfig)> =
-            queue.drain(..queue.len().min(workers)).collect();
+        let wave: Vec<(usize, ScenarioConfig)> = queue.drain(..queue.len().min(workers)).collect();
         let results = std::thread::scope(|scope| {
             let handles: Vec<_> = wave
                 .into_iter()

@@ -6,7 +6,10 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 fn main() {
-    let hours: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let hours: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
     let cfg = ScenarioConfig::scaled(42, SimDuration::from_hours(hours));
     let sink = Rc::new(RefCell::new(CountingSink::new()));
     let t0 = std::time::Instant::now();
@@ -18,12 +21,35 @@ fn main() {
     let a = csprov_analysis::application_usage(&c);
     let ss = summarize_sessions(&out.sessions);
     println!("wall: {wall:?}  events: {}", out.events_executed);
-    println!("pps total {:.1} in {:.1} out {:.1}  (paper 798/437/361)", u.mean_pps[0], u.mean_pps[1], u.mean_pps[2]);
-    println!("kbps total {:.0} in {:.0} out {:.0}  (paper 883/341/542)", u.mean_kbps[0], u.mean_kbps[1], u.mean_kbps[2]);
-    println!("mean size in {:.2} out {:.2}  (paper 39.72/129.51)", a.mean_size[1], a.mean_size[2]);
-    println!("mean players {:.1} (want ~18)  maps {}  rounds {}", out.mean_players, out.maps_played, out.rounds_played);
-    println!("sessions est {} uniq-est {} att {} uniq-att {} refused {} mean-dur {:.0}s",
-        ss.established, ss.unique_establishing, ss.attempted, ss.unique_attempting, ss.refused, ss.mean_session.as_secs_f64());
+    println!(
+        "pps total {:.1} in {:.1} out {:.1}  (paper 798/437/361)",
+        u.mean_pps[0], u.mean_pps[1], u.mean_pps[2]
+    );
+    println!(
+        "kbps total {:.0} in {:.0} out {:.0}  (paper 883/341/542)",
+        u.mean_kbps[0], u.mean_kbps[1], u.mean_kbps[2]
+    );
+    println!(
+        "mean size in {:.2} out {:.2}  (paper 39.72/129.51)",
+        a.mean_size[1], a.mean_size[2]
+    );
+    println!(
+        "mean players {:.1} (want ~18)  maps {}  rounds {}",
+        out.mean_players, out.maps_played, out.rounds_played
+    );
+    println!(
+        "sessions est {} uniq-est {} att {} uniq-att {} refused {} mean-dur {:.0}s",
+        ss.established,
+        ss.unique_establishing,
+        ss.attempted,
+        ss.unique_attempting,
+        ss.refused,
+        ss.mean_session.as_secs_f64()
+    );
     let est_rate = ss.established as f64 / secs;
-    println!("scaled to week: est {:.0} att {:.0} (paper 16030/24004)", est_rate*626477.0, ss.attempted as f64/secs*626477.0);
+    println!(
+        "scaled to week: est {:.0} att {:.0} (paper 16030/24004)",
+        est_rate * 626477.0,
+        ss.attempted as f64 / secs * 626477.0
+    );
 }

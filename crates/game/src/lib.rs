@@ -21,12 +21,14 @@
 
 pub mod config;
 pub mod maps;
+pub mod metrics;
 pub mod packets;
 pub mod server;
 pub mod session;
 pub mod world;
 
 pub use config::{OutageSpec, ScenarioConfig, ServerConfig, WorkloadConfig, PAPER_TRACE_SECS};
+pub use metrics::GameMetrics;
 pub use server::{ConnectOutcome, PlayerSlot, ServerState};
 pub use session::Population;
-pub use world::{Deliver, Middlebox, TraceOutcome, World};
+pub use world::{Deliver, Middlebox, TraceOutcome, World, WorldInstruments};

@@ -1,0 +1,52 @@
+//! Registry-backed metrics for the game world.
+//!
+//! [`GameMetrics`] covers the server side of the workload (tick cadence,
+//! snapshot volume, population churn) plus the kernel-level totals the
+//! world owns at teardown (events executed, queue high-water). Attach it
+//! through [`crate::world::WorldInstruments`]; nothing in the world reads a
+//! metric back, so instrumented and plain runs produce identical traces.
+
+use csprov_obs::{Counter, Gauge, MetricsRegistry, Span};
+
+/// Instruments for one world run.
+#[derive(Clone)]
+pub struct GameMetrics {
+    /// The 50 ms broadcast tick (`game.tick.*`: count, items = snapshots,
+    /// sim-gap and wall-time histograms).
+    pub tick_span: Span,
+    /// Snapshot packets emitted by ticks (`game.snapshots`).
+    pub snapshots: Counter,
+    /// Application bytes across those snapshots (`game.snapshot_app_bytes`).
+    pub snapshot_bytes: Counter,
+    /// Connected players with high-water mark (`game.players`).
+    pub players: Gauge,
+    /// Accepted connection attempts (`game.connects_accepted`).
+    pub connects_accepted: Counter,
+    /// Refused connection attempts — full-server bounces
+    /// (`game.connects_refused`).
+    pub connects_refused: Counter,
+    /// Packets recorded at the server tap (`game.packets_recorded`).
+    pub packets_recorded: Counter,
+    /// Kernel events executed, filled at teardown (`sim.events_executed`).
+    pub sim_events: Counter,
+    /// Kernel event-queue high-water mark, filled at teardown
+    /// (`sim.queue_high_water`).
+    pub sim_queue_hwm: Gauge,
+}
+
+impl GameMetrics {
+    /// Registers the `game.*` and `sim.*` instruments.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        GameMetrics {
+            tick_span: registry.span("game.tick"),
+            snapshots: registry.counter("game.snapshots"),
+            snapshot_bytes: registry.counter("game.snapshot_app_bytes"),
+            players: registry.gauge("game.players"),
+            connects_accepted: registry.counter("game.connects_accepted"),
+            connects_refused: registry.counter("game.connects_refused"),
+            packets_recorded: registry.counter("game.packets_recorded"),
+            sim_events: registry.counter("sim.events_executed"),
+            sim_queue_hwm: registry.gauge("sim.queue_high_water"),
+        }
+    }
+}

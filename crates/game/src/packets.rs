@@ -19,12 +19,7 @@ pub fn cmd_size(w: &WorkloadConfig, rng: &mut RngStream) -> u32 {
 /// Draws a server snapshot payload size for a world with `players` active
 /// players. `activity` scales the event-noise component (quiet during round
 /// freezes, high mid-firefight).
-pub fn snapshot_size(
-    s: &ServerConfig,
-    players: usize,
-    activity: f64,
-    rng: &mut RngStream,
-) -> u32 {
+pub fn snapshot_size(s: &ServerConfig, players: usize, activity: f64, rng: &mut RngStream) -> u32 {
     let noise = Exp::new(1.0 / (s.snapshot_noise_mean * activity).max(1.0)).sample(rng);
     let raw = s.snapshot_base + s.snapshot_per_player * players as f64 + noise;
     clamp(raw.round(), 8.0, s.max_snapshot) as u32

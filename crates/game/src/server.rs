@@ -321,17 +321,11 @@ mod tests {
         let mut s = server();
         let t = SimTime::ZERO;
         s.try_connect(t, 0, 0, None);
-        let small: f64 = (0..2000)
-            .map(|_| f64::from(s.tick(t)[0].1))
-            .sum::<f64>()
-            / 2000.0;
+        let small: f64 = (0..2000).map(|_| f64::from(s.tick(t)[0].1)).sum::<f64>() / 2000.0;
         for i in 1..20 {
             s.try_connect(t, i, i, None);
         }
-        let big: f64 = (0..2000)
-            .map(|_| f64::from(s.tick(t)[0].1))
-            .sum::<f64>()
-            / 2000.0;
+        let big: f64 = (0..2000).map(|_| f64::from(s.tick(t)[0].1)).sum::<f64>() / 2000.0;
         assert!(big > small + 60.0, "big {big} vs small {small}");
     }
 }

@@ -94,9 +94,10 @@ impl Population {
 /// Draws a session duration from the workload's clipped log-normal.
 pub fn session_duration(w: &WorkloadConfig, rng: &mut RngStream) -> SimDuration {
     let d = LogNormal::with_mean(w.session_mean.as_secs_f64(), w.session_sigma);
-    let secs = d
-        .sample(rng)
-        .clamp(w.session_range.0.as_secs_f64(), w.session_range.1.as_secs_f64());
+    let secs = d.sample(rng).clamp(
+        w.session_range.0.as_secs_f64(),
+        w.session_range.1.as_secs_f64(),
+    );
     SimDuration::from_secs_f64(secs)
 }
 
@@ -165,7 +166,10 @@ mod tests {
         };
         let plain = count_uniques(1.0, &mut rng);
         let biased = count_uniques(6.0, &mut rng);
-        assert!(biased > plain * 2, "bias must mint more uniques: {plain} vs {biased}");
+        assert!(
+            biased > plain * 2,
+            "bias must mint more uniques: {plain} vs {biased}"
+        );
     }
 
     #[test]

@@ -9,12 +9,13 @@
 
 use crate::config::ScenarioConfig;
 use crate::maps::MapRotation;
+use crate::metrics::GameMetrics;
 use crate::packets;
 use crate::server::{ConnectOutcome, ServerState};
 use crate::session::{self, Population};
 use csprov_analysis::SessionRecord;
 use csprov_net::{
-    client_endpoint, server_endpoint, Direction, Link, LinkClass, Packet, PacketKind,
+    client_endpoint, server_endpoint, Direction, Link, LinkClass, LinkMetrics, Packet, PacketKind,
     TraceRecord, TraceSink,
 };
 use csprov_sim::{spawn_periodic, RngStream, SimDuration, SimTime, Simulator, StopFlag};
@@ -32,6 +33,21 @@ pub type Deliver = Box<dyn FnOnce(&mut Simulator, Packet)>;
 pub trait Middlebox {
     /// Forwards `pkt`; invoke `deliver` when (and if) it comes out.
     fn forward(&self, sim: &mut Simulator, pkt: Packet, deliver: Deliver);
+}
+
+/// Optional observability attachments for a run. Everything here sits in
+/// the reporting channel: metrics are written, never read back, and the
+/// observer sees the kernel through `&Simulator` only — a seeded run
+/// produces byte-identical traces with or without instruments attached.
+#[derive(Default)]
+pub struct WorldInstruments {
+    /// Server/world instruments (tick span, snapshots, players, refusals).
+    pub metrics: Option<GameMetrics>,
+    /// Aggregate access-link instruments, cloned into every client link.
+    pub link_metrics: Option<LinkMetrics>,
+    /// Read-only kernel observer `(every_n_events, callback)` — the hook a
+    /// progress reporter hangs off.
+    pub observer: Option<(u64, csprov_sim::Observer)>,
 }
 
 /// Everything a finished run reports besides the packet stream.
@@ -94,12 +110,17 @@ struct WorldState {
     rng_arrivals: RngStream,
     rng_clients: RngStream,
     rng_misc: RngStream,
+    metrics: Option<GameMetrics>,
+    link_metrics: Option<LinkMetrics>,
 }
 
 type W = Rc<RefCell<WorldState>>;
 
 impl WorldState {
     fn record(&self, time: SimTime, pkt: &Packet) {
+        if let Some(m) = &self.metrics {
+            m.packets_recorded.incr();
+        }
         self.sink
             .borrow_mut()
             .on_packet(&TraceRecord::from_packet(time, pkt));
@@ -127,6 +148,17 @@ impl World {
         sink: Rc<RefCell<dyn TraceSink>>,
         middlebox: Option<Rc<dyn Middlebox>>,
     ) -> TraceOutcome {
+        Self::run_instrumented(cfg, sink, middlebox, WorldInstruments::default())
+    }
+
+    /// Runs a scenario with optional middlebox and observability
+    /// attachments; see [`WorldInstruments`] for the determinism contract.
+    pub fn run_instrumented(
+        cfg: ScenarioConfig,
+        sink: Rc<RefCell<dyn TraceSink>>,
+        middlebox: Option<Rc<dyn Middlebox>>,
+        instruments: WorldInstruments,
+    ) -> TraceOutcome {
         let root = RngStream::new(cfg.seed);
         let server = ServerState::new(cfg.server.clone(), root.derive("server"));
         let mut rng_maps = root.derive("maps");
@@ -151,10 +183,15 @@ impl World {
             rng_arrivals: root.derive("arrivals"),
             rng_clients: root.derive("clients"),
             rng_misc: root.derive("misc"),
+            metrics: instruments.metrics,
+            link_metrics: instruments.link_metrics,
             cfg,
         }));
 
         let mut sim = Simulator::new();
+        if let Some((every, observer)) = instruments.observer {
+            sim.set_observer(every, observer);
+        }
         schedule_warm_start(&state, &mut sim);
         schedule_arrivals(&state, &mut sim);
         schedule_server_tick(&state, &mut sim);
@@ -178,6 +215,10 @@ impl World {
         let n = st.server.player_count();
         st.note_player_delta(end, n);
         st.sink.borrow_mut().on_end(end);
+        if let Some(m) = &st.metrics {
+            m.sim_events.add(sim.events_executed());
+            m.sim_queue_hwm.set(sim.queue_high_water() as i64);
+        }
         let mean_players = st.player_integral / duration.as_secs_f64().max(1e-9);
         TraceOutcome {
             sessions: std::mem::take(&mut st.log),
@@ -262,16 +303,34 @@ fn emit_outbound(w: &W, sim: &mut Simulator, session: u32, kind: PacketKind, app
 fn schedule_server_tick(w: &W, sim: &mut Simulator) {
     let tick = w.borrow().cfg.server.tick;
     let w = w.clone();
-    spawn_periodic(sim, SimTime::ZERO + tick, tick, StopFlag::new(), move |sim, _| {
-        let snaps = {
-            let mut st = w.borrow_mut();
-            let now = sim.now();
-            st.server.tick(now)
-        };
-        for (session, size) in snaps {
-            emit_outbound(&w, sim, session, PacketKind::StateUpdate, size);
-        }
-    });
+    spawn_periodic(
+        sim,
+        SimTime::ZERO + tick,
+        tick,
+        StopFlag::new(),
+        move |sim, _| {
+            let metrics = w.borrow().metrics.clone();
+            let mut guard = metrics
+                .as_ref()
+                .map(|m| m.tick_span.enter(sim.now().as_nanos()));
+            let snaps = {
+                let mut st = w.borrow_mut();
+                let now = sim.now();
+                st.server.tick(now)
+            };
+            if let Some(m) = &metrics {
+                m.snapshots.add(snaps.len() as u64);
+                m.snapshot_bytes
+                    .add(snaps.iter().map(|&(_, size)| u64::from(size)).sum());
+                if let Some(g) = &mut guard {
+                    g.add_items(snaps.len() as u64);
+                }
+            }
+            for (session, size) in snaps {
+                emit_outbound(&w, sim, session, PacketKind::StateUpdate, size);
+            }
+        },
+    );
 }
 
 fn schedule_timeout_sweep(w: &W, sim: &mut Simulator) {
@@ -305,6 +364,9 @@ fn finish_session(w: &W, sim: &mut Simulator, session: u32, graceful: bool) {
             let old = st.server.player_count();
             if st.server.disconnect(session).is_some() {
                 st.note_player_delta(now, old);
+                if let Some(m) = &st.metrics {
+                    m.players.set(st.server.player_count() as i64);
+                }
             }
         }
         if let Some(e) = &entry {
@@ -332,7 +394,7 @@ fn finish_session(w: &W, sim: &mut Simulator, session: u32, graceful: bool) {
                 sent_at: now,
             };
             let w2 = w.clone();
-            sim.schedule_in(SimDuration::from_millis(120), move |sim, | {
+            sim.schedule_in(SimDuration::from_millis(120), move |sim| {
                 inbound_arrive(&w2, sim, pkt)
             });
         }
@@ -342,19 +404,25 @@ fn finish_session(w: &W, sim: &mut Simulator, session: u32, graceful: bool) {
 fn schedule_map_rotation(w: &W, sim: &mut Simulator) {
     let map_time = w.borrow().cfg.server.map_time;
     let w = w.clone();
-    spawn_periodic(sim, SimTime::ZERO + map_time, map_time, StopFlag::new(), move |sim, _| {
-        let stall = {
-            let mut st = w.borrow_mut();
-            st.server.begin_map_change();
-            st.maps.advance();
-            let (lo, hi) = st.cfg.server.map_change_stall;
-            SimDuration::from_nanos(st.rng_misc.next_range(lo.as_nanos(), hi.as_nanos()))
-        };
-        let w2 = w.clone();
-        sim.schedule_in(stall, move |_sim| {
-            w2.borrow_mut().server.end_map_change();
-        });
-    });
+    spawn_periodic(
+        sim,
+        SimTime::ZERO + map_time,
+        map_time,
+        StopFlag::new(),
+        move |sim, _| {
+            let stall = {
+                let mut st = w.borrow_mut();
+                st.server.begin_map_change();
+                st.maps.advance();
+                let (lo, hi) = st.cfg.server.map_change_stall;
+                SimDuration::from_nanos(st.rng_misc.next_range(lo.as_nanos(), hi.as_nanos()))
+            };
+            let w2 = w.clone();
+            sim.schedule_in(stall, move |_sim| {
+                w2.borrow_mut().server.end_map_change();
+            });
+        },
+    );
 }
 
 fn schedule_rounds(w: &W, sim: &mut Simulator) {
@@ -586,6 +654,9 @@ fn begin_connection_attempt(w: &W, sim: &mut Simulator, retry_as: Option<u32>) {
             pick_link_class(&st.cfg.workload.link_mix, &mut crng)
         };
         let link = Link::of_class(link_class, crng.derive("link"));
+        if let Some(lm) = &st.link_metrics {
+            link.attach_metrics(lm.clone());
+        }
         let custom_rate = is_l337.then_some(st.cfg.workload.l337_update_rate);
         let req_size = packets::connect_request_size(&mut crng);
 
@@ -651,6 +722,15 @@ fn handle_connect(w: &W, sim: &mut Simulator, pkt: Packet) {
             st.note_player_delta(now, old);
             st.log[info.log_index].established = true;
             st.seen_this_minute += 1;
+        }
+        if let Some(m) = &st.metrics {
+            match outcome {
+                ConnectOutcome::Accepted => {
+                    m.connects_accepted.incr();
+                    m.players.set(st.server.player_count() as i64);
+                }
+                ConnectOutcome::Refused => m.connects_refused.incr(),
+            }
         }
         let mut rng = st.rng_misc.clone();
         let reply = packets::connect_reply_size(outcome == ConnectOutcome::Accepted, &mut rng);
@@ -879,10 +959,10 @@ fn maybe_spawn_logo_upload(
     let (go, total) = {
         let mut st = w.borrow_mut();
         let go = st.rng_misc.chance(wl.logo_fraction);
-        let total = st.rng_misc.next_range(
-            u64::from(wl.logo_size.0),
-            u64::from(wl.logo_size.1),
-        ) as u32;
+        let total = st
+            .rng_misc
+            .next_range(u64::from(wl.logo_size.0), u64::from(wl.logo_size.1))
+            as u32;
         (go, total)
     };
     if !go {
@@ -894,7 +974,11 @@ fn maybe_spawn_logo_upload(
     for i in 0..chunks {
         let w2 = w.clone();
         let link2 = link.clone();
-        let size = if (i + 1) * chunk <= total { chunk } else { total - i * chunk };
+        let size = if (i + 1) * chunk <= total {
+            chunk
+        } else {
+            total - i * chunk
+        };
         sim.schedule_in(SimDuration::from_millis(u64::from(i) * 50), move |sim| {
             let pkt = Packet {
                 src: client_endpoint(session),
@@ -921,10 +1005,10 @@ fn maybe_spawn_download(
     let (go, total, chunk) = {
         let mut st = w.borrow_mut();
         let go = st.rng_misc.chance(wl.download_fraction);
-        let total = st.rng_misc.next_range(
-            u64::from(wl.download_size.0),
-            u64::from(wl.download_size.1),
-        ) as u32;
+        let total = st
+            .rng_misc
+            .next_range(u64::from(wl.download_size.0), u64::from(wl.download_size.1))
+            as u32;
         (go, total, st.cfg.server.download_chunk)
     };
     if !go {
@@ -967,7 +1051,8 @@ fn download_pump(w: &W, sim: &mut Simulator, period: SimDuration) {
                         continue; // client left or transfer finished
                     }
                     if remaining > 1 {
-                        st.downloads.push_back((session, chunk, remaining - 1, stop));
+                        st.downloads
+                            .push_back((session, chunk, remaining - 1, stop));
                     }
                     break Some((session, chunk));
                 }

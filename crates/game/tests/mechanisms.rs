@@ -23,10 +23,7 @@ impl TraceSink for KindStats {
         *self.counts.entry(rec.kind.as_u8()).or_default() += 1;
         *self.bytes.entry(rec.kind.as_u8()).or_default() += u64::from(rec.app_len);
         if rec.kind == PacketKind::DownloadData {
-            *self
-                .download_seconds
-                .entry(rec.time.as_secs())
-                .or_default() += 1;
+            *self.download_seconds.entry(rec.time.as_secs()).or_default() += 1;
         }
     }
     fn on_end(&mut self, end: SimTime) {
@@ -77,7 +74,10 @@ fn voice_and_text_are_minor_inbound_sources() {
     assert!(text > 0, "someone must type");
     // The paper's dominant source is real-time state traffic; chatter is a
     // few percent at most.
-    assert!(voice + text < cmd / 10, "chatter {voice}+{text} vs cmd {cmd}");
+    assert!(
+        voice + text < cmd / 10,
+        "chatter {voice}+{text} vs cmd {cmd}"
+    );
 }
 
 #[test]
@@ -106,9 +106,8 @@ fn l337_clients_raise_server_update_rate() {
     let fast = Rc::new(RefCell::new(CountingSink::new()));
     let out_fast = World::run(cranked, fast.clone());
 
-    let per_player = |c: &CountingSink, players: f64| {
-        c.packets_in(Direction::Outbound) as f64 / 360.0 / players
-    };
+    let per_player =
+        |c: &CountingSink, players: f64| c.packets_in(Direction::Outbound) as f64 / 360.0 / players;
     let plain_rate = per_player(&plain.borrow(), out_plain.mean_players);
     let fast_rate = per_player(&fast.borrow(), out_fast.mean_players);
     assert!(
@@ -141,7 +140,10 @@ fn map_changes_pause_both_directions() {
     // inside the stall.
     let busy_before: u64 = counts[1700..1760].iter().sum::<u64>() / 60;
     let stalled: u64 = counts[1802..1806].iter().sum::<u64>() / 4;
-    assert!(busy_before > 400, "server busy before change: {busy_before}");
+    assert!(
+        busy_before > 400,
+        "server busy before change: {busy_before}"
+    );
     assert!(
         stalled < busy_before / 10,
         "stall must silence traffic: {stalled} vs {busy_before}"

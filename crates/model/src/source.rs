@@ -288,7 +288,11 @@ mod tests {
             last: SimTime::ZERO,
             ok: true,
         };
-        model.generate(SimDuration::from_secs(5), &mut RngStream::new(7), &mut check);
+        model.generate(
+            SimDuration::from_secs(5),
+            &mut RngStream::new(7),
+            &mut check,
+        );
         assert!(check.ok, "generated trace must be time-ordered");
     }
 

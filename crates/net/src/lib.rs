@@ -17,10 +17,13 @@
 //!   frames (and the reverse parse).
 //! - [`fault`] — drop/corrupt/shape fault injection, mirroring the knobs of
 //!   smoltcp's example harnesses.
+//! - [`metrics`] — optional aggregate link instrumentation backed by
+//!   `csprov-obs`; attaching it never changes queueing or loss decisions.
 
 pub mod addr;
 pub mod fault;
 pub mod link;
+pub mod metrics;
 pub mod packet;
 pub mod pcap;
 pub mod trace;
@@ -29,5 +32,6 @@ pub mod wire;
 pub use addr::{client_endpoint, server_endpoint, Endpoint, MacAddr};
 pub use fault::{FaultConfig, FaultInjector, FaultStats, RateLimit};
 pub use link::{Link, LinkClass, LinkConfig, LinkStats};
+pub use metrics::LinkMetrics;
 pub use packet::{Direction, Packet, PacketKind, CAPTURE_OVERHEAD_BYTES, WIRE_OVERHEAD_BYTES};
 pub use trace::{CountingSink, NullSink, Tee, TraceReader, TraceRecord, TraceSink, TraceWriter};

@@ -7,6 +7,7 @@
 //! [`LinkClass::Modem56k`] serialization rate is close to the traffic the
 //! game offers it.
 
+use crate::metrics::LinkMetrics;
 use crate::packet::Packet;
 use csprov_sim::{Counter, RngStream, SimDuration, SimTime, Simulator};
 use std::cell::RefCell;
@@ -114,6 +115,7 @@ struct LinkState {
     busy_until: SimTime,
     queued: usize,
     stats: LinkStats,
+    metrics: Option<LinkMetrics>,
 }
 
 /// One direction of a network path. Cheap to clone (shared state).
@@ -132,6 +134,7 @@ impl Link {
                 busy_until: SimTime::ZERO,
                 queued: 0,
                 stats: LinkStats::default(),
+                metrics: None,
             })),
         }
     }
@@ -144,6 +147,12 @@ impl Link {
     /// A snapshot handle onto the link's statistics counters.
     pub fn stats(&self) -> LinkStats {
         self.state.borrow().stats.clone()
+    }
+
+    /// Attaches aggregate [`LinkMetrics`]; purely observational — the link's
+    /// queueing, loss and timing behaviour is unchanged.
+    pub fn attach_metrics(&self, metrics: LinkMetrics) {
+        self.state.borrow_mut().metrics = Some(metrics);
     }
 
     /// The link's configuration.
@@ -161,26 +170,41 @@ impl Link {
         let (depart, extra_delay) = {
             let mut st = self.state.borrow_mut();
             st.stats.offered.incr();
+            if let Some(m) = &st.metrics {
+                m.offered.incr();
+            }
             if st.queued >= st.config.queue_limit {
                 st.stats.dropped_queue.incr();
+                if let Some(m) = &st.metrics {
+                    m.dropped_queue.incr();
+                }
                 return;
             }
             let loss = st.config.loss;
             if loss > 0.0 && st.rng.chance(loss) {
                 st.stats.dropped_random.incr();
+                if let Some(m) = &st.metrics {
+                    m.dropped_random.incr();
+                }
                 return;
             }
             let start = st.busy_until.max(now);
             let depart = start + st.config.tx_time(packet.wire_len());
             st.busy_until = depart;
             st.queued += 1;
+            if let Some(m) = &st.metrics {
+                m.queue_depth.adjust(1);
+            }
             let jitter_bound = st.config.jitter.as_nanos();
             let jitter_ns = if jitter_bound == 0 {
                 0
             } else {
                 st.rng.next_below(jitter_bound + 1)
             };
-            (depart, st.config.propagation + SimDuration::from_nanos(jitter_ns))
+            (
+                depart,
+                st.config.propagation + SimDuration::from_nanos(jitter_ns),
+            )
         };
 
         // Serialization completes at `depart`: free the queue slot there,
@@ -191,6 +215,10 @@ impl Link {
                 let mut st = state.borrow_mut();
                 st.queued -= 1;
                 st.stats.delivered.incr();
+                if let Some(m) = &st.metrics {
+                    m.queue_depth.adjust(-1);
+                    m.delivered.incr();
+                }
             }
             sim.schedule_in(extra_delay, move |sim| deliver(sim, packet));
         });
@@ -314,6 +342,37 @@ mod tests {
         let min = *times.borrow().iter().min().unwrap();
         let max = *times.borrow().iter().max().unwrap();
         assert!(max - min > SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn attached_metrics_mirror_stats_without_changing_behaviour() {
+        let deliveries = |metrics: bool| {
+            let mut sim = Simulator::new();
+            let link = Link::new(lossless(98_000.0, 0, 2), RngStream::new(3));
+            let reg = csprov_obs::MetricsRegistry::new();
+            if metrics {
+                link.attach_metrics(crate::metrics::LinkMetrics::register(&reg));
+            }
+            let delivered = Rc::new(RefCell::new(Vec::new()));
+            for _ in 0..5 {
+                let d = delivered.clone();
+                link.send(&mut sim, pkt(40), move |sim, _| {
+                    d.borrow_mut().push(sim.now());
+                });
+            }
+            sim.run();
+            let got = delivered.borrow().clone();
+            (got, reg)
+        };
+        let (plain, _) = deliveries(false);
+        let (instrumented, reg) = deliveries(true);
+        assert_eq!(plain, instrumented, "metrics must not perturb the link");
+        let m = crate::metrics::LinkMetrics::register(&reg);
+        assert_eq!(m.offered.get(), 5);
+        assert_eq!(m.delivered.get(), 2);
+        assert_eq!(m.dropped_queue.get(), 3);
+        assert_eq!(m.queue_depth.get(), 0);
+        assert_eq!(m.queue_depth.high_water(), 2);
     }
 
     #[test]

@@ -1,0 +1,38 @@
+//! Registry-backed metrics for the link layer.
+//!
+//! One [`LinkMetrics`] bundle aggregates over every link it is attached to
+//! (the world spawns one last-mile link per client, so per-link instruments
+//! would be unbounded). Handles are cloned into each link; updates are plain
+//! `Cell` writes on the existing counter paths and never influence queueing
+//! or loss decisions.
+
+use csprov_obs::{Counter, Gauge, MetricsRegistry};
+
+/// Aggregate instruments shared by all instrumented links.
+#[derive(Clone)]
+pub struct LinkMetrics {
+    /// Packets offered to any instrumented link (`net.link.offered`).
+    pub offered: Counter,
+    /// Packets delivered to the far end (`net.link.delivered`).
+    pub delivered: Counter,
+    /// Drop-tail queue drops (`net.link.dropped_queue`).
+    pub dropped_queue: Counter,
+    /// Random-loss drops (`net.link.dropped_random`).
+    pub dropped_random: Counter,
+    /// Packets awaiting serialization across all links, with high-water
+    /// mark (`net.link.queue_depth`).
+    pub queue_depth: Gauge,
+}
+
+impl LinkMetrics {
+    /// Registers the `net.link.*` instruments.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        LinkMetrics {
+            offered: registry.counter("net.link.offered"),
+            delivered: registry.counter("net.link.delivered"),
+            dropped_queue: registry.counter("net.link.dropped_queue"),
+            dropped_random: registry.counter("net.link.dropped_random"),
+            queue_depth: registry.gauge("net.link.queue_depth"),
+        }
+    }
+}

@@ -49,10 +49,8 @@ impl<W: Write> PcapWriter<W> {
             .write_all(&((ts_us / 1_000_000) as u32).to_le_bytes())?;
         self.inner
             .write_all(&((ts_us % 1_000_000) as u32).to_le_bytes())?;
-        self.inner
-            .write_all(&(frame.len() as u32).to_le_bytes())?; // incl_len
-        self.inner
-            .write_all(&(frame.len() as u32).to_le_bytes())?; // orig_len
+        self.inner.write_all(&(frame.len() as u32).to_le_bytes())?; // incl_len
+        self.inner.write_all(&(frame.len() as u32).to_le_bytes())?; // orig_len
         self.inner.write_all(&frame)?;
         self.frames += 1;
         Ok(())
@@ -256,8 +254,7 @@ impl<R: Read> PcapReader<R> {
         let incl = u32::from_le_bytes(hdr[8..12].try_into().unwrap()) as usize;
         let mut frame = vec![0u8; incl];
         self.inner.read_exact(&mut frame)?;
-        let time =
-            SimTime::from_nanos(u64::from(secs) * 1_000_000_000 + u64::from(micros) * 1_000);
+        let time = SimTime::from_nanos(u64::from(secs) * 1_000_000_000 + u64::from(micros) * 1_000);
         parse_frame(&frame, time)
             .map(Some)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
@@ -344,7 +341,11 @@ mod tests {
         let mut w = PcapWriter::new(Vec::new()).unwrap();
         w.write(&r).unwrap();
         let bytes = w.finish().unwrap();
-        let back = PcapReader::new(&bytes[..]).unwrap().read().unwrap().unwrap();
+        let back = PcapReader::new(&bytes[..])
+            .unwrap()
+            .read()
+            .unwrap()
+            .unwrap();
         assert_eq!(back.time, SimTime::from_nanos(1_500_123_000));
     }
 
@@ -358,7 +359,13 @@ mod tests {
     fn sink_adapter() {
         let w = PcapWriter::new(Vec::new()).unwrap();
         let mut sink = PcapSink::new(w);
-        sink.on_packet(&rec(0, Direction::Inbound, PacketKind::ClientCommand, 1, 40));
+        sink.on_packet(&rec(
+            0,
+            Direction::Inbound,
+            PacketKind::ClientCommand,
+            1,
+            40,
+        ));
         sink.on_end(SimTime::from_secs(1));
         let bytes = sink.finish().unwrap();
         let mut reader = PcapReader::new(&bytes[..]).unwrap();

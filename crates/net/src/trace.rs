@@ -308,7 +308,10 @@ impl<R: Read> TraceReader<R> {
             }
         };
         let kind = PacketKind::from_u8(buf[17]).ok_or_else(|| {
-            io::Error::new(io::ErrorKind::InvalidData, format!("bad kind tag {}", buf[17]))
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad kind tag {}", buf[17]),
+            )
         })?;
         Ok(Some(TraceRecord {
             time,
@@ -350,9 +353,27 @@ mod tests {
     #[test]
     fn counting_sink_totals() {
         let mut s = CountingSink::new();
-        s.on_packet(&rec(0, Direction::Inbound, PacketKind::ClientCommand, 1, 40));
-        s.on_packet(&rec(1, Direction::Outbound, PacketKind::StateUpdate, 1, 130));
-        s.on_packet(&rec(2, Direction::Inbound, PacketKind::ClientCommand, 2, 42));
+        s.on_packet(&rec(
+            0,
+            Direction::Inbound,
+            PacketKind::ClientCommand,
+            1,
+            40,
+        ));
+        s.on_packet(&rec(
+            1,
+            Direction::Outbound,
+            PacketKind::StateUpdate,
+            1,
+            130,
+        ));
+        s.on_packet(&rec(
+            2,
+            Direction::Inbound,
+            PacketKind::ClientCommand,
+            2,
+            42,
+        ));
         s.on_end(SimTime::from_secs(1));
         assert_eq!(s.total_packets(), 3);
         assert_eq!(s.packets_in(Direction::Inbound), 2);
@@ -368,7 +389,13 @@ mod tests {
         tee.add(Box::new(CountingSink::new()));
         tee.add(Box::new(NullSink));
         assert_eq!(tee.len(), 2);
-        tee.on_packet(&rec(0, Direction::Inbound, PacketKind::ClientCommand, 1, 10));
+        tee.on_packet(&rec(
+            0,
+            Direction::Inbound,
+            PacketKind::ClientCommand,
+            1,
+            10,
+        ));
         tee.on_end(SimTime::from_secs(1));
         // Tee owns its sinks; correctness is observable via no panic and len.
         assert!(!tee.is_empty());
@@ -381,7 +408,13 @@ mod tests {
             rec(50, Direction::Outbound, PacketKind::ConnectReply, 7, 12),
             rec(100, Direction::Inbound, PacketKind::ClientCommand, 7, 44),
             rec(100, Direction::Outbound, PacketKind::StateUpdate, 7, 201),
-            rec(150, Direction::Outbound, PacketKind::DownloadData, u32::MAX, 400),
+            rec(
+                150,
+                Direction::Outbound,
+                PacketKind::DownloadData,
+                u32::MAX,
+                400,
+            ),
         ];
         let mut w = TraceWriter::new(Vec::new()).unwrap();
         for r in &records {
@@ -429,8 +462,14 @@ mod tests {
     fn replay_into_sink() {
         let mut w = TraceWriter::new(Vec::new()).unwrap();
         for i in 0..10 {
-            w.write(&rec(i, Direction::Inbound, PacketKind::ClientCommand, 1, 40))
-                .unwrap();
+            w.write(&rec(
+                i,
+                Direction::Inbound,
+                PacketKind::ClientCommand,
+                1,
+                40,
+            ))
+            .unwrap();
         }
         let bytes = w.finish().unwrap();
         let mut sink = CountingSink::new();
@@ -447,7 +486,13 @@ mod tests {
     fn writer_sink_records() {
         let w = TraceWriter::new(Vec::new()).unwrap();
         let mut sink = WriterSink::new(w);
-        sink.on_packet(&rec(0, Direction::Inbound, PacketKind::ClientCommand, 1, 40));
+        sink.on_packet(&rec(
+            0,
+            Direction::Inbound,
+            PacketKind::ClientCommand,
+            1,
+            40,
+        ));
         let bytes = sink.finish().unwrap();
         let mut r = TraceReader::new(&bytes[..]).unwrap();
         assert!(r.read().unwrap().is_some());

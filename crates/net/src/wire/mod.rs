@@ -14,7 +14,7 @@ pub mod ipv4;
 pub mod udp;
 
 pub use ethernet::{EtherType, EthernetFrame, ETHERNET_HEADER_LEN};
-pub use ipv4::{Ipv4Packet, IpProtocol, IPV4_HEADER_LEN};
+pub use ipv4::{IpProtocol, Ipv4Packet, IPV4_HEADER_LEN};
 pub use udp::{UdpDatagram, UDP_HEADER_LEN};
 
 /// Error type for wire-format parsing.

@@ -8,66 +8,67 @@ use csprov_net::wire::{
     IPV4_HEADER_LEN, UDP_HEADER_LEN,
 };
 use csprov_net::{Direction, MacAddr, PacketKind, TraceReader, TraceRecord, TraceWriter};
+use csprov_sim::check::{check, Gen};
 use csprov_sim::SimTime;
-use proptest::prelude::*;
 use std::net::Ipv4Addr;
 
-fn arb_direction() -> impl Strategy<Value = Direction> {
-    prop_oneof![Just(Direction::Inbound), Just(Direction::Outbound)]
+fn gen_direction(g: &mut Gen) -> Direction {
+    if g.bool() {
+        Direction::Inbound
+    } else {
+        Direction::Outbound
+    }
 }
 
-fn arb_kind() -> impl Strategy<Value = PacketKind> {
-    (0u8..12).prop_map(|v| PacketKind::from_u8(v).unwrap())
+fn gen_kind(g: &mut Gen) -> PacketKind {
+    PacketKind::from_u8(g.u8_in(0..12)).unwrap()
 }
 
-fn arb_record() -> impl Strategy<Value = TraceRecord> {
-    (
-        0u64..10_u64.pow(15),
-        arb_direction(),
-        arb_kind(),
-        prop_oneof![0u32..100_000, Just(u32::MAX)],
-        0u32..1_400,
-    )
-        .prop_map(|(t, direction, kind, session, app_len)| TraceRecord {
-            time: SimTime::from_nanos(t),
-            direction,
-            kind,
-            session,
-            app_len,
-        })
+fn gen_record(g: &mut Gen) -> TraceRecord {
+    TraceRecord {
+        time: SimTime::from_nanos(g.u64_in(0..10_u64.pow(15))),
+        direction: gen_direction(g),
+        kind: gen_kind(g),
+        session: if g.bool() {
+            g.u32_in(0..100_000)
+        } else {
+            u32::MAX
+        },
+        app_len: g.u32_in(0..1_400),
+    }
 }
 
-proptest! {
-    /// Ethernet header round-trips arbitrary addresses and ethertypes.
-    #[test]
-    fn ethernet_roundtrip(
-        dst in any::<[u8; 6]>(),
-        src in any::<[u8; 6]>(),
-        ethertype in any::<u16>(),
-        payload_len in 0usize..100,
-    ) {
+/// Ethernet header round-trips arbitrary addresses and ethertypes.
+#[test]
+fn ethernet_roundtrip() {
+    check("ethernet_roundtrip", 128, |g| {
+        let dst: [u8; 6] = g.byte_array();
+        let src: [u8; 6] = g.byte_array();
+        let ethertype = g.u16();
+        let payload_len = g.usize_in(0..100);
         let mut buf = vec![0u8; ETHERNET_HEADER_LEN + payload_len];
         let mut f = EthernetFrame::new_unchecked(&mut buf[..]);
         f.set_dst_addr(MacAddr(dst));
         f.set_src_addr(MacAddr(src));
         f.set_ethertype(EtherType::from(ethertype));
         let f = EthernetFrame::new_checked(&buf[..]).unwrap();
-        prop_assert_eq!(f.dst_addr(), MacAddr(dst));
-        prop_assert_eq!(f.src_addr(), MacAddr(src));
-        prop_assert_eq!(u16::from(f.ethertype()), ethertype);
-        prop_assert_eq!(f.payload().len(), payload_len);
-    }
+        assert_eq!(f.dst_addr(), MacAddr(dst));
+        assert_eq!(f.src_addr(), MacAddr(src));
+        assert_eq!(u16::from(f.ethertype()), ethertype);
+        assert_eq!(f.payload().len(), payload_len);
+    });
+}
 
-    /// IPv4 header round-trips and its checksum always verifies as built.
-    #[test]
-    fn ipv4_roundtrip(
-        src in any::<u32>(),
-        dst in any::<u32>(),
-        ident in any::<u16>(),
-        ttl in any::<u8>(),
-        proto in any::<u8>(),
-        payload_len in 0usize..256,
-    ) {
+/// IPv4 header round-trips and its checksum always verifies as built.
+#[test]
+fn ipv4_roundtrip() {
+    check("ipv4_roundtrip", 128, |g| {
+        let src = g.u32();
+        let dst = g.u32();
+        let ident = g.u16();
+        let ttl = g.u8();
+        let proto = g.u8();
+        let payload_len = g.usize_in(0..256);
         let total = IPV4_HEADER_LEN + payload_len;
         let mut buf = vec![0u8; total];
         let mut p = Ipv4Packet::new_unchecked(&mut buf[..]);
@@ -79,21 +80,22 @@ proptest! {
         p.set_dst_addr(Ipv4Addr::from(dst));
         p.fill_checksum();
         let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
-        prop_assert!(p.verify_checksum());
-        prop_assert_eq!(p.ident(), ident);
-        prop_assert_eq!(p.ttl(), ttl);
-        prop_assert_eq!(u8::from(p.protocol()), proto);
-        prop_assert_eq!(p.src_addr(), Ipv4Addr::from(src));
-        prop_assert_eq!(p.dst_addr(), Ipv4Addr::from(dst));
-    }
+        assert!(p.verify_checksum());
+        assert_eq!(p.ident(), ident);
+        assert_eq!(p.ttl(), ttl);
+        assert_eq!(u8::from(p.protocol()), proto);
+        assert_eq!(p.src_addr(), Ipv4Addr::from(src));
+        assert_eq!(p.dst_addr(), Ipv4Addr::from(dst));
+    });
+}
 
-    /// Any single-bit flip in the IPv4 header is caught by its checksum.
-    #[test]
-    fn ipv4_checksum_catches_any_header_bit_flip(
-        src in any::<u32>(),
-        dst in any::<u32>(),
-        bit in 0usize..(IPV4_HEADER_LEN * 8),
-    ) {
+/// Any single-bit flip in the IPv4 header is caught by its checksum.
+#[test]
+fn ipv4_checksum_catches_any_header_bit_flip() {
+    check("ipv4_checksum_catches_any_header_bit_flip", 256, |g| {
+        let src = g.u32();
+        let dst = g.u32();
+        let bit = g.usize_in(0..IPV4_HEADER_LEN * 8);
         let mut buf = [0u8; IPV4_HEADER_LEN];
         let mut p = Ipv4Packet::new_unchecked(&mut buf[..]);
         p.init(IPV4_HEADER_LEN as u16);
@@ -104,18 +106,19 @@ proptest! {
         p.fill_checksum();
         buf[bit / 8] ^= 1 << (bit % 8);
         let p = Ipv4Packet::new_unchecked(&buf[..]);
-        prop_assert!(!p.verify_checksum(), "bit {} flip undetected", bit);
-    }
+        assert!(!p.verify_checksum(), "bit {bit} flip undetected");
+    });
+}
 
-    /// UDP datagrams round-trip with valid checksums for arbitrary payloads.
-    #[test]
-    fn udp_roundtrip(
-        sport in any::<u16>(),
-        dport in any::<u16>(),
-        src in any::<u32>(),
-        dst in any::<u32>(),
-        payload in prop::collection::vec(any::<u8>(), 0..300),
-    ) {
+/// UDP datagrams round-trip with valid checksums for arbitrary payloads.
+#[test]
+fn udp_roundtrip() {
+    check("udp_roundtrip", 128, |g| {
+        let sport = g.u16();
+        let dport = g.u16();
+        let src = g.u32();
+        let dst = g.u32();
+        let payload = g.bytes(0..300);
         let total = UDP_HEADER_LEN + payload.len();
         let mut buf = vec![0u8; total];
         let mut d = UdpDatagram::new_unchecked(&mut buf[..]);
@@ -126,19 +129,20 @@ proptest! {
         let (s, t) = (Ipv4Addr::from(src), Ipv4Addr::from(dst));
         d.fill_checksum(s, t);
         let d = UdpDatagram::new_checked(&buf[..]).unwrap();
-        prop_assert!(d.verify_checksum(s, t));
-        prop_assert_eq!(d.src_port(), sport);
-        prop_assert_eq!(d.dst_port(), dport);
-        prop_assert_eq!(d.payload(), &payload[..]);
-    }
+        assert!(d.verify_checksum(s, t));
+        assert_eq!(d.src_port(), sport);
+        assert_eq!(d.dst_port(), dport);
+        assert_eq!(d.payload(), &payload[..]);
+    });
+}
 
-    /// Any single-byte corruption of a UDP datagram is caught.
-    #[test]
-    fn udp_checksum_catches_byte_corruption(
-        payload in prop::collection::vec(any::<u8>(), 1..100),
-        pos_seed in any::<usize>(),
-        flip in 1u8..=255,
-    ) {
+/// Any single-byte corruption of a UDP datagram is caught.
+#[test]
+fn udp_checksum_catches_byte_corruption() {
+    check("udp_checksum_catches_byte_corruption", 256, |g| {
+        let payload = g.bytes(1..100);
+        let pos_seed = g.usize();
+        let flip = g.u64_in(1..256) as u8;
         let total = UDP_HEADER_LEN + payload.len();
         let mut buf = vec![0u8; total];
         let mut d = UdpDatagram::new_unchecked(&mut buf[..]);
@@ -164,13 +168,16 @@ proptest! {
             // A flip of value and its complement in the same 16-bit word is
             // the only undetectable single-byte change; it cannot happen
             // for a single XOR flip of a non-zero pattern.
-            prop_assert!(!survives, "corruption at {} undetected", pos);
+            assert!(!survives, "corruption at {pos} undetected");
         }
-    }
+    });
+}
 
-    /// The compact binary trace format is lossless.
-    #[test]
-    fn trace_format_roundtrip(records in prop::collection::vec(arb_record(), 0..100)) {
+/// The compact binary trace format is lossless.
+#[test]
+fn trace_format_roundtrip() {
+    check("trace_format_roundtrip", 128, |g| {
+        let records = g.vec_with(0..100, gen_record);
         let mut sorted = records.clone();
         sorted.sort_by_key(|r| r.time);
         let mut w = TraceWriter::new(Vec::new()).unwrap();
@@ -183,28 +190,36 @@ proptest! {
         while let Some(r) = reader.read().unwrap() {
             back.push(r);
         }
-        prop_assert_eq!(back, sorted);
-    }
+        assert_eq!(back, sorted);
+    });
+}
 
-    /// pcap frames round-trip every field (time at microsecond grain;
-    /// session ids within the 24-bit address space or the sentinel).
-    #[test]
-    fn pcap_frame_roundtrip(rec in arb_record()) {
-        prop_assume!(rec.session == u32::MAX || rec.session < (1 << 24));
+/// pcap frames round-trip every field (time at microsecond grain; session
+/// ids within the 24-bit address space or the sentinel).
+#[test]
+fn pcap_frame_roundtrip() {
+    check("pcap_frame_roundtrip", 256, |g| {
+        let rec = gen_record(g);
+        if rec.session != u32::MAX && rec.session >= (1 << 24) {
+            return;
+        }
         let frame = synthesize_frame(&rec);
         let t_us = SimTime::from_nanos(rec.time.as_nanos() / 1_000 * 1_000);
         let back = parse_frame(&frame, t_us).unwrap();
-        prop_assert_eq!(back.direction, rec.direction);
-        prop_assert_eq!(back.session, rec.session);
-        prop_assert_eq!(back.app_len, rec.app_len);
+        assert_eq!(back.direction, rec.direction);
+        assert_eq!(back.session, rec.session);
+        assert_eq!(back.app_len, rec.app_len);
         if rec.app_len > 0 {
-            prop_assert_eq!(back.kind, rec.kind);
+            assert_eq!(back.kind, rec.kind);
         }
-    }
+    });
+}
 
-    /// A pcap file of many frames reads back in order and in full.
-    #[test]
-    fn pcap_file_roundtrip(records in prop::collection::vec(arb_record(), 1..50)) {
+/// A pcap file of many frames reads back in order and in full.
+#[test]
+fn pcap_file_roundtrip() {
+    check("pcap_file_roundtrip", 128, |g| {
+        let records = g.vec_with(1..50, gen_record);
         let mut sorted: Vec<TraceRecord> = records
             .into_iter()
             .filter(|r| r.session == u32::MAX || r.session < (1 << 24))
@@ -218,10 +233,10 @@ proptest! {
         let mut reader = PcapReader::new(&bytes[..]).unwrap();
         let mut n = 0;
         while let Some(r) = reader.read().unwrap() {
-            prop_assert_eq!(r.session, sorted[n].session);
-            prop_assert_eq!(r.app_len, sorted[n].app_len);
+            assert_eq!(r.session, sorted[n].session);
+            assert_eq!(r.app_len, sorted[n].app_len);
             n += 1;
         }
-        prop_assert_eq!(n, sorted.len());
-    }
+        assert_eq!(n, sorted.len());
+    });
 }

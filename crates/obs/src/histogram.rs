@@ -1,0 +1,214 @@
+//! Log-scaled histogram for latency- and size-like quantities.
+//!
+//! Values are bucketed by their binary magnitude: bucket 0 holds the value
+//! `0`, bucket `i >= 1` holds values in `[2^(i-1), 2^i)`. Sixty-five buckets
+//! cover the full `u64` range, so recording never saturates into an
+//! "overflow" bucket and two histograms merge bucket-by-bucket without loss.
+
+/// A power-of-two bucketed histogram with exact count/sum/min/max.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: [u64; 65],
+    total: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: [0; 65],
+            total: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+
+    /// The bucket index a value falls into.
+    pub fn bucket_index(value: u64) -> usize {
+        match value {
+            0 => 0,
+            v => (64 - v.leading_zeros()) as usize,
+        }
+    }
+
+    /// Inclusive `(low, high)` value range covered by bucket `index`.
+    pub fn bucket_range(index: usize) -> (u64, u64) {
+        assert!(index <= 64, "log histogram has 65 buckets");
+        match index {
+            0 => (0, 0),
+            64 => (1 << 63, u64::MAX),
+            i => (1 << (i - 1), (1 << i) - 1),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        if self.total == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.total += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Folds `other` into `self`; equivalent to having recorded both
+    /// observation streams into one histogram.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.total == 0 {
+            return;
+        }
+        if self.total == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        for (dst, src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst += src;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest observation, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Non-empty buckets as `(low, high, count)` triples in value order.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = Self::bucket_range(i);
+                (lo, hi, c)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(LogHistogram::bucket_index(0), 0);
+        assert_eq!(LogHistogram::bucket_index(1), 1);
+        assert_eq!(LogHistogram::bucket_index(2), 2);
+        assert_eq!(LogHistogram::bucket_index(3), 2);
+        assert_eq!(LogHistogram::bucket_index(4), 3);
+        assert_eq!(LogHistogram::bucket_index(1023), 10);
+        assert_eq!(LogHistogram::bucket_index(1024), 11);
+        assert_eq!(LogHistogram::bucket_index(u64::MAX), 64);
+        // Every value maps into the bucket whose range contains it.
+        for v in [0u64, 1, 2, 3, 7, 8, 255, 256, 1 << 40, u64::MAX] {
+            let (lo, hi) = LogHistogram::bucket_range(LogHistogram::bucket_index(v));
+            assert!(lo <= v && v <= hi, "value {v} outside bucket [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn bucket_ranges_tile_the_u64_line() {
+        let mut expected_lo = 0u64;
+        for i in 0..=64 {
+            let (lo, hi) = LogHistogram::bucket_range(i);
+            assert_eq!(lo, expected_lo, "bucket {i} leaves a gap");
+            assert!(hi >= lo);
+            if i < 64 {
+                expected_lo = hi + 1;
+            } else {
+                assert_eq!(hi, u64::MAX);
+            }
+        }
+    }
+
+    #[test]
+    fn record_tracks_exact_stats() {
+        let mut h = LogHistogram::new();
+        for v in [5u64, 0, 17, 3, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1025);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 205.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_matches_recording_both_streams() {
+        let xs = [1u64, 9, 200, 0, 31];
+        let ys = [4u64, 4, 70_000, 2];
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut both = LogHistogram::new();
+        for &x in &xs {
+            a.record(x);
+            both.record(x);
+        }
+        for &y in &ys {
+            b.record(y);
+            both.record(y);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+        // Merging an empty histogram is a no-op in both directions.
+        let mut empty = LogHistogram::new();
+        empty.merge(&both);
+        assert_eq!(empty, both);
+        both.merge(&LogHistogram::new());
+        assert_eq!(empty, both);
+    }
+
+    #[test]
+    fn nonzero_buckets_skip_empties() {
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(6);
+        h.record(7);
+        let buckets = h.nonzero_buckets();
+        assert_eq!(buckets, vec![(0, 0, 1), (4, 7, 2)]);
+    }
+}

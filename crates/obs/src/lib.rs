@@ -1,0 +1,34 @@
+//! # csprov-obs — zero-dependency observability for the csprov workspace
+//!
+//! Metrics, span timing and progress reporting for the single-threaded
+//! discrete-event simulation. Everything here is built on `Rc<Cell<..>>`
+//! handles — no atomics, no locks, no external crates — so instrumented hot
+//! paths pay roughly one pointer-chase per update.
+//!
+//! ## The determinism boundary
+//!
+//! Seeded runs are a pure function of their seed; instrumentation must never
+//! feed back into simulation decisions. This crate enforces the reporting
+//! side of that contract:
+//!
+//! * every instrument is tagged **deterministic** or **wall**: counts,
+//!   gauges and sim-time histograms are deterministic; anything measured
+//!   with `Instant` is wall;
+//! * [`MetricsRegistry::render_deterministic`] excludes wall instruments, so
+//!   two same-seed runs produce byte-identical deterministic snapshots;
+//! * [`ProgressReporter`] only *reads* simulation state and writes to
+//!   stderr — it cannot reorder or add events.
+//!
+//! The consuming crates hold up the other side: handles are attached as
+//! `Option<..>` side-channels and no simulation branch ever inspects a
+//! metric value.
+
+pub mod histogram;
+pub mod progress;
+pub mod registry;
+pub mod span;
+
+pub use histogram::LogHistogram;
+pub use progress::ProgressReporter;
+pub use registry::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use span::{Span, SpanGuard};

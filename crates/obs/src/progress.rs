@@ -1,0 +1,177 @@
+//! Periodic progress heartbeat for long simulation runs.
+//!
+//! The reporter is *pull-driven*: the event loop calls
+//! [`ProgressReporter::maybe_report`] from its observer hook, and the
+//! reporter decides (by wall clock) whether enough time has passed to print
+//! another line. It only ever reads simulation state and writes to stderr —
+//! it schedules nothing and perturbs nothing, so enabling it cannot change
+//! a seeded run's output.
+
+use std::cell::Cell;
+use std::time::{Duration, Instant};
+
+/// Emits a stderr heartbeat with sim-time position, speedup and ETA.
+pub struct ProgressReporter {
+    label: String,
+    horizon_ns: Option<u64>,
+    interval: Duration,
+    started: Instant,
+    last_emit: Cell<Option<Instant>>,
+}
+
+impl ProgressReporter {
+    /// A reporter labelled `label`, targeting an optional sim-time horizon,
+    /// printing at most once per second.
+    pub fn new(label: &str, horizon_ns: Option<u64>) -> Self {
+        ProgressReporter {
+            label: label.to_string(),
+            horizon_ns,
+            interval: Duration::from_secs(1),
+            started: Instant::now(),
+            last_emit: Cell::new(None),
+        }
+    }
+
+    /// Overrides the minimum interval between heartbeat lines.
+    pub fn with_interval(mut self, interval: Duration) -> Self {
+        self.interval = interval;
+        self
+    }
+
+    /// Prints a heartbeat if at least the configured interval elapsed since
+    /// the previous one. Call freely from a hot loop; the common case is one
+    /// `Instant::now()` and a compare.
+    pub fn maybe_report(&self, sim_ns: u64, events: u64, queue_len: usize) {
+        let now = Instant::now();
+        let due = match self.last_emit.get() {
+            None => now.duration_since(self.started) >= self.interval,
+            Some(prev) => now.duration_since(prev) >= self.interval,
+        };
+        if !due {
+            return;
+        }
+        self.last_emit.set(Some(now));
+        eprintln!(
+            "{}",
+            self.format_line(now.duration_since(self.started), sim_ns, events, queue_len)
+        );
+    }
+
+    /// Prints the closing summary line unconditionally.
+    pub fn finish(&self, sim_ns: u64, events: u64) {
+        let wall = self.started.elapsed();
+        let wall_s = wall.as_secs_f64().max(1e-9);
+        eprintln!(
+            "[progress {}] done: sim {} in {:.1} s wall ({}x), {} events ({} ev/s)",
+            self.label,
+            fmt_hms(sim_ns),
+            wall_s,
+            si(sim_ns as f64 / 1e9 / wall_s),
+            events,
+            si(events as f64 / wall_s),
+        );
+    }
+
+    /// Renders one heartbeat line (pure; separated out for tests).
+    fn format_line(&self, wall: Duration, sim_ns: u64, events: u64, queue_len: usize) -> String {
+        let wall_s = wall.as_secs_f64().max(1e-9);
+        let speedup = sim_ns as f64 / 1e9 / wall_s;
+        let mut line = format!("[progress {}] sim {}", self.label, fmt_hms(sim_ns));
+        if let Some(h) = self.horizon_ns {
+            let pct = if h == 0 {
+                100.0
+            } else {
+                100.0 * sim_ns as f64 / h as f64
+            };
+            line.push_str(&format!("/{} ({pct:.1}%)", fmt_hms(h)));
+        }
+        line.push_str(&format!(
+            "  {} events ({} ev/s)  sim/wall {}x  queue {queue_len}",
+            si(events as f64),
+            si(events as f64 / wall_s),
+            si(speedup),
+        ));
+        if let Some(h) = self.horizon_ns {
+            if sim_ns > 0 && h > sim_ns {
+                let eta_s = (h - sim_ns) as f64 / (sim_ns as f64 / wall_s);
+                line.push_str(&format!("  eta {}", fmt_hms((eta_s * 1e9) as u64)));
+            }
+        }
+        line
+    }
+}
+
+/// `H:MM:SS` rendering of a nanosecond span (sub-second part dropped).
+fn fmt_hms(ns: u64) -> String {
+    let total_s = ns / 1_000_000_000;
+    format!(
+        "{}:{:02}:{:02}",
+        total_s / 3600,
+        (total_s / 60) % 60,
+        total_s % 60
+    )
+}
+
+/// Short SI rendering: `950.0`, `1.50k`, `2.40M`, `1.20G`.
+fn si(x: f64) -> String {
+    if x >= 1e9 {
+        format!("{:.2}G", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.2}k", x / 1e3)
+    } else {
+        format!("{x:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hms_formats_spans() {
+        assert_eq!(fmt_hms(0), "0:00:00");
+        assert_eq!(fmt_hms(61_500_000_000), "0:01:01");
+        assert_eq!(fmt_hms(24 * 3600 * 1_000_000_000), "24:00:00");
+    }
+
+    #[test]
+    fn heartbeat_line_has_position_rate_and_eta() {
+        let r = ProgressReporter::new("main", Some(24 * 3600 * 1_000_000_000));
+        let line = r.format_line(
+            Duration::from_secs(10),
+            3600 * 1_000_000_000, // one sim hour in ten wall seconds
+            1_500_000,
+            42,
+        );
+        assert!(line.starts_with("[progress main] sim 1:00:00/24:00:00 (4.2%)"));
+        assert!(line.contains("1.50M events"));
+        assert!(line.contains("150.00k ev/s"));
+        assert!(line.contains("sim/wall 360.0x"));
+        assert!(line.contains("queue 42"));
+        // 23 sim hours left at 360x => 230 wall seconds.
+        assert!(line.ends_with("eta 0:03:50"));
+    }
+
+    #[test]
+    fn heartbeat_without_horizon_omits_eta() {
+        let r = ProgressReporter::new("nat", None);
+        let line = r.format_line(Duration::from_secs(2), 1_000_000_000, 500, 3);
+        assert!(line.contains("sim 0:00:01 "));
+        assert!(!line.contains('%'));
+        assert!(!line.contains("eta"));
+    }
+
+    #[test]
+    fn interval_gates_reporting() {
+        // A 1-hour interval means no heartbeat fires during the test...
+        let r = ProgressReporter::new("t", None).with_interval(Duration::from_secs(3600));
+        r.maybe_report(1, 1, 0);
+        assert!(r.last_emit.get().is_none());
+        // ...while a zero interval fires immediately.
+        let r = ProgressReporter::new("t", None).with_interval(Duration::ZERO);
+        r.maybe_report(1, 1, 0);
+        assert!(r.last_emit.get().is_some());
+    }
+}

@@ -1,0 +1,416 @@
+//! Named-instrument registry with cheap single-threaded handles.
+//!
+//! The whole simulation runs on one thread, so instruments are plain
+//! `Rc<Cell<..>>` values — no atomics, no locks. A handle cloned out of the
+//! registry costs one pointer copy to update; the registry keeps the same
+//! shared storage and renders snapshots from it on demand.
+//!
+//! Instruments carry a *wall* flag separating the deterministic domain
+//! (anything derived from sim time, event counts, packet counts) from the
+//! wall-clock domain (span durations measured with `Instant`). Deterministic
+//! renders exclude wall instruments, so two same-seed runs compare equal
+//! byte-for-byte no matter how fast the host executed them.
+
+use crate::histogram::LogHistogram;
+use crate::span::Span;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// Monotonic event counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Rc<Cell<u64>>);
+
+impl Counter {
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get().wrapping_add(n));
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+/// Instantaneous level with a high-water mark.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    value: Rc<Cell<i64>>,
+    high: Rc<Cell<i64>>,
+}
+
+impl Gauge {
+    /// Sets the level, advancing the high-water mark when exceeded.
+    pub fn set(&self, v: i64) {
+        self.value.set(v);
+        if v > self.high.get() {
+            self.high.set(v);
+        }
+    }
+
+    /// Adjusts the level by a signed delta.
+    pub fn adjust(&self, delta: i64) {
+        self.set(self.value.get() + delta);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.value.get()
+    }
+
+    /// Largest level ever set.
+    pub fn high_water(&self) -> i64 {
+        self.high.get()
+    }
+}
+
+/// Shared handle onto a [`LogHistogram`].
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Rc<RefCell<LogHistogram>>);
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.0.borrow_mut().record(value);
+    }
+
+    /// Copies out the current contents.
+    pub fn snapshot(&self) -> LogHistogram {
+        self.0.borrow().clone()
+    }
+}
+
+#[derive(Clone)]
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Instrument {
+    fn kind(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Clone)]
+struct Entry {
+    instrument: Instrument,
+    wall: bool,
+}
+
+/// Registry of named instruments; clone freely, all clones share storage.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    entries: Rc<RefCell<BTreeMap<String, Entry>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn instrument(&self, name: &str, wall: bool, fresh: fn() -> Instrument) -> Instrument {
+        let mut entries = self.entries.borrow_mut();
+        let entry = entries.entry(name.to_string()).or_insert_with(|| Entry {
+            instrument: fresh(),
+            wall,
+        });
+        let want = fresh();
+        assert_eq!(
+            entry.instrument.kind(),
+            want.kind(),
+            "metric {name:?} already registered as a {}",
+            entry.instrument.kind()
+        );
+        entry.instrument.clone()
+    }
+
+    /// Registers (or re-opens) a deterministic counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.instrument(name, false, || Instrument::Counter(Counter::default())) {
+            Instrument::Counter(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Registers (or re-opens) a deterministic gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.instrument(name, false, || Instrument::Gauge(Gauge::default())) {
+            Instrument::Gauge(g) => g,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Registers (or re-opens) a deterministic histogram.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match self.instrument(name, false, || Instrument::Histogram(Histogram::default())) {
+            Instrument::Histogram(h) => h,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Registers a wall-clock histogram, excluded from deterministic renders.
+    pub fn wall_histogram(&self, name: &str) -> Histogram {
+        match self.instrument(name, true, || Instrument::Histogram(Histogram::default())) {
+            Instrument::Histogram(h) => h,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Registers a span: `<name>.count` and `<name>.sim_gap_ns` stay in the
+    /// deterministic domain, `<name>.wall_ns` records host time.
+    pub fn span(&self, name: &str) -> Span {
+        Span::new(
+            self.counter(&format!("{name}.count")),
+            self.counter(&format!("{name}.items")),
+            self.histogram(&format!("{name}.sim_gap_ns")),
+            self.wall_histogram(&format!("{name}.wall_ns")),
+        )
+    }
+
+    /// Number of registered instruments.
+    pub fn len(&self) -> usize {
+        self.entries.borrow().len()
+    }
+
+    /// Whether nothing has been registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.borrow().is_empty()
+    }
+
+    /// Registered metric names in sorted order.
+    pub fn names(&self) -> Vec<String> {
+        self.entries.borrow().keys().cloned().collect()
+    }
+
+    /// One line per instrument, name-sorted, wall metrics included.
+    pub fn render_text(&self) -> String {
+        self.render(true)
+    }
+
+    /// One line per instrument, name-sorted, wall metrics *excluded* — two
+    /// same-seed runs must produce identical output from this call.
+    pub fn render_deterministic(&self) -> String {
+        self.render(false)
+    }
+
+    fn render(&self, include_wall: bool) -> String {
+        let mut out = String::new();
+        for (name, entry) in self.entries.borrow().iter() {
+            if entry.wall && !include_wall {
+                continue;
+            }
+            match &entry.instrument {
+                Instrument::Counter(c) => {
+                    let _ = writeln!(out, "{name} counter {}", c.get());
+                }
+                Instrument::Gauge(g) => {
+                    let _ = writeln!(
+                        out,
+                        "{name} gauge {} high_water {}",
+                        g.get(),
+                        g.high_water()
+                    );
+                }
+                Instrument::Histogram(h) => {
+                    let h = h.snapshot();
+                    let _ = writeln!(
+                        out,
+                        "{name} histogram count {} sum {} min {} max {}",
+                        h.count(),
+                        h.sum(),
+                        h.min(),
+                        h.max()
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// One JSON object per line, name-sorted, tagged with `artifact`.
+    pub fn render_jsonl(&self, artifact: &str) -> String {
+        let mut out = String::new();
+        for (name, entry) in self.entries.borrow().iter() {
+            let _ = write!(
+                out,
+                "{{\"artifact\":{},\"name\":{},\"kind\":\"{}\",\"wall\":{}",
+                json_str(artifact),
+                json_str(name),
+                entry.instrument.kind(),
+                entry.wall
+            );
+            match &entry.instrument {
+                Instrument::Counter(c) => {
+                    let _ = write!(out, ",\"value\":{}", c.get());
+                }
+                Instrument::Gauge(g) => {
+                    let _ = write!(
+                        out,
+                        ",\"value\":{},\"high_water\":{}",
+                        g.get(),
+                        g.high_water()
+                    );
+                }
+                Instrument::Histogram(h) => {
+                    let h = h.snapshot();
+                    let _ = write!(
+                        out,
+                        ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                        h.count(),
+                        h.sum(),
+                        h.min(),
+                        h.max()
+                    );
+                    for (i, (lo, _, c)) in h.nonzero_buckets().iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "[{lo},{c}]");
+                    }
+                    out.push(']');
+                }
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+/// Minimal JSON string encoding; metric names are plain identifiers but the
+/// artifact label is caller-supplied.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_storage_with_registry() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("a.count");
+        c.add(3);
+        reg.counter("a.count").incr();
+        assert_eq!(c.get(), 4);
+
+        let g = reg.gauge("a.level");
+        g.set(5);
+        g.adjust(-2);
+        assert_eq!(g.get(), 3);
+        assert_eq!(g.high_water(), 5);
+
+        let h = reg.histogram("a.size");
+        h.record(100);
+        assert_eq!(reg.histogram("a.size").snapshot().count(), 1);
+        assert_eq!(reg.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    fn render_is_name_sorted_and_stable() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z.last").add(2);
+        reg.gauge("a.first").set(7);
+        reg.histogram("m.mid").record(9);
+        let text = reg.render_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a.first gauge 7 high_water 7"));
+        assert!(lines[1].starts_with("m.mid histogram count 1 sum 9"));
+        assert!(lines[2].starts_with("z.last counter 2"));
+    }
+
+    #[test]
+    fn deterministic_render_excludes_wall_metrics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("events").add(10);
+        reg.wall_histogram("tick.wall_ns").record(123_456);
+        let det = reg.render_deterministic();
+        assert!(det.contains("events counter 10"));
+        assert!(!det.contains("tick.wall_ns"));
+        assert!(reg.render_text().contains("tick.wall_ns"));
+    }
+
+    #[test]
+    fn identical_update_sequences_render_identically() {
+        // The registry-level determinism contract: same seed => same update
+        // stream => byte-identical deterministic snapshot.
+        let run = |seed: u64| {
+            let reg = MetricsRegistry::new();
+            let c = reg.counter("sim.events");
+            let g = reg.gauge("queue.depth");
+            let h = reg.histogram("pkt.bytes");
+            let mut x = seed;
+            for _ in 0..1000 {
+                // Tiny LCG stands in for a seeded simulation run.
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                c.incr();
+                g.set((x >> 60) as i64);
+                h.record(x >> 48);
+            }
+            reg.render_deterministic()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn jsonl_lines_are_wellformed() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c").add(1);
+        reg.gauge("g").set(-4);
+        reg.histogram("h").record(5);
+        let jsonl = reg.render_jsonl("table4");
+        for line in jsonl.lines() {
+            assert!(line.starts_with("{\"artifact\":\"table4\",\"name\":"));
+            assert!(line.ends_with('}'));
+        }
+        assert!(jsonl.contains("\"kind\":\"gauge\",\"wall\":false,\"value\":-4,\"high_water\":0"));
+        assert!(jsonl.contains("\"buckets\":[[4,1]]"));
+    }
+
+    #[test]
+    fn json_str_escapes() {
+        assert_eq!(json_str("plain"), "\"plain\"");
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -1,0 +1,130 @@
+//! Scoped timers that straddle the determinism boundary.
+//!
+//! A [`Span`] measures a recurring region of work (the 50 ms server tick,
+//! one forwarding-engine service round) on both clocks at once:
+//!
+//! * **wall clock** — how long the host spent inside the region, recorded
+//!   into a wall-flagged histogram (excluded from deterministic renders);
+//! * **sim clock** — the simulated-time gap between successive entries,
+//!   which is a pure function of the seed and therefore deterministic.
+//!
+//! The guard also carries an item count (players snapshotted, packets
+//! forwarded) so rates can be derived from the snapshot alone.
+
+use crate::registry::{Counter, Histogram};
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// A named, re-enterable timed region. Clone freely; clones share state.
+#[derive(Clone)]
+pub struct Span {
+    count: Counter,
+    items: Counter,
+    sim_gap_ns: Histogram,
+    wall_ns: Histogram,
+    last_sim_ns: Rc<Cell<Option<u64>>>,
+}
+
+impl Span {
+    pub(crate) fn new(
+        count: Counter,
+        items: Counter,
+        sim_gap_ns: Histogram,
+        wall_ns: Histogram,
+    ) -> Self {
+        Span {
+            count,
+            items,
+            sim_gap_ns,
+            wall_ns,
+            last_sim_ns: Rc::new(Cell::new(None)),
+        }
+    }
+
+    /// Enters the region at simulated time `sim_now_ns`; the returned guard
+    /// records on drop.
+    pub fn enter(&self, sim_now_ns: u64) -> SpanGuard<'_> {
+        SpanGuard {
+            span: self,
+            started: Instant::now(),
+            sim_now_ns,
+            items: 0,
+        }
+    }
+
+    /// Number of completed entries.
+    pub fn entry_count(&self) -> u64 {
+        self.count.get()
+    }
+
+    /// Total items accumulated across entries.
+    pub fn item_total(&self) -> u64 {
+        self.items.get()
+    }
+}
+
+/// Live measurement of one entry into a [`Span`].
+pub struct SpanGuard<'a> {
+    span: &'a Span,
+    started: Instant,
+    sim_now_ns: u64,
+    items: u64,
+}
+
+impl SpanGuard<'_> {
+    /// Attributes `n` processed items to this entry.
+    pub fn add_items(&mut self, n: u64) {
+        self.items += n;
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.span.count.incr();
+        self.span.items.add(self.items);
+        if let Some(prev) = self.span.last_sim_ns.get() {
+            self.span
+                .sim_gap_ns
+                .record(self.sim_now_ns.saturating_sub(prev));
+        }
+        self.span.last_sim_ns.set(Some(self.sim_now_ns));
+        self.span
+            .wall_ns
+            .record(self.started.elapsed().as_nanos() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn span_records_counts_items_and_gaps() {
+        let reg = MetricsRegistry::new();
+        let span = reg.span("tick");
+        for i in 0..4u64 {
+            let mut g = span.enter(i * 50_000_000); // 50 ms cadence
+            g.add_items(3);
+        }
+        assert_eq!(span.entry_count(), 4);
+        assert_eq!(span.item_total(), 12);
+        let gaps = reg.histogram("tick.sim_gap_ns").snapshot();
+        assert_eq!(gaps.count(), 3); // first entry has no predecessor
+        assert_eq!(gaps.min(), 50_000_000);
+        assert_eq!(gaps.max(), 50_000_000);
+        assert_eq!(reg.wall_histogram("tick.wall_ns").snapshot().count(), 4);
+    }
+
+    #[test]
+    fn sim_gaps_stay_out_of_wall_domain() {
+        let reg = MetricsRegistry::new();
+        let span = reg.span("serve");
+        drop(span.enter(0));
+        drop(span.enter(700_000));
+        let det = reg.render_deterministic();
+        assert!(det.contains("serve.count counter 2"));
+        assert!(det.contains("serve.sim_gap_ns histogram count 1 sum 700000"));
+        assert!(!det.contains("serve.wall_ns"));
+    }
+}

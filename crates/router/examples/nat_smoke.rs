@@ -14,8 +14,18 @@ fn main() {
     let out = World::run_with_middlebox(cfg, sink, Some(dev.clone()));
     let s = dev.stats();
     println!("players avg {:.1}", out.mean_players);
-    println!("in: offered {} forwarded {} dropped {} loss {:.3}% (paper 1.3%)",
-        s.offered[0].get(), s.forwarded[0].get(), s.dropped[0].get(), 100.0*s.loss_rate(Direction::Inbound));
-    println!("out: offered {} forwarded {} dropped {} loss {:.3}% (paper 0.046%)",
-        s.offered[1].get(), s.forwarded[1].get(), s.dropped[1].get(), 100.0*s.loss_rate(Direction::Outbound));
+    println!(
+        "in: offered {} forwarded {} dropped {} loss {:.3}% (paper 1.3%)",
+        s.offered[0].get(),
+        s.forwarded[0].get(),
+        s.dropped[0].get(),
+        100.0 * s.loss_rate(Direction::Inbound)
+    );
+    println!(
+        "out: offered {} forwarded {} dropped {} loss {:.3}% (paper 0.046%)",
+        s.offered[1].get(),
+        s.forwarded[1].get(),
+        s.dropped[1].get(),
+        100.0 * s.loss_rate(Direction::Outbound)
+    );
 }

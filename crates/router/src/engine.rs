@@ -13,6 +13,7 @@
 //! WAN-side queue overflows — exactly the paper's explanation for inbound
 //! loss exceeding outbound.
 
+use crate::metrics::RouterMetrics;
 use csprov_net::{Direction, Packet};
 use csprov_sim::{Counter, SimDuration, SimTime, Simulator};
 use std::cell::{Cell, RefCell};
@@ -142,6 +143,7 @@ struct EngineState {
     busy: bool,
     next_housekeeping: csprov_sim::SimTime,
     stats: EngineStats,
+    metrics: Option<RouterMetrics>,
 }
 
 /// A shared-CPU store-and-forward engine. Clone shares state.
@@ -161,6 +163,7 @@ impl ForwardingEngine {
                 occupancy: [0, 0],
                 busy: false,
                 stats: EngineStats::default(),
+                metrics: None,
             })),
         }
     }
@@ -168,6 +171,12 @@ impl ForwardingEngine {
     /// Handles to the counters.
     pub fn stats(&self) -> EngineStats {
         self.state.borrow().stats.clone()
+    }
+
+    /// Attaches [`RouterMetrics`]; purely observational — service order,
+    /// queue limits and timing are unchanged.
+    pub fn attach_metrics(&self, metrics: RouterMetrics) {
+        self.state.borrow_mut().metrics = Some(metrics);
     }
 
     /// The engine's configuration.
@@ -190,17 +199,26 @@ impl ForwardingEngine {
             let mut st = self.state.borrow_mut();
             let dir = EngineStats::idx(pkt.direction);
             st.stats.offered[dir].incr();
+            if let Some(m) = &st.metrics {
+                m.offered(dir).incr();
+            }
             let limit = match pkt.direction {
                 Direction::Inbound => st.config.wan_queue,
                 Direction::Outbound => st.config.lan_queue,
             };
             if st.occupancy[dir] >= limit {
                 st.stats.dropped[dir].incr();
+                if let Some(m) = &st.metrics {
+                    m.dropped(dir).incr();
+                }
                 return;
             }
             st.occupancy[dir] += 1;
             let arrived = sim.now();
             st.queue.push_back((pkt, arrived, Box::new(deliver)));
+            if let Some(m) = &st.metrics {
+                m.queue_depth.adjust(1);
+            }
             if st.busy {
                 false
             } else {
@@ -226,6 +244,10 @@ impl ForwardingEngine {
                 Some((pkt, arrived, deliver)) => {
                     let dir = EngineStats::idx(pkt.direction);
                     st.occupancy[dir] -= 1;
+                    if let Some(m) = &st.metrics {
+                        m.queue_depth.adjust(-1);
+                        m.busy_ns.add(service.as_nanos());
+                    }
                     (service, Some((pkt, arrived, deliver)))
                 }
                 None => {
@@ -242,6 +264,9 @@ impl ForwardingEngine {
                     let dir = EngineStats::idx(pkt.direction);
                     st.stats.forwarded[dir].incr();
                     st.stats.delay[dir].record(sim.now().saturating_since(arrived));
+                    if let Some(m) = &st.metrics {
+                        m.forwarded(dir).incr();
+                    }
                 }
                 deliver(sim, pkt);
                 this.serve_next(sim);

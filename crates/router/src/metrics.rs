@@ -1,0 +1,77 @@
+//! Registry-backed metrics for the forwarding engine and NAT table.
+//!
+//! The interesting provisioning quantity is the *lookup CPU busy fraction*:
+//! `router.engine.busy_ns` accumulates simulated CPU time spent on lookups
+//! and housekeeping stalls, so `busy_ns / run_ns` is the utilization the
+//! paper's capacity analysis reasons about. All instruments live in the
+//! deterministic domain — they are derived from sim time and packet counts.
+
+use csprov_obs::{Counter, Gauge, MetricsRegistry};
+
+/// Instruments for one NAT/router device.
+#[derive(Clone)]
+pub struct RouterMetrics {
+    /// Packets offered, per direction (`router.engine.offered_{in,out}`).
+    pub offered_in: Counter,
+    pub offered_out: Counter,
+    /// Packets forwarded, per direction (`router.engine.forwarded_{in,out}`).
+    pub forwarded_in: Counter,
+    pub forwarded_out: Counter,
+    /// Queue-overflow drops, per direction (`router.engine.dropped_{in,out}`).
+    pub dropped_in: Counter,
+    pub dropped_out: Counter,
+    /// Simulated CPU time spent serving lookups + housekeeping stalls
+    /// (`router.engine.busy_ns`).
+    pub busy_ns: Counter,
+    /// Shared-FIFO depth with high-water mark (`router.engine.queue_depth`).
+    pub queue_depth: Gauge,
+    /// Live translation-table size with high-water mark
+    /// (`router.nat.table_size`).
+    pub nat_table_size: Gauge,
+    /// Packets refused because the table was full (`router.nat.table_drops`).
+    pub nat_table_drops: Counter,
+}
+
+impl RouterMetrics {
+    /// Registers the `router.*` instruments.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        RouterMetrics {
+            offered_in: registry.counter("router.engine.offered_in"),
+            offered_out: registry.counter("router.engine.offered_out"),
+            forwarded_in: registry.counter("router.engine.forwarded_in"),
+            forwarded_out: registry.counter("router.engine.forwarded_out"),
+            dropped_in: registry.counter("router.engine.dropped_in"),
+            dropped_out: registry.counter("router.engine.dropped_out"),
+            busy_ns: registry.counter("router.engine.busy_ns"),
+            queue_depth: registry.gauge("router.engine.queue_depth"),
+            nat_table_size: registry.gauge("router.nat.table_size"),
+            nat_table_drops: registry.counter("router.nat.table_drops"),
+        }
+    }
+
+    /// Direction-indexed counter access matching `EngineStats` layout
+    /// (`[inbound, outbound]`).
+    pub(crate) fn offered(&self, dir_idx: usize) -> &Counter {
+        if dir_idx == 0 {
+            &self.offered_in
+        } else {
+            &self.offered_out
+        }
+    }
+
+    pub(crate) fn forwarded(&self, dir_idx: usize) -> &Counter {
+        if dir_idx == 0 {
+            &self.forwarded_in
+        } else {
+            &self.forwarded_out
+        }
+    }
+
+    pub(crate) fn dropped(&self, dir_idx: usize) -> &Counter {
+        if dir_idx == 0 {
+            &self.dropped_in
+        } else {
+            &self.dropped_out
+        }
+    }
+}

@@ -6,6 +6,7 @@
 //! `NAT → clients` (outbound pair).
 
 use crate::engine::{EngineConfig, EngineStats, ForwardingEngine};
+use crate::metrics::RouterMetrics;
 use csprov_game::{Deliver, Middlebox};
 use csprov_net::{Direction, Packet, TraceRecord, TraceSink};
 use csprov_sim::{SimDuration, SimTime, Simulator};
@@ -110,7 +111,8 @@ pub struct NatTaps {
 
 fn tap(t: &Option<Rc<RefCell<dyn TraceSink>>>, now: SimTime, pkt: &Packet) {
     if let Some(s) = t {
-        s.borrow_mut().on_packet(&TraceRecord::from_packet(now, pkt));
+        s.borrow_mut()
+            .on_packet(&TraceRecord::from_packet(now, pkt));
     }
 }
 
@@ -121,6 +123,7 @@ pub struct NatDevice {
     taps: NatTaps,
     /// Packets dropped because the translation table was full.
     pub table_drops: csprov_sim::Counter,
+    metrics: RefCell<Option<RouterMetrics>>,
 }
 
 impl NatDevice {
@@ -131,7 +134,15 @@ impl NatDevice {
             table: RefCell::new(NatTable::new(SimDuration::from_secs(300), 4096)),
             taps,
             table_drops: csprov_sim::Counter::new(),
+            metrics: RefCell::new(None),
         }
+    }
+
+    /// Attaches [`RouterMetrics`] to this device and its engine; purely
+    /// observational.
+    pub fn attach_metrics(&self, metrics: RouterMetrics) {
+        self.engine.attach_metrics(metrics.clone());
+        *self.metrics.borrow_mut() = Some(metrics);
     }
 
     /// Engine counters (Table IV's loss accounting).
@@ -154,9 +165,17 @@ impl Middlebox for NatDevice {
         }
         // Sessionless probe traffic shares one implicit mapping (the
         // server's static port-forward); session flows get dynamic entries.
-        if pkt.session != u32::MAX && self.table.borrow_mut().touch(pkt.session, now).is_none() {
-            self.table_drops.incr();
-            return;
+        if pkt.session != u32::MAX {
+            if self.table.borrow_mut().touch(pkt.session, now).is_none() {
+                self.table_drops.incr();
+                if let Some(m) = &*self.metrics.borrow() {
+                    m.nat_table_drops.incr();
+                }
+                return;
+            }
+            if let Some(m) = &*self.metrics.borrow() {
+                m.nat_table_size.set(self.table.borrow().len() as i64);
+            }
         }
         let taps_post_in = self.taps.nat_to_server.clone();
         let taps_post_out = self.taps.nat_to_clients.clone();
@@ -280,10 +299,45 @@ mod tests {
     }
 
     #[test]
+    fn attached_metrics_mirror_engine_stats() {
+        let reg = csprov_obs::MetricsRegistry::new();
+        let dev = NatDevice::new(
+            EngineConfig {
+                lookup_time: SimDuration::from_micros(500),
+                wan_queue: 2,
+                lan_queue: 2,
+                ..EngineConfig::default()
+            },
+            NatTaps::default(),
+        );
+        dev.attach_metrics(RouterMetrics::register(&reg));
+        let mut sim = Simulator::new();
+        for i in 0..6 {
+            dev.forward(&mut sim, pkt(i, Direction::Inbound), Box::new(|_, _| {}));
+        }
+        sim.run();
+        let m = RouterMetrics::register(&reg);
+        assert_eq!(m.offered_in.get(), 6);
+        assert_eq!(m.forwarded_in.get(), 3);
+        assert_eq!(m.dropped_in.get(), 3);
+        // Three lookups at 500 µs each.
+        assert_eq!(m.busy_ns.get(), 3 * 500_000);
+        assert_eq!(m.queue_depth.get(), 0);
+        // One packet is in service (popped) while two wait in the FIFO.
+        assert_eq!(m.queue_depth.high_water(), 2);
+        assert_eq!(m.nat_table_size.get(), 6);
+        assert_eq!(m.nat_table_drops.get(), 0);
+    }
+
+    #[test]
     fn probe_traffic_bypasses_table() {
         let dev = NatDevice::new(EngineConfig::default(), NatTaps::default());
         let mut sim = Simulator::new();
-        dev.forward(&mut sim, pkt(u32::MAX, Direction::Inbound), Box::new(|_, _| {}));
+        dev.forward(
+            &mut sim,
+            pkt(u32::MAX, Direction::Inbound),
+            Box::new(|_, _| {}),
+        );
         sim.run();
         assert_eq!(dev.table_len(), 0);
         assert_eq!(dev.stats().forwarded[0].get(), 1);

@@ -108,8 +108,7 @@ pub fn provision(load: &GameLoad, device: &EngineConfig) -> Provisioning {
         let per_sec = excess / load.tick.as_secs_f64();
         (per_sec / load.inbound_pps).min(1.0)
     };
-    let worst_delay =
-        SimDuration::from_secs_f64((device.wan_queue + device.lan_queue) as f64 * s);
+    let worst_delay = SimDuration::from_secs_f64((device.wan_queue + device.lan_queue) as f64 * s);
     Provisioning {
         utilization,
         drain_window: SimDuration::from_secs_f64(drain),
@@ -142,11 +141,7 @@ pub fn required_capacity(load: &GameLoad, device: &EngineConfig, target_loss: f6
 }
 
 /// How many of these game servers fit behind one device at the target loss.
-pub fn servers_supported(
-    per_server: &GameLoad,
-    device: &EngineConfig,
-    target_loss: f64,
-) -> u32 {
+pub fn servers_supported(per_server: &GameLoad, device: &EngineConfig, target_loss: f64) -> u32 {
     let mut n = 0;
     loop {
         let combined = GameLoad {

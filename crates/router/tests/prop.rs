@@ -2,8 +2,8 @@
 //! naive reference, cache bookkeeping invariants, and NAT-table behaviour.
 
 use csprov_router::{CachePolicy, NatTable, NextHop, RouteCache, RouteTable};
+use csprov_sim::check::{check, Gen};
 use csprov_sim::{SimDuration, SimTime};
-use proptest::prelude::*;
 use std::net::Ipv4Addr;
 
 /// Naive longest-prefix-match over a route list.
@@ -11,58 +11,73 @@ fn naive_lpm(routes: &[(u32, u8, u32)], addr: u32) -> Option<u32> {
     routes
         .iter()
         .filter(|&&(prefix, len, _)| {
-            let mask = if len == 0 { 0 } else { u32::MAX << (32 - u32::from(len)) };
+            let mask = if len == 0 {
+                0
+            } else {
+                u32::MAX << (32 - u32::from(len))
+            };
             addr & mask == prefix & mask
         })
         .max_by_key(|&&(_, len, _)| len)
         .map(|&(_, _, hop)| hop)
 }
 
-fn arb_routes() -> impl Strategy<Value = Vec<(u32, u8, u32)>> {
-    prop::collection::vec((any::<u32>(), 0u8..=32, any::<u32>()), 1..60)
+fn gen_routes(g: &mut Gen) -> Vec<(u32, u8, u32)> {
+    g.vec_with(1..60, |g| (g.u32(), g.u8_in(0..33), g.u32()))
 }
 
-proptest! {
-    /// The trie agrees with the naive reference on arbitrary tables and
-    /// lookups (modulo duplicate prefixes, where last-insert wins in both).
-    #[test]
-    fn trie_matches_naive(routes in arb_routes(), lookups in prop::collection::vec(any::<u32>(), 1..50)) {
+/// The trie agrees with the naive reference on arbitrary tables and
+/// lookups (modulo duplicate prefixes, where last-insert wins in both).
+#[test]
+fn trie_matches_naive() {
+    check("trie_matches_naive", 128, |g| {
+        let routes = gen_routes(g);
+        let lookups = g.vec_with(1..50, |g| g.u32());
         // Deduplicate masked prefixes, keeping the last (insert overwrites).
         let mut table = RouteTable::new();
         let mut reference: Vec<(u32, u8, u32)> = Vec::new();
         for &(prefix, len, hop) in &routes {
-            let mask = if len == 0 { 0 } else { u32::MAX << (32 - u32::from(len)) };
+            let mask = if len == 0 {
+                0
+            } else {
+                u32::MAX << (32 - u32::from(len))
+            };
             let key = (prefix & mask, len);
             reference.retain(|&(p, l, _)| (p & mask != key.0) || l != len);
             reference.push((key.0, len, hop));
             table.insert(Ipv4Addr::from(prefix), len, NextHop(hop));
         }
-        prop_assert_eq!(table.len(), reference.len());
+        assert_eq!(table.len(), reference.len());
         for &addr in &lookups {
             let (got, _) = table.lookup(Ipv4Addr::from(addr));
             let expected = naive_lpm(&reference, addr);
-            prop_assert_eq!(got.map(|h| h.0), expected, "addr {:#x}", addr);
+            assert_eq!(got.map(|h| h.0), expected, "addr {addr:#x}");
         }
-    }
+    });
+}
 
-    /// Inserted prefixes are always found for addresses inside them.
-    #[test]
-    fn trie_self_lookup(prefix in any::<u32>(), len in 0u8..=32, hop in any::<u32>()) {
+/// Inserted prefixes are always found for addresses inside them.
+#[test]
+fn trie_self_lookup() {
+    check("trie_self_lookup", 256, |g| {
+        let prefix = g.u32();
+        let len = g.u8_in(0..33);
+        let hop = g.u32();
         let mut t = RouteTable::new();
         t.insert(Ipv4Addr::from(prefix), len, NextHop(hop));
         let (got, visited) = t.lookup(Ipv4Addr::from(prefix));
-        prop_assert_eq!(got, Some(NextHop(hop)));
-        prop_assert!(visited as u64 <= u64::from(len) + 1);
-    }
+        assert_eq!(got, Some(NextHop(hop)));
+        assert!(visited as u64 <= u64::from(len) + 1);
+    });
+}
 
-    /// The cache never exceeds capacity and hits+misses equals accesses.
-    #[test]
-    fn cache_bookkeeping(
-        capacity in 1usize..32,
-        accesses in prop::collection::vec((any::<u32>(), 1u32..1_500), 1..300),
-        policy_idx in 0usize..4,
-    ) {
-        let policy = CachePolicy::ALL[policy_idx];
+/// The cache never exceeds capacity and hits+misses equals accesses.
+#[test]
+fn cache_bookkeeping() {
+    check("cache_bookkeeping", 128, |g| {
+        let capacity = g.usize_in(1..32);
+        let accesses = g.vec_with(1..300, |g| (g.u32(), g.u32_in(1..1_500)));
+        let policy = CachePolicy::ALL[g.usize_in(0..4)];
         let mut cache = RouteCache::new(policy, capacity);
         for &(addr, size) in &accesses {
             // Narrow the address space so hits actually happen.
@@ -70,31 +85,36 @@ proptest! {
             if cache.access(addr, size).is_none() {
                 cache.insert(addr, NextHop(7), size);
             }
-            prop_assert!(cache.len() <= capacity, "cache over capacity");
+            assert!(cache.len() <= capacity, "cache over capacity");
         }
-        prop_assert_eq!(cache.hits() + cache.misses(), accesses.len() as u64);
+        assert_eq!(cache.hits() + cache.misses(), accesses.len() as u64);
         let rate = cache.hit_rate();
-        prop_assert!((0.0..=1.0).contains(&rate));
-    }
+        assert!((0.0..=1.0).contains(&rate));
+    });
+}
 
-    /// A just-inserted entry is immediately hit, under every policy.
-    #[test]
-    fn cache_insert_then_hit(policy_idx in 0usize..4, addr in any::<u32>()) {
-        let mut cache = RouteCache::new(CachePolicy::ALL[policy_idx], 4);
+/// A just-inserted entry is immediately hit, under every policy.
+#[test]
+fn cache_insert_then_hit() {
+    check("cache_insert_then_hit", 128, |g| {
+        let policy = CachePolicy::ALL[g.usize_in(0..4)];
+        let addr = g.u32();
+        let mut cache = RouteCache::new(policy, 4);
         let a = Ipv4Addr::from(addr);
-        prop_assert!(cache.access(a, 100).is_none());
+        assert!(cache.access(a, 100).is_none());
         cache.insert(a, NextHop(3), 100);
-        prop_assert_eq!(cache.access(a, 100), Some(NextHop(3)));
-    }
+        assert_eq!(cache.access(a, 100), Some(NextHop(3)));
+    });
+}
 
-    /// NAT table: ports are unique among live mappings; expiry respects
-    /// the timeout; capacity is never exceeded.
-    #[test]
-    fn nat_table_invariants(
-        ops in prop::collection::vec((0u32..200, 0u64..10_000), 1..300),
-        timeout_s in 1u64..600,
-        capacity in 1usize..64,
-    ) {
+/// NAT table: ports are unique among live mappings; expiry respects the
+/// timeout; capacity is never exceeded.
+#[test]
+fn nat_table_invariants() {
+    check("nat_table_invariants", 128, |g| {
+        let ops = g.vec_with(1..300, |g| (g.u32_in(0..200), g.u64_in(0..10_000)));
+        let timeout_s = g.u64_in(1..600);
+        let capacity = g.usize_in(1..64);
         let mut t = NatTable::new(SimDuration::from_secs(timeout_s), capacity);
         let mut now = SimTime::ZERO;
         let mut live_ports = std::collections::HashMap::new();
@@ -108,11 +128,11 @@ proptest! {
                 }
                 live_ports.insert(session, port);
             }
-            prop_assert!(t.len() <= capacity);
+            assert!(t.len() <= capacity);
         }
         // Everything expires after a long quiet period.
         let far = now + SimDuration::from_secs(timeout_s + 1);
         t.expire(far);
-        prop_assert!(t.is_empty());
-    }
+        assert!(t.is_empty());
+    });
 }

@@ -1,0 +1,189 @@
+//! Minimal deterministic property-check harness.
+//!
+//! The workspace builds fully offline, so instead of an external
+//! property-testing crate the test suites use this small in-tree harness:
+//! [`check`] runs a closure over many pseudo-randomly generated cases, each
+//! driven by a [`Gen`] that wraps the workspace's own [`RngStream`]. Cases
+//! are derived from the property name, so runs are reproducible and a
+//! failure report names the exact case that can be replayed with
+//! [`check_case`].
+//!
+//! ```
+//! use csprov_sim::check::check;
+//!
+//! check("addition commutes", 64, |g| {
+//!     let (a, b) = (g.u64_in(0..1000), g.u64_in(0..1000));
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+
+use crate::rng::RngStream;
+use std::ops::Range;
+
+/// Per-case pseudo-random value source handed to the property closure.
+pub struct Gen {
+    rng: RngStream,
+}
+
+impl Gen {
+    fn new(name: &str, case: u64) -> Self {
+        Gen {
+            rng: RngStream::new(0xC5_9E_ED)
+                .derive(name)
+                .derive_indexed("case", case),
+        }
+    }
+
+    /// Uniform `u64` over the full range.
+    pub fn u64(&mut self) -> u64 {
+        self.rng.next_u64_raw()
+    }
+
+    /// Uniform `u32` over the full range.
+    pub fn u32(&mut self) -> u32 {
+        self.rng.next_u32()
+    }
+
+    /// Uniform `u16` over the full range.
+    pub fn u16(&mut self) -> u16 {
+        (self.rng.next_u64_raw() >> 48) as u16
+    }
+
+    /// Uniform `u8` over the full range.
+    pub fn u8(&mut self) -> u8 {
+        (self.rng.next_u64_raw() >> 56) as u8
+    }
+
+    /// Uniform `usize` over the full range (platform-width).
+    pub fn usize(&mut self) -> usize {
+        self.rng.next_u64_raw() as usize
+    }
+
+    /// Fair coin.
+    pub fn bool(&mut self) -> bool {
+        self.rng.next_u64_raw() & 1 == 1
+    }
+
+    /// Uniform draw from a half-open `u64` range.
+    pub fn u64_in(&mut self, r: Range<u64>) -> u64 {
+        assert!(r.start < r.end, "empty range");
+        r.start + self.rng.next_below(r.end - r.start)
+    }
+
+    /// Uniform draw from a half-open `u32` range.
+    pub fn u32_in(&mut self, r: Range<u32>) -> u32 {
+        self.u64_in(u64::from(r.start)..u64::from(r.end)) as u32
+    }
+
+    /// Uniform draw from a half-open `u8` range.
+    pub fn u8_in(&mut self, r: Range<u8>) -> u8 {
+        self.u64_in(u64::from(r.start)..u64::from(r.end)) as u8
+    }
+
+    /// Uniform draw from a half-open `usize` range.
+    pub fn usize_in(&mut self, r: Range<usize>) -> usize {
+        self.u64_in(r.start as u64..r.end as u64) as usize
+    }
+
+    /// Uniform draw from a half-open `f64` range.
+    pub fn f64_in(&mut self, r: Range<f64>) -> f64 {
+        r.start + self.rng.next_f64() * (r.end - r.start)
+    }
+
+    /// A vector with length drawn from `len` and elements from `f`.
+    pub fn vec_with<T>(&mut self, len: Range<usize>, mut f: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+        let n = self.usize_in(len);
+        (0..n).map(|_| f(self)).collect()
+    }
+
+    /// A byte vector with length drawn from `len`.
+    pub fn bytes(&mut self, len: Range<usize>) -> Vec<u8> {
+        self.vec_with(len, |g| g.u8())
+    }
+
+    /// Fixed-size byte array.
+    pub fn byte_array<const N: usize>(&mut self) -> [u8; N] {
+        let mut out = [0u8; N];
+        self.rng.fill_bytes(&mut out);
+        out
+    }
+
+    /// An ASCII-lowercase string with length drawn from `len`.
+    pub fn ascii_lowercase(&mut self, len: Range<usize>) -> String {
+        self.vec_with(len, |g| (b'a' + g.u8_in(0..26)) as char)
+            .into_iter()
+            .collect()
+    }
+}
+
+struct CaseReporter<'a> {
+    name: &'a str,
+    case: u64,
+}
+
+impl Drop for CaseReporter<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "property '{}' failed at case {} (replay with check_case(\"{}\", {}, ..))",
+                self.name, self.case, self.name, self.case
+            );
+        }
+    }
+}
+
+/// Runs `property` over `cases` deterministic pseudo-random cases.
+///
+/// On an assertion failure the panic propagates; the failing case index is
+/// printed to stderr so the case can be replayed in isolation.
+pub fn check(name: &str, cases: u64, mut property: impl FnMut(&mut Gen)) {
+    for case in 0..cases {
+        check_case(name, case, &mut property);
+    }
+}
+
+/// Replays a single case of a property (for debugging a reported failure).
+pub fn check_case(name: &str, case: u64, property: &mut impl FnMut(&mut Gen)) {
+    let reporter = CaseReporter { name, case };
+    let mut g = Gen::new(name, case);
+    property(&mut g);
+    std::mem::forget(reporter);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut first = Vec::new();
+        check("det", 8, |g| first.push(g.u64()));
+        let mut second = Vec::new();
+        check("det", 8, |g| second.push(g.u64()));
+        assert_eq!(first, second);
+        assert_eq!(first.len(), 8);
+    }
+
+    #[test]
+    fn distinct_cases_differ() {
+        let mut vals = Vec::new();
+        check("distinct", 16, |g| vals.push(g.u64()));
+        vals.sort_unstable();
+        vals.dedup();
+        assert_eq!(vals.len(), 16, "all cases must draw distinct streams");
+    }
+
+    #[test]
+    fn ranges_respected() {
+        check("ranges", 64, |g| {
+            assert!(g.u64_in(10..20) >= 10);
+            assert!(g.u64_in(10..20) < 20);
+            let f = g.f64_in(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let v = g.bytes(2..5);
+            assert!((2..5).contains(&v.len()));
+            let s = g.ascii_lowercase(1..4);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        });
+    }
+}

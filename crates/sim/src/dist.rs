@@ -306,7 +306,11 @@ mod tests {
         let xs: Vec<f64> = (0..200_000).map(|_| d.sample(&mut rng)).collect();
         assert!(xs.iter().all(|&x| x >= 1.0));
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        assert!((mean - d.mean()).abs() < 0.05, "mean = {mean} vs {}", d.mean());
+        assert!(
+            (mean - d.mean()).abs() < 0.05,
+            "mean = {mean} vs {}",
+            d.mean()
+        );
         // Tail check: P(X > 2) should be (1/2)^2.5 ≈ 0.177.
         let frac = xs.iter().filter(|&&x| x > 2.0).count() as f64 / xs.len() as f64;
         assert!((frac - 0.1768).abs() < 0.01, "tail frac = {frac}");

@@ -27,12 +27,21 @@ use crate::time::{SimDuration, SimTime};
 /// A scheduled action: a one-shot closure run with access to the simulator.
 pub type Action = Box<dyn FnOnce(&mut Simulator)>;
 
+/// A read-only callback invoked from [`Simulator::step`] every N events.
+///
+/// Observers see the simulator through `&Simulator`, so they can read the
+/// clock, event count and queue depth but cannot schedule, cancel or stop —
+/// attaching one cannot change what a seeded run computes.
+pub type Observer = Box<dyn FnMut(&Simulator)>;
+
 /// The discrete-event simulator: virtual clock plus event queue.
 pub struct Simulator {
     now: SimTime,
     queue: EventQueue<Action>,
     executed: u64,
     stopped: bool,
+    queue_hwm: usize,
+    observer: Option<(u64, Observer)>,
 }
 
 impl Default for Simulator {
@@ -49,6 +58,8 @@ impl Simulator {
             queue: EventQueue::new(),
             executed: 0,
             stopped: false,
+            queue_hwm: 0,
+            observer: None,
         }
     }
 
@@ -67,6 +78,25 @@ impl Simulator {
         self.queue.len()
     }
 
+    /// Largest pending-event count seen since construction.
+    pub fn queue_high_water(&self) -> usize {
+        self.queue_hwm
+    }
+
+    /// Installs a read-only [`Observer`] called after every `every`-th
+    /// executed event (and keeps the previous one installed no longer).
+    pub fn set_observer<F>(&mut self, every: u64, observer: F)
+    where
+        F: FnMut(&Simulator) + 'static,
+    {
+        self.observer = Some((every.max(1), Box::new(observer)));
+    }
+
+    /// Removes the installed observer, if any.
+    pub fn clear_observer(&mut self) {
+        self.observer = None;
+    }
+
     /// Schedules `action` at absolute time `at`.
     ///
     /// # Panics
@@ -80,7 +110,9 @@ impl Simulator {
             "cannot schedule into the past: {at} < now {}",
             self.now
         );
-        self.queue.push(at, Box::new(action))
+        let id = self.queue.push(at, Box::new(action));
+        self.queue_hwm = self.queue_hwm.max(self.queue.len());
+        id
     }
 
     /// Schedules `action` after a delay from now.
@@ -89,7 +121,9 @@ impl Simulator {
         F: FnOnce(&mut Simulator) + 'static,
     {
         let at = self.now + delay;
-        self.queue.push(at, Box::new(action))
+        let id = self.queue.push(at, Box::new(action));
+        self.queue_hwm = self.queue_hwm.max(self.queue.len());
+        id
     }
 
     /// Schedules a cancellable action at absolute time `at`.
@@ -98,7 +132,9 @@ impl Simulator {
         F: FnOnce(&mut Simulator) + 'static,
     {
         assert!(at >= self.now, "cannot schedule into the past");
-        self.queue.push_cancellable(at, Box::new(action))
+        let handle = self.queue.push_cancellable(at, Box::new(action));
+        self.queue_hwm = self.queue_hwm.max(self.queue.len());
+        handle
     }
 
     /// Schedules a cancellable action after a delay from now.
@@ -107,7 +143,9 @@ impl Simulator {
         F: FnOnce(&mut Simulator) + 'static,
     {
         let at = self.now + delay;
-        self.queue.push_cancellable(at, Box::new(action))
+        let handle = self.queue.push_cancellable(at, Box::new(action));
+        self.queue_hwm = self.queue_hwm.max(self.queue.len());
+        handle
     }
 
     /// Requests that the run loop stop after the current event returns.
@@ -123,6 +161,14 @@ impl Simulator {
                 self.now = at;
                 self.executed += 1;
                 action(self);
+                // The observer is taken out for the call so it can borrow
+                // the simulator immutably while stored behind `&mut self`.
+                if let Some((every, mut f)) = self.observer.take() {
+                    if self.executed % every == 0 {
+                        f(&*self);
+                    }
+                    self.observer = Some((every, f));
+                }
                 true
             }
             None => false,
@@ -284,6 +330,61 @@ mod tests {
         }
         sim.run();
         assert_eq!(*log.borrow(), (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn queue_high_water_tracks_peak_depth() {
+        let mut sim = Simulator::new();
+        assert_eq!(sim.queue_high_water(), 0);
+        for s in 1..=7u64 {
+            sim.schedule_at(SimTime::from_secs(s), |_| {});
+        }
+        assert_eq!(sim.queue_high_water(), 7);
+        sim.run();
+        // Draining never lowers the high-water mark.
+        assert_eq!(sim.pending_events(), 0);
+        assert_eq!(sim.queue_high_water(), 7);
+    }
+
+    #[test]
+    fn observer_fires_every_n_events_and_sees_state() {
+        let mut sim = Simulator::new();
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let s = seen.clone();
+        sim.set_observer(3, move |sim| {
+            s.borrow_mut()
+                .push((sim.events_executed(), sim.now().as_secs()));
+        });
+        for i in 1..=10u64 {
+            sim.schedule_at(SimTime::from_secs(i), |_| {});
+        }
+        sim.run();
+        assert_eq!(*seen.borrow(), vec![(3, 3), (6, 6), (9, 9)]);
+        sim.clear_observer();
+        sim.schedule_in(SimDuration::from_secs(1), |_| {});
+        sim.run();
+        assert_eq!(seen.borrow().len(), 3, "cleared observer must not fire");
+    }
+
+    #[test]
+    fn observer_does_not_perturb_execution() {
+        let run = |with_observer: bool| {
+            let mut sim = Simulator::new();
+            if with_observer {
+                sim.set_observer(1, |_| {});
+            }
+            let log = Rc::new(RefCell::new(Vec::new()));
+            for &ms in &[30u64, 10, 20, 10] {
+                let log = log.clone();
+                sim.schedule_at(SimTime::from_millis(ms), move |sim| {
+                    log.borrow_mut().push(sim.now().as_millis());
+                });
+            }
+            sim.run();
+            let fired = log.borrow().clone();
+            (fired, sim.events_executed(), sim.now())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -32,6 +32,7 @@
 //! assert_eq!(ticks.get(), 20);
 //! ```
 
+pub mod check;
 pub mod dist;
 pub mod engine;
 pub mod event;
@@ -41,7 +42,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use engine::{Action, Simulator};
+pub use engine::{Action, Observer, Simulator};
 pub use event::{EventHandle, EventId, EventQueue};
 pub use process::{spawn_periodic, spawn_poisson, StopFlag};
 pub use rate::TokenBucket;

@@ -46,7 +46,10 @@ pub fn spawn_periodic<F>(
 ) where
     F: FnMut(&mut Simulator, u64) + 'static,
 {
-    assert!(!period.is_zero(), "periodic process needs a positive period");
+    assert!(
+        !period.is_zero(),
+        "periodic process needs a positive period"
+    );
     schedule_tick(sim, start, period, stop, 0, body);
 }
 

@@ -54,8 +54,7 @@ impl TokenBucket {
     fn refill(&mut self, now: SimTime) {
         let elapsed = now.saturating_since(self.last_refill);
         if !elapsed.is_zero() {
-            self.tokens =
-                (self.tokens + elapsed.as_secs_f64() * self.rate_per_sec).min(self.burst);
+            self.tokens = (self.tokens + elapsed.as_secs_f64() * self.rate_per_sec).min(self.burst);
             self.last_refill = now;
         }
     }

@@ -1,17 +1,15 @@
 //! Deterministic random number generation.
 //!
 //! The simulator owns its PRNG implementation (xoshiro256++ seeded through
-//! SplitMix64) instead of depending on `StdRng`'s unspecified algorithm, so
-//! that a given seed produces the same trace on every platform and across
-//! dependency upgrades. [`RngStream`] implements [`rand::RngCore`], so it
-//! composes with the `rand` ecosystem where convenient.
+//! SplitMix64) instead of depending on an external crate's unspecified
+//! algorithm, so that a given seed produces the same trace on every platform
+//! and across dependency upgrades. The workspace builds fully offline; all
+//! randomness flows through [`RngStream`].
 //!
 //! Streams are *derived by label*: every subsystem asks for its own stream
 //! (`root.derive("sessions")`), which decorrelates subsystems and keeps a
 //! run reproducible even when unrelated subsystems change how much
 //! randomness they consume.
-
-use rand::RngCore;
 
 /// SplitMix64 step; used for seeding and label hashing.
 #[inline]
@@ -159,18 +157,15 @@ impl RngStream {
             Some(&slice[self.next_below(slice.len() as u64) as usize])
         }
     }
-}
 
-impl RngCore for RngStream {
-    fn next_u32(&mut self) -> u32 {
+    /// Next 32-bit output (upper half of the 64-bit state output).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
         (self.next_u64_raw() >> 32) as u32
     }
 
-    fn next_u64(&mut self) -> u64 {
-        self.next_u64_raw()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+    /// Fills `dest` with pseudo-random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         let mut chunks = dest.chunks_exact_mut(8);
         for chunk in &mut chunks {
             chunk.copy_from_slice(&self.next_u64_raw().to_le_bytes());
@@ -180,11 +175,6 @@ impl RngCore for RngStream {
             let bytes = self.next_u64_raw().to_le_bytes();
             rem.copy_from_slice(&bytes[..rem.len()]);
         }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 

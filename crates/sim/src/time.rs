@@ -130,7 +130,10 @@ impl SimDuration {
 
     /// Builds a span from fractional seconds, rounding to nanoseconds.
     pub fn from_secs_f64(s: f64) -> Self {
-        debug_assert!(s >= 0.0 && s.is_finite(), "duration must be non-negative, got {s}");
+        debug_assert!(
+            s >= 0.0 && s.is_finite(),
+            "duration must be non-negative, got {s}"
+        );
         SimDuration((s * NANOS_PER_SEC as f64).round() as u64)
     }
 

@@ -1,34 +1,35 @@
-//! Property-based tests for the simulation kernel.
+//! Property-based tests for the simulation kernel (in-tree `check` harness).
 
+use csprov_sim::check::check;
 use csprov_sim::dist::{AliasTable, Exp, LogNormal, Normal, Pareto, Sample, Uniform};
 use csprov_sim::{EventQueue, RngStream, SimDuration, SimTime, TokenBucket};
-use proptest::prelude::*;
 
-proptest! {
-    /// The event queue pops in exactly (time, insertion) order: equivalent
-    /// to a stable sort of the inserted schedule.
-    #[test]
-    fn queue_matches_stable_sort(times in prop::collection::vec(0u64..1_000, 1..200)) {
+/// The event queue pops in exactly (time, insertion) order: equivalent to a
+/// stable sort of the inserted schedule.
+#[test]
+fn queue_matches_stable_sort() {
+    check("queue_matches_stable_sort", 128, |g| {
+        let times = g.vec_with(1..200, |g| g.u64_in(0..1_000));
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.push(SimTime::from_nanos(t), i);
         }
-        let mut expected: Vec<(u64, usize)> =
-            times.iter().copied().zip(0..).collect();
+        let mut expected: Vec<(u64, usize)> = times.iter().copied().zip(0..).collect();
         expected.sort_by_key(|&(t, i)| (t, i));
         let mut got = Vec::new();
         while let Some((at, _, v)) = q.pop() {
             got.push((at.as_nanos(), v));
         }
-        prop_assert_eq!(got, expected);
-    }
+        assert_eq!(got, expected);
+    });
+}
 
-    /// Cancelling an arbitrary subset removes exactly that subset.
-    #[test]
-    fn queue_cancellation_subset(
-        times in prop::collection::vec(0u64..1_000, 1..100),
-        cancel_mask in prop::collection::vec(any::<bool>(), 100),
-    ) {
+/// Cancelling an arbitrary subset removes exactly that subset.
+#[test]
+fn queue_cancellation_subset() {
+    check("queue_cancellation_subset", 128, |g| {
+        let times = g.vec_with(1..100, |g| g.u64_in(0..1_000));
+        let cancel_mask = g.vec_with(100..101, |g| g.bool());
         let mut q = EventQueue::new();
         let mut keep = Vec::new();
         for (i, &t) in times.iter().enumerate() {
@@ -44,73 +45,91 @@ proptest! {
         while let Some((at, _, v)) = q.pop() {
             got.push((at.as_nanos(), v));
         }
-        prop_assert_eq!(got, keep);
-    }
+        assert_eq!(got, keep);
+    });
+}
 
-    /// SimTime arithmetic: (t + d) - t == d, binning is consistent.
-    #[test]
-    fn time_arithmetic(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4, bin in 1u64..10_000_000) {
+/// SimTime arithmetic: (t + d) - t == d, binning is consistent.
+#[test]
+fn time_arithmetic() {
+    check("time_arithmetic", 256, |g| {
+        let t = g.u64_in(0..u64::MAX / 4);
+        let d = g.u64_in(0..u64::MAX / 4);
+        let bin = g.u64_in(1..10_000_000);
         let time = SimTime::from_nanos(t);
         let dur = SimDuration::from_nanos(d);
-        prop_assert_eq!((time + dur) - time, dur);
+        assert_eq!((time + dur) - time, dur);
         let idx = time.bin_index(SimDuration::from_nanos(bin));
-        prop_assert!(idx * bin <= t);
-        prop_assert!((idx + 1) * bin > t);
-    }
+        assert!(idx * bin <= t);
+        assert!((idx + 1) * bin > t);
+    });
+}
 
-    /// The token bucket never goes negative and never exceeds its burst.
-    #[test]
-    fn token_bucket_invariants(
-        rate in 0.1f64..10_000.0,
-        burst in 0.5f64..1_000.0,
-        ops in prop::collection::vec((0u64..10_000_000u64, 0.0f64..50.0), 1..200),
-    ) {
+/// The token bucket never goes negative and never exceeds its burst.
+#[test]
+fn token_bucket_invariants() {
+    check("token_bucket_invariants", 128, |g| {
+        let rate = g.f64_in(0.1..10_000.0);
+        let burst = g.f64_in(0.5..1_000.0);
+        let ops = g.vec_with(1..200, |g| (g.u64_in(0..10_000_000), g.f64_in(0.0..50.0)));
         let mut tb = TokenBucket::new(rate, burst);
         let mut now = SimTime::ZERO;
         for (advance, cost) in ops {
             now += SimDuration::from_nanos(advance);
             let before = tb.available(now);
-            prop_assert!(before >= -1e-9 && before <= burst + 1e-9);
+            assert!(before >= -1e-9 && before <= burst + 1e-9);
             let ok = tb.try_consume(now, cost);
             let after = tb.available(now);
             if ok {
-                prop_assert!((before - after - cost).abs() < 1e-6);
+                assert!((before - after - cost).abs() < 1e-6);
             } else {
-                prop_assert!((before - after).abs() < 1e-9, "failed consume must not drain");
+                assert!(
+                    (before - after).abs() < 1e-9,
+                    "failed consume must not drain"
+                );
             }
         }
-    }
+    });
+}
 
-    /// `time_until_available` is exact: waiting that long makes the
-    /// consume succeed.
-    #[test]
-    fn token_bucket_wait_is_sufficient(
-        rate in 0.1f64..1_000.0,
-        cost in 0.1f64..8.0,
-    ) {
+/// `time_until_available` is exact: waiting that long makes the consume
+/// succeed.
+#[test]
+fn token_bucket_wait_is_sufficient() {
+    check("token_bucket_wait_is_sufficient", 256, |g| {
+        let rate = g.f64_in(0.1..1_000.0);
+        let cost = g.f64_in(0.1..8.0);
         let mut tb = TokenBucket::new(rate, 8.0);
         let t0 = SimTime::ZERO;
-        prop_assert!(tb.try_consume(t0, 8.0)); // drain
+        assert!(tb.try_consume(t0, 8.0)); // drain
         let wait = tb.time_until_available(t0, cost);
         let t1 = t0 + wait + SimDuration::from_nanos(1);
-        prop_assert!(tb.try_consume(t1, cost));
-    }
+        assert!(tb.try_consume(t1, cost));
+    });
+}
 
-    /// RNG uniformity bounds hold for arbitrary seeds.
-    #[test]
-    fn rng_bounds(seed in any::<u64>(), n in 1u64..1_000) {
+/// RNG uniformity bounds hold for arbitrary seeds.
+#[test]
+fn rng_bounds() {
+    check("rng_bounds", 128, |g| {
+        let seed = g.u64();
+        let n = g.u64_in(1..1_000);
         let mut rng = RngStream::new(seed);
         for _ in 0..64 {
             let x = rng.next_below(n);
-            prop_assert!(x < n);
+            assert!(x < n);
             let f = rng.next_f64();
-            prop_assert!((0.0..1.0).contains(&f));
+            assert!((0.0..1.0).contains(&f));
         }
-    }
+    });
+}
 
-    /// Derived streams are independent of sibling consumption order.
-    #[test]
-    fn rng_derivation_stable(seed in any::<u64>(), label in "[a-z]{1,12}") {
+/// Derived streams are independent of sibling consumption order.
+#[test]
+fn rng_derivation_stable() {
+    check("rng_derivation_stable", 128, |g| {
+        let seed = g.u64();
+        let label = g.ascii_lowercase(1..13);
         let root = RngStream::new(seed);
         let mut a = root.derive(&label);
         // Consume from an unrelated sibling first; must not affect `b`.
@@ -118,38 +137,43 @@ proptest! {
         let _ = unrelated.next_u64_raw();
         let mut b = root.derive(&label);
         for _ in 0..16 {
-            prop_assert_eq!(a.next_u64_raw(), b.next_u64_raw());
+            assert_eq!(a.next_u64_raw(), b.next_u64_raw());
         }
-    }
+    });
+}
 
-    /// Distribution samples stay in their supports.
-    #[test]
-    fn distribution_supports(seed in any::<u64>()) {
-        let mut rng = RngStream::new(seed);
+/// Distribution samples stay in their supports.
+#[test]
+fn distribution_supports() {
+    check("distribution_supports", 64, |g| {
+        let mut rng = RngStream::new(g.u64());
         for _ in 0..200 {
-            prop_assert!(Exp::new(2.0).sample(&mut rng) >= 0.0);
-            prop_assert!(Pareto::new(3.0, 1.5).sample(&mut rng) >= 3.0);
+            assert!(Exp::new(2.0).sample(&mut rng) >= 0.0);
+            assert!(Pareto::new(3.0, 1.5).sample(&mut rng) >= 3.0);
             let u = Uniform::new(-2.0, 7.0).sample(&mut rng);
-            prop_assert!((-2.0..7.0).contains(&u));
-            prop_assert!(LogNormal::new(1.0, 0.5).sample(&mut rng) > 0.0);
+            assert!((-2.0..7.0).contains(&u));
+            assert!(LogNormal::new(1.0, 0.5).sample(&mut rng) > 0.0);
             let n = Normal::new(0.0, 1.0).sample(&mut rng);
-            prop_assert!(n.is_finite());
+            assert!(n.is_finite());
         }
-    }
+    });
+}
 
-    /// Alias tables only ever return indices with positive weight.
-    #[test]
-    fn alias_table_support(
-        weights in prop::collection::vec(0.0f64..10.0, 1..40),
-        seed in any::<u64>(),
-    ) {
-        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+/// Alias tables only ever return indices with positive weight.
+#[test]
+fn alias_table_support() {
+    check("alias_table_support", 128, |g| {
+        let weights = g.vec_with(1..40, |g| g.f64_in(0.0..10.0));
+        let seed = g.u64();
+        if weights.iter().sum::<f64>() <= 0.0 {
+            return; // degenerate draw; nothing to test
+        }
         let table = AliasTable::new(&weights);
         let mut rng = RngStream::new(seed);
         for _ in 0..200 {
             let idx = table.sample(&mut rng);
-            prop_assert!(idx < weights.len());
-            prop_assert!(weights[idx] > 0.0, "index {} has zero weight", idx);
+            assert!(idx < weights.len());
+            assert!(weights[idx] > 0.0, "index {idx} has zero weight");
         }
-    }
+    });
 }

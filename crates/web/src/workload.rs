@@ -4,7 +4,9 @@
 
 use crate::tcp::{TcpConfig, TcpFlow};
 use csprov_game::{Deliver, Middlebox};
-use csprov_net::{client_endpoint, server_endpoint, Direction, Packet, PacketKind, TraceRecord, TraceSink};
+use csprov_net::{
+    client_endpoint, server_endpoint, Direction, Packet, PacketKind, TraceRecord, TraceSink,
+};
 use csprov_sim::dist::{Pareto, Sample};
 use csprov_sim::{EventHandle, RngStream, SimDuration, SimTime, Simulator};
 use std::cell::RefCell;
@@ -196,7 +198,9 @@ fn pump(w: &W, sim: &mut Simulator, session: u32) {
     loop {
         let (pkt, rto) = {
             let mut st = w.borrow_mut();
-            let Some(rt) = st.flows.get_mut(&session) else { return };
+            let Some(rt) = st.flows.get_mut(&session) else {
+                return;
+            };
             if !rt.flow.can_send() {
                 return;
             }
@@ -248,7 +252,9 @@ fn pump(w: &W, sim: &mut Simulator, session: u32) {
 fn on_data_received(w: &W, sim: &mut Simulator, session: u32) {
     let flush_now = {
         let mut st = w.borrow_mut();
-        let Some(rt) = st.flows.get_mut(&session) else { return };
+        let Some(rt) = st.flows.get_mut(&session) else {
+            return;
+        };
         rt.recv_pending += 1;
         rt.recv_pending >= rt.flow.ack_every()
     };
@@ -258,7 +264,9 @@ fn on_data_received(w: &W, sim: &mut Simulator, session: u32) {
         let (delay, schedule) = {
             let mut st = w.borrow_mut();
             let delay = st.cfg.ack_delay;
-            let Some(rt) = st.flows.get_mut(&session) else { return };
+            let Some(rt) = st.flows.get_mut(&session) else {
+                return;
+            };
             let schedule = !rt.flush_scheduled;
             rt.flush_scheduled = true;
             (delay, schedule)
@@ -268,7 +276,9 @@ fn on_data_received(w: &W, sim: &mut Simulator, session: u32) {
             sim.schedule_in(delay, move |sim| {
                 let pending = {
                     let mut st = w2.borrow_mut();
-                    let Some(rt) = st.flows.get_mut(&session) else { return };
+                    let Some(rt) = st.flows.get_mut(&session) else {
+                        return;
+                    };
                     rt.flush_scheduled = false;
                     rt.recv_pending
                 };
@@ -284,7 +294,9 @@ fn on_data_received(w: &W, sim: &mut Simulator, session: u32) {
 fn send_ack(w: &W, sim: &mut Simulator, session: u32) {
     let (pkt, covered, rtt) = {
         let mut st = w.borrow_mut();
-        let Some(rt) = st.flows.get_mut(&session) else { return };
+        let Some(rt) = st.flows.get_mut(&session) else {
+            return;
+        };
         let covered = rt.recv_pending;
         if covered == 0 {
             return;
@@ -327,7 +339,9 @@ fn on_ack_received(w: &W, sim: &mut Simulator, session: u32, covered: u32) {
     let complete = {
         let mut st = w.borrow_mut();
         let mss = u64::from(st.cfg.tcp.mss);
-        let Some(rt) = st.flows.get_mut(&session) else { return };
+        let Some(rt) = st.flows.get_mut(&session) else {
+            return;
+        };
         for _ in 0..covered {
             if let Some(h) = rt.outstanding.pop_front() {
                 h.cancel();
@@ -355,7 +369,9 @@ fn on_ack_received(w: &W, sim: &mut Simulator, session: u32, covered: u32) {
 fn on_timeout(w: &W, sim: &mut Simulator, session: u32) {
     {
         let mut st = w.borrow_mut();
-        let Some(rt) = st.flows.get_mut(&session) else { return };
+        let Some(rt) = st.flows.get_mut(&session) else {
+            return;
+        };
         // Our handle has fired; it is the oldest one still queued.
         rt.outstanding.pop_front();
         rt.flow.on_timeout(1);
@@ -433,18 +449,12 @@ mod tests {
             ..Default::default()
         };
         let sink = counting();
-        let stats = run_web_workload(
-            cfg,
-            SimDuration::from_secs(120),
-            7,
-            sink.clone(),
-            None,
-        );
+        let stats = run_web_workload(cfg, SimDuration::from_secs(120), 7, sink.clone(), None);
         assert!(stats.flows_started > 100);
         assert!(stats.flows_completed > 50);
         let c = sink.borrow();
-        let mean_out = c.app_bytes_in(Direction::Outbound) as f64
-            / c.packets_in(Direction::Outbound) as f64;
+        let mean_out =
+            c.app_bytes_in(Direction::Outbound) as f64 / c.packets_in(Direction::Outbound) as f64;
         // The Ames-exchange contrast the paper cites: aggregate mean packet
         // size above 400 B.
         let mean_all = (c.app_bytes_in(Direction::Outbound) + c.app_bytes_in(Direction::Inbound))

@@ -1,7 +1,7 @@
 //! Property-based tests for the TCP sender state machine.
 
+use csprov_sim::check::{check, Gen};
 use csprov_web::{TcpConfig, TcpFlow};
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -10,19 +10,21 @@ enum Op {
     Timeout(u32),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        Just(Op::SendAll),
-        (1u32..8).prop_map(Op::Ack),
-        (1u32..8).prop_map(Op::Timeout),
-    ]
+fn gen_op(g: &mut Gen) -> Op {
+    match g.u64_in(0..3) {
+        0 => Op::SendAll,
+        1 => Op::Ack(g.u32_in(1..8)),
+        _ => Op::Timeout(g.u32_in(1..8)),
+    }
 }
 
-proptest! {
-    /// Segment conservation: acked + in-flight + queued == total at every
-    /// step, the window bound always holds, and cwnd stays within range.
-    #[test]
-    fn flow_invariants(bytes in 1u64..2_000_000, ops in prop::collection::vec(arb_op(), 1..300)) {
+/// Segment conservation: acked + in-flight + queued == total at every
+/// step, the window bound always holds, and cwnd stays within range.
+#[test]
+fn flow_invariants() {
+    check("flow_invariants", 128, |g| {
+        let bytes = g.u64_in(1..2_000_000);
+        let ops = g.vec_with(1..300, gen_op);
         let cfg = TcpConfig::default();
         let mut f = TcpFlow::new(cfg.clone(), bytes);
         let total = f.total_segments();
@@ -34,11 +36,11 @@ proptest! {
                         // The window gates each send (in-flight < cwnd at
                         // the moment of sending; a later timeout may shrink
                         // cwnd below what is already in flight).
-                        prop_assert!((sent_live as f64) < f.cwnd() + 1e-9);
+                        assert!((sent_live as f64) < f.cwnd() + 1e-9);
                         f.on_send();
                         sent_live += 1;
                     }
-                    prop_assert!(!f.can_send());
+                    assert!(!f.can_send());
                 }
                 Op::Ack(n) => {
                     let n = n.min(sent_live);
@@ -55,20 +57,23 @@ proptest! {
                     }
                 }
             }
-            prop_assert!(f.cwnd() >= cfg.init_cwnd - 1e-9);
-            prop_assert!(f.cwnd() <= cfg.max_cwnd + 1e-9);
-            prop_assert!(f.acked_segments() <= total);
+            assert!(f.cwnd() >= cfg.init_cwnd - 1e-9);
+            assert!(f.cwnd() <= cfg.max_cwnd + 1e-9);
+            assert!(f.acked_segments() <= total);
             if f.is_complete() {
-                prop_assert!(!f.can_send());
+                assert!(!f.can_send());
                 break;
             }
         }
-    }
+    });
+}
 
-    /// Any flow completes under a lossless send/ack loop, in exactly
-    /// `total` data transmissions.
-    #[test]
-    fn lossless_loop_completes(bytes in 1u64..5_000_000) {
+/// Any flow completes under a lossless send/ack loop, in exactly `total`
+/// data transmissions.
+#[test]
+fn lossless_loop_completes() {
+    check("lossless_loop_completes", 256, |g| {
+        let bytes = g.u64_in(1..5_000_000);
         let mut f = TcpFlow::new(TcpConfig::default(), bytes);
         let total = f.total_segments();
         let mut sends = 0u32;
@@ -82,15 +87,18 @@ proptest! {
             }
             f.on_ack(burst.max(1));
             rounds += 1;
-            prop_assert!(rounds <= total + 8, "must make progress");
+            assert!(rounds <= total + 8, "must make progress");
         }
-        prop_assert_eq!(sends, total);
-    }
+        assert_eq!(sends, total);
+    });
+}
 
-    /// Loss slows a flow but never wedges it: alternating one timeout per
-    /// window still finishes, with retransmissions accounted.
-    #[test]
-    fn lossy_loop_completes(bytes in 1448u64..500_000) {
+/// Loss slows a flow but never wedges it: alternating one timeout per
+/// window still finishes, with retransmissions accounted.
+#[test]
+fn lossy_loop_completes() {
+    check("lossy_loop_completes", 256, |g| {
+        let bytes = g.u64_in(1448..500_000);
         let mut f = TcpFlow::new(TcpConfig::default(), bytes);
         let total = f.total_segments();
         let mut sends = 0u64;
@@ -109,8 +117,8 @@ proptest! {
                 f.on_ack(burst.max(1));
             }
             guard += 1;
-            prop_assert!(guard < 10 * total + 64);
+            assert!(guard < 10 * total + 64);
         }
-        prop_assert!(sends >= u64::from(total), "retransmissions add sends");
-    }
+        assert!(sends >= u64::from(total), "retransmissions add sends");
+    });
 }

@@ -29,16 +29,23 @@ fn main() {
 
     let (in_loss, out_loss) = run.loss_rates();
     println!("mechanism: every 50 ms the server emits a burst of ~20 tiny packets;");
-    println!("draining it occupies the lookup CPU for ~{:.0} ms, during which the",
-        20.0 * engine.lookup_time.as_secs_f64() * 1000.0);
-    println!("small WAN-side queue overflows -> inbound loss ({:.2}%) dwarfs", in_loss * 100.0);
-    println!("outbound loss ({:.3}%), exactly the asymmetry of Table IV.\n", out_loss * 100.0);
+    println!(
+        "draining it occupies the lookup CPU for ~{:.0} ms, during which the",
+        20.0 * engine.lookup_time.as_secs_f64() * 1000.0
+    );
+    println!(
+        "small WAN-side queue overflows -> inbound loss ({:.2}%) dwarfs",
+        in_loss * 100.0
+    );
+    println!(
+        "outbound loss ({:.3}%), exactly the asymmetry of Table IV.\n",
+        out_loss * 100.0
+    );
 
     // The paper's remedy discussion: buffering is not a fix, because the
     // queueing delay eats the interactivity budget.
-    let worst_ms = (engine.wan_queue + engine.lan_queue) as f64
-        * engine.lookup_time.as_secs_f64()
-        * 1000.0;
+    let worst_ms =
+        (engine.wan_queue + engine.lan_queue) as f64 * engine.lookup_time.as_secs_f64() * 1000.0;
     println!(
         "buffering tradeoff: this device can already delay a packet {:.1} ms;",
         worst_ms

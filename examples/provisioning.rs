@@ -79,7 +79,11 @@ fn main() {
     ]);
     let per_server_kbps = bw.slope * 22.0 + bw.intercept;
     let per_server_pps = pps.slope * 22.0 + pps.intercept;
-    for (label, budget_kbps) in [("T1 (1.5 Mbps)", 1_500.0), ("10 Mbps", 10_000.0), ("OC-3 (155 Mbps)", 155_000.0)] {
+    for (label, budget_kbps) in [
+        ("T1 (1.5 Mbps)", 1_500.0),
+        ("10 Mbps", 10_000.0),
+        ("OC-3 (155 Mbps)", 155_000.0),
+    ] {
         plan.row(vec![
             format!("{label} bandwidth"),
             format!("{budget_kbps} kbps"),
@@ -87,7 +91,10 @@ fn main() {
             format!("{}", (budget_kbps / per_server_kbps) as u64),
         ]);
     }
-    for (label, budget_pps) in [("SMC Barricade (~1.3k pps)", 1_330.0), ("mid router (50k pps)", 50_000.0)] {
+    for (label, budget_pps) in [
+        ("SMC Barricade (~1.3k pps)", 1_330.0),
+        ("mid router (50k pps)", 50_000.0),
+    ] {
         plan.row(vec![
             format!("{label} lookups"),
             format!("{budget_pps} pps"),

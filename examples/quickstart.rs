@@ -22,7 +22,10 @@ fn main() {
 
     println!("Simulating {minutes} minutes of cs.mshmro.com-style traffic (seed {seed})...\n");
     let t0 = std::time::Instant::now();
-    let run = MainRun::execute(ScenarioConfig::scaled(seed, SimDuration::from_mins(minutes)));
+    let run = MainRun::execute(ScenarioConfig::scaled(
+        seed,
+        SimDuration::from_mins(minutes),
+    ));
     println!(
         "simulated {} packets over {} sessions in {:.2} s wall\n",
         run.analysis.counts.total_packets(),

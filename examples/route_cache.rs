@@ -25,7 +25,11 @@ fn main() {
     for a in 1..=60u8 {
         table.insert(Ipv4Addr::new(a, 0, 0, 0), 8, NextHop(u32::from(a)));
         table.insert(Ipv4Addr::new(a, 10, 0, 0), 16, NextHop(1000 + u32::from(a)));
-        table.insert(Ipv4Addr::new(a, 10, 20, 0), 24, NextHop(2000 + u32::from(a)));
+        table.insert(
+            Ipv4Addr::new(a, 10, 20, 0),
+            24,
+            NextHop(2000 + u32::from(a)),
+        );
     }
     let stream = |n: u32, seed: u64| {
         let mut rng = RngStream::new(seed);

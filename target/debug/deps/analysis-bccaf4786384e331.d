@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/analysis-bccaf4786384e331.d: crates/bench/benches/analysis.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis-bccaf4786384e331.rmeta: crates/bench/benches/analysis.rs Cargo.toml
+
+crates/bench/benches/analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/csprov-98a89531abf3d4f7.d: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/ablations.rs crates/core/src/experiments/aggregate.rs crates/core/src/experiments/figures.rs crates/core/src/experiments/nat.rs crates/core/src/experiments/tables.rs crates/core/src/experiments/web.rs crates/core/src/pipeline.rs crates/core/src/sweep.rs
+
+/root/repo/target/debug/deps/libcsprov-98a89531abf3d4f7.rlib: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/ablations.rs crates/core/src/experiments/aggregate.rs crates/core/src/experiments/figures.rs crates/core/src/experiments/nat.rs crates/core/src/experiments/tables.rs crates/core/src/experiments/web.rs crates/core/src/pipeline.rs crates/core/src/sweep.rs
+
+/root/repo/target/debug/deps/libcsprov-98a89531abf3d4f7.rmeta: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/ablations.rs crates/core/src/experiments/aggregate.rs crates/core/src/experiments/figures.rs crates/core/src/experiments/nat.rs crates/core/src/experiments/tables.rs crates/core/src/experiments/web.rs crates/core/src/pipeline.rs crates/core/src/sweep.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/ablations.rs:
+crates/core/src/experiments/aggregate.rs:
+crates/core/src/experiments/figures.rs:
+crates/core/src/experiments/nat.rs:
+crates/core/src/experiments/tables.rs:
+crates/core/src/experiments/web.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/sweep.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/csprov-d4ebc44e5ca6c4e1.d: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/ablations.rs crates/core/src/experiments/aggregate.rs crates/core/src/experiments/figures.rs crates/core/src/experiments/nat.rs crates/core/src/experiments/tables.rs crates/core/src/experiments/web.rs crates/core/src/pipeline.rs crates/core/src/sweep.rs
+
+/root/repo/target/debug/deps/libcsprov-d4ebc44e5ca6c4e1.rlib: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/ablations.rs crates/core/src/experiments/aggregate.rs crates/core/src/experiments/figures.rs crates/core/src/experiments/nat.rs crates/core/src/experiments/tables.rs crates/core/src/experiments/web.rs crates/core/src/pipeline.rs crates/core/src/sweep.rs
+
+/root/repo/target/debug/deps/libcsprov-d4ebc44e5ca6c4e1.rmeta: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/ablations.rs crates/core/src/experiments/aggregate.rs crates/core/src/experiments/figures.rs crates/core/src/experiments/nat.rs crates/core/src/experiments/tables.rs crates/core/src/experiments/web.rs crates/core/src/pipeline.rs crates/core/src/sweep.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/ablations.rs:
+crates/core/src/experiments/aggregate.rs:
+crates/core/src/experiments/figures.rs:
+crates/core/src/experiments/nat.rs:
+crates/core/src/experiments/tables.rs:
+crates/core/src/experiments/web.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/sweep.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/csprov_analysis-9b2e52f85cc90c24.d: crates/analysis/src/lib.rs crates/analysis/src/acf.rs crates/analysis/src/fit.rs crates/analysis/src/flows.rs crates/analysis/src/histogram.rs crates/analysis/src/hurst.rs crates/analysis/src/plot.rs crates/analysis/src/report.rs crates/analysis/src/series.rs crates/analysis/src/sessions.rs crates/analysis/src/summary.rs crates/analysis/src/welford.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsprov_analysis-9b2e52f85cc90c24.rmeta: crates/analysis/src/lib.rs crates/analysis/src/acf.rs crates/analysis/src/fit.rs crates/analysis/src/flows.rs crates/analysis/src/histogram.rs crates/analysis/src/hurst.rs crates/analysis/src/plot.rs crates/analysis/src/report.rs crates/analysis/src/series.rs crates/analysis/src/sessions.rs crates/analysis/src/summary.rs crates/analysis/src/welford.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/acf.rs:
+crates/analysis/src/fit.rs:
+crates/analysis/src/flows.rs:
+crates/analysis/src/histogram.rs:
+crates/analysis/src/hurst.rs:
+crates/analysis/src/plot.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/series.rs:
+crates/analysis/src/sessions.rs:
+crates/analysis/src/summary.rs:
+crates/analysis/src/welford.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/csprov_bench-073222185b00cc74.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/csprov_bench-073222185b00cc74: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

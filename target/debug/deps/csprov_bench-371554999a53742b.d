@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/csprov_bench-371554999a53742b.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libcsprov_bench-371554999a53742b.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libcsprov_bench-371554999a53742b.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

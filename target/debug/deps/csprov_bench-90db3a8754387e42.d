@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/csprov_bench-90db3a8754387e42.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/csprov_bench-90db3a8754387e42: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/csprov_bench-d175c9137e395c88.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libcsprov_bench-d175c9137e395c88.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libcsprov_bench-d175c9137e395c88.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

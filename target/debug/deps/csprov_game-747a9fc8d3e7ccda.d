@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/csprov_game-747a9fc8d3e7ccda.d: crates/game/src/lib.rs crates/game/src/config.rs crates/game/src/maps.rs crates/game/src/metrics.rs crates/game/src/packets.rs crates/game/src/server.rs crates/game/src/session.rs crates/game/src/world.rs
+
+/root/repo/target/debug/deps/libcsprov_game-747a9fc8d3e7ccda.rlib: crates/game/src/lib.rs crates/game/src/config.rs crates/game/src/maps.rs crates/game/src/metrics.rs crates/game/src/packets.rs crates/game/src/server.rs crates/game/src/session.rs crates/game/src/world.rs
+
+/root/repo/target/debug/deps/libcsprov_game-747a9fc8d3e7ccda.rmeta: crates/game/src/lib.rs crates/game/src/config.rs crates/game/src/maps.rs crates/game/src/metrics.rs crates/game/src/packets.rs crates/game/src/server.rs crates/game/src/session.rs crates/game/src/world.rs
+
+crates/game/src/lib.rs:
+crates/game/src/config.rs:
+crates/game/src/maps.rs:
+crates/game/src/metrics.rs:
+crates/game/src/packets.rs:
+crates/game/src/server.rs:
+crates/game/src/session.rs:
+crates/game/src/world.rs:

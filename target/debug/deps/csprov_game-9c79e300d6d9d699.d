@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/csprov_game-9c79e300d6d9d699.d: crates/game/src/lib.rs crates/game/src/config.rs crates/game/src/maps.rs crates/game/src/metrics.rs crates/game/src/packets.rs crates/game/src/server.rs crates/game/src/session.rs crates/game/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsprov_game-9c79e300d6d9d699.rmeta: crates/game/src/lib.rs crates/game/src/config.rs crates/game/src/maps.rs crates/game/src/metrics.rs crates/game/src/packets.rs crates/game/src/server.rs crates/game/src/session.rs crates/game/src/world.rs Cargo.toml
+
+crates/game/src/lib.rs:
+crates/game/src/config.rs:
+crates/game/src/maps.rs:
+crates/game/src/metrics.rs:
+crates/game/src/packets.rs:
+crates/game/src/server.rs:
+crates/game/src/session.rs:
+crates/game/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

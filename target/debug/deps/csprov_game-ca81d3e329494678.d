@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/csprov_game-ca81d3e329494678.d: crates/game/src/lib.rs crates/game/src/config.rs crates/game/src/maps.rs crates/game/src/packets.rs crates/game/src/server.rs crates/game/src/session.rs crates/game/src/world.rs
+
+/root/repo/target/debug/deps/csprov_game-ca81d3e329494678: crates/game/src/lib.rs crates/game/src/config.rs crates/game/src/maps.rs crates/game/src/packets.rs crates/game/src/server.rs crates/game/src/session.rs crates/game/src/world.rs
+
+crates/game/src/lib.rs:
+crates/game/src/config.rs:
+crates/game/src/maps.rs:
+crates/game/src/packets.rs:
+crates/game/src/server.rs:
+crates/game/src/session.rs:
+crates/game/src/world.rs:

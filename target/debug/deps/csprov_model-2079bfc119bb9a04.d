@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/csprov_model-2079bfc119bb9a04.d: crates/model/src/lib.rs crates/model/src/empirical.rs crates/model/src/source.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsprov_model-2079bfc119bb9a04.rmeta: crates/model/src/lib.rs crates/model/src/empirical.rs crates/model/src/source.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/empirical.rs:
+crates/model/src/source.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

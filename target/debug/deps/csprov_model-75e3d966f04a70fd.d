@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/csprov_model-75e3d966f04a70fd.d: crates/model/src/lib.rs crates/model/src/empirical.rs crates/model/src/source.rs
+
+/root/repo/target/debug/deps/libcsprov_model-75e3d966f04a70fd.rlib: crates/model/src/lib.rs crates/model/src/empirical.rs crates/model/src/source.rs
+
+/root/repo/target/debug/deps/libcsprov_model-75e3d966f04a70fd.rmeta: crates/model/src/lib.rs crates/model/src/empirical.rs crates/model/src/source.rs
+
+crates/model/src/lib.rs:
+crates/model/src/empirical.rs:
+crates/model/src/source.rs:

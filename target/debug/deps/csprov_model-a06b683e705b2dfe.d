@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/csprov_model-a06b683e705b2dfe.d: crates/model/src/lib.rs crates/model/src/empirical.rs crates/model/src/source.rs
+
+/root/repo/target/debug/deps/csprov_model-a06b683e705b2dfe: crates/model/src/lib.rs crates/model/src/empirical.rs crates/model/src/source.rs
+
+crates/model/src/lib.rs:
+crates/model/src/empirical.rs:
+crates/model/src/source.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/csprov_model-b71e937ab5585467.d: crates/model/src/lib.rs crates/model/src/empirical.rs crates/model/src/source.rs
+
+/root/repo/target/debug/deps/csprov_model-b71e937ab5585467: crates/model/src/lib.rs crates/model/src/empirical.rs crates/model/src/source.rs
+
+crates/model/src/lib.rs:
+crates/model/src/empirical.rs:
+crates/model/src/source.rs:

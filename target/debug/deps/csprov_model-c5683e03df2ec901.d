@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/csprov_model-c5683e03df2ec901.d: crates/model/src/lib.rs crates/model/src/empirical.rs crates/model/src/source.rs
+
+/root/repo/target/debug/deps/libcsprov_model-c5683e03df2ec901.rlib: crates/model/src/lib.rs crates/model/src/empirical.rs crates/model/src/source.rs
+
+/root/repo/target/debug/deps/libcsprov_model-c5683e03df2ec901.rmeta: crates/model/src/lib.rs crates/model/src/empirical.rs crates/model/src/source.rs
+
+crates/model/src/lib.rs:
+crates/model/src/empirical.rs:
+crates/model/src/source.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/csprov_net-daadf6b78486fc51.d: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/fault.rs crates/net/src/link.rs crates/net/src/metrics.rs crates/net/src/packet.rs crates/net/src/pcap.rs crates/net/src/trace.rs crates/net/src/wire/mod.rs crates/net/src/wire/ethernet.rs crates/net/src/wire/ipv4.rs crates/net/src/wire/udp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsprov_net-daadf6b78486fc51.rmeta: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/fault.rs crates/net/src/link.rs crates/net/src/metrics.rs crates/net/src/packet.rs crates/net/src/pcap.rs crates/net/src/trace.rs crates/net/src/wire/mod.rs crates/net/src/wire/ethernet.rs crates/net/src/wire/ipv4.rs crates/net/src/wire/udp.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/addr.rs:
+crates/net/src/fault.rs:
+crates/net/src/link.rs:
+crates/net/src/metrics.rs:
+crates/net/src/packet.rs:
+crates/net/src/pcap.rs:
+crates/net/src/trace.rs:
+crates/net/src/wire/mod.rs:
+crates/net/src/wire/ethernet.rs:
+crates/net/src/wire/ipv4.rs:
+crates/net/src/wire/udp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

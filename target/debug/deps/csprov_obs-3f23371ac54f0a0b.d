@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/csprov_obs-3f23371ac54f0a0b.d: crates/obs/src/lib.rs crates/obs/src/histogram.rs crates/obs/src/progress.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/csprov_obs-3f23371ac54f0a0b: crates/obs/src/lib.rs crates/obs/src/histogram.rs crates/obs/src/progress.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/histogram.rs:
+crates/obs/src/progress.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/span.rs:

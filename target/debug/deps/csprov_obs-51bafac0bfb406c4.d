@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/csprov_obs-51bafac0bfb406c4.d: crates/obs/src/lib.rs crates/obs/src/histogram.rs crates/obs/src/progress.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/libcsprov_obs-51bafac0bfb406c4.rlib: crates/obs/src/lib.rs crates/obs/src/histogram.rs crates/obs/src/progress.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/libcsprov_obs-51bafac0bfb406c4.rmeta: crates/obs/src/lib.rs crates/obs/src/histogram.rs crates/obs/src/progress.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/histogram.rs:
+crates/obs/src/progress.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/span.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/csprov_obs-bf5ac64b7c26f68c.d: crates/obs/src/lib.rs crates/obs/src/histogram.rs crates/obs/src/progress.rs crates/obs/src/registry.rs crates/obs/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsprov_obs-bf5ac64b7c26f68c.rmeta: crates/obs/src/lib.rs crates/obs/src/histogram.rs crates/obs/src/progress.rs crates/obs/src/registry.rs crates/obs/src/span.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/histogram.rs:
+crates/obs/src/progress.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/csprov_router-21164ba19331b079.d: crates/router/src/lib.rs crates/router/src/cache.rs crates/router/src/engine.rs crates/router/src/impaired.rs crates/router/src/nat.rs crates/router/src/provision.rs crates/router/src/table.rs
+
+/root/repo/target/debug/deps/libcsprov_router-21164ba19331b079.rlib: crates/router/src/lib.rs crates/router/src/cache.rs crates/router/src/engine.rs crates/router/src/impaired.rs crates/router/src/nat.rs crates/router/src/provision.rs crates/router/src/table.rs
+
+/root/repo/target/debug/deps/libcsprov_router-21164ba19331b079.rmeta: crates/router/src/lib.rs crates/router/src/cache.rs crates/router/src/engine.rs crates/router/src/impaired.rs crates/router/src/nat.rs crates/router/src/provision.rs crates/router/src/table.rs
+
+crates/router/src/lib.rs:
+crates/router/src/cache.rs:
+crates/router/src/engine.rs:
+crates/router/src/impaired.rs:
+crates/router/src/nat.rs:
+crates/router/src/provision.rs:
+crates/router/src/table.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/csprov_router-26fc7bf1f621803f.d: crates/router/src/lib.rs crates/router/src/cache.rs crates/router/src/engine.rs crates/router/src/impaired.rs crates/router/src/metrics.rs crates/router/src/nat.rs crates/router/src/provision.rs crates/router/src/table.rs
+
+/root/repo/target/debug/deps/libcsprov_router-26fc7bf1f621803f.rlib: crates/router/src/lib.rs crates/router/src/cache.rs crates/router/src/engine.rs crates/router/src/impaired.rs crates/router/src/metrics.rs crates/router/src/nat.rs crates/router/src/provision.rs crates/router/src/table.rs
+
+/root/repo/target/debug/deps/libcsprov_router-26fc7bf1f621803f.rmeta: crates/router/src/lib.rs crates/router/src/cache.rs crates/router/src/engine.rs crates/router/src/impaired.rs crates/router/src/metrics.rs crates/router/src/nat.rs crates/router/src/provision.rs crates/router/src/table.rs
+
+crates/router/src/lib.rs:
+crates/router/src/cache.rs:
+crates/router/src/engine.rs:
+crates/router/src/impaired.rs:
+crates/router/src/metrics.rs:
+crates/router/src/nat.rs:
+crates/router/src/provision.rs:
+crates/router/src/table.rs:

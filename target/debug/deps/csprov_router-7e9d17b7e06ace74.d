@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/csprov_router-7e9d17b7e06ace74.d: crates/router/src/lib.rs crates/router/src/cache.rs crates/router/src/engine.rs crates/router/src/impaired.rs crates/router/src/nat.rs crates/router/src/provision.rs crates/router/src/table.rs
+
+/root/repo/target/debug/deps/csprov_router-7e9d17b7e06ace74: crates/router/src/lib.rs crates/router/src/cache.rs crates/router/src/engine.rs crates/router/src/impaired.rs crates/router/src/nat.rs crates/router/src/provision.rs crates/router/src/table.rs
+
+crates/router/src/lib.rs:
+crates/router/src/cache.rs:
+crates/router/src/engine.rs:
+crates/router/src/impaired.rs:
+crates/router/src/nat.rs:
+crates/router/src/provision.rs:
+crates/router/src/table.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/csprov_router-878ad8bec41d956c.d: crates/router/src/lib.rs crates/router/src/cache.rs crates/router/src/engine.rs crates/router/src/impaired.rs crates/router/src/metrics.rs crates/router/src/nat.rs crates/router/src/provision.rs crates/router/src/table.rs
+
+/root/repo/target/debug/deps/csprov_router-878ad8bec41d956c: crates/router/src/lib.rs crates/router/src/cache.rs crates/router/src/engine.rs crates/router/src/impaired.rs crates/router/src/metrics.rs crates/router/src/nat.rs crates/router/src/provision.rs crates/router/src/table.rs
+
+crates/router/src/lib.rs:
+crates/router/src/cache.rs:
+crates/router/src/engine.rs:
+crates/router/src/impaired.rs:
+crates/router/src/metrics.rs:
+crates/router/src/nat.rs:
+crates/router/src/provision.rs:
+crates/router/src/table.rs:

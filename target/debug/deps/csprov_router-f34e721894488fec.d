@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/csprov_router-f34e721894488fec.d: crates/router/src/lib.rs crates/router/src/cache.rs crates/router/src/engine.rs crates/router/src/impaired.rs crates/router/src/metrics.rs crates/router/src/nat.rs crates/router/src/provision.rs crates/router/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsprov_router-f34e721894488fec.rmeta: crates/router/src/lib.rs crates/router/src/cache.rs crates/router/src/engine.rs crates/router/src/impaired.rs crates/router/src/metrics.rs crates/router/src/nat.rs crates/router/src/provision.rs crates/router/src/table.rs Cargo.toml
+
+crates/router/src/lib.rs:
+crates/router/src/cache.rs:
+crates/router/src/engine.rs:
+crates/router/src/impaired.rs:
+crates/router/src/metrics.rs:
+crates/router/src/nat.rs:
+crates/router/src/provision.rs:
+crates/router/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

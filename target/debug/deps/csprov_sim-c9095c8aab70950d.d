@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/csprov_sim-c9095c8aab70950d.d: crates/sim/src/lib.rs crates/sim/src/check.rs crates/sim/src/dist.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/process.rs crates/sim/src/rate.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libcsprov_sim-c9095c8aab70950d.rlib: crates/sim/src/lib.rs crates/sim/src/check.rs crates/sim/src/dist.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/process.rs crates/sim/src/rate.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libcsprov_sim-c9095c8aab70950d.rmeta: crates/sim/src/lib.rs crates/sim/src/check.rs crates/sim/src/dist.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/process.rs crates/sim/src/rate.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/check.rs:
+crates/sim/src/dist.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/event.rs:
+crates/sim/src/process.rs:
+crates/sim/src/rate.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/csprov_sim-f3d72ce208cca8ec.d: crates/sim/src/lib.rs crates/sim/src/check.rs crates/sim/src/dist.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/process.rs crates/sim/src/rate.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsprov_sim-f3d72ce208cca8ec.rmeta: crates/sim/src/lib.rs crates/sim/src/check.rs crates/sim/src/dist.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/process.rs crates/sim/src/rate.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/check.rs:
+crates/sim/src/dist.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/event.rs:
+crates/sim/src/process.rs:
+crates/sim/src/rate.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/csprov_web-54158bf0da851304.d: crates/web/src/lib.rs crates/web/src/tcp.rs crates/web/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsprov_web-54158bf0da851304.rmeta: crates/web/src/lib.rs crates/web/src/tcp.rs crates/web/src/workload.rs Cargo.toml
+
+crates/web/src/lib.rs:
+crates/web/src/tcp.rs:
+crates/web/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

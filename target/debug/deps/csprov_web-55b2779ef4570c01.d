@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/csprov_web-55b2779ef4570c01.d: crates/web/src/lib.rs crates/web/src/tcp.rs crates/web/src/workload.rs
+
+/root/repo/target/debug/deps/csprov_web-55b2779ef4570c01: crates/web/src/lib.rs crates/web/src/tcp.rs crates/web/src/workload.rs
+
+crates/web/src/lib.rs:
+crates/web/src/tcp.rs:
+crates/web/src/workload.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/csprov_web-73783547ccfe61bc.d: crates/web/src/lib.rs crates/web/src/tcp.rs crates/web/src/workload.rs
+
+/root/repo/target/debug/deps/libcsprov_web-73783547ccfe61bc.rlib: crates/web/src/lib.rs crates/web/src/tcp.rs crates/web/src/workload.rs
+
+/root/repo/target/debug/deps/libcsprov_web-73783547ccfe61bc.rmeta: crates/web/src/lib.rs crates/web/src/tcp.rs crates/web/src/workload.rs
+
+crates/web/src/lib.rs:
+crates/web/src/tcp.rs:
+crates/web/src/workload.rs:

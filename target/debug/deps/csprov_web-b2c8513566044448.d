@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/csprov_web-b2c8513566044448.d: crates/web/src/lib.rs crates/web/src/tcp.rs crates/web/src/workload.rs
+
+/root/repo/target/debug/deps/libcsprov_web-b2c8513566044448.rlib: crates/web/src/lib.rs crates/web/src/tcp.rs crates/web/src/workload.rs
+
+/root/repo/target/debug/deps/libcsprov_web-b2c8513566044448.rmeta: crates/web/src/lib.rs crates/web/src/tcp.rs crates/web/src/workload.rs
+
+crates/web/src/lib.rs:
+crates/web/src/tcp.rs:
+crates/web/src/workload.rs:

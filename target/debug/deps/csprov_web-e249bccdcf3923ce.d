@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/csprov_web-e249bccdcf3923ce.d: crates/web/src/lib.rs crates/web/src/tcp.rs crates/web/src/workload.rs
+
+/root/repo/target/debug/deps/csprov_web-e249bccdcf3923ce: crates/web/src/lib.rs crates/web/src/tcp.rs crates/web/src/workload.rs
+
+crates/web/src/lib.rs:
+crates/web/src/tcp.rs:
+crates/web/src/workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cstrace-7000e34560c628a6.d: crates/bench/src/bin/cstrace.rs
+
+/root/repo/target/debug/deps/cstrace-7000e34560c628a6: crates/bench/src/bin/cstrace.rs
+
+crates/bench/src/bin/cstrace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cstrace-820bb09aa78b470d.d: crates/bench/src/bin/cstrace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcstrace-820bb09aa78b470d.rmeta: crates/bench/src/bin/cstrace.rs Cargo.toml
+
+crates/bench/src/bin/cstrace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cstrace-98d3c0133fa4cbcb.d: crates/bench/src/bin/cstrace.rs
+
+/root/repo/target/debug/deps/cstrace-98d3c0133fa4cbcb: crates/bench/src/bin/cstrace.rs
+
+crates/bench/src/bin/cstrace.rs:

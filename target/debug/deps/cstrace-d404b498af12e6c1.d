@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cstrace-d404b498af12e6c1.d: crates/bench/src/bin/cstrace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcstrace-d404b498af12e6c1.rmeta: crates/bench/src/bin/cstrace.rs Cargo.toml
+
+crates/bench/src/bin/cstrace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cstrace-dd3ed071ba6c445f.d: crates/bench/src/bin/cstrace.rs
+
+/root/repo/target/debug/deps/cstrace-dd3ed071ba6c445f: crates/bench/src/bin/cstrace.rs
+
+crates/bench/src/bin/cstrace.rs:

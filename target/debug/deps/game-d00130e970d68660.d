@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/game-d00130e970d68660.d: crates/bench/benches/game.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgame-d00130e970d68660.rmeta: crates/bench/benches/game.rs Cargo.toml
+
+crates/bench/benches/game.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

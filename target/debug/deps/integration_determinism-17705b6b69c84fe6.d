@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_determinism-17705b6b69c84fe6.d: crates/core/../../tests/integration_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_determinism-17705b6b69c84fe6.rmeta: crates/core/../../tests/integration_determinism.rs Cargo.toml
+
+crates/core/../../tests/integration_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

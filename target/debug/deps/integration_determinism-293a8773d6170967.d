@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_determinism-293a8773d6170967.d: crates/core/../../tests/integration_determinism.rs
+
+/root/repo/target/debug/deps/integration_determinism-293a8773d6170967: crates/core/../../tests/integration_determinism.rs
+
+crates/core/../../tests/integration_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_determinism-f1525926b42cb6e7.d: crates/core/../../tests/integration_determinism.rs
+
+/root/repo/target/debug/deps/integration_determinism-f1525926b42cb6e7: crates/core/../../tests/integration_determinism.rs
+
+crates/core/../../tests/integration_determinism.rs:

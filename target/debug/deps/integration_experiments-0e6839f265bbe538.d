@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_experiments-0e6839f265bbe538.d: crates/core/../../tests/integration_experiments.rs
+
+/root/repo/target/debug/deps/integration_experiments-0e6839f265bbe538: crates/core/../../tests/integration_experiments.rs
+
+crates/core/../../tests/integration_experiments.rs:

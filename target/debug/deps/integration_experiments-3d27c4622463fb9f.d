@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_experiments-3d27c4622463fb9f.d: crates/core/../../tests/integration_experiments.rs
+
+/root/repo/target/debug/deps/integration_experiments-3d27c4622463fb9f: crates/core/../../tests/integration_experiments.rs
+
+crates/core/../../tests/integration_experiments.rs:

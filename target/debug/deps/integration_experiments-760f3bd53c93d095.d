@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_experiments-760f3bd53c93d095.d: crates/core/../../tests/integration_experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_experiments-760f3bd53c93d095.rmeta: crates/core/../../tests/integration_experiments.rs Cargo.toml
+
+crates/core/../../tests/integration_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

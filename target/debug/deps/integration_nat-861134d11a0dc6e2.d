@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_nat-861134d11a0dc6e2.d: crates/core/../../tests/integration_nat.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_nat-861134d11a0dc6e2.rmeta: crates/core/../../tests/integration_nat.rs Cargo.toml
+
+crates/core/../../tests/integration_nat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

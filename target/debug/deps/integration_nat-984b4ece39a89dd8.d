@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_nat-984b4ece39a89dd8.d: crates/core/../../tests/integration_nat.rs
+
+/root/repo/target/debug/deps/integration_nat-984b4ece39a89dd8: crates/core/../../tests/integration_nat.rs
+
+crates/core/../../tests/integration_nat.rs:

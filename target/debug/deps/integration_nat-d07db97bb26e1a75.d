@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_nat-d07db97bb26e1a75.d: crates/core/../../tests/integration_nat.rs
+
+/root/repo/target/debug/deps/integration_nat-d07db97bb26e1a75: crates/core/../../tests/integration_nat.rs
+
+crates/core/../../tests/integration_nat.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_obs-4e9237289347d46c.d: crates/core/../../tests/integration_obs.rs
+
+/root/repo/target/debug/deps/integration_obs-4e9237289347d46c: crates/core/../../tests/integration_obs.rs
+
+crates/core/../../tests/integration_obs.rs:

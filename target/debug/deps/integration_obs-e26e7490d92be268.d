@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_obs-e26e7490d92be268.d: crates/core/../../tests/integration_obs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_obs-e26e7490d92be268.rmeta: crates/core/../../tests/integration_obs.rs Cargo.toml
+
+crates/core/../../tests/integration_obs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

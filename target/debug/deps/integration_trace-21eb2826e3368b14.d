@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_trace-21eb2826e3368b14.d: crates/core/../../tests/integration_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_trace-21eb2826e3368b14.rmeta: crates/core/../../tests/integration_trace.rs Cargo.toml
+
+crates/core/../../tests/integration_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

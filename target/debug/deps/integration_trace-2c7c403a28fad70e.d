@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_trace-2c7c403a28fad70e.d: crates/core/../../tests/integration_trace.rs
+
+/root/repo/target/debug/deps/integration_trace-2c7c403a28fad70e: crates/core/../../tests/integration_trace.rs
+
+crates/core/../../tests/integration_trace.rs:

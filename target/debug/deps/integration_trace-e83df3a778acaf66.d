@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_trace-e83df3a778acaf66.d: crates/core/../../tests/integration_trace.rs
+
+/root/repo/target/debug/deps/integration_trace-e83df3a778acaf66: crates/core/../../tests/integration_trace.rs
+
+crates/core/../../tests/integration_trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mechanisms-32c7f5608bf6e865.d: crates/game/tests/mechanisms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmechanisms-32c7f5608bf6e865.rmeta: crates/game/tests/mechanisms.rs Cargo.toml
+
+crates/game/tests/mechanisms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mechanisms-62554e59c5b669ee.d: crates/game/tests/mechanisms.rs
+
+/root/repo/target/debug/deps/mechanisms-62554e59c5b669ee: crates/game/tests/mechanisms.rs
+
+crates/game/tests/mechanisms.rs:

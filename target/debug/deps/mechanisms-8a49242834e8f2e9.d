@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mechanisms-8a49242834e8f2e9.d: crates/game/tests/mechanisms.rs
+
+/root/repo/target/debug/deps/mechanisms-8a49242834e8f2e9: crates/game/tests/mechanisms.rs
+
+crates/game/tests/mechanisms.rs:

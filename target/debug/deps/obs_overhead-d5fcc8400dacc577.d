@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/obs_overhead-d5fcc8400dacc577.d: crates/bench/benches/obs_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobs_overhead-d5fcc8400dacc577.rmeta: crates/bench/benches/obs_overhead.rs Cargo.toml
+
+crates/bench/benches/obs_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

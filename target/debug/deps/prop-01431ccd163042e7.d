@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-01431ccd163042e7.d: crates/router/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-01431ccd163042e7: crates/router/tests/prop.rs
+
+crates/router/tests/prop.rs:

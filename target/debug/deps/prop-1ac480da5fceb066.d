@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-1ac480da5fceb066.d: crates/game/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-1ac480da5fceb066.rmeta: crates/game/tests/prop.rs Cargo.toml
+
+crates/game/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

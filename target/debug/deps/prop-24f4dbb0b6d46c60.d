@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-24f4dbb0b6d46c60.d: crates/web/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-24f4dbb0b6d46c60.rmeta: crates/web/tests/prop.rs Cargo.toml
+
+crates/web/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-2c4a3a5fcda43e15.d: crates/net/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-2c4a3a5fcda43e15.rmeta: crates/net/tests/prop.rs Cargo.toml
+
+crates/net/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-42a3321d7b24d253.d: crates/net/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-42a3321d7b24d253: crates/net/tests/prop.rs
+
+crates/net/tests/prop.rs:

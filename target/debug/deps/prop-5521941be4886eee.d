@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-5521941be4886eee.d: crates/game/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-5521941be4886eee: crates/game/tests/prop.rs
+
+crates/game/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-7138d4fc18f95090.d: crates/web/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-7138d4fc18f95090: crates/web/tests/prop.rs
+
+crates/web/tests/prop.rs:

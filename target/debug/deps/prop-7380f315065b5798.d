@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-7380f315065b5798.d: crates/router/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-7380f315065b5798.rmeta: crates/router/tests/prop.rs Cargo.toml
+
+crates/router/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

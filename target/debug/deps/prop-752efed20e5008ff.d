@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-752efed20e5008ff.d: crates/sim/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-752efed20e5008ff.rmeta: crates/sim/tests/prop.rs Cargo.toml
+
+crates/sim/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

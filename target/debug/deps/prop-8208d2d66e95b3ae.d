@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop-8208d2d66e95b3ae.d: crates/analysis/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-8208d2d66e95b3ae.rmeta: crates/analysis/tests/prop.rs Cargo.toml
+
+crates/analysis/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

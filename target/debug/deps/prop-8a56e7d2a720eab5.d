@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-8a56e7d2a720eab5.d: crates/router/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-8a56e7d2a720eab5: crates/router/tests/prop.rs
+
+crates/router/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-8b90cca3f40c1b9d.d: crates/web/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-8b90cca3f40c1b9d: crates/web/tests/prop.rs
+
+crates/web/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-8fcf781fb1f21e1c.d: crates/net/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-8fcf781fb1f21e1c: crates/net/tests/prop.rs
+
+crates/net/tests/prop.rs:

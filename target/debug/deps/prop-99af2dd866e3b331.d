@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-99af2dd866e3b331.d: crates/analysis/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-99af2dd866e3b331: crates/analysis/tests/prop.rs
+
+crates/analysis/tests/prop.rs:

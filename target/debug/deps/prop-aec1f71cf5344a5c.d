@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-aec1f71cf5344a5c.d: crates/router/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-aec1f71cf5344a5c: crates/router/tests/prop.rs
+
+crates/router/tests/prop.rs:

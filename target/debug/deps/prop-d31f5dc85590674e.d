@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-d31f5dc85590674e.d: crates/analysis/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-d31f5dc85590674e: crates/analysis/tests/prop.rs
+
+crates/analysis/tests/prop.rs:

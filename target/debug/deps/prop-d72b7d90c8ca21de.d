@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-d72b7d90c8ca21de.d: crates/game/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-d72b7d90c8ca21de: crates/game/tests/prop.rs
+
+crates/game/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-e627f66cda70f6ab.d: crates/sim/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-e627f66cda70f6ab: crates/sim/tests/prop.rs
+
+crates/sim/tests/prop.rs:

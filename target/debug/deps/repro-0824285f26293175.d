@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-0824285f26293175.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-0824285f26293175: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

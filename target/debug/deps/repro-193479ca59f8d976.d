@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-193479ca59f8d976.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-193479ca59f8d976: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

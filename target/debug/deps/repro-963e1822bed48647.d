@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-963e1822bed48647.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-963e1822bed48647: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

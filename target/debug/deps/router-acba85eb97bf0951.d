@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/router-acba85eb97bf0951.d: crates/bench/benches/router.rs Cargo.toml
+
+/root/repo/target/debug/deps/librouter-acba85eb97bf0951.rmeta: crates/bench/benches/router.rs Cargo.toml
+
+crates/bench/benches/router.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

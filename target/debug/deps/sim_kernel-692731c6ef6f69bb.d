@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_kernel-692731c6ef6f69bb.d: crates/bench/benches/sim_kernel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_kernel-692731c6ef6f69bb.rmeta: crates/bench/benches/sim_kernel.rs Cargo.toml
+
+crates/bench/benches/sim_kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/web-a397f743f83445a6.d: crates/bench/benches/web.rs Cargo.toml
+
+/root/repo/target/debug/deps/libweb-a397f743f83445a6.rmeta: crates/bench/benches/web.rs Cargo.toml
+
+crates/bench/benches/web.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wire-b902fca1e65f596e.d: crates/bench/benches/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwire-b902fca1e65f596e.rmeta: crates/bench/benches/wire.rs Cargo.toml
+
+crates/bench/benches/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

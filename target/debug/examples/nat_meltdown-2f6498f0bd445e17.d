@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/nat_meltdown-2f6498f0bd445e17.d: crates/core/../../examples/nat_meltdown.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnat_meltdown-2f6498f0bd445e17.rmeta: crates/core/../../examples/nat_meltdown.rs Cargo.toml
+
+crates/core/../../examples/nat_meltdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

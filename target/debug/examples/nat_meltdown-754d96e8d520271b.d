@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nat_meltdown-754d96e8d520271b.d: crates/core/../../examples/nat_meltdown.rs
+
+/root/repo/target/debug/examples/nat_meltdown-754d96e8d520271b: crates/core/../../examples/nat_meltdown.rs
+
+crates/core/../../examples/nat_meltdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nat_meltdown-e63add05f4588367.d: crates/core/../../examples/nat_meltdown.rs
+
+/root/repo/target/debug/examples/nat_meltdown-e63add05f4588367: crates/core/../../examples/nat_meltdown.rs
+
+crates/core/../../examples/nat_meltdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nat_smoke-4078efe4f039e191.d: crates/router/examples/nat_smoke.rs
+
+/root/repo/target/debug/examples/nat_smoke-4078efe4f039e191: crates/router/examples/nat_smoke.rs
+
+crates/router/examples/nat_smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nat_smoke-c7ecda08ac4931e3.d: crates/router/examples/nat_smoke.rs
+
+/root/repo/target/debug/examples/nat_smoke-c7ecda08ac4931e3: crates/router/examples/nat_smoke.rs
+
+crates/router/examples/nat_smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nat_smoke-e4413b53074b83ac.d: crates/router/examples/nat_smoke.rs
+
+/root/repo/target/debug/examples/nat_smoke-e4413b53074b83ac: crates/router/examples/nat_smoke.rs
+
+crates/router/examples/nat_smoke.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/nat_smoke-ef897d5c1dea1ba1.d: crates/router/examples/nat_smoke.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnat_smoke-ef897d5c1dea1ba1.rmeta: crates/router/examples/nat_smoke.rs Cargo.toml
+
+crates/router/examples/nat_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

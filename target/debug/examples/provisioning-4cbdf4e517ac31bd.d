@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/provisioning-4cbdf4e517ac31bd.d: crates/core/../../examples/provisioning.rs
+
+/root/repo/target/debug/examples/provisioning-4cbdf4e517ac31bd: crates/core/../../examples/provisioning.rs
+
+crates/core/../../examples/provisioning.rs:

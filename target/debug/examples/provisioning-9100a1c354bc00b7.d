@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/provisioning-9100a1c354bc00b7.d: crates/core/../../examples/provisioning.rs
+
+/root/repo/target/debug/examples/provisioning-9100a1c354bc00b7: crates/core/../../examples/provisioning.rs
+
+crates/core/../../examples/provisioning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/provisioning-9f2dbd2d32e0a05a.d: crates/core/../../examples/provisioning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprovisioning-9f2dbd2d32e0a05a.rmeta: crates/core/../../examples/provisioning.rs Cargo.toml
+
+crates/core/../../examples/provisioning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6a3469a346c6ad66.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6a3469a346c6ad66: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f9a759128ab372a6.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f9a759128ab372a6: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/route_cache-5b4e1136f00e5517.d: crates/core/../../examples/route_cache.rs
+
+/root/repo/target/debug/examples/route_cache-5b4e1136f00e5517: crates/core/../../examples/route_cache.rs
+
+crates/core/../../examples/route_cache.rs:

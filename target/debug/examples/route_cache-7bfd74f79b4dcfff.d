@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/route_cache-7bfd74f79b4dcfff.d: crates/core/../../examples/route_cache.rs Cargo.toml
+
+/root/repo/target/debug/examples/libroute_cache-7bfd74f79b4dcfff.rmeta: crates/core/../../examples/route_cache.rs Cargo.toml
+
+crates/core/../../examples/route_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

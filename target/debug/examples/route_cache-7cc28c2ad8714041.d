@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/route_cache-7cc28c2ad8714041.d: crates/core/../../examples/route_cache.rs
+
+/root/repo/target/debug/examples/route_cache-7cc28c2ad8714041: crates/core/../../examples/route_cache.rs
+
+crates/core/../../examples/route_cache.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smoke-03e379bf9d18d307.d: crates/game/examples/smoke.rs
+
+/root/repo/target/debug/examples/smoke-03e379bf9d18d307: crates/game/examples/smoke.rs
+
+crates/game/examples/smoke.rs:

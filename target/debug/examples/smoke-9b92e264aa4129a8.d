@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smoke-9b92e264aa4129a8.d: crates/game/examples/smoke.rs
+
+/root/repo/target/debug/examples/smoke-9b92e264aa4129a8: crates/game/examples/smoke.rs
+
+crates/game/examples/smoke.rs:

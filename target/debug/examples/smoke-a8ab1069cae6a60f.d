@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/smoke-a8ab1069cae6a60f.d: crates/game/examples/smoke.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsmoke-a8ab1069cae6a60f.rmeta: crates/game/examples/smoke.rs Cargo.toml
+
+crates/game/examples/smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

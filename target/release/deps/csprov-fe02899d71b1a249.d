@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/csprov-fe02899d71b1a249.d: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/ablations.rs crates/core/src/experiments/aggregate.rs crates/core/src/experiments/figures.rs crates/core/src/experiments/nat.rs crates/core/src/experiments/tables.rs crates/core/src/experiments/web.rs crates/core/src/pipeline.rs crates/core/src/sweep.rs
+
+/root/repo/target/release/deps/libcsprov-fe02899d71b1a249.rlib: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/ablations.rs crates/core/src/experiments/aggregate.rs crates/core/src/experiments/figures.rs crates/core/src/experiments/nat.rs crates/core/src/experiments/tables.rs crates/core/src/experiments/web.rs crates/core/src/pipeline.rs crates/core/src/sweep.rs
+
+/root/repo/target/release/deps/libcsprov-fe02899d71b1a249.rmeta: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/ablations.rs crates/core/src/experiments/aggregate.rs crates/core/src/experiments/figures.rs crates/core/src/experiments/nat.rs crates/core/src/experiments/tables.rs crates/core/src/experiments/web.rs crates/core/src/pipeline.rs crates/core/src/sweep.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/ablations.rs:
+crates/core/src/experiments/aggregate.rs:
+crates/core/src/experiments/figures.rs:
+crates/core/src/experiments/nat.rs:
+crates/core/src/experiments/tables.rs:
+crates/core/src/experiments/web.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/sweep.rs:

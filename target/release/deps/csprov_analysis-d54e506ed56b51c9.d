@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/csprov_analysis-d54e506ed56b51c9.d: crates/analysis/src/lib.rs crates/analysis/src/acf.rs crates/analysis/src/fit.rs crates/analysis/src/flows.rs crates/analysis/src/histogram.rs crates/analysis/src/hurst.rs crates/analysis/src/plot.rs crates/analysis/src/report.rs crates/analysis/src/series.rs crates/analysis/src/sessions.rs crates/analysis/src/summary.rs crates/analysis/src/welford.rs
+
+/root/repo/target/release/deps/libcsprov_analysis-d54e506ed56b51c9.rlib: crates/analysis/src/lib.rs crates/analysis/src/acf.rs crates/analysis/src/fit.rs crates/analysis/src/flows.rs crates/analysis/src/histogram.rs crates/analysis/src/hurst.rs crates/analysis/src/plot.rs crates/analysis/src/report.rs crates/analysis/src/series.rs crates/analysis/src/sessions.rs crates/analysis/src/summary.rs crates/analysis/src/welford.rs
+
+/root/repo/target/release/deps/libcsprov_analysis-d54e506ed56b51c9.rmeta: crates/analysis/src/lib.rs crates/analysis/src/acf.rs crates/analysis/src/fit.rs crates/analysis/src/flows.rs crates/analysis/src/histogram.rs crates/analysis/src/hurst.rs crates/analysis/src/plot.rs crates/analysis/src/report.rs crates/analysis/src/series.rs crates/analysis/src/sessions.rs crates/analysis/src/summary.rs crates/analysis/src/welford.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/acf.rs:
+crates/analysis/src/fit.rs:
+crates/analysis/src/flows.rs:
+crates/analysis/src/histogram.rs:
+crates/analysis/src/hurst.rs:
+crates/analysis/src/plot.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/series.rs:
+crates/analysis/src/sessions.rs:
+crates/analysis/src/summary.rs:
+crates/analysis/src/welford.rs:

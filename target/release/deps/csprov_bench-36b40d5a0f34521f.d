@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/csprov_bench-36b40d5a0f34521f.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libcsprov_bench-36b40d5a0f34521f.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libcsprov_bench-36b40d5a0f34521f.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/csprov_bench-3bd442dee436468a.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libcsprov_bench-3bd442dee436468a.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libcsprov_bench-3bd442dee436468a.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/csprov_game-3c3ce7de82bff057.d: crates/game/src/lib.rs crates/game/src/config.rs crates/game/src/maps.rs crates/game/src/metrics.rs crates/game/src/packets.rs crates/game/src/server.rs crates/game/src/session.rs crates/game/src/world.rs
+
+/root/repo/target/release/deps/libcsprov_game-3c3ce7de82bff057.rlib: crates/game/src/lib.rs crates/game/src/config.rs crates/game/src/maps.rs crates/game/src/metrics.rs crates/game/src/packets.rs crates/game/src/server.rs crates/game/src/session.rs crates/game/src/world.rs
+
+/root/repo/target/release/deps/libcsprov_game-3c3ce7de82bff057.rmeta: crates/game/src/lib.rs crates/game/src/config.rs crates/game/src/maps.rs crates/game/src/metrics.rs crates/game/src/packets.rs crates/game/src/server.rs crates/game/src/session.rs crates/game/src/world.rs
+
+crates/game/src/lib.rs:
+crates/game/src/config.rs:
+crates/game/src/maps.rs:
+crates/game/src/metrics.rs:
+crates/game/src/packets.rs:
+crates/game/src/server.rs:
+crates/game/src/session.rs:
+crates/game/src/world.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/csprov_game-6b0eed0c8b3577c2.d: crates/game/src/lib.rs crates/game/src/config.rs crates/game/src/maps.rs crates/game/src/packets.rs crates/game/src/server.rs crates/game/src/session.rs crates/game/src/world.rs
+
+/root/repo/target/release/deps/libcsprov_game-6b0eed0c8b3577c2.rlib: crates/game/src/lib.rs crates/game/src/config.rs crates/game/src/maps.rs crates/game/src/packets.rs crates/game/src/server.rs crates/game/src/session.rs crates/game/src/world.rs
+
+/root/repo/target/release/deps/libcsprov_game-6b0eed0c8b3577c2.rmeta: crates/game/src/lib.rs crates/game/src/config.rs crates/game/src/maps.rs crates/game/src/packets.rs crates/game/src/server.rs crates/game/src/session.rs crates/game/src/world.rs
+
+crates/game/src/lib.rs:
+crates/game/src/config.rs:
+crates/game/src/maps.rs:
+crates/game/src/packets.rs:
+crates/game/src/server.rs:
+crates/game/src/session.rs:
+crates/game/src/world.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/csprov_model-2b9c6873cd40629a.d: crates/model/src/lib.rs crates/model/src/empirical.rs crates/model/src/source.rs
+
+/root/repo/target/release/deps/libcsprov_model-2b9c6873cd40629a.rlib: crates/model/src/lib.rs crates/model/src/empirical.rs crates/model/src/source.rs
+
+/root/repo/target/release/deps/libcsprov_model-2b9c6873cd40629a.rmeta: crates/model/src/lib.rs crates/model/src/empirical.rs crates/model/src/source.rs
+
+crates/model/src/lib.rs:
+crates/model/src/empirical.rs:
+crates/model/src/source.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/csprov_model-b0c9c574819ef016.d: crates/model/src/lib.rs crates/model/src/empirical.rs crates/model/src/source.rs
+
+/root/repo/target/release/deps/libcsprov_model-b0c9c574819ef016.rlib: crates/model/src/lib.rs crates/model/src/empirical.rs crates/model/src/source.rs
+
+/root/repo/target/release/deps/libcsprov_model-b0c9c574819ef016.rmeta: crates/model/src/lib.rs crates/model/src/empirical.rs crates/model/src/source.rs
+
+crates/model/src/lib.rs:
+crates/model/src/empirical.rs:
+crates/model/src/source.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/csprov_net-21a48d3d5fb17d94.d: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/fault.rs crates/net/src/link.rs crates/net/src/packet.rs crates/net/src/pcap.rs crates/net/src/trace.rs crates/net/src/wire/mod.rs crates/net/src/wire/ethernet.rs crates/net/src/wire/ipv4.rs crates/net/src/wire/udp.rs
+
+/root/repo/target/release/deps/libcsprov_net-21a48d3d5fb17d94.rlib: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/fault.rs crates/net/src/link.rs crates/net/src/packet.rs crates/net/src/pcap.rs crates/net/src/trace.rs crates/net/src/wire/mod.rs crates/net/src/wire/ethernet.rs crates/net/src/wire/ipv4.rs crates/net/src/wire/udp.rs
+
+/root/repo/target/release/deps/libcsprov_net-21a48d3d5fb17d94.rmeta: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/fault.rs crates/net/src/link.rs crates/net/src/packet.rs crates/net/src/pcap.rs crates/net/src/trace.rs crates/net/src/wire/mod.rs crates/net/src/wire/ethernet.rs crates/net/src/wire/ipv4.rs crates/net/src/wire/udp.rs
+
+crates/net/src/lib.rs:
+crates/net/src/addr.rs:
+crates/net/src/fault.rs:
+crates/net/src/link.rs:
+crates/net/src/packet.rs:
+crates/net/src/pcap.rs:
+crates/net/src/trace.rs:
+crates/net/src/wire/mod.rs:
+crates/net/src/wire/ethernet.rs:
+crates/net/src/wire/ipv4.rs:
+crates/net/src/wire/udp.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/csprov_net-9e916ab2e65e0b39.d: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/fault.rs crates/net/src/link.rs crates/net/src/metrics.rs crates/net/src/packet.rs crates/net/src/pcap.rs crates/net/src/trace.rs crates/net/src/wire/mod.rs crates/net/src/wire/ethernet.rs crates/net/src/wire/ipv4.rs crates/net/src/wire/udp.rs
+
+/root/repo/target/release/deps/libcsprov_net-9e916ab2e65e0b39.rlib: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/fault.rs crates/net/src/link.rs crates/net/src/metrics.rs crates/net/src/packet.rs crates/net/src/pcap.rs crates/net/src/trace.rs crates/net/src/wire/mod.rs crates/net/src/wire/ethernet.rs crates/net/src/wire/ipv4.rs crates/net/src/wire/udp.rs
+
+/root/repo/target/release/deps/libcsprov_net-9e916ab2e65e0b39.rmeta: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/fault.rs crates/net/src/link.rs crates/net/src/metrics.rs crates/net/src/packet.rs crates/net/src/pcap.rs crates/net/src/trace.rs crates/net/src/wire/mod.rs crates/net/src/wire/ethernet.rs crates/net/src/wire/ipv4.rs crates/net/src/wire/udp.rs
+
+crates/net/src/lib.rs:
+crates/net/src/addr.rs:
+crates/net/src/fault.rs:
+crates/net/src/link.rs:
+crates/net/src/metrics.rs:
+crates/net/src/packet.rs:
+crates/net/src/pcap.rs:
+crates/net/src/trace.rs:
+crates/net/src/wire/mod.rs:
+crates/net/src/wire/ethernet.rs:
+crates/net/src/wire/ipv4.rs:
+crates/net/src/wire/udp.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/csprov_obs-57c74d4a8fa321a4.d: crates/obs/src/lib.rs crates/obs/src/histogram.rs crates/obs/src/progress.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+/root/repo/target/release/deps/libcsprov_obs-57c74d4a8fa321a4.rlib: crates/obs/src/lib.rs crates/obs/src/histogram.rs crates/obs/src/progress.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+/root/repo/target/release/deps/libcsprov_obs-57c74d4a8fa321a4.rmeta: crates/obs/src/lib.rs crates/obs/src/histogram.rs crates/obs/src/progress.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/histogram.rs:
+crates/obs/src/progress.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/span.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/csprov_router-b297f521ed1ef3b5.d: crates/router/src/lib.rs crates/router/src/cache.rs crates/router/src/engine.rs crates/router/src/impaired.rs crates/router/src/nat.rs crates/router/src/provision.rs crates/router/src/table.rs
+
+/root/repo/target/release/deps/libcsprov_router-b297f521ed1ef3b5.rlib: crates/router/src/lib.rs crates/router/src/cache.rs crates/router/src/engine.rs crates/router/src/impaired.rs crates/router/src/nat.rs crates/router/src/provision.rs crates/router/src/table.rs
+
+/root/repo/target/release/deps/libcsprov_router-b297f521ed1ef3b5.rmeta: crates/router/src/lib.rs crates/router/src/cache.rs crates/router/src/engine.rs crates/router/src/impaired.rs crates/router/src/nat.rs crates/router/src/provision.rs crates/router/src/table.rs
+
+crates/router/src/lib.rs:
+crates/router/src/cache.rs:
+crates/router/src/engine.rs:
+crates/router/src/impaired.rs:
+crates/router/src/nat.rs:
+crates/router/src/provision.rs:
+crates/router/src/table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/csprov_web-66dcd86a17292827.d: crates/web/src/lib.rs crates/web/src/tcp.rs crates/web/src/workload.rs
+
+/root/repo/target/release/deps/libcsprov_web-66dcd86a17292827.rlib: crates/web/src/lib.rs crates/web/src/tcp.rs crates/web/src/workload.rs
+
+/root/repo/target/release/deps/libcsprov_web-66dcd86a17292827.rmeta: crates/web/src/lib.rs crates/web/src/tcp.rs crates/web/src/workload.rs
+
+crates/web/src/lib.rs:
+crates/web/src/tcp.rs:
+crates/web/src/workload.rs:

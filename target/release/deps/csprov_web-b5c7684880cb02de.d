@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/csprov_web-b5c7684880cb02de.d: crates/web/src/lib.rs crates/web/src/tcp.rs crates/web/src/workload.rs
+
+/root/repo/target/release/deps/libcsprov_web-b5c7684880cb02de.rlib: crates/web/src/lib.rs crates/web/src/tcp.rs crates/web/src/workload.rs
+
+/root/repo/target/release/deps/libcsprov_web-b5c7684880cb02de.rmeta: crates/web/src/lib.rs crates/web/src/tcp.rs crates/web/src/workload.rs
+
+crates/web/src/lib.rs:
+crates/web/src/tcp.rs:
+crates/web/src/workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cstrace-4274c29566123f04.d: crates/bench/src/bin/cstrace.rs
+
+/root/repo/target/release/deps/cstrace-4274c29566123f04: crates/bench/src/bin/cstrace.rs
+
+crates/bench/src/bin/cstrace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cstrace-625c3a587f182094.d: crates/bench/src/bin/cstrace.rs
+
+/root/repo/target/release/deps/cstrace-625c3a587f182094: crates/bench/src/bin/cstrace.rs
+
+crates/bench/src/bin/cstrace.rs:

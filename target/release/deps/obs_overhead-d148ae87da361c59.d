@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/obs_overhead-d148ae87da361c59.d: crates/bench/benches/obs_overhead.rs
+
+/root/repo/target/release/deps/obs_overhead-d148ae87da361c59: crates/bench/benches/obs_overhead.rs
+
+crates/bench/benches/obs_overhead.rs:

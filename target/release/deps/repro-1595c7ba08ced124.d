@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-1595c7ba08ced124.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-1595c7ba08ced124: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

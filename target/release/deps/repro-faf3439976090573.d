@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-faf3439976090573.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-faf3439976090573: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -102,7 +102,11 @@ fn figure6_to_8_burst_structure() {
         let mean = v.iter().sum::<f64>() / v.len() as f64;
         v.iter().cloned().fold(0.0, f64::max) / mean
     };
-    assert!(peak_mean(&out) > 2.5, "outgoing spikes: {}", peak_mean(&out));
+    assert!(
+        peak_mean(&out) > 2.5,
+        "outgoing spikes: {}",
+        peak_mean(&out)
+    );
     assert!(
         peak_mean(&out) > 1.5 * peak_mean(&inb),
         "out {} vs in {}",
@@ -192,13 +196,14 @@ fn figures12_13_size_distributions() {
     assert!(sizes.cdf_total()[200] > 0.85);
     // Inbound is narrow ("extremely narrow distribution centered around
     // 40 bytes"), outbound wide: compare interquartile ranges.
-    let iqr = |d: Direction| {
-        sizes.quantile(d, 0.75) as i64 - sizes.quantile(d, 0.25) as i64
-    };
-    assert!(iqr(Direction::Inbound) <= 8, "inbound IQR {}", iqr(Direction::Inbound));
+    let iqr = |d: Direction| sizes.quantile(d, 0.75) as i64 - sizes.quantile(d, 0.25) as i64;
     assert!(
-        iqr(Direction::Outbound) > 2 * iqr(Direction::Inbound)
-            && iqr(Direction::Outbound) >= 15,
+        iqr(Direction::Inbound) <= 8,
+        "inbound IQR {}",
+        iqr(Direction::Inbound)
+    );
+    assert!(
+        iqr(Direction::Outbound) > 2 * iqr(Direction::Inbound) && iqr(Direction::Outbound) >= 15,
         "outbound IQR {} vs inbound {}",
         iqr(Direction::Outbound),
         iqr(Direction::Inbound)

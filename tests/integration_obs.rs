@@ -1,0 +1,124 @@
+//! Observability integration: instrumentation is observe-only.
+//!
+//! The hard constraint of the obs layer is that metrics and progress
+//! reporting never feed back into simulation decisions — a seeded run's
+//! artifacts must be byte-identical with and without instrumentation, and
+//! the deterministic slice of the registry must itself be a pure function
+//! of the seed.
+
+use csprov::experiments::nat::{run_nat_experiment, run_nat_experiment_instrumented};
+use csprov::experiments::tables;
+use csprov::pipeline::MainRun;
+use csprov_game::{GameMetrics, ScenarioConfig, WorldInstruments};
+use csprov_net::LinkMetrics;
+use csprov_obs::MetricsRegistry;
+use csprov_router::EngineConfig;
+use csprov_sim::SimDuration;
+
+/// Full game + link instrumentation against one registry, no observer.
+fn instruments(registry: &MetricsRegistry) -> WorldInstruments {
+    WorldInstruments {
+        metrics: Some(GameMetrics::register(registry)),
+        link_metrics: Some(LinkMetrics::register(registry)),
+        observer: None,
+    }
+}
+
+#[test]
+fn table4_is_byte_identical_with_metrics_on() {
+    let plain = run_nat_experiment(2002, EngineConfig::default());
+    let registry = MetricsRegistry::new();
+    let instrumented = run_nat_experiment_instrumented(
+        2002,
+        EngineConfig::default(),
+        instruments(&registry),
+        Some(&registry),
+    );
+    assert_eq!(
+        tables::table4(&plain).render(),
+        tables::table4(&instrumented).render(),
+        "table4 must not change when metrics are attached"
+    );
+
+    // The instrumented run must cover every subsystem the PR wires up.
+    let names = registry.names();
+    for prefix in ["sim.", "game.", "net.", "router.", "pipeline."] {
+        assert!(
+            names.iter().any(|n| n.starts_with(prefix)),
+            "no {prefix}* instrument registered; got {names:?}"
+        );
+    }
+
+    // Sanity: the exported tap totals agree with the returned series.
+    let pre_in: u64 = instrumented
+        .clients_to_nat
+        .bins()
+        .iter()
+        .map(|b| b.packets)
+        .sum();
+    assert_eq!(
+        registry.counter("pipeline.records.clients_to_nat").get(),
+        pre_in
+    );
+    assert!(pre_in > 100_000, "a 30-minute map is busy: {pre_in}");
+}
+
+#[test]
+fn registry_renders_identically_across_same_seed_runs() {
+    let render = || {
+        let registry = MetricsRegistry::new();
+        let _ = MainRun::execute_instrumented(
+            ScenarioConfig::new(5, SimDuration::from_mins(3)),
+            instruments(&registry),
+            Some(&registry),
+        );
+        registry.render_deterministic()
+    };
+    let first = render();
+    assert!(
+        first.contains("game.snapshots") && first.contains("pipeline.records.counts"),
+        "deterministic render should list the run's instruments:\n{first}"
+    );
+    assert_eq!(
+        first,
+        render(),
+        "same seed must produce an identical deterministic snapshot"
+    );
+}
+
+#[test]
+fn pipeline_record_counters_match_analyzer_totals() {
+    let registry = MetricsRegistry::new();
+    let run = MainRun::execute_instrumented(
+        ScenarioConfig::new(6, SimDuration::from_mins(2)),
+        WorldInstruments::default(),
+        Some(&registry),
+    );
+    let a = &run.analysis;
+    assert_eq!(
+        registry.counter("pipeline.records.counts").get(),
+        a.counts.total_packets()
+    );
+    assert_eq!(
+        registry.counter("pipeline.records.sizes").get(),
+        a.sizes.grand_total()
+    );
+    assert_eq!(
+        registry.counter("pipeline.records.per_minute").get(),
+        a.per_minute.bins().iter().map(|b| b.packets).sum::<u64>()
+    );
+    assert_eq!(
+        registry.counter("pipeline.records.variance_time").get(),
+        a.variance_time.bins_seen()
+    );
+    assert_eq!(
+        registry.gauge("pipeline.flows.tracked").get(),
+        a.flows.len() as i64
+    );
+    // Directional per-minute exports must sum to the total export.
+    assert_eq!(
+        registry.counter("pipeline.records.per_minute").get(),
+        registry.counter("pipeline.records.per_minute_in").get()
+            + registry.counter("pipeline.records.per_minute_out").get()
+    );
+}

@@ -130,6 +130,19 @@ impl TraceSink for SizeHistogram {
     fn on_packet(&mut self, rec: &TraceRecord) {
         self.record(rec.direction, rec.app_len);
     }
+
+    fn on_batch(&mut self, recs: &[TraceRecord]) {
+        let max = self.max_size;
+        for rec in recs {
+            let i = Self::dir_idx(rec.direction);
+            let s = rec.app_len as usize;
+            if s <= max {
+                self.counts[i][s] += 1;
+            } else {
+                self.overflow[i] += 1;
+            }
+        }
+    }
 }
 
 /// A general fixed-width histogram over `f64` values.

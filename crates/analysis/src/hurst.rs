@@ -212,6 +212,37 @@ impl TraceSink for VarianceTime {
         }
     }
 
+    fn on_batch(&mut self, recs: &[TraceRecord]) {
+        // Fold each run of same-bin records (a tick burst shares one
+        // timestamp) with a single state update. Run membership is a range
+        // check against the bin's precomputed bounds — one division per run
+        // instead of one per record.
+        let base = self.base.as_nanos();
+        let mut i = 0;
+        while i < recs.len() {
+            let idx = recs[i].time.bin_index(self.base);
+            let lo = idx * base;
+            let hi = lo.saturating_add(base);
+            let mut run = 1u64;
+            i += 1;
+            while recs.get(i).is_some_and(|r| {
+                let t = r.time.as_nanos();
+                t >= lo && t < hi
+            }) {
+                run += 1;
+                i += 1;
+            }
+            match &mut self.current_bin {
+                Some((cur, count)) if *cur == idx => *count += run,
+                Some(_) => {
+                    self.flush_current();
+                    self.current_bin = Some((idx, run));
+                }
+                None => self.current_bin = Some((idx, run)),
+            }
+        }
+    }
+
     fn on_end(&mut self, end: SimTime) {
         self.flush_current();
         // See RateSeries::on_end: a boundary-aligned end opens no new bin.

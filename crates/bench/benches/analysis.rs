@@ -1,6 +1,7 @@
 //! Benchmarks for the streaming analyzers — these sit on the per-packet
 //! hot path of every reproduction run.
 
+use csprov::pipeline::FullAnalysis;
 use csprov_analysis::{FlowTable, RateSeries, SizeHistogram, VarianceTime, Welford};
 use csprov_bench::harness::{black_box, Harness, Throughput};
 use csprov_net::{Direction, PacketKind, TraceRecord, TraceSink};
@@ -73,6 +74,66 @@ fn bench_sinks(h: &mut Harness) {
     g.finish();
 }
 
+/// Records shaped like what the server tap batches: every 50 ms tick, a
+/// burst of simultaneous outbound snapshots, one per player. (Inbound
+/// command packets are delivered singly by the tap either way, so they are
+/// not part of the batched-vs-per-record comparison.)
+fn tick_burst_records(bursts: usize, players: u32) -> Vec<TraceRecord> {
+    let mut rng = RngStream::new(7);
+    let mut recs = Vec::new();
+    for tick in 0..bursts {
+        let t = SimTime::from_micros(tick as u64 * 50_000);
+        for session in 0..players {
+            recs.push(TraceRecord {
+                time: t,
+                direction: Direction::Outbound,
+                kind: PacketKind::StateUpdate,
+                session,
+                app_len: 80 + rng.next_below(300) as u32,
+            });
+        }
+    }
+    recs
+}
+
+fn bench_pipeline_ingest(h: &mut Harness) {
+    // The full 13-analyzer composite behind the server tap, fed the same
+    // snapshot-burst stream record-by-record vs one `on_batch` call per
+    // tick burst — the two delivery paths the world can use.
+    let burst = 22usize; // one snapshot per player per 50 ms tick
+    let records = tick_burst_records(100_000 / burst, burst as u32);
+    let n = records.len() as u64;
+    let end = records.last().unwrap().time + SimDuration::from_millis(50);
+    let mut g = h.group("pipeline_ingest");
+    g.throughput(Throughput::Elements(n));
+
+    g.bench_function("full_analysis_per_record_100k", |b| {
+        b.iter(|| {
+            let mut a = FullAnalysis::new(SimDuration::from_secs(3600));
+            let sink: &mut dyn TraceSink = &mut a;
+            for r in &records {
+                sink.on_packet(r);
+            }
+            sink.on_end(end);
+            black_box(a.counts.total_packets())
+        })
+    });
+
+    g.bench_function("full_analysis_batched_100k", |b| {
+        b.iter(|| {
+            let mut a = FullAnalysis::new(SimDuration::from_secs(3600));
+            let sink: &mut dyn TraceSink = &mut a;
+            for chunk in records.chunks(burst) {
+                sink.on_batch(chunk);
+            }
+            sink.on_end(end);
+            black_box(a.counts.total_packets())
+        })
+    });
+
+    g.finish();
+}
+
 fn bench_welford(h: &mut Harness) {
     let mut g = h.group("welford");
     g.throughput(Throughput::Elements(1_000_000));
@@ -111,6 +172,7 @@ fn bench_hurst_full_pipeline(h: &mut Harness) {
 fn main() {
     let mut h = Harness::from_args();
     bench_sinks(&mut h);
+    bench_pipeline_ingest(&mut h);
     bench_welford(&mut h);
     bench_hurst_full_pipeline(&mut h);
 }

@@ -25,6 +25,7 @@
 use csprov::experiments::{ablations, aggregate, figures, nat, tables, web, ExperimentId};
 use csprov::pipeline::MainRun;
 use csprov_analysis::report::to_csv;
+use csprov_bench::harness::{render_bench_json, BenchResult};
 use csprov_game::{GameMetrics, ScenarioConfig, WorldInstruments, PAPER_TRACE_SECS};
 use csprov_net::LinkMetrics;
 use csprov_obs::{MetricsRegistry, ProgressReporter};
@@ -190,6 +191,20 @@ fn main() -> ExitCode {
 
     let registry = opts.metrics_out.as_ref().map(|_| MetricsRegistry::new());
 
+    // Wall-clock phases, reported at exit in the same `[time]` format the
+    // per-artifact lines use and exported as BENCH_repro.json when
+    // CSPROV_BENCH_OUT is set (single runs: median == min).
+    let total_t0 = Instant::now();
+    let mut timings: Vec<BenchResult> = Vec::new();
+    fn phase(name: &str, secs: f64, rate_per_sec: Option<f64>) -> BenchResult {
+        BenchResult {
+            name: name.to_string(),
+            median_ns: secs * 1e9,
+            min_ns: secs * 1e9,
+            rate_per_sec,
+        }
+    }
+
     let main_run = needs_main.then(|| {
         eprintln!(
             "[run] simulating {:.1} h of server traffic (seed {})...",
@@ -211,16 +226,23 @@ fn main() -> ExitCode {
         if let Some(reporter) = reporter {
             reporter.finish(duration.as_nanos(), run.outcome.events_executed);
         }
+        let secs = t0.elapsed().as_secs_f64();
         eprintln!(
             "[run] done: {} packets in {:.1} s wall ({} events)",
             run.analysis.counts.total_packets(),
-            t0.elapsed().as_secs_f64(),
+            secs,
             run.outcome.events_executed
         );
+        timings.push(phase(
+            "main_run",
+            secs,
+            Some(run.outcome.events_executed as f64 / secs.max(1e-9)),
+        ));
         run
     });
     let nat_run = needs_nat.then(|| {
         eprintln!("[run] NAT experiment: one 30-minute map through the device...");
+        let t0 = Instant::now();
         let nat_horizon = SimDuration::from_mins(30).as_nanos();
         let (instruments, reporter) =
             instruments_for("nat", nat_horizon, registry.as_ref(), opts.progress);
@@ -233,6 +255,12 @@ fn main() -> ExitCode {
         if let Some(reporter) = reporter {
             reporter.finish(nat_horizon, run.outcome.events_executed);
         }
+        let secs = t0.elapsed().as_secs_f64();
+        timings.push(phase(
+            "nat_run",
+            secs,
+            Some(run.outcome.events_executed as f64 / secs.max(1e-9)),
+        ));
         run
     });
 
@@ -333,10 +361,23 @@ fn main() -> ExitCode {
                 _ => {}
             }
         }
-        eprintln!(
-            "[time] {id}: {:.3} s wall",
-            artifact_t0.elapsed().as_secs_f64()
-        );
+        let secs = artifact_t0.elapsed().as_secs_f64();
+        eprintln!("[time] {id}: {secs:.3} s wall");
+        timings.push(phase(&id.to_string(), secs, None));
+    }
+
+    let total_secs = total_t0.elapsed().as_secs_f64();
+    eprintln!("[time] total: {total_secs:.3} s wall");
+    timings.push(phase("total", total_secs, None));
+    if let Ok(dir) = std::env::var("CSPROV_BENCH_OUT") {
+        if !dir.is_empty() {
+            let path = std::path::Path::new(&dir).join("BENCH_repro.json");
+            let json = render_bench_json("repro", &timings);
+            match std::fs::write(&path, json) {
+                Ok(()) => eprintln!("[bench] wrote {}", path.display()),
+                Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+            }
+        }
     }
 
     if let (Some(path), Some(registry)) = (&opts.metrics_out, &registry) {

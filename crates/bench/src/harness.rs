@@ -21,6 +21,7 @@
 //! throughput rate when one is configured. A positional argument acts as a
 //! substring filter on `group/name`, matching `cargo bench <filter>`.
 
+use std::fmt::Write as _;
 pub use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -68,8 +69,23 @@ impl Harness {
             harness: self,
             name: name.to_string(),
             throughput: None,
+            results: Vec::new(),
         }
     }
+}
+
+/// One finished measurement, as recorded in the group's JSON report.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Function name within the group.
+    pub name: String,
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+    /// Minimum per-iteration time in nanoseconds.
+    pub min_ns: f64,
+    /// Median throughput in units (elements or bytes) per second, when a
+    /// [`Throughput`] was configured.
+    pub rate_per_sec: Option<f64>,
 }
 
 /// A named group of benchmark functions sharing a throughput setting.
@@ -78,6 +94,7 @@ pub struct Group<'a> {
     name: String,
     throughput: Option<Throughput>,
     samples: u32,
+    results: Vec<BenchResult>,
 }
 
 impl Group<'_> {
@@ -126,24 +143,90 @@ impl Group<'_> {
         per_iter_ns.sort_by(|a, b| a.total_cmp(b));
         let median = per_iter_ns[per_iter_ns.len() / 2];
         let min = per_iter_ns[0];
-        let rate = match self.throughput {
-            Some(Throughput::Elements(n)) => {
-                format!("  {:>10}/s", si(n as f64 / (median * 1e-9)))
+        let rate_per_sec = match self.throughput {
+            Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) => {
+                Some(n as f64 / (median * 1e-9))
             }
-            Some(Throughput::Bytes(n)) => {
-                format!("  {:>9}B/s", si(n as f64 / (median * 1e-9)))
-            }
-            None => String::new(),
+            None => None,
+        };
+        let rate = match (self.throughput, rate_per_sec) {
+            (Some(Throughput::Elements(_)), Some(r)) => format!("  {:>10}/s", si(r)),
+            (Some(Throughput::Bytes(_)), Some(r)) => format!("  {:>9}B/s", si(r)),
+            _ => String::new(),
         };
         println!(
             "{full:<44} median {:>12}  min {:>12}{rate}",
             fmt_ns(median),
             fmt_ns(min)
         );
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            median_ns: median,
+            min_ns: min,
+            rate_per_sec,
+        });
     }
 
-    /// Ends the group (kept for call-site symmetry; no summary state).
-    pub fn finish(self) {}
+    /// Ends the group. When `CSPROV_BENCH_OUT` names a directory, a
+    /// machine-readable `BENCH_<group>.json` report of every measurement
+    /// is written there (skipped silently when the group was fully
+    /// filtered out, so filtered runs never clobber full reports).
+    pub fn finish(self) {
+        if self.results.is_empty() {
+            return;
+        }
+        if let Ok(dir) = std::env::var("CSPROV_BENCH_OUT") {
+            if dir.is_empty() {
+                return;
+            }
+            let path = std::path::Path::new(&dir)
+                .join(format!("BENCH_{}.json", self.name.replace(['/', ' '], "_")));
+            let json = render_bench_json(&self.name, &self.results);
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+    }
+}
+
+/// Renders a group report as JSON (hand-rolled: the workspace is
+/// dependency-free, and the schema is flat enough not to need more).
+pub fn render_bench_json(group: &str, results: &[BenchResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"group\": \"{}\",", json_escape(group));
+    let _ = writeln!(out, "  \"results\": [");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let rate = match r.rate_per_sec {
+            Some(v) => format!("{v:.1}"),
+            None => "null".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"rate_per_sec\": {}}}{}",
+            json_escape(&r.name),
+            r.median_ns,
+            r.min_ns,
+            rate,
+            comma
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 /// Per-function measurement context handed to the benchmark closure.
@@ -197,6 +280,33 @@ mod tests {
         assert_eq!(fmt_ns(12_340.0), "12.34 µs");
         assert_eq!(fmt_ns(12_340_000.0), "12.34 ms");
         assert!(si(2.5e6).starts_with("2.50 M"));
+    }
+
+    #[test]
+    fn bench_json_shape() {
+        let results = vec![
+            BenchResult {
+                name: "push_pop_10k".into(),
+                median_ns: 64_781.25,
+                min_ns: 59_130.0,
+                rate_per_sec: Some(154_365_000.7),
+            },
+            BenchResult {
+                name: "quote\"d".into(),
+                median_ns: 1.0,
+                min_ns: 1.0,
+                rate_per_sec: None,
+            },
+        ];
+        let json = render_bench_json("event_queue", &results);
+        assert!(json.contains("\"group\": \"event_queue\""));
+        assert!(json.contains("\"median_ns\": 64781.2") || json.contains("\"median_ns\": 64781.3"));
+        assert!(json.contains("\"rate_per_sec\": 154365000.7"));
+        assert!(json.contains("\"rate_per_sec\": null"));
+        assert!(json.contains("quote\\\"d"));
+        // Exactly one trailing comma between the two entries.
+        assert_eq!(json.matches("}},").count(), 0);
+        assert_eq!(json.matches("},\n").count(), 1);
     }
 
     #[test]

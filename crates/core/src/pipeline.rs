@@ -167,6 +167,22 @@ impl TraceSink for FullAnalysis {
         self.flows.on_packet(rec);
     }
 
+    fn on_batch(&mut self, recs: &[TraceRecord]) {
+        self.counts.on_batch(recs);
+        self.per_minute.on_batch(recs);
+        self.per_minute_in.on_batch(recs);
+        self.per_minute_out.on_batch(recs);
+        self.ms10_total.on_batch(recs);
+        self.ms10_in.on_batch(recs);
+        self.ms10_out.on_batch(recs);
+        self.ms50_total.on_batch(recs);
+        self.sec1_total.on_batch(recs);
+        self.min30_total.on_batch(recs);
+        self.variance_time.on_batch(recs);
+        self.sizes.on_batch(recs);
+        self.flows.on_batch(recs);
+    }
+
     fn on_end(&mut self, end: SimTime) {
         self.counts.on_end(end);
         self.per_minute.on_end(end);

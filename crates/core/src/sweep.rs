@@ -64,33 +64,48 @@ impl RunSummary {
     }
 }
 
-/// Runs every scenario on its own OS thread (up to the machine's
-/// parallelism, in waves) and returns summaries in input order.
+/// Runs every scenario across a fixed pool of worker threads and returns
+/// summaries in input order.
+///
+/// Workers claim scenarios from a shared atomic cursor, so a thread that
+/// finishes a short run immediately starts the next one instead of idling
+/// at a wave barrier until the slowest run of its cohort completes. Each
+/// run is still strictly single-threaded, so every summary is bit-identical
+/// to a serial `RunSummary::from_run(&MainRun::execute(cfg))`.
 pub fn run_parallel(scenarios: Vec<ScenarioConfig>) -> Vec<RunSummary> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    if scenarios.is_empty() {
+        return Vec::new();
+    }
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(4);
-    let mut out: Vec<Option<RunSummary>> = vec![None; scenarios.len()];
-    let mut queue: Vec<(usize, ScenarioConfig)> = scenarios.into_iter().enumerate().collect();
-    while !queue.is_empty() {
-        let wave: Vec<(usize, ScenarioConfig)> = queue.drain(..queue.len().min(workers)).collect();
-        let results = std::thread::scope(|scope| {
-            let handles: Vec<_> = wave
-                .into_iter()
-                .map(|(idx, cfg)| {
-                    scope.spawn(move || (idx, RunSummary::from_run(&MainRun::execute(cfg))))
+        .unwrap_or(4)
+        .min(scenarios.len());
+    let cursor = AtomicUsize::new(0);
+    let scenarios = &scenarios[..];
+    let mut results: Vec<(usize, RunSummary)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(cfg) = scenarios.get(idx) else { break };
+                        mine.push((idx, RunSummary::from_run(&MainRun::execute(cfg.clone()))));
+                    }
+                    mine
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("sweep worker panicked"))
-                .collect::<Vec<_>>()
-        });
-        for (idx, summary) in results {
-            out[idx] = Some(summary);
-        }
-    }
-    out.into_iter().map(Option::unwrap).collect()
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    results.sort_by_key(|&(idx, _)| idx);
+    results.into_iter().map(|(_, summary)| summary).collect()
 }
 
 /// Multi-seed statistics for one scenario shape: runs `seeds` copies in
@@ -131,6 +146,27 @@ mod tests {
         let parallel = run_parallel(vec![cfg.clone(), cfg]);
         assert_eq!(parallel[0], serial, "determinism must survive threading");
         assert_eq!(parallel[1], serial);
+    }
+
+    #[test]
+    fn work_stealing_matches_serial_element_for_element() {
+        // Mixed durations so workers drift out of lockstep: the claim order
+        // under work-stealing differs from input order, but every summary
+        // must still equal its serial counterpart, in input order.
+        let cfgs: Vec<ScenarioConfig> = (0..5)
+            .map(|i| ScenarioConfig::new(40 + i, SimDuration::from_secs(30 + 45 * (i % 3))))
+            .collect();
+        let serial: Vec<RunSummary> = cfgs
+            .iter()
+            .map(|cfg| RunSummary::from_run(&MainRun::execute(cfg.clone())))
+            .collect();
+        let parallel = run_parallel(cfgs);
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn empty_sweep_returns_empty() {
+        assert!(run_parallel(Vec::new()).is_empty());
     }
 
     #[test]

@@ -126,6 +126,18 @@ impl WorldState {
             .on_packet(&TraceRecord::from_packet(time, pkt));
     }
 
+    /// Delivers a coalesced burst (e.g. one server tick's snapshots) to the
+    /// tap in a single sink call; equivalent to `record` per packet.
+    fn record_batch(&self, recs: &[TraceRecord]) {
+        if recs.is_empty() {
+            return;
+        }
+        if let Some(m) = &self.metrics {
+            m.packets_recorded.add(recs.len() as u64);
+        }
+        self.sink.borrow_mut().on_batch(recs);
+    }
+
     fn note_player_delta(&mut self, now: SimTime, old_count: usize) {
         let dt = now.saturating_since(self.last_count_change).as_secs_f64();
         self.player_integral += dt * old_count as f64;
@@ -303,6 +315,10 @@ fn emit_outbound(w: &W, sim: &mut Simulator, session: u32, kind: PacketKind, app
 fn schedule_server_tick(w: &W, sim: &mut Simulator) {
     let tick = w.borrow().cfg.server.tick;
     let w = w.clone();
+    // Scratch buffers reused across ticks; the burst is coalesced into one
+    // batched tap delivery instead of a sink call per snapshot.
+    let mut burst: Vec<TraceRecord> = Vec::new();
+    let mut forwards: Vec<Packet> = Vec::new();
     spawn_periodic(
         sim,
         SimTime::ZERO + tick,
@@ -326,8 +342,41 @@ fn schedule_server_tick(w: &W, sim: &mut Simulator) {
                     g.add_items(snaps.len() as u64);
                 }
             }
-            for (session, size) in snaps {
-                emit_outbound(&w, sim, session, PacketKind::StateUpdate, size);
+            let now = sim.now();
+            let mb = {
+                let st = w.borrow();
+                if st.outage {
+                    // The uplink is down for the whole burst: no events run
+                    // between snapshots, so the per-packet outage gate of
+                    // `emit_outbound` collapses to one check.
+                    return;
+                }
+                st.middlebox.clone()
+            };
+            burst.clear();
+            for &(session, size) in &snaps {
+                let pkt = Packet {
+                    src: server_endpoint(),
+                    dst: client_endpoint(session),
+                    app_len: size,
+                    kind: PacketKind::StateUpdate,
+                    session,
+                    direction: Direction::Outbound,
+                    sent_at: now,
+                };
+                if mb.is_some() {
+                    forwards.push(pkt);
+                }
+                burst.push(TraceRecord::from_packet(now, &pkt));
+            }
+            w.borrow().record_batch(&burst);
+            if let Some(mb) = mb {
+                // Forwarding after the batched tap keeps per-packet relative
+                // order (and thus event ids) identical to the unbatched
+                // record-then-forward sequence: recording schedules nothing.
+                for pkt in forwards.drain(..) {
+                    mb.forward(sim, pkt, Box::new(|_, _| {}));
+                }
             }
         },
     );

@@ -2,7 +2,9 @@
 
 use csprov_sim::check::check;
 use csprov_sim::dist::{AliasTable, Exp, LogNormal, Normal, Pareto, Sample, Uniform};
-use csprov_sim::{EventQueue, RngStream, SimDuration, SimTime, TokenBucket};
+use csprov_sim::{EventHandle, EventId, EventQueue, RngStream, SimDuration, SimTime, TokenBucket};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
 
 /// The event queue pops in exactly (time, insertion) order: equivalent to a
 /// stable sort of the inserted schedule.
@@ -46,6 +48,103 @@ fn queue_cancellation_subset() {
             got.push((at.as_nanos(), v));
         }
         assert_eq!(got, keep);
+    });
+}
+
+/// Differential check of the calendar queue against a reference
+/// binary-heap model: randomized interleaved push / cancellable push /
+/// cancel / pop must yield the identical `(time, id, action)` pop
+/// sequence. Push offsets span every level of the queue — same-instant
+/// ties, the active bucket, the wheel, and the far-future overflow heap.
+#[test]
+fn queue_matches_binary_heap_model() {
+    /// A draw of the next event delay, mixing the simulator's time scales.
+    fn offset(g: &mut csprov_sim::check::Gen) -> u64 {
+        match g.u8_in(0..4) {
+            0 => 0,                            // exact tie with `now`
+            1 => g.u64_in(0..1_000_000),       // sub-millisecond (active)
+            2 => g.u64_in(0..2_000_000_000),   // within the wheel horizon
+            _ => g.u64_in(0..120_000_000_000), // beyond it (overflow heap)
+        }
+    }
+
+    check("queue_matches_binary_heap_model", 48, |g| {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        // Reference model: a min-heap of (time, id, action) plus a lazy
+        // cancellation set, exactly the seed implementation's semantics.
+        let mut model: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
+        let mut model_cancelled: HashSet<u64> = HashSet::new();
+        let mut handles: Vec<(u64, EventHandle)> = Vec::new();
+        let mut id_map: HashMap<EventId, u64> = HashMap::new();
+        let mut next_model_id = 0u64;
+        let mut now = 0u64;
+
+        let pop_both = |q: &mut EventQueue<u32>,
+                        model: &mut BinaryHeap<Reverse<(u64, u64, u32)>>,
+                        model_cancelled: &mut HashSet<u64>,
+                        id_map: &HashMap<EventId, u64>,
+                        now: &mut u64| {
+            let expect = loop {
+                match model.pop() {
+                    None => break None,
+                    Some(Reverse((_, id, _))) if model_cancelled.contains(&id) => {
+                        model_cancelled.remove(&id);
+                    }
+                    Some(Reverse(entry)) => break Some(entry),
+                }
+            };
+            let got = q.pop().map(|(t, id, a)| (t.as_nanos(), id_map[&id], a));
+            assert_eq!(got, expect, "pop sequences diverged");
+            if let Some((t, _, _)) = got {
+                *now = t;
+            }
+            got.is_some()
+        };
+
+        for _ in 0..g.usize_in(50..400) {
+            match g.u8_in(0..10) {
+                0..=3 => {
+                    let t = now + offset(g);
+                    let action = g.u32();
+                    let id = q.push(SimTime::from_nanos(t), action);
+                    id_map.insert(id, next_model_id);
+                    model.push(Reverse((t, next_model_id, action)));
+                    next_model_id += 1;
+                }
+                4 | 5 => {
+                    let t = now + offset(g);
+                    let action = g.u32();
+                    let h = q.push_cancellable(SimTime::from_nanos(t), action);
+                    id_map.insert(h.id(), next_model_id);
+                    model.push(Reverse((t, next_model_id, action)));
+                    handles.push((next_model_id, h));
+                    next_model_id += 1;
+                }
+                6 | 7 => {
+                    // Cancel a random handle — possibly one that already
+                    // fired, which must be a no-op in both worlds.
+                    if !handles.is_empty() {
+                        let k = g.usize_in(0..handles.len());
+                        handles[k].1.cancel();
+                        model_cancelled.insert(handles[k].0);
+                    }
+                }
+                _ => {
+                    pop_both(&mut q, &mut model, &mut model_cancelled, &id_map, &mut now);
+                }
+            }
+            // Live entries (total minus queued tombstones) must always
+            // agree; `q.len()` itself may differ from the model's heap once
+            // compaction has physically removed cancelled entries.
+            let model_live = model
+                .iter()
+                .filter(|Reverse((_, id, _))| !model_cancelled.contains(id))
+                .count();
+            assert_eq!(q.len() - q.tombstones(), model_live);
+        }
+        // Drain to exhaustion: the tails must match too.
+        while pop_both(&mut q, &mut model, &mut model_cancelled, &id_map, &mut now) {}
+        assert!(q.is_empty());
     });
 }
 

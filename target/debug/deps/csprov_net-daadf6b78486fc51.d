@@ -16,5 +16,5 @@ crates/net/src/wire/ipv4.rs:
 crates/net/src/wire/udp.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=
 # env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/qbench-ae6f842d488279d1.d: crates/bench/examples/qbench.rs
+
+/root/repo/target/debug/examples/qbench-ae6f842d488279d1: crates/bench/examples/qbench.rs
+
+crates/bench/examples/qbench.rs:

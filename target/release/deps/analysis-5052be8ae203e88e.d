@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/analysis-5052be8ae203e88e.d: crates/bench/benches/analysis.rs Cargo.toml
+
+/root/repo/target/release/deps/libanalysis-5052be8ae203e88e.rmeta: crates/bench/benches/analysis.rs Cargo.toml
+
+crates/bench/benches/analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

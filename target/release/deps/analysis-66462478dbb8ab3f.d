@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/analysis-66462478dbb8ab3f.d: crates/bench/benches/analysis.rs
+
+/root/repo/target/release/deps/analysis-66462478dbb8ab3f: crates/bench/benches/analysis.rs
+
+crates/bench/benches/analysis.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/csprov-125be76178061edc.d: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/ablations.rs crates/core/src/experiments/aggregate.rs crates/core/src/experiments/figures.rs crates/core/src/experiments/nat.rs crates/core/src/experiments/tables.rs crates/core/src/experiments/web.rs crates/core/src/pipeline.rs crates/core/src/sweep.rs
+
+/root/repo/target/release/deps/csprov-125be76178061edc: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/ablations.rs crates/core/src/experiments/aggregate.rs crates/core/src/experiments/figures.rs crates/core/src/experiments/nat.rs crates/core/src/experiments/tables.rs crates/core/src/experiments/web.rs crates/core/src/pipeline.rs crates/core/src/sweep.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/ablations.rs:
+crates/core/src/experiments/aggregate.rs:
+crates/core/src/experiments/figures.rs:
+crates/core/src/experiments/nat.rs:
+crates/core/src/experiments/tables.rs:
+crates/core/src/experiments/web.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/sweep.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/csprov-61ee6286662a1216.d: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/ablations.rs crates/core/src/experiments/aggregate.rs crates/core/src/experiments/figures.rs crates/core/src/experiments/nat.rs crates/core/src/experiments/tables.rs crates/core/src/experiments/web.rs crates/core/src/pipeline.rs crates/core/src/sweep.rs Cargo.toml
+
+/root/repo/target/release/deps/libcsprov-61ee6286662a1216.rmeta: crates/core/src/lib.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/ablations.rs crates/core/src/experiments/aggregate.rs crates/core/src/experiments/figures.rs crates/core/src/experiments/nat.rs crates/core/src/experiments/tables.rs crates/core/src/experiments/web.rs crates/core/src/pipeline.rs crates/core/src/sweep.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/ablations.rs:
+crates/core/src/experiments/aggregate.rs:
+crates/core/src/experiments/figures.rs:
+crates/core/src/experiments/nat.rs:
+crates/core/src/experiments/tables.rs:
+crates/core/src/experiments/web.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

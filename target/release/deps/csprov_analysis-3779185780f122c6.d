@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/csprov_analysis-3779185780f122c6.d: crates/analysis/src/lib.rs crates/analysis/src/acf.rs crates/analysis/src/fit.rs crates/analysis/src/flows.rs crates/analysis/src/histogram.rs crates/analysis/src/hurst.rs crates/analysis/src/plot.rs crates/analysis/src/report.rs crates/analysis/src/series.rs crates/analysis/src/sessions.rs crates/analysis/src/summary.rs crates/analysis/src/welford.rs
+
+/root/repo/target/release/deps/csprov_analysis-3779185780f122c6: crates/analysis/src/lib.rs crates/analysis/src/acf.rs crates/analysis/src/fit.rs crates/analysis/src/flows.rs crates/analysis/src/histogram.rs crates/analysis/src/hurst.rs crates/analysis/src/plot.rs crates/analysis/src/report.rs crates/analysis/src/series.rs crates/analysis/src/sessions.rs crates/analysis/src/summary.rs crates/analysis/src/welford.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/acf.rs:
+crates/analysis/src/fit.rs:
+crates/analysis/src/flows.rs:
+crates/analysis/src/histogram.rs:
+crates/analysis/src/hurst.rs:
+crates/analysis/src/plot.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/series.rs:
+crates/analysis/src/sessions.rs:
+crates/analysis/src/summary.rs:
+crates/analysis/src/welford.rs:

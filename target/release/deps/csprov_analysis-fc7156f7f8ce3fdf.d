@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/csprov_analysis-fc7156f7f8ce3fdf.d: crates/analysis/src/lib.rs crates/analysis/src/acf.rs crates/analysis/src/fit.rs crates/analysis/src/flows.rs crates/analysis/src/histogram.rs crates/analysis/src/hurst.rs crates/analysis/src/plot.rs crates/analysis/src/report.rs crates/analysis/src/series.rs crates/analysis/src/sessions.rs crates/analysis/src/summary.rs crates/analysis/src/welford.rs Cargo.toml
+
+/root/repo/target/release/deps/libcsprov_analysis-fc7156f7f8ce3fdf.rmeta: crates/analysis/src/lib.rs crates/analysis/src/acf.rs crates/analysis/src/fit.rs crates/analysis/src/flows.rs crates/analysis/src/histogram.rs crates/analysis/src/hurst.rs crates/analysis/src/plot.rs crates/analysis/src/report.rs crates/analysis/src/series.rs crates/analysis/src/sessions.rs crates/analysis/src/summary.rs crates/analysis/src/welford.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/acf.rs:
+crates/analysis/src/fit.rs:
+crates/analysis/src/flows.rs:
+crates/analysis/src/histogram.rs:
+crates/analysis/src/hurst.rs:
+crates/analysis/src/plot.rs:
+crates/analysis/src/report.rs:
+crates/analysis/src/series.rs:
+crates/analysis/src/sessions.rs:
+crates/analysis/src/summary.rs:
+crates/analysis/src/welford.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/csprov_bench-58289137cbb50e3a.d: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/csprov_bench-58289137cbb50e3a: crates/bench/src/lib.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:

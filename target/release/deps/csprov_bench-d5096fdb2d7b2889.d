@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/csprov_bench-d5096fdb2d7b2889.d: crates/bench/src/lib.rs crates/bench/src/harness.rs Cargo.toml
+
+/root/repo/target/release/deps/libcsprov_bench-d5096fdb2d7b2889.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

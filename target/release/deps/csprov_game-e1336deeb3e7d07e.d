@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/csprov_game-e1336deeb3e7d07e.d: crates/game/src/lib.rs crates/game/src/config.rs crates/game/src/maps.rs crates/game/src/metrics.rs crates/game/src/packets.rs crates/game/src/server.rs crates/game/src/session.rs crates/game/src/world.rs
+
+/root/repo/target/release/deps/csprov_game-e1336deeb3e7d07e: crates/game/src/lib.rs crates/game/src/config.rs crates/game/src/maps.rs crates/game/src/metrics.rs crates/game/src/packets.rs crates/game/src/server.rs crates/game/src/session.rs crates/game/src/world.rs
+
+crates/game/src/lib.rs:
+crates/game/src/config.rs:
+crates/game/src/maps.rs:
+crates/game/src/metrics.rs:
+crates/game/src/packets.rs:
+crates/game/src/server.rs:
+crates/game/src/session.rs:
+crates/game/src/world.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/csprov_model-baf53206fbb51e8f.d: crates/model/src/lib.rs crates/model/src/empirical.rs crates/model/src/source.rs
+
+/root/repo/target/release/deps/csprov_model-baf53206fbb51e8f: crates/model/src/lib.rs crates/model/src/empirical.rs crates/model/src/source.rs
+
+crates/model/src/lib.rs:
+crates/model/src/empirical.rs:
+crates/model/src/source.rs:

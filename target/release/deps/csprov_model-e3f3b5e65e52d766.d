@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/csprov_model-e3f3b5e65e52d766.d: crates/model/src/lib.rs crates/model/src/empirical.rs crates/model/src/source.rs Cargo.toml
+
+/root/repo/target/release/deps/libcsprov_model-e3f3b5e65e52d766.rmeta: crates/model/src/lib.rs crates/model/src/empirical.rs crates/model/src/source.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/empirical.rs:
+crates/model/src/source.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

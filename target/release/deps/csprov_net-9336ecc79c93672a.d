@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/csprov_net-9336ecc79c93672a.d: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/fault.rs crates/net/src/link.rs crates/net/src/metrics.rs crates/net/src/packet.rs crates/net/src/pcap.rs crates/net/src/trace.rs crates/net/src/wire/mod.rs crates/net/src/wire/ethernet.rs crates/net/src/wire/ipv4.rs crates/net/src/wire/udp.rs
+
+/root/repo/target/release/deps/csprov_net-9336ecc79c93672a: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/fault.rs crates/net/src/link.rs crates/net/src/metrics.rs crates/net/src/packet.rs crates/net/src/pcap.rs crates/net/src/trace.rs crates/net/src/wire/mod.rs crates/net/src/wire/ethernet.rs crates/net/src/wire/ipv4.rs crates/net/src/wire/udp.rs
+
+crates/net/src/lib.rs:
+crates/net/src/addr.rs:
+crates/net/src/fault.rs:
+crates/net/src/link.rs:
+crates/net/src/metrics.rs:
+crates/net/src/packet.rs:
+crates/net/src/pcap.rs:
+crates/net/src/trace.rs:
+crates/net/src/wire/mod.rs:
+crates/net/src/wire/ethernet.rs:
+crates/net/src/wire/ipv4.rs:
+crates/net/src/wire/udp.rs:

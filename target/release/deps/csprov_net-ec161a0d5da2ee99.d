@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/csprov_net-ec161a0d5da2ee99.d: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/fault.rs crates/net/src/link.rs crates/net/src/metrics.rs crates/net/src/packet.rs crates/net/src/pcap.rs crates/net/src/trace.rs crates/net/src/wire/mod.rs crates/net/src/wire/ethernet.rs crates/net/src/wire/ipv4.rs crates/net/src/wire/udp.rs Cargo.toml
+
+/root/repo/target/release/deps/libcsprov_net-ec161a0d5da2ee99.rmeta: crates/net/src/lib.rs crates/net/src/addr.rs crates/net/src/fault.rs crates/net/src/link.rs crates/net/src/metrics.rs crates/net/src/packet.rs crates/net/src/pcap.rs crates/net/src/trace.rs crates/net/src/wire/mod.rs crates/net/src/wire/ethernet.rs crates/net/src/wire/ipv4.rs crates/net/src/wire/udp.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/addr.rs:
+crates/net/src/fault.rs:
+crates/net/src/link.rs:
+crates/net/src/metrics.rs:
+crates/net/src/packet.rs:
+crates/net/src/pcap.rs:
+crates/net/src/trace.rs:
+crates/net/src/wire/mod.rs:
+crates/net/src/wire/ethernet.rs:
+crates/net/src/wire/ipv4.rs:
+crates/net/src/wire/udp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

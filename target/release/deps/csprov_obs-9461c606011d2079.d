@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/csprov_obs-9461c606011d2079.d: crates/obs/src/lib.rs crates/obs/src/histogram.rs crates/obs/src/progress.rs crates/obs/src/registry.rs crates/obs/src/span.rs Cargo.toml
+
+/root/repo/target/release/deps/libcsprov_obs-9461c606011d2079.rmeta: crates/obs/src/lib.rs crates/obs/src/histogram.rs crates/obs/src/progress.rs crates/obs/src/registry.rs crates/obs/src/span.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/histogram.rs:
+crates/obs/src/progress.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

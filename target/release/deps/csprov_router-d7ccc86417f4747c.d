@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/csprov_router-d7ccc86417f4747c.d: crates/router/src/lib.rs crates/router/src/cache.rs crates/router/src/engine.rs crates/router/src/impaired.rs crates/router/src/metrics.rs crates/router/src/nat.rs crates/router/src/provision.rs crates/router/src/table.rs Cargo.toml
+
+/root/repo/target/release/deps/libcsprov_router-d7ccc86417f4747c.rmeta: crates/router/src/lib.rs crates/router/src/cache.rs crates/router/src/engine.rs crates/router/src/impaired.rs crates/router/src/metrics.rs crates/router/src/nat.rs crates/router/src/provision.rs crates/router/src/table.rs Cargo.toml
+
+crates/router/src/lib.rs:
+crates/router/src/cache.rs:
+crates/router/src/engine.rs:
+crates/router/src/impaired.rs:
+crates/router/src/metrics.rs:
+crates/router/src/nat.rs:
+crates/router/src/provision.rs:
+crates/router/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/csprov_sim-0a3190c88e977f07.d: crates/sim/src/lib.rs crates/sim/src/check.rs crates/sim/src/dist.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/process.rs crates/sim/src/rate.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs Cargo.toml
+
+/root/repo/target/release/deps/libcsprov_sim-0a3190c88e977f07.rmeta: crates/sim/src/lib.rs crates/sim/src/check.rs crates/sim/src/dist.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/process.rs crates/sim/src/rate.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/check.rs:
+crates/sim/src/dist.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/event.rs:
+crates/sim/src/process.rs:
+crates/sim/src/rate.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/csprov_sim-1408fd71efe342c2.d: crates/sim/src/lib.rs crates/sim/src/check.rs crates/sim/src/dist.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/process.rs crates/sim/src/rate.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/csprov_sim-1408fd71efe342c2: crates/sim/src/lib.rs crates/sim/src/check.rs crates/sim/src/dist.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/process.rs crates/sim/src/rate.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/check.rs:
+crates/sim/src/dist.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/event.rs:
+crates/sim/src/process.rs:
+crates/sim/src/rate.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/csprov_web-35a8757396e7f594.d: crates/web/src/lib.rs crates/web/src/tcp.rs crates/web/src/workload.rs Cargo.toml
+
+/root/repo/target/release/deps/libcsprov_web-35a8757396e7f594.rmeta: crates/web/src/lib.rs crates/web/src/tcp.rs crates/web/src/workload.rs Cargo.toml
+
+crates/web/src/lib.rs:
+crates/web/src/tcp.rs:
+crates/web/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/csprov_web-9c4bd4cb9338f13b.d: crates/web/src/lib.rs crates/web/src/tcp.rs crates/web/src/workload.rs
+
+/root/repo/target/release/deps/csprov_web-9c4bd4cb9338f13b: crates/web/src/lib.rs crates/web/src/tcp.rs crates/web/src/workload.rs
+
+crates/web/src/lib.rs:
+crates/web/src/tcp.rs:
+crates/web/src/workload.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/csprov_web-a8840a21e3a6feae.d: crates/web/src/lib.rs crates/web/src/tcp.rs crates/web/src/workload.rs Cargo.toml
+
+/root/repo/target/release/deps/libcsprov_web-a8840a21e3a6feae.rmeta: crates/web/src/lib.rs crates/web/src/tcp.rs crates/web/src/workload.rs Cargo.toml
+
+crates/web/src/lib.rs:
+crates/web/src/tcp.rs:
+crates/web/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

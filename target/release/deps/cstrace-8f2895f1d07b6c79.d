@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cstrace-8f2895f1d07b6c79.d: crates/bench/src/bin/cstrace.rs
+
+/root/repo/target/release/deps/cstrace-8f2895f1d07b6c79: crates/bench/src/bin/cstrace.rs
+
+crates/bench/src/bin/cstrace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cstrace-9de6f4febc0e2cca.d: crates/bench/src/bin/cstrace.rs Cargo.toml
+
+/root/repo/target/release/deps/libcstrace-9de6f4febc0e2cca.rmeta: crates/bench/src/bin/cstrace.rs Cargo.toml
+
+crates/bench/src/bin/cstrace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cstrace-ec570ab635a83726.d: crates/bench/src/bin/cstrace.rs Cargo.toml
+
+/root/repo/target/release/deps/libcstrace-ec570ab635a83726.rmeta: crates/bench/src/bin/cstrace.rs Cargo.toml
+
+crates/bench/src/bin/cstrace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/game-895013809c7adc93.d: crates/bench/benches/game.rs
+
+/root/repo/target/release/deps/game-895013809c7adc93: crates/bench/benches/game.rs
+
+crates/bench/benches/game.rs:

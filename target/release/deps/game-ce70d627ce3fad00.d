@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/game-ce70d627ce3fad00.d: crates/bench/benches/game.rs Cargo.toml
+
+/root/repo/target/release/deps/libgame-ce70d627ce3fad00.rmeta: crates/bench/benches/game.rs Cargo.toml
+
+crates/bench/benches/game.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

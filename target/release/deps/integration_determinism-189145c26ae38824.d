@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_determinism-189145c26ae38824.d: crates/core/../../tests/integration_determinism.rs
+
+/root/repo/target/release/deps/integration_determinism-189145c26ae38824: crates/core/../../tests/integration_determinism.rs
+
+crates/core/../../tests/integration_determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/integration_determinism-4f059da57a86ce94.d: crates/core/../../tests/integration_determinism.rs Cargo.toml
+
+/root/repo/target/release/deps/libintegration_determinism-4f059da57a86ce94.rmeta: crates/core/../../tests/integration_determinism.rs Cargo.toml
+
+crates/core/../../tests/integration_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

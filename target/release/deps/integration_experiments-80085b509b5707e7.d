@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_experiments-80085b509b5707e7.d: crates/core/../../tests/integration_experiments.rs
+
+/root/repo/target/release/deps/integration_experiments-80085b509b5707e7: crates/core/../../tests/integration_experiments.rs
+
+crates/core/../../tests/integration_experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/integration_experiments-c2b55b34b2bd1548.d: crates/core/../../tests/integration_experiments.rs Cargo.toml
+
+/root/repo/target/release/deps/libintegration_experiments-c2b55b34b2bd1548.rmeta: crates/core/../../tests/integration_experiments.rs Cargo.toml
+
+crates/core/../../tests/integration_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/integration_nat-45f13a09bfd42875.d: crates/core/../../tests/integration_nat.rs Cargo.toml
+
+/root/repo/target/release/deps/libintegration_nat-45f13a09bfd42875.rmeta: crates/core/../../tests/integration_nat.rs Cargo.toml
+
+crates/core/../../tests/integration_nat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_nat-79994ebdd4d74383.d: crates/core/../../tests/integration_nat.rs
+
+/root/repo/target/release/deps/integration_nat-79994ebdd4d74383: crates/core/../../tests/integration_nat.rs
+
+crates/core/../../tests/integration_nat.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/integration_obs-1019564414568d3a.d: crates/core/../../tests/integration_obs.rs Cargo.toml
+
+/root/repo/target/release/deps/libintegration_obs-1019564414568d3a.rmeta: crates/core/../../tests/integration_obs.rs Cargo.toml
+
+crates/core/../../tests/integration_obs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_obs-d5b71343fde85332.d: crates/core/../../tests/integration_obs.rs
+
+/root/repo/target/release/deps/integration_obs-d5b71343fde85332: crates/core/../../tests/integration_obs.rs
+
+crates/core/../../tests/integration_obs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration_trace-9fad186ded9f251b.d: crates/core/../../tests/integration_trace.rs
+
+/root/repo/target/release/deps/integration_trace-9fad186ded9f251b: crates/core/../../tests/integration_trace.rs
+
+crates/core/../../tests/integration_trace.rs:

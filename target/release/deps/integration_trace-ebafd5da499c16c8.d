@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/integration_trace-ebafd5da499c16c8.d: crates/core/../../tests/integration_trace.rs Cargo.toml
+
+/root/repo/target/release/deps/libintegration_trace-ebafd5da499c16c8.rmeta: crates/core/../../tests/integration_trace.rs Cargo.toml
+
+crates/core/../../tests/integration_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mechanisms-697a239f530586ca.d: crates/game/tests/mechanisms.rs
+
+/root/repo/target/release/deps/mechanisms-697a239f530586ca: crates/game/tests/mechanisms.rs
+
+crates/game/tests/mechanisms.rs:

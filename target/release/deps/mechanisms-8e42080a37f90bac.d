@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/mechanisms-8e42080a37f90bac.d: crates/game/tests/mechanisms.rs Cargo.toml
+
+/root/repo/target/release/deps/libmechanisms-8e42080a37f90bac.rmeta: crates/game/tests/mechanisms.rs Cargo.toml
+
+crates/game/tests/mechanisms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

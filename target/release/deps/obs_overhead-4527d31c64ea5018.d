@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/obs_overhead-4527d31c64ea5018.d: crates/bench/benches/obs_overhead.rs Cargo.toml
+
+/root/repo/target/release/deps/libobs_overhead-4527d31c64ea5018.rmeta: crates/bench/benches/obs_overhead.rs Cargo.toml
+
+crates/bench/benches/obs_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop-1fd9355cbff9a12e.d: crates/analysis/tests/prop.rs
+
+/root/repo/target/release/deps/prop-1fd9355cbff9a12e: crates/analysis/tests/prop.rs
+
+crates/analysis/tests/prop.rs:

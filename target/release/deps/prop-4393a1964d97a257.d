@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/prop-4393a1964d97a257.d: crates/game/tests/prop.rs Cargo.toml
+
+/root/repo/target/release/deps/libprop-4393a1964d97a257.rmeta: crates/game/tests/prop.rs Cargo.toml
+
+crates/game/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/prop-471d18c427fde45f.d: crates/router/tests/prop.rs Cargo.toml
+
+/root/repo/target/release/deps/libprop-471d18c427fde45f.rmeta: crates/router/tests/prop.rs Cargo.toml
+
+crates/router/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop-a6466dd9cac55180.d: crates/router/tests/prop.rs
+
+/root/repo/target/release/deps/prop-a6466dd9cac55180: crates/router/tests/prop.rs
+
+crates/router/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop-b43dbbdf81851e0d.d: crates/web/tests/prop.rs
+
+/root/repo/target/release/deps/prop-b43dbbdf81851e0d: crates/web/tests/prop.rs
+
+crates/web/tests/prop.rs:

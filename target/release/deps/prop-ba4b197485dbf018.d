@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/prop-ba4b197485dbf018.d: crates/web/tests/prop.rs Cargo.toml
+
+/root/repo/target/release/deps/libprop-ba4b197485dbf018.rmeta: crates/web/tests/prop.rs Cargo.toml
+
+crates/web/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop-ce58acdce9e3f600.d: crates/sim/tests/prop.rs
+
+/root/repo/target/release/deps/prop-ce58acdce9e3f600: crates/sim/tests/prop.rs
+
+crates/sim/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop-d5241c04ca472208.d: crates/game/tests/prop.rs
+
+/root/repo/target/release/deps/prop-d5241c04ca472208: crates/game/tests/prop.rs
+
+crates/game/tests/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/prop-d6523edf848045bd.d: crates/sim/tests/prop.rs Cargo.toml
+
+/root/repo/target/release/deps/libprop-d6523edf848045bd.rmeta: crates/sim/tests/prop.rs Cargo.toml
+
+crates/sim/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

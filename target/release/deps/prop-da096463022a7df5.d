@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/prop-da096463022a7df5.d: crates/net/tests/prop.rs Cargo.toml
+
+/root/repo/target/release/deps/libprop-da096463022a7df5.rmeta: crates/net/tests/prop.rs Cargo.toml
+
+crates/net/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/prop-db0db1ece6f228ac.d: crates/analysis/tests/prop.rs Cargo.toml
+
+/root/repo/target/release/deps/libprop-db0db1ece6f228ac.rmeta: crates/analysis/tests/prop.rs Cargo.toml
+
+crates/analysis/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/prop-f11047981bf5be51.d: crates/net/tests/prop.rs
+
+/root/repo/target/release/deps/prop-f11047981bf5be51: crates/net/tests/prop.rs
+
+crates/net/tests/prop.rs:

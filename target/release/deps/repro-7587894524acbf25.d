@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/repro-7587894524acbf25.d: crates/bench/src/bin/repro.rs Cargo.toml
+
+/root/repo/target/release/deps/librepro-7587894524acbf25.rmeta: crates/bench/src/bin/repro.rs Cargo.toml
+
+crates/bench/src/bin/repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

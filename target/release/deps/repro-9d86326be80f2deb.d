@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/repro-9d86326be80f2deb.d: crates/bench/src/bin/repro.rs Cargo.toml
+
+/root/repo/target/release/deps/librepro-9d86326be80f2deb.rmeta: crates/bench/src/bin/repro.rs Cargo.toml
+
+crates/bench/src/bin/repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-cca0052d05d4fb77.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-cca0052d05d4fb77: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/router-6e5605e1ac76be69.d: crates/bench/benches/router.rs Cargo.toml
+
+/root/repo/target/release/deps/librouter-6e5605e1ac76be69.rmeta: crates/bench/benches/router.rs Cargo.toml
+
+crates/bench/benches/router.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

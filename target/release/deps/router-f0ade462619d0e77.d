@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/router-f0ade462619d0e77.d: crates/bench/benches/router.rs
+
+/root/repo/target/release/deps/router-f0ade462619d0e77: crates/bench/benches/router.rs
+
+crates/bench/benches/router.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sim_kernel-0b32f8c91429a5c4.d: crates/bench/benches/sim_kernel.rs
+
+/root/repo/target/release/deps/sim_kernel-0b32f8c91429a5c4: crates/bench/benches/sim_kernel.rs
+
+crates/bench/benches/sim_kernel.rs:

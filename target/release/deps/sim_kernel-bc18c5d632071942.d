@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sim_kernel-bc18c5d632071942.d: crates/bench/benches/sim_kernel.rs Cargo.toml
+
+/root/repo/target/release/deps/libsim_kernel-bc18c5d632071942.rmeta: crates/bench/benches/sim_kernel.rs Cargo.toml
+
+crates/bench/benches/sim_kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/web-2dd7739b0954c17c.d: crates/bench/benches/web.rs Cargo.toml
+
+/root/repo/target/release/deps/libweb-2dd7739b0954c17c.rmeta: crates/bench/benches/web.rs Cargo.toml
+
+crates/bench/benches/web.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

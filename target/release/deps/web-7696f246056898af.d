@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/web-7696f246056898af.d: crates/bench/benches/web.rs
+
+/root/repo/target/release/deps/web-7696f246056898af: crates/bench/benches/web.rs
+
+crates/bench/benches/web.rs:

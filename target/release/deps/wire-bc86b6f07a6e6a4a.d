@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wire-bc86b6f07a6e6a4a.d: crates/bench/benches/wire.rs
+
+/root/repo/target/release/deps/wire-bc86b6f07a6e6a4a: crates/bench/benches/wire.rs
+
+crates/bench/benches/wire.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/wire-f0a7a9e4b3883f29.d: crates/bench/benches/wire.rs Cargo.toml
+
+/root/repo/target/release/deps/libwire-f0a7a9e4b3883f29.rmeta: crates/bench/benches/wire.rs Cargo.toml
+
+crates/bench/benches/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/nat_meltdown-9bf4b5f4b868f4d9.d: crates/core/../../examples/nat_meltdown.rs Cargo.toml
+
+/root/repo/target/release/examples/libnat_meltdown-9bf4b5f4b868f4d9.rmeta: crates/core/../../examples/nat_meltdown.rs Cargo.toml
+
+crates/core/../../examples/nat_meltdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/nat_meltdown-d0fc9d5e0a327253.d: crates/core/../../examples/nat_meltdown.rs
+
+/root/repo/target/release/examples/nat_meltdown-d0fc9d5e0a327253: crates/core/../../examples/nat_meltdown.rs
+
+crates/core/../../examples/nat_meltdown.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/nat_smoke-54d18290fa7a4f1c.d: crates/router/examples/nat_smoke.rs Cargo.toml
+
+/root/repo/target/release/examples/libnat_smoke-54d18290fa7a4f1c.rmeta: crates/router/examples/nat_smoke.rs Cargo.toml
+
+crates/router/examples/nat_smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

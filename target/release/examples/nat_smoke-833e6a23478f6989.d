@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/nat_smoke-833e6a23478f6989.d: crates/router/examples/nat_smoke.rs
+
+/root/repo/target/release/examples/nat_smoke-833e6a23478f6989: crates/router/examples/nat_smoke.rs
+
+crates/router/examples/nat_smoke.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/provisioning-8011ffc7d7bf066a.d: crates/core/../../examples/provisioning.rs
+
+/root/repo/target/release/examples/provisioning-8011ffc7d7bf066a: crates/core/../../examples/provisioning.rs
+
+crates/core/../../examples/provisioning.rs:

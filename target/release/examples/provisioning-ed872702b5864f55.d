@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/provisioning-ed872702b5864f55.d: crates/core/../../examples/provisioning.rs Cargo.toml
+
+/root/repo/target/release/examples/libprovisioning-ed872702b5864f55.rmeta: crates/core/../../examples/provisioning.rs Cargo.toml
+
+crates/core/../../examples/provisioning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/qbench-a50089ca5108722a.d: crates/bench/examples/qbench.rs
+
+/root/repo/target/release/examples/qbench-a50089ca5108722a: crates/bench/examples/qbench.rs
+
+crates/bench/examples/qbench.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-633a0a0723adf2cb.d: crates/core/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-633a0a0723adf2cb.rmeta: crates/core/../../examples/quickstart.rs Cargo.toml
+
+crates/core/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-e7ec0c5fe9713c9d.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-e7ec0c5fe9713c9d: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/route_cache-93fdb32b45960874.d: crates/core/../../examples/route_cache.rs
+
+/root/repo/target/release/examples/route_cache-93fdb32b45960874: crates/core/../../examples/route_cache.rs
+
+crates/core/../../examples/route_cache.rs:

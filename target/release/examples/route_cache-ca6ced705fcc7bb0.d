@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/route_cache-ca6ced705fcc7bb0.d: crates/core/../../examples/route_cache.rs Cargo.toml
+
+/root/repo/target/release/examples/libroute_cache-ca6ced705fcc7bb0.rmeta: crates/core/../../examples/route_cache.rs Cargo.toml
+
+crates/core/../../examples/route_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

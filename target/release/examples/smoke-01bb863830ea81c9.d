@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/smoke-01bb863830ea81c9.d: crates/game/examples/smoke.rs
+
+/root/repo/target/release/examples/smoke-01bb863830ea81c9: crates/game/examples/smoke.rs
+
+crates/game/examples/smoke.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/smoke-9360034e08cd74c9.d: crates/game/examples/smoke.rs Cargo.toml
+
+/root/repo/target/release/examples/libsmoke-9360034e08cd74c9.rmeta: crates/game/examples/smoke.rs Cargo.toml
+
+crates/game/examples/smoke.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

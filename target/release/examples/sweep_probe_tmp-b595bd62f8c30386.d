@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sweep_probe_tmp-b595bd62f8c30386.d: crates/core/../../examples/sweep_probe_tmp.rs
+
+/root/repo/target/release/examples/sweep_probe_tmp-b595bd62f8c30386: crates/core/../../examples/sweep_probe_tmp.rs
+
+crates/core/../../examples/sweep_probe_tmp.rs:

@@ -8,12 +8,14 @@
 
 use csprov::experiments::nat::{run_nat_experiment, run_nat_experiment_instrumented};
 use csprov::experiments::tables;
-use csprov::pipeline::MainRun;
-use csprov_game::{GameMetrics, ScenarioConfig, WorldInstruments};
-use csprov_net::LinkMetrics;
+use csprov::pipeline::{FullAnalysis, MainRun};
+use csprov_game::{GameMetrics, ScenarioConfig, World, WorldInstruments};
+use csprov_net::{LinkMetrics, TraceRecord, TraceSink};
 use csprov_obs::MetricsRegistry;
 use csprov_router::EngineConfig;
-use csprov_sim::SimDuration;
+use csprov_sim::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Full game + link instrumentation against one registry, no observer.
 fn instruments(registry: &MetricsRegistry) -> WorldInstruments {
@@ -61,6 +63,68 @@ fn table4_is_byte_identical_with_metrics_on() {
         pre_in
     );
     assert!(pre_in > 100_000, "a 30-minute map is busy: {pre_in}");
+}
+
+/// A sink that refuses coalesced bursts: every `on_batch` is unbatched
+/// into per-record `on_packet` calls on the wrapped analysis, forcing the
+/// pre-batching delivery semantics.
+struct Debatch(FullAnalysis);
+
+impl TraceSink for Debatch {
+    fn on_packet(&mut self, rec: &TraceRecord) {
+        self.0.on_packet(rec);
+    }
+
+    fn on_batch(&mut self, recs: &[TraceRecord]) {
+        for rec in recs {
+            self.0.on_packet(rec);
+        }
+    }
+
+    fn on_end(&mut self, end: SimTime) {
+        self.0.on_end(end);
+    }
+}
+
+#[test]
+fn batched_tap_delivery_matches_per_record() {
+    // Same seed, two delivery modes: the default run hands each server-tick
+    // burst to the sink via `on_batch`; the Debatch run replays it packet by
+    // packet. Every analyzer and the event schedule itself must agree —
+    // batching (and the calendar queue beneath it) is observe-only.
+    let cfg = ScenarioConfig::new(11, SimDuration::from_mins(3));
+    let batched = MainRun::execute(cfg.clone());
+
+    let sink = Rc::new(RefCell::new(Debatch(FullAnalysis::new(cfg.duration))));
+    let outcome = World::run(cfg, sink.clone());
+    let unbatched = Rc::try_unwrap(sink)
+        .map_err(|_| ())
+        .expect("world must release the sink")
+        .into_inner()
+        .0;
+
+    let (a, b) = (&batched.analysis, &unbatched);
+    assert_eq!(a.counts.total_packets(), b.counts.total_packets());
+    assert_eq!(a.counts.total_wire_bytes(), b.counts.total_wire_bytes());
+    assert_eq!(a.per_minute.bins(), b.per_minute.bins());
+    assert_eq!(a.per_minute_in.bins(), b.per_minute_in.bins());
+    assert_eq!(a.per_minute_out.bins(), b.per_minute_out.bins());
+    assert_eq!(a.ms10_total.bins(), b.ms10_total.bins());
+    assert_eq!(a.ms50_total.bins(), b.ms50_total.bins());
+    assert_eq!(a.sec1_total.bins(), b.sec1_total.bins());
+    assert_eq!(a.variance_time.bins_seen(), b.variance_time.bins_seen());
+    assert_eq!(a.sizes.grand_total(), b.sizes.grand_total());
+    assert_eq!(a.flows.len(), b.flows.len());
+    for (session, stats) in a.flows.iter() {
+        let other = b.flows.get(*session).expect("flow present in both runs");
+        assert_eq!(stats.packets, other.packets);
+        assert_eq!(stats.wire_bytes, other.wire_bytes);
+    }
+    assert_eq!(
+        batched.outcome.events_executed, outcome.events_executed,
+        "sink delivery mode must not alter the event schedule"
+    );
+    assert_eq!(batched.outcome.sessions.len(), outcome.sessions.len());
 }
 
 #[test]

@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# Panic gate: library code on the ingest and forwarding paths must not
+# panic. Malformed trace input is an expected condition (skip-and-count or
+# a typed error), so `unwrap`/`expect`/`panic!` and friends are banned from
+# non-test code in the crates that touch foreign bytes.
+#
+# Scope: crates/net/src and crates/router/src, excluding `#[cfg(test)]`
+# modules (tests may unwrap freely). Binaries (crates/bench) are exempt —
+# a CLI aborting with a message is fine; a library unwinding is not.
+#
+# Exits non-zero listing each offending line.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PATTERN='\.unwrap\(\)|\.expect\(|panic!|unreachable!|todo!|unimplemented!'
+status=0
+
+for f in crates/net/src/*.rs crates/router/src/*.rs; do
+    # Strip everything from the first `#[cfg(test)]` onward: by repo
+    # convention the test module is the final item in each file.
+    hits=$(awk '/^#\[cfg\(test\)\]/ { exit } { print NR": "$0 }' "$f" \
+        | grep -E "$PATTERN" || true)
+    if [ -n "$hits" ]; then
+        status=1
+        echo "panic-prone construct in library path $f:" >&2
+        echo "$hits" >&2
+    fi
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "panic gate FAILED: use typed csprov_net::Error instead" >&2
+else
+    echo "panic gate OK: no unwrap/expect/panic! in net+router library code"
+fi
+exit "$status"

@@ -17,11 +17,18 @@
 //!   --csv DIR          also write key figures' data series as CSV into DIR
 //!   --progress         heartbeat on stderr (sim/wall ratio, ev/s, ETA)
 //!   --metrics-out FILE metrics snapshot per artifact (text + JSON lines)
+//!   --chaos PROFILE    run under a fault-injection campaign:
+//!                      none modem-burst reorder-dup last-mile-loss nat-exhaust
+//!   --chaos-seed N     impairment seed (default: same as --seed)
 //! ```
 //!
 //! Instrumentation is observe-only: a seeded run's artifact output is
-//! byte-identical with and without `--progress`/`--metrics-out`.
+//! byte-identical with and without `--progress`/`--metrics-out`. Chaos
+//! campaigns are replayable: the same `--chaos`/`--chaos-seed` pair
+//! impairs the same packets, and `--chaos none` is byte-identical to no
+//! `--chaos` at all.
 
+use csprov::chaos::{self, ChaosReport, ChaosSpec};
 use csprov::experiments::{ablations, aggregate, figures, nat, tables, web, ExperimentId};
 use csprov::pipeline::MainRun;
 use csprov_analysis::report::to_csv;
@@ -45,6 +52,8 @@ struct Options {
     csv_dir: Option<String>,
     progress: bool,
     metrics_out: Option<String>,
+    chaos: Option<ChaosSpec>,
+    chaos_seed: Option<u64>,
     artifacts: Vec<ExperimentId>,
 }
 
@@ -56,6 +65,8 @@ fn parse_args() -> Result<Options, String> {
         csv_dir: None,
         progress: false,
         metrics_out: None,
+        chaos: None,
+        chaos_seed: None,
         artifacts: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -80,6 +91,23 @@ fn parse_args() -> Result<Options, String> {
             "--progress" => opts.progress = true,
             "--metrics-out" => {
                 opts.metrics_out = Some(args.next().ok_or("--metrics-out needs a file")?)
+            }
+            "--chaos" => {
+                let name = args.next().ok_or("--chaos needs a profile name")?;
+                opts.chaos = Some(chaos::by_name(&name).ok_or_else(|| {
+                    format!(
+                        "unknown chaos profile '{name}' (known: {})",
+                        chaos::names().join(", ")
+                    )
+                })?);
+            }
+            "--chaos-seed" => {
+                opts.chaos_seed = Some(
+                    args.next()
+                        .ok_or("--chaos-seed needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad chaos seed: {e}"))?,
+                );
             }
             "-h" | "--help" => return Err(String::new()),
             "all" => opts.artifacts = ExperimentId::all(),
@@ -116,11 +144,12 @@ fn parse_args() -> Result<Options, String> {
 fn usage() {
     eprintln!(
         "usage: repro [--seed N] [--hours H] [--full-week] [--csv DIR] [--progress] \
-         [--metrics-out FILE] <artifact|all|main|nat>..."
+         [--metrics-out FILE] [--chaos PROFILE] [--chaos-seed N] <artifact|all|main|nat>..."
     );
     eprintln!("artifacts: table1..table4, fig1..fig15, ablate-tick, ablate-population,");
     eprintln!("           ablate-nat-capacity, ablate-nat-buffer, route-cache, source-model,");
     eprintln!("           web-vs-game");
+    eprintln!("chaos profiles: {}", chaos::names().join(", "));
 }
 
 /// Builds the observe-only side channels for one world run: metric handles
@@ -205,6 +234,9 @@ fn main() -> ExitCode {
         }
     }
 
+    let chaos_seed = opts.chaos_seed.unwrap_or(opts.seed);
+    let mut chaos_reports: Vec<ChaosReport> = Vec::new();
+
     let main_run = needs_main.then(|| {
         eprintln!(
             "[run] simulating {:.1} h of server traffic (seed {})...",
@@ -218,11 +250,25 @@ fn main() -> ExitCode {
             registry.as_ref(),
             opts.progress,
         );
-        let run = MainRun::execute_instrumented(
-            ScenarioConfig::scaled(opts.seed, duration),
-            instruments,
-            registry.as_ref(),
-        );
+        let scenario = ScenarioConfig::scaled(opts.seed, duration);
+        let run = match &opts.chaos {
+            Some(spec) => {
+                eprintln!(
+                    "[run] chaos profile '{}' (chaos-seed {chaos_seed})",
+                    spec.name
+                );
+                let (run, report) = chaos::run_chaos_main(
+                    spec,
+                    scenario,
+                    chaos_seed,
+                    instruments,
+                    registry.as_ref(),
+                );
+                chaos_reports.push(report);
+                run
+            }
+            None => MainRun::execute_instrumented(scenario, instruments, registry.as_ref()),
+        };
         if let Some(reporter) = reporter {
             reporter.finish(duration.as_nanos(), run.outcome.events_executed);
         }
@@ -246,12 +292,30 @@ fn main() -> ExitCode {
         let nat_horizon = SimDuration::from_mins(30).as_nanos();
         let (instruments, reporter) =
             instruments_for("nat", nat_horizon, registry.as_ref(), opts.progress);
-        let run = nat::run_nat_experiment_instrumented(
-            opts.seed,
-            EngineConfig::default(),
-            instruments,
-            registry.as_ref(),
-        );
+        let run = match &opts.chaos {
+            Some(spec) => {
+                eprintln!(
+                    "[run] chaos profile '{}' (chaos-seed {chaos_seed})",
+                    spec.name
+                );
+                let (run, report) = nat::run_nat_experiment_chaos(
+                    opts.seed,
+                    EngineConfig::default(),
+                    spec,
+                    chaos_seed,
+                    instruments,
+                    registry.as_ref(),
+                );
+                chaos_reports.push(report);
+                run
+            }
+            None => nat::run_nat_experiment_instrumented(
+                opts.seed,
+                EngineConfig::default(),
+                instruments,
+                registry.as_ref(),
+            ),
+        };
         if let Some(reporter) = reporter {
             reporter.finish(nat_horizon, run.outcome.events_executed);
         }
@@ -364,6 +428,11 @@ fn main() -> ExitCode {
         let secs = artifact_t0.elapsed().as_secs_f64();
         eprintln!("[time] {id}: {secs:.3} s wall");
         timings.push(phase(&id.to_string(), secs, None));
+    }
+
+    for report in &chaos_reports {
+        println!("\n================ chaos ================");
+        println!("{}", report.render());
     }
 
     let total_secs = total_t0.elapsed().as_secs_f64();

@@ -2,8 +2,9 @@
 //! measurement points around a commodity NAT device (Table IV,
 //! Figures 14 and 15).
 
+use crate::chaos::{self, ChaosReport, ChaosSpec};
 use csprov_analysis::RateSeries;
-use csprov_game::{ScenarioConfig, TraceOutcome, World, WorldInstruments};
+use csprov_game::{Middlebox, ScenarioConfig, TraceOutcome, World, WorldInstruments};
 use csprov_net::{Direction, NullSink, TraceSink};
 use csprov_obs::MetricsRegistry;
 use csprov_router::{EngineConfig, EngineStats, NatDevice, NatTaps, RouterMetrics};
@@ -60,9 +61,7 @@ pub fn run_nat_experiment_instrumented(
     // before the trace: the scenario starts with the player count the
     // paper's Table IV packet totals imply (853k inbound packets over
     // 1800 s ≈ 474 pps ≈ 19 players' command streams).
-    let mut cfg = ScenarioConfig::new(seed, SimDuration::from_mins(30));
-    cfg.initial_players = 19;
-    cfg.workload.arrival_rate = 0.035; // churn holds occupancy near 19
+    let cfg = paper_nat_config(seed); // churn holds occupancy near 19
 
     let second = SimDuration::from_secs(1);
     let mk = || Rc::new(RefCell::new(RateSeries::new(second)));
@@ -116,6 +115,105 @@ pub fn run_nat_experiment_instrumented(
         outcome,
         engine,
     }
+}
+
+/// The paper's NAT scenario: 30 minutes, 19 players held by churn.
+fn paper_nat_config(seed: u64) -> ScenarioConfig {
+    let mut cfg = ScenarioConfig::new(seed, SimDuration::from_mins(30));
+    cfg.initial_players = 19;
+    cfg.workload.arrival_rate = 0.035;
+    cfg
+}
+
+/// [`run_nat_experiment`] under a chaos profile: the NAT device (built with
+/// the spec's table override when one is present) sits inside an
+/// [`csprov_router::ImpairedPath`], so link impairments compose with the
+/// device's own queueing loss and table pressure.
+pub fn run_nat_experiment_chaos(
+    seed: u64,
+    engine: EngineConfig,
+    spec: &ChaosSpec,
+    chaos_seed: u64,
+    instruments: WorldInstruments,
+    registry: Option<&MetricsRegistry>,
+) -> (NatRun, ChaosReport) {
+    run_nat_campaign(
+        paper_nat_config(seed),
+        engine,
+        spec,
+        chaos_seed,
+        instruments,
+        registry,
+    )
+}
+
+/// [`run_nat_experiment_chaos`] with an explicit scenario — the campaign
+/// core, also used by shorter test horizons.
+pub fn run_nat_campaign(
+    cfg: ScenarioConfig,
+    engine: EngineConfig,
+    spec: &ChaosSpec,
+    chaos_seed: u64,
+    instruments: WorldInstruments,
+    registry: Option<&MetricsRegistry>,
+) -> (NatRun, ChaosReport) {
+    let second = SimDuration::from_secs(1);
+    let mk = || Rc::new(RefCell::new(RateSeries::new(second)));
+    let (a, b, c, d) = (mk(), mk(), mk(), mk());
+    let taps = NatTaps {
+        clients_to_nat: Some(a.clone()),
+        nat_to_server: Some(b.clone()),
+        server_to_nat: Some(c.clone()),
+        nat_to_clients: Some(d.clone()),
+    };
+    let device = Rc::new(match spec.nat_table {
+        Some(table) => NatDevice::with_table(engine.clone(), table, taps),
+        None => NatDevice::new(engine.clone(), taps),
+    });
+    if let Some(registry) = registry {
+        device.attach_metrics(RouterMetrics::register(registry));
+    }
+    let path = chaos::build_path_around(
+        spec,
+        chaos_seed,
+        Some(device.clone() as Rc<dyn Middlebox>),
+        registry,
+    );
+    let sink = Rc::new(RefCell::new(NullSink));
+    let duration = cfg.duration;
+    let outcome = World::run_instrumented(cfg, sink, Some(path.clone()), instruments);
+    for tap in [&a, &b, &c, &d] {
+        tap.borrow_mut()
+            .on_end(csprov_sim::SimTime::ZERO + duration);
+    }
+
+    let stats = device.stats();
+    let report = ChaosReport {
+        profile: spec.name.to_string(),
+        chaos_seed,
+        stats: path.stats(),
+        nat: Some(device.nat_stats()),
+    };
+    // The impaired path owns the device edge; drop both before the taps
+    // can be unwrapped.
+    drop(path);
+    drop(device);
+    let unwrap = |s: Rc<RefCell<RateSeries>>| {
+        Rc::try_unwrap(s)
+            .map_err(|_| ())
+            .expect("taps released after run")
+            .into_inner()
+    };
+    let run = NatRun {
+        clients_to_nat: unwrap(a),
+        nat_to_server: unwrap(b),
+        server_to_nat: unwrap(c),
+        nat_to_clients: unwrap(d),
+        stats,
+        outcome,
+        engine,
+    };
+    (run, report)
 }
 
 #[cfg(test)]
@@ -197,6 +295,34 @@ mod tests {
             "outbound imbalance {in_flight_out}"
         );
         assert!(pre_in > 0 && pre_out > 0);
+    }
+
+    #[test]
+    fn nat_exhaust_campaign_refuses_and_recovers() {
+        let spec = chaos::by_name("nat-exhaust").expect("built-in profile");
+        let mut cfg = ScenarioConfig::new(11, SimDuration::from_mins(8));
+        cfg.initial_players = 19;
+        cfg.workload.arrival_rate = 0.2;
+        let (run, report) = run_nat_campaign(
+            cfg,
+            EngineConfig::default(),
+            &spec,
+            11,
+            WorldInstruments::default(),
+            None,
+        );
+        let nat = report.nat.as_ref().expect("NAT campaign reports NAT stats");
+        // 19 players on a 16-entry table: mappings are refused while the
+        // table is hot, and new sessions only map via idle reclamation.
+        assert!(nat.table_drops_total() > 0, "table pressure must refuse");
+        assert!(
+            nat.table_drops[0].get() >= nat.table_drops[1].get(),
+            "refusals hit unmapped inbound flows first"
+        );
+        // The zero-impairment link layer passes everything it sees.
+        assert!(report.stats.conservation_holds());
+        assert_eq!(report.stats.offered.get(), report.stats.passed.get());
+        assert!(run.stats.offered[0].get() > 0);
     }
 
     #[test]

@@ -35,10 +35,12 @@
 //! - [`pipeline`] / [`experiments`] (this crate) — one-pass analysis and
 //!   every paper artifact as a typed experiment.
 
+pub mod chaos;
 pub mod experiments;
 pub mod pipeline;
 pub mod sweep;
 
+pub use chaos::{ChaosReport, ChaosSpec};
 pub use experiments::ExperimentId;
 pub use pipeline::{FullAnalysis, MainRun};
 pub use sweep::{run_parallel, RunSummary};

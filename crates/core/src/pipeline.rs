@@ -7,7 +7,7 @@
 //! stored series).
 
 use csprov_analysis::{FlowTable, RateSeries, SizeHistogram, VarianceTime};
-use csprov_game::{ScenarioConfig, TraceOutcome, World, WorldInstruments};
+use csprov_game::{Middlebox, ScenarioConfig, TraceOutcome, World, WorldInstruments};
 use csprov_net::{CountingSink, Direction, TraceRecord, TraceSink};
 use csprov_obs::MetricsRegistry;
 use csprov_sim::{SimDuration, SimTime};
@@ -224,8 +224,22 @@ impl MainRun {
         instruments: WorldInstruments,
         registry: Option<&MetricsRegistry>,
     ) -> MainRun {
+        Self::execute_with_middlebox(config, None, instruments, registry)
+    }
+
+    /// [`MainRun::execute_instrumented`] with a middlebox installed on the
+    /// server's uplink — the hook chaos campaigns use to impair traffic
+    /// before it reaches the tap. `None` is exactly
+    /// [`MainRun::execute_instrumented`].
+    pub fn execute_with_middlebox(
+        config: ScenarioConfig,
+        middlebox: Option<Rc<dyn Middlebox>>,
+        instruments: WorldInstruments,
+        registry: Option<&MetricsRegistry>,
+    ) -> MainRun {
         let analysis = Rc::new(RefCell::new(FullAnalysis::new(config.duration)));
-        let outcome = World::run_instrumented(config.clone(), analysis.clone(), None, instruments);
+        let outcome =
+            World::run_instrumented(config.clone(), analysis.clone(), middlebox, instruments);
         let analysis = Rc::try_unwrap(analysis)
             .map_err(|_| ())
             .expect("world must release the sink")

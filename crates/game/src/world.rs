@@ -24,7 +24,11 @@ use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
 /// Continuation invoked when a packet leaves a [`Middlebox`].
-pub type Deliver = Box<dyn FnOnce(&mut Simulator, Packet)>;
+///
+/// `Fn`, not `FnOnce`: an impairing middlebox may deliver the same packet
+/// more than once (duplication) or stash the continuation in a scheduled
+/// event (reordering), so the continuation must be re-invocable.
+pub type Deliver = Box<dyn Fn(&mut Simulator, Packet)>;
 
 /// A packet-forwarding middlebox (e.g. the NAT device of Section IV).
 ///
@@ -68,6 +72,11 @@ pub struct TraceOutcome {
     pub mean_players: f64,
     /// Total simulator events executed (performance accounting).
     pub events_executed: u64,
+    /// Snapshots shed by the server's send-queue limit (0 unless the tick
+    /// burst overran `send_queue_limit`).
+    pub snapshots_shed: u64,
+    /// Ticks whose burst overran the send-queue limit.
+    pub tick_overruns: u64,
 }
 
 struct ActiveClient {
@@ -230,6 +239,8 @@ impl World {
         if let Some(m) = &st.metrics {
             m.sim_events.add(sim.events_executed());
             m.sim_queue_hwm.set(sim.queue_high_water() as i64);
+            m.snapshots_shed.add(st.server.shed_snapshots());
+            m.tick_overruns.add(st.server.overrun_ticks());
         }
         let mean_players = st.player_integral / duration.as_secs_f64().max(1e-9);
         TraceOutcome {
@@ -240,6 +251,8 @@ impl World {
             players_per_minute: std::mem::take(&mut st.players_per_minute),
             mean_players,
             events_executed: sim.events_executed(),
+            snapshots_shed: st.server.shed_snapshots(),
+            tick_overruns: st.server.overrun_ticks(),
         }
     }
 }

@@ -15,12 +15,16 @@
 //!   binary trace format.
 //! - [`pcap`] — classic libpcap export of fully checksummed synthetic
 //!   frames (and the reverse parse).
-//! - [`fault`] — drop/corrupt/shape fault injection, mirroring the knobs of
-//!   smoltcp's example harnesses.
+//! - [`fault`] — a composable impairment stack (uniform and Gilbert–Elliott
+//!   bursty loss, corruption, shaping, reordering, duplication), mirroring
+//!   the knobs of smoltcp's example harnesses.
+//! - [`error`] — the typed error taxonomy for the ingest path; malformed
+//!   captures degrade the analysis instead of unwinding the process.
 //! - [`metrics`] — optional aggregate link instrumentation backed by
 //!   `csprov-obs`; attaching it never changes queueing or loss decisions.
 
 pub mod addr;
+pub mod error;
 pub mod fault;
 pub mod link;
 pub mod metrics;
@@ -30,8 +34,12 @@ pub mod trace;
 pub mod wire;
 
 pub use addr::{client_endpoint, server_endpoint, Endpoint, MacAddr};
-pub use fault::{FaultConfig, FaultInjector, FaultStats, RateLimit};
+pub use error::{Error, ReplayReport};
+pub use fault::{
+    BurstLoss, DropCause, DuplicateConfig, Fate, FaultConfig, FaultInjector, FaultStats, RateLimit,
+    ReorderConfig,
+};
 pub use link::{Link, LinkClass, LinkConfig, LinkStats};
-pub use metrics::LinkMetrics;
+pub use metrics::{FaultMetrics, LinkMetrics};
 pub use packet::{Direction, Packet, PacketKind, CAPTURE_OVERHEAD_BYTES, WIRE_OVERHEAD_BYTES};
 pub use trace::{CountingSink, NullSink, Tee, TraceReader, TraceRecord, TraceSink, TraceWriter};

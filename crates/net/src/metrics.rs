@@ -36,3 +36,43 @@ impl LinkMetrics {
         }
     }
 }
+
+/// Instruments mirroring [`crate::fault::FaultStats`] for one impairment
+/// point. Like all obs attachments these sit in the reporting channel only:
+/// the injector's own `csprov-sim` counters stay authoritative and fate
+/// decisions never read them back.
+#[derive(Clone)]
+pub struct FaultMetrics {
+    /// Packets offered to the injector (`net.fault.offered`).
+    pub offered: Counter,
+    /// Packets passed unharmed (`net.fault.passed`).
+    pub passed: Counter,
+    /// Uniform random drops (`net.fault.dropped_random`).
+    pub dropped_random: Counter,
+    /// Gilbert–Elliott bursty-loss drops (`net.fault.dropped_burst`).
+    pub dropped_burst: Counter,
+    /// Corruption losses (`net.fault.corrupted`).
+    pub corrupted: Counter,
+    /// Rate-shaping drops (`net.fault.shaped`).
+    pub shaped: Counter,
+    /// Packets held back for delayed delivery (`net.fault.reordered`).
+    pub reordered: Counter,
+    /// Packets delivered twice (`net.fault.duplicated`).
+    pub duplicated: Counter,
+}
+
+impl FaultMetrics {
+    /// Registers the `net.fault.*` instruments.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        FaultMetrics {
+            offered: registry.counter("net.fault.offered"),
+            passed: registry.counter("net.fault.passed"),
+            dropped_random: registry.counter("net.fault.dropped_random"),
+            dropped_burst: registry.counter("net.fault.dropped_burst"),
+            corrupted: registry.counter("net.fault.corrupted"),
+            shaped: registry.counter("net.fault.shaped"),
+            reordered: registry.counter("net.fault.reordered"),
+            duplicated: registry.counter("net.fault.duplicated"),
+        }
+    }
+}

@@ -6,8 +6,9 @@
 //! which exercises the wire-format parsers end to end.
 
 use crate::addr::MacAddr;
+use crate::error::{Error, ReplayReport};
 use crate::packet::{Direction, PacketKind, CAPTURE_OVERHEAD_BYTES};
-use crate::trace::{TraceRecord, TraceSink};
+use crate::trace::{read_full, TraceRecord, TraceSink};
 use crate::wire::{
     EtherType, EthernetFrame, IpProtocol, Ipv4Packet, UdpDatagram, ETHERNET_HEADER_LEN,
     IPV4_HEADER_LEN, UDP_HEADER_LEN,
@@ -224,40 +225,84 @@ pub struct PcapReader<R: Read> {
 
 impl<R: Read> PcapReader<R> {
     /// Creates a reader, validating the global header.
-    pub fn new(mut inner: R) -> io::Result<Self> {
+    pub fn new(mut inner: R) -> Result<Self, Error> {
         let mut hdr = [0u8; 24];
-        inner.read_exact(&mut hdr)?;
-        let magic = u32::from_le_bytes(hdr[0..4].try_into().unwrap());
-        if magic != PCAP_MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad pcap magic"));
+        if !read_full(&mut inner, &mut hdr, Error::TruncatedRecord)? {
+            return Err(Error::TruncatedRecord);
         }
-        let linktype = u32::from_le_bytes(hdr[20..24].try_into().unwrap());
+        let magic = crate::trace::le_u32(&hdr[0..4]);
+        if magic != PCAP_MAGIC {
+            return Err(Error::BadMagic("pcap"));
+        }
+        let linktype = crate::trace::le_u32(&hdr[20..24]);
         if linktype != LINKTYPE_ETHERNET {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "unsupported linktype",
-            ));
+            return Err(Error::UnsupportedLinkType(linktype));
         }
         Ok(PcapReader { inner })
     }
 
-    /// Reads the next frame; `Ok(None)` at a clean end of file.
-    pub fn read(&mut self) -> io::Result<Option<TraceRecord>> {
+    /// Reads the raw bytes of the next frame: `Ok(None)` at a clean end of
+    /// file, the frame body and its timestamp otherwise.
+    fn read_frame_bytes(&mut self) -> Result<Option<(Vec<u8>, SimTime)>, Error> {
         let mut hdr = [0u8; 16];
-        match self.inner.read_exact(&mut hdr) {
-            Ok(()) => {}
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-            Err(e) => return Err(e),
+        if !read_full(&mut self.inner, &mut hdr, Error::TruncatedFrame)? {
+            return Ok(None);
         }
-        let secs = u32::from_le_bytes(hdr[0..4].try_into().unwrap());
-        let micros = u32::from_le_bytes(hdr[4..8].try_into().unwrap());
-        let incl = u32::from_le_bytes(hdr[8..12].try_into().unwrap()) as usize;
-        let mut frame = vec![0u8; incl];
-        self.inner.read_exact(&mut frame)?;
+        let secs = crate::trace::le_u32(&hdr[0..4]);
+        let micros = crate::trace::le_u32(&hdr[4..8]);
+        let incl = crate::trace::le_u32(&hdr[8..12]);
+        // Bound the allocation before trusting the declared length: a
+        // corrupted header must not make the reader buffer gigabytes.
+        if incl > SNAPLEN {
+            return Err(Error::OversizedFrame(incl));
+        }
+        let mut frame = vec![0u8; incl as usize];
+        if incl > 0 && !read_full(&mut self.inner, &mut frame, Error::TruncatedFrame)? {
+            // Zero bytes of the body present: still truncation — the frame
+            // header promised `incl` more bytes.
+            return Err(Error::TruncatedFrame);
+        }
         let time = SimTime::from_nanos(u64::from(secs) * 1_000_000_000 + u64::from(micros) * 1_000);
-        parse_frame(&frame, time)
-            .map(Some)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+        Ok(Some((frame, time)))
+    }
+
+    /// Reads the next frame; `Ok(None)` at a clean end of file.
+    pub fn read(&mut self) -> Result<Option<TraceRecord>, Error> {
+        match self.read_frame_bytes()? {
+            Some((frame, time)) => parse_frame(&frame, time).map(Some).map_err(Error::Wire),
+            None => Ok(None),
+        }
+    }
+
+    /// Drains the capture into a sink, skipping-and-counting frames that
+    /// fail wire-level validation (frame boundaries come from the pcap
+    /// packet headers, so one bad frame never desynchronizes the next). A
+    /// capture that ends mid-frame sets [`ReplayReport::truncated`]; only
+    /// I/O errors and oversized-frame headers abort.
+    pub fn replay_lossy(&mut self, sink: &mut dyn TraceSink) -> Result<ReplayReport, Error> {
+        let mut report = ReplayReport::default();
+        let mut last = SimTime::ZERO;
+        loop {
+            let (frame, time) = match self.read_frame_bytes() {
+                Ok(Some(pair)) => pair,
+                Ok(None) => break,
+                Err(Error::TruncatedFrame) => {
+                    report.truncated = true;
+                    break;
+                }
+                Err(e) => return Err(e),
+            };
+            match parse_frame(&frame, time) {
+                Ok(rec) => {
+                    last = rec.time;
+                    report.delivered += 1;
+                    sink.on_packet(&rec);
+                }
+                Err(_) => report.skipped += 1,
+            }
+        }
+        sink.on_end(last);
+        Ok(report)
     }
 }
 
@@ -353,6 +398,55 @@ mod tests {
     fn reader_rejects_garbage() {
         assert!(PcapReader::new(&[0u8; 24][..]).is_err());
         assert!(PcapReader::new(&[0u8; 3][..]).is_err());
+    }
+
+    #[test]
+    fn oversized_frame_header_is_rejected_before_allocation() {
+        let w = PcapWriter::new(Vec::new()).unwrap();
+        let mut bytes = w.finish().unwrap();
+        // Hand-craft a frame header declaring a 1 GiB body.
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // ts_sec
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // ts_usec
+        bytes.extend_from_slice(&(1u32 << 30).to_le_bytes()); // incl_len
+        bytes.extend_from_slice(&(1u32 << 30).to_le_bytes()); // orig_len
+        let mut r = PcapReader::new(&bytes[..]).unwrap();
+        assert!(matches!(r.read(), Err(Error::OversizedFrame(n)) if n == 1 << 30));
+    }
+
+    #[test]
+    fn lossy_replay_skips_damaged_frames() {
+        let records = vec![
+            rec(0, Direction::Inbound, PacketKind::ConnectRequest, 1, 25),
+            rec(50, Direction::Outbound, PacketKind::ConnectReply, 1, 12),
+            rec(100, Direction::Inbound, PacketKind::ClientCommand, 1, 41),
+        ];
+        let mut w = PcapWriter::new(Vec::new()).unwrap();
+        for r in &records {
+            w.write(r).unwrap();
+        }
+        let mut bytes = w.finish().unwrap();
+        // Corrupt the last payload byte of frame 1 (checksum now fails) and
+        // cut the final frame short.
+        let f0_len = 16 + capture_len(&records[0]) as usize;
+        let f1_len = 16 + capture_len(&records[1]) as usize;
+        let f1_end = 24 + f0_len + f1_len;
+        bytes[f1_end - 1] ^= 0xff;
+        bytes.truncate(bytes.len() - 7);
+
+        let mut sink = crate::trace::CountingSink::new();
+        let report = PcapReader::new(&bytes[..])
+            .unwrap()
+            .replay_lossy(&mut sink)
+            .unwrap();
+        assert_eq!(
+            report,
+            ReplayReport {
+                delivered: 1,
+                skipped: 1,
+                truncated: true,
+            }
+        );
+        assert_eq!(sink.total_packets(), 1);
     }
 
     #[test]

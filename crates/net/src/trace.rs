@@ -6,9 +6,52 @@
 //! For persistence there is a compact fixed-width binary format
 //! ([`TraceWriter`]/[`TraceReader`]) and a pcap exporter in [`crate::pcap`].
 
+use crate::error::{Error, ReplayReport};
 use crate::packet::{Direction, Packet, PacketKind, WIRE_OVERHEAD_BYTES};
 use csprov_sim::SimTime;
 use std::io::{self, Read, Write};
+
+/// Reads `buf.len()` bytes, distinguishing a clean end of stream (zero bytes
+/// read → `Ok(false)`) from truncation mid-unit (some bytes read, then EOF).
+pub(crate) fn read_full<R: Read>(
+    inner: &mut R,
+    buf: &mut [u8],
+    truncation: Error,
+) -> Result<bool, Error> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match inner.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(false);
+                }
+                return Err(truncation);
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(Error::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+pub(crate) fn le_u64(b: &[u8]) -> u64 {
+    let mut a = [0u8; 8];
+    a.copy_from_slice(b);
+    u64::from_le_bytes(a)
+}
+
+pub(crate) fn le_u32(b: &[u8]) -> u32 {
+    let mut a = [0u8; 4];
+    a.copy_from_slice(b);
+    u32::from_le_bytes(a)
+}
+
+pub(crate) fn le_u16(b: &[u8]) -> u16 {
+    let mut a = [0u8; 2];
+    a.copy_from_slice(b);
+    u16::from_le_bytes(a)
+}
 
 /// One observed packet, as recorded at a tap point.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -318,64 +361,64 @@ pub struct TraceReader<R: Read> {
 
 impl<R: Read> TraceReader<R> {
     /// Creates a reader, validating the header.
-    pub fn new(mut inner: R) -> io::Result<Self> {
+    pub fn new(mut inner: R) -> Result<Self, Error> {
         let mut hdr = [0u8; 8];
-        inner.read_exact(&mut hdr)?;
-        if &hdr[0..4] != TRACE_MAGIC {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        if !read_full(&mut inner, &mut hdr, Error::TruncatedRecord)? {
+            return Err(Error::TruncatedRecord);
         }
-        let version = u16::from_le_bytes([hdr[4], hdr[5]]);
+        if &hdr[0..4] != TRACE_MAGIC {
+            return Err(Error::BadMagic("CSPT trace"));
+        }
+        let version = le_u16(&hdr[4..6]);
         if version != TRACE_VERSION {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unsupported trace version {version}"),
-            ));
+            return Err(Error::UnsupportedVersion(version));
         }
         Ok(TraceReader { inner })
     }
 
-    /// Reads the next record; `Ok(None)` at a clean end of stream.
-    pub fn read(&mut self) -> io::Result<Option<TraceRecord>> {
+    /// Reads the raw bytes of the next record; `Ok(None)` at a clean end of
+    /// stream, [`Error::TruncatedRecord`] when the stream dies mid-record.
+    fn read_record_bytes(&mut self) -> Result<Option<[u8; RECORD_LEN]>, Error> {
         let mut buf = [0u8; RECORD_LEN];
-        match self.inner.read_exact(&mut buf) {
-            Ok(()) => {}
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-            Err(e) => return Err(e),
+        if read_full(&mut self.inner, &mut buf, Error::TruncatedRecord)? {
+            Ok(Some(buf))
+        } else {
+            Ok(None)
         }
-        let time = SimTime::from_nanos(u64::from_le_bytes(buf[0..8].try_into().unwrap()));
-        let session = u32::from_le_bytes(buf[8..12].try_into().unwrap());
-        let app_len = u32::from_le_bytes(buf[12..16].try_into().unwrap());
+    }
+
+    /// Decodes one record from its fixed-width bytes.
+    fn decode_record(buf: &[u8; RECORD_LEN]) -> Result<TraceRecord, Error> {
         let direction = match buf[16] {
             0 => Direction::Inbound,
             1 => Direction::Outbound,
-            other => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("bad direction tag {other}"),
-                ))
-            }
+            other => return Err(Error::BadDirectionTag(other)),
         };
-        let kind = PacketKind::from_u8(buf[17]).ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("bad kind tag {}", buf[17]),
-            )
-        })?;
-        Ok(Some(TraceRecord {
-            time,
+        let kind = PacketKind::from_u8(buf[17]).ok_or(Error::BadKindTag(buf[17]))?;
+        Ok(TraceRecord {
+            time: SimTime::from_nanos(le_u64(&buf[0..8])),
             direction,
             kind,
-            session,
-            app_len,
-        }))
+            session: le_u32(&buf[8..12]),
+            app_len: le_u32(&buf[12..16]),
+        })
+    }
+
+    /// Reads the next record; `Ok(None)` at a clean end of stream.
+    pub fn read(&mut self) -> Result<Option<TraceRecord>, Error> {
+        match self.read_record_bytes()? {
+            Some(buf) => Self::decode_record(&buf).map(Some),
+            None => Ok(None),
+        }
     }
 
     /// Drains the stream into a sink; returns the record count.
     ///
     /// Records are delivered through [`TraceSink::on_batch`] in chunks so
     /// batching sinks amortize their dispatch; order and `on_end` semantics
-    /// match a record-at-a-time replay exactly.
-    pub fn replay(&mut self, sink: &mut dyn TraceSink) -> io::Result<u64> {
+    /// match a record-at-a-time replay exactly. Strict: the first error of
+    /// any kind aborts the replay.
+    pub fn replay(&mut self, sink: &mut dyn TraceSink) -> Result<u64, Error> {
         const CHUNK: usize = 256;
         let mut buf = Vec::with_capacity(CHUNK);
         let mut n = 0;
@@ -393,6 +436,46 @@ impl<R: Read> TraceReader<R> {
         n += buf.len() as u64;
         sink.on_end(last);
         Ok(n)
+    }
+
+    /// Drains the stream into a sink, skipping-and-counting records that
+    /// fail to decode (bad tags). Record boundaries are fixed-width, so a
+    /// damaged record never desynchronizes the ones after it. A stream that
+    /// ends mid-record sets [`ReplayReport::truncated`] instead of failing;
+    /// only I/O errors abort.
+    pub fn replay_lossy(&mut self, sink: &mut dyn TraceSink) -> Result<ReplayReport, Error> {
+        const CHUNK: usize = 256;
+        let mut buf = Vec::with_capacity(CHUNK);
+        let mut report = ReplayReport::default();
+        let mut last = SimTime::ZERO;
+        loop {
+            let raw = match self.read_record_bytes() {
+                Ok(Some(raw)) => raw,
+                Ok(None) => break,
+                Err(Error::TruncatedRecord) => {
+                    report.truncated = true;
+                    break;
+                }
+                Err(e) => return Err(e),
+            };
+            match Self::decode_record(&raw) {
+                Ok(rec) => {
+                    last = rec.time;
+                    buf.push(rec);
+                    if buf.len() == CHUNK {
+                        report.delivered += buf.len() as u64;
+                        sink.on_batch(&buf);
+                        buf.clear();
+                    }
+                }
+                Err(e) if e.is_decode() => report.skipped += 1,
+                Err(e) => return Err(e),
+            }
+        }
+        report.delivered += buf.len() as u64;
+        sink.on_batch(&buf);
+        sink.on_end(last);
+        Ok(report)
     }
 }
 
@@ -540,6 +623,78 @@ mod tests {
         assert_eq!(n, 10);
         assert_eq!(sink.total_packets(), 10);
         assert_eq!(sink.end, Some(SimTime::from_millis(9)));
+    }
+
+    #[test]
+    fn truncation_mid_record_is_typed() {
+        let mut w = TraceWriter::new(Vec::new()).unwrap();
+        w.write(&rec(0, Direction::Inbound, PacketKind::ClientCommand, 0, 1))
+            .unwrap();
+        let bytes = w.finish().unwrap();
+        // Cut the last record short by one byte.
+        let cut = &bytes[..bytes.len() - 1];
+        let mut r = TraceReader::new(cut).unwrap();
+        assert!(matches!(r.read(), Err(Error::TruncatedRecord)));
+    }
+
+    #[test]
+    fn lossy_replay_skips_and_counts() {
+        let mut w = TraceWriter::new(Vec::new()).unwrap();
+        for i in 0..6 {
+            w.write(&rec(
+                i,
+                Direction::Inbound,
+                PacketKind::ClientCommand,
+                1,
+                40,
+            ))
+            .unwrap();
+        }
+        let mut bytes = w.finish().unwrap();
+        bytes[8 + 16] = 9; // record 0: direction tag out of range
+        bytes[8 + 3 * RECORD_LEN + 17] = 200; // record 3: kind tag out of range
+        bytes.truncate(bytes.len() - 5); // record 5 cut mid-record
+
+        let mut sink = CountingSink::new();
+        let report = TraceReader::new(&bytes[..])
+            .unwrap()
+            .replay_lossy(&mut sink)
+            .unwrap();
+        assert_eq!(
+            report,
+            ReplayReport {
+                delivered: 3,
+                skipped: 2,
+                truncated: true,
+            }
+        );
+        assert_eq!(sink.total_packets(), 3);
+        // A damaged record never desynchronizes its neighbours: the last
+        // intact record (index 4) still lands with its own timestamp.
+        assert_eq!(sink.end, Some(SimTime::from_millis(4)));
+    }
+
+    #[test]
+    fn strict_replay_aborts_on_first_decode_error() {
+        let mut w = TraceWriter::new(Vec::new()).unwrap();
+        for i in 0..3 {
+            w.write(&rec(
+                i,
+                Direction::Inbound,
+                PacketKind::ClientCommand,
+                1,
+                40,
+            ))
+            .unwrap();
+        }
+        let mut bytes = w.finish().unwrap();
+        bytes[8 + RECORD_LEN + 16] = 7;
+        let mut sink = CountingSink::new();
+        let err = TraceReader::new(&bytes[..])
+            .unwrap()
+            .replay(&mut sink)
+            .unwrap_err();
+        assert!(matches!(err, Error::BadDirectionTag(7)));
     }
 
     #[test]

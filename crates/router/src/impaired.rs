@@ -1,12 +1,20 @@
-//! An impairment wrapper around any [`Middlebox`]: applies a
-//! [`FaultInjector`] (random drop / corruption / token-bucket shaping)
-//! before delegating. Composes the smoltcp-style fault-injection layer with
-//! the NAT device, e.g. to study how background loss stacks with the
-//! device's own queue loss — the paper's observation that players self-tune
-//! to the worst tolerable loss means small additions matter.
+//! An impairment wrapper around any [`Middlebox`]: applies a per-direction
+//! [`FaultInjector`] (uniform and Gilbert–Elliott bursty loss, corruption,
+//! token-bucket shaping, reordering, duplication) before delegating.
+//! Composes the smoltcp-style fault-injection layer with the NAT device,
+//! e.g. to study how background loss stacks with the device's own queue
+//! loss — the paper's observation that players self-tune to the worst
+//! tolerable loss means small additions matter.
+//!
+//! Reordered packets are re-enqueued through the sim scheduler after a
+//! jittered delay; duplicated ones are delivered immediately *and* again
+//! after the delay — both copies pass through the inner middlebox, exactly
+//! as a real duplicate would arrive at the NAT twice. Both directions pull
+//! randomness from streams derived from one seed, so a chaos campaign is
+//! replayable bit-for-bit.
 
 use csprov_game::{Deliver, Middlebox};
-use csprov_net::{FaultConfig, FaultInjector, FaultStats, Packet};
+use csprov_net::{Direction, Fate, FaultConfig, FaultInjector, FaultMetrics, FaultStats, Packet};
 use csprov_sim::{RngStream, Simulator};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -14,33 +22,111 @@ use std::rc::Rc;
 /// A middlebox that impairs traffic before (optionally) forwarding it on to
 /// an inner middlebox.
 pub struct ImpairedPath {
-    injector: RefCell<FaultInjector>,
+    inbound: RefCell<FaultInjector>,
+    outbound: RefCell<FaultInjector>,
     inner: Option<Rc<dyn Middlebox>>,
+    metrics: RefCell<Option<FaultMetrics>>,
 }
 
 impl ImpairedPath {
-    /// Wraps `inner` with the given impairments.
+    /// Wraps `inner`, impairing both directions with the same config (each
+    /// direction still draws from its own derived RNG stream).
     pub fn new(config: FaultConfig, rng: RngStream, inner: Option<Rc<dyn Middlebox>>) -> Self {
+        Self::with_directions(config.clone(), config, rng, inner)
+    }
+
+    /// Wraps `inner` with separate impairments per direction. Both
+    /// injectors report into one shared [`FaultStats`] bundle.
+    pub fn with_directions(
+        inbound: FaultConfig,
+        outbound: FaultConfig,
+        rng: RngStream,
+        inner: Option<Rc<dyn Middlebox>>,
+    ) -> Self {
+        let stats = FaultStats::default();
         ImpairedPath {
-            injector: RefCell::new(FaultInjector::new(config, rng)),
+            inbound: RefCell::new(FaultInjector::with_stats(
+                inbound,
+                rng.derive("inbound"),
+                stats.clone(),
+            )),
+            outbound: RefCell::new(FaultInjector::with_stats(
+                outbound,
+                rng.derive("outbound"),
+                stats,
+            )),
             inner,
+            metrics: RefCell::new(None),
         }
     }
 
-    /// Handles to the impairment counters.
+    /// Handles to the impairment counters (shared by both directions).
     pub fn stats(&self) -> FaultStats {
-        self.injector.borrow().stats()
+        self.inbound.borrow().stats()
+    }
+
+    /// Attaches registry-backed instruments mirroring the fate counters.
+    /// Observe-only: fate decisions never read them back.
+    pub fn attach_metrics(&self, metrics: FaultMetrics) {
+        *self.metrics.borrow_mut() = Some(metrics);
+    }
+
+    fn mirror(&self, fate: Fate) {
+        if let Some(m) = self.metrics.borrow().as_ref() {
+            m.offered.incr();
+            use csprov_net::DropCause;
+            match fate {
+                Fate::Deliver => m.passed.incr(),
+                Fate::DeliverDelayed(_) => m.reordered.incr(),
+                Fate::Duplicate(_) => m.duplicated.incr(),
+                Fate::Drop(DropCause::Random) => m.dropped_random.incr(),
+                Fate::Drop(DropCause::Burst) => m.dropped_burst.incr(),
+                Fate::Drop(DropCause::Corrupt) => m.corrupted.incr(),
+                Fate::Drop(DropCause::Shaped) => m.shaped.incr(),
+            }
+        }
+    }
+}
+
+/// Hands a surviving packet to the inner middlebox, or straight to the
+/// delivery continuation when there is none.
+fn pass_on(inner: &Option<Rc<dyn Middlebox>>, sim: &mut Simulator, pkt: Packet, deliver: Deliver) {
+    match inner {
+        Some(inner) => inner.forward(sim, pkt, deliver),
+        None => deliver(sim, pkt),
     }
 }
 
 impl Middlebox for ImpairedPath {
     fn forward(&self, sim: &mut Simulator, pkt: Packet, deliver: Deliver) {
-        if !self.injector.borrow_mut().admit(sim.now(), &pkt) {
-            return;
-        }
-        match &self.inner {
-            Some(inner) => inner.forward(sim, pkt, deliver),
-            None => deliver(sim, pkt),
+        let injector = match pkt.direction {
+            Direction::Inbound => &self.inbound,
+            Direction::Outbound => &self.outbound,
+        };
+        let fate = injector.borrow_mut().decide(sim.now(), &pkt);
+        self.mirror(fate);
+        match fate {
+            Fate::Drop(_) => {}
+            Fate::Deliver => pass_on(&self.inner, sim, pkt, deliver),
+            Fate::DeliverDelayed(d) => {
+                let inner = self.inner.clone();
+                sim.schedule_in(d, move |sim| pass_on(&inner, sim, pkt, deliver));
+            }
+            Fate::Duplicate(d) => {
+                let deliver: Rc<Deliver> = Rc::from(deliver);
+                let first = deliver.clone();
+                pass_on(
+                    &self.inner,
+                    sim,
+                    pkt,
+                    Box::new(move |sim, pkt| first(sim, pkt)),
+                );
+                let inner = self.inner.clone();
+                sim.schedule_in(d, move |sim| {
+                    let copy = deliver.clone();
+                    pass_on(&inner, sim, pkt, Box::new(move |sim, pkt| copy(sim, pkt)));
+                });
+            }
         }
     }
 }
@@ -50,8 +136,8 @@ mod tests {
     use super::*;
     use crate::engine::EngineConfig;
     use crate::nat::{NatDevice, NatTaps};
-    use csprov_net::{client_endpoint, server_endpoint, Direction, PacketKind};
-    use csprov_sim::SimTime;
+    use csprov_net::{client_endpoint, server_endpoint, PacketKind};
+    use csprov_sim::{SimDuration, SimTime};
 
     fn pkt(i: u32) -> Packet {
         Packet {
@@ -128,5 +214,94 @@ mod tests {
         sim.run();
         assert_eq!(*delivered.borrow(), 10);
         assert_eq!(path.stats().shaped.get(), 90);
+    }
+
+    #[test]
+    fn reordered_packets_arrive_later_in_order_of_delay() {
+        let path = Rc::new(ImpairedPath::new(
+            FaultConfig {
+                reorder: Some(csprov_net::ReorderConfig {
+                    chance: 1.0,
+                    delay_min: SimDuration::from_millis(10),
+                    delay_max: SimDuration::from_millis(10),
+                }),
+                ..Default::default()
+            },
+            RngStream::new(4),
+            None,
+        ));
+        let mut sim = Simulator::new();
+        let times: Rc<RefCell<Vec<SimTime>>> = Rc::new(RefCell::new(Vec::new()));
+        let t = times.clone();
+        path.forward(
+            &mut sim,
+            pkt(0),
+            Box::new(move |sim, _| t.borrow_mut().push(sim.now())),
+        );
+        sim.run();
+        assert_eq!(*times.borrow(), vec![SimTime::from_millis(10)]);
+        assert_eq!(path.stats().reordered.get(), 1);
+    }
+
+    #[test]
+    fn duplicates_deliver_twice_through_inner() {
+        let nat = Rc::new(NatDevice::new(EngineConfig::default(), NatTaps::default()));
+        let path = ImpairedPath::new(
+            FaultConfig {
+                duplicate: Some(csprov_net::DuplicateConfig {
+                    chance: 1.0,
+                    delay_min: SimDuration::from_millis(2),
+                    delay_max: SimDuration::from_millis(2),
+                }),
+                ..Default::default()
+            },
+            RngStream::new(5),
+            Some(nat.clone()),
+        );
+        let mut sim = Simulator::new();
+        let delivered = Rc::new(RefCell::new(0));
+        let d = delivered.clone();
+        path.forward(&mut sim, pkt(0), Box::new(move |_, _| *d.borrow_mut() += 1));
+        sim.run();
+        assert_eq!(*delivered.borrow(), 2, "original + duplicate");
+        assert_eq!(path.stats().duplicated.get(), 1);
+        // Both copies crossed the inner NAT device.
+        assert_eq!(nat.stats().offered[0].get(), 2);
+        assert!(path.stats().conservation_holds());
+    }
+
+    #[test]
+    fn per_direction_configs_are_independent() {
+        // Drop every inbound packet; leave outbound untouched.
+        let path = ImpairedPath::with_directions(
+            FaultConfig {
+                drop_chance: 1.0,
+                ..Default::default()
+            },
+            FaultConfig::default(),
+            RngStream::new(6),
+            None,
+        );
+        let mut sim = Simulator::new();
+        let delivered = Rc::new(RefCell::new(0));
+        for i in 0..10 {
+            let d = delivered.clone();
+            path.forward(&mut sim, pkt(i), Box::new(move |_, _| *d.borrow_mut() += 1));
+        }
+        let mut out = pkt(0);
+        out.direction = Direction::Outbound;
+        out.src = server_endpoint();
+        out.dst = client_endpoint(0);
+        for _ in 0..10 {
+            let d = delivered.clone();
+            path.forward(&mut sim, out, Box::new(move |_, _| *d.borrow_mut() += 1));
+        }
+        sim.run();
+        assert_eq!(*delivered.borrow(), 10, "only outbound survives");
+        let s = path.stats();
+        assert_eq!(s.dropped.get(), 10);
+        assert_eq!(s.passed.get(), 10);
+        assert_eq!(s.offered.get(), 20);
+        assert!(s.conservation_holds());
     }
 }

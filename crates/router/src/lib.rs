@@ -33,6 +33,6 @@ pub use cache::{simulate_cache, CachePolicy, CacheSimResult, RouteCache};
 pub use engine::{EngineConfig, EngineStats, ForwardingEngine};
 pub use impaired::ImpairedPath;
 pub use metrics::RouterMetrics;
-pub use nat::{NatDevice, NatEntry, NatTable, NatTaps};
+pub use nat::{NatDevice, NatEntry, NatStats, NatTable, NatTableConfig, NatTaps, TouchOutcome};
 pub use provision::{provision, required_capacity, servers_supported, GameLoad, Provisioning};
 pub use table::{NextHop, RouteTable};

@@ -30,6 +30,11 @@ pub struct RouterMetrics {
     pub nat_table_size: Gauge,
     /// Packets refused because the table was full (`router.nat.table_drops`).
     pub nat_table_drops: Counter,
+    /// Idle mappings reclaimed under table pressure (`router.nat.evictions`).
+    pub nat_evictions: Counter,
+    /// Mappings created only after reclaiming idle entries
+    /// (`router.nat.recoveries`).
+    pub nat_recoveries: Counter,
 }
 
 impl RouterMetrics {
@@ -46,6 +51,8 @@ impl RouterMetrics {
             queue_depth: registry.gauge("router.engine.queue_depth"),
             nat_table_size: registry.gauge("router.nat.table_size"),
             nat_table_drops: registry.counter("router.nat.table_drops"),
+            nat_evictions: registry.counter("router.nat.evictions"),
+            nat_recoveries: registry.counter("router.nat.recoveries"),
         }
     }
 

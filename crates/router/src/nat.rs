@@ -14,6 +14,56 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
+/// Sizing of the translation table — the degradation knob of the
+/// NAT-exhaustion chaos campaign. The default mirrors a commodity box with
+/// plenty of headroom for one game server's flows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NatTableConfig {
+    /// Maximum simultaneous mappings.
+    pub capacity: usize,
+    /// Idle time after which a mapping may be reclaimed.
+    pub idle_timeout: SimDuration,
+}
+
+impl Default for NatTableConfig {
+    fn default() -> Self {
+        NatTableConfig {
+            capacity: 4096,
+            idle_timeout: SimDuration::from_secs(300),
+        }
+    }
+}
+
+/// What happened to one [`NatTable::touch_outcome`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TouchOutcome {
+    /// The flow already had a mapping; it was refreshed.
+    Existing(u16),
+    /// A new mapping was created without pressure.
+    Inserted(u16),
+    /// The table was full, but expiring idle entries recovered room.
+    Recovered {
+        /// Port of the new mapping.
+        port: u16,
+        /// Idle entries evicted to make room.
+        evicted: usize,
+    },
+    /// The table was full and nothing was idle: the packet has no mapping.
+    Refused,
+}
+
+impl TouchOutcome {
+    /// The external port, when a mapping exists.
+    pub fn port(self) -> Option<u16> {
+        match self {
+            TouchOutcome::Existing(p)
+            | TouchOutcome::Inserted(p)
+            | TouchOutcome::Recovered { port: p, .. } => Some(p),
+            TouchOutcome::Refused => None,
+        }
+    }
+}
+
 /// Dynamic port-translation table with idle expiry.
 ///
 /// The game server sits on the LAN side; each client flow gets an external
@@ -46,6 +96,11 @@ impl NatTable {
         }
     }
 
+    /// Creates a table from a [`NatTableConfig`].
+    pub fn from_config(config: NatTableConfig) -> Self {
+        Self::new(config.idle_timeout, config.capacity)
+    }
+
     /// Number of live mappings.
     pub fn len(&self) -> usize {
         self.mappings.len()
@@ -64,14 +119,22 @@ impl NatTable {
     /// Touches (or creates) the mapping for `session`; returns its external
     /// port, or `None` if the table is full and no entry could be made.
     pub fn touch(&mut self, session: u32, now: SimTime) -> Option<u16> {
+        self.touch_outcome(session, now).port()
+    }
+
+    /// Like [`NatTable::touch`], but reports *how* the mapping was obtained
+    /// — whether idle entries had to be reclaimed, or the flow was refused —
+    /// so the device can keep eviction/recovery counters.
+    pub fn touch_outcome(&mut self, session: u32, now: SimTime) -> TouchOutcome {
         if let Some(e) = self.mappings.get_mut(&session) {
             e.last_used = now;
-            return Some(e.external_port);
+            return TouchOutcome::Existing(e.external_port);
         }
+        let mut evicted = 0;
         if self.mappings.len() >= self.capacity {
-            self.expire(now);
+            evicted = self.expire(now);
             if self.mappings.len() >= self.capacity {
-                return None;
+                return TouchOutcome::Refused;
             }
         }
         let port = self.next_port;
@@ -83,7 +146,11 @@ impl NatTable {
                 last_used: now,
             },
         );
-        Some(port)
+        if evicted > 0 {
+            TouchOutcome::Recovered { port, evicted }
+        } else {
+            TouchOutcome::Inserted(port)
+        }
     }
 
     /// Evicts entries idle longer than the timeout; returns how many.
@@ -116,24 +183,55 @@ fn tap(t: &Option<Rc<RefCell<dyn TraceSink>>>, now: SimTime, pkt: &Packet) {
     }
 }
 
+/// Degradation counters for the translation table: how the device coped
+/// (or failed to cope) with mapping pressure. Shared handles.
+#[derive(Debug, Clone, Default)]
+pub struct NatStats {
+    /// Packets refused for want of a mapping, per direction
+    /// (`[inbound, outbound]`).
+    pub table_drops: [csprov_sim::Counter; 2],
+    /// Idle entries reclaimed under pressure.
+    pub evictions: csprov_sim::Counter,
+    /// Mappings created only after reclaiming idle entries (graceful
+    /// recovery from a full table).
+    pub recoveries: csprov_sim::Counter,
+}
+
+impl NatStats {
+    /// Total refused packets across both directions.
+    pub fn table_drops_total(&self) -> u64 {
+        self.table_drops[0].get() + self.table_drops[1].get()
+    }
+}
+
 /// The commercial-off-the-shelf NAT device (SMC Barricade stand-in).
 pub struct NatDevice {
     engine: ForwardingEngine,
     table: RefCell<NatTable>,
     taps: NatTaps,
-    /// Packets dropped because the translation table was full.
+    /// Packets dropped because the translation table was full (legacy
+    /// total; [`NatDevice::nat_stats`] splits this by direction).
     pub table_drops: csprov_sim::Counter,
+    nat_stats: NatStats,
     metrics: RefCell<Option<RouterMetrics>>,
 }
 
 impl NatDevice {
-    /// Creates a device with the given engine configuration and taps.
+    /// Creates a device with the given engine configuration and taps, and
+    /// the default (ample) translation table.
     pub fn new(config: EngineConfig, taps: NatTaps) -> Self {
+        Self::with_table(config, NatTableConfig::default(), taps)
+    }
+
+    /// Creates a device with an explicit translation-table sizing — the
+    /// entry point for exhaustion campaigns.
+    pub fn with_table(config: EngineConfig, table: NatTableConfig, taps: NatTaps) -> Self {
         NatDevice {
             engine: ForwardingEngine::new(config),
-            table: RefCell::new(NatTable::new(SimDuration::from_secs(300), 4096)),
+            table: RefCell::new(NatTable::from_config(table)),
             taps,
             table_drops: csprov_sim::Counter::new(),
+            nat_stats: NatStats::default(),
             metrics: RefCell::new(None),
         }
     }
@@ -148,6 +246,11 @@ impl NatDevice {
     /// Engine counters (Table IV's loss accounting).
     pub fn stats(&self) -> EngineStats {
         self.engine.stats()
+    }
+
+    /// Translation-table degradation counters.
+    pub fn nat_stats(&self) -> NatStats {
+        self.nat_stats.clone()
     }
 
     /// Live NAT-table size.
@@ -166,12 +269,29 @@ impl Middlebox for NatDevice {
         // Sessionless probe traffic shares one implicit mapping (the
         // server's static port-forward); session flows get dynamic entries.
         if pkt.session != u32::MAX {
-            if self.table.borrow_mut().touch(pkt.session, now).is_none() {
-                self.table_drops.incr();
-                if let Some(m) = &*self.metrics.borrow() {
-                    m.nat_table_drops.incr();
+            let dir_idx = match pkt.direction {
+                Direction::Inbound => 0,
+                Direction::Outbound => 1,
+            };
+            let outcome = self.table.borrow_mut().touch_outcome(pkt.session, now);
+            match outcome {
+                TouchOutcome::Refused => {
+                    self.table_drops.incr();
+                    self.nat_stats.table_drops[dir_idx].incr();
+                    if let Some(m) = &*self.metrics.borrow() {
+                        m.nat_table_drops.incr();
+                    }
+                    return;
                 }
-                return;
+                TouchOutcome::Recovered { evicted, .. } => {
+                    self.nat_stats.evictions.add(evicted as u64);
+                    self.nat_stats.recoveries.incr();
+                    if let Some(m) = &*self.metrics.borrow() {
+                        m.nat_evictions.add(evicted as u64);
+                        m.nat_recoveries.incr();
+                    }
+                }
+                TouchOutcome::Existing(_) | TouchOutcome::Inserted(_) => {}
             }
             if let Some(m) = &*self.metrics.borrow() {
                 m.nat_table_size.set(self.table.borrow().len() as i64);
@@ -327,6 +447,77 @@ mod tests {
         assert_eq!(m.queue_depth.high_water(), 2);
         assert_eq!(m.nat_table_size.get(), 6);
         assert_eq!(m.nat_table_drops.get(), 0);
+    }
+
+    #[test]
+    fn touch_outcome_distinguishes_pressure() {
+        let mut t = NatTable::new(SimDuration::from_secs(60), 2);
+        assert!(matches!(
+            t.touch_outcome(1, SimTime::ZERO),
+            TouchOutcome::Inserted(_)
+        ));
+        assert!(matches!(
+            t.touch_outcome(1, SimTime::ZERO),
+            TouchOutcome::Existing(_)
+        ));
+        assert!(matches!(
+            t.touch_outcome(2, SimTime::ZERO),
+            TouchOutcome::Inserted(_)
+        ));
+        // Full, nothing idle yet.
+        assert_eq!(
+            t.touch_outcome(3, SimTime::from_secs(1)),
+            TouchOutcome::Refused
+        );
+        // Full, both entries idle: both reclaimed, mapping created.
+        assert!(matches!(
+            t.touch_outcome(3, SimTime::from_secs(120)),
+            TouchOutcome::Recovered { evicted: 2, .. }
+        ));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn exhausted_table_refuses_then_recovers() {
+        // Capacity 2, 10 s idle timeout: sessions 0 and 1 claim the table;
+        // session 2 is refused while they are fresh and admitted after they
+        // idle out.
+        let dev = NatDevice::with_table(
+            EngineConfig::default(),
+            NatTableConfig {
+                capacity: 2,
+                idle_timeout: SimDuration::from_secs(10),
+            },
+            NatTaps::default(),
+        );
+        let mut sim = Simulator::new();
+        dev.forward(&mut sim, pkt(0, Direction::Inbound), Box::new(|_, _| {}));
+        dev.forward(&mut sim, pkt(1, Direction::Inbound), Box::new(|_, _| {}));
+        sim.run();
+        dev.forward(&mut sim, pkt(2, Direction::Inbound), Box::new(|_, _| {}));
+        sim.run();
+        let stats = dev.nat_stats();
+        assert_eq!(stats.table_drops[0].get(), 1, "refused while table hot");
+        assert_eq!(dev.table_drops.get(), 1, "legacy total tracks");
+        assert_eq!(stats.recoveries.get(), 0);
+
+        // 30 simulated seconds later both mappings are idle.
+        let mut sim2 = Simulator::new();
+        sim2.schedule_at(SimTime::from_secs(30), |_| {});
+        sim2.run();
+        let late = Packet {
+            sent_at: SimTime::from_secs(30),
+            ..pkt(2, Direction::Inbound)
+        };
+        let delivered = Rc::new(RefCell::new(0));
+        let d = delivered.clone();
+        dev.forward(&mut sim2, late, Box::new(move |_, _| *d.borrow_mut() += 1));
+        sim2.run();
+        assert_eq!(*delivered.borrow(), 1, "flow admitted after recovery");
+        let stats = dev.nat_stats();
+        assert_eq!(stats.recoveries.get(), 1);
+        assert_eq!(stats.evictions.get(), 2);
+        assert_eq!(stats.table_drops_total(), 1);
     }
 
     #[test]

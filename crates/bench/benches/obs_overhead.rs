@@ -7,16 +7,26 @@
 
 use csprov_bench::harness::{black_box, Harness, Throughput};
 use csprov_net::{client_endpoint, server_endpoint, Direction, Packet, PacketKind};
-use csprov_obs::MetricsRegistry;
-use csprov_router::{EngineConfig, ForwardingEngine, RouterMetrics};
+use csprov_obs::{Journal, MetricsRegistry};
+use csprov_router::{EngineConfig, ForwardingEngine, NatDevice, NatTaps, RouterMetrics};
 use csprov_sim::{SimDuration, SimTime, Simulator, StopFlag};
 use std::cell::Cell;
 use std::rc::Rc;
 
+/// What rides along on the kernel workload. `Plain` is also the
+/// "journal hooks compiled but unexported" case: the journal tap is an
+/// `Option` that stays `None`, so the guard budget covers the branch the
+/// hooks add to every step.
+enum KernelObs {
+    Plain,
+    Observed,
+    Journaled,
+}
+
 /// The kernel workload from the `sim_kernel` bench: 5 periodic processes,
-/// 100k events, optionally with a progress-style observer attached at the
-/// stride `repro --progress` uses.
-fn run_kernel(observed: bool) -> u64 {
+/// 100k events, optionally with a progress-style observer or a trace
+/// journal attached at the stride `repro` uses.
+fn run_kernel(obs: KernelObs) -> u64 {
     let mut sim = Simulator::new();
     for i in 0..5u64 {
         csprov_sim::spawn_periodic(
@@ -27,10 +37,14 @@ fn run_kernel(observed: bool) -> u64 {
             |_, _| {},
         );
     }
-    if observed {
-        let last = Rc::new(Cell::new(0u64));
-        let sink = last.clone();
-        sim.set_observer(8192, move |s: &Simulator| sink.set(s.events_executed()));
+    match obs {
+        KernelObs::Plain => {}
+        KernelObs::Observed => {
+            let last = Rc::new(Cell::new(0u64));
+            let sink = last.clone();
+            sim.set_observer(8192, move |s: &Simulator| sink.set(s.events_executed()));
+        }
+        KernelObs::Journaled => sim.set_journal(8192, Journal::new()),
     }
     sim.run_until(SimTime::from_secs(1));
     sim.events_executed()
@@ -40,10 +54,13 @@ fn bench_sim_kernel(h: &mut Harness) {
     let mut g = h.group("obs_sim_kernel");
     g.throughput(Throughput::Elements(100_000));
     g.bench_function("periodic_100k_plain", |b| {
-        b.iter(|| black_box(run_kernel(false)))
+        b.iter(|| black_box(run_kernel(KernelObs::Plain)))
     });
     g.bench_function("periodic_100k_observed", |b| {
-        b.iter(|| black_box(run_kernel(true)))
+        b.iter(|| black_box(run_kernel(KernelObs::Observed)))
+    });
+    g.bench_function("periodic_100k_journaled", |b| {
+        b.iter(|| black_box(run_kernel(KernelObs::Journaled)))
     });
     g.finish();
 }
@@ -94,6 +111,57 @@ fn bench_router_forwarding(h: &mut Harness) {
     g.finish();
 }
 
+/// The NAT device path (table touch + forward), with and without a trace
+/// journal receiving `router.nat.*` events. 10k packets over 64 sessions:
+/// mostly `Existing` touches, so the journaled run measures the
+/// per-packet check plus occasional emits — the shape of a real run.
+fn run_nat_forward(journal: Option<&Journal>) -> u64 {
+    let mut sim = Simulator::new();
+    let device = Rc::new(NatDevice::new(
+        EngineConfig {
+            lookup_time: SimDuration::from_micros(1),
+            wan_queue: 64,
+            lan_queue: 64,
+            ..EngineConfig::default()
+        },
+        NatTaps::default(),
+    ));
+    if let Some(j) = journal {
+        device.attach_journal(j.clone());
+    }
+    for i in 0..10_000u64 {
+        let device2 = device.clone();
+        let session = (i % 64) as u32;
+        sim.schedule_at(SimTime::from_micros(i * 2), move |sim| {
+            let pkt = Packet {
+                src: client_endpoint(session),
+                dst: server_endpoint(),
+                app_len: 40,
+                kind: PacketKind::ClientCommand,
+                session,
+                direction: Direction::Inbound,
+                sent_at: sim.now(),
+            };
+            csprov_game::Middlebox::forward(&*device2, sim, pkt, Box::new(|_, _| {}));
+        });
+    }
+    sim.run();
+    device.stats().forwarded[0].get()
+}
+
+fn bench_nat_journal(h: &mut Harness) {
+    let journal = Journal::new();
+    let mut g = h.group("obs_nat_journal");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("nat_forward_10k_plain", |b| {
+        b.iter(|| black_box(run_nat_forward(None)))
+    });
+    g.bench_function("nat_forward_10k_journaled", |b| {
+        b.iter(|| black_box(run_nat_forward(Some(&journal))))
+    });
+    g.finish();
+}
+
 /// Raw cost of the primitives themselves, for context on the path deltas.
 fn bench_primitives(h: &mut Harness) {
     let registry = MetricsRegistry::new();
@@ -117,6 +185,17 @@ fn bench_primitives(h: &mut Harness) {
             black_box(hist.snapshot().count())
         })
     });
+    g.bench_function("journal_emit_1m", |b| {
+        // Capacity 1M: every emit lands in the buffer (the fast path); a
+        // fresh journal per sample keeps that true across iterations.
+        b.iter(|| {
+            let j = Journal::with_capacity(1 << 20);
+            for i in 0..1_000_000u64 {
+                j.emit(i, "bench.emit", i, i);
+            }
+            black_box(j.len())
+        })
+    });
     g.finish();
 }
 
@@ -124,5 +203,6 @@ fn main() {
     let mut h = Harness::from_args();
     bench_sim_kernel(&mut h);
     bench_router_forwarding(&mut h);
+    bench_nat_journal(&mut h);
     bench_primitives(&mut h);
 }

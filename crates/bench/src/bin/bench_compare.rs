@@ -1,0 +1,183 @@
+//! CI perf sentinel: diffs `BENCH_*.json` reports against the committed
+//! baseline and fails on out-of-band regressions.
+//!
+//! ```text
+//! bench_compare --baseline FILE --dir DIR [OPTIONS]
+//!
+//! OPTIONS:
+//!   --baseline FILE     committed baseline (results/bench_baseline.json)
+//!   --dir DIR           directory holding BENCH_*.json reports
+//!   --tolerance PCT     default tolerance band in percent (default 15)
+//!   --tolerance G=PCT   per-group override (repeatable)
+//!   --out FILE          also write the JSON verdict there
+//!   --update            rewrite the baseline from DIR's reports and exit
+//!   --self-check        scale current medians 1.2x in memory and require
+//!                       the gate to trip (validates the sentinel itself)
+//! ```
+//!
+//! Exit codes: 0 pass, 1 regression (or failed self-check), 2 usage/IO
+//! error. A host-metadata mismatch (different cpu count or rustc) prints
+//! the comparison but never fails — wall times across machines are not
+//! comparable evidence.
+
+use csprov_bench::compare::{
+    compare, parse_baseline, parse_report, render_baseline, render_text, render_verdict_json,
+    Baseline, GroupReport, Tolerance,
+};
+use csprov_bench::harness::HostMeta;
+use std::process::ExitCode;
+
+struct Options {
+    baseline: String,
+    dir: String,
+    tolerance: Tolerance,
+    out: Option<String>,
+    update: bool,
+    self_check: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        baseline: String::new(),
+        dir: String::new(),
+        tolerance: Tolerance::default(),
+        out: None,
+        update: false,
+        self_check: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => opts.baseline = args.next().ok_or("--baseline needs a file")?,
+            "--dir" => opts.dir = args.next().ok_or("--dir needs a directory")?,
+            "--tolerance" => {
+                let v = args.next().ok_or("--tolerance needs PCT or GROUP=PCT")?;
+                match v.split_once('=') {
+                    Some((group, pct)) => {
+                        let pct: f64 = pct.parse().map_err(|e| format!("bad tolerance: {e}"))?;
+                        opts.tolerance.per_group.insert(group.to_string(), pct);
+                    }
+                    None => {
+                        opts.tolerance.default_pct =
+                            v.parse().map_err(|e| format!("bad tolerance: {e}"))?;
+                    }
+                }
+            }
+            "--out" => opts.out = Some(args.next().ok_or("--out needs a file")?),
+            "--update" => opts.update = true,
+            "--self-check" => opts.self_check = true,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    if opts.baseline.is_empty() || opts.dir.is_empty() {
+        return Err("--baseline and --dir are both required".into());
+    }
+    Ok(opts)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: bench_compare --baseline FILE --dir DIR [--tolerance PCT|GROUP=PCT]... \
+         [--out FILE] [--update] [--self-check]"
+    );
+}
+
+/// Reads and parses every `BENCH_*.json` in `dir`, sorted by file name.
+fn load_reports(dir: &str) -> Result<Vec<GroupReport>, String> {
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {dir}: {e}"))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    paths.sort();
+    let mut reports = Vec::new();
+    for path in paths {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let report = parse_report(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        reports.push(report);
+    }
+    if reports.is_empty() {
+        return Err(format!("no BENCH_*.json reports in {dir}"));
+    }
+    Ok(reports)
+}
+
+fn run(opts: &Options) -> Result<bool, String> {
+    let reports = load_reports(&opts.dir)?;
+
+    if opts.update {
+        let host = reports
+            .iter()
+            .find_map(|r| r.host.clone())
+            .unwrap_or_else(HostMeta::current);
+        let text = render_baseline(&host, &reports);
+        std::fs::write(&opts.baseline, text)
+            .map_err(|e| format!("cannot write {}: {e}", opts.baseline))?;
+        eprintln!(
+            "[bench_compare] baseline {} updated from {} groups",
+            opts.baseline,
+            reports.len()
+        );
+        return Ok(true);
+    }
+
+    let text = std::fs::read_to_string(&opts.baseline)
+        .map_err(|e| format!("cannot read {}: {e}", opts.baseline))?;
+    let baseline: Baseline =
+        parse_baseline(&text).map_err(|e| format!("{}: {e}", opts.baseline))?;
+
+    if opts.self_check {
+        // Inflate every current median by 20% in memory; with the default
+        // 15% band the gate must trip, proving the sentinel actually bites.
+        let mut inflated = reports.clone();
+        for r in &mut inflated {
+            for v in r.medians.values_mut() {
+                *v *= 1.2;
+            }
+            // Force host equality so the mismatch downgrade can't mask a
+            // broken gate.
+            r.host = baseline.host.clone();
+        }
+        let cmp = compare(&baseline, &inflated, &opts.tolerance);
+        if !cmp.fails() {
+            return Err("self-check failed: a uniform 20% slowdown did not trip the gate".into());
+        }
+        eprintln!("[bench_compare] self-check ok: synthetic 20% slowdown trips the gate");
+    }
+
+    let cmp = compare(&baseline, &reports, &opts.tolerance);
+    print!("{}", render_text(&cmp));
+    if let Some(out) = &opts.out {
+        std::fs::write(out, render_verdict_json(&cmp))
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        eprintln!("[bench_compare] verdict written to {out}");
+    }
+    Ok(!cmp.fails())
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("error: {e}");
+            }
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

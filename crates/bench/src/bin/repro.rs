@@ -17,16 +17,25 @@
 //!   --csv DIR          also write key figures' data series as CSV into DIR
 //!   --progress         heartbeat on stderr (sim/wall ratio, ev/s, ETA)
 //!   --metrics-out FILE metrics snapshot per artifact (text + JSON lines)
+//!   --metrics-format F metrics-out format: text, json, or prom
+//!                      (default: commented text + JSON lines combined)
+//!   --trace-out FILE   event journal per world run, written as
+//!                      FILE -> <stem>.<run>.<ext>; a .json extension
+//!                      selects Chrome trace-event format (open in
+//!                      Perfetto / chrome://tracing), anything else JSONL
+//!   --series-out DIR   sim-time metric series per world run (DIR/main.csv,
+//!                      DIR/nat.csv), sampled on the sim clock
+//!   --series-interval MS  series sampling period in sim-ms (default 1000)
 //!   --chaos PROFILE    run under a fault-injection campaign:
 //!                      none modem-burst reorder-dup last-mile-loss nat-exhaust
 //!   --chaos-seed N     impairment seed (default: same as --seed)
 //! ```
 //!
 //! Instrumentation is observe-only: a seeded run's artifact output is
-//! byte-identical with and without `--progress`/`--metrics-out`. Chaos
-//! campaigns are replayable: the same `--chaos`/`--chaos-seed` pair
-//! impairs the same packets, and `--chaos none` is byte-identical to no
-//! `--chaos` at all.
+//! byte-identical with and without `--progress`/`--metrics-out`/
+//! `--trace-out`/`--series-out`. Chaos campaigns are replayable: the same
+//! `--chaos`/`--chaos-seed` pair impairs the same packets, and
+//! `--chaos none` is byte-identical to no `--chaos` at all.
 
 use csprov::chaos::{self, ChaosReport, ChaosSpec};
 use csprov::experiments::{ablations, aggregate, figures, nat, tables, web, ExperimentId};
@@ -35,15 +44,26 @@ use csprov_analysis::report::to_csv;
 use csprov_bench::harness::{render_bench_json, BenchResult};
 use csprov_game::{GameMetrics, ScenarioConfig, WorldInstruments, PAPER_TRACE_SECS};
 use csprov_net::LinkMetrics;
-use csprov_obs::{MetricsRegistry, ProgressReporter};
+use csprov_obs::{Journal, MetricsRegistry, ProgressReporter, SeriesSampler};
 use csprov_router::EngineConfig;
 use csprov_sim::{SimDuration, Simulator};
+use std::cell::RefCell;
 use std::process::ExitCode;
 use std::rc::Rc;
 use std::time::Instant;
 
 /// How many kernel events pass between progress-observer callbacks.
 const OBSERVER_STRIDE: u64 = 8192;
+
+/// Rendering for `--metrics-out`. The default keeps the legacy combined
+/// dump (per-artifact commented text + JSON lines).
+#[derive(Clone, Copy, PartialEq)]
+enum MetricsFormat {
+    Combined,
+    Text,
+    Json,
+    Prom,
+}
 
 struct Options {
     seed: u64,
@@ -52,6 +72,10 @@ struct Options {
     csv_dir: Option<String>,
     progress: bool,
     metrics_out: Option<String>,
+    metrics_format: MetricsFormat,
+    trace_out: Option<String>,
+    series_out: Option<String>,
+    series_interval_ms: u64,
     chaos: Option<ChaosSpec>,
     chaos_seed: Option<u64>,
     artifacts: Vec<ExperimentId>,
@@ -65,6 +89,10 @@ fn parse_args() -> Result<Options, String> {
         csv_dir: None,
         progress: false,
         metrics_out: None,
+        metrics_format: MetricsFormat::Combined,
+        trace_out: None,
+        series_out: None,
+        series_interval_ms: 1000,
         chaos: None,
         chaos_seed: None,
         artifacts: Vec::new(),
@@ -91,6 +119,33 @@ fn parse_args() -> Result<Options, String> {
             "--progress" => opts.progress = true,
             "--metrics-out" => {
                 opts.metrics_out = Some(args.next().ok_or("--metrics-out needs a file")?)
+            }
+            "--metrics-format" => {
+                let f = args.next().ok_or("--metrics-format needs a value")?;
+                opts.metrics_format = match f.as_str() {
+                    "text" => MetricsFormat::Text,
+                    "json" => MetricsFormat::Json,
+                    "prom" => MetricsFormat::Prom,
+                    other => {
+                        return Err(format!(
+                            "unknown metrics format '{other}' (known: text, json, prom)"
+                        ))
+                    }
+                };
+            }
+            "--trace-out" => opts.trace_out = Some(args.next().ok_or("--trace-out needs a file")?),
+            "--series-out" => {
+                opts.series_out = Some(args.next().ok_or("--series-out needs a directory")?)
+            }
+            "--series-interval" => {
+                opts.series_interval_ms = args
+                    .next()
+                    .ok_or("--series-interval needs a value in ms")?
+                    .parse()
+                    .map_err(|e| format!("bad series interval: {e}"))?;
+                if opts.series_interval_ms == 0 {
+                    return Err("--series-interval must be > 0".into());
+                }
             }
             "--chaos" => {
                 let name = args.next().ok_or("--chaos needs a profile name")?;
@@ -138,13 +193,18 @@ fn parse_args() -> Result<Options, String> {
     if opts.artifacts.is_empty() {
         return Err("no artifacts requested".into());
     }
+    if opts.metrics_format != MetricsFormat::Combined && opts.metrics_out.is_none() {
+        return Err("--metrics-format requires --metrics-out".into());
+    }
     Ok(opts)
 }
 
 fn usage() {
     eprintln!(
         "usage: repro [--seed N] [--hours H] [--full-week] [--csv DIR] [--progress] \
-         [--metrics-out FILE] [--chaos PROFILE] [--chaos-seed N] <artifact|all|main|nat>..."
+         [--metrics-out FILE] [--metrics-format text|json|prom] [--trace-out FILE] \
+         [--series-out DIR] [--series-interval MS] [--chaos PROFILE] [--chaos-seed N] \
+         <artifact|all|main|nat>..."
     );
     eprintln!("artifacts: table1..table4, fig1..fig15, ablate-tick, ablate-population,");
     eprintln!("           ablate-nat-capacity, ablate-nat-buffer, route-cache, source-model,");
@@ -153,37 +213,115 @@ fn usage() {
 }
 
 /// Builds the observe-only side channels for one world run: metric handles
-/// registered against `registry` (when a metrics file was requested) and a
-/// kernel observer driving a [`ProgressReporter`] (when `--progress` is on).
+/// registered against `registry` (when a metrics file was requested), an
+/// event journal (when `--trace-out` is on), and a kernel observer driving
+/// a [`ProgressReporter`] (`--progress`) and/or a [`SeriesSampler`]
+/// (`--series-out`) — both share the one observer slot and stride.
 ///
-/// The reporter is also returned so the caller can emit the final summary
-/// line after the run; the observer keeps its own `Rc` clone.
+/// The reporter and sampler are also returned so the caller can emit the
+/// final summary line / flush the series after the run.
+type RunTelemetry = (
+    WorldInstruments,
+    Option<Rc<ProgressReporter>>,
+    Option<Rc<RefCell<SeriesSampler>>>,
+);
+
 fn instruments_for(
     label: &str,
     horizon_ns: u64,
     registry: Option<&MetricsRegistry>,
     progress: bool,
-) -> (WorldInstruments, Option<Rc<ProgressReporter>>) {
+    journal: Option<Journal>,
+    series_interval_ns: Option<u64>,
+) -> RunTelemetry {
     let mut instruments = WorldInstruments::default();
     if let Some(registry) = registry {
         instruments.metrics = Some(GameMetrics::register(registry));
         instruments.link_metrics = Some(LinkMetrics::register(registry));
     }
+    instruments.journal = journal;
     let reporter = progress.then(|| Rc::new(ProgressReporter::new(label, Some(horizon_ns))));
-    if let Some(reporter) = &reporter {
-        let reporter = reporter.clone();
+    let sampler = match (series_interval_ns, registry) {
+        (Some(interval_ns), Some(registry)) => Some(Rc::new(RefCell::new(SeriesSampler::new(
+            registry.clone(),
+            interval_ns,
+        )))),
+        _ => None,
+    };
+    if reporter.is_some() || sampler.is_some() {
+        let reporter_cb = reporter.clone();
+        let sampler_cb = sampler.clone();
+        // The sampler needs to see the sim clock often enough to hit its
+        // interval boundaries; the progress reporter rate-limits itself on
+        // wall time, so the finer stride costs only the callback dispatch.
+        let stride = if sampler.is_some() {
+            OBSERVER_STRIDE / 8
+        } else {
+            OBSERVER_STRIDE
+        };
         instruments.observer = Some((
-            OBSERVER_STRIDE,
+            stride,
             Box::new(move |sim: &Simulator| {
-                reporter.maybe_report(
-                    sim.now().as_nanos(),
-                    sim.events_executed(),
-                    sim.pending_events(),
-                );
+                if let Some(reporter) = &reporter_cb {
+                    reporter.maybe_report(
+                        sim.now().as_nanos(),
+                        sim.events_executed(),
+                        sim.pending_events(),
+                    );
+                }
+                if let Some(sampler) = &sampler_cb {
+                    sampler.borrow_mut().observe(sim.now().as_nanos());
+                }
             }),
         ));
     }
-    (instruments, reporter)
+    (instruments, reporter, sampler)
+}
+
+/// `base` with the run label spliced in before the extension:
+/// `trace.json` + `main` -> `trace.main.json`.
+fn per_run_path(base: &str, label: &str) -> String {
+    let p = std::path::Path::new(base);
+    match (
+        p.file_stem().and_then(|s| s.to_str()),
+        p.extension().and_then(|s| s.to_str()),
+    ) {
+        (Some(stem), Some(ext)) => p
+            .with_file_name(format!("{stem}.{label}.{ext}"))
+            .display()
+            .to_string(),
+        _ => format!("{base}.{label}"),
+    }
+}
+
+/// Writes one run's journal: Chrome trace-event JSON when the requested
+/// file has a `.json` extension (open in Perfetto), JSONL otherwise.
+fn write_journal(journal: &Journal, base: &str, label: &str) {
+    let path = per_run_path(base, label);
+    let data = if path.ends_with(".json") {
+        journal.export_chrome_trace()
+    } else {
+        journal.export_jsonl()
+    };
+    match std::fs::write(&path, data) {
+        Ok(()) => eprintln!(
+            "[trace] wrote {path} ({} events, {} dropped)",
+            journal.len(),
+            journal.dropped()
+        ),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}
+
+/// Flushes one run's series (adding the horizon row) and writes its CSV.
+fn write_series(sampler: &RefCell<SeriesSampler>, dir: &str, label: &str, horizon_ns: u64) {
+    let mut sampler = sampler.borrow_mut();
+    sampler.finish(horizon_ns);
+    let path = format!("{dir}/{label}.csv");
+    match std::fs::create_dir_all(dir).and_then(|_| std::fs::write(&path, sampler.to_csv())) {
+        Ok(()) => eprintln!("[series] wrote {path} ({} samples)", sampler.len()),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
 }
 
 fn write_csv(dir: &str, name: &str, headers: &[&str], cols: &[&[f64]]) {
@@ -218,7 +356,14 @@ fn main() -> ExitCode {
     let needs_main = opts.artifacts.iter().any(|a| a.needs_main_run());
     let needs_nat = opts.artifacts.iter().any(|a| a.needs_nat_run());
 
-    let registry = opts.metrics_out.as_ref().map(|_| MetricsRegistry::new());
+    // The registry backs both the snapshot dump (--metrics-out) and the
+    // sim-time series (--series-out).
+    let registry =
+        (opts.metrics_out.is_some() || opts.series_out.is_some()).then(MetricsRegistry::new);
+    let series_interval_ns = opts
+        .series_out
+        .as_ref()
+        .map(|_| opts.series_interval_ms * 1_000_000);
 
     // Wall-clock phases, reported at exit in the same `[time]` format the
     // per-artifact lines use and exported as BENCH_repro.json when
@@ -244,11 +389,14 @@ fn main() -> ExitCode {
             opts.seed
         );
         let t0 = Instant::now();
-        let (instruments, reporter) = instruments_for(
+        let journal = opts.trace_out.as_ref().map(|_| Journal::new());
+        let (instruments, reporter, sampler) = instruments_for(
             "main",
             duration.as_nanos(),
             registry.as_ref(),
             opts.progress,
+            journal.clone(),
+            series_interval_ns,
         );
         let scenario = ScenarioConfig::scaled(opts.seed, duration);
         let run = match &opts.chaos {
@@ -272,6 +420,12 @@ fn main() -> ExitCode {
         if let Some(reporter) = reporter {
             reporter.finish(duration.as_nanos(), run.outcome.events_executed);
         }
+        if let (Some(journal), Some(base)) = (&journal, &opts.trace_out) {
+            write_journal(journal, base, "main");
+        }
+        if let (Some(sampler), Some(dir)) = (&sampler, &opts.series_out) {
+            write_series(sampler, dir, "main", duration.as_nanos());
+        }
         let secs = t0.elapsed().as_secs_f64();
         eprintln!(
             "[run] done: {} packets in {:.1} s wall ({} events)",
@@ -290,8 +444,15 @@ fn main() -> ExitCode {
         eprintln!("[run] NAT experiment: one 30-minute map through the device...");
         let t0 = Instant::now();
         let nat_horizon = SimDuration::from_mins(30).as_nanos();
-        let (instruments, reporter) =
-            instruments_for("nat", nat_horizon, registry.as_ref(), opts.progress);
+        let journal = opts.trace_out.as_ref().map(|_| Journal::new());
+        let (instruments, reporter, sampler) = instruments_for(
+            "nat",
+            nat_horizon,
+            registry.as_ref(),
+            opts.progress,
+            journal.clone(),
+            series_interval_ns,
+        );
         let run = match &opts.chaos {
             Some(spec) => {
                 eprintln!(
@@ -318,6 +479,12 @@ fn main() -> ExitCode {
         };
         if let Some(reporter) = reporter {
             reporter.finish(nat_horizon, run.outcome.events_executed);
+        }
+        if let (Some(journal), Some(base)) = (&journal, &opts.trace_out) {
+            write_journal(journal, base, "nat");
+        }
+        if let (Some(sampler), Some(dir)) = (&sampler, &opts.series_out) {
+            write_series(sampler, dir, "nat", nat_horizon);
         }
         let secs = t0.elapsed().as_secs_f64();
         timings.push(phase(
@@ -450,17 +617,31 @@ fn main() -> ExitCode {
     }
 
     if let (Some(path), Some(registry)) = (&opts.metrics_out, &registry) {
-        let mut out = String::new();
-        for id in &opts.artifacts {
-            let label = id.to_string();
-            out.push_str(&format!("# ==== {label} ====\n"));
-            for line in registry.render_deterministic().lines() {
-                out.push_str("# ");
-                out.push_str(line);
-                out.push('\n');
+        let out = match opts.metrics_format {
+            MetricsFormat::Combined => {
+                let mut out = String::new();
+                for id in &opts.artifacts {
+                    let label = id.to_string();
+                    out.push_str(&format!("# ==== {label} ====\n"));
+                    for line in registry.render_deterministic().lines() {
+                        out.push_str("# ");
+                        out.push_str(line);
+                        out.push('\n');
+                    }
+                    out.push_str(&registry.render_jsonl(&label));
+                }
+                out
             }
-            out.push_str(&registry.render_jsonl(&label));
-        }
+            MetricsFormat::Text => registry.render_deterministic(),
+            MetricsFormat::Json => {
+                let mut out = String::new();
+                for id in &opts.artifacts {
+                    out.push_str(&registry.render_jsonl(&id.to_string()));
+                }
+                out
+            }
+            MetricsFormat::Prom => registry.render_prometheus(),
+        };
         match std::fs::write(path, out) {
             Ok(()) => eprintln!("[metrics] wrote {path} ({} instruments)", registry.len()),
             Err(e) => {

@@ -1,0 +1,542 @@
+//! The perf sentinel: diffs `BENCH_*.json` reports against a committed
+//! baseline with per-group tolerance bands.
+//!
+//! Pure comparison logic lives here so it can be unit-tested; I/O and CLI
+//! handling live in `src/bin/bench_compare.rs`. Reports are parsed with the
+//! workspace's own zero-dependency JSON parser ([`csprov_obs::Json`]).
+//!
+//! The contract:
+//!
+//! - a benchmark whose median slows down by more than its group's
+//!   tolerance (default 15%) is a **regression** and fails the gate;
+//! - a benchmark faster by more than the tolerance is flagged as an
+//!   **improvement** (informational — commit a new baseline to lock it in);
+//! - benchmarks present only in the baseline are **missing** (warn: a
+//!   filtered run, not a perf fact); only in the current run, **new**;
+//! - when the recorded host metadata (cpu count, rustc version) differs
+//!   from the baseline's, regressions are downgraded to warnings — wall
+//!   times from different machines are not comparable evidence.
+
+use crate::harness::HostMeta;
+use csprov_obs::Json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One parsed `BENCH_<group>.json` report.
+#[derive(Debug, Clone)]
+pub struct GroupReport {
+    /// Group name (`"event_queue"`, `"repro"`, ...).
+    pub group: String,
+    /// Host metadata, when the report carries it (older reports do not).
+    pub host: Option<HostMeta>,
+    /// `name -> median_ns`, ordered by name.
+    pub medians: BTreeMap<String, f64>,
+}
+
+/// Parses one report (or one baseline `groups[]` entry rendered with the
+/// same shape).
+pub fn parse_report(text: &str) -> Result<GroupReport, String> {
+    let json = Json::parse(text)?;
+    group_from_json(&json)
+}
+
+fn group_from_json(json: &Json) -> Result<GroupReport, String> {
+    let group = json
+        .get("group")
+        .and_then(Json::as_str)
+        .ok_or("report missing \"group\"")?
+        .to_string();
+    let host = json.get("host").and_then(|h| {
+        Some(HostMeta {
+            cpus: h.get("cpus").and_then(Json::as_f64)? as u64,
+            rustc: h.get("rustc").and_then(Json::as_str)?.to_string(),
+        })
+    });
+    let mut medians = BTreeMap::new();
+    for r in json
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or("report missing \"results\"")?
+    {
+        let name = r
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("result missing \"name\"")?;
+        let median = r
+            .get("median_ns")
+            .and_then(Json::as_f64)
+            .ok_or("result missing \"median_ns\"")?;
+        if !(median.is_finite() && median > 0.0) {
+            return Err(format!("result \"{name}\": median_ns must be positive"));
+        }
+        medians.insert(name.to_string(), median);
+    }
+    Ok(GroupReport {
+        group,
+        host,
+        medians,
+    })
+}
+
+/// A full baseline: host metadata plus every group's medians.
+#[derive(Debug, Clone)]
+pub struct Baseline {
+    /// Host the baseline was measured on.
+    pub host: Option<HostMeta>,
+    /// Reports by group name.
+    pub groups: BTreeMap<String, GroupReport>,
+}
+
+/// Parses a committed baseline file.
+pub fn parse_baseline(text: &str) -> Result<Baseline, String> {
+    let json = Json::parse(text)?;
+    let host = json.get("host").and_then(|h| {
+        Some(HostMeta {
+            cpus: h.get("cpus").and_then(Json::as_f64)? as u64,
+            rustc: h.get("rustc").and_then(Json::as_str)?.to_string(),
+        })
+    });
+    let mut groups = BTreeMap::new();
+    for g in json
+        .get("groups")
+        .and_then(Json::as_arr)
+        .ok_or("baseline missing \"groups\"")?
+    {
+        let report = group_from_json(g)?;
+        groups.insert(report.group.clone(), report);
+    }
+    Ok(Baseline { host, groups })
+}
+
+/// Renders a baseline from current reports (the `--update` path).
+pub fn render_baseline(host: &HostMeta, reports: &[GroupReport]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"{}\",", crate::harness::BENCH_SCHEMA);
+    let _ = writeln!(out, "  \"host\": {},", host.to_json());
+    let _ = writeln!(out, "  \"groups\": [");
+    for (i, r) in reports.iter().enumerate() {
+        let comma = if i + 1 < reports.len() { "," } else { "" };
+        let _ = writeln!(out, "    {{\"group\": \"{}\", \"results\": [", r.group);
+        for (j, (name, median)) in r.medians.iter().enumerate() {
+            let comma = if j + 1 < r.medians.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "      {{\"name\": \"{name}\", \"median_ns\": {median:.1}}}{comma}"
+            );
+        }
+        let _ = writeln!(out, "    ]}}{comma}");
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Per-group tolerance bands in percent; groups not listed use `default`.
+#[derive(Debug, Clone)]
+pub struct Tolerance {
+    /// Band applied to unlisted groups, in percent.
+    pub default_pct: f64,
+    /// `group -> percent` overrides.
+    pub per_group: BTreeMap<String, f64>,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Tolerance {
+            default_pct: 15.0,
+            per_group: BTreeMap::new(),
+        }
+    }
+}
+
+impl Tolerance {
+    /// The band for `group`, in percent.
+    pub fn for_group(&self, group: &str) -> f64 {
+        self.per_group
+            .get(group)
+            .copied()
+            .unwrap_or(self.default_pct)
+    }
+}
+
+/// How one benchmark fared against the baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Within the tolerance band.
+    Ok,
+    /// Slower than baseline by more than the band.
+    Regression,
+    /// Faster than baseline by more than the band.
+    Improvement,
+    /// In the baseline, absent from the current run.
+    Missing,
+    /// In the current run, absent from the baseline.
+    New,
+}
+
+impl Status {
+    fn as_str(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Regression => "regression",
+            Status::Improvement => "improvement",
+            Status::Missing => "missing",
+            Status::New => "new",
+        }
+    }
+}
+
+/// One compared benchmark.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Group name.
+    pub group: String,
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Baseline median, ns (0 for [`Status::New`]).
+    pub baseline_ns: f64,
+    /// Current median, ns (0 for [`Status::Missing`]).
+    pub current_ns: f64,
+    /// Median delta in percent, positive = slower.
+    pub delta_pct: f64,
+    /// The band this entry was judged against, percent.
+    pub tolerance_pct: f64,
+    /// Verdict for this entry.
+    pub status: Status,
+}
+
+/// A full comparison: every entry plus the aggregate verdict.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Per-benchmark rows, ordered by group then name.
+    pub entries: Vec<Entry>,
+    /// True when baseline and current host metadata disagree (or either
+    /// side lacks it), making wall-time deltas advisory only.
+    pub host_mismatch: bool,
+}
+
+impl Comparison {
+    /// Entries with the given status.
+    pub fn count(&self, status: Status) -> usize {
+        self.entries.iter().filter(|e| e.status == status).count()
+    }
+
+    /// True when the gate should fail: at least one regression on a
+    /// comparable host.
+    pub fn fails(&self) -> bool {
+        !self.host_mismatch && self.count(Status::Regression) > 0
+    }
+}
+
+/// Compares current reports against the baseline.
+pub fn compare(baseline: &Baseline, current: &[GroupReport], tol: &Tolerance) -> Comparison {
+    let current_host = current.iter().find_map(|r| r.host.clone());
+    let host_mismatch = match (&baseline.host, &current_host) {
+        (Some(b), Some(c)) => b != c,
+        _ => true,
+    };
+    let mut entries = Vec::new();
+    let current_by_group: BTreeMap<&str, &GroupReport> =
+        current.iter().map(|r| (r.group.as_str(), r)).collect();
+
+    for (group, base) in &baseline.groups {
+        let band = tol.for_group(group);
+        let cur = current_by_group.get(group.as_str());
+        for (name, &base_ns) in &base.medians {
+            match cur.and_then(|c| c.medians.get(name)) {
+                Some(&cur_ns) => {
+                    let delta_pct = (cur_ns - base_ns) / base_ns * 100.0;
+                    let status = if delta_pct > band {
+                        Status::Regression
+                    } else if delta_pct < -band {
+                        Status::Improvement
+                    } else {
+                        Status::Ok
+                    };
+                    entries.push(Entry {
+                        group: group.clone(),
+                        name: name.clone(),
+                        baseline_ns: base_ns,
+                        current_ns: cur_ns,
+                        delta_pct,
+                        tolerance_pct: band,
+                        status,
+                    });
+                }
+                None => entries.push(Entry {
+                    group: group.clone(),
+                    name: name.clone(),
+                    baseline_ns: base_ns,
+                    current_ns: 0.0,
+                    delta_pct: 0.0,
+                    tolerance_pct: band,
+                    status: Status::Missing,
+                }),
+            }
+        }
+    }
+    for report in current {
+        let base = baseline.groups.get(&report.group);
+        let band = tol.for_group(&report.group);
+        for (name, &cur_ns) in &report.medians {
+            if !base.is_some_and(|b| b.medians.contains_key(name)) {
+                entries.push(Entry {
+                    group: report.group.clone(),
+                    name: name.clone(),
+                    baseline_ns: 0.0,
+                    current_ns: cur_ns,
+                    delta_pct: 0.0,
+                    tolerance_pct: band,
+                    status: Status::New,
+                });
+            }
+        }
+    }
+    entries.sort_by(|a, b| (&a.group, &a.name).cmp(&(&b.group, &b.name)));
+    Comparison {
+        entries,
+        host_mismatch,
+    }
+}
+
+/// Renders the machine-readable verdict consumed by CI.
+pub fn render_verdict_json(cmp: &Comparison) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"csprov-bench-verdict/1\",");
+    let _ = writeln!(
+        out,
+        "  \"verdict\": \"{}\",",
+        if cmp.fails() { "fail" } else { "pass" }
+    );
+    let _ = writeln!(out, "  \"host_mismatch\": {},", cmp.host_mismatch);
+    let _ = writeln!(out, "  \"regressions\": {},", cmp.count(Status::Regression));
+    let _ = writeln!(
+        out,
+        "  \"improvements\": {},",
+        cmp.count(Status::Improvement)
+    );
+    let _ = writeln!(out, "  \"missing\": {},", cmp.count(Status::Missing));
+    let _ = writeln!(out, "  \"new\": {},", cmp.count(Status::New));
+    let _ = writeln!(out, "  \"entries\": [");
+    for (i, e) in cmp.entries.iter().enumerate() {
+        let comma = if i + 1 < cmp.entries.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"group\": \"{}\", \"name\": \"{}\", \"baseline_ns\": {:.1}, \
+             \"current_ns\": {:.1}, \"delta_pct\": {:.2}, \"tolerance_pct\": {:.1}, \
+             \"status\": \"{}\"}}{comma}",
+            e.group,
+            e.name,
+            e.baseline_ns,
+            e.current_ns,
+            e.delta_pct,
+            e.tolerance_pct,
+            e.status.as_str()
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Human-readable one-line-per-entry summary for the CI log.
+pub fn render_text(cmp: &Comparison) -> String {
+    let mut out = String::new();
+    for e in &cmp.entries {
+        let line = match e.status {
+            Status::Missing => format!(
+                "[miss] {}/{}: in baseline, not measured this run",
+                e.group, e.name
+            ),
+            Status::New => format!(
+                "[new ] {}/{}: {:.0} ns (no baseline)",
+                e.group, e.name, e.current_ns
+            ),
+            _ => format!(
+                "[{}] {}/{}: {:.0} ns vs {:.0} ns ({:+.1}%, band ±{:.0}%)",
+                match e.status {
+                    Status::Ok => " ok ",
+                    Status::Regression => "FAIL",
+                    Status::Improvement => "fast",
+                    _ => unreachable!(),
+                },
+                e.group,
+                e.name,
+                e.current_ns,
+                e.baseline_ns,
+                e.delta_pct,
+                e.tolerance_pct
+            ),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    if cmp.host_mismatch {
+        out.push_str("[warn] host metadata differs from baseline; regressions are advisory only\n");
+    }
+    let _ = writeln!(
+        out,
+        "verdict: {} ({} regressions, {} improvements, {} missing, {} new)",
+        if cmp.fails() { "FAIL" } else { "pass" },
+        cmp.count(Status::Regression),
+        cmp.count(Status::Improvement),
+        cmp.count(Status::Missing),
+        cmp.count(Status::New)
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host() -> HostMeta {
+        HostMeta {
+            cpus: 8,
+            rustc: "rustc 1.0.0-test".into(),
+        }
+    }
+
+    fn report(group: &str, medians: &[(&str, f64)]) -> GroupReport {
+        GroupReport {
+            group: group.into(),
+            host: Some(host()),
+            medians: medians.iter().map(|(n, m)| (n.to_string(), *m)).collect(),
+        }
+    }
+
+    fn baseline(groups: &[GroupReport]) -> Baseline {
+        Baseline {
+            host: Some(host()),
+            groups: groups
+                .iter()
+                .map(|g| (g.group.clone(), g.clone()))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report("kernel", &[("push_pop", 100.0), ("sweep", 2_000.0)]);
+        let cmp = compare(
+            &baseline(std::slice::from_ref(&r)),
+            &[r],
+            &Tolerance::default(),
+        );
+        assert!(!cmp.fails());
+        assert_eq!(cmp.count(Status::Ok), 2);
+        assert!(!cmp.host_mismatch);
+    }
+
+    #[test]
+    fn twenty_percent_regression_trips_the_gate() {
+        let base = report("kernel", &[("push_pop", 100.0)]);
+        let cur = report("kernel", &[("push_pop", 120.0)]);
+        let cmp = compare(&baseline(&[base]), &[cur], &Tolerance::default());
+        assert!(cmp.fails(), "20% > 15% band must fail");
+        assert_eq!(cmp.count(Status::Regression), 1);
+        let e = &cmp.entries[0];
+        assert!((e.delta_pct - 20.0).abs() < 1e-9);
+        assert!(render_verdict_json(&cmp).contains("\"verdict\": \"fail\""));
+        assert!(render_text(&cmp).contains("FAIL"));
+    }
+
+    #[test]
+    fn tolerance_band_is_per_group() {
+        let base = vec![
+            report("kernel", &[("push_pop", 100.0)]),
+            report("repro", &[("total", 100.0)]),
+        ];
+        let cur = vec![
+            report("kernel", &[("push_pop", 120.0)]),
+            report("repro", &[("total", 120.0)]),
+        ];
+        let tol = Tolerance {
+            default_pct: 15.0,
+            per_group: [("kernel".to_string(), 25.0)].into_iter().collect(),
+        };
+        let cmp = compare(&baseline(&base), &cur, &tol);
+        // kernel's 20% sits inside its widened 25% band; repro's fails.
+        let by_group: BTreeMap<_, _> = cmp
+            .entries
+            .iter()
+            .map(|e| (e.group.as_str(), e.status))
+            .collect();
+        assert_eq!(by_group["kernel"], Status::Ok);
+        assert_eq!(by_group["repro"], Status::Regression);
+    }
+
+    #[test]
+    fn improvements_missing_and_new_are_informational() {
+        let base = report("kernel", &[("gone", 50.0), ("fast", 100.0)]);
+        let cur = report("kernel", &[("fast", 50.0), ("added", 10.0)]);
+        let cmp = compare(&baseline(&[base]), &[cur], &Tolerance::default());
+        assert!(!cmp.fails());
+        assert_eq!(cmp.count(Status::Improvement), 1);
+        assert_eq!(cmp.count(Status::Missing), 1);
+        assert_eq!(cmp.count(Status::New), 1);
+    }
+
+    #[test]
+    fn host_mismatch_downgrades_regressions() {
+        let base = report("kernel", &[("push_pop", 100.0)]);
+        let mut cur = report("kernel", &[("push_pop", 200.0)]);
+        cur.host = Some(HostMeta {
+            cpus: 4,
+            rustc: "rustc 9.9.9-other".into(),
+        });
+        let cmp = compare(&baseline(&[base]), &[cur], &Tolerance::default());
+        assert!(cmp.host_mismatch);
+        assert_eq!(cmp.count(Status::Regression), 1, "still reported");
+        assert!(!cmp.fails(), "but advisory on a different host");
+        assert!(render_text(&cmp).contains("host metadata differs"));
+    }
+
+    #[test]
+    fn reports_round_trip_through_baseline_render() {
+        let reports = vec![
+            report("kernel", &[("push_pop", 123.4)]),
+            report("wire", &[("encode", 56.7), ("decode", 89.0)]),
+        ];
+        let text = render_baseline(&host(), &reports);
+        let parsed = parse_baseline(&text).expect("rendered baseline parses");
+        assert_eq!(parsed.host, Some(host()));
+        assert_eq!(parsed.groups.len(), 2);
+        assert!((parsed.groups["kernel"].medians["push_pop"] - 123.4).abs() < 0.05);
+        assert!((parsed.groups["wire"].medians["decode"] - 89.0).abs() < 0.05);
+        // Round-tripped baseline compares clean against its own reports.
+        let cmp = compare(&parsed, &reports, &Tolerance::default());
+        assert!(!cmp.fails());
+        assert_eq!(cmp.count(Status::Ok), 3);
+    }
+
+    #[test]
+    fn parse_report_accepts_harness_output() {
+        let json = crate::harness::render_bench_json(
+            "event_queue",
+            &[crate::harness::BenchResult {
+                name: "push_pop_10k".into(),
+                median_ns: 64_781.25,
+                min_ns: 59_130.0,
+                rate_per_sec: Some(154_365_000.7),
+            }],
+        );
+        let report = parse_report(&json).expect("harness output parses");
+        assert_eq!(report.group, "event_queue");
+        assert!(report.host.is_some(), "harness stamps host metadata");
+        assert!((report.medians["push_pop_10k"] - 64_781.2).abs() < 0.05);
+    }
+
+    #[test]
+    fn malformed_reports_are_rejected() {
+        assert!(parse_report("{}").is_err());
+        assert!(parse_report("{\"group\": \"g\"}").is_err());
+        assert!(parse_report(
+            "{\"group\": \"g\", \"results\": [{\"name\": \"a\", \"median_ns\": -1}]}"
+        )
+        .is_err());
+        assert!(parse_baseline("{\"schema\": \"x\"}").is_err());
+    }
+}

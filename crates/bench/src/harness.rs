@@ -189,12 +189,55 @@ impl Group<'_> {
     }
 }
 
+/// Schema tag stamped into every bench report and baseline file.
+pub const BENCH_SCHEMA: &str = "csprov-bench/1";
+
+/// Host facts recorded alongside measurements so cross-host comparisons
+/// can be recognised (and downgraded to warnings) instead of failing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostMeta {
+    /// Logical CPU count.
+    pub cpus: u64,
+    /// `rustc --version` of the toolchain on PATH, or `"unknown"`.
+    pub rustc: String,
+}
+
+impl HostMeta {
+    /// Probes the current host.
+    pub fn current() -> Self {
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get() as u64)
+            .unwrap_or(0);
+        let rustc = std::process::Command::new("rustc")
+            .arg("--version")
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string());
+        HostMeta { cpus, rustc }
+    }
+
+    /// Renders the `"host": {...}` JSON fragment.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"cpus\": {}, \"rustc\": \"{}\"}}",
+            self.cpus,
+            json_escape(&self.rustc)
+        )
+    }
+}
+
 /// Renders a group report as JSON (hand-rolled: the workspace is
 /// dependency-free, and the schema is flat enough not to need more).
 pub fn render_bench_json(group: &str, results: &[BenchResult]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"{BENCH_SCHEMA}\",");
     let _ = writeln!(out, "  \"group\": \"{}\",", json_escape(group));
+    let _ = writeln!(out, "  \"host\": {},", HostMeta::current().to_json());
     let _ = writeln!(out, "  \"results\": [");
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 < results.len() { "," } else { "" };
@@ -300,13 +343,17 @@ mod tests {
         ];
         let json = render_bench_json("event_queue", &results);
         assert!(json.contains("\"group\": \"event_queue\""));
+        assert!(json.contains("\"schema\": \"csprov-bench/1\""));
+        assert!(json.contains("\"host\": {\"cpus\": "));
+        assert!(json.contains("\"rustc\": \""));
         assert!(json.contains("\"median_ns\": 64781.2") || json.contains("\"median_ns\": 64781.3"));
         assert!(json.contains("\"rate_per_sec\": 154365000.7"));
         assert!(json.contains("\"rate_per_sec\": null"));
         assert!(json.contains("quote\\\"d"));
-        // Exactly one trailing comma between the two entries.
+        // Exactly one trailing comma between the two entries (the host
+        // metadata line contributes the other `},`).
         assert_eq!(json.matches("}},").count(), 0);
-        assert_eq!(json.matches("},\n").count(), 1);
+        assert_eq!(json.matches("},\n").count(), 2);
     }
 
     #[test]

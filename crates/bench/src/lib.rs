@@ -2,13 +2,16 @@
 //!
 //! - `src/bin/repro.rs` — regenerates every table and figure of the paper
 //!   (`cargo run -p csprov-bench --release --bin repro -- all`).
+//! - `src/bin/bench_compare.rs` — the CI perf sentinel: diffs bench
+//!   reports against `results/bench_baseline.json` (logic in [`compare`]).
 //! - `benches/` — micro-benchmarks for the performance-critical layers
 //!   (event kernel, wire formats, streaming analyzers, router models, and
 //!   the end-to-end simulation), built on the in-tree [`harness`].
 //!
 //! This crate intentionally has no library surface beyond the helpers the
-//! binary and benches share.
+//! binaries and benches share.
 
+pub mod compare;
 pub mod harness;
 
 use csprov::pipeline::MainRun;

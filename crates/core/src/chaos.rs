@@ -243,6 +243,9 @@ pub fn run_chaos_main(
     registry: Option<&MetricsRegistry>,
 ) -> (MainRun, ChaosReport) {
     let path = build_path(spec, chaos_seed, registry);
+    if let Some(journal) = &instruments.journal {
+        path.attach_journal(journal.clone());
+    }
     let run = MainRun::execute_with_middlebox(
         config,
         Some(path.clone() as Rc<dyn Middlebox>),

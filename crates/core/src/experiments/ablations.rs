@@ -8,7 +8,7 @@ use csprov_analysis::report::{fmt_f64, TextTable};
 use csprov_game::{ScenarioConfig, WorkloadConfig};
 use csprov_model::SourceModelFit;
 use csprov_net::{CountingSink, Direction, TraceSink};
-use csprov_router::{simulate_cache, CachePolicy, EngineConfig, NextHop, RouteTable};
+use csprov_router::{CachePolicy, EngineConfig, NextHop, RouteTable};
 use csprov_sim::{RngStream, SimDuration};
 use std::cell::RefCell;
 use std::net::Ipv4Addr;
@@ -232,6 +232,16 @@ pub fn ablate_nat_buffer(seed: u64) -> TextTable {
 /// §IV-B: preferential route caching. Replays a synthetic mixed workload
 /// (game flows + web-scan cross traffic) through every cache policy.
 pub fn route_cache_experiment(seed: u64) -> TextTable {
+    route_cache_experiment_journaled(seed, None)
+}
+
+/// [`route_cache_experiment`] with an optional trace journal receiving
+/// sampled `router.cache.*` events (one in every 1024 accesses, plus all
+/// evictions). Journaling is write-only: the table is identical either way.
+pub fn route_cache_experiment_journaled(
+    seed: u64,
+    journal: Option<&csprov_obs::Journal>,
+) -> TextTable {
     let mut table = RouteTable::new();
     table.insert(Ipv4Addr::new(0, 0, 0, 0), 0, NextHop(0));
     // A routing table with some depth so misses cost real work.
@@ -268,7 +278,13 @@ pub fn route_cache_experiment(seed: u64) -> TextTable {
     let mut t = TextTable::new("Route caching policies on game + web mix (cache = 24 slots)")
         .header(vec!["policy", "hit rate %", "mean lookup cost", "speedup"]);
     for policy in CachePolicy::ALL {
-        let r = simulate_cache(&table, policy, 24, stream(200_000, seed));
+        let r = csprov_router::simulate_cache_journaled(
+            &table,
+            policy,
+            24,
+            stream(200_000, seed),
+            journal.map(|j| (j.clone(), 1024)),
+        );
         t.row(vec![
             format!("{policy:?}"),
             fmt_f64(r.hit_rate * 100.0, 2),

@@ -76,6 +76,9 @@ pub fn run_nat_experiment_instrumented(
     if let Some(registry) = registry {
         device.attach_metrics(RouterMetrics::register(registry));
     }
+    if let Some(journal) = &instruments.journal {
+        device.attach_journal(journal.clone());
+    }
     let sink = Rc::new(RefCell::new(NullSink));
     let duration = cfg.duration;
     let outcome = World::run_instrumented(cfg, sink, Some(device.clone()), instruments);
@@ -173,12 +176,18 @@ pub fn run_nat_campaign(
     if let Some(registry) = registry {
         device.attach_metrics(RouterMetrics::register(registry));
     }
+    if let Some(journal) = &instruments.journal {
+        device.attach_journal(journal.clone());
+    }
     let path = chaos::build_path_around(
         spec,
         chaos_seed,
         Some(device.clone() as Rc<dyn Middlebox>),
         registry,
     );
+    if let Some(journal) = &instruments.journal {
+        path.attach_journal(journal.clone());
+    }
     let sink = Rc::new(RefCell::new(NullSink));
     let duration = cfg.duration;
     let outcome = World::run_instrumented(cfg, sink, Some(path.clone()), instruments);

@@ -52,7 +52,16 @@ pub struct WorldInstruments {
     /// Read-only kernel observer `(every_n_events, callback)` — the hook a
     /// progress reporter hangs off.
     pub observer: Option<(u64, csprov_sim::Observer)>,
+    /// Trace journal receiving tick/burst/shed events from the world and
+    /// (via [`Simulator::set_journal`]) sampled dispatch events from the
+    /// kernel. Write-only, like everything else here.
+    pub journal: Option<csprov_obs::Journal>,
 }
+
+/// Sampling stride for kernel dispatch events when a journal is attached:
+/// matches the progress-observer stride so a journal adds no finer-grained
+/// timeline than the observer already sees.
+const JOURNAL_DISPATCH_STRIDE: u64 = 8192;
 
 /// Everything a finished run reports besides the packet stream.
 #[derive(Debug, Clone)]
@@ -121,6 +130,7 @@ struct WorldState {
     rng_misc: RngStream,
     metrics: Option<GameMetrics>,
     link_metrics: Option<LinkMetrics>,
+    journal: Option<csprov_obs::Journal>,
 }
 
 type W = Rc<RefCell<WorldState>>;
@@ -206,12 +216,16 @@ impl World {
             rng_misc: root.derive("misc"),
             metrics: instruments.metrics,
             link_metrics: instruments.link_metrics,
+            journal: instruments.journal.clone(),
             cfg,
         }));
 
         let mut sim = Simulator::new();
         if let Some((every, observer)) = instruments.observer {
             sim.set_observer(every, observer);
+        }
+        if let Some(journal) = instruments.journal {
+            sim.set_journal(JOURNAL_DISPATCH_STRIDE, journal);
         }
         schedule_warm_start(&state, &mut sim);
         schedule_arrivals(&state, &mut sim);
@@ -332,6 +346,9 @@ fn schedule_server_tick(w: &W, sim: &mut Simulator) {
     // batched tap delivery instead of a sink call per snapshot.
     let mut burst: Vec<TraceRecord> = Vec::new();
     let mut forwards: Vec<Packet> = Vec::new();
+    // Cumulative shed count already journaled, so each tick emits only the
+    // delta it caused.
+    let mut journaled_shed: u64 = 0;
     spawn_periodic(
         sim,
         SimTime::ZERO + tick,
@@ -345,6 +362,14 @@ fn schedule_server_tick(w: &W, sim: &mut Simulator) {
             let snaps = {
                 let mut st = w.borrow_mut();
                 let now = sim.now();
+                if let Some(j) = &st.journal {
+                    j.emit(
+                        now.as_nanos(),
+                        "game.tick.begin",
+                        0,
+                        st.server.player_count() as u64,
+                    );
+                }
                 st.server.tick(now)
             };
             if let Some(m) = &metrics {
@@ -353,6 +378,28 @@ fn schedule_server_tick(w: &W, sim: &mut Simulator) {
                     .add(snaps.iter().map(|&(_, size)| u64::from(size)).sum());
                 if let Some(g) = &mut guard {
                     g.add_items(snaps.len() as u64);
+                }
+            }
+            {
+                let st = w.borrow();
+                if let Some(j) = &st.journal {
+                    let now_ns = sim.now().as_nanos();
+                    let bytes: u64 = snaps.iter().map(|&(_, size)| u64::from(size)).sum();
+                    j.emit(now_ns, "game.tick.end", snaps.len() as u64, bytes);
+                    if !snaps.is_empty() {
+                        j.emit(now_ns, "game.snapshot.burst", snaps.len() as u64, bytes);
+                    }
+                    let shed = st.server.shed_snapshots();
+                    if shed != journaled_shed {
+                        j.emit(now_ns, "game.sendq.shed", 0, shed - journaled_shed);
+                        journaled_shed = shed;
+                    }
+                    j.emit(
+                        now_ns,
+                        "game.players.level",
+                        0,
+                        st.server.player_count() as u64,
+                    );
                 }
             }
             let now = sim.now();

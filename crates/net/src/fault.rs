@@ -20,6 +20,7 @@
 //!    [`FaultStats::conservation_holds`]).
 
 use crate::packet::Packet;
+use csprov_obs::Journal;
 use csprov_sim::{Counter, RngStream, SimDuration, SimTime, TokenBucket};
 
 /// Impairment configuration. The default is a no-op.
@@ -175,6 +176,7 @@ pub struct FaultInjector {
     bucket: Option<TokenBucket>,
     in_bad_state: bool,
     stats: FaultStats,
+    journal: Option<Journal>,
 }
 
 impl FaultInjector {
@@ -195,7 +197,15 @@ impl FaultInjector {
             bucket,
             in_bad_state: false,
             stats,
+            journal: None,
         }
+    }
+
+    /// Attaches a trace journal: every non-`Deliver` fate is recorded as a
+    /// `net.fault.*` event keyed by session. Write-only — attaching a
+    /// journal cannot change any fate or RNG draw.
+    pub fn attach_journal(&mut self, journal: Journal) {
+        self.journal = Some(journal);
     }
 
     /// Shared handles to the impairment counters.
@@ -224,7 +234,31 @@ impl FaultInjector {
     ///
     /// Disabled impairments consume no RNG draws; an all-zero config always
     /// returns [`Fate::Deliver`] with the stream untouched.
-    pub fn decide(&mut self, now: SimTime, _packet: &Packet) -> Fate {
+    pub fn decide(&mut self, now: SimTime, packet: &Packet) -> Fate {
+        let fate = self.decide_inner(now);
+        if let Some(j) = &self.journal {
+            let kind = match fate {
+                Fate::Deliver => None,
+                Fate::DeliverDelayed(_) => Some("net.fault.reorder"),
+                Fate::Duplicate(_) => Some("net.fault.duplicate"),
+                Fate::Drop(DropCause::Random) => Some("net.fault.drop.random"),
+                Fate::Drop(DropCause::Burst) => Some("net.fault.drop.burst"),
+                Fate::Drop(DropCause::Corrupt) => Some("net.fault.drop.corrupt"),
+                Fate::Drop(DropCause::Shaped) => Some("net.fault.drop.shaped"),
+            };
+            if let Some(kind) = kind {
+                j.emit(
+                    now.as_nanos(),
+                    kind,
+                    u64::from(packet.session),
+                    u64::from(packet.app_len),
+                );
+            }
+        }
+        fate
+    }
+
+    fn decide_inner(&mut self, now: SimTime) -> Fate {
         self.stats.offered.incr();
         if let Some(ge) = self.config.burst_loss {
             let flip = if self.in_bad_state {
@@ -463,6 +497,53 @@ mod tests {
         assert!((2_500..3_500).contains(&delayed), "reordered {delayed}");
         assert!((1_600..2_600).contains(&dups), "duplicated {dups}");
         assert!(s.conservation_holds());
+    }
+
+    #[test]
+    fn journal_records_impairment_decisions_without_changing_them() {
+        let config = FaultConfig {
+            drop_chance: 0.3,
+            reorder: Some(ReorderConfig {
+                chance: 0.2,
+                delay_min: SimDuration::from_millis(1),
+                delay_max: SimDuration::from_millis(2),
+            }),
+            ..Default::default()
+        };
+        let fates = |journal: Option<Journal>| {
+            let mut inj = FaultInjector::new(config.clone(), RngStream::new(9));
+            if let Some(j) = journal {
+                inj.attach_journal(j);
+            }
+            (0..500)
+                .map(|_| inj.decide(SimTime::from_secs(1), &pkt()))
+                .collect::<Vec<_>>()
+        };
+        let journal = Journal::new();
+        let with = fates(Some(journal.clone()));
+        let without = fates(None);
+        assert_eq!(with, without, "journal must not perturb fates");
+        let drops = with
+            .iter()
+            .filter(|f| matches!(f, Fate::Drop(DropCause::Random)))
+            .count() as u64;
+        let reorders = with
+            .iter()
+            .filter(|f| matches!(f, Fate::DeliverDelayed(_)))
+            .count() as u64;
+        assert!(drops > 0 && reorders > 0, "config must exercise both paths");
+        let counts = journal.counts_by_kind();
+        assert_eq!(
+            counts,
+            vec![
+                ("net.fault.drop.random", drops),
+                ("net.fault.reorder", reorders)
+            ]
+        );
+        assert!(journal
+            .events()
+            .iter()
+            .all(|e| e.sim_ns == SimTime::from_secs(1).as_nanos()));
     }
 
     #[test]

@@ -444,20 +444,37 @@ impl<R: Read> TraceReader<R> {
     /// ends mid-record sets [`ReplayReport::truncated`] instead of failing;
     /// only I/O errors abort.
     pub fn replay_lossy(&mut self, sink: &mut dyn TraceSink) -> Result<ReplayReport, Error> {
+        self.replay_lossy_journaled(sink, None)
+    }
+
+    /// [`TraceReader::replay_lossy`] with an optional trace journal: each
+    /// skipped record emits a `net.replay.skip` event (stamped with the last
+    /// good record time, keyed by stream ordinal) and a truncated tail emits
+    /// `net.replay.truncated`. Journaling never changes what is delivered.
+    pub fn replay_lossy_journaled(
+        &mut self,
+        sink: &mut dyn TraceSink,
+        journal: Option<&csprov_obs::Journal>,
+    ) -> Result<ReplayReport, Error> {
         const CHUNK: usize = 256;
         let mut buf = Vec::with_capacity(CHUNK);
         let mut report = ReplayReport::default();
         let mut last = SimTime::ZERO;
+        let mut scanned: u64 = 0;
         loop {
             let raw = match self.read_record_bytes() {
                 Ok(Some(raw)) => raw,
                 Ok(None) => break,
                 Err(Error::TruncatedRecord) => {
                     report.truncated = true;
+                    if let Some(j) = journal {
+                        j.emit(last.as_nanos(), "net.replay.truncated", scanned, 0);
+                    }
                     break;
                 }
                 Err(e) => return Err(e),
             };
+            scanned += 1;
             match Self::decode_record(&raw) {
                 Ok(rec) => {
                     last = rec.time;
@@ -468,7 +485,12 @@ impl<R: Read> TraceReader<R> {
                         buf.clear();
                     }
                 }
-                Err(e) if e.is_decode() => report.skipped += 1,
+                Err(e) if e.is_decode() => {
+                    report.skipped += 1;
+                    if let Some(j) = journal {
+                        j.emit(last.as_nanos(), "net.replay.skip", scanned, 1);
+                    }
+                }
                 Err(e) => return Err(e),
             }
         }
@@ -672,6 +694,58 @@ mod tests {
         // A damaged record never desynchronizes its neighbours: the last
         // intact record (index 4) still lands with its own timestamp.
         assert_eq!(sink.end, Some(SimTime::from_millis(4)));
+    }
+
+    #[test]
+    fn lossy_replay_journals_skips_without_changing_delivery() {
+        let mut w = TraceWriter::new(Vec::new()).unwrap();
+        for i in 0..6 {
+            w.write(&rec(
+                i,
+                Direction::Inbound,
+                PacketKind::ClientCommand,
+                1,
+                40,
+            ))
+            .unwrap();
+        }
+        let mut bytes = w.finish().unwrap();
+        bytes[8 + 16] = 9; // record 0: direction tag out of range
+        bytes[8 + 3 * RECORD_LEN + 17] = 200; // record 3: kind tag out of range
+        bytes.truncate(bytes.len() - 5); // record 5 cut mid-record
+
+        let mut plain_sink = CountingSink::new();
+        let plain = TraceReader::new(&bytes[..])
+            .unwrap()
+            .replay_lossy(&mut plain_sink)
+            .unwrap();
+        let journal = csprov_obs::Journal::new();
+        let mut sink = CountingSink::new();
+        let report = TraceReader::new(&bytes[..])
+            .unwrap()
+            .replay_lossy_journaled(&mut sink, Some(&journal))
+            .unwrap();
+        assert_eq!(report, plain, "journaling must not change the replay");
+        assert_eq!(sink.total_packets(), plain_sink.total_packets());
+
+        let events = journal.events();
+        let skips: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == "net.replay.skip")
+            .collect();
+        assert_eq!(skips.len(), 2);
+        // Damaged records 0 and 3 (1-based stream ordinals 1 and 4).
+        assert_eq!(skips[0].key, 1);
+        assert_eq!(skips[1].key, 4);
+        // Record 3's skip is stamped with the last good time (record 2).
+        assert_eq!(skips[1].sim_ns, SimTime::from_millis(2).as_nanos());
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.kind == "net.replay.truncated")
+                .count(),
+            1
+        );
     }
 
     #[test]

@@ -114,6 +114,39 @@ impl LogHistogram {
         }
     }
 
+    /// Estimated value at quantile `q` in `[0, 1]`.
+    ///
+    /// Exact to within the containing power-of-two bucket: the target rank
+    /// is located by cumulative count, then linearly interpolated across the
+    /// bucket's value range (clamped to the observed min/max, so single-
+    /// valued histograms report the exact value at every quantile).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let first_rank = cum + 1;
+            cum += c;
+            if target <= cum {
+                let (lo, hi) = Self::bucket_range(i);
+                let lo = lo.max(self.min);
+                let hi = hi.min(self.max);
+                if hi <= lo || c == 1 {
+                    return lo;
+                }
+                let frac = (target - first_rank) as f64 / (c - 1) as f64;
+                return lo + ((hi - lo) as f64 * frac) as u64;
+            }
+        }
+        self.max
+    }
+
     /// Non-empty buckets as `(low, high, count)` triples in value order.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
         self.counts
@@ -200,6 +233,43 @@ mod tests {
         assert_eq!(empty, both);
         both.merge(&LogHistogram::new());
         assert_eq!(empty, both);
+    }
+
+    #[test]
+    fn quantiles_on_empty_and_single_valued_histograms() {
+        let h = LogHistogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        let mut h = LogHistogram::new();
+        for _ in 0..100 {
+            h.record(700);
+        }
+        // All mass at one value: every quantile is exact.
+        assert_eq!(h.quantile(0.0), 700);
+        assert_eq!(h.quantile(0.5), 700);
+        assert_eq!(h.quantile(0.99), 700);
+        assert_eq!(h.quantile(1.0), 700);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bucket_accurate() {
+        let mut h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5);
+        let p95 = h.quantile(0.95);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        // Accurate to within the containing power-of-two bucket.
+        let within_bucket = |estimate: u64, truth: u64| {
+            LogHistogram::bucket_index(estimate) == LogHistogram::bucket_index(truth)
+        };
+        assert!(within_bucket(p50, 500), "p50 estimate {p50}");
+        assert!(within_bucket(p95, 950), "p95 estimate {p95}");
+        assert!(within_bucket(p99, 990), "p99 estimate {p99}");
+        // Extremes clamp to observed min/max.
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 1000);
     }
 
     #[test]

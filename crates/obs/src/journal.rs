@@ -1,0 +1,329 @@
+//! Bounded, deterministic event journal.
+//!
+//! The journal is the *timeline* plane of the observability layer: where the
+//! [`MetricsRegistry`](crate::MetricsRegistry) answers "how much, in total",
+//! the journal answers "when". Producers emit [`TraceEvent`]s stamped with
+//! sim time only — never `Instant` — so two same-seed runs write
+//! byte-identical journals regardless of host speed.
+//!
+//! ## Cost model
+//!
+//! Consumers hold an `Option<Journal>` side-channel, so an unexported
+//! journal costs exactly one branch per would-be emit. When attached, an
+//! emit is a bounds check plus a `Vec` push; once the capacity is reached
+//! further events are counted (total and per kind) but not stored, keeping
+//! memory bounded on week-long traces. High-frequency producers (the sim
+//! dispatch loop) additionally sample — emitting every Nth occurrence —
+//! which is a policy of the *producer*, not of this type.
+//!
+//! ## Exports
+//!
+//! [`Journal::export_jsonl`] writes one JSON object per line behind a
+//! schema header; [`Journal::export_chrome_trace`] writes the Chrome
+//! trace-event format (one process, one named thread row per subsystem), so
+//! a seeded run opens directly in Perfetto / `chrome://tracing` with tick
+//! bursts visible as instant rows and `.level` kinds as counter tracks.
+
+use crate::json::escape;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// Schema tag written at the head of every JSONL export.
+pub const JOURNAL_SCHEMA: &str = "csprov-trace/1";
+
+/// One journal entry. `kind` is a static dotted path (`"router.nat.evict"`);
+/// `key` identifies the subject (session id, player slot, event id) and
+/// `value` carries the magnitude (bytes, queue depth, count).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    pub sim_ns: u64,
+    pub kind: &'static str,
+    pub key: u64,
+    pub value: u64,
+}
+
+#[derive(Debug, Default)]
+struct JournalInner {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+    dropped_by_kind: BTreeMap<&'static str, u64>,
+}
+
+/// Shared handle onto a bounded trace journal; clones share storage.
+#[derive(Clone, Debug, Default)]
+pub struct Journal(Rc<RefCell<JournalInner>>);
+
+impl Journal {
+    /// Default capacity used by the repro pipeline: generous enough for a
+    /// full scaled run at the standard sampling strides, small enough that
+    /// the journal never dominates memory.
+    pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+    /// A journal that stores at most `capacity` events; later emits are
+    /// counted as dropped.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let journal = Journal::default();
+        {
+            let mut inner = journal.0.borrow_mut();
+            inner.capacity = capacity;
+            // Grow lazily from a modest floor; a fault-free run emits far
+            // fewer events than the cap.
+            inner.events.reserve(capacity.min(4096));
+        }
+        journal
+    }
+
+    /// A journal with [`Self::DEFAULT_CAPACITY`].
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Appends one event, or counts it as dropped once at capacity.
+    #[inline]
+    pub fn emit(&self, sim_ns: u64, kind: &'static str, key: u64, value: u64) {
+        let mut inner = self.0.borrow_mut();
+        if inner.events.len() < inner.capacity {
+            inner.events.push(TraceEvent {
+                sim_ns,
+                kind,
+                key,
+                value,
+            });
+        } else {
+            inner.dropped += 1;
+            *inner.dropped_by_kind.entry(kind).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of stored events.
+    pub fn len(&self) -> usize {
+        self.0.borrow().events.len()
+    }
+
+    /// Whether nothing has been stored.
+    pub fn is_empty(&self) -> bool {
+        self.0.borrow().events.is_empty()
+    }
+
+    /// Events emitted past capacity and therefore not stored.
+    pub fn dropped(&self) -> u64 {
+        self.0.borrow().dropped
+    }
+
+    /// Maximum number of stored events.
+    pub fn capacity(&self) -> usize {
+        self.0.borrow().capacity
+    }
+
+    /// Copies out the stored events in emit order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.0.borrow().events.clone()
+    }
+
+    /// Per-kind stored counts, kind-sorted — a cheap summary for smoke
+    /// checks and reports.
+    pub fn counts_by_kind(&self) -> Vec<(&'static str, u64)> {
+        let inner = self.0.borrow();
+        let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for ev in &inner.events {
+            *counts.entry(ev.kind).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    /// JSON-lines export: a schema header object, then one object per event
+    /// in emit order.
+    pub fn export_jsonl(&self) -> String {
+        let inner = self.0.borrow();
+        let mut out = String::with_capacity(64 + inner.events.len() * 72);
+        let _ = writeln!(
+            out,
+            "{{\"schema\":{},\"events\":{},\"dropped\":{},\"capacity\":{}}}",
+            escape(JOURNAL_SCHEMA),
+            inner.events.len(),
+            inner.dropped,
+            inner.capacity
+        );
+        for ev in &inner.events {
+            let _ = writeln!(
+                out,
+                "{{\"sim_ns\":{},\"kind\":{},\"key\":{},\"value\":{}}}",
+                ev.sim_ns,
+                escape(ev.kind),
+                ev.key,
+                ev.value
+            );
+        }
+        out
+    }
+
+    /// Chrome trace-event JSON (the `{"traceEvents":[..]}` envelope).
+    ///
+    /// Kinds are mapped onto one thread row per top-level subsystem (the
+    /// dotted prefix: `sim`, `game`, `net`, `router`, ...). Kinds ending in
+    /// `.level` become counter (`"ph":"C"`) tracks; everything else is a
+    /// thread-scoped instant. Timestamps are microseconds with nanosecond
+    /// decimals, as the format requires.
+    pub fn export_chrome_trace(&self) -> String {
+        let inner = self.0.borrow();
+        // Stable thread ids: first-seen order of subsystem prefixes.
+        let mut tids: Vec<&str> = Vec::new();
+        for ev in &inner.events {
+            let prefix = subsystem(ev.kind);
+            if !tids.contains(&prefix) {
+                tids.push(prefix);
+            }
+        }
+        let mut out = String::with_capacity(128 + inner.events.len() * 120);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+             \"args\":{{\"name\":\"csprov seeded run\"}}}}"
+        );
+        for (tid, prefix) in tids.iter().enumerate() {
+            let _ = write!(
+                out,
+                ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+                 \"args\":{{\"name\":{}}}}}",
+                tid,
+                escape(prefix)
+            );
+        }
+        for ev in &inner.events {
+            let prefix = subsystem(ev.kind);
+            let tid = tids.iter().position(|p| *p == prefix).unwrap_or(0);
+            let us = ev.sim_ns / 1_000;
+            let ns_frac = ev.sim_ns % 1_000;
+            if ev.kind.ends_with(".level") {
+                let _ = write!(
+                    out,
+                    ",\n{{\"name\":{},\"ph\":\"C\",\"pid\":1,\"tid\":{},\
+                     \"ts\":{}.{:03},\"args\":{{\"level\":{}}}}}",
+                    escape(ev.kind),
+                    tid,
+                    us,
+                    ns_frac,
+                    ev.value
+                );
+            } else {
+                let _ = write!(
+                    out,
+                    ",\n{{\"name\":{},\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{},\
+                     \"ts\":{}.{:03},\"args\":{{\"key\":{},\"value\":{}}}}}",
+                    escape(ev.kind),
+                    tid,
+                    us,
+                    ns_frac,
+                    ev.key,
+                    ev.value
+                );
+            }
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+/// The dotted prefix naming the emitting subsystem (`"router.nat.evict"` →
+/// `"router"`).
+fn subsystem(kind: &str) -> &str {
+    kind.split('.').next().unwrap_or(kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    #[test]
+    fn emit_stores_in_order_and_clones_share() {
+        let j = Journal::with_capacity(8);
+        let j2 = j.clone();
+        j.emit(10, "sim.dispatch", 1, 100);
+        j2.emit(20, "game.tick.begin", 2, 0);
+        assert_eq!(j.len(), 2);
+        let events = j.events();
+        assert_eq!(events[0].kind, "sim.dispatch");
+        assert_eq!(events[1].sim_ns, 20);
+        assert_eq!(j.dropped(), 0);
+    }
+
+    #[test]
+    fn capacity_bounds_storage_and_counts_drops() {
+        let j = Journal::with_capacity(3);
+        for i in 0..10 {
+            j.emit(i, "net.fault.drop", i, 1);
+        }
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.dropped(), 7);
+        assert_eq!(j.capacity(), 3);
+    }
+
+    #[test]
+    fn counts_by_kind_are_sorted() {
+        let j = Journal::new();
+        j.emit(1, "b.two", 0, 0);
+        j.emit(2, "a.one", 0, 0);
+        j.emit(3, "b.two", 0, 0);
+        assert_eq!(j.counts_by_kind(), vec![("a.one", 1), ("b.two", 2)]);
+    }
+
+    #[test]
+    fn jsonl_export_parses_line_by_line() {
+        let j = Journal::with_capacity(2);
+        j.emit(1_000, "game.tick.begin", 7, 22);
+        j.emit(2_000, "router.nat.refuse", 9, 0);
+        j.emit(3_000, "router.nat.refuse", 9, 0); // dropped
+        let text = j.export_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let header = Json::parse(lines[0]).unwrap();
+        assert_eq!(
+            header.get("schema").and_then(Json::as_str),
+            Some(JOURNAL_SCHEMA)
+        );
+        assert_eq!(header.get("events").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(header.get("dropped").and_then(Json::as_f64), Some(1.0));
+        let ev = Json::parse(lines[1]).unwrap();
+        assert_eq!(
+            ev.get("kind").and_then(Json::as_str),
+            Some("game.tick.begin")
+        );
+        assert_eq!(ev.get("sim_ns").and_then(Json::as_f64), Some(1000.0));
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_thread_rows() {
+        let j = Journal::new();
+        j.emit(50_000_000, "game.tick.begin", 0, 12);
+        j.emit(50_000_500, "game.sendq.level", 0, 44);
+        j.emit(50_001_000, "router.nat.insert", 3, 27015);
+        let doc = Json::parse(&j.export_chrome_trace()).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        // 1 process-name + 2 thread-name metadata rows + 3 events.
+        assert_eq!(events.len(), 6);
+        let phases: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("ph").and_then(Json::as_str))
+            .collect();
+        assert_eq!(phases, vec!["M", "M", "M", "i", "C", "i"]);
+        // 50_000_500 ns → ts 50000.500 µs.
+        assert_eq!(events[4].get("ts").and_then(Json::as_f64), Some(50000.5));
+    }
+
+    #[test]
+    fn same_emit_sequence_exports_identically() {
+        let run = || {
+            let j = Journal::with_capacity(100);
+            for i in 0..50u64 {
+                j.emit(i * 1000, if i % 2 == 0 { "a.x" } else { "b.y" }, i, i * 3);
+            }
+            (j.export_jsonl(), j.export_chrome_trace())
+        };
+        assert_eq!(run(), run());
+    }
+}

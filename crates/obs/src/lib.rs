@@ -1,9 +1,20 @@
 //! # csprov-obs — zero-dependency observability for the csprov workspace
 //!
-//! Metrics, span timing and progress reporting for the single-threaded
-//! discrete-event simulation. Everything here is built on `Rc<Cell<..>>`
-//! handles — no atomics, no locks, no external crates — so instrumented hot
-//! paths pay roughly one pointer-chase per update.
+//! Metrics, span timing, progress reporting, a deterministic trace journal
+//! and a sim-time series sampler for the single-threaded discrete-event
+//! simulation. Everything here is built on `Rc<Cell<..>>` handles — no
+//! atomics, no locks, no external crates — so instrumented hot paths pay
+//! roughly one pointer-chase per update.
+//!
+//! Telemetry is organised in three planes over one set of producers:
+//!
+//! * **snapshot** — [`MetricsRegistry`]: end-of-run totals (text, JSONL,
+//!   Prometheus exposition);
+//! * **journal** — [`Journal`]: a bounded log of discrete
+//!   [`TraceEvent`]s stamped with sim time (JSONL and Chrome trace-event
+//!   exports, Perfetto-openable);
+//! * **series** — [`SeriesSampler`]: periodic columnar samples of registry
+//!   instruments on the sim clock (CSV, plot-ready).
 //!
 //! ## The determinism boundary
 //!
@@ -24,11 +35,17 @@
 //! metric value.
 
 pub mod histogram;
+pub mod journal;
+pub mod json;
 pub mod progress;
 pub mod registry;
 pub mod span;
+pub mod timeseries;
 
 pub use histogram::LogHistogram;
+pub use journal::{Journal, TraceEvent, JOURNAL_SCHEMA};
+pub use json::Json;
 pub use progress::ProgressReporter;
-pub use registry::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use registry::{Counter, Gauge, Histogram, MetricsRegistry, METRICS_SCHEMA};
 pub use span::{Span, SpanGuard};
+pub use timeseries::{SeriesSampler, SERIES_TIME_COLUMN};

@@ -12,6 +12,7 @@
 //! byte-for-byte no matter how fast the host executed them.
 
 use crate::histogram::LogHistogram;
+use crate::json::escape as json_str;
 use crate::span::Span;
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
@@ -229,11 +230,14 @@ impl MetricsRegistry {
                     let h = h.snapshot();
                     let _ = writeln!(
                         out,
-                        "{name} histogram count {} sum {} min {} max {}",
+                        "{name} histogram count {} sum {} min {} max {} p50 {} p95 {} p99 {}",
                         h.count(),
                         h.sum(),
                         h.min(),
-                        h.max()
+                        h.max(),
+                        h.quantile(0.50),
+                        h.quantile(0.95),
+                        h.quantile(0.99)
                     );
                 }
             }
@@ -241,13 +245,15 @@ impl MetricsRegistry {
         out
     }
 
-    /// One JSON object per line, name-sorted, tagged with `artifact`.
+    /// One JSON object per line, name-sorted, tagged with `artifact` and a
+    /// `schema` version field so consumers can detect format drift.
     pub fn render_jsonl(&self, artifact: &str) -> String {
         let mut out = String::new();
         for (name, entry) in self.entries.borrow().iter() {
             let _ = write!(
                 out,
-                "{{\"artifact\":{},\"name\":{},\"kind\":\"{}\",\"wall\":{}",
+                "{{\"schema\":{},\"artifact\":{},\"name\":{},\"kind\":\"{}\",\"wall\":{}",
+                json_str(METRICS_SCHEMA),
                 json_str(artifact),
                 json_str(name),
                 entry.instrument.kind(),
@@ -269,11 +275,15 @@ impl MetricsRegistry {
                     let h = h.snapshot();
                     let _ = write!(
                         out,
-                        ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                        ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+                         \"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
                         h.count(),
                         h.sum(),
                         h.min(),
-                        h.max()
+                        h.max(),
+                        h.quantile(0.50),
+                        h.quantile(0.95),
+                        h.quantile(0.99)
                     );
                     for (i, (lo, _, c)) in h.nonzero_buckets().iter().enumerate() {
                         if i > 0 {
@@ -288,26 +298,75 @@ impl MetricsRegistry {
         }
         out
     }
+
+    /// Prometheus text exposition (format version 0.0.4). Counters and
+    /// gauges map directly; histograms render as summaries with
+    /// p50/p95/p99 quantile series. Dotted names become underscore names.
+    /// Wall instruments are included — exposition is an operational
+    /// surface, not a determinism artifact.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, entry) in self.entries.borrow().iter() {
+            let prom = prom_name(name);
+            match &entry.instrument {
+                Instrument::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {prom} counter");
+                    let _ = writeln!(out, "{prom} {}", c.get());
+                }
+                Instrument::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {prom} gauge");
+                    let _ = writeln!(out, "{prom} {}", g.get());
+                    let _ = writeln!(out, "# TYPE {prom}_high_water gauge");
+                    let _ = writeln!(out, "{prom}_high_water {}", g.high_water());
+                }
+                Instrument::Histogram(h) => {
+                    let h = h.snapshot();
+                    let _ = writeln!(out, "# TYPE {prom} summary");
+                    for (label, q) in [("0.5", 0.50), ("0.95", 0.95), ("0.99", 0.99)] {
+                        let _ = writeln!(out, "{prom}{{quantile=\"{label}\"}} {}", h.quantile(q));
+                    }
+                    let _ = writeln!(out, "{prom}_sum {}", h.sum());
+                    let _ = writeln!(out, "{prom}_count {}", h.count());
+                }
+            }
+        }
+        out
+    }
+
+    /// Deterministic instrument values for time-series sampling: one
+    /// `(name, kind, value)` triple per non-wall instrument, name-sorted.
+    /// Histograms report their observation count.
+    pub fn sample_deterministic(&self) -> Vec<(String, &'static str, f64)> {
+        let mut out = Vec::new();
+        for (name, entry) in self.entries.borrow().iter() {
+            if entry.wall {
+                continue;
+            }
+            let value = match &entry.instrument {
+                Instrument::Counter(c) => c.get() as f64,
+                Instrument::Gauge(g) => g.get() as f64,
+                Instrument::Histogram(h) => h.snapshot().count() as f64,
+            };
+            out.push((name.clone(), entry.instrument.kind(), value));
+        }
+        out
+    }
 }
 
-/// Minimal JSON string encoding; metric names are plain identifiers but the
-/// artifact label is caller-supplied.
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
+/// Schema tag stamped onto every metrics JSONL line.
+pub const METRICS_SCHEMA: &str = "csprov-metrics/1";
+
+/// Maps a dotted metric name onto the Prometheus name charset
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, ch) in name.chars().enumerate() {
+        let ok = ch.is_ascii_alphanumeric() || ch == '_' || ch == ':';
+        if i == 0 && ch.is_ascii_digit() {
+            out.push('_');
         }
+        out.push(if ok { ch } else { '_' });
     }
-    out.push('"');
     out
 }
 
@@ -401,7 +460,8 @@ mod tests {
         reg.histogram("h").record(5);
         let jsonl = reg.render_jsonl("table4");
         for line in jsonl.lines() {
-            assert!(line.starts_with("{\"artifact\":\"table4\",\"name\":"));
+            assert!(line
+                .starts_with("{\"schema\":\"csprov-metrics/1\",\"artifact\":\"table4\",\"name\":"));
             assert!(line.ends_with('}'));
         }
         assert!(jsonl.contains("\"kind\":\"gauge\",\"wall\":false,\"value\":-4,\"high_water\":0"));
@@ -409,8 +469,92 @@ mod tests {
     }
 
     #[test]
-    fn json_str_escapes() {
-        assert_eq!(json_str("plain"), "\"plain\"");
-        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    fn jsonl_round_trips_through_the_parser() {
+        use crate::json::Json;
+        let reg = MetricsRegistry::new();
+        reg.counter("sim.events").add(42);
+        reg.gauge("queue.depth").set(-3);
+        let h = reg.histogram("pkt.bytes");
+        for v in [10u64, 80, 80, 4000] {
+            h.record(v);
+        }
+        // Artifact labels are caller-supplied and may contain anything.
+        let jsonl = reg.render_jsonl("tricky \"label\"\nwith\tescapes");
+        for line in jsonl.lines() {
+            let obj = Json::parse(line).expect("every metrics line parses");
+            assert_eq!(
+                obj.get("schema").and_then(Json::as_str),
+                Some(METRICS_SCHEMA)
+            );
+            assert_eq!(
+                obj.get("artifact").and_then(Json::as_str),
+                Some("tricky \"label\"\nwith\tescapes")
+            );
+            let name = obj.get("name").and_then(Json::as_str).unwrap();
+            match name {
+                "sim.events" => {
+                    assert_eq!(obj.get("value").and_then(Json::as_f64), Some(42.0));
+                }
+                "queue.depth" => {
+                    assert_eq!(obj.get("value").and_then(Json::as_f64), Some(-3.0));
+                }
+                "pkt.bytes" => {
+                    assert_eq!(obj.get("count").and_then(Json::as_f64), Some(4.0));
+                    assert_eq!(obj.get("sum").and_then(Json::as_f64), Some(4170.0));
+                    assert!(obj.get("p50").and_then(Json::as_f64).is_some());
+                    assert!(obj.get("p99").and_then(Json::as_f64).is_some());
+                    assert!(obj.get("buckets").and_then(Json::as_arr).is_some());
+                }
+                other => panic!("unexpected metric {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn text_render_includes_quantiles() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat");
+        for _ in 0..10 {
+            h.record(700);
+        }
+        let text = reg.render_text();
+        assert!(
+            text.contains(
+                "lat histogram count 10 sum 7000 min 700 max 700 p50 700 p95 700 p99 700"
+            ),
+            "got {text:?}"
+        );
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter("sim.events_executed").add(9);
+        reg.gauge("router.queue.depth").set(4);
+        let h = reg.histogram("serve.sim_gap_ns");
+        h.record(1000);
+        let prom = reg.render_prometheus();
+        assert!(prom.contains("# TYPE sim_events_executed counter\nsim_events_executed 9\n"));
+        assert!(prom.contains("router_queue_depth 4\n"));
+        assert!(prom.contains("router_queue_depth_high_water 4\n"));
+        assert!(prom.contains("# TYPE serve_sim_gap_ns summary\n"));
+        assert!(prom.contains("serve_sim_gap_ns{quantile=\"0.5\"} 1000\n"));
+        assert!(prom.contains("serve_sim_gap_ns_sum 1000\n"));
+        assert!(prom.contains("serve_sim_gap_ns_count 1\n"));
+    }
+
+    #[test]
+    fn sample_deterministic_skips_wall_instruments() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a").add(2);
+        reg.gauge("b").set(-7);
+        reg.histogram("c").record(1);
+        reg.wall_histogram("d.wall_ns").record(123);
+        let sample = reg.sample_deterministic();
+        let names: Vec<&str> = sample.iter().map(|(n, _, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        assert_eq!(sample[0].1, "counter");
+        assert_eq!(sample[1].2, -7.0);
+        assert_eq!(sample[2].2, 1.0);
     }
 }

@@ -58,6 +58,7 @@ pub struct RouteCache {
     hits: u64,
     misses: u64,
     evictions: u64,
+    journal: Option<(csprov_obs::Journal, u64)>,
 }
 
 impl RouteCache {
@@ -72,7 +73,17 @@ impl RouteCache {
             hits: 0,
             misses: 0,
             evictions: 0,
+            journal: None,
         }
+    }
+
+    /// Attaches a trace journal: every `every`-th access emits a
+    /// `router.cache.hit`/`router.cache.miss` event and every eviction
+    /// emits `router.cache.evict`. The cache is trace-driven and has no sim
+    /// clock, so events are stamped with the access ordinal instead of
+    /// nanoseconds. Write-only — journaling never changes cache behaviour.
+    pub fn attach_journal(&mut self, journal: csprov_obs::Journal, every: u64) {
+        self.journal = Some((journal, every.max(1)));
     }
 
     /// The eviction policy.
@@ -120,7 +131,7 @@ impl RouteCache {
     pub fn access(&mut self, addr: Ipv4Addr, pkt_size: u32) -> Option<NextHop> {
         self.clock += 1;
         let clock = self.clock;
-        match self.entries.get_mut(&addr) {
+        let hop = match self.entries.get_mut(&addr) {
             Some(e) => {
                 e.last_used = clock;
                 e.hits += 1;
@@ -133,7 +144,18 @@ impl RouteCache {
                 self.misses += 1;
                 None
             }
+        };
+        if let Some((j, every)) = &self.journal {
+            if clock % every == 0 {
+                let kind = if hop.is_some() {
+                    "router.cache.hit"
+                } else {
+                    "router.cache.miss"
+                };
+                j.emit(clock, kind, u64::from(u32::from(addr)), u64::from(pkt_size));
+            }
         }
+        hop
     }
 
     /// Installs a destination after a miss was resolved by the full table.
@@ -182,6 +204,14 @@ impl RouteCache {
         if let Some(addr) = victim {
             self.entries.remove(&addr);
             self.evictions += 1;
+            if let Some((j, _)) = &self.journal {
+                j.emit(
+                    self.clock,
+                    "router.cache.evict",
+                    u64::from(u32::from(addr)),
+                    self.evictions,
+                );
+            }
         }
     }
 }
@@ -207,7 +237,23 @@ pub fn simulate_cache(
     capacity: usize,
     stream: impl Iterator<Item = (Ipv4Addr, u32)>,
 ) -> CacheSimResult {
+    simulate_cache_journaled(table, policy, capacity, stream, None)
+}
+
+/// [`simulate_cache`] with an optional trace journal: `(journal, every)`
+/// samples every `every`-th access. Journaling is write-only, so the result
+/// is identical to the unjournaled run.
+pub fn simulate_cache_journaled(
+    table: &RouteTable,
+    policy: CachePolicy,
+    capacity: usize,
+    stream: impl Iterator<Item = (Ipv4Addr, u32)>,
+    journal: Option<(csprov_obs::Journal, u64)>,
+) -> CacheSimResult {
     let mut cache = RouteCache::new(policy, capacity);
+    if let Some((j, every)) = journal {
+        cache.attach_journal(j, every);
+    }
     let mut total_cost = 0u64;
     let mut total_full_cost = 0u64;
     let mut packets = 0u64;
@@ -367,6 +413,48 @@ mod tests {
             pref.hit_rate,
             lru.hit_rate
         );
+    }
+
+    #[test]
+    fn journal_samples_hits_and_misses_without_changing_results() {
+        let t = table();
+        let stream = || (0..1_000u32).map(|i| (ip(10, 0, 0, (i % 40) as u8), 40u32));
+        let plain = simulate_cache(&t, CachePolicy::Lru, 16, stream());
+        let journal = csprov_obs::Journal::new();
+        let journaled = simulate_cache_journaled(
+            &t,
+            CachePolicy::Lru,
+            16,
+            stream(),
+            Some((journal.clone(), 1)),
+        );
+        assert_eq!(plain, journaled, "journaling must not change the sim");
+
+        let counts: std::collections::BTreeMap<_, _> =
+            journal.counts_by_kind().into_iter().collect();
+        let hits = counts.get("router.cache.hit").copied().unwrap_or(0);
+        let misses = counts.get("router.cache.miss").copied().unwrap_or(0);
+        assert_eq!(hits + misses, 1_000, "stride 1 journals every access");
+        assert!(counts.get("router.cache.evict").copied().unwrap_or(0) > 0);
+        // Events carry the access ordinal as their deterministic time axis.
+        let first = journal.events()[0];
+        assert_eq!(first.sim_ns, 1);
+        assert_eq!(first.kind, "router.cache.miss");
+
+        // A coarser stride samples proportionally fewer decisions.
+        let sparse = csprov_obs::Journal::new();
+        simulate_cache_journaled(
+            &t,
+            CachePolicy::Lru,
+            16,
+            stream(),
+            Some((sparse.clone(), 100)),
+        );
+        let counts: std::collections::BTreeMap<_, _> =
+            sparse.counts_by_kind().into_iter().collect();
+        let sampled = counts.get("router.cache.hit").copied().unwrap_or(0)
+            + counts.get("router.cache.miss").copied().unwrap_or(0);
+        assert_eq!(sampled, 10);
     }
 
     #[test]

@@ -71,6 +71,14 @@ impl ImpairedPath {
         *self.metrics.borrow_mut() = Some(metrics);
     }
 
+    /// Attaches a trace journal to both directional injectors: every
+    /// impairment decision (reorder, duplicate, drop) becomes a
+    /// `net.fault.*` event. Write-only — fates are drawn exactly as before.
+    pub fn attach_journal(&self, journal: csprov_obs::Journal) {
+        self.inbound.borrow_mut().attach_journal(journal.clone());
+        self.outbound.borrow_mut().attach_journal(journal);
+    }
+
     fn mirror(&self, fate: Fate) {
         if let Some(m) = self.metrics.borrow().as_ref() {
             m.offered.incr();

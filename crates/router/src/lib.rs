@@ -29,7 +29,9 @@ pub mod nat;
 pub mod provision;
 pub mod table;
 
-pub use cache::{simulate_cache, CachePolicy, CacheSimResult, RouteCache};
+pub use cache::{
+    simulate_cache, simulate_cache_journaled, CachePolicy, CacheSimResult, RouteCache,
+};
 pub use engine::{EngineConfig, EngineStats, ForwardingEngine};
 pub use impaired::ImpairedPath;
 pub use metrics::RouterMetrics;

@@ -214,6 +214,7 @@ pub struct NatDevice {
     pub table_drops: csprov_sim::Counter,
     nat_stats: NatStats,
     metrics: RefCell<Option<RouterMetrics>>,
+    journal: RefCell<Option<csprov_obs::Journal>>,
 }
 
 impl NatDevice {
@@ -233,6 +234,7 @@ impl NatDevice {
             table_drops: csprov_sim::Counter::new(),
             nat_stats: NatStats::default(),
             metrics: RefCell::new(None),
+            journal: RefCell::new(None),
         }
     }
 
@@ -241,6 +243,13 @@ impl NatDevice {
     pub fn attach_metrics(&self, metrics: RouterMetrics) {
         self.engine.attach_metrics(metrics.clone());
         *self.metrics.borrow_mut() = Some(metrics);
+    }
+
+    /// Attaches a trace [`csprov_obs::Journal`]: translation-table inserts,
+    /// evictions, and refusals become `router.nat.*` events keyed by session.
+    /// Write-only — attaching a journal never changes forwarding behaviour.
+    pub fn attach_journal(&self, journal: csprov_obs::Journal) {
+        *self.journal.borrow_mut() = Some(journal);
     }
 
     /// Engine counters (Table IV's loss accounting).
@@ -274,12 +283,17 @@ impl Middlebox for NatDevice {
                 Direction::Outbound => 1,
             };
             let outcome = self.table.borrow_mut().touch_outcome(pkt.session, now);
+            let session = u64::from(pkt.session);
             match outcome {
                 TouchOutcome::Refused => {
                     self.table_drops.incr();
                     self.nat_stats.table_drops[dir_idx].incr();
                     if let Some(m) = &*self.metrics.borrow() {
                         m.nat_table_drops.incr();
+                    }
+                    if let Some(j) = &*self.journal.borrow() {
+                        let len = self.table.borrow().len() as u64;
+                        j.emit(now.as_nanos(), "router.nat.refuse", session, len);
                     }
                     return;
                 }
@@ -290,11 +304,26 @@ impl Middlebox for NatDevice {
                         m.nat_evictions.add(evicted as u64);
                         m.nat_recoveries.incr();
                     }
+                    if let Some(j) = &*self.journal.borrow() {
+                        j.emit(now.as_nanos(), "router.nat.evict", session, evicted as u64);
+                        j.emit(now.as_nanos(), "router.nat.insert", session, 1);
+                    }
                 }
-                TouchOutcome::Existing(_) | TouchOutcome::Inserted(_) => {}
+                TouchOutcome::Inserted(_) => {
+                    if let Some(j) = &*self.journal.borrow() {
+                        j.emit(now.as_nanos(), "router.nat.insert", session, 0);
+                    }
+                }
+                TouchOutcome::Existing(_) => {}
             }
             if let Some(m) = &*self.metrics.borrow() {
                 m.nat_table_size.set(self.table.borrow().len() as i64);
+            }
+            if let Some(j) = &*self.journal.borrow() {
+                if !matches!(outcome, TouchOutcome::Existing(_)) {
+                    let len = self.table.borrow().len() as u64;
+                    j.emit(now.as_nanos(), "router.nat.table.level", 0, len);
+                }
             }
         }
         let taps_post_in = self.taps.nat_to_server.clone();
@@ -518,6 +547,70 @@ mod tests {
         assert_eq!(stats.recoveries.get(), 1);
         assert_eq!(stats.evictions.get(), 2);
         assert_eq!(stats.table_drops_total(), 1);
+    }
+
+    #[test]
+    fn journal_records_table_lifecycle_without_changing_it() {
+        let run = |journal: Option<csprov_obs::Journal>| {
+            let dev = NatDevice::with_table(
+                EngineConfig::default(),
+                NatTableConfig {
+                    capacity: 2,
+                    idle_timeout: SimDuration::from_secs(10),
+                },
+                NatTaps::default(),
+            );
+            if let Some(j) = &journal {
+                dev.attach_journal(j.clone());
+            }
+            let mut sim = Simulator::new();
+            dev.forward(&mut sim, pkt(0, Direction::Inbound), Box::new(|_, _| {}));
+            dev.forward(&mut sim, pkt(1, Direction::Inbound), Box::new(|_, _| {}));
+            sim.run();
+            dev.forward(&mut sim, pkt(2, Direction::Inbound), Box::new(|_, _| {}));
+            sim.run();
+            let mut sim2 = Simulator::new();
+            sim2.schedule_at(SimTime::from_secs(30), |_| {});
+            sim2.run();
+            let late = Packet {
+                sent_at: SimTime::from_secs(30),
+                ..pkt(2, Direction::Inbound)
+            };
+            dev.forward(&mut sim2, late, Box::new(|_, _| {}));
+            sim2.run();
+            (dev.nat_stats(), dev.table_len())
+        };
+
+        let (plain_stats, plain_len) = run(None);
+        let journal = csprov_obs::Journal::new();
+        let (stats, len) = run(Some(journal.clone()));
+        assert_eq!(stats.table_drops_total(), plain_stats.table_drops_total());
+        assert_eq!(stats.evictions.get(), plain_stats.evictions.get());
+        assert_eq!(len, plain_len, "journaling must not perturb the table");
+
+        let counts: std::collections::BTreeMap<_, _> =
+            journal.counts_by_kind().into_iter().collect();
+        // Sessions 0 and 1 insert, session 2 re-inserts after recovery.
+        assert_eq!(counts.get("router.nat.insert"), Some(&3));
+        assert_eq!(counts.get("router.nat.refuse"), Some(&1));
+        assert_eq!(counts.get("router.nat.evict"), Some(&1));
+        assert_eq!(counts.get("router.nat.table.level"), Some(&3));
+        let refuse = journal
+            .events()
+            .iter()
+            .find(|e| e.kind == "router.nat.refuse")
+            .copied()
+            .unwrap();
+        assert_eq!(refuse.key, 2, "refusal keyed by session id");
+        assert_eq!(refuse.value, 2, "table full at capacity 2");
+        let evict = journal
+            .events()
+            .iter()
+            .find(|e| e.kind == "router.nat.evict")
+            .copied()
+            .unwrap();
+        assert_eq!(evict.value, 2, "both idle mappings reclaimed");
+        assert_eq!(evict.sim_ns, SimTime::from_secs(30).as_nanos());
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 use crate::event::{EventHandle, EventId, EventQueue};
 use crate::time::{SimDuration, SimTime};
+use csprov_obs::Journal;
 
 /// A scheduled action: a one-shot closure run with access to the simulator.
 pub type Action = Box<dyn FnOnce(&mut Simulator)>;
@@ -34,6 +35,15 @@ pub type Action = Box<dyn FnOnce(&mut Simulator)>;
 /// attaching one cannot change what a seeded run computes.
 pub type Observer = Box<dyn FnMut(&Simulator)>;
 
+/// A write-only trace tap: a shared [`Journal`] plus the sampling stride
+/// for the dispatch-loop events. Like the observer, attaching one cannot
+/// change what a seeded run computes — the journal is never read back.
+struct JournalTap {
+    journal: Journal,
+    every: u64,
+    seen_overflow_pushes: u64,
+}
+
 /// The discrete-event simulator: virtual clock plus event queue.
 pub struct Simulator {
     now: SimTime,
@@ -42,6 +52,7 @@ pub struct Simulator {
     stopped: bool,
     queue_hwm: usize,
     observer: Option<(u64, Observer)>,
+    journal: Option<JournalTap>,
 }
 
 impl Default for Simulator {
@@ -60,6 +71,7 @@ impl Simulator {
             stopped: false,
             queue_hwm: 0,
             observer: None,
+            journal: None,
         }
     }
 
@@ -95,6 +107,25 @@ impl Simulator {
     /// Removes the installed observer, if any.
     pub fn clear_observer(&mut self) {
         self.observer = None;
+    }
+
+    /// Attaches a [`Journal`] to the dispatch loop. Every `every`-th
+    /// executed event emits a `sim.dispatch` instant and a
+    /// `sim.queue.level` counter sample; scheduler bucket overflows emit
+    /// `sim.overflow` whenever inserts spilled past the timer-wheel horizon
+    /// since the last executed event. The tap is write-only: with no
+    /// journal attached the per-event cost is one branch.
+    pub fn set_journal(&mut self, every: u64, journal: Journal) {
+        self.journal = Some(JournalTap {
+            journal,
+            every: every.max(1),
+            seen_overflow_pushes: self.queue.overflow_pushes(),
+        });
+    }
+
+    /// Removes the attached journal, if any.
+    pub fn clear_journal(&mut self) {
+        self.journal = None;
     }
 
     /// Schedules `action` at absolute time `at`.
@@ -168,6 +199,29 @@ impl Simulator {
                         f(&*self);
                     }
                     self.observer = Some((every, f));
+                }
+                if let Some(tap) = self.journal.as_mut() {
+                    if self.executed % tap.every == 0 {
+                        let now_ns = self.now.as_nanos();
+                        tap.journal.emit(
+                            now_ns,
+                            "sim.dispatch",
+                            self.executed,
+                            self.queue.len() as u64,
+                        );
+                        tap.journal
+                            .emit(now_ns, "sim.queue.level", 0, self.queue.len() as u64);
+                    }
+                    let pushes = self.queue.overflow_pushes();
+                    if pushes != tap.seen_overflow_pushes {
+                        tap.journal.emit(
+                            self.now.as_nanos(),
+                            "sim.overflow",
+                            pushes,
+                            pushes - tap.seen_overflow_pushes,
+                        );
+                        tap.seen_overflow_pushes = pushes;
+                    }
                 }
                 true
             }
@@ -372,6 +426,54 @@ mod tests {
             let mut sim = Simulator::new();
             if with_observer {
                 sim.set_observer(1, |_| {});
+            }
+            let log = Rc::new(RefCell::new(Vec::new()));
+            for &ms in &[30u64, 10, 20, 10] {
+                let log = log.clone();
+                sim.schedule_at(SimTime::from_millis(ms), move |sim| {
+                    log.borrow_mut().push(sim.now().as_millis());
+                });
+            }
+            sim.run();
+            let fired = log.borrow().clone();
+            (fired, sim.events_executed(), sim.now())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn journal_samples_dispatch_and_overflow() {
+        let mut sim = Simulator::new();
+        let journal = Journal::new();
+        sim.set_journal(4, journal.clone());
+        // 10 near events plus one far beyond the wheel horizon (512 × 4 ms).
+        for i in 1..=10u64 {
+            sim.schedule_at(SimTime::from_millis(i), |_| {});
+        }
+        sim.schedule_at(SimTime::from_secs(3600), |_| {});
+        sim.run();
+        let events = journal.events();
+        let dispatches: Vec<_> = events.iter().filter(|e| e.kind == "sim.dispatch").collect();
+        // 11 executed events, stride 4 → samples at 4 and 8.
+        assert_eq!(dispatches.len(), 2);
+        assert_eq!(dispatches[0].key, 4);
+        assert_eq!(dispatches[0].sim_ns, SimTime::from_millis(4).as_nanos());
+        assert!(events.iter().any(|e| e.kind == "sim.queue.level"));
+        let overflows: Vec<_> = events.iter().filter(|e| e.kind == "sim.overflow").collect();
+        assert_eq!(overflows.len(), 1, "far event must hit the overflow heap");
+        assert_eq!(overflows[0].value, 1);
+        sim.clear_journal();
+        sim.schedule_in(SimDuration::from_secs(1), |_| {});
+        sim.run();
+        assert_eq!(journal.len(), events.len(), "cleared journal must not grow");
+    }
+
+    #[test]
+    fn journal_does_not_perturb_execution() {
+        let run = |with_journal: bool| {
+            let mut sim = Simulator::new();
+            if with_journal {
+                sim.set_journal(1, Journal::new());
             }
             let log = Rc::new(RefCell::new(Vec::new()));
             for &ms in &[30u64, 10, 20, 10] {

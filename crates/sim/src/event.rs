@@ -161,6 +161,9 @@ pub struct EventQueue<A> {
     next_id: u64,
     /// Cancelled-but-still-queued entry count, shared with handles.
     tombstones: Rc<Cell<u64>>,
+    /// Cumulative count of entries routed to the overflow heap at insert
+    /// time — the scheduler's "bucket overflow" signal for tracing.
+    overflow_pushes: u64,
 }
 
 impl<A> Default for EventQueue<A> {
@@ -183,6 +186,7 @@ impl<A> EventQueue<A> {
             len: 0,
             next_id: 0,
             tombstones: Rc::new(Cell::new(0)),
+            overflow_pushes: 0,
         }
     }
 
@@ -199,6 +203,12 @@ impl<A> EventQueue<A> {
     /// Number of cancelled entries still occupying queue slots.
     pub fn tombstones(&self) -> usize {
         self.tombstones.get() as usize
+    }
+
+    /// Cumulative number of entries that landed beyond the wheel horizon at
+    /// insert time. Monotonic; never decremented as overflow drains.
+    pub fn overflow_pushes(&self) -> u64 {
+        self.overflow_pushes
     }
 
     /// First virtual nanosecond beyond the wheel's coverage.
@@ -232,6 +242,7 @@ impl<A> EventQueue<A> {
             self.wheel_items += 1;
         } else {
             self.overflow.push(e);
+            self.overflow_pushes += 1;
         }
         self.len += 1;
     }

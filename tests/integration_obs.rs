@@ -11,7 +11,7 @@ use csprov::experiments::tables;
 use csprov::pipeline::{FullAnalysis, MainRun};
 use csprov_game::{GameMetrics, ScenarioConfig, World, WorldInstruments};
 use csprov_net::{LinkMetrics, TraceRecord, TraceSink};
-use csprov_obs::MetricsRegistry;
+use csprov_obs::{Journal, MetricsRegistry, SeriesSampler};
 use csprov_router::EngineConfig;
 use csprov_sim::{SimDuration, SimTime};
 use std::cell::RefCell;
@@ -23,7 +23,31 @@ fn instruments(registry: &MetricsRegistry) -> WorldInstruments {
         metrics: Some(GameMetrics::register(registry)),
         link_metrics: Some(LinkMetrics::register(registry)),
         observer: None,
+        journal: None,
     }
+}
+
+/// The repro binary's full telemetry bundle: metrics + journal + a
+/// sim-clock series sampler riding the kernel observer.
+fn telemetry(
+    registry: &MetricsRegistry,
+    journal: &Journal,
+    interval_ns: u64,
+) -> (WorldInstruments, Rc<RefCell<SeriesSampler>>) {
+    let mut instruments = instruments(registry);
+    instruments.journal = Some(journal.clone());
+    let sampler = Rc::new(RefCell::new(SeriesSampler::new(
+        registry.clone(),
+        interval_ns,
+    )));
+    let sampler_cb = sampler.clone();
+    instruments.observer = Some((
+        1024,
+        Box::new(move |sim: &csprov_sim::Simulator| {
+            sampler_cb.borrow_mut().observe(sim.now().as_nanos());
+        }),
+    ));
+    (instruments, sampler)
 }
 
 #[test]
@@ -147,6 +171,84 @@ fn registry_renders_identically_across_same_seed_runs() {
         first,
         render(),
         "same seed must produce an identical deterministic snapshot"
+    );
+}
+
+#[test]
+fn table4_is_byte_identical_with_full_telemetry_on() {
+    // The journal + series exporters sit inside the determinism boundary:
+    // running them must leave the paper artifact untouched.
+    let plain = run_nat_experiment(2002, EngineConfig::default());
+    let registry = MetricsRegistry::new();
+    let journal = Journal::new();
+    let horizon = SimDuration::from_mins(30).as_nanos();
+    let (instruments, sampler) = telemetry(&registry, &journal, 1_000_000_000);
+    let traced = run_nat_experiment_instrumented(
+        2002,
+        EngineConfig::default(),
+        instruments,
+        Some(&registry),
+    );
+    sampler.borrow_mut().finish(horizon);
+    assert_eq!(
+        tables::table4(&plain).render(),
+        tables::table4(&traced).render(),
+        "table4 must not change when journal + series are attached"
+    );
+    assert!(!journal.is_empty(), "the NAT run must journal events");
+    let kinds: Vec<_> = journal
+        .counts_by_kind()
+        .into_iter()
+        .map(|(k, _)| k)
+        .collect();
+    for expected in ["sim.dispatch", "game.tick.begin", "router.nat.insert"] {
+        assert!(
+            kinds.contains(&expected),
+            "missing {expected}; got {kinds:?}"
+        );
+    }
+    assert!(sampler.borrow().len() > 100, "a 30-min run samples plenty");
+}
+
+#[test]
+fn journal_and_series_exports_are_pure_functions_of_the_seed() {
+    let export = |seed: u64| {
+        let registry = MetricsRegistry::new();
+        let journal = Journal::new();
+        let horizon = SimDuration::from_mins(4).as_nanos();
+        let (instruments, sampler) = telemetry(&registry, &journal, 500_000_000);
+        let mut cfg = ScenarioConfig::new(seed, SimDuration::from_mins(4));
+        cfg.workload.arrival_rate = 0.2;
+        let _ = MainRun::execute_instrumented(cfg, instruments, Some(&registry));
+        sampler.borrow_mut().finish(horizon);
+        let csv = sampler.borrow().to_csv();
+        (journal.export_jsonl(), journal.export_chrome_trace(), csv)
+    };
+    let (jsonl_a, chrome_a, csv_a) = export(7);
+    let (jsonl_b, chrome_b, csv_b) = export(7);
+    assert_eq!(jsonl_a, jsonl_b, "same seed, same journal bytes");
+    assert_eq!(chrome_a, chrome_b, "same seed, same Chrome trace bytes");
+    assert_eq!(csv_a, csv_b, "same seed, same series bytes");
+
+    let (jsonl_c, _, csv_c) = export(8);
+    assert_ne!(jsonl_a, jsonl_c, "different seed must change the journal");
+    assert_ne!(csv_a, csv_c, "different seed must change the series");
+
+    // Exported artifacts parse back through the workspace's own parsers.
+    let header = jsonl_a.lines().next().expect("journal has a header");
+    let parsed = csprov_obs::Json::parse(header).expect("journal header parses");
+    assert_eq!(
+        parsed.get("schema").and_then(csprov_obs::Json::as_str),
+        Some(csprov_obs::JOURNAL_SCHEMA)
+    );
+    let chrome = csprov_obs::Json::parse(&chrome_a).expect("Chrome trace parses");
+    assert!(chrome
+        .get("traceEvents")
+        .and_then(csprov_obs::Json::as_arr)
+        .is_some_and(|evs| !evs.is_empty()));
+    assert!(
+        csv_a.starts_with("sim_s,"),
+        "series CSV has the time column"
     );
 }
 

@@ -4,9 +4,12 @@
 # a typed error), so `unwrap`/`expect`/`panic!` and friends are banned from
 # non-test code in the crates that touch foreign bytes.
 #
-# Scope: crates/net/src and crates/router/src, excluding `#[cfg(test)]`
-# modules (tests may unwrap freely). Binaries (crates/bench) are exempt —
-# a CLI aborting with a message is fine; a library unwinding is not.
+# Scope: crates/net/src and crates/router/src, plus the fleet engine and
+# the aggregate experiment in crates/core (degenerate fleet configs and
+# shard failures must surface as typed FleetError values), excluding
+# `#[cfg(test)]` modules (tests may unwrap freely). Binaries (crates/bench)
+# are exempt — a CLI aborting with a message is fine; a library unwinding
+# is not.
 #
 # Exits non-zero listing each offending line.
 
@@ -17,7 +20,8 @@ cd "$(dirname "$0")/.."
 PATTERN='\.unwrap\(\)|\.expect\(|panic!|unreachable!|todo!|unimplemented!'
 status=0
 
-for f in crates/net/src/*.rs crates/router/src/*.rs; do
+for f in crates/net/src/*.rs crates/router/src/*.rs \
+    crates/core/src/fleet.rs crates/core/src/experiments/aggregate.rs; do
     # Strip everything from the first `#[cfg(test)]` onward: by repo
     # convention the test module is the final item in each file.
     hits=$(awk '/^#\[cfg\(test\)\]/ { exit } { print NR": "$0 }' "$f" \
@@ -32,6 +36,6 @@ done
 if [ "$status" -ne 0 ]; then
     echo "panic gate FAILED: use typed csprov_net::Error instead" >&2
 else
-    echo "panic gate OK: no unwrap/expect/panic! in net+router library code"
+    echo "panic gate OK: no unwrap/expect/panic! in net+router+fleet library code"
 fi
 exit "$status"

@@ -4,6 +4,7 @@
 //! resolution); [`Histogram`] is a general fixed-width binner used for the
 //! client bandwidth histogram of Figure 11.
 
+use crate::merge::MergeError;
 use csprov_net::{Direction, TraceRecord, TraceSink};
 
 /// Packet-size histogram at 1-byte resolution, split by direction.
@@ -114,6 +115,22 @@ impl SizeHistogram {
         let cdf = self.cdf(d);
         cdf.iter().position(|&c| c >= q).unwrap_or(self.max_size)
     }
+
+    /// Superposes another histogram: per-size and overflow counts add.
+    /// Exact and order-independent (integer addition); requires identical
+    /// size ranges.
+    pub fn merge(&mut self, other: &SizeHistogram) -> Result<(), MergeError> {
+        if self.max_size != other.max_size {
+            return Err(MergeError::ShapeMismatch);
+        }
+        for dir in 0..2 {
+            for (a, b) in self.counts[dir].iter_mut().zip(&other.counts[dir]) {
+                *a += b;
+            }
+            self.overflow[dir] += other.overflow[dir];
+        }
+        Ok(())
+    }
 }
 
 fn cumsum(pdf: &[f64]) -> Vec<f64> {
@@ -214,6 +231,24 @@ impl Histogram {
     pub fn mode_bin(&self) -> Option<f64> {
         let (idx, &max) = self.counts.iter().enumerate().max_by_key(|&(_, &c)| c)?;
         (max > 0).then_some(self.lo + idx as f64 * self.bin_width)
+    }
+
+    /// Superposes another histogram: bin, underflow and overflow counts add.
+    /// Exact and order-independent (integer addition); requires identical
+    /// range and bin count (`lo` and `bin_width` compared bit-for-bit).
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), MergeError> {
+        if self.counts.len() != other.counts.len()
+            || self.lo.to_bits() != other.lo.to_bits()
+            || self.bin_width.to_bits() != other.bin_width.to_bits()
+        {
+            return Err(MergeError::ShapeMismatch);
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        Ok(())
     }
 }
 
@@ -346,5 +381,42 @@ mod tests {
     fn empty_float_histogram_has_no_mode() {
         let h = Histogram::new(0.0, 1.0, 4);
         assert_eq!(h.mode_bin(), None);
+    }
+
+    #[test]
+    fn size_histogram_merge_superposes() {
+        let mut a = SizeHistogram::new(100);
+        a.record(Direction::Inbound, 40);
+        a.record(Direction::Outbound, 130); // overflow
+        let mut b = SizeHistogram::new(100);
+        b.record(Direction::Inbound, 40);
+        b.record(Direction::Inbound, 60);
+        a.merge(&b).unwrap();
+        assert_eq!(a.total(Direction::Inbound), 3);
+        assert_eq!(a.overflow(Direction::Outbound), 1);
+        assert!((a.pdf(Direction::Inbound)[40] - 2.0 / 3.0).abs() < 1e-12);
+
+        let c = SizeHistogram::new(50);
+        assert_eq!(a.merge(&c), Err(MergeError::ShapeMismatch));
+    }
+
+    #[test]
+    fn float_histogram_merge_superposes() {
+        let mut a = Histogram::new(0.0, 100.0, 10);
+        a.record(5.0);
+        a.record(-1.0);
+        let mut b = Histogram::new(0.0, 100.0, 10);
+        b.record(5.0);
+        b.record(200.0);
+        a.merge(&b).unwrap();
+        assert_eq!(a.counts()[0], 2);
+        assert_eq!(a.underflow(), 1);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.total(), 4);
+
+        let c = Histogram::new(0.0, 100.0, 20);
+        assert_eq!(a.merge(&c), Err(MergeError::ShapeMismatch));
+        let d = Histogram::new(1.0, 101.0, 10);
+        assert_eq!(a.merge(&d), Err(MergeError::ShapeMismatch));
     }
 }

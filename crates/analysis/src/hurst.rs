@@ -12,6 +12,7 @@
 //! trace length.
 
 use crate::fit::{fit_line, LineFit};
+use crate::merge::MergeError;
 use crate::welford::Welford;
 use csprov_net::{TraceRecord, TraceSink};
 use csprov_sim::{SimDuration, SimTime};
@@ -41,6 +42,7 @@ impl VtPoint {
     }
 }
 
+#[derive(Clone)]
 struct BlockAcc {
     block: u64,
     sum: f64,
@@ -77,6 +79,7 @@ struct BlockAcc {
 /// let (h, _fit) = vt.hurst(1, 100).unwrap();
 /// assert!((h - 0.5).abs() < 0.12, "iid traffic has H near 1/2");
 /// ```
+#[derive(Clone)]
 pub struct VarianceTime {
     base: SimDuration,
     accs: Vec<BlockAcc>,
@@ -196,6 +199,55 @@ impl VarianceTime {
         let beta = -fit.slope;
         let h = (1.0 - beta / 2.0).clamp(0.0, 1.0);
         Some((h, fit))
+    }
+
+    /// Concatenates another estimator's state onto this one: `other` is the
+    /// *next consecutive segment* of the same packet stream (e.g. one day
+    /// of a sharded week). Both sides must use the same base bin and block
+    /// ladder, and each should have been finished with `on_end`.
+    ///
+    /// The merge is exact only when this segment ends on a block boundary
+    /// for every ladder entry — i.e. `bins_seen()` is a multiple of every
+    /// block size. Otherwise the typed error reports the first mid-block
+    /// accumulator rather than silently mis-aligning block means; size
+    /// shards so segment lengths are multiples of the largest block.
+    /// Merging into a freshly-created estimator is the identity.
+    pub fn merge_concat(&mut self, other: &VarianceTime) -> Result<(), MergeError> {
+        if self.base != other.base {
+            return Err(MergeError::WidthMismatch {
+                ours: self.base.as_nanos(),
+                theirs: other.base.as_nanos(),
+            });
+        }
+        if self.accs.len() != other.accs.len()
+            || self
+                .accs
+                .iter()
+                .zip(&other.accs)
+                .any(|(a, b)| a.block != b.block)
+        {
+            return Err(MergeError::LadderMismatch);
+        }
+        if self.current_bin.is_some() || other.current_bin.is_some() {
+            return Err(MergeError::Unfinished);
+        }
+        if self.bins_emitted == 0 {
+            *self = other.clone();
+            return Ok(());
+        }
+        if let Some(acc) = self.accs.iter().find(|a| a.filled != 0) {
+            return Err(MergeError::UnalignedSegment {
+                block: acc.block,
+                filled: acc.filled,
+            });
+        }
+        for (acc, seg) in self.accs.iter_mut().zip(&other.accs) {
+            acc.stats.merge(&seg.stats);
+            acc.sum = seg.sum;
+            acc.filled = seg.filled;
+        }
+        self.bins_emitted += other.bins_emitted;
+        Ok(())
     }
 }
 
@@ -468,6 +520,96 @@ mod tests {
             (h_rs - h_av).abs() < 0.15,
             "estimators must roughly agree: R/S {h_rs} vs AV {h_av}"
         );
+    }
+
+    #[test]
+    fn concat_of_aligned_segments_matches_monolithic() {
+        // 2000 bins split at 1000, a multiple of every block size in the
+        // decade ladder {1, 10, 100} — the merge is exact up to the
+        // parallel-combine rounding of Welford::merge.
+        let mut rng = RngStream::new(31);
+        let counts: Vec<u64> = (0..2000).map(|_| rng.next_below(15)).collect();
+
+        let mut whole = VarianceTime::new(SimDuration::from_millis(10), 100, 1);
+        feed_counts(&mut whole, &counts);
+
+        let mut left = VarianceTime::new(SimDuration::from_millis(10), 100, 1);
+        feed_counts(&mut left, &counts[..1000]);
+        let mut right = VarianceTime::new(SimDuration::from_millis(10), 100, 1);
+        feed_counts(&mut right, &counts[1000..]);
+        left.merge_concat(&right).unwrap();
+
+        assert_eq!(left.bins_seen(), whole.bins_seen());
+        let (a, b) = (left.points(), whole.points());
+        assert_eq!(a.len(), b.len());
+        for (pa, pb) in a.iter().zip(&b) {
+            assert_eq!(pa.block, pb.block);
+            assert_eq!(pa.blocks_seen, pb.blocks_seen);
+            assert!(
+                (pa.normalized_variance - pb.normalized_variance).abs() < 1e-9,
+                "block {}: {} vs {}",
+                pa.block,
+                pa.normalized_variance,
+                pb.normalized_variance
+            );
+        }
+    }
+
+    #[test]
+    fn concat_into_fresh_is_identity() {
+        let mut rng = RngStream::new(32);
+        let counts: Vec<u64> = (0..500).map(|_| rng.next_below(9)).collect();
+        let mut src = VarianceTime::new(SimDuration::from_millis(10), 100, 4);
+        feed_counts(&mut src, &counts);
+
+        let mut fresh = VarianceTime::new(SimDuration::from_millis(10), 100, 4);
+        fresh.merge_concat(&src).unwrap();
+        assert_eq!(fresh.bins_seen(), src.bins_seen());
+        // Identity is an exact clone: every point matches bit-for-bit.
+        for (pa, pb) in fresh.points().iter().zip(&src.points()) {
+            assert_eq!(pa.block, pb.block);
+            assert_eq!(pa.blocks_seen, pb.blocks_seen);
+            assert_eq!(
+                pa.normalized_variance.to_bits(),
+                pb.normalized_variance.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn concat_rejects_misaligned_and_mismatched() {
+        // Left ends mid-block for the largest block size: typed error names
+        // the offending accumulator.
+        let mut left = VarianceTime::new(SimDuration::from_millis(10), 10, 4);
+        feed_counts(&mut left, &[1; 15]); // 15 bins: block 10 is mid-block
+        let mut right = VarianceTime::new(SimDuration::from_millis(10), 10, 4);
+        feed_counts(&mut right, &[1; 10]);
+        match left.merge_concat(&right) {
+            Err(MergeError::UnalignedSegment { block, filled }) => {
+                assert_eq!((block, filled), (2, 1));
+            }
+            other => panic!("expected UnalignedSegment, got {other:?}"),
+        }
+
+        // Base-width mismatch.
+        let mut a = VarianceTime::new(SimDuration::from_millis(10), 10, 4);
+        let b = VarianceTime::new(SimDuration::from_millis(20), 10, 4);
+        assert!(matches!(
+            a.merge_concat(&b),
+            Err(MergeError::WidthMismatch { .. })
+        ));
+
+        // Ladder mismatch.
+        let c = VarianceTime::new(SimDuration::from_millis(10), 100, 4);
+        assert!(matches!(
+            a.merge_concat(&c),
+            Err(MergeError::LadderMismatch)
+        ));
+
+        // Unfinished right side (mid-trace: on_end not delivered).
+        let mut d = VarianceTime::new(SimDuration::from_millis(10), 10, 4);
+        d.on_packet(&rec(0));
+        assert!(matches!(a.merge_concat(&d), Err(MergeError::Unfinished)));
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! - [`sessions`] — connection bookkeeping behind Table I.
 //! - [`summary`] — network/application usage roll-ups (Tables II, III).
 //! - [`welford`], [`fit`], [`acf`] — the underlying numerics.
+//! - [`merge`] — typed errors for folding per-shard analyzer states into a
+//!   facility aggregate (superposition vs concatenation semantics).
 //! - [`report`], [`plot`] — text tables, CSV, and ASCII figures.
 //!
 //! All per-packet analyzers are O(1) memory in trace length (up to
@@ -26,6 +28,7 @@ pub mod fit;
 pub mod flows;
 pub mod histogram;
 pub mod hurst;
+pub mod merge;
 pub mod plot;
 pub mod report;
 pub mod series;
@@ -38,6 +41,7 @@ pub use fit::{fit_line, LineFit};
 pub use flows::{FlowStats, FlowTable};
 pub use histogram::{Histogram, SizeHistogram};
 pub use hurst::{rs_hurst, rs_statistic, VarianceTime, VtPoint};
+pub use merge::MergeError;
 pub use series::{GaugeSeries, RateBin, RateSeries};
 pub use sessions::{summarize_sessions, SessionRecord, SessionSummary};
 pub use summary::{application_usage, gib, network_usage, ApplicationUsage, NetworkUsage};

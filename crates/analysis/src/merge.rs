@@ -1,0 +1,95 @@
+//! Typed errors for merging analyzer state.
+//!
+//! The fleet engine (Section IV-B at facility scale) folds per-shard
+//! analyzer states into one aggregate instead of retaining whole runs.
+//! Merges come in two flavours with different correctness rules:
+//!
+//! - **superposition** — the shards are *concurrent* traffic sources and
+//!   the aggregate is their sum. Bin-count vectors add element-wise
+//!   ([`crate::RateSeries::merge_superpose`], histograms, counters). This
+//!   is exact: per-bin packet counts are integers, and integer addition is
+//!   associative and commutative, so any merge order yields byte-identical
+//!   aggregate bins.
+//! - **concatenation** — the shards are *consecutive segments* of one
+//!   stream ([`crate::Welford::merge`],
+//!   [`crate::VarianceTime::merge_concat`]). Exactness requires the left
+//!   segment to end on an accumulator boundary; the typed errors below
+//!   reject misaligned merges instead of silently degrading the estimate.
+//!
+//! Every merge either succeeds exactly or fails with a [`MergeError`];
+//! there is no "approximately merged" state.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why two analyzer states cannot be merged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// Bin widths differ (nanoseconds of each side).
+    WidthMismatch {
+        /// Receiver's bin width in nanoseconds.
+        ours: u64,
+        /// Other side's bin width in nanoseconds.
+        theirs: u64,
+    },
+    /// Direction filters differ (debug-rendered).
+    FilterMismatch,
+    /// Stored-window parameters (skip/limit) differ.
+    WindowMismatch,
+    /// One side is still mid-trace (`on_end` not yet delivered).
+    Unfinished,
+    /// Histogram shapes (range or bin count) differ.
+    ShapeMismatch,
+    /// Block-size ladders differ (variance-time merges).
+    LadderMismatch,
+    /// A concatenation merge would split a block: the left segment ends
+    /// with `filled` of `block` base bins accumulated.
+    UnalignedSegment {
+        /// Block size (in base bins) whose accumulator is mid-block.
+        block: u64,
+        /// Base bins already folded into the open block.
+        filled: u64,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::WidthMismatch { ours, theirs } => {
+                write!(f, "bin width mismatch: {ours} ns vs {theirs} ns")
+            }
+            MergeError::FilterMismatch => write!(f, "direction filter mismatch"),
+            MergeError::WindowMismatch => write!(f, "stored-window (skip/limit) mismatch"),
+            MergeError::Unfinished => write!(f, "cannot merge a series before on_end"),
+            MergeError::ShapeMismatch => write!(f, "histogram shape mismatch"),
+            MergeError::LadderMismatch => write!(f, "block-size ladder mismatch"),
+            MergeError::UnalignedSegment { block, filled } => write!(
+                f,
+                "left segment ends mid-block: {filled} of {block} base bins accumulated"
+            ),
+        }
+    }
+}
+
+impl Error for MergeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_and_compare() {
+        let e = MergeError::WidthMismatch {
+            ours: 10,
+            theirs: 20,
+        };
+        assert!(e.to_string().contains("10 ns"));
+        assert_eq!(e, e.clone());
+        assert_ne!(e, MergeError::Unfinished);
+        let u = MergeError::UnalignedSegment {
+            block: 8,
+            filled: 3,
+        };
+        assert!(u.to_string().contains("3 of 8"));
+    }
+}

@@ -6,6 +6,7 @@
 //! first `limit` bins (Figures 6–8 plot only the first 200 intervals, so a
 //! 10 ms binning of a week-long trace need not allocate 60 M bins).
 
+use crate::merge::MergeError;
 use crate::welford::Welford;
 use csprov_net::{Direction, TraceRecord, TraceSink};
 use csprov_sim::{SimDuration, SimTime};
@@ -147,6 +148,69 @@ impl RateSeries {
     /// End-of-trace time, if `on_end` has been delivered.
     pub fn end(&self) -> Option<SimTime> {
         self.end
+    }
+
+    /// True if the series has seen neither packets nor `on_end` — the
+    /// freshly-constructed identity element for [`RateSeries::merge_superpose`].
+    pub fn is_fresh(&self) -> bool {
+        self.emitted == 0 && self.current.is_none() && self.end.is_none()
+    }
+
+    /// Superposes another finished series onto this one: the receiving
+    /// series becomes the *aggregate* of two concurrent traffic sources,
+    /// with per-bin packet and byte counts added element-wise.
+    ///
+    /// Both series must share bin width, direction filter and stored
+    /// window, and both must be finished (`on_end` delivered). Merging
+    /// into a fresh series is the identity: the receiver becomes a
+    /// bit-for-bit clone of `other`, so a fleet of one merges to exactly
+    /// its monolithic analysis.
+    ///
+    /// When the series have different stored lengths the aggregate is
+    /// truncated to the shorter one (an aggregate bin is only meaningful
+    /// where every source contributed), and the number of tail bins
+    /// dropped from the longer side is returned so callers can surface it
+    /// instead of hiding it. After a ≥2-way merge, [`RateSeries::bin_stats`]
+    /// is recomputed over the merged stored bins (a pure function of the
+    /// final bins, so any merge order of the same shard set yields
+    /// byte-identical statistics).
+    pub fn merge_superpose(&mut self, other: &RateSeries) -> Result<u64, MergeError> {
+        if self.width != other.width {
+            return Err(MergeError::WidthMismatch {
+                ours: self.width.as_nanos(),
+                theirs: other.width.as_nanos(),
+            });
+        }
+        if self.filter != other.filter {
+            return Err(MergeError::FilterMismatch);
+        }
+        if self.skip != other.skip || self.limit != other.limit {
+            return Err(MergeError::WindowMismatch);
+        }
+        if other.end.is_none() || other.current.is_some() {
+            return Err(MergeError::Unfinished);
+        }
+        if self.is_fresh() {
+            *self = other.clone();
+            return Ok(0);
+        }
+        if self.end.is_none() || self.current.is_some() {
+            return Err(MergeError::Unfinished);
+        }
+        let keep = self.bins.len().min(other.bins.len());
+        let dropped = (self.bins.len().max(other.bins.len()) - keep) as u64;
+        self.bins.truncate(keep);
+        for (bin, add) in self.bins.iter_mut().zip(&other.bins[..keep]) {
+            bin.packets += add.packets;
+            bin.wire_bytes += add.wire_bytes;
+        }
+        self.emitted = self.emitted.min(other.emitted);
+        self.end = self.end.min(other.end);
+        self.stats = Welford::new();
+        for bin in &self.bins {
+            self.stats.push(bin.packets as f64);
+        }
+        Ok(dropped)
     }
 }
 
@@ -426,6 +490,100 @@ mod tests {
         s.on_end(SimTime::from_millis(999));
         assert!((s.bin_stats().mean() - 2.0).abs() < 1e-12);
         assert!(s.bin_stats().variance() < 1e-12);
+    }
+
+    #[test]
+    fn superpose_adds_bins_elementwise() {
+        let feed = |offsets: &[u64]| {
+            let mut s = RateSeries::new(SimDuration::from_secs(1));
+            for &ms in offsets {
+                s.on_packet(&rec(ms, Direction::Inbound, 40));
+            }
+            s.on_end(SimTime::from_millis(2_999));
+            s
+        };
+        let mut a = feed(&[100, 200, 1_100]);
+        let b = feed(&[150, 2_500]);
+        assert_eq!(a.merge_superpose(&b), Ok(0));
+        let pkts: Vec<u64> = a.bins().iter().map(|x| x.packets).collect();
+        assert_eq!(pkts, vec![3, 1, 1]);
+        // Stats are recomputed over the merged bins.
+        assert_eq!(a.bin_stats().count(), 3);
+        assert!((a.bin_stats().mean() - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn superpose_into_fresh_is_identity() {
+        let mut src = RateSeries::new(SimDuration::from_secs(1));
+        src.on_packet(&rec(100, Direction::Inbound, 40));
+        src.on_packet(&rec(1_600, Direction::Outbound, 130));
+        src.on_end(SimTime::from_millis(1_999));
+        let mut fresh = RateSeries::new(SimDuration::from_secs(1));
+        assert!(fresh.is_fresh());
+        assert_eq!(fresh.merge_superpose(&src), Ok(0));
+        assert_eq!(fresh.bins(), src.bins());
+        assert_eq!(fresh.bin_stats().count(), src.bin_stats().count());
+        assert_eq!(fresh.bin_stats().mean(), src.bin_stats().mean());
+        assert_eq!(fresh.bin_stats().variance(), src.bin_stats().variance());
+        assert_eq!(fresh.end(), src.end());
+        assert!(!fresh.is_fresh());
+    }
+
+    #[test]
+    fn superpose_counts_dropped_tail_bins() {
+        let feed = |end_ms: u64| {
+            let mut s = RateSeries::new(SimDuration::from_secs(1));
+            s.on_packet(&rec(100, Direction::Inbound, 40));
+            s.on_end(SimTime::from_millis(end_ms));
+            s
+        };
+        let mut short = feed(1_999); // 2 bins
+        let long = feed(4_999); // 5 bins
+        assert_eq!(short.merge_superpose(&long), Ok(3));
+        assert_eq!(short.bins().len(), 2);
+    }
+
+    #[test]
+    fn superpose_order_independent_bins() {
+        let feed = |seedish: u64| {
+            let mut s = RateSeries::new(SimDuration::from_millis(100));
+            for i in 0..20u64 {
+                s.on_packet(&rec(i * 97 + seedish, Direction::Inbound, 40));
+            }
+            s.on_end(SimTime::from_millis(1_999));
+            s
+        };
+        let (a, b, c) = (feed(1), feed(5), feed(11));
+        let mut ab = RateSeries::new(SimDuration::from_millis(100));
+        for s in [&a, &b, &c] {
+            ab.merge_superpose(s).unwrap();
+        }
+        let mut cb = RateSeries::new(SimDuration::from_millis(100));
+        for s in [&c, &b, &a] {
+            cb.merge_superpose(s).unwrap();
+        }
+        assert_eq!(ab.bins(), cb.bins());
+        assert_eq!(ab.bin_stats().mean(), cb.bin_stats().mean());
+        assert_eq!(ab.bin_stats().variance(), cb.bin_stats().variance());
+    }
+
+    #[test]
+    fn superpose_rejects_mismatch_and_unfinished() {
+        let mut a = RateSeries::new(SimDuration::from_secs(1));
+        a.on_packet(&rec(0, Direction::Inbound, 40));
+        a.on_end(SimTime::from_millis(999));
+        let b = RateSeries::new(SimDuration::from_secs(2));
+        assert!(matches!(
+            a.merge_superpose(&b),
+            Err(MergeError::WidthMismatch { .. })
+        ));
+        let c = RateSeries::with_options(SimDuration::from_secs(1), Some(Direction::Inbound), None);
+        assert_eq!(a.merge_superpose(&c), Err(MergeError::FilterMismatch));
+        let d = RateSeries::with_window(SimDuration::from_secs(1), None, 3, None);
+        assert_eq!(a.merge_superpose(&d), Err(MergeError::WindowMismatch));
+        let mut unfinished = RateSeries::new(SimDuration::from_secs(1));
+        unfinished.on_packet(&rec(0, Direction::Inbound, 40));
+        assert_eq!(a.merge_superpose(&unfinished), Err(MergeError::Unfinished));
     }
 
     #[test]

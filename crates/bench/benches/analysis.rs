@@ -169,10 +169,44 @@ fn bench_hurst_full_pipeline(h: &mut Harness) {
     g.finish();
 }
 
+fn bench_fleet_merge(h: &mut Harness) {
+    // Folding per-shard analysis state into the facility aggregate — the
+    // serial tail of every fleet run, O(shards) in memory and time.
+    const SHARDS: usize = 64;
+    let records = synthetic_records(20_000);
+    let shards: Vec<(RateSeries, SizeHistogram)> = (0..SHARDS)
+        .map(|_| {
+            let mut s = RateSeries::new(SimDuration::from_secs(1));
+            let mut hist = SizeHistogram::new(500);
+            for r in &records {
+                s.on_packet(r);
+                hist.on_packet(r);
+            }
+            s.on_end(SimTime::from_secs(25));
+            (s, hist)
+        })
+        .collect();
+
+    let mut g = h.group("fleet_merge");
+    g.throughput(Throughput::Elements(SHARDS as u64));
+    g.bench_function("superpose_64_shards", |b| {
+        b.iter(|| {
+            let (mut series, mut hist) = shards[0].clone();
+            for (s, sh) in &shards[1..] {
+                series.merge_superpose(s).expect("same shape");
+                hist.merge(sh).expect("same shape");
+            }
+            black_box((series.bin_stats().mean(), hist.mean(Direction::Inbound)))
+        })
+    });
+    g.finish();
+}
+
 fn main() {
     let mut h = Harness::from_args();
     bench_sinks(&mut h);
     bench_pipeline_ingest(&mut h);
     bench_welford(&mut h);
     bench_hurst_full_pipeline(&mut h);
+    bench_fleet_merge(&mut h);
 }

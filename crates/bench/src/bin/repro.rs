@@ -29,6 +29,12 @@
 //!   --chaos PROFILE    run under a fault-injection campaign:
 //!                      none modem-burst reorder-dup last-mile-loss nat-exhaust
 //!   --chaos-seed N     impairment seed (default: same as --seed)
+//!   --fleet N          simulate a facility of N independent servers on the
+//!                      work-stealing pool, merge their analysis state, and
+//!                      print the provisioning report (pps/bandwidth mean
+//!                      and p95/p99, per-player slope, aggregate Hurst,
+//!                      uplink sizing); may be used without artifacts
+//!   --fleet-minutes M  simulated minutes per fleet server (default 30)
 //! ```
 //!
 //! Instrumentation is observe-only: a seeded run's artifact output is
@@ -39,6 +45,7 @@
 
 use csprov::chaos::{self, ChaosReport, ChaosSpec};
 use csprov::experiments::{ablations, aggregate, figures, nat, tables, web, ExperimentId};
+use csprov::fleet::{self, FleetConfig};
 use csprov::pipeline::MainRun;
 use csprov_analysis::report::to_csv;
 use csprov_bench::harness::{render_bench_json, BenchResult};
@@ -78,6 +85,8 @@ struct Options {
     series_interval_ms: u64,
     chaos: Option<ChaosSpec>,
     chaos_seed: Option<u64>,
+    fleet: Option<usize>,
+    fleet_minutes: u64,
     artifacts: Vec<ExperimentId>,
 }
 
@@ -95,6 +104,8 @@ fn parse_args() -> Result<Options, String> {
         series_interval_ms: 1000,
         chaos: None,
         chaos_seed: None,
+        fleet: None,
+        fleet_minutes: 30,
         artifacts: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -164,6 +175,27 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|e| format!("bad chaos seed: {e}"))?,
                 );
             }
+            "--fleet" => {
+                let n: usize = args
+                    .next()
+                    .ok_or("--fleet needs a server count")?
+                    .parse()
+                    .map_err(|e| format!("bad fleet size: {e}"))?;
+                if n == 0 {
+                    return Err("--fleet must be > 0".into());
+                }
+                opts.fleet = Some(n);
+            }
+            "--fleet-minutes" => {
+                opts.fleet_minutes = args
+                    .next()
+                    .ok_or("--fleet-minutes needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad fleet minutes: {e}"))?;
+                if opts.fleet_minutes == 0 {
+                    return Err("--fleet-minutes must be > 0".into());
+                }
+            }
             "-h" | "--help" => return Err(String::new()),
             "all" => opts.artifacts = ExperimentId::all(),
             "main" => {
@@ -190,7 +222,7 @@ fn parse_args() -> Result<Options, String> {
             }
         }
     }
-    if opts.artifacts.is_empty() {
+    if opts.artifacts.is_empty() && opts.fleet.is_none() {
         return Err("no artifacts requested".into());
     }
     if opts.metrics_format != MetricsFormat::Combined && opts.metrics_out.is_none() {
@@ -204,7 +236,7 @@ fn usage() {
         "usage: repro [--seed N] [--hours H] [--full-week] [--csv DIR] [--progress] \
          [--metrics-out FILE] [--metrics-format text|json|prom] [--trace-out FILE] \
          [--series-out DIR] [--series-interval MS] [--chaos PROFILE] [--chaos-seed N] \
-         <artifact|all|main|nat>..."
+         [--fleet N [--fleet-minutes M]] <artifact|all|main|nat>..."
     );
     eprintln!("artifacts: table1..table4, fig1..fig15, ablate-tick, ablate-population,");
     eprintln!("           ablate-nat-capacity, ablate-nat-buffer, route-cache, source-model,");
@@ -597,6 +629,47 @@ fn main() -> ExitCode {
         timings.push(phase(&id.to_string(), secs, None));
     }
 
+    if let Some(servers) = opts.fleet {
+        eprintln!(
+            "[run] fleet: {servers} servers x {} simulated min (seed {})...",
+            opts.fleet_minutes, opts.seed
+        );
+        let t0 = Instant::now();
+        let config = FleetConfig::new("fleet", opts.seed, servers, opts.fleet_minutes);
+        match fleet::run_fleet(&config) {
+            Ok(run) => {
+                let secs = t0.elapsed().as_secs_f64();
+                println!("\n================ fleet ================");
+                println!("{}", run.report.render().render());
+                println!("{}", run.report.sizing_line());
+                if let Some(registry) = &registry {
+                    run.export_metrics(registry);
+                }
+                if let Some(base) = &opts.trace_out {
+                    let journal = Journal::new();
+                    run.emit_journal(&journal);
+                    write_journal(&journal, base, "fleet");
+                }
+                eprintln!(
+                    "[run] fleet done: {} packets across {} shards in {:.1} s wall",
+                    run.facility.counts.total_packets(),
+                    run.facility.shards,
+                    secs
+                );
+                eprintln!("[time] fleet: {secs:.3} s wall");
+                timings.push(phase(
+                    "fleet",
+                    secs,
+                    Some(run.facility.counts.total_packets() as f64 / secs.max(1e-9)),
+                ));
+            }
+            Err(e) => {
+                eprintln!("error: fleet run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     for report in &chaos_reports {
         println!("\n================ chaos ================");
         println!("{}", report.render());
@@ -617,26 +690,29 @@ fn main() -> ExitCode {
     }
 
     if let (Some(path), Some(registry)) = (&opts.metrics_out, &registry) {
+        let mut labels: Vec<String> = opts.artifacts.iter().map(|id| id.to_string()).collect();
+        if opts.fleet.is_some() {
+            labels.push("fleet".to_string());
+        }
         let out = match opts.metrics_format {
             MetricsFormat::Combined => {
                 let mut out = String::new();
-                for id in &opts.artifacts {
-                    let label = id.to_string();
+                for label in &labels {
                     out.push_str(&format!("# ==== {label} ====\n"));
                     for line in registry.render_deterministic().lines() {
                         out.push_str("# ");
                         out.push_str(line);
                         out.push('\n');
                     }
-                    out.push_str(&registry.render_jsonl(&label));
+                    out.push_str(&registry.render_jsonl(label));
                 }
                 out
             }
             MetricsFormat::Text => registry.render_deterministic(),
             MetricsFormat::Json => {
                 let mut out = String::new();
-                for id in &opts.artifacts {
-                    out.push_str(&registry.render_jsonl(&id.to_string()));
+                for label in &labels {
+                    out.push_str(&registry.render_jsonl(label));
                 }
                 out
             }

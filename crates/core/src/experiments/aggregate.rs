@@ -4,17 +4,13 @@
 //! "self-similarity in aggregate game traffic ... will be directly
 //! dependent on the self-similarity of user populations".
 //!
-//! We run a small fleet of independent servers (parallel, different seeds),
-//! merge their traffic, and measure both claims: the per-minute aggregate
-//! packet rate regressed on the aggregate player count (linearity), and the
-//! rescaled-range Hurst exponent of the aggregate rate (population-driven
-//! long-range dependence).
+//! The experiment delegates to the [`crate::fleet`] engine: independent
+//! servers run across the work-stealing pool, each run is reduced to its
+//! mergeable shard state, and the measurements (per-player slope, fit
+//! quality, aggregate Hurst) are read off the merged facility aggregate.
 
-use crate::pipeline::MainRun;
+use crate::fleet::{run_fleet as run_fleet_engine, FleetConfig, FleetError};
 use csprov_analysis::report::{fmt_f64, TextTable};
-use csprov_analysis::{fit_line, rs_hurst};
-use csprov_game::ScenarioConfig;
-use csprov_sim::SimDuration;
 
 /// One fleet variant's measurements.
 #[derive(Debug, Clone)]
@@ -25,88 +21,43 @@ pub struct AggregateResult {
     pub servers: usize,
     /// Mean aggregate player count.
     pub mean_players: f64,
-    /// Per-player packet rate from the minute-level regression.
+    /// Per-player packet rate from the cross-fleet regression.
     pub pps_per_player: f64,
     /// Fit quality of the linearity claim.
     pub r_squared: f64,
     /// R/S Hurst exponent of the aggregate per-minute rate.
     pub hurst: Option<f64>,
+    /// Tail minute bins dropped when truncating shards to the common
+    /// prefix (surfaced instead of silently discarded).
+    pub dropped_bins: u64,
 }
 
 /// Runs `servers` independent servers for `minutes` with the session-
 /// duration shape `sigma`, merges their traffic, and measures linearity
 /// and aggregate Hurst.
+///
+/// Degenerate inputs are typed errors, not panics: `servers == 0` is
+/// [`FleetError::NoServers`], and a shard worker panic is contained and
+/// reported as [`FleetError::ShardFailed`].
 pub fn run_fleet(
     label: &str,
     seed: u64,
     servers: usize,
     minutes: u64,
     sigma: f64,
-) -> AggregateResult {
-    let scenarios: Vec<ScenarioConfig> = (0..servers)
-        .map(|i| {
-            let mut cfg = ScenarioConfig::new(seed + i as u64, SimDuration::from_mins(minutes));
-            cfg.workload.session_sigma = sigma;
-            cfg.workload.session_range.1 = SimDuration::from_hours(12);
-            cfg
-        })
-        .collect();
-
-    // Fan the fleet across threads; each run is independently deterministic.
-    let runs: Vec<MainRun> = std::thread::scope(|scope| {
-        let handles: Vec<_> = scenarios
-            .into_iter()
-            .map(|cfg| scope.spawn(move || MainRun::execute(cfg)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("fleet worker panicked"))
-            .collect()
-    });
-
-    // Merge per-minute packet rates and player counts across the fleet.
-    let bins = runs
-        .iter()
-        .map(|r| r.analysis.per_minute.bins().len())
-        .min()
-        .unwrap_or(0);
-    let mut agg_pps = vec![0.0f64; bins];
-    let mut agg_players = vec![0.0f64; bins];
-    for run in &runs {
-        let pps = run.analysis.per_minute.pps();
-        for (i, agg) in agg_pps.iter_mut().enumerate() {
-            *agg += pps[i];
-        }
-        for (i, agg) in agg_players.iter_mut().enumerate() {
-            *agg += run.outcome.players_per_minute.get(i).copied().unwrap_or(0) as f64;
-        }
-    }
-
-    // Linearity across fleet size: the aggregate of the first k servers vs
-    // their combined player count (the paper's "effectively linear to the
-    // number of active players"). Within-trace minute wiggles are dominated
-    // by churn noise; the scaling law is the cross-fleet slope.
-    let mut points = Vec::new();
-    let mut cum_pps = 0.0;
-    let mut cum_players = 0.0;
-    for run in &runs {
-        let secs = run.config.duration.as_secs_f64();
-        cum_pps += run.analysis.counts.total_packets() as f64 / secs;
-        cum_players += run.outcome.mean_players;
-        points.push((cum_players, cum_pps));
-    }
-    let fit = fit_line(&points).expect("fleet produced data");
-    let mean_players = agg_players.iter().sum::<f64>() / bins.max(1) as f64;
-    let hurst = rs_hurst(&agg_pps, 8).map(|(h, _)| h);
-
-    AggregateResult {
+) -> Result<AggregateResult, FleetError> {
+    let mut config = FleetConfig::new(label, seed, servers, minutes);
+    config.session_sigma = sigma;
+    let fleet = run_fleet_engine(&config)?;
+    Ok(AggregateResult {
         label: label.to_string(),
         servers,
-        mean_players,
-        pps_per_player: fit.slope,
-        r_squared: fit.r_squared,
-        hurst,
-    }
+        mean_players: fleet.report.mean_players,
+        pps_per_player: fleet.report.pps_per_player,
+        r_squared: fleet.report.r_squared,
+        hurst: fleet.report.hurst,
+        dropped_bins: fleet.report.dropped_bins,
+    })
 }
 
 /// The rendered aggregation experiment.
@@ -119,19 +70,39 @@ pub fn aggregate_servers(seed: u64, minutes: u64) -> TextTable {
             "pps/player",
             "linearity r^2",
             "aggregate H (R/S)",
+            "dropped bins",
         ]);
-    for r in [
+    let variants = [
         run_fleet("fixed-ish (default)", seed, 4, minutes, 1.05),
         run_fleet("heavy-tail sessions", seed + 100, 4, minutes, 2.4),
-    ] {
-        t.row(vec![
-            r.label.clone(),
-            r.servers.to_string(),
-            fmt_f64(r.mean_players, 1),
-            fmt_f64(r.pps_per_player, 1),
-            fmt_f64(r.r_squared, 4),
-            r.hurst.map(|h| fmt_f64(h, 3)).unwrap_or_else(|| "-".into()),
-        ]);
+    ];
+    for variant in variants {
+        match variant {
+            Ok(r) => {
+                t.row(vec![
+                    r.label.clone(),
+                    r.servers.to_string(),
+                    fmt_f64(r.mean_players, 1),
+                    fmt_f64(r.pps_per_player, 1),
+                    fmt_f64(r.r_squared, 4),
+                    r.hurst
+                        .map(|h| fmt_f64(h, 3))
+                        .unwrap_or_else(|| "-".to_string()),
+                    r.dropped_bins.to_string(),
+                ]);
+            }
+            Err(e) => {
+                t.row(vec![
+                    format!("error: {e}"),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                ]);
+            }
+        }
     }
     t
 }
@@ -142,7 +113,7 @@ mod tests {
 
     #[test]
     fn aggregate_rate_is_linear_in_players() {
-        let r = run_fleet("test", 61, 3, 50, 1.05);
+        let r = run_fleet("test", 61, 3, 50, 1.05).unwrap();
         assert_eq!(r.servers, 3);
         assert!(r.mean_players > 30.0, "fleet of busy servers");
         // Per-player packet rate: ~24 in + ~20 out ≈ 45 pps.
@@ -156,8 +127,8 @@ mod tests {
 
     #[test]
     fn heavy_tails_raise_aggregate_variability() {
-        let fixed = run_fleet("fixed", 62, 3, 60, 1.05);
-        let heavy = run_fleet("heavy", 63, 3, 60, 2.4);
+        let fixed = run_fleet("fixed", 62, 3, 60, 1.05).unwrap();
+        let heavy = run_fleet("heavy", 63, 3, 60, 2.4).unwrap();
         // Both estimate an H; the heavy-tailed population's aggregate should
         // not be smoother than the fixed one's.
         let hf = fixed.hurst.expect("fixed H");
@@ -166,9 +137,16 @@ mod tests {
     }
 
     #[test]
+    fn zero_servers_is_an_error_not_a_panic() {
+        let err = run_fleet("none", 1, 0, 5, 1.05).err();
+        assert_eq!(err, Some(FleetError::NoServers));
+    }
+
+    #[test]
     fn table_renders() {
         let t = aggregate_servers(64, 30);
         assert_eq!(t.len(), 2);
         assert!(t.render().contains("pps/player"));
+        assert!(t.render().contains("dropped bins"));
     }
 }

@@ -1,0 +1,731 @@
+//! Facility-scale fleet simulation with mergeable analysis state.
+//!
+//! Section IV-B's provisioning argument is about an *aggregation* of
+//! servers: aggregate game traffic is effectively linear in active players,
+//! so a hosting facility can be sized by extrapolation from one busy
+//! server. This module runs that extrapolation forward: it shards hundreds
+//! of independent simulated servers across the work-stealing pool
+//! ([`crate::sweep::work_steal`]), reduces each run to a compact
+//! [`ShardState`] *inside the worker* (the full per-run analysis — 18,000
+//! stored 1 s bins, variance-time ladders, flow tables — is dropped before
+//! the next shard starts), and folds the shard states into one
+//! [`FacilityAnalysis`] with the typed merge operations from
+//! `csprov_analysis`. Memory is O(shards), not O(shards × trace).
+//!
+//! Determinism contract:
+//! - shard seeds are derived per index ([`csprov_sim::RngStream::derive_seed`]),
+//!   so each shard's traffic is independent of fleet size and thread count;
+//! - shard states are folded in canonical shard-index order, and the
+//!   per-bin merge is integer superposition, so any permutation of the same
+//!   shard set produces a byte-identical facility aggregate;
+//! - dropped tail bins (shards whose run emitted more minute bins than the
+//!   shortest shard) are counted up front across the whole fleet — a
+//!   pairwise running total would depend on fold order — and surfaced in
+//!   the report instead of silently truncated.
+//!
+//! On top of the merged state, [`ProvisioningReport`] answers the paper's
+//! provisioning questions: aggregate packet rate and bandwidth (mean,
+//! p95/p99), the per-player slope and its fit quality, the aggregate Hurst
+//! exponent, and an uplink-sizing line in the spirit of the paper's OC-3
+//! discussion.
+
+use crate::pipeline::MainRun;
+use crate::sweep::work_steal;
+use csprov_analysis::report::{fmt_f64, TextTable};
+use csprov_analysis::{
+    fit_line, rs_hurst, summarize_sessions, MergeError, RateSeries, SizeHistogram,
+};
+use csprov_game::ScenarioConfig;
+use csprov_net::CountingSink;
+use csprov_obs::{Journal, MetricsRegistry};
+use csprov_sim::{RngStream, SimDuration};
+use std::fmt;
+
+/// What a fleet run should simulate.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Variant label for reports.
+    pub label: String,
+    /// Facility-level seed; per-shard seeds are derived from it.
+    pub seed: u64,
+    /// Number of independent servers.
+    pub servers: usize,
+    /// Simulated minutes per server.
+    pub minutes: u64,
+    /// Session-duration shape (log-normal sigma) for every shard.
+    pub session_sigma: f64,
+}
+
+impl FleetConfig {
+    /// A fleet with the default session-duration shape.
+    pub fn new(label: &str, seed: u64, servers: usize, minutes: u64) -> Self {
+        FleetConfig {
+            label: label.to_string(),
+            seed,
+            servers,
+            minutes,
+            session_sigma: 1.05,
+        }
+    }
+
+    /// The scenario shard `shard` runs. Per-shard seeds are derived by
+    /// label+index rather than taken consecutively, so shard traffic stays
+    /// decorrelated however large the facility grows, and shard `k` of a
+    /// 4-server fleet is identical to shard `k` of a 400-server fleet.
+    pub fn scenario(&self, shard: usize) -> ScenarioConfig {
+        let root = RngStream::new(self.seed);
+        let mut cfg = ScenarioConfig::new(
+            root.derive_seed("fleet.shard", shard as u64),
+            SimDuration::from_mins(self.minutes),
+        );
+        cfg.workload.session_sigma = self.session_sigma;
+        cfg.workload.session_range.1 = SimDuration::from_hours(12);
+        cfg
+    }
+}
+
+/// Why a fleet run failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetError {
+    /// `servers == 0`: there is nothing to aggregate.
+    NoServers,
+    /// A shard's worker panicked; the panic was contained and converted.
+    ShardFailed {
+        /// Index of the failing shard.
+        shard: usize,
+        /// Rendered panic payload.
+        message: String,
+    },
+    /// Shard states could not be folded (incompatible analyzer shapes).
+    Merge(MergeError),
+    /// The merged aggregate cannot support the report (e.g. no players).
+    Degenerate(&'static str),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::NoServers => write!(f, "fleet has no servers to aggregate"),
+            FleetError::ShardFailed { shard, message } => {
+                write!(f, "shard {shard} failed: {message}")
+            }
+            FleetError::Merge(e) => write!(f, "shard merge failed: {e}"),
+            FleetError::Degenerate(what) => write!(f, "degenerate aggregate: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<MergeError> for FleetError {
+    fn from(e: MergeError) -> Self {
+        FleetError::Merge(e)
+    }
+}
+
+/// The mergeable reduction of one shard's [`MainRun`].
+///
+/// Everything here is either a merge-capable analyzer or a scalar, so a
+/// fleet retains O(shards) state. The heavyweight per-run analyzers
+/// (10 ms/1 s stored series, variance-time ladders, flow tables) die with
+/// the `MainRun` inside the worker.
+#[derive(Clone)]
+pub struct ShardState {
+    /// Shard index within the fleet (also the canonical merge order).
+    pub shard: usize,
+    /// The derived seed the shard ran with.
+    pub seed: u64,
+    /// Configured run length.
+    pub duration: SimDuration,
+    /// Packet/byte totals.
+    pub counts: CountingSink,
+    /// Per-minute totals.
+    pub per_minute: RateSeries,
+    /// Per-minute inbound.
+    pub per_minute_in: RateSeries,
+    /// Per-minute outbound.
+    pub per_minute_out: RateSeries,
+    /// Packet-size distribution.
+    pub sizes: SizeHistogram,
+    /// Active players sampled each minute.
+    pub players_per_minute: Vec<u32>,
+    /// Time-averaged player count.
+    pub mean_players: f64,
+    /// Established / attempted connections.
+    pub sessions: (u64, u64),
+}
+
+impl ShardState {
+    /// Reduces a finished run to its mergeable state, dropping the rest.
+    pub fn from_run(shard: usize, run: MainRun) -> ShardState {
+        let s = summarize_sessions(&run.outcome.sessions);
+        ShardState {
+            shard,
+            seed: run.config.seed,
+            duration: run.config.duration,
+            counts: run.analysis.counts,
+            per_minute: run.analysis.per_minute,
+            per_minute_in: run.analysis.per_minute_in,
+            per_minute_out: run.analysis.per_minute_out,
+            sizes: run.analysis.sizes,
+            players_per_minute: run.outcome.players_per_minute,
+            mean_players: run.outcome.mean_players,
+            sessions: (s.established, s.attempted),
+        }
+    }
+
+    /// Mean packet rate over the shard's configured duration.
+    pub fn mean_pps(&self) -> f64 {
+        self.counts.total_packets() as f64 / self.duration.as_secs_f64()
+    }
+}
+
+/// One compact reporting row per shard (kept alongside the aggregate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// The derived seed the shard ran with.
+    pub seed: u64,
+    /// Time-averaged player count.
+    pub mean_players: f64,
+    /// Mean packet rate.
+    pub mean_pps: f64,
+    /// Stored minute bins before truncation.
+    pub minute_bins: usize,
+}
+
+/// The facility aggregate: every shard's traffic superposed.
+pub struct FacilityAnalysis {
+    /// Shards folded in.
+    pub shards: usize,
+    /// Aggregate packet/byte totals.
+    pub counts: CountingSink,
+    /// Aggregate per-minute totals (bins are element-wise sums).
+    pub per_minute: RateSeries,
+    /// Aggregate per-minute inbound.
+    pub per_minute_in: RateSeries,
+    /// Aggregate per-minute outbound.
+    pub per_minute_out: RateSeries,
+    /// Aggregate packet-size distribution.
+    pub sizes: SizeHistogram,
+    /// Aggregate active players per minute (summed over shards, truncated
+    /// to the common bin prefix).
+    pub players_per_minute: Vec<u64>,
+    /// Tail minute bins dropped by truncating every shard to the shortest
+    /// shard's bin count (counted on the total per-minute series; the
+    /// directional series truncate identically).
+    pub dropped_bins: u64,
+    /// Established / attempted connections across the fleet.
+    pub sessions: (u64, u64),
+}
+
+impl FacilityAnalysis {
+    /// Folds shard states into one aggregate.
+    ///
+    /// States are first sorted by shard index, so the fold order — and
+    /// therefore the result, byte-for-byte — is independent of the order
+    /// the shards finished (or the order the caller passes them in). The
+    /// dropped-bin count is computed up front across the whole fleet
+    /// because a pairwise running total would depend on fold order.
+    pub fn merge(mut states: Vec<ShardState>) -> Result<FacilityAnalysis, FleetError> {
+        if states.is_empty() {
+            return Err(FleetError::NoServers);
+        }
+        states.sort_by_key(|s| s.shard);
+
+        let min_bins = states
+            .iter()
+            .map(|s| s.per_minute.bins().len())
+            .min()
+            .unwrap_or(0);
+        let dropped_bins: u64 = states
+            .iter()
+            .map(|s| (s.per_minute.bins().len() - min_bins) as u64)
+            .sum();
+
+        // The player sampler emits one fewer entry than the rate series
+        // (no sample at the closing boundary), so its common prefix is
+        // computed on its own lengths — padding to `min_bins` would invent
+        // phantom zero-player minutes and drag the facility mean down.
+        let player_bins = states
+            .iter()
+            .map(|s| s.players_per_minute.len())
+            .min()
+            .unwrap_or(0);
+        let mut players_per_minute = vec![0u64; player_bins];
+        for s in &states {
+            for (i, agg) in players_per_minute.iter_mut().enumerate() {
+                *agg += u64::from(s.players_per_minute.get(i).copied().unwrap_or(0));
+            }
+        }
+
+        let mut iter = states.iter();
+        let Some(first) = iter.next() else {
+            return Err(FleetError::NoServers);
+        };
+        // Seed the accumulator from the first shard (clone), then superpose
+        // the rest. A fleet of one is therefore a bit-for-bit copy of its
+        // single shard's analysis.
+        let mut counts = first.counts.clone();
+        let mut per_minute = first.per_minute.clone();
+        let mut per_minute_in = first.per_minute_in.clone();
+        let mut per_minute_out = first.per_minute_out.clone();
+        let mut sizes = first.sizes.clone();
+        let mut sessions = first.sessions;
+        for s in iter {
+            counts.merge(&s.counts);
+            // Pairwise dropped counts are discarded in favor of the
+            // order-canonical up-front total.
+            per_minute.merge_superpose(&s.per_minute)?;
+            per_minute_in.merge_superpose(&s.per_minute_in)?;
+            per_minute_out.merge_superpose(&s.per_minute_out)?;
+            sizes.merge(&s.sizes)?;
+            sessions.0 += s.sessions.0;
+            sessions.1 += s.sessions.1;
+        }
+
+        Ok(FacilityAnalysis {
+            shards: states.len(),
+            counts,
+            per_minute,
+            per_minute_in,
+            per_minute_out,
+            sizes,
+            players_per_minute,
+            dropped_bins,
+            sessions,
+        })
+    }
+
+    /// Mean aggregate player count over the common bin prefix.
+    pub fn mean_players(&self) -> f64 {
+        if self.players_per_minute.is_empty() {
+            return 0.0;
+        }
+        self.players_per_minute.iter().sum::<u64>() as f64 / self.players_per_minute.len() as f64
+    }
+}
+
+/// The uplink ladder the sizing line chooses from (name, Mbps).
+pub const UPLINK_LADDER: [(&str, f64); 6] = [
+    ("T-1", 1.544),
+    ("10BaseT", 10.0),
+    ("T-3/DS-3", 44.736),
+    ("OC-3", 155.52),
+    ("OC-12", 622.08),
+    ("GigE", 1000.0),
+];
+
+/// OC-3 payload capacity in kbps, for the paper-style players-per-OC-3 line.
+pub const OC3_KBPS: f64 = 155_520.0;
+
+/// The provisioning answers computed from a merged facility aggregate.
+#[derive(Debug, Clone)]
+pub struct ProvisioningReport {
+    /// Variant label.
+    pub label: String,
+    /// Servers aggregated.
+    pub servers: usize,
+    /// Simulated minutes per server.
+    pub minutes: u64,
+    /// Mean aggregate player count.
+    pub mean_players: f64,
+    /// Mean aggregate packet rate (packets per second).
+    pub mean_pps: f64,
+    /// 95th-percentile minute-bin packet rate.
+    pub p95_pps: f64,
+    /// 99th-percentile minute-bin packet rate.
+    pub p99_pps: f64,
+    /// Mean aggregate bandwidth (Mbps, wire bytes).
+    pub mean_mbps: f64,
+    /// 95th-percentile minute-bin bandwidth (Mbps).
+    pub p95_mbps: f64,
+    /// 99th-percentile minute-bin bandwidth (Mbps).
+    pub p99_mbps: f64,
+    /// Per-player packet rate: the cross-shard regression slope (ratio
+    /// `mean_pps / mean_players` for a single-shard fleet).
+    pub pps_per_player: f64,
+    /// Fit quality of the linearity claim (1.0 for the ratio fallback).
+    pub r_squared: f64,
+    /// R/S Hurst exponent of the aggregate per-minute rate, when the run
+    /// is long enough to estimate one.
+    pub hurst: Option<f64>,
+    /// Tail minute bins dropped by common-prefix truncation.
+    pub dropped_bins: u64,
+    /// Mean per-player bandwidth (kbps).
+    pub per_player_kbps: f64,
+    /// Chosen uplink name.
+    pub uplink: &'static str,
+    /// Chosen uplink capacity (Mbps, per link).
+    pub uplink_mbps: f64,
+    /// Parallel links needed (1 unless even the ladder top is exceeded).
+    pub uplink_count: u32,
+    /// Mean utilization of the chosen uplink(s).
+    pub uplink_utilization: f64,
+    /// Players one OC-3 sustains at the measured per-player bandwidth.
+    pub players_per_oc3: f64,
+}
+
+/// Deterministic nearest-rank quantile of an unsorted sample.
+fn quantile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+impl ProvisioningReport {
+    fn build(
+        config: &FleetConfig,
+        facility: &FacilityAnalysis,
+        shards: &[ShardStats],
+    ) -> Result<ProvisioningReport, FleetError> {
+        let pps = facility.per_minute.pps();
+        let kbps = facility.per_minute.kbps();
+        if pps.is_empty() {
+            return Err(FleetError::Degenerate("no aggregate minute bins"));
+        }
+        // Runs shorter than two minutes have no per-minute player samples;
+        // fall back to the sum of the shards' time-averaged counts.
+        let mean_players = if facility.players_per_minute.is_empty() {
+            shards.iter().map(|s| s.mean_players).sum()
+        } else {
+            facility.mean_players()
+        };
+        if mean_players <= 0.0 {
+            return Err(FleetError::Degenerate("aggregate has no players"));
+        }
+        let mean_pps = pps.iter().sum::<f64>() / pps.len() as f64;
+        let mean_kbps = kbps.iter().sum::<f64>() / kbps.len() as f64;
+        let mbps: Vec<f64> = kbps.iter().map(|k| k / 1000.0).collect();
+        let mean_mbps = mean_kbps / 1000.0;
+
+        // Linearity: aggregate rate of the first k shards against their
+        // combined player count — the paper's "effectively linear to the
+        // number of active players". One shard has no slope; fall back to
+        // the ratio through the origin.
+        let mut points = Vec::with_capacity(shards.len());
+        let mut cum_players = 0.0;
+        let mut cum_pps = 0.0;
+        for s in shards {
+            cum_players += s.mean_players;
+            cum_pps += s.mean_pps;
+            points.push((cum_players, cum_pps));
+        }
+        let (pps_per_player, r_squared) = match fit_line(&points) {
+            Some(fit) => (fit.slope, fit.r_squared),
+            None => (mean_pps / mean_players, 1.0),
+        };
+
+        let hurst = rs_hurst(&pps, 8).map(|(h, _)| h);
+
+        let per_player_kbps = mean_kbps / mean_players;
+        let p99_mbps = quantile(&mbps, 0.99);
+        let (uplink, uplink_mbps, uplink_count) =
+            match UPLINK_LADDER.iter().find(|(_, cap)| *cap >= p99_mbps) {
+                Some(&(name, cap)) => (name, cap, 1),
+                None => {
+                    let (name, cap) = UPLINK_LADDER[UPLINK_LADDER.len() - 1];
+                    (name, cap, (p99_mbps / cap).ceil() as u32)
+                }
+            };
+        let uplink_utilization = mean_mbps / (uplink_mbps * f64::from(uplink_count));
+
+        Ok(ProvisioningReport {
+            label: config.label.clone(),
+            servers: config.servers,
+            minutes: config.minutes,
+            mean_players,
+            mean_pps,
+            p95_pps: quantile(&pps, 0.95),
+            p99_pps: quantile(&pps, 0.99),
+            mean_mbps,
+            p95_mbps: quantile(&mbps, 0.95),
+            p99_mbps,
+            pps_per_player,
+            r_squared,
+            hurst,
+            dropped_bins: facility.dropped_bins,
+            per_player_kbps,
+            uplink,
+            uplink_mbps,
+            uplink_count,
+            uplink_utilization,
+            players_per_oc3: OC3_KBPS / per_player_kbps,
+        })
+    }
+
+    /// The one-line uplink answer, in the spirit of the paper's observation
+    /// that its single busy server consumed a steady fraction of a T-1.
+    pub fn sizing_line(&self) -> String {
+        let link = if self.uplink_count > 1 {
+            format!("{}x {}", self.uplink_count, self.uplink)
+        } else {
+            self.uplink.to_string()
+        };
+        format!(
+            "uplink: {} servers ({:.0} players) need {} ({} Mbps) at {:.1}% mean utilization; one OC-3 sustains ~{:.0} players at {} kbps/player",
+            self.servers,
+            self.mean_players,
+            link,
+            fmt_f64(self.uplink_mbps * f64::from(self.uplink_count), 1),
+            self.uplink_utilization * 100.0,
+            self.players_per_oc3,
+            fmt_f64(self.per_player_kbps, 2),
+        )
+    }
+
+    /// Renders the report as a metric/value table.
+    pub fn render(&self) -> TextTable {
+        let mut t = TextTable::new(&format!(
+            "Provisioning report: {} ({} servers x {} min)",
+            self.label, self.servers, self.minutes
+        ))
+        .header(vec!["metric", "value"]);
+        t.row(vec![
+            "mean players".to_string(),
+            fmt_f64(self.mean_players, 1),
+        ]);
+        t.row(vec!["mean pps".to_string(), fmt_f64(self.mean_pps, 1)]);
+        t.row(vec!["p95 pps".to_string(), fmt_f64(self.p95_pps, 1)]);
+        t.row(vec!["p99 pps".to_string(), fmt_f64(self.p99_pps, 1)]);
+        t.row(vec!["mean Mbps".to_string(), fmt_f64(self.mean_mbps, 3)]);
+        t.row(vec!["p95 Mbps".to_string(), fmt_f64(self.p95_mbps, 3)]);
+        t.row(vec!["p99 Mbps".to_string(), fmt_f64(self.p99_mbps, 3)]);
+        t.row(vec![
+            "pps per player".to_string(),
+            fmt_f64(self.pps_per_player, 2),
+        ]);
+        t.row(vec![
+            "linearity r^2".to_string(),
+            fmt_f64(self.r_squared, 4),
+        ]);
+        t.row(vec![
+            "aggregate H (R/S)".to_string(),
+            self.hurst
+                .map(|h| fmt_f64(h, 3))
+                .unwrap_or_else(|| "-".to_string()),
+        ]);
+        t.row(vec![
+            "dropped tail bins".to_string(),
+            self.dropped_bins.to_string(),
+        ]);
+        t.row(vec![
+            "kbps per player".to_string(),
+            fmt_f64(self.per_player_kbps, 2),
+        ]);
+        let link = if self.uplink_count > 1 {
+            format!("{}x {}", self.uplink_count, self.uplink)
+        } else {
+            self.uplink.to_string()
+        };
+        t.row(vec![
+            "uplink".to_string(),
+            format!("{link} ({} Mbps)", fmt_f64(self.uplink_mbps, 1)),
+        ]);
+        t.row(vec![
+            "uplink utilization".to_string(),
+            format!("{:.1}%", self.uplink_utilization * 100.0),
+        ]);
+        t.row(vec![
+            "players per OC-3".to_string(),
+            fmt_f64(self.players_per_oc3, 0),
+        ]);
+        t
+    }
+}
+
+/// A finished fleet run: the merged aggregate, per-shard rows, and the
+/// provisioning answers.
+pub struct FleetRun {
+    /// The facility aggregate.
+    pub facility: FacilityAnalysis,
+    /// One row per shard, in shard order.
+    pub shards: Vec<ShardStats>,
+    /// The provisioning report over the aggregate.
+    pub report: ProvisioningReport,
+}
+
+impl FleetRun {
+    /// Exports fleet aggregates as `fleet.*` metrics.
+    pub fn export_metrics(&self, registry: &MetricsRegistry) {
+        registry
+            .counter("fleet.shards")
+            .add(self.facility.shards as u64);
+        registry
+            .counter("fleet.packets")
+            .add(self.facility.counts.total_packets());
+        registry
+            .counter("fleet.wire_bytes")
+            .add(self.facility.counts.total_wire_bytes());
+        registry
+            .counter("fleet.dropped_bins")
+            .add(self.facility.dropped_bins);
+        registry
+            .gauge("fleet.mean_players")
+            .set(self.report.mean_players as i64);
+        registry
+            .gauge("fleet.mean_pps")
+            .set(self.report.mean_pps as i64);
+        registry
+            .gauge("fleet.p99_pps")
+            .set(self.report.p99_pps as i64);
+    }
+
+    /// Emits one journal event per shard plus fleet-level summary events.
+    ///
+    /// The fleet has no single simulation clock (every shard has its own),
+    /// so — like the route-cache events, which use the access ordinal —
+    /// these events use the shard ordinal as their time axis. Emission
+    /// happens on the coordinating thread after the merge; workers never
+    /// touch the journal.
+    pub fn emit_journal(&self, journal: &Journal) {
+        for s in &self.shards {
+            let ordinal = s.shard as u64;
+            journal.emit(ordinal, "fleet.shard.pps", ordinal, s.mean_pps as u64);
+            journal.emit(
+                ordinal,
+                "fleet.shard.players",
+                ordinal,
+                s.mean_players as u64,
+            );
+        }
+        let end = self.facility.shards as u64;
+        journal.emit(end, "fleet.mean_pps", 0, self.report.mean_pps as u64);
+        journal.emit(end, "fleet.dropped_bins", 0, self.facility.dropped_bins);
+    }
+}
+
+/// Runs a fleet: shards across the work-stealing pool, reduces each run to
+/// its [`ShardState`] in the worker, folds the states in canonical order,
+/// and computes the provisioning report.
+///
+/// Typed failure modes instead of panics: zero servers, a contained worker
+/// panic (lowest shard index wins), incompatible merge shapes, or a
+/// degenerate aggregate.
+pub fn run_fleet(config: &FleetConfig) -> Result<FleetRun, FleetError> {
+    if config.servers == 0 {
+        return Err(FleetError::NoServers);
+    }
+    let scenarios: Vec<ScenarioConfig> = (0..config.servers).map(|i| config.scenario(i)).collect();
+    let states = work_steal(&scenarios, |i, cfg| {
+        MainRun::execute(cfg.clone()).into_fleet_shard(i)
+    })
+    .map_err(|p| FleetError::ShardFailed {
+        shard: p.index,
+        message: p.message,
+    })?;
+
+    let shards: Vec<ShardStats> = states
+        .iter()
+        .map(|s| ShardStats {
+            shard: s.shard,
+            seed: s.seed,
+            mean_players: s.mean_players,
+            mean_pps: s.mean_pps(),
+            minute_bins: s.per_minute.bins().len(),
+        })
+        .collect();
+
+    let facility = FacilityAnalysis::merge(states)?;
+    let report = ProvisioningReport::build(config, &facility, &shards)?;
+    Ok(FleetRun {
+        facility,
+        shards,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_servers_is_a_typed_error() {
+        let cfg = FleetConfig::new("empty", 1, 0, 5);
+        assert_eq!(run_fleet(&cfg).err(), Some(FleetError::NoServers));
+        assert_eq!(
+            FacilityAnalysis::merge(Vec::new()).err(),
+            Some(FleetError::NoServers)
+        );
+    }
+
+    #[test]
+    fn shard_seeds_are_stable_across_fleet_sizes() {
+        let small = FleetConfig::new("a", 42, 4, 5);
+        let large = FleetConfig::new("b", 42, 400, 5);
+        for k in 0..4 {
+            assert_eq!(small.scenario(k).seed, large.scenario(k).seed);
+        }
+        assert_ne!(small.scenario(0).seed, small.scenario(1).seed);
+    }
+
+    #[test]
+    fn fleet_of_one_is_bitwise_its_monolithic_run() {
+        let cfg = FleetConfig::new("one", 11, 1, 5);
+        let fleet = run_fleet(&cfg).unwrap();
+        let reference = MainRun::execute(cfg.scenario(0));
+        let f = &fleet.facility;
+        let r = &reference.analysis;
+        assert_eq!(f.counts.packets, r.counts.packets);
+        assert_eq!(f.counts.wire_bytes, r.counts.wire_bytes);
+        assert_eq!(f.per_minute.bins(), r.per_minute.bins());
+        assert_eq!(f.per_minute_in.bins(), r.per_minute_in.bins());
+        assert_eq!(f.per_minute_out.bins(), r.per_minute_out.bins());
+        assert_eq!(
+            f.per_minute.bin_stats().mean().to_bits(),
+            r.per_minute.bin_stats().mean().to_bits()
+        );
+        assert_eq!(f.sizes.grand_total(), r.sizes.grand_total());
+        assert_eq!(f.dropped_bins, 0);
+    }
+
+    #[test]
+    fn merge_order_does_not_change_the_aggregate() {
+        let cfg = FleetConfig::new("perm", 21, 3, 4);
+        let states: Vec<ShardState> = (0..3)
+            .map(|i| ShardState::from_run(i, MainRun::execute(cfg.scenario(i))))
+            .collect();
+        let forward = FacilityAnalysis::merge(states.clone()).unwrap();
+        let mut shuffled = states;
+        shuffled.rotate_left(1);
+        shuffled.swap(0, 1);
+        let permuted = FacilityAnalysis::merge(shuffled).unwrap();
+        assert_eq!(forward.per_minute.bins(), permuted.per_minute.bins());
+        assert_eq!(forward.counts.packets, permuted.counts.packets);
+        assert_eq!(
+            forward.per_minute.bin_stats().variance().to_bits(),
+            permuted.per_minute.bin_stats().variance().to_bits()
+        );
+        assert_eq!(forward.players_per_minute, permuted.players_per_minute);
+        assert_eq!(forward.dropped_bins, permuted.dropped_bins);
+    }
+
+    #[test]
+    fn report_renders_and_sizes_an_uplink() {
+        let cfg = FleetConfig::new("render", 31, 2, 4);
+        let fleet = run_fleet(&cfg).unwrap();
+        let rep = &fleet.report;
+        assert!(rep.mean_pps > 0.0);
+        assert!(rep.p99_pps >= rep.p95_pps && rep.p95_pps >= 0.0);
+        assert!(rep.uplink_count >= 1);
+        assert!(rep.players_per_oc3 > 0.0);
+        let rendered = rep.render().render();
+        assert!(rendered.contains("pps per player"));
+        assert!(rendered.contains("uplink"));
+        assert!(rep.sizing_line().contains("OC-3"));
+    }
+
+    #[test]
+    fn quantile_is_nearest_rank() {
+        let xs = [5.0, 1.0, 4.0, 2.0, 3.0];
+        assert_eq!(quantile(&xs, 0.5), 3.0);
+        assert_eq!(quantile(&xs, 1.0), 5.0);
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+    }
+}

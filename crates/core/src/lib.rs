@@ -37,13 +37,15 @@
 
 pub mod chaos;
 pub mod experiments;
+pub mod fleet;
 pub mod pipeline;
 pub mod sweep;
 
 pub use chaos::{ChaosReport, ChaosSpec};
 pub use experiments::ExperimentId;
+pub use fleet::{FleetConfig, FleetError, FleetRun, ProvisioningReport};
 pub use pipeline::{FullAnalysis, MainRun};
-pub use sweep::{run_parallel, RunSummary};
+pub use sweep::{run_parallel, work_steal, RunSummary, WorkerPanic};
 
 // Re-export the component crates under one roof for downstream users.
 pub use csprov_analysis as analysis;

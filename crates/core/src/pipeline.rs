@@ -259,6 +259,13 @@ impl MainRun {
     pub fn week_scale(&self) -> f64 {
         csprov_game::PAPER_TRACE_SECS as f64 / self.config.duration.as_secs_f64()
     }
+
+    /// Reduces this run to the compact mergeable state the fleet engine
+    /// retains per shard, consuming (and thereby dropping) the rest of the
+    /// analysis.
+    pub fn into_fleet_shard(self, shard: usize) -> crate::fleet::ShardState {
+        crate::fleet::ShardState::from_run(shard, self)
+    }
 }
 
 #[cfg(test)]

@@ -10,6 +10,120 @@ use crate::pipeline::MainRun;
 use csprov_analysis::{summarize_sessions, Welford};
 use csprov_game::ScenarioConfig;
 use csprov_net::Direction;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A worker thread panicked while processing one work item.
+///
+/// The panic is contained to the item: [`work_steal`] catches it, lets the
+/// surviving workers finish, and reports the lowest-indexed failure instead
+/// of aborting the process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Index of the item whose worker panicked.
+    pub index: usize,
+    /// Rendered panic payload (or a placeholder for non-string payloads).
+    pub message: String,
+}
+
+impl fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "worker panicked on item {}: {}",
+            self.index, self.message
+        )
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs `f` over every item across a fixed pool of worker threads and
+/// returns the outputs in input order.
+///
+/// Workers claim items from a shared atomic cursor (work-stealing): a thread
+/// that finishes a short item immediately starts the next instead of idling
+/// at a wave barrier. Each `f` call runs on exactly one item, so outputs are
+/// independent of thread count and claim order.
+///
+/// A panicking `f` does not abort the process: the panic is caught (its
+/// worker stops; the others keep draining the queue) and the call returns
+/// the [`WorkerPanic`] with the lowest failing index so callers can surface
+/// a deterministic error.
+pub fn work_steal<I, T, F>(items: &[I], f: F) -> Result<Vec<T>, WorkerPanic>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync,
+{
+    if items.is_empty() {
+        return Ok(Vec::new());
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len());
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let mut failures: Vec<WorkerPanic> = Vec::new();
+    let mut results: Vec<(usize, T)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    let mut failed = None;
+                    loop {
+                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(idx) else { break };
+                        match catch_unwind(AssertUnwindSafe(|| f(idx, item))) {
+                            Ok(out) => mine.push((idx, out)),
+                            Err(payload) => {
+                                failed = Some(WorkerPanic {
+                                    index: idx,
+                                    message: panic_message(payload),
+                                });
+                                break;
+                            }
+                        }
+                    }
+                    (mine, failed)
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok((mine, failed)) => {
+                    results.extend(mine);
+                    failures.extend(failed);
+                }
+                // Unreachable in practice (worker bodies catch panics), but
+                // joining consumes the payload so the scope cannot re-panic.
+                Err(payload) => failures.push(WorkerPanic {
+                    index: usize::MAX,
+                    message: panic_message(payload),
+                }),
+            }
+        }
+    });
+    if let Some(first) = failures.into_iter().min_by_key(|p| p.index) {
+        return Err(first);
+    }
+    results.sort_by_key(|&(idx, _)| idx);
+    Ok(results.into_iter().map(|(_, out)| out).collect())
+}
 
 /// Compact, `Send` summary of one run.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,39 +187,10 @@ impl RunSummary {
 /// run is still strictly single-threaded, so every summary is bit-identical
 /// to a serial `RunSummary::from_run(&MainRun::execute(cfg))`.
 pub fn run_parallel(scenarios: Vec<ScenarioConfig>) -> Vec<RunSummary> {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-
-    if scenarios.is_empty() {
-        return Vec::new();
-    }
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(scenarios.len());
-    let cursor = AtomicUsize::new(0);
-    let scenarios = &scenarios[..];
-    let mut results: Vec<(usize, RunSummary)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                let cursor = &cursor;
-                scope.spawn(move || {
-                    let mut mine = Vec::new();
-                    loop {
-                        let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(cfg) = scenarios.get(idx) else { break };
-                        mine.push((idx, RunSummary::from_run(&MainRun::execute(cfg.clone()))));
-                    }
-                    mine
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("sweep worker panicked"))
-            .collect()
-    });
-    results.sort_by_key(|&(idx, _)| idx);
-    results.into_iter().map(|(_, summary)| summary).collect()
+    work_steal(&scenarios, |_, cfg| {
+        RunSummary::from_run(&MainRun::execute(cfg.clone()))
+    })
+    .unwrap_or_else(|p| panic!("sweep worker panicked: {p}"))
 }
 
 /// Multi-seed statistics for one scenario shape: runs `seeds` copies in
@@ -167,6 +252,39 @@ mod tests {
     #[test]
     fn empty_sweep_returns_empty() {
         assert!(run_parallel(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn work_steal_preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = work_steal(&items, |i, &x| (i as u64, x * 2)).unwrap();
+        for (i, &(idx, doubled)) in out.iter().enumerate() {
+            assert_eq!(idx, i as u64);
+            assert_eq!(doubled, items[i] * 2);
+        }
+    }
+
+    #[test]
+    fn work_steal_contains_worker_panics() {
+        // A panicking item must surface as a typed error (lowest index
+        // wins), not abort the process or poison the scope.
+        let items: Vec<u32> = (0..32).collect();
+        let err = work_steal(&items, |_, &x| {
+            assert!(x != 7 && x != 20, "bad item {x}");
+            x
+        })
+        .unwrap_err();
+        assert_eq!(err.index, 7, "lowest failing index must be reported");
+        assert!(
+            err.message.contains("bad item 7"),
+            "message: {}",
+            err.message
+        );
+        assert!(err.to_string().contains("item 7"));
+
+        // And a clean pass over the same items still works afterwards.
+        let ok = work_steal(&items, |_, &x| x).unwrap();
+        assert_eq!(ok, items);
     }
 
     #[test]

@@ -169,6 +169,21 @@ impl CountingSink {
     pub fn wire_bytes_in(&self, d: Direction) -> u64 {
         self.wire_bytes[Self::dir_idx(d)]
     }
+
+    /// Superposes another sink's counts onto this one: packet and byte
+    /// totals add per direction, and the end-of-trace time is the later of
+    /// the two. Integer addition, so any merge order yields the same sums.
+    pub fn merge(&mut self, other: &CountingSink) {
+        for i in 0..2 {
+            self.packets[i] += other.packets[i];
+            self.app_bytes[i] += other.app_bytes[i];
+            self.wire_bytes[i] += other.wire_bytes[i];
+        }
+        self.end = match (self.end, other.end) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
 }
 
 impl TraceSink for CountingSink {
@@ -546,6 +561,50 @@ mod tests {
         assert_eq!(s.wire_bytes_in(Direction::Outbound), 130 + 58);
         assert_eq!(s.total_wire_bytes(), 82 + 130 + 3 * 58);
         assert_eq!(s.end, Some(SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn counting_sink_merge_superposes() {
+        let mut a = CountingSink::new();
+        a.on_packet(&rec(
+            0,
+            Direction::Inbound,
+            PacketKind::ClientCommand,
+            1,
+            40,
+        ));
+        a.on_end(SimTime::from_secs(2));
+        let mut b = CountingSink::new();
+        b.on_packet(&rec(
+            1,
+            Direction::Outbound,
+            PacketKind::StateUpdate,
+            1,
+            130,
+        ));
+        b.on_packet(&rec(
+            2,
+            Direction::Inbound,
+            PacketKind::ClientCommand,
+            2,
+            42,
+        ));
+        b.on_end(SimTime::from_secs(1));
+        a.merge(&b);
+        assert_eq!(a.total_packets(), 3);
+        assert_eq!(a.packets_in(Direction::Inbound), 2);
+        assert_eq!(a.app_bytes_in(Direction::Inbound), 82);
+        assert_eq!(
+            a.end,
+            Some(SimTime::from_secs(2)),
+            "end is the later of the two"
+        );
+
+        // Merging an empty sink is the identity.
+        let before = a.clone();
+        a.merge(&CountingSink::new());
+        assert_eq!(a.total_packets(), before.total_packets());
+        assert_eq!(a.end, before.end);
     }
 
     #[test]

@@ -458,6 +458,33 @@ mod tests {
     }
 
     #[test]
+    fn journal_stride_zero_is_clamped_not_divide_by_zero() {
+        // Regression test: `attach_journal(journal, 0)` used to reach
+        // `clock % every == 0` with `every == 0` on the first access and
+        // panic with a divide-by-zero. Stride 0 must behave like stride 1.
+        let t = table();
+        let journal = csprov_obs::Journal::new();
+        let mut cache = RouteCache::new(CachePolicy::Lru, 16);
+        cache.attach_journal(journal.clone(), 0);
+        for i in 0..50u32 {
+            let addr = ip(10, 0, 0, (i % 8) as u8);
+            if cache.access(addr, 40).is_none() {
+                if let (Some(hop), _) = t.lookup(addr) {
+                    cache.insert(addr, hop, 40);
+                }
+            }
+        }
+        let counts: std::collections::BTreeMap<_, _> =
+            journal.counts_by_kind().into_iter().collect();
+        let journaled = counts.get("router.cache.hit").copied().unwrap_or(0)
+            + counts.get("router.cache.miss").copied().unwrap_or(0);
+        assert_eq!(
+            journaled, 50,
+            "stride 0 clamps to 1: every access journaled"
+        );
+    }
+
+    #[test]
     fn empty_stream() {
         let t = table();
         let r = simulate_cache(&t, CachePolicy::Lru, 4, std::iter::empty());

@@ -88,6 +88,17 @@ impl RngStream {
         RngStream { s }
     }
 
+    /// Derives a decorrelated 64-bit seed identified by a label and index,
+    /// without advancing the parent. Used to seed whole child *simulations*
+    /// (e.g. one server shard per index) rather than child streams: the
+    /// shard then builds its own root via [`RngStream::new`], so shard
+    /// traffic is independent of how many draws any other shard consumed.
+    pub fn derive_seed(&self, label: &str, index: u64) -> u64 {
+        let child = self.derive_indexed(label, index);
+        let mut sm = child.s[0] ^ child.s[2].rotate_left(29);
+        splitmix64(&mut sm)
+    }
+
     /// Next raw 64-bit output.
     #[inline]
     pub fn next_u64_raw(&mut self) -> u64 {
@@ -219,6 +230,26 @@ mod tests {
         let mut a = root.derive_indexed("client", 0);
         let mut b = root.derive_indexed("client", 1);
         assert_ne!(a.next_u64_raw(), b.next_u64_raw());
+    }
+
+    #[test]
+    fn derive_seed_stable_and_distinct() {
+        let root = RngStream::new(7);
+        assert_eq!(
+            root.derive_seed("shard", 3),
+            root.derive_seed("shard", 3),
+            "same label+index must derive the same seed"
+        );
+        let seeds: Vec<u64> = (0..64).map(|i| root.derive_seed("shard", i)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len(), "shard seeds must be distinct");
+        assert_ne!(
+            root.derive_seed("shard", 0),
+            root.derive_seed("fleet", 0),
+            "different labels must derive different seeds"
+        );
     }
 
     #[test]

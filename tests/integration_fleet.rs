@@ -1,0 +1,129 @@
+//! Fleet integrity: sharding a facility across the work-stealing pool must
+//! be an implementation detail. The merged analysis state has to be
+//! byte-identical to a serial reference, whatever order the shards finish
+//! in, and degenerate configurations have to surface as typed errors.
+
+use csprov::fleet::{run_fleet, FacilityAnalysis, FleetConfig, FleetError, ShardState};
+use csprov::pipeline::MainRun;
+use csprov_net::Direction;
+
+fn serial_states(config: &FleetConfig) -> Vec<ShardState> {
+    (0..config.servers)
+        .map(|i| ShardState::from_run(i, MainRun::execute(config.scenario(i))))
+        .collect()
+}
+
+#[test]
+fn fleet_of_one_is_its_monolithic_run() {
+    let config = FleetConfig::new("one", 11, 1, 6);
+    let fleet = run_fleet(&config).expect("fleet of one");
+    let mono = MainRun::execute(config.scenario(0));
+
+    assert_eq!(
+        fleet.facility.counts.total_packets(),
+        mono.analysis.counts.total_packets()
+    );
+    assert_eq!(
+        fleet.facility.counts.total_wire_bytes(),
+        mono.analysis.counts.total_wire_bytes()
+    );
+    assert_eq!(
+        fleet.facility.per_minute.bins(),
+        mono.analysis.per_minute.bins()
+    );
+    assert_eq!(
+        fleet.facility.per_minute_in.bins(),
+        mono.analysis.per_minute_in.bins()
+    );
+    assert_eq!(fleet.facility.dropped_bins, 0);
+    let mono_players: Vec<u64> = mono
+        .outcome
+        .players_per_minute
+        .iter()
+        .map(|&p| u64::from(p))
+        .collect();
+    assert_eq!(fleet.facility.players_per_minute, mono_players);
+}
+
+#[test]
+fn parallel_fleet_matches_serial_merge_reference() {
+    // The work-stealing execution path and a plain serial loop over the
+    // same scenarios must fold to the same aggregate, byte for byte.
+    let config = FleetConfig::new("ref", 23, 5, 5);
+    let fleet = run_fleet(&config).expect("parallel fleet");
+    let serial = FacilityAnalysis::merge(serial_states(&config)).expect("serial merge");
+
+    assert_eq!(fleet.facility.shards, serial.shards);
+    assert_eq!(
+        fleet.facility.counts.total_packets(),
+        serial.counts.total_packets()
+    );
+    assert_eq!(fleet.facility.per_minute.bins(), serial.per_minute.bins());
+    assert_eq!(
+        fleet.facility.per_minute_out.bins(),
+        serial.per_minute_out.bins()
+    );
+    assert_eq!(fleet.facility.players_per_minute, serial.players_per_minute);
+    assert_eq!(fleet.facility.dropped_bins, serial.dropped_bins);
+    assert_eq!(fleet.facility.sessions, serial.sessions);
+    assert_eq!(
+        fleet.facility.sizes.mean(Direction::Inbound).to_bits(),
+        serial.sizes.mean(Direction::Inbound).to_bits()
+    );
+}
+
+#[test]
+fn shard_arrival_order_cannot_change_the_aggregate() {
+    let config = FleetConfig::new("perm", 31, 4, 4);
+    let states = serial_states(&config);
+    let reference = FacilityAnalysis::merge(states.clone()).expect("reference merge");
+
+    let permutations: [[usize; 4]; 3] = [[3, 2, 1, 0], [1, 3, 0, 2], [2, 0, 3, 1]];
+    for perm in permutations {
+        let shuffled: Vec<ShardState> = perm.iter().map(|&i| states[i].clone()).collect();
+        let merged = FacilityAnalysis::merge(shuffled).expect("permuted merge");
+        assert_eq!(merged.per_minute.bins(), reference.per_minute.bins());
+        assert_eq!(
+            merged.counts.total_wire_bytes(),
+            reference.counts.total_wire_bytes()
+        );
+        assert_eq!(merged.players_per_minute, reference.players_per_minute);
+        assert_eq!(merged.dropped_bins, reference.dropped_bins);
+        assert_eq!(
+            merged.per_minute.bin_stats().mean().to_bits(),
+            reference.per_minute.bin_stats().mean().to_bits()
+        );
+    }
+}
+
+#[test]
+fn reports_are_replayable() {
+    let config = FleetConfig::new("replay", 47, 3, 5);
+    let a = run_fleet(&config).expect("first run");
+    let b = run_fleet(&config).expect("second run");
+    assert_eq!(a.report.render().render(), b.report.render().render());
+    assert_eq!(a.report.sizing_line(), b.report.sizing_line());
+}
+
+#[test]
+fn zero_servers_is_a_typed_error() {
+    let config = FleetConfig::new("empty", 1, 0, 5);
+    assert_eq!(run_fleet(&config).err(), Some(FleetError::NoServers));
+}
+
+#[test]
+fn a_128_server_fleet_completes_with_shard_sized_state() {
+    // The acceptance-scale run: a facility of 128 servers. The aggregate
+    // retains one minute-series per direction plus scalars per shard —
+    // O(shards) — and the provisioning report comes out well-formed.
+    let config = FleetConfig::new("facility", 77, 128, 1);
+    let fleet = run_fleet(&config).expect("128-server fleet");
+    assert_eq!(fleet.facility.shards, 128);
+    assert_eq!(fleet.shards.len(), 128);
+    assert!(fleet.facility.counts.total_packets() > 0);
+    assert!(fleet.report.mean_players > 0.0);
+    assert!(fleet.report.uplink_mbps > 0.0);
+    let rendered = fleet.report.render().render();
+    assert!(rendered.contains("pps per player"));
+    assert!(rendered.contains("uplink"));
+}

@@ -7,9 +7,9 @@
 
 use csprov_bench::harness::{black_box, Harness, Throughput};
 use csprov_net::{client_endpoint, server_endpoint, Direction, Packet, PacketKind};
-use csprov_obs::{Journal, MetricsRegistry};
+use csprov_obs::{BroadcastBus, BusEvent, Journal, MetricsRegistry, TraceEvent};
 use csprov_router::{EngineConfig, ForwardingEngine, NatDevice, NatTaps, RouterMetrics};
-use csprov_sim::{SimDuration, SimTime, Simulator, StopFlag};
+use csprov_sim::{Pacer, SimDuration, SimTime, Simulator, Speed, StopFlag};
 use std::cell::Cell;
 use std::rc::Rc;
 
@@ -21,6 +21,7 @@ enum KernelObs {
     Plain,
     Observed,
     Journaled,
+    PacedMax,
 }
 
 /// The kernel workload from the `sim_kernel` bench: 5 periodic processes,
@@ -45,6 +46,10 @@ fn run_kernel(obs: KernelObs) -> u64 {
             sim.set_observer(8192, move |s: &Simulator| sink.set(s.events_executed()));
         }
         KernelObs::Journaled => sim.set_journal(8192, Journal::new()),
+        // `--speed max` keeps the pacer installed but on its no-op branch;
+        // this row is the whole price of `--serve`'s pacing hook on an
+        // unpaced run (budget: <2% vs Plain).
+        KernelObs::PacedMax => sim.set_pacer(Pacer::new(Speed::Max)),
     }
     sim.run_until(SimTime::from_secs(1));
     sim.events_executed()
@@ -61,6 +66,42 @@ fn bench_sim_kernel(h: &mut Harness) {
     });
     g.bench_function("periodic_100k_journaled", |b| {
         b.iter(|| black_box(run_kernel(KernelObs::Journaled)))
+    });
+    g.bench_function("periodic_100k_paced_max", |b| {
+        b.iter(|| black_box(run_kernel(KernelObs::PacedMax)))
+    });
+    g.finish();
+}
+
+/// Publishes 1M trace events into a fresh bus with `subs` attached
+/// subscribers that never drain: after each queue fills (capacity 1024),
+/// every further publish takes the drop-and-count path — the worst case
+/// the sim thread can see from slow consumers.
+fn run_bus_publish(subs: usize) -> u64 {
+    let bus = BroadcastBus::new();
+    let _subscribers: Vec<_> = (0..subs).map(|_| bus.subscribe(1024)).collect();
+    for i in 0..1_000_000u64 {
+        bus.publish(BusEvent::Trace(TraceEvent {
+            sim_ns: i,
+            kind: "bench.publish",
+            key: i,
+            value: i,
+        }));
+    }
+    bus.stats().published
+}
+
+fn bench_serve_bus(h: &mut Harness) {
+    let mut g = h.group("serve_bus");
+    g.throughput(Throughput::Elements(1_000_000));
+    g.bench_function("bus_publish_1m_0sub", |b| {
+        b.iter(|| black_box(run_bus_publish(0)))
+    });
+    g.bench_function("bus_publish_1m_1sub", |b| {
+        b.iter(|| black_box(run_bus_publish(1)))
+    });
+    g.bench_function("bus_publish_1m_8sub", |b| {
+        b.iter(|| black_box(run_bus_publish(8)))
     });
     g.finish();
 }
@@ -205,4 +246,5 @@ fn main() {
     bench_router_forwarding(&mut h);
     bench_nat_journal(&mut h);
     bench_primitives(&mut h);
+    bench_serve_bus(&mut h);
 }

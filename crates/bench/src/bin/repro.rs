@@ -35,32 +35,47 @@
 //!                      and p95/p99, per-player slope, aggregate Hurst,
 //!                      uplink sizing); may be used without artifacts
 //!   --fleet-minutes M  simulated minutes per fleet server (default 30)
+//!   --serve ADDR       stream the run live over HTTP (GET /metrics,
+//!                      /events (SSE), /series, /status, /report); the
+//!                      server runs for the duration of the repro
+//!   --serve-linger S   keep serving S seconds after the run finishes
+//!                      (requires --serve)
+//!   --speed S          replay speed: a multiplier (1 = wall clock,
+//!                      8 = 8x fast-forward) or "max" (default: unpaced)
 //! ```
 //!
 //! Instrumentation is observe-only: a seeded run's artifact output is
 //! byte-identical with and without `--progress`/`--metrics-out`/
-//! `--trace-out`/`--series-out`. Chaos campaigns are replayable: the same
-//! `--chaos`/`--chaos-seed` pair impairs the same packets, and
-//! `--chaos none` is byte-identical to no `--chaos` at all.
+//! `--trace-out`/`--series-out`/`--serve`/`--speed`. Chaos campaigns are
+//! replayable: the same `--chaos`/`--chaos-seed` pair impairs the same
+//! packets, and `--chaos none` is byte-identical to no `--chaos` at all.
 
 use csprov::chaos::{self, ChaosReport, ChaosSpec};
 use csprov::experiments::{ablations, aggregate, figures, nat, tables, web, ExperimentId};
+use csprov::fleet::ShardState;
 use csprov::fleet::{self, FleetConfig};
 use csprov::pipeline::MainRun;
 use csprov_analysis::report::to_csv;
 use csprov_bench::harness::{render_bench_json, BenchResult};
 use csprov_game::{GameMetrics, ScenarioConfig, WorldInstruments, PAPER_TRACE_SECS};
 use csprov_net::LinkMetrics;
-use csprov_obs::{Journal, MetricsRegistry, ProgressReporter, SeriesSampler};
+use csprov_obs::{
+    BroadcastBus, BusEvent, Journal, MetricsRegistry, ProgressReporter, SeriesSampler, TraceEvent,
+};
 use csprov_router::EngineConfig;
-use csprov_sim::{SimDuration, Simulator};
-use std::cell::RefCell;
+use csprov_serve::ServeShared;
+use csprov_sim::{Pacer, PacerStats, SimDuration, Simulator, Speed};
+use std::cell::{Cell, RefCell};
 use std::process::ExitCode;
 use std::rc::Rc;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// How many kernel events pass between progress-observer callbacks.
 const OBSERVER_STRIDE: u64 = 8192;
+
+/// Wall interval between snapshot refreshes pushed to the serving plane.
+const SERVE_REFRESH: Duration = Duration::from_millis(200);
 
 /// Rendering for `--metrics-out`. The default keeps the legacy combined
 /// dump (per-artifact commented text + JSON lines).
@@ -87,6 +102,9 @@ struct Options {
     chaos_seed: Option<u64>,
     fleet: Option<usize>,
     fleet_minutes: u64,
+    serve: Option<String>,
+    serve_linger_secs: u64,
+    speed: Speed,
     artifacts: Vec<ExperimentId>,
 }
 
@@ -106,6 +124,9 @@ fn parse_args() -> Result<Options, String> {
         chaos_seed: None,
         fleet: None,
         fleet_minutes: 30,
+        serve: None,
+        serve_linger_secs: 0,
+        speed: Speed::Max,
         artifacts: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -196,6 +217,19 @@ fn parse_args() -> Result<Options, String> {
                     return Err("--fleet-minutes must be > 0".into());
                 }
             }
+            "--serve" => {
+                opts.serve = Some(args.next().ok_or("--serve needs an address (host:port)")?)
+            }
+            "--serve-linger" => {
+                opts.serve_linger_secs = args
+                    .next()
+                    .ok_or("--serve-linger needs seconds")?
+                    .parse()
+                    .map_err(|e| format!("bad linger seconds: {e}"))?;
+            }
+            "--speed" => {
+                opts.speed = args.next().ok_or("--speed needs a value")?.parse()?;
+            }
             "-h" | "--help" => return Err(String::new()),
             "all" => opts.artifacts = ExperimentId::all(),
             "main" => {
@@ -228,6 +262,9 @@ fn parse_args() -> Result<Options, String> {
     if opts.metrics_format != MetricsFormat::Combined && opts.metrics_out.is_none() {
         return Err("--metrics-format requires --metrics-out".into());
     }
+    if opts.serve_linger_secs > 0 && opts.serve.is_none() {
+        return Err("--serve-linger requires --serve".into());
+    }
     Ok(opts)
 }
 
@@ -236,7 +273,8 @@ fn usage() {
         "usage: repro [--seed N] [--hours H] [--full-week] [--csv DIR] [--progress] \
          [--metrics-out FILE] [--metrics-format text|json|prom] [--trace-out FILE] \
          [--series-out DIR] [--series-interval MS] [--chaos PROFILE] [--chaos-seed N] \
-         [--fleet N [--fleet-minutes M]] <artifact|all|main|nat>..."
+         [--fleet N [--fleet-minutes M]] [--serve ADDR [--serve-linger S]] \
+         [--speed N|max] <artifact|all|main|nat>..."
     );
     eprintln!("artifacts: table1..table4, fig1..fig15, ablate-tick, ablate-population,");
     eprintln!("           ablate-nat-capacity, ablate-nat-buffer, route-cache, source-model,");
@@ -246,9 +284,11 @@ fn usage() {
 
 /// Builds the observe-only side channels for one world run: metric handles
 /// registered against `registry` (when a metrics file was requested), an
-/// event journal (when `--trace-out` is on), and a kernel observer driving
-/// a [`ProgressReporter`] (`--progress`) and/or a [`SeriesSampler`]
-/// (`--series-out`) — both share the one observer slot and stride.
+/// event journal (when `--trace-out` or `--serve` is on), a wall-clock
+/// pacer (`--speed`), and a kernel observer driving a [`ProgressReporter`]
+/// (`--progress`), a [`SeriesSampler`] (`--series-out`/`--serve`) and the
+/// live snapshot refresh (`--serve`) — all sharing the one observer slot
+/// and stride.
 ///
 /// The reporter and sampler are also returned so the caller can emit the
 /// final summary line / flush the series after the run.
@@ -258,20 +298,42 @@ type RunTelemetry = (
     Option<Rc<RefCell<SeriesSampler>>>,
 );
 
-fn instruments_for(
-    label: &str,
+/// Everything one world run's telemetry needs, bundled so each run site
+/// states only what differs (label, horizon, journal).
+struct TelemetrySpec<'a> {
+    label: &'static str,
     horizon_ns: u64,
-    registry: Option<&MetricsRegistry>,
+    registry: Option<&'a MetricsRegistry>,
     progress: bool,
     journal: Option<Journal>,
     series_interval_ns: Option<u64>,
-) -> RunTelemetry {
+    speed: Speed,
+    serve: Option<Arc<ServeShared>>,
+}
+
+fn instruments_for(spec: TelemetrySpec<'_>) -> RunTelemetry {
+    let TelemetrySpec {
+        label,
+        horizon_ns,
+        registry,
+        progress,
+        journal,
+        series_interval_ns,
+        speed,
+        serve,
+    } = spec;
     let mut instruments = WorldInstruments::default();
     if let Some(registry) = registry {
         instruments.metrics = Some(GameMetrics::register(registry));
         instruments.link_metrics = Some(LinkMetrics::register(registry));
     }
-    instruments.journal = journal;
+    instruments.journal = journal.clone();
+    let pacer_stats: Option<Arc<PacerStats>> = speed.is_paced().then(|| {
+        let pacer = Pacer::new(speed);
+        let stats = pacer.stats();
+        instruments.pacer = Some(pacer);
+        stats
+    });
     let reporter = progress.then(|| Rc::new(ProgressReporter::new(label, Some(horizon_ns))));
     let sampler = match (series_interval_ns, registry) {
         (Some(interval_ns), Some(registry)) => Some(Rc::new(RefCell::new(SeriesSampler::new(
@@ -280,9 +342,11 @@ fn instruments_for(
         )))),
         _ => None,
     };
-    if reporter.is_some() || sampler.is_some() {
+    if reporter.is_some() || sampler.is_some() || serve.is_some() {
         let reporter_cb = reporter.clone();
         let sampler_cb = sampler.clone();
+        let registry_cb = registry.cloned();
+        let last_refresh = Cell::new(Instant::now());
         // The sampler needs to see the sim clock often enough to hit its
         // interval boundaries; the progress reporter rate-limits itself on
         // wall time, so the finer stride costs only the callback dispatch.
@@ -303,6 +367,33 @@ fn instruments_for(
                 }
                 if let Some(sampler) = &sampler_cb {
                     sampler.borrow_mut().observe(sim.now().as_nanos());
+                }
+                // Live snapshot refresh: render the (single-threaded)
+                // registry and sampler here on the sim thread and swap the
+                // strings into the shared state. Wall-rate-limited so a
+                // max-speed run spends its time simulating, not rendering.
+                if let Some(serve) = &serve {
+                    let now = Instant::now();
+                    if now.duration_since(last_refresh.get()) >= SERVE_REFRESH {
+                        last_refresh.set(now);
+                        let sim_ns = sim.now().as_nanos();
+                        let events = sim.events_executed();
+                        let lag_ns = pacer_stats.as_ref().map_or(0, |s| s.lag_ns());
+                        let journal_dropped = journal.as_ref().map_or(0, Journal::dropped);
+                        serve.update_status(|s| {
+                            s.sim_ns = sim_ns;
+                            s.events = events;
+                            s.lag_ns = lag_ns;
+                            s.journal_dropped = journal_dropped;
+                        });
+                        if let Some(registry) = &registry_cb {
+                            serve.export_metrics(registry);
+                            serve.set_metrics(registry.render_prometheus());
+                        }
+                        if let Some(sampler) = &sampler_cb {
+                            serve.set_series(sampler.borrow().to_csv());
+                        }
+                    }
                 }
             }),
         ));
@@ -356,6 +447,40 @@ fn write_series(sampler: &RefCell<SeriesSampler>, dir: &str, label: &str, horizo
     }
 }
 
+/// End-of-run refresh for the serving plane: final status, a closing
+/// series row (unless `--series-out` already flushed one), fresh
+/// `/metrics` + `/series` snapshots, and the run-finished bus event.
+fn finish_serve_run(
+    shared: &Arc<ServeShared>,
+    registry: &Option<MetricsRegistry>,
+    sampler: &Option<Rc<RefCell<SeriesSampler>>>,
+    finish_series: bool,
+    horizon_ns: u64,
+    events: u64,
+    label: &str,
+) {
+    shared.update_status(|s| {
+        s.sim_ns = horizon_ns;
+        s.events = events;
+        s.lag_ns = 0;
+    });
+    if let Some(sampler) = sampler {
+        if finish_series {
+            sampler.borrow_mut().finish(horizon_ns);
+        }
+        shared.set_series(sampler.borrow().to_csv());
+    }
+    if let Some(registry) = registry {
+        shared.export_metrics(registry);
+        shared.set_metrics(registry.render_prometheus());
+    }
+    shared.bus().publish(BusEvent::RunFinished {
+        label: label.into(),
+        sim_ns: horizon_ns,
+        events,
+    });
+}
+
 fn write_csv(dir: &str, name: &str, headers: &[&str], cols: &[&[f64]]) {
     let path = format!("{dir}/{name}.csv");
     if let Err(e) =
@@ -388,14 +513,46 @@ fn main() -> ExitCode {
     let needs_main = opts.artifacts.iter().any(|a| a.needs_main_run());
     let needs_nat = opts.artifacts.iter().any(|a| a.needs_nat_run());
 
-    // The registry backs both the snapshot dump (--metrics-out) and the
-    // sim-time series (--series-out).
+    // The registry backs the snapshot dump (--metrics-out), the sim-time
+    // series (--series-out) and the live /metrics + /series endpoints.
     let registry =
-        (opts.metrics_out.is_some() || opts.series_out.is_some()).then(MetricsRegistry::new);
-    let series_interval_ns = opts
-        .series_out
+        (opts.metrics_out.is_some() || opts.series_out.is_some() || opts.serve.is_some())
+            .then(MetricsRegistry::new);
+    let series_interval_ns = (opts.series_out.is_some() || opts.serve.is_some())
+        .then(|| opts.series_interval_ms * 1_000_000);
+
+    // The live serving plane: shared snapshot state plus the broadcast bus
+    // every run's journal taps into. HTTP threads only ever read rendered
+    // snapshots, so nothing a subscriber does can perturb the simulation.
+    let serve_state = opts
+        .serve
         .as_ref()
-        .map(|_| opts.series_interval_ms * 1_000_000);
+        .map(|_| Arc::new(ServeShared::new(BroadcastBus::new())));
+    let mut serve_handle = None;
+    if let (Some(addr), Some(shared)) = (&opts.serve, &serve_state) {
+        match csprov_serve::serve(addr.as_str(), shared.clone()) {
+            Ok(handle) => {
+                eprintln!(
+                    "[serve] listening on http://{} (/metrics /events /series /status /report)",
+                    handle.addr()
+                );
+                serve_handle = Some(handle);
+            }
+            Err(e) => {
+                eprintln!("error: could not bind --serve {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        let mut labels: Vec<String> = opts.artifacts.iter().map(|id| id.to_string()).collect();
+        if opts.fleet.is_some() {
+            labels.push("fleet".to_string());
+        }
+        shared.update_status(|s| {
+            s.seed = opts.seed;
+            s.speed = opts.speed.to_string();
+            s.label = labels.join(",");
+        });
+    }
 
     // Wall-clock phases, reported at exit in the same `[time]` format the
     // per-artifact lines use and exported as BENCH_repro.json when
@@ -421,15 +578,31 @@ fn main() -> ExitCode {
             opts.seed
         );
         let t0 = Instant::now();
-        let journal = opts.trace_out.as_ref().map(|_| Journal::new());
-        let (instruments, reporter, sampler) = instruments_for(
-            "main",
-            duration.as_nanos(),
-            registry.as_ref(),
-            opts.progress,
-            journal.clone(),
+        let journal = (opts.trace_out.is_some() || serve_state.is_some()).then(Journal::new);
+        if let (Some(journal), Some(shared)) = (&journal, &serve_state) {
+            journal.set_tap(shared.bus().clone());
+        }
+        let (instruments, reporter, sampler) = instruments_for(TelemetrySpec {
+            label: "main",
+            horizon_ns: duration.as_nanos(),
+            registry: registry.as_ref(),
+            progress: opts.progress,
+            journal: journal.clone(),
             series_interval_ns,
-        );
+            speed: opts.speed,
+            serve: serve_state.clone(),
+        });
+        if let Some(shared) = &serve_state {
+            shared.update_status(|s| {
+                s.state = "running";
+                s.horizon_ns = duration.as_nanos();
+                s.sim_ns = 0;
+            });
+            shared.bus().publish(BusEvent::RunStarted {
+                label: "main".into(),
+                horizon_ns: duration.as_nanos(),
+            });
+        }
         let scenario = ScenarioConfig::scaled(opts.seed, duration);
         let run = match &opts.chaos {
             Some(spec) => {
@@ -458,6 +631,17 @@ fn main() -> ExitCode {
         if let (Some(sampler), Some(dir)) = (&sampler, &opts.series_out) {
             write_series(sampler, dir, "main", duration.as_nanos());
         }
+        if let Some(shared) = &serve_state {
+            finish_serve_run(
+                shared,
+                &registry,
+                &sampler,
+                opts.series_out.is_none(),
+                duration.as_nanos(),
+                run.outcome.events_executed,
+                "main",
+            );
+        }
         let secs = t0.elapsed().as_secs_f64();
         eprintln!(
             "[run] done: {} packets in {:.1} s wall ({} events)",
@@ -476,15 +660,31 @@ fn main() -> ExitCode {
         eprintln!("[run] NAT experiment: one 30-minute map through the device...");
         let t0 = Instant::now();
         let nat_horizon = SimDuration::from_mins(30).as_nanos();
-        let journal = opts.trace_out.as_ref().map(|_| Journal::new());
-        let (instruments, reporter, sampler) = instruments_for(
-            "nat",
-            nat_horizon,
-            registry.as_ref(),
-            opts.progress,
-            journal.clone(),
+        let journal = (opts.trace_out.is_some() || serve_state.is_some()).then(Journal::new);
+        if let (Some(journal), Some(shared)) = (&journal, &serve_state) {
+            journal.set_tap(shared.bus().clone());
+        }
+        let (instruments, reporter, sampler) = instruments_for(TelemetrySpec {
+            label: "nat",
+            horizon_ns: nat_horizon,
+            registry: registry.as_ref(),
+            progress: opts.progress,
+            journal: journal.clone(),
             series_interval_ns,
-        );
+            speed: opts.speed,
+            serve: serve_state.clone(),
+        });
+        if let Some(shared) = &serve_state {
+            shared.update_status(|s| {
+                s.state = "running";
+                s.horizon_ns = nat_horizon;
+                s.sim_ns = 0;
+            });
+            shared.bus().publish(BusEvent::RunStarted {
+                label: "nat".into(),
+                horizon_ns: nat_horizon,
+            });
+        }
         let run = match &opts.chaos {
             Some(spec) => {
                 eprintln!(
@@ -517,6 +717,17 @@ fn main() -> ExitCode {
         }
         if let (Some(sampler), Some(dir)) = (&sampler, &opts.series_out) {
             write_series(sampler, dir, "nat", nat_horizon);
+        }
+        if let Some(shared) = &serve_state {
+            finish_serve_run(
+                shared,
+                &registry,
+                &sampler,
+                opts.series_out.is_none(),
+                nat_horizon,
+                run.outcome.events_executed,
+                "nat",
+            );
         }
         let secs = t0.elapsed().as_secs_f64();
         timings.push(phase(
@@ -569,6 +780,11 @@ fn main() -> ExitCode {
             ExperimentId::AggregateServers => aggregate::aggregate_servers(opts.seed, 120).render(),
         };
         println!("{out}");
+        if let Some(shared) = &serve_state {
+            shared.append_report(&format!(
+                "\n================ {id} ================\n{out}\n"
+            ));
+        }
 
         if let Some(dir) = &opts.csv_dir {
             match id {
@@ -635,8 +851,54 @@ fn main() -> ExitCode {
             opts.fleet_minutes, opts.seed
         );
         let t0 = Instant::now();
-        let config = FleetConfig::new("fleet", opts.seed, servers, opts.fleet_minutes);
-        match fleet::run_fleet(&config) {
+        let mut config = FleetConfig::new("fleet", opts.seed, servers, opts.fleet_minutes);
+        config.speed = opts.speed;
+        let fleet_horizon = SimDuration::from_mins(opts.fleet_minutes).as_nanos();
+        if let Some(shared) = &serve_state {
+            shared.update_status(|s| {
+                s.state = "running";
+                s.horizon_ns = fleet_horizon;
+                s.sim_ns = 0;
+                s.shards_total = servers as u64;
+                s.shards_done = 0;
+            });
+            shared.bus().publish(BusEvent::RunStarted {
+                label: "fleet".into(),
+                horizon_ns: fleet_horizon,
+            });
+        }
+        // Shard-completion observer for the serving plane: keep copies of
+        // the finished shards and re-render an interim provisioning report
+        // while the pool is still working. The canonical merge happens over
+        // the pool's own result vector, so none of this affects the answer.
+        let partial: Mutex<Vec<ShardState>> = Mutex::new(Vec::new());
+        let on_shard = |state: &ShardState| {
+            let Some(shared) = &serve_state else { return };
+            let mut done = partial.lock().unwrap_or_else(|e| e.into_inner());
+            done.push(state.clone());
+            let n = done.len() as u64;
+            shared.update_status(|s| {
+                s.shards_done = n;
+                s.sim_ns = fleet_horizon * n / servers as u64;
+            });
+            shared.bus().publish(BusEvent::Trace(TraceEvent {
+                sim_ns: fleet_horizon * n / servers as u64,
+                kind: "fleet.shard.done",
+                key: state.shard as u64,
+                value: n,
+            }));
+            if let Ok(report) = fleet::interim_report(&config, &done) {
+                shared.set_report(format!(
+                    "================ fleet (interim, {n}/{servers} shards) ================\n{}\n{}\n",
+                    report.render().render(),
+                    report.sizing_line()
+                ));
+            }
+        };
+        let observer = serve_state
+            .as_ref()
+            .map(|_| &on_shard as &(dyn Fn(&ShardState) + Sync));
+        match fleet::run_fleet_observed(&config, observer) {
             Ok(run) => {
                 let secs = t0.elapsed().as_secs_f64();
                 println!("\n================ fleet ================");
@@ -645,10 +907,33 @@ fn main() -> ExitCode {
                 if let Some(registry) = &registry {
                     run.export_metrics(registry);
                 }
-                if let Some(base) = &opts.trace_out {
-                    let journal = Journal::new();
-                    run.emit_journal(&journal);
-                    write_journal(&journal, base, "fleet");
+                let journal =
+                    (opts.trace_out.is_some() || serve_state.is_some()).then(Journal::new);
+                if let Some(journal) = &journal {
+                    if let Some(shared) = &serve_state {
+                        journal.set_tap(shared.bus().clone());
+                    }
+                    run.emit_journal(journal);
+                    if let Some(base) = &opts.trace_out {
+                        write_journal(journal, base, "fleet");
+                    }
+                }
+                if let Some(shared) = &serve_state {
+                    shared.set_report(format!(
+                        "================ fleet ================\n{}\n{}\n",
+                        run.report.render().render(),
+                        run.report.sizing_line()
+                    ));
+                    shared.update_status(|s| {
+                        s.sim_ns = fleet_horizon;
+                        s.shards_done = run.facility.shards as u64;
+                        s.events = run.facility.counts.total_packets();
+                    });
+                    shared.bus().publish(BusEvent::RunFinished {
+                        label: "fleet".into(),
+                        sim_ns: fleet_horizon,
+                        events: run.facility.counts.total_packets(),
+                    });
                 }
                 eprintln!(
                     "[run] fleet done: {} packets across {} shards in {:.1} s wall",
@@ -725,6 +1010,27 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    // Wind the serving plane down: one last snapshot, the terminal status,
+    // an optional linger window for late scrapers, then a clean shutdown
+    // that closes the bus so SSE streams end instead of hanging.
+    if let Some(shared) = &serve_state {
+        if let Some(registry) = &registry {
+            shared.export_metrics(registry);
+            shared.set_metrics(registry.render_prometheus());
+        }
+        shared.update_status(|s| s.state = "finished");
+        if opts.serve_linger_secs > 0 {
+            eprintln!(
+                "[serve] lingering {} s before shutdown",
+                opts.serve_linger_secs
+            );
+            std::thread::sleep(Duration::from_secs(opts.serve_linger_secs));
+        }
+    }
+    if let Some(mut handle) = serve_handle.take() {
+        handle.shutdown();
     }
     ExitCode::SUCCESS
 }

@@ -35,10 +35,10 @@ use csprov_analysis::report::{fmt_f64, TextTable};
 use csprov_analysis::{
     fit_line, rs_hurst, summarize_sessions, MergeError, RateSeries, SizeHistogram,
 };
-use csprov_game::ScenarioConfig;
+use csprov_game::{ScenarioConfig, WorldInstruments};
 use csprov_net::CountingSink;
 use csprov_obs::{Journal, MetricsRegistry};
-use csprov_sim::{RngStream, SimDuration};
+use csprov_sim::{Pacer, RngStream, SimDuration, Speed};
 use std::fmt;
 
 /// What a fleet run should simulate.
@@ -54,6 +54,11 @@ pub struct FleetConfig {
     pub minutes: u64,
     /// Session-duration shape (log-normal sigma) for every shard.
     pub session_sigma: f64,
+    /// Replay speed per shard. [`Speed::Max`] (the default) runs as fast
+    /// as the hardware allows; a paced speed wall-clocks every shard,
+    /// which changes nothing about what a shard computes — pacing only
+    /// sleeps — so the aggregate stays byte-identical.
+    pub speed: Speed,
 }
 
 impl FleetConfig {
@@ -65,6 +70,7 @@ impl FleetConfig {
             servers,
             minutes,
             session_sigma: 1.05,
+            speed: Speed::Max,
         }
     }
 
@@ -608,19 +614,72 @@ impl FleetRun {
 /// panic (lowest shard index wins), incompatible merge shapes, or a
 /// degenerate aggregate.
 pub fn run_fleet(config: &FleetConfig) -> Result<FleetRun, FleetError> {
+    run_fleet_observed(config, None)
+}
+
+/// [`run_fleet`] with a shard-completion observer for live serving.
+///
+/// `on_shard` is invoked from the worker thread that finished the shard,
+/// immediately after its reduction — the hook the serving plane uses to
+/// re-merge an interim facility aggregate while other shards still run.
+/// The observer is read-only with respect to the fleet: its return is
+/// `()`, shard states are handed to it by reference, and the canonical
+/// merge happens afterwards from the untouched result vector, so the
+/// final aggregate cannot depend on observer behavior or timing.
+pub fn run_fleet_observed(
+    config: &FleetConfig,
+    on_shard: Option<&(dyn Fn(&ShardState) + Sync)>,
+) -> Result<FleetRun, FleetError> {
     if config.servers == 0 {
         return Err(FleetError::NoServers);
     }
     let scenarios: Vec<ScenarioConfig> = (0..config.servers).map(|i| config.scenario(i)).collect();
+    let speed = config.speed;
     let states = work_steal(&scenarios, |i, cfg| {
-        MainRun::execute(cfg.clone()).into_fleet_shard(i)
+        let instruments = WorldInstruments {
+            pacer: speed.is_paced().then(|| Pacer::new(speed)),
+            ..WorldInstruments::default()
+        };
+        let state =
+            MainRun::execute_instrumented(cfg.clone(), instruments, None).into_fleet_shard(i);
+        if let Some(observe) = on_shard {
+            observe(&state);
+        }
+        state
     })
     .map_err(|p| FleetError::ShardFailed {
         shard: p.index,
         message: p.message,
     })?;
 
-    let shards: Vec<ShardStats> = states
+    let shards = shard_stats(&states);
+    let facility = FacilityAnalysis::merge(states)?;
+    let report = ProvisioningReport::build(config, &facility, &shards)?;
+    Ok(FleetRun {
+        facility,
+        shards,
+        report,
+    })
+}
+
+/// A provisioning report over a *partial* fleet: the shards completed so
+/// far. The serving plane re-renders this on every shard completion; the
+/// report is labelled with the number of shards actually folded, not the
+/// configured fleet size.
+pub fn interim_report(
+    config: &FleetConfig,
+    states: &[ShardState],
+) -> Result<ProvisioningReport, FleetError> {
+    let shards = shard_stats(states);
+    let facility = FacilityAnalysis::merge(states.to_vec())?;
+    let mut partial = config.clone();
+    partial.servers = facility.shards;
+    ProvisioningReport::build(&partial, &facility, &shards)
+}
+
+/// Per-shard reporting rows in canonical shard order.
+fn shard_stats(states: &[ShardState]) -> Vec<ShardStats> {
+    let mut shards: Vec<ShardStats> = states
         .iter()
         .map(|s| ShardStats {
             shard: s.shard,
@@ -630,14 +689,8 @@ pub fn run_fleet(config: &FleetConfig) -> Result<FleetRun, FleetError> {
             minute_bins: s.per_minute.bins().len(),
         })
         .collect();
-
-    let facility = FacilityAnalysis::merge(states)?;
-    let report = ProvisioningReport::build(config, &facility, &shards)?;
-    Ok(FleetRun {
-        facility,
-        shards,
-        report,
-    })
+    shards.sort_by_key(|s| s.shard);
+    shards
 }
 
 #[cfg(test)]
@@ -718,6 +771,64 @@ mod tests {
         assert!(rendered.contains("pps per player"));
         assert!(rendered.contains("uplink"));
         assert!(rep.sizing_line().contains("OC-3"));
+    }
+
+    #[test]
+    fn observer_sees_every_shard_and_interim_reports_converge() {
+        use std::sync::Mutex;
+        let cfg = FleetConfig::new("observed", 17, 3, 4);
+        let seen: Mutex<Vec<ShardState>> = Mutex::new(Vec::new());
+        let observed = run_fleet_observed(
+            &cfg,
+            Some(&|state: &ShardState| {
+                let mut partial = seen.lock().unwrap();
+                partial.push(state.clone());
+                // An interim report over any non-empty prefix is valid.
+                let interim = interim_report(&cfg, &partial).unwrap();
+                assert_eq!(interim.servers, partial.len());
+                assert!(interim.mean_pps > 0.0);
+            }),
+        )
+        .unwrap();
+        let states = seen.into_inner().unwrap();
+        assert_eq!(states.len(), 3);
+        // The interim report over ALL shards is the final report.
+        let full = interim_report(&cfg, &states).unwrap();
+        assert_eq!(full.render().render(), observed.report.render().render());
+        // And observation changed nothing vs the plain path.
+        let plain = run_fleet(&cfg).unwrap();
+        assert_eq!(
+            plain.report.render().render(),
+            observed.report.render().render()
+        );
+        assert_eq!(
+            plain.facility.per_minute.bins(),
+            observed.facility.per_minute.bins()
+        );
+    }
+
+    #[test]
+    fn paced_fleet_matches_max_speed_fleet() {
+        // A very fast pace (minimal sleeping) on a tiny fleet: the
+        // aggregate must be byte-identical to the unpaced run.
+        let mut paced_cfg = FleetConfig::new("paced", 23, 2, 1);
+        paced_cfg.speed = Speed::Times(100_000.0);
+        let mut max_cfg = paced_cfg.clone();
+        max_cfg.speed = Speed::Max;
+        let paced = run_fleet(&paced_cfg).unwrap();
+        let unpaced = run_fleet(&max_cfg).unwrap();
+        assert_eq!(
+            paced.facility.per_minute.bins(),
+            unpaced.facility.per_minute.bins()
+        );
+        assert_eq!(
+            paced.facility.counts.packets,
+            unpaced.facility.counts.packets
+        );
+        assert_eq!(
+            paced.report.render().render(),
+            unpaced.report.render().render()
+        );
     }
 
     #[test]

@@ -56,6 +56,10 @@ pub struct WorldInstruments {
     /// (via [`Simulator::set_journal`]) sampled dispatch events from the
     /// kernel. Write-only, like everything else here.
     pub journal: Option<csprov_obs::Journal>,
+    /// Wall-clock pacer for live replay (`--speed N`). The pacer only
+    /// ever sleeps the thread, so a paced run computes exactly what an
+    /// unpaced one computes.
+    pub pacer: Option<csprov_sim::Pacer>,
 }
 
 /// Sampling stride for kernel dispatch events when a journal is attached:
@@ -226,6 +230,9 @@ impl World {
         }
         if let Some(journal) = instruments.journal {
             sim.set_journal(JOURNAL_DISPATCH_STRIDE, journal);
+        }
+        if let Some(pacer) = instruments.pacer {
+            sim.set_pacer(pacer);
         }
         schedule_warm_start(&state, &mut sim);
         schedule_arrivals(&state, &mut sim);

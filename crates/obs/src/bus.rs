@@ -1,0 +1,419 @@
+//! Typed broadcast bus: the live fan-out plane of the observability layer.
+//!
+//! Everything else in this crate is single-threaded `Rc` plumbing; the bus
+//! is the one deliberately thread-safe piece, because its whole purpose is
+//! to carry telemetry *off* the simulation thread to HTTP subscribers
+//! while the run is still executing (the `csprov-serve` crate).
+//!
+//! The design follows the event-broadcast / connection-manager split of
+//! live game-telemetry collectors: one publisher (the simulation thread,
+//! via a [`Journal`](crate::Journal) tap), any number of subscribers, each
+//! with its **own bounded queue**. The publisher never waits on a
+//! consumer: publishing locks each subscriber's queue just long enough for
+//! a bounded push, and a full queue **drops the event for that subscriber
+//! and counts it** instead of blocking. A stalled `curl` therefore costs
+//! the simulation nothing but a per-subscriber drop counter — the
+//! determinism boundary (`same seed ⇒ same artifacts`) survives any number
+//! of slow consumers, which the integration tests pin.
+//!
+//! Subscribers block cheaply: [`BusSubscriber::recv_timeout`] parks on a
+//! condvar, so an idle SSE connection costs no CPU between events.
+
+use crate::journal::TraceEvent;
+use crate::json::escape;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// One message on the bus.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BusEvent {
+    /// A journal [`TraceEvent`] forwarded live (the `csprov-trace/1`
+    /// event shape).
+    Trace(TraceEvent),
+    /// A run began: label plus its virtual horizon.
+    RunStarted {
+        /// Run label (`"main"`, `"nat"`, `"fleet"`).
+        label: Arc<str>,
+        /// Virtual horizon of the run, ns.
+        horizon_ns: u64,
+    },
+    /// A run finished.
+    RunFinished {
+        /// Run label.
+        label: Arc<str>,
+        /// Final virtual clock, ns.
+        sim_ns: u64,
+        /// Events the kernel executed.
+        events: u64,
+    },
+}
+
+impl BusEvent {
+    /// SSE event name for this message.
+    pub fn event_name(&self) -> &'static str {
+        match self {
+            BusEvent::Trace(_) => "trace",
+            BusEvent::RunStarted { .. } => "run-started",
+            BusEvent::RunFinished { .. } => "run-finished",
+        }
+    }
+
+    /// One-line JSON rendering. `Trace` events use exactly the journal's
+    /// JSONL object shape, so an SSE consumer and a `--trace-out` file
+    /// consumer parse the same schema.
+    pub fn to_json(&self) -> String {
+        match self {
+            BusEvent::Trace(ev) => format!(
+                "{{\"sim_ns\":{},\"kind\":{},\"key\":{},\"value\":{}}}",
+                ev.sim_ns,
+                escape(ev.kind),
+                ev.key,
+                ev.value
+            ),
+            BusEvent::RunStarted { label, horizon_ns } => format!(
+                "{{\"label\":{},\"horizon_ns\":{horizon_ns}}}",
+                escape(label)
+            ),
+            BusEvent::RunFinished {
+                label,
+                sim_ns,
+                events,
+            } => format!(
+                "{{\"label\":{},\"sim_ns\":{sim_ns},\"events\":{events}}}",
+                escape(label)
+            ),
+        }
+    }
+}
+
+struct SubQueue {
+    events: VecDeque<BusEvent>,
+    dropped: u64,
+    closed: bool,
+}
+
+struct SubShared {
+    id: u64,
+    capacity: usize,
+    queue: Mutex<SubQueue>,
+    ready: Condvar,
+}
+
+impl SubShared {
+    fn lock(&self) -> MutexGuard<'_, SubQueue> {
+        // A panic while holding the queue lock cannot corrupt a VecDeque
+        // of POD events; keep serving rather than poisoning the bus.
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[derive(Default)]
+struct BusInner {
+    subs: Mutex<Vec<Arc<SubShared>>>,
+    published: AtomicU64,
+    dropped: AtomicU64,
+    next_id: AtomicU64,
+}
+
+impl BusInner {
+    fn subs(&self) -> MutexGuard<'_, Vec<Arc<SubShared>>> {
+        self.subs.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Point-in-time bus telemetry (the `serve.*` self-observability source).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BusStats {
+    /// Live subscribers.
+    pub subscribers: usize,
+    /// Events published since construction.
+    pub published: u64,
+    /// Events dropped across all subscribers, departed ones included.
+    pub dropped: u64,
+    /// Deepest current subscriber queue.
+    pub max_depth: usize,
+}
+
+/// Shared handle onto a broadcast bus; clones share the subscriber set.
+#[derive(Clone, Default)]
+pub struct BroadcastBus {
+    inner: Arc<BusInner>,
+}
+
+impl fmt::Debug for BroadcastBus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("BroadcastBus")
+            .field("subscribers", &stats.subscribers)
+            .field("published", &stats.published)
+            .field("dropped", &stats.dropped)
+            .finish()
+    }
+}
+
+impl BroadcastBus {
+    /// An empty bus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches a subscriber with a bounded queue of `capacity` events.
+    pub fn subscribe(&self, capacity: usize) -> BusSubscriber {
+        let shared = Arc::new(SubShared {
+            id: self.inner.next_id.fetch_add(1, Ordering::Relaxed),
+            capacity: capacity.max(1),
+            queue: Mutex::new(SubQueue {
+                events: VecDeque::new(),
+                dropped: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        });
+        self.inner.subs().push(shared.clone());
+        BusSubscriber {
+            shared,
+            bus: self.inner.clone(),
+        }
+    }
+
+    /// Broadcasts one event to every subscriber.
+    ///
+    /// Never blocks on a consumer: a subscriber whose queue is full has
+    /// the event dropped and counted (per subscriber and bus-wide). With
+    /// zero subscribers this is an atomic increment plus one short lock.
+    pub fn publish(&self, event: BusEvent) {
+        self.inner.published.fetch_add(1, Ordering::Relaxed);
+        let subs = self.inner.subs();
+        for sub in subs.iter() {
+            let mut q = sub.lock();
+            if q.closed {
+                continue;
+            }
+            if q.events.len() >= sub.capacity {
+                q.dropped += 1;
+                self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            } else {
+                q.events.push_back(event.clone());
+                sub.ready.notify_one();
+            }
+        }
+    }
+
+    /// Marks every subscriber closed and wakes blocked receivers. Queued
+    /// events remain readable; `recv_timeout` returns `None` once a closed
+    /// queue drains.
+    pub fn close(&self) {
+        for sub in self.inner.subs().iter() {
+            sub.lock().closed = true;
+            sub.ready.notify_all();
+        }
+    }
+
+    /// Current bus telemetry.
+    pub fn stats(&self) -> BusStats {
+        let subs = self.inner.subs();
+        let max_depth = subs
+            .iter()
+            .map(|s| s.lock().events.len())
+            .max()
+            .unwrap_or(0);
+        BusStats {
+            subscribers: subs.len(),
+            published: self.inner.published.load(Ordering::Relaxed),
+            dropped: self.inner.dropped.load(Ordering::Relaxed),
+            max_depth,
+        }
+    }
+}
+
+/// The receiving end of one bus subscription.
+///
+/// Dropping the subscriber detaches it from the bus; its historical drop
+/// count stays in the bus-wide total.
+pub struct BusSubscriber {
+    shared: Arc<SubShared>,
+    bus: Arc<BusInner>,
+}
+
+impl BusSubscriber {
+    /// Stable id of this subscription.
+    pub fn id(&self) -> u64 {
+        self.shared.id
+    }
+
+    /// Pops the next event without blocking.
+    pub fn try_recv(&self) -> Option<BusEvent> {
+        self.shared.lock().events.pop_front()
+    }
+
+    /// Waits up to `timeout` for an event. Returns `None` on timeout or
+    /// when the subscription is closed and drained.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<BusEvent> {
+        let mut q = self.shared.lock();
+        loop {
+            if let Some(ev) = q.events.pop_front() {
+                return Some(ev);
+            }
+            if q.closed {
+                return None;
+            }
+            let (guard, result) = self
+                .shared
+                .ready
+                .wait_timeout(q, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            q = guard;
+            if result.timed_out() {
+                return q.events.pop_front();
+            }
+        }
+    }
+
+    /// Whether the bus has closed this subscription.
+    pub fn is_closed(&self) -> bool {
+        self.shared.lock().closed
+    }
+
+    /// Events currently queued.
+    pub fn depth(&self) -> usize {
+        self.shared.lock().events.len()
+    }
+
+    /// Events dropped because this subscriber's queue was full.
+    pub fn dropped(&self) -> u64 {
+        self.shared.lock().dropped
+    }
+}
+
+impl Drop for BusSubscriber {
+    fn drop(&mut self) {
+        let mut subs = self.bus.subs.lock().unwrap_or_else(|e| e.into_inner());
+        subs.retain(|s| s.id != self.shared.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    fn trace(i: u64) -> BusEvent {
+        BusEvent::Trace(TraceEvent {
+            sim_ns: i,
+            kind: "test.kind",
+            key: i,
+            value: i * 2,
+        })
+    }
+
+    #[test]
+    fn events_fan_out_to_every_subscriber_in_order() {
+        let bus = BroadcastBus::new();
+        let a = bus.subscribe(16);
+        let b = bus.subscribe(16);
+        for i in 0..4 {
+            bus.publish(trace(i));
+        }
+        for sub in [&a, &b] {
+            for i in 0..4 {
+                assert_eq!(sub.try_recv(), Some(trace(i)));
+            }
+            assert_eq!(sub.try_recv(), None);
+        }
+        assert_eq!(bus.stats().published, 4);
+        assert_eq!(bus.stats().dropped, 0);
+    }
+
+    #[test]
+    fn slow_subscriber_drops_and_counts_without_blocking() {
+        let bus = BroadcastBus::new();
+        let slow = bus.subscribe(4);
+        let t0 = Instant::now();
+        for i in 0..100 {
+            bus.publish(trace(i));
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "publish must never block on a stalled consumer"
+        );
+        assert_eq!(slow.depth(), 4, "queue stays bounded");
+        assert_eq!(slow.dropped(), 96);
+        assert_eq!(bus.stats().dropped, 96);
+        // The events that did land are the oldest four, in order.
+        assert_eq!(slow.try_recv(), Some(trace(0)));
+        assert_eq!(slow.try_recv(), Some(trace(1)));
+    }
+
+    #[test]
+    fn unsubscribe_keeps_bus_wide_drop_total() {
+        let bus = BroadcastBus::new();
+        let sub = bus.subscribe(1);
+        bus.publish(trace(0));
+        bus.publish(trace(1)); // dropped
+        assert_eq!(bus.stats().subscribers, 1);
+        drop(sub);
+        assert_eq!(bus.stats().subscribers, 0);
+        assert_eq!(bus.stats().dropped, 1, "history survives departure");
+        bus.publish(trace(2)); // no subscribers: counted, nothing stored
+        assert_eq!(bus.stats().published, 3);
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_publish_from_another_thread() {
+        let bus = BroadcastBus::new();
+        let sub = bus.subscribe(8);
+        let publisher = {
+            let bus = bus.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                bus.publish(trace(7));
+            })
+        };
+        let got = sub.recv_timeout(Duration::from_secs(5));
+        publisher.join().unwrap();
+        assert_eq!(got, Some(trace(7)));
+    }
+
+    #[test]
+    fn close_wakes_and_drains() {
+        let bus = BroadcastBus::new();
+        let sub = bus.subscribe(8);
+        bus.publish(trace(1));
+        bus.close();
+        assert!(sub.is_closed());
+        // Queued events remain readable, then the subscription reports end.
+        assert_eq!(sub.recv_timeout(Duration::from_millis(10)), Some(trace(1)));
+        assert_eq!(sub.recv_timeout(Duration::from_millis(10)), None);
+        // Publishing after close drops (queue closed), never enqueues.
+        bus.publish(trace(2));
+        assert_eq!(sub.depth(), 0);
+    }
+
+    #[test]
+    fn json_shapes_are_stable() {
+        assert_eq!(
+            trace(3).to_json(),
+            "{\"sim_ns\":3,\"kind\":\"test.kind\",\"key\":3,\"value\":6}"
+        );
+        let started = BusEvent::RunStarted {
+            label: Arc::from("main"),
+            horizon_ns: 100,
+        };
+        assert_eq!(started.to_json(), "{\"label\":\"main\",\"horizon_ns\":100}");
+        assert_eq!(started.event_name(), "run-started");
+        let done = BusEvent::RunFinished {
+            label: Arc::from("nat"),
+            sim_ns: 5,
+            events: 9,
+        };
+        assert_eq!(
+            done.to_json(),
+            "{\"label\":\"nat\",\"sim_ns\":5,\"events\":9}"
+        );
+        assert_eq!(done.event_name(), "run-finished");
+        assert_eq!(trace(0).event_name(), "trace");
+    }
+}

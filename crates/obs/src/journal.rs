@@ -23,7 +23,16 @@
 //! trace-event format (one process, one named thread row per subsystem), so
 //! a seeded run opens directly in Perfetto / `chrome://tracing` with tick
 //! bursts visible as instant rows and `.level` kinds as counter tracks.
+//!
+//! ## Live tap
+//!
+//! [`Journal::set_tap`] attaches a [`BroadcastBus`]: every emit — stored or
+//! dropped-at-capacity — is additionally forwarded to the bus as
+//! [`BusEvent::Trace`], so live subscribers see the full event flow while
+//! the stored journal (and therefore every export) stays byte-identical to
+//! an untapped run.
 
+use crate::bus::{BroadcastBus, BusEvent};
 use crate::json::escape;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -50,6 +59,7 @@ struct JournalInner {
     capacity: usize,
     dropped: u64,
     dropped_by_kind: BTreeMap<&'static str, u64>,
+    tap: Option<BroadcastBus>,
 }
 
 /// Shared handle onto a bounded trace journal; clones share storage.
@@ -81,21 +91,38 @@ impl Journal {
         Self::with_capacity(Self::DEFAULT_CAPACITY)
     }
 
-    /// Appends one event, or counts it as dropped once at capacity.
+    /// Appends one event, or counts it as dropped once at capacity. Either
+    /// way the event is forwarded to the live tap when one is attached.
     #[inline]
     pub fn emit(&self, sim_ns: u64, kind: &'static str, key: u64, value: u64) {
+        let event = TraceEvent {
+            sim_ns,
+            kind,
+            key,
+            value,
+        };
         let mut inner = self.0.borrow_mut();
         if inner.events.len() < inner.capacity {
-            inner.events.push(TraceEvent {
-                sim_ns,
-                kind,
-                key,
-                value,
-            });
+            inner.events.push(event);
         } else {
             inner.dropped += 1;
             *inner.dropped_by_kind.entry(kind).or_insert(0) += 1;
         }
+        if let Some(tap) = inner.tap.as_ref() {
+            tap.publish(BusEvent::Trace(event));
+        }
+    }
+
+    /// Attaches a live tap: every subsequent emit is also published to
+    /// `bus`. Stored contents and drop accounting are unaffected, so
+    /// exports stay byte-identical to an untapped run.
+    pub fn set_tap(&self, bus: BroadcastBus) {
+        self.0.borrow_mut().tap = Some(bus);
+    }
+
+    /// Detaches the live tap, if any.
+    pub fn clear_tap(&self) {
+        self.0.borrow_mut().tap = None;
     }
 
     /// Number of stored events.
@@ -313,6 +340,33 @@ mod tests {
         assert_eq!(phases, vec!["M", "M", "M", "i", "C", "i"]);
         // 50_000_500 ns → ts 50000.500 µs.
         assert_eq!(events[4].get("ts").and_then(Json::as_f64), Some(50000.5));
+    }
+
+    #[test]
+    fn tap_forwards_every_emit_without_changing_storage() {
+        let untapped = Journal::with_capacity(2);
+        let tapped = Journal::with_capacity(2);
+        let bus = BroadcastBus::new();
+        let sub = bus.subscribe(16);
+        tapped.set_tap(bus);
+        for j in [&untapped, &tapped] {
+            j.emit(1, "a.x", 0, 0);
+            j.emit(2, "a.x", 0, 0);
+            j.emit(3, "a.x", 0, 0); // past capacity: dropped from storage
+        }
+        // Storage and exports are identical to the untapped journal...
+        assert_eq!(tapped.export_jsonl(), untapped.export_jsonl());
+        assert_eq!(tapped.dropped(), 1);
+        // ...while the tap saw all three events, the storage-dropped one
+        // included.
+        let mut seen = Vec::new();
+        while let Some(BusEvent::Trace(ev)) = sub.try_recv() {
+            seen.push(ev.sim_ns);
+        }
+        assert_eq!(seen, vec![1, 2, 3]);
+        tapped.clear_tap();
+        tapped.emit(4, "a.x", 0, 0);
+        assert_eq!(sub.try_recv(), None);
     }
 
     #[test]

@@ -34,6 +34,7 @@
 //! `Option<..>` side-channels and no simulation branch ever inspects a
 //! metric value.
 
+pub mod bus;
 pub mod histogram;
 pub mod journal;
 pub mod json;
@@ -42,6 +43,7 @@ pub mod registry;
 pub mod span;
 pub mod timeseries;
 
+pub use bus::{BroadcastBus, BusEvent, BusStats, BusSubscriber};
 pub use histogram::LogHistogram;
 pub use journal::{Journal, TraceEvent, JOURNAL_SCHEMA};
 pub use json::Json;

@@ -109,6 +109,7 @@ impl Instrument {
 struct Entry {
     instrument: Instrument,
     wall: bool,
+    help: Option<String>,
 }
 
 /// Registry of named instruments; clone freely, all clones share storage.
@@ -128,6 +129,7 @@ impl MetricsRegistry {
         let entry = entries.entry(name.to_string()).or_insert_with(|| Entry {
             instrument: fresh(),
             wall,
+            help: None,
         });
         let want = fresh();
         assert_eq!(
@@ -163,11 +165,38 @@ impl MetricsRegistry {
         }
     }
 
+    /// Registers a wall-clock counter, excluded from deterministic renders.
+    /// The serving plane's `serve.*` self-metrics live here: they vary with
+    /// subscriber behavior, so they must never appear in a determinism
+    /// artifact.
+    pub fn wall_counter(&self, name: &str) -> Counter {
+        match self.instrument(name, true, || Instrument::Counter(Counter::default())) {
+            Instrument::Counter(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Registers a wall-clock gauge, excluded from deterministic renders.
+    pub fn wall_gauge(&self, name: &str) -> Gauge {
+        match self.instrument(name, true, || Instrument::Gauge(Gauge::default())) {
+            Instrument::Gauge(g) => g,
+            _ => unreachable!(),
+        }
+    }
+
     /// Registers a wall-clock histogram, excluded from deterministic renders.
     pub fn wall_histogram(&self, name: &str) -> Histogram {
         match self.instrument(name, true, || Instrument::Histogram(Histogram::default())) {
             Instrument::Histogram(h) => h,
             _ => unreachable!(),
+        }
+    }
+
+    /// Attaches HELP text to an instrument, rendered as a Prometheus
+    /// `# HELP` line. No-op for names not (yet) registered.
+    pub fn describe(&self, name: &str, help: &str) {
+        if let Some(entry) = self.entries.borrow_mut().get_mut(name) {
+            entry.help = Some(help.to_string());
         }
     }
 
@@ -301,13 +330,19 @@ impl MetricsRegistry {
 
     /// Prometheus text exposition (format version 0.0.4). Counters and
     /// gauges map directly; histograms render as summaries with
-    /// p50/p95/p99 quantile series. Dotted names become underscore names.
-    /// Wall instruments are included — exposition is an operational
-    /// surface, not a determinism artifact.
+    /// p50/p95/p99 quantile series. Dotted names become underscore names;
+    /// HELP text (see [`Self::describe`]) and label values are escaped per
+    /// the exposition format, and output always ends in a newline so
+    /// appending `# EOF` (OpenMetrics) stays well-formed. Wall instruments
+    /// are included — exposition is an operational surface, not a
+    /// determinism artifact.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
         for (name, entry) in self.entries.borrow().iter() {
             let prom = prom_name(name);
+            if let Some(help) = &entry.help {
+                let _ = writeln!(out, "# HELP {prom} {}", prom_help(help));
+            }
             match &entry.instrument {
                 Instrument::Counter(c) => {
                     let _ = writeln!(out, "# TYPE {prom} counter");
@@ -323,12 +358,20 @@ impl MetricsRegistry {
                     let h = h.snapshot();
                     let _ = writeln!(out, "# TYPE {prom} summary");
                     for (label, q) in [("0.5", 0.50), ("0.95", 0.95), ("0.99", 0.99)] {
-                        let _ = writeln!(out, "{prom}{{quantile=\"{label}\"}} {}", h.quantile(q));
+                        let _ = writeln!(
+                            out,
+                            "{prom}{{quantile=\"{}\"}} {}",
+                            prom_label_value(label),
+                            h.quantile(q)
+                        );
                     }
                     let _ = writeln!(out, "{prom}_sum {}", h.sum());
                     let _ = writeln!(out, "{prom}_count {}", h.count());
                 }
             }
+        }
+        if !out.is_empty() && !out.ends_with('\n') {
+            out.push('\n');
         }
         out
     }
@@ -355,6 +398,36 @@ impl MetricsRegistry {
 
 /// Schema tag stamped onto every metrics JSONL line.
 pub const METRICS_SCHEMA: &str = "csprov-metrics/1";
+
+/// Escapes HELP text per the exposition format: `\` → `\\`, newline →
+/// `\n`. (Carriage returns are folded into the newline escape so the line
+/// structure of the exposition can never be broken.)
+fn prom_help(help: &str) -> String {
+    let mut out = String::with_capacity(help.len());
+    for ch in help.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' | '\r' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a label value per the exposition format: `\` → `\\`, `"` →
+/// `\"`, newline → `\n`.
+fn prom_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' | '\r' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
 
 /// Maps a dotted metric name onto the Prometheus name charset
 /// `[a-zA-Z_:][a-zA-Z0-9_:]*`.
@@ -541,6 +614,57 @@ mod tests {
         assert!(prom.contains("serve_sim_gap_ns{quantile=\"0.5\"} 1000\n"));
         assert!(prom.contains("serve_sim_gap_ns_sum 1000\n"));
         assert!(prom.contains("serve_sim_gap_ns_count 1\n"));
+    }
+
+    #[test]
+    fn prometheus_help_and_label_values_are_escaped() {
+        let reg = MetricsRegistry::new();
+        reg.counter("serve.bus.dropped").add(3);
+        reg.describe(
+            "serve.bus.dropped",
+            "events dropped per \"slow\" subscriber\nback\\slash",
+        );
+        reg.histogram("lat").record(5);
+        let prom = reg.render_prometheus();
+        assert!(
+            prom.contains(
+                "# HELP serve_bus_dropped events dropped per \"slow\" subscriber\\nback\\\\slash\n"
+            ),
+            "got {prom:?}"
+        );
+        // HELP precedes TYPE for the same family.
+        let help_at = prom.find("# HELP serve_bus_dropped").unwrap();
+        let type_at = prom.find("# TYPE serve_bus_dropped").unwrap();
+        assert!(help_at < type_at);
+        assert!(prom.ends_with('\n'), "exposition must end with a newline");
+        // Every line is either a comment or `name{labels} value`.
+        assert_eq!(prom_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        // Describing an unregistered name is a no-op, not a panic.
+        reg.describe("nope", "text");
+        assert!(!reg.render_prometheus().contains("nope"));
+    }
+
+    #[test]
+    fn wall_counter_and_gauge_stay_out_of_deterministic_renders() {
+        let reg = MetricsRegistry::new();
+        reg.counter("sim.events").add(5);
+        reg.wall_counter("serve.bus.published").add(100);
+        reg.wall_gauge("serve.subscribers").set(3);
+        let det = reg.render_deterministic();
+        assert!(det.contains("sim.events"));
+        assert!(!det.contains("serve.bus.published"));
+        assert!(!det.contains("serve.subscribers"));
+        let names: Vec<String> = reg
+            .sample_deterministic()
+            .into_iter()
+            .map(|(n, _, _)| n)
+            .collect();
+        assert_eq!(names, vec!["sim.events"]);
+        // But the operational surfaces do include them.
+        assert!(reg.render_text().contains("serve.subscribers"));
+        assert!(reg
+            .render_prometheus()
+            .contains("serve_bus_published 100\n"));
     }
 
     #[test]

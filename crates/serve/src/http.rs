@@ -1,0 +1,383 @@
+//! Minimal HTTP/1.1 server: `std::net::TcpListener`, one thread per
+//! connection, `Connection: close` semantics.
+//!
+//! The endpoint surface is deliberately tiny — five read-only GETs over
+//! snapshot state plus one SSE stream — so a hand-rolled request reader
+//! is the whole server; there is no routing table, no keep-alive, no
+//! body parsing. Anything the parser does not recognise gets a plain
+//! 400/404/405, never a panic: a malformed request must not take down
+//! the simulation it is observing.
+
+use crate::sse;
+use crate::state::ServeShared;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long an idle SSE subscriber waits before re-checking shutdown.
+const SSE_POLL: Duration = Duration::from_millis(250);
+/// Idle SSE polls between keep-alive comments (~2 s at [`SSE_POLL`]).
+const SSE_KEEPALIVE_POLLS: u32 = 8;
+/// Queue capacity handed to each SSE subscriber.
+const SSE_QUEUE_CAPACITY: usize = 8192;
+/// Upper bound on a request head; longer requests are rejected.
+const MAX_REQUEST_BYTES: u64 = 8192;
+
+/// A running server. Dropping the handle shuts the server down.
+pub struct ServeHandle {
+    addr: SocketAddr,
+    shared: Arc<ServeShared>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, ends SSE streams, and joins the accept thread.
+    /// In-flight snapshot responses finish on their own threads.
+    pub fn shutdown(&mut self) {
+        self.shared.request_shutdown();
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds `addr` and serves `shared` until [`ServeHandle::shutdown`].
+pub fn serve(addr: impl ToSocketAddrs, shared: Arc<ServeShared>) -> io::Result<ServeHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    let accept_shared = shared.clone();
+    let accept = std::thread::Builder::new()
+        .name("csprov-serve-accept".to_string())
+        .spawn(move || accept_loop(listener, accept_shared))?;
+    Ok(ServeHandle {
+        addr: bound,
+        shared,
+        accept: Some(accept),
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<ServeShared>) {
+    loop {
+        let (stream, _peer) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(_) => {
+                if shared.is_shutdown() {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.is_shutdown() {
+            return;
+        }
+        let conn_shared = shared.clone();
+        let spawned = std::thread::Builder::new()
+            .name("csprov-serve-conn".to_string())
+            .spawn(move || {
+                let _ = handle_connection(stream, conn_shared);
+            });
+        // Thread exhaustion: drop the connection rather than the server.
+        drop(spawned);
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: Arc<ServeShared>) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream.try_clone()?).take(MAX_REQUEST_BYTES);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers; none influence these read-only endpoints.
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    if method.is_empty() || target.is_empty() {
+        return respond(stream, "400 Bad Request", "text/plain", "bad request\n");
+    }
+    if method != "GET" {
+        return respond(
+            stream,
+            "405 Method Not Allowed",
+            "text/plain",
+            "only GET is supported\n",
+        );
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+
+    match path {
+        "/" => respond(stream, "200 OK", "text/plain", INDEX),
+        "/metrics" => respond(
+            stream,
+            "200 OK",
+            "text/plain; version=0.0.4",
+            &shared.metrics(),
+        ),
+        "/series" => {
+            let csv = shared.series();
+            if query.split('&').any(|kv| kv == "format=json") {
+                respond(stream, "200 OK", "application/json", &csv_to_json(&csv))
+            } else {
+                respond(stream, "200 OK", "text/csv", &csv)
+            }
+        }
+        "/status" => respond(stream, "200 OK", "application/json", &shared.status_json()),
+        "/report" => respond(stream, "200 OK", "text/plain", &shared.report()),
+        "/events" => stream_events(stream, &shared),
+        _ => respond(stream, "404 Not Found", "text/plain", "not found\n"),
+    }
+}
+
+const INDEX: &str = "csprov-serve: live telemetry for a running csprov simulation\n\
+    \n\
+    GET /metrics  Prometheus text exposition (scrape-ready)\n\
+    GET /events   live journal events (Server-Sent Events)\n\
+    GET /series   sim-time series snapshot (CSV; ?format=json)\n\
+    GET /status   run progress, pacing lag, bus stats (JSON)\n\
+    GET /report   provisioning report so far (text)\n";
+
+fn respond(mut stream: TcpStream, status: &str, content_type: &str, body: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Streams bus events as SSE until the client disconnects, the bus
+/// closes, or shutdown is requested. The first frame is always the
+/// schema announcement, so a consumer can assert the format before any
+/// data arrives.
+fn stream_events(mut stream: TcpStream, shared: &Arc<ServeShared>) -> io::Result<()> {
+    let sub = shared.bus().subscribe(SSE_QUEUE_CAPACITY);
+    stream.write_all(
+        b"HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\n\
+          Cache-Control: no-cache\r\nConnection: close\r\n\r\n",
+    )?;
+    let schema = format!("{{\"schema\":\"{}\"}}", csprov_obs::JOURNAL_SCHEMA);
+    stream.write_all(sse::frame("schema", &schema).as_bytes())?;
+    stream.flush()?;
+
+    let mut idle_polls = 0u32;
+    loop {
+        match sub.recv_timeout(SSE_POLL) {
+            Some(event) => {
+                idle_polls = 0;
+                stream.write_all(sse::frame(event.event_name(), &event.to_json()).as_bytes())?;
+                // Flush per event: latency is the point of a live stream.
+                stream.flush()?;
+            }
+            None => {
+                if sub.is_closed() || shared.is_shutdown() {
+                    return Ok(());
+                }
+                idle_polls += 1;
+                if idle_polls >= SSE_KEEPALIVE_POLLS {
+                    idle_polls = 0;
+                    stream.write_all(sse::keepalive("keepalive").as_bytes())?;
+                    stream.flush()?;
+                }
+            }
+        }
+    }
+}
+
+/// Converts the sampler's CSV snapshot into
+/// `{"columns":[..],"rows":[[..],..]}`. Cells that parse as finite
+/// numbers are emitted as numbers, everything else as strings.
+pub fn csv_to_json(csv: &str) -> String {
+    let mut lines = csv.lines();
+    let columns: Vec<&str> = lines.next().unwrap_or("").split(',').collect();
+    let mut out = String::from("{\"columns\":[");
+    for (i, col) in columns.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&csprov_obs::json::escape(col));
+    }
+    out.push_str("],\"rows\":[");
+    let mut first_row = true;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if !first_row {
+            out.push(',');
+        }
+        first_row = false;
+        out.push('[');
+        for (i, cell) in line.split(',').enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match cell.parse::<f64>() {
+                Ok(n) if n.is_finite() => out.push_str(cell),
+                _ => out.push_str(&csprov_obs::json::escape(cell)),
+            }
+        }
+        out.push(']');
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csprov_obs::{BroadcastBus, BusEvent, Json};
+
+    fn start() -> (ServeHandle, Arc<ServeShared>) {
+        let shared = Arc::new(ServeShared::new(BroadcastBus::new()));
+        let handle = serve("127.0.0.1:0", shared.clone()).expect("bind loopback");
+        (handle, shared)
+    }
+
+    fn get(addr: SocketAddr, target: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {target} HTTP/1.1\r\nHost: test\r\n\r\n").expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        let (head, body) = response.split_once("\r\n\r\n").expect("split head/body");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn snapshot_endpoints_serve_shared_state() {
+        let (mut handle, shared) = start();
+        shared.set_metrics("# TYPE sim_events counter\nsim_events 9\n".to_string());
+        shared.set_series("sim_ns,a\n0,1\n1000,2\n".to_string());
+        shared.set_report("== sizing ==\n".to_string());
+        let addr = handle.addr();
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"));
+        assert!(head.contains("Content-Type: text/plain; version=0.0.4"));
+        assert_eq!(body, "# TYPE sim_events counter\nsim_events 9\n");
+
+        let (_, body) = get(addr, "/series");
+        assert_eq!(body, "sim_ns,a\n0,1\n1000,2\n");
+
+        let (head, body) = get(addr, "/series?format=json");
+        assert!(head.contains("application/json"));
+        let doc = Json::parse(&body).expect("series JSON parses");
+        let cols = doc.get("columns").and_then(Json::as_arr).expect("columns");
+        assert_eq!(cols[0].as_str(), Some("sim_ns"));
+        let rows = doc.get("rows").and_then(Json::as_arr).expect("rows");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].as_arr().and_then(|r| r[1].as_f64()), Some(2.0));
+
+        let (_, body) = get(addr, "/status");
+        let doc = Json::parse(&body).expect("status JSON parses");
+        assert_eq!(doc.get("state").and_then(Json::as_str), Some("starting"));
+
+        let (_, body) = get(addr, "/report");
+        assert_eq!(body, "== sizing ==\n");
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"));
+        let (head, _) = get(addr, "/");
+        assert!(head.starts_with("HTTP/1.1 200"));
+
+        handle.shutdown();
+    }
+
+    #[test]
+    fn post_is_rejected_not_served() {
+        let (mut handle, _shared) = start();
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+        write!(stream, "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n").expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 405"));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn sse_stream_announces_schema_then_replays_bus_events() {
+        let (mut handle, shared) = start();
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+        write!(stream, "GET /events HTTP/1.1\r\nHost: t\r\n\r\n").expect("send");
+        // Wait for the headers + schema frame so the subscription exists
+        // before publishing.
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut seen = String::new();
+        while !seen.contains("\n\n") || !seen.contains("schema") {
+            let mut line = String::new();
+            assert!(reader.read_line(&mut line).expect("read") > 0, "early EOF");
+            seen.push_str(&line);
+        }
+
+        shared.bus().publish(BusEvent::RunStarted {
+            label: "main".into(),
+            horizon_ns: 500,
+        });
+        shared
+            .bus()
+            .publish(BusEvent::Trace(csprov_obs::TraceEvent {
+                sim_ns: 42,
+                kind: "game.tick.begin",
+                key: 1,
+                value: 2,
+            }));
+        // Ending the run closes the bus, which ends the stream.
+        std::thread::sleep(Duration::from_millis(100));
+        shared.request_shutdown();
+        let mut rest = String::new();
+        reader.read_to_string(&mut rest).expect("drain stream");
+        seen.push_str(&rest);
+
+        let body = seen.split_once("\r\n\r\n").expect("header split").1;
+        let frames = sse::parse_frames(body);
+        assert!(frames.len() >= 3, "got {frames:?}");
+        assert_eq!(frames[0].event, "schema");
+        let schema = Json::parse(&frames[0].data).expect("schema frame is JSON");
+        assert_eq!(
+            schema.get("schema").and_then(Json::as_str),
+            Some(csprov_obs::JOURNAL_SCHEMA)
+        );
+        assert_eq!(frames[1].event, "run-started");
+        assert_eq!(frames[2].event, "trace");
+        let trace = Json::parse(&frames[2].data).expect("trace frame is JSON");
+        assert_eq!(trace.get("sim_ns").and_then(Json::as_f64), Some(42.0));
+        assert_eq!(
+            trace.get("kind").and_then(Json::as_str),
+            Some("game.tick.begin")
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn csv_to_json_handles_empty_and_nonnumeric_cells() {
+        assert_eq!(csv_to_json(""), "{\"columns\":[\"\"],\"rows\":[]}");
+        let doc = Json::parse(&csv_to_json("t,name\n1,abc\n2,7\n")).expect("parses");
+        let rows = doc.get("rows").and_then(Json::as_arr).expect("rows");
+        assert_eq!(rows[0].as_arr().and_then(|r| r[1].as_str()), Some("abc"));
+        assert_eq!(rows[1].as_arr().and_then(|r| r[1].as_f64()), Some(7.0));
+    }
+}

@@ -1,0 +1,43 @@
+//! # csprov-serve — live telemetry serving plane
+//!
+//! A zero-dependency HTTP server that streams a *running* csprov
+//! simulation to subscribers: `std::net::TcpListener` plus a thread per
+//! connection, no async runtime, no external crates. Where PR 4's batch
+//! telemetry answers the paper's provisioning questions after a run
+//! finishes, this crate answers them while the run executes — the way an
+//! operator watches a busy Counter-Strike server.
+//!
+//! ## Endpoints
+//!
+//! | Endpoint   | Content                                               |
+//! |------------|-------------------------------------------------------|
+//! | `/metrics` | Prometheus text exposition (scrape-ready)             |
+//! | `/events`  | live `csprov-trace/1` journal events over SSE         |
+//! | `/series`  | current sim-time series snapshot (CSV, `?format=json`)|
+//! | `/status`  | run progress, pacing lag, bus stats (JSON)            |
+//! | `/report`  | the provisioning report accumulated so far (text)     |
+//!
+//! ## Architecture: snapshots over sharing
+//!
+//! The simulation is single-threaded by design and its instruments
+//! (`MetricsRegistry`, `SeriesSampler`) are `Rc`-based. The serving plane
+//! never shares them across threads; instead the simulation thread
+//! periodically *renders* them and swaps the strings into
+//! [`ServeShared`]. HTTP handlers read only those snapshots plus the
+//! thread-safe [`BroadcastBus`](csprov_obs::BroadcastBus), which carries
+//! journal events live with per-subscriber bounded queues
+//! (slow consumers drop-and-count; the publisher never blocks).
+//!
+//! Combined with the pacing clock in [`csprov_sim::Pacer`] — which only
+//! ever *sleeps* the sim thread, never reorders it — a served run is
+//! observably identical to a batch run: every same-seed artifact is
+//! byte-identical whether `--serve` is off, on, or watched by fifty
+//! subscribers. The workspace integration tests enforce exactly that.
+
+pub mod http;
+pub mod sse;
+pub mod state;
+
+pub use http::{csv_to_json, serve, ServeHandle};
+pub use sse::{frame, keepalive, parse_frames, SseFrame};
+pub use state::{RunStatus, ServeShared};

@@ -1,0 +1,134 @@
+//! Server-Sent Events framing (WHATWG `text/event-stream`).
+//!
+//! The live `/events` endpoint speaks SSE rather than WebSockets because
+//! SSE is plain HTTP: `curl -N` is a complete client, no upgrade
+//! handshake, no frame masking — the right trade for a zero-dependency
+//! server. This module owns the wire framing in both directions so the
+//! round-trip is testable without a socket: [`frame`] writes an event,
+//! [`parse_frames`] reads a stream of them back.
+
+/// Renders one SSE frame: an `event:` line, one `data:` line per line of
+/// `data`, and the blank separator line.
+///
+/// Splitting multi-line data across `data:` lines is the spec's own
+/// mechanism — the client reassembles them joined by `\n` — so payloads
+/// containing newlines survive framing unchanged.
+pub fn frame(event: &str, data: &str) -> String {
+    let mut out = String::with_capacity(event.len() + data.len() + 16);
+    out.push_str("event: ");
+    out.push_str(event);
+    out.push('\n');
+    for line in data.split('\n') {
+        out.push_str("data: ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push('\n');
+    out
+}
+
+/// A comment frame (`: text`), the SSE keep-alive idiom: clients ignore
+/// it, proxies see bytes flowing.
+pub fn keepalive(text: &str) -> String {
+    format!(": {text}\n\n")
+}
+
+/// One parsed SSE event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SseFrame {
+    /// The `event:` field (empty when the frame carried none).
+    pub event: String,
+    /// The `data:` payload, multi-line data rejoined with `\n`.
+    pub data: String,
+}
+
+/// Parses a `text/event-stream` body into frames, per the WHATWG
+/// dispatch rules: fields accumulate until a blank line dispatches the
+/// event; comment lines (`:`) are skipped; frames with no data are not
+/// dispatched.
+pub fn parse_frames(stream: &str) -> Vec<SseFrame> {
+    let mut frames = Vec::new();
+    let mut event = String::new();
+    let mut data: Vec<&str> = Vec::new();
+    for line in stream.split('\n') {
+        let line = line.strip_suffix('\r').unwrap_or(line);
+        if line.is_empty() {
+            if !data.is_empty() {
+                frames.push(SseFrame {
+                    event: std::mem::take(&mut event),
+                    data: data.join("\n"),
+                });
+            }
+            event.clear();
+            data.clear();
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(':') {
+            let _ = rest; // comment / keep-alive: ignored
+            continue;
+        }
+        let (field, value) = match line.split_once(':') {
+            Some((f, v)) => (f, v.strip_prefix(' ').unwrap_or(v)),
+            None => (line, ""),
+        };
+        match field {
+            "event" => event = value.to_string(),
+            "data" => data.push(value),
+            _ => {} // id/retry/unknown fields: not needed here
+        }
+    }
+    frames
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_and_parse_round_trip() {
+        let payloads = [
+            (
+                "trace",
+                "{\"sim_ns\":1,\"kind\":\"a.x\",\"key\":0,\"value\":0}",
+            ),
+            ("run-started", "{\"label\":\"main\",\"horizon_ns\":100}"),
+            ("schema", "multi\nline\npayload"),
+        ];
+        let mut wire = String::new();
+        for (event, data) in &payloads {
+            wire.push_str(&frame(event, data));
+            wire.push_str(&keepalive("tick")); // interleaved comments vanish
+        }
+        let frames = parse_frames(&wire);
+        assert_eq!(frames.len(), payloads.len());
+        for (frame, (event, data)) in frames.iter().zip(&payloads) {
+            assert_eq!(frame.event, *event);
+            assert_eq!(frame.data, *data);
+        }
+    }
+
+    #[test]
+    fn frame_shape_is_exactly_spec() {
+        assert_eq!(frame("trace", "{}"), "event: trace\ndata: {}\n\n");
+        assert_eq!(frame("x", "a\nb"), "event: x\ndata: a\ndata: b\n\n");
+        assert_eq!(keepalive("hb"), ": hb\n\n");
+    }
+
+    #[test]
+    fn parser_handles_crlf_and_unspaced_fields() {
+        let frames = parse_frames("event:ping\r\ndata:1\r\n\r\n");
+        assert_eq!(
+            frames,
+            vec![SseFrame {
+                event: "ping".to_string(),
+                data: "1".to_string()
+            }]
+        );
+    }
+
+    #[test]
+    fn dataless_frames_are_not_dispatched() {
+        assert!(parse_frames("event: empty\n\n").is_empty());
+        assert!(parse_frames(": just a comment\n\n").is_empty());
+    }
+}

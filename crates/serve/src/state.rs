@@ -1,0 +1,335 @@
+//! Shared state between the simulation thread and HTTP handler threads.
+//!
+//! The workspace's [`MetricsRegistry`] and [`SeriesSampler`] are
+//! deliberately `Rc`-based single-threaded types — they live on the
+//! simulation thread and never cross it. The serving plane therefore
+//! shares *rendered snapshots*, not instruments: the simulation thread
+//! periodically renders Prometheus text / series CSV / the report into
+//! `Mutex<String>` slots here, and handler threads only ever read those
+//! strings. The one genuinely concurrent structure is the
+//! [`BroadcastBus`], which is built for it.
+//!
+//! This split is what keeps the determinism boundary trivial to audit:
+//! nothing an HTTP client does can reach an instrument, only a snapshot
+//! of one.
+
+use csprov_obs::{BroadcastBus, MetricsRegistry};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Progress of the run being served, updated by the simulation thread.
+#[derive(Clone, Debug)]
+pub struct RunStatus {
+    /// `"starting"`, `"running"` or `"finished"`.
+    pub state: &'static str,
+    /// Labels of the artifacts/runs requested, comma-joined.
+    pub label: String,
+    /// The run seed.
+    pub seed: u64,
+    /// Replay speed as configured (`"max"`, `"8x"`).
+    pub speed: String,
+    /// Virtual horizon of the current run, ns (0 until known).
+    pub horizon_ns: u64,
+    /// Current virtual clock, ns.
+    pub sim_ns: u64,
+    /// Events executed so far.
+    pub events: u64,
+    /// Sim-vs-wall lag behind the pacing schedule, ns (0 unpaced/on time).
+    pub lag_ns: u64,
+    /// Fleet shards total (0 for non-fleet runs).
+    pub shards_total: u64,
+    /// Fleet shards completed.
+    pub shards_done: u64,
+    /// Journal events dropped at capacity (storage, not bus).
+    pub journal_dropped: u64,
+}
+
+impl Default for RunStatus {
+    fn default() -> Self {
+        RunStatus {
+            state: "starting",
+            label: String::new(),
+            seed: 0,
+            speed: "max".to_string(),
+            horizon_ns: 0,
+            sim_ns: 0,
+            events: 0,
+            lag_ns: 0,
+            shards_total: 0,
+            shards_done: 0,
+            journal_dropped: 0,
+        }
+    }
+}
+
+/// State shared between the simulation thread (writer) and HTTP handlers
+/// (readers). See the module docs for the snapshot discipline.
+pub struct ServeShared {
+    bus: BroadcastBus,
+    started: Instant,
+    shutdown: AtomicBool,
+    metrics: Mutex<String>,
+    series: Mutex<String>,
+    report: Mutex<String>,
+    status: Mutex<RunStatus>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Snapshot strings cannot be left half-written by a panicking writer
+    // (String swaps are assignment-atomic under the lock); keep serving.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl ServeShared {
+    /// Fresh state around `bus` (the journal tap / live event source).
+    pub fn new(bus: BroadcastBus) -> Self {
+        ServeShared {
+            bus,
+            started: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            metrics: Mutex::new(String::new()),
+            series: Mutex::new(String::new()),
+            report: Mutex::new(String::new()),
+            status: Mutex::new(RunStatus::default()),
+        }
+    }
+
+    /// The live event bus.
+    pub fn bus(&self) -> &BroadcastBus {
+        &self.bus
+    }
+
+    /// Requests shutdown: handlers finish their current response, SSE
+    /// streams end, the accept loop stops.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.bus.close();
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Replaces the `/metrics` snapshot (Prometheus exposition text).
+    pub fn set_metrics(&self, text: String) {
+        *lock(&self.metrics) = text;
+    }
+
+    /// Current `/metrics` snapshot.
+    pub fn metrics(&self) -> String {
+        lock(&self.metrics).clone()
+    }
+
+    /// Replaces the `/series` snapshot (sampler CSV).
+    pub fn set_series(&self, text: String) {
+        *lock(&self.series) = text;
+    }
+
+    /// Current `/series` snapshot.
+    pub fn series(&self) -> String {
+        lock(&self.series).clone()
+    }
+
+    /// Replaces the `/report` snapshot.
+    pub fn set_report(&self, text: String) {
+        *lock(&self.report) = text;
+    }
+
+    /// Appends a section to the `/report` snapshot.
+    pub fn append_report(&self, text: &str) {
+        lock(&self.report).push_str(text);
+    }
+
+    /// Current `/report` snapshot.
+    pub fn report(&self) -> String {
+        lock(&self.report).clone()
+    }
+
+    /// Applies `f` to the run status under the lock.
+    pub fn update_status(&self, f: impl FnOnce(&mut RunStatus)) {
+        f(&mut lock(&self.status));
+    }
+
+    /// A copy of the current run status.
+    pub fn status(&self) -> RunStatus {
+        lock(&self.status).clone()
+    }
+
+    /// Renders `/status`: the run status merged with live bus stats and
+    /// wall-clock elapsed time.
+    pub fn status_json(&self) -> String {
+        let s = self.status();
+        let bus = self.bus.stats();
+        let progress = if s.horizon_ns > 0 {
+            (s.sim_ns as f64 / s.horizon_ns as f64).min(1.0)
+        } else {
+            0.0
+        };
+        format!(
+            concat!(
+                "{{\"schema\":\"csprov-status/1\",\"state\":{state},",
+                "\"label\":{label},\"seed\":{seed},\"speed\":{speed},",
+                "\"horizon_ns\":{horizon},\"sim_ns\":{sim},",
+                "\"progress\":{progress:.6},\"events\":{events},",
+                "\"lag_ns\":{lag},\"wall_elapsed_ns\":{wall},",
+                "\"shards\":{{\"done\":{sdone},\"total\":{stotal}}},",
+                "\"journal_dropped\":{jdrop},",
+                "\"bus\":{{\"subscribers\":{subs},\"published\":{pubd},",
+                "\"dropped\":{dropped},\"max_depth\":{depth}}}}}"
+            ),
+            state = csprov_obs::json::escape(s.state),
+            label = csprov_obs::json::escape(&s.label),
+            seed = s.seed,
+            speed = csprov_obs::json::escape(&s.speed),
+            horizon = s.horizon_ns,
+            sim = s.sim_ns,
+            progress = progress,
+            events = s.events,
+            lag = s.lag_ns,
+            wall = self.started.elapsed().as_nanos(),
+            sdone = s.shards_done,
+            stotal = s.shards_total,
+            jdrop = s.journal_dropped,
+            subs = bus.subscribers,
+            pubd = bus.published,
+            dropped = bus.dropped,
+            depth = bus.max_depth,
+        )
+    }
+
+    /// Exports the serving plane's self-observability into `registry` as
+    /// wall-flagged `serve.*` instruments (wall because their values
+    /// depend on subscriber behavior, which must never reach a
+    /// determinism artifact). Call from the simulation thread — the
+    /// registry is single-threaded by design.
+    pub fn export_metrics(&self, registry: &MetricsRegistry) {
+        let bus = self.bus.stats();
+        let status = self.status();
+        let subs = registry.wall_gauge("serve.subscribers");
+        subs.set(bus.subscribers as i64);
+        registry.describe("serve.subscribers", "live bus subscribers");
+        let depth = registry.wall_gauge("serve.bus.depth");
+        depth.set(bus.max_depth as i64);
+        registry.describe("serve.bus.depth", "deepest subscriber queue");
+        set_monotonic(&registry.wall_counter("serve.bus.published"), bus.published);
+        registry.describe("serve.bus.published", "events published to the bus");
+        set_monotonic(&registry.wall_counter("serve.bus.dropped"), bus.dropped);
+        registry.describe(
+            "serve.bus.dropped",
+            "events dropped across all subscribers (slow-consumer policy)",
+        );
+        set_monotonic(
+            &registry.wall_counter("serve.journal.dropped"),
+            status.journal_dropped,
+        );
+        registry.describe(
+            "serve.journal.dropped",
+            "journal events dropped at storage capacity",
+        );
+        let lag = registry.wall_gauge("serve.lag_ns");
+        lag.set(status.lag_ns.min(i64::MAX as u64) as i64);
+        registry.describe("serve.lag_ns", "sim-vs-wall lag behind the pacing schedule");
+    }
+}
+
+/// Raises a counter to an absolute snapshot value (counters only expose
+/// `add`; snapshots are monotonic, so the delta is never negative).
+fn set_monotonic(counter: &csprov_obs::Counter, target: u64) {
+    let current = counter.get();
+    if target > current {
+        counter.add(target - current);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csprov_obs::Json;
+
+    #[test]
+    fn status_json_merges_run_and_bus_state() {
+        let bus = BroadcastBus::new();
+        let _sub = bus.subscribe(8);
+        bus.publish(csprov_obs::BusEvent::RunStarted {
+            label: "main".into(),
+            horizon_ns: 100,
+        });
+        let shared = ServeShared::new(bus);
+        shared.update_status(|s| {
+            s.state = "running";
+            s.label = "table1".to_string();
+            s.seed = 42;
+            s.horizon_ns = 1_000;
+            s.sim_ns = 250;
+            s.events = 7;
+        });
+        let doc = Json::parse(&shared.status_json()).expect("status is valid JSON");
+        assert_eq!(doc.get("state").and_then(Json::as_str), Some("running"));
+        assert_eq!(doc.get("seed").and_then(Json::as_f64), Some(42.0));
+        assert_eq!(doc.get("progress").and_then(Json::as_f64), Some(0.25));
+        let bus = doc.get("bus").expect("bus section");
+        assert_eq!(bus.get("subscribers").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(bus.get("published").and_then(Json::as_f64), Some(1.0));
+        assert!(doc.get("wall_elapsed_ns").and_then(Json::as_f64).is_some());
+    }
+
+    #[test]
+    fn snapshots_swap_atomically() {
+        let shared = ServeShared::new(BroadcastBus::new());
+        assert_eq!(shared.metrics(), "");
+        shared.set_metrics("a 1\n".to_string());
+        shared.set_series("t,v\n0,1\n".to_string());
+        shared.set_report("== report ==\n".to_string());
+        shared.append_report("line\n");
+        assert_eq!(shared.metrics(), "a 1\n");
+        assert_eq!(shared.series(), "t,v\n0,1\n");
+        assert_eq!(shared.report(), "== report ==\nline\n");
+    }
+
+    #[test]
+    fn export_metrics_registers_wall_only_serve_instruments() {
+        let bus = BroadcastBus::new();
+        let slow = bus.subscribe(1);
+        bus.publish(csprov_obs::BusEvent::RunStarted {
+            label: "x".into(),
+            horizon_ns: 1,
+        });
+        bus.publish(csprov_obs::BusEvent::RunFinished {
+            label: "x".into(),
+            sim_ns: 1,
+            events: 1,
+        }); // dropped: queue of 1 is full
+        let shared = ServeShared::new(bus);
+        shared.update_status(|s| s.journal_dropped = 5);
+        let registry = MetricsRegistry::new();
+        registry.counter("sim.events").add(3);
+        shared.export_metrics(&registry);
+        shared.export_metrics(&registry); // idempotent re-export
+        let prom = registry.render_prometheus();
+        assert!(prom.contains("serve_subscribers 1\n"), "got {prom}");
+        assert!(prom.contains("serve_bus_published 2\n"));
+        assert!(prom.contains("serve_bus_dropped 1\n"));
+        assert!(prom.contains("serve_journal_dropped 5\n"));
+        assert!(prom.contains("# HELP serve_bus_dropped "));
+        // The determinism surfaces never see serve.*.
+        assert!(!registry.render_deterministic().contains("serve."));
+        assert!(registry
+            .sample_deterministic()
+            .iter()
+            .all(|(n, _, _)| !n.starts_with("serve.")));
+        drop(slow);
+    }
+
+    #[test]
+    fn shutdown_closes_the_bus() {
+        let bus = BroadcastBus::new();
+        let sub = bus.subscribe(4);
+        let shared = ServeShared::new(bus);
+        assert!(!shared.is_shutdown());
+        shared.request_shutdown();
+        assert!(shared.is_shutdown());
+        assert!(sub.is_closed());
+    }
+}

@@ -22,6 +22,7 @@
 //! ```
 
 use crate::event::{EventHandle, EventId, EventQueue};
+use crate::pacing::Pacer;
 use crate::time::{SimDuration, SimTime};
 use csprov_obs::Journal;
 
@@ -53,6 +54,7 @@ pub struct Simulator {
     queue_hwm: usize,
     observer: Option<(u64, Observer)>,
     journal: Option<JournalTap>,
+    pacer: Option<Pacer>,
 }
 
 impl Default for Simulator {
@@ -72,6 +74,7 @@ impl Simulator {
             queue_hwm: 0,
             observer: None,
             journal: None,
+            pacer: None,
         }
     }
 
@@ -126,6 +129,21 @@ impl Simulator {
     /// Removes the attached journal, if any.
     pub fn clear_journal(&mut self) {
         self.journal = None;
+    }
+
+    /// Installs a wall-clock [`Pacer`]: after each executed event the
+    /// engine lets the pacer sleep until that virtual instant's wall
+    /// deadline. Pacing only ever *delays* the run loop — it cannot
+    /// reorder, add or drop events — so a paced run computes exactly what
+    /// an unpaced run computes. With no pacer the cost is one branch per
+    /// event.
+    pub fn set_pacer(&mut self, pacer: Pacer) {
+        self.pacer = Some(pacer);
+    }
+
+    /// Removes the installed pacer, if any.
+    pub fn clear_pacer(&mut self) {
+        self.pacer = None;
     }
 
     /// Schedules `action` at absolute time `at`.
@@ -222,6 +240,9 @@ impl Simulator {
                         );
                         tap.seen_overflow_pushes = pushes;
                     }
+                }
+                if let Some(pacer) = self.pacer.as_mut() {
+                    pacer.pace(self.now.as_nanos());
                 }
                 true
             }

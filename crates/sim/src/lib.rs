@@ -36,6 +36,7 @@ pub mod check;
 pub mod dist;
 pub mod engine;
 pub mod event;
+pub mod pacing;
 pub mod process;
 pub mod rate;
 pub mod rng;
@@ -44,6 +45,7 @@ pub mod time;
 
 pub use engine::{Action, Observer, Simulator};
 pub use event::{EventHandle, EventId, EventQueue};
+pub use pacing::{Pacer, PacerStats, Speed};
 pub use process::{spawn_periodic, spawn_poisson, StopFlag};
 pub use rate::TokenBucket;
 pub use rng::RngStream;

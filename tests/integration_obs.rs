@@ -24,6 +24,7 @@ fn instruments(registry: &MetricsRegistry) -> WorldInstruments {
         link_metrics: Some(LinkMetrics::register(registry)),
         observer: None,
         journal: None,
+        pacer: None,
     }
 }
 

@@ -4,12 +4,14 @@
 # a typed error), so `unwrap`/`expect`/`panic!` and friends are banned from
 # non-test code in the crates that touch foreign bytes.
 #
-# Scope: crates/net/src and crates/router/src, plus the fleet engine and
-# the aggregate experiment in crates/core (degenerate fleet configs and
-# shard failures must surface as typed FleetError values), excluding
-# `#[cfg(test)]` modules (tests may unwrap freely). Binaries (crates/bench)
-# are exempt — a CLI aborting with a message is fine; a library unwinding
-# is not.
+# Scope: crates/net/src and crates/router/src (the net glob also covers
+# the columnar batch module, crates/net/src/batch.rs), plus the fleet
+# engine and the aggregate experiment in crates/core (degenerate fleet
+# configs and shard failures must surface as typed FleetError values), the
+# journal hot path in crates/obs, and the columnar ingest pipeline in
+# crates/core — excluding `#[cfg(test)]` modules (tests may unwrap
+# freely). Binaries (crates/bench) are exempt — a CLI aborting with a
+# message is fine; a library unwinding is not.
 #
 # Exits non-zero listing each offending line.
 
@@ -21,7 +23,8 @@ PATTERN='\.unwrap\(\)|\.expect\(|panic!|unreachable!|todo!|unimplemented!'
 status=0
 
 for f in crates/net/src/*.rs crates/router/src/*.rs \
-    crates/core/src/fleet.rs crates/core/src/experiments/aggregate.rs; do
+    crates/core/src/fleet.rs crates/core/src/experiments/aggregate.rs \
+    crates/core/src/pipeline.rs crates/obs/src/journal.rs; do
     # Strip everything from the first `#[cfg(test)]` onward: by repo
     # convention the test module is the final item in each file.
     hits=$(awk '/^#\[cfg\(test\)\]/ { exit } { print NR": "$0 }' "$f" \

@@ -5,9 +5,54 @@
 //! the *narrowest last-mile link saturation* result.
 
 use crate::histogram::Histogram;
-use csprov_net::{Direction, TraceRecord, TraceSink};
+use csprov_net::{Direction, PacketBatch, TraceRecord, TraceSink, WIRE_OVERHEAD_BYTES};
 use csprov_sim::{SimDuration, SimTime};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier for the rustc-style multiply-rotate mix below.
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fixed-seed multiply-rotate hasher for the small integer keys the flow
+/// table uses. The standard library's SipHash is keyed per process and costs
+/// more than the whole flow update for a `u32` session id; this mix is a few
+/// cycles, and its fixed seed makes table internals reproducible across
+/// processes (all exported orderings are explicitly sorted regardless).
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` plugging [`FxHasher`] into `HashMap`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
 /// Accumulated statistics for one flow (session).
 #[derive(Debug, Clone, Copy)]
@@ -50,7 +95,7 @@ impl FlowStats {
 /// Streaming per-flow accounting keyed by session id.
 #[derive(Debug, Default)]
 pub struct FlowTable {
-    flows: HashMap<u32, FlowStats>,
+    flows: HashMap<u32, FlowStats, FxBuildHasher>,
 }
 
 impl FlowTable {
@@ -80,15 +125,17 @@ impl FlowTable {
     }
 
     /// Flows lasting at least `min_duration` (the paper uses 30 s for
-    /// Figure 11, to exclude connection probes).
+    /// Figure 11, to exclude connection probes), ordered by first-packet
+    /// time with the session id as tiebreak — a total order, so the result
+    /// is independent of hash-table iteration order.
     pub fn long_flows(&self, min_duration: SimDuration) -> Vec<&FlowStats> {
-        let mut v: Vec<&FlowStats> = self
+        let mut v: Vec<(&u32, &FlowStats)> = self
             .flows
-            .values()
-            .filter(|f| f.duration() >= min_duration)
+            .iter()
+            .filter(|(_, f)| f.duration() >= min_duration)
             .collect();
-        v.sort_by_key(|a| a.first);
-        v
+        v.sort_by_key(|(session, f)| (f.first, **session));
+        v.into_iter().map(|(_, f)| f).collect()
     }
 
     /// Builds the Figure 11 histogram: mean per-flow bandwidth (bps) of
@@ -165,6 +212,45 @@ impl TraceSink for FlowTable {
                         i += 1;
                     }
                     _ => break,
+                }
+            }
+        }
+    }
+
+    fn on_columns(&mut self, batch: &PacketBatch) {
+        // Same run-folding as `on_batch`, but the run scan walks only the
+        // session column. Flow accumulation is integer addition plus a
+        // last-write-wins timestamp, so run order alone determines the final
+        // state — identical to per-record delivery.
+        let times = batch.times_ns();
+        let lens = batch.app_lens();
+        let sessions = batch.sessions();
+        let tags = batch.tags();
+        let n = sessions.len();
+        let mut i = 0;
+        while i < n {
+            let session = sessions[i];
+            if session == u32::MAX {
+                i += 1;
+                continue; // sessionless traffic (server-browser probes)
+            }
+            let t = SimTime::from_nanos(times[i]);
+            let entry = self.flows.entry(session).or_insert(FlowStats {
+                first: t,
+                last: t,
+                packets: [0; 2],
+                wire_bytes: [0; 2],
+                app_bytes: [0; 2],
+            });
+            loop {
+                let dir = usize::from(tags[i] >> 7);
+                entry.last = SimTime::from_nanos(times[i]);
+                entry.packets[dir] += 1;
+                entry.wire_bytes[dir] += u64::from(lens[i]) + u64::from(WIRE_OVERHEAD_BYTES);
+                entry.app_bytes[dir] += u64::from(lens[i]);
+                i += 1;
+                if i >= n || sessions[i] != session {
+                    break;
                 }
             }
         }

@@ -5,7 +5,7 @@
 //! client bandwidth histogram of Figure 11.
 
 use crate::merge::MergeError;
-use csprov_net::{Direction, TraceRecord, TraceSink};
+use csprov_net::{Direction, PacketBatch, TraceRecord, TraceSink};
 
 /// Packet-size histogram at 1-byte resolution, split by direction.
 #[derive(Debug, Clone)]
@@ -153,6 +153,22 @@ impl TraceSink for SizeHistogram {
         for rec in recs {
             let i = Self::dir_idx(rec.direction);
             let s = rec.app_len as usize;
+            if s <= max {
+                self.counts[i][s] += 1;
+            } else {
+                self.overflow[i] += 1;
+            }
+        }
+    }
+
+    fn on_columns(&mut self, batch: &PacketBatch) {
+        // The columnar loop reads only the size and tag columns; the
+        // direction index is a shift, not a match, and integer histogram
+        // increments commute so any delivery shape gives identical counts.
+        let max = self.max_size;
+        for (tag, len) in batch.tags().iter().zip(batch.app_lens()) {
+            let i = usize::from(tag >> 7);
+            let s = *len as usize;
             if s <= max {
                 self.counts[i][s] += 1;
             } else {

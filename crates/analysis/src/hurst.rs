@@ -14,7 +14,7 @@
 use crate::fit::{fit_line, LineFit};
 use crate::merge::MergeError;
 use crate::welford::Welford;
-use csprov_net::{TraceRecord, TraceSink};
+use csprov_net::{PacketBatch, TraceRecord, TraceSink};
 use csprov_sim::{SimDuration, SimTime};
 
 /// One point of the variance-time plot.
@@ -133,26 +133,89 @@ impl VarianceTime {
         self.base
     }
 
-    fn emit_bin(&mut self, count: u64) {
-        self.bins_emitted += 1;
-        let x = count as f64;
+    /// Advances `n` empty base bins in closed form per accumulator, instead
+    /// of walking the whole ladder once per bin. The Welford push sequence of
+    /// each accumulator is exactly what `n` zero-bin ladder walks would have
+    /// produced: a zero bin adds `+0.0` to a non-negative partial sum (a
+    /// bitwise no-op), so the first block completed inside the gap pushes the
+    /// pending `sum / block` and every later one pushes `0.0`. Accumulators
+    /// are independent, so reordering the work across them changes nothing.
+    fn emit_zero_bins(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.bins_emitted += n;
         for acc in &mut self.accs {
-            acc.sum += x;
-            acc.filled += 1;
-            if acc.filled == acc.block {
+            let completions = (acc.filled + n) / acc.block;
+            if completions > 0 {
                 acc.stats.push(acc.sum / acc.block as f64);
+                for _ in 1..completions {
+                    acc.stats.push(0.0);
+                }
                 acc.sum = 0.0;
-                acc.filled = 0;
+            }
+            acc.filled = (acc.filled + n) % acc.block;
+        }
+    }
+
+    /// Flushes the open bin: the zero-bin gap before it and the bin itself
+    /// advance each accumulator in one fused ladder walk (half the memory
+    /// traffic of `emit_zero_bins` + `emit_bin`), and the gap uses
+    /// compare-and-subtract instead of the closed-form division — gaps are
+    /// almost always shorter than the block, so the division never pays for
+    /// itself on this path. Per accumulator the Welford push sequence is
+    /// exactly the gap's pushes followed by the bin's, as in the unfused
+    /// walks; accumulators are independent, so fusing changes nothing.
+    fn flush_current(&mut self) {
+        if let Some((idx, count)) = self.current_bin.take() {
+            let gap = idx.saturating_sub(self.bins_emitted);
+            self.bins_emitted += gap + 1;
+            let x = count as f64;
+            for acc in &mut self.accs {
+                if gap > 0 {
+                    let total = acc.filled + gap;
+                    if total < acc.block {
+                        acc.filled = total;
+                    } else {
+                        // See emit_zero_bins: the first completed block
+                        // carries the pending sum, the rest are all-zero.
+                        acc.stats.push(acc.sum / acc.block as f64);
+                        let mut rem = total - acc.block;
+                        while rem >= acc.block {
+                            acc.stats.push(0.0);
+                            rem -= acc.block;
+                        }
+                        acc.sum = 0.0;
+                        acc.filled = rem;
+                    }
+                }
+                acc.sum += x;
+                acc.filled += 1;
+                if acc.filled == acc.block {
+                    acc.stats.push(acc.sum / acc.block as f64);
+                    acc.sum = 0.0;
+                    acc.filled = 0;
+                }
             }
         }
     }
 
-    fn flush_current(&mut self) {
-        if let Some((idx, count)) = self.current_bin.take() {
-            while self.bins_emitted < idx {
-                self.emit_bin(0);
+    /// Folds a pre-counted run of same-timestamp packets in, as if `count`
+    /// records stamped `time` had been delivered one at a time. A zero-count
+    /// run is a no-op. Bin counts are integer sums, so state stays
+    /// byte-identical to the per-record path.
+    pub fn add_run(&mut self, time: SimTime, count: u64) {
+        if count == 0 {
+            return;
+        }
+        let idx = time.bin_index(self.base);
+        match &mut self.current_bin {
+            Some((cur, c)) if *cur == idx => *c += count,
+            Some(_) => {
+                self.flush_current();
+                self.current_bin = Some((idx, count));
             }
-            self.emit_bin(count);
+            None => self.current_bin = Some((idx, count)),
         }
     }
 
@@ -295,13 +358,39 @@ impl TraceSink for VarianceTime {
         }
     }
 
+    fn on_columns(&mut self, batch: &PacketBatch) {
+        // Columnar twin of `on_batch`: the run scan reads only the timestamp
+        // column, and each run becomes a single count increment.
+        let base = self.base.as_nanos();
+        let times = batch.times_ns();
+        let n = times.len();
+        let mut i = 0;
+        while i < n {
+            let idx = times[i] / base;
+            let lo = idx * base;
+            let hi = lo.saturating_add(base);
+            let start = i;
+            i += 1;
+            while i < n && times[i] >= lo && times[i] < hi {
+                i += 1;
+            }
+            let run = (i - start) as u64;
+            match &mut self.current_bin {
+                Some((cur, count)) if *cur == idx => *count += run,
+                Some(_) => {
+                    self.flush_current();
+                    self.current_bin = Some((idx, run));
+                }
+                None => self.current_bin = Some((idx, run)),
+            }
+        }
+    }
+
     fn on_end(&mut self, end: SimTime) {
         self.flush_current();
         // See RateSeries::on_end: a boundary-aligned end opens no new bin.
         let total = end.as_nanos().div_ceil(self.base.as_nanos());
-        while self.bins_emitted < total {
-            self.emit_bin(0);
-        }
+        self.emit_zero_bins(total.saturating_sub(self.bins_emitted));
     }
 }
 

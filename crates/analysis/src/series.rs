@@ -8,7 +8,7 @@
 
 use crate::merge::MergeError;
 use crate::welford::Welford;
-use csprov_net::{Direction, TraceRecord, TraceSink};
+use csprov_net::{Direction, PacketBatch, TraceRecord, TraceSink, WIRE_OVERHEAD_BYTES};
 use csprov_sim::{SimDuration, SimTime};
 
 /// One bin of a [`RateSeries`].
@@ -117,6 +117,48 @@ impl RateSeries {
         self.stats.push(bin.packets as f64);
         if index >= self.skip && self.limit.map_or(true, |l| self.bins.len() < l) {
             self.bins.push(bin);
+        }
+    }
+
+    /// Folds a pre-aggregated run of same-timestamp packets into the series,
+    /// as if `packets` records totalling `wire_bytes` on the wire — all
+    /// stamped `time`, all passing this series' direction filter — had been
+    /// delivered one at a time. The caller is responsible for the filtering:
+    /// pass the matching direction's lane totals only. A zero-packet run is
+    /// a no-op (a burst with nothing for this series never opens or flushes
+    /// a bin, exactly like a run of filtered-out records).
+    ///
+    /// Bin contents are integer sums, so one pre-folded add leaves state
+    /// byte-identical to the per-record path.
+    pub fn add_run(&mut self, time: SimTime, packets: u64, wire_bytes: u64) {
+        if packets == 0 {
+            return;
+        }
+        let idx = time.bin_index(self.width);
+        match &mut self.current {
+            Some((cur, bin)) if *cur == idx => {
+                bin.packets += packets;
+                bin.wire_bytes += wire_bytes;
+            }
+            Some(_) => {
+                self.flush_current();
+                self.current = Some((
+                    idx,
+                    RateBin {
+                        packets,
+                        wire_bytes,
+                    },
+                ));
+            }
+            None => {
+                self.current = Some((
+                    idx,
+                    RateBin {
+                        packets,
+                        wire_bytes,
+                    },
+                ));
+            }
         }
     }
 
@@ -292,6 +334,80 @@ impl TraceSink for RateSeries {
                 bin.packets += 1;
                 bin.wire_bytes += u64::from(rec.wire_len());
                 i += 1;
+            }
+            self.current = Some((idx, bin));
+        }
+    }
+
+    fn on_columns(&mut self, batch: &PacketBatch) {
+        // Columnar variant of `on_batch`: runs of same-bin rows are found by
+        // scanning only the timestamp column, and the per-run accumulation
+        // reads only the size column (plus the tag column when filtered) —
+        // a tight integer loop over dense memory. Bin flush order, and
+        // therefore the Welford push sequence, matches the per-record path
+        // exactly: a filtered-out row contributes nothing either way.
+        let width = self.width.as_nanos();
+        let times = batch.times_ns();
+        let lens = batch.app_lens();
+        let tags = batch.tags();
+        let n = times.len();
+        let want: Option<u8> = self.filter.map(|f| match f {
+            Direction::Inbound => 0,
+            Direction::Outbound => 1,
+        });
+        let mut i = 0;
+        while i < n {
+            if let Some(w) = want {
+                if tags[i] >> 7 != w {
+                    i += 1;
+                    continue;
+                }
+            }
+            let idx = times[i] / width;
+            let lo = idx * width;
+            let hi = lo.saturating_add(width);
+            let mut bin = match self.current.take() {
+                Some((cur, bin)) if cur == idx => bin,
+                Some(other) => {
+                    self.current = Some(other);
+                    self.flush_current();
+                    RateBin::default()
+                }
+                None => RateBin::default(),
+            };
+            bin.packets += 1;
+            bin.wire_bytes += u64::from(lens[i]) + u64::from(WIRE_OVERHEAD_BYTES);
+            i += 1;
+            match want {
+                None => {
+                    // Unfiltered run: find the run end on the timestamp
+                    // column, then accumulate the size column branch-free.
+                    let start = i;
+                    while i < n && times[i] >= lo && times[i] < hi {
+                        i += 1;
+                    }
+                    let mut app: u64 = 0;
+                    for len in &lens[start..i] {
+                        app += u64::from(*len);
+                    }
+                    bin.packets += (i - start) as u64;
+                    bin.wire_bytes += app + (i - start) as u64 * u64::from(WIRE_OVERHEAD_BYTES);
+                }
+                Some(w) => {
+                    while i < n {
+                        if tags[i] >> 7 != w {
+                            i += 1;
+                            continue;
+                        }
+                        let t = times[i];
+                        if t < lo || t >= hi {
+                            break;
+                        }
+                        bin.packets += 1;
+                        bin.wire_bytes += u64::from(lens[i]) + u64::from(WIRE_OVERHEAD_BYTES);
+                        i += 1;
+                    }
+                }
             }
             self.current = Some((idx, bin));
         }

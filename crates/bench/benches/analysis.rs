@@ -4,7 +4,7 @@
 use csprov::pipeline::FullAnalysis;
 use csprov_analysis::{FlowTable, RateSeries, SizeHistogram, VarianceTime, Welford};
 use csprov_bench::harness::{black_box, Harness, Throughput};
-use csprov_net::{Direction, PacketKind, TraceRecord, TraceSink};
+use csprov_net::{Direction, PacketBatch, PacketKind, TraceRecord, TraceSink};
 use csprov_sim::{RngStream, SimDuration, SimTime};
 
 fn synthetic_records(n: usize) -> Vec<TraceRecord> {
@@ -125,6 +125,25 @@ fn bench_pipeline_ingest(h: &mut Harness) {
             let sink: &mut dyn TraceSink = &mut a;
             for chunk in records.chunks(burst) {
                 sink.on_batch(chunk);
+            }
+            sink.on_end(end);
+            black_box(a.counts.total_packets())
+        })
+    });
+
+    // Pre-transposed columnar delivery: what a batch-native producer would
+    // hand the pipeline, isolating column consumption from the AoS→SoA
+    // transpose that `on_batch` performs per burst.
+    let batches: Vec<PacketBatch> = records
+        .chunks(burst)
+        .map(PacketBatch::from_records)
+        .collect();
+    g.bench_function("full_analysis_soa_100k", |b| {
+        b.iter(|| {
+            let mut a = FullAnalysis::new(SimDuration::from_secs(3600));
+            let sink: &mut dyn TraceSink = &mut a;
+            for batch in &batches {
+                sink.on_columns(batch);
             }
             sink.on_end(end);
             black_box(a.counts.total_packets())

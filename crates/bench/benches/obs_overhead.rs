@@ -227,13 +227,30 @@ fn bench_primitives(h: &mut Harness) {
         })
     });
     g.bench_function("journal_emit_1m", |b| {
-        // Capacity 1M: every emit lands in the buffer (the fast path); a
-        // fresh journal per sample keeps that true across iterations.
+        // Capacity 1M: every emit lands in storage (the fast path). The
+        // journal is reused across samples via `clear()` — steady-state emit
+        // into retained chunks is the cost a long run pays; allocating and
+        // faulting in ~32 MB of fresh pages per sample would measure the
+        // host allocator, not the emit path.
+        let j = Journal::with_capacity(1 << 20);
         b.iter(|| {
-            let j = Journal::with_capacity(1 << 20);
+            j.clear();
             for i in 0..1_000_000u64 {
                 j.emit(i, "bench.emit", i, i);
             }
+            black_box(j.len())
+        })
+    });
+    g.bench_function("journal_emit_batched_1m", |b| {
+        // The same workload through the buffered single-kind writer.
+        let j = Journal::with_capacity(1 << 20);
+        b.iter(|| {
+            j.clear();
+            let mut w = j.writer("bench.emit");
+            for i in 0..1_000_000u64 {
+                w.emit(i, i, i);
+            }
+            w.flush();
             black_box(j.len())
         })
     });

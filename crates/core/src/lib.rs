@@ -44,7 +44,7 @@ pub mod sweep;
 pub use chaos::{ChaosReport, ChaosSpec};
 pub use experiments::ExperimentId;
 pub use fleet::{FleetConfig, FleetError, FleetRun, ProvisioningReport};
-pub use pipeline::{FullAnalysis, MainRun};
+pub use pipeline::{FullAnalysis, MainRun, INGEST_PATH_ENV};
 pub use sweep::{run_parallel, work_steal, RunSummary, WorkerPanic};
 
 // Re-export the component crates under one roof for downstream users.

@@ -13,6 +13,8 @@
 //!   the *narrowest last-mile link saturation* phenomenon reproducible.
 //! - [`trace`] — streaming [`trace::TraceSink`] capture plus a compact
 //!   binary trace format.
+//! - [`batch`] — columnar (struct-of-arrays) packet batches, the fast-path
+//!   ingest representation the hot analyzers consume.
 //! - [`pcap`] — classic libpcap export of fully checksummed synthetic
 //!   frames (and the reverse parse).
 //! - [`fault`] — a composable impairment stack (uniform and Gilbert–Elliott
@@ -24,6 +26,7 @@
 //!   `csprov-obs`; attaching it never changes queueing or loss decisions.
 
 pub mod addr;
+pub mod batch;
 pub mod error;
 pub mod fault;
 pub mod link;
@@ -34,6 +37,7 @@ pub mod trace;
 pub mod wire;
 
 pub use addr::{client_endpoint, server_endpoint, Endpoint, MacAddr};
+pub use batch::PacketBatch;
 pub use error::{Error, ReplayReport};
 pub use fault::{
     BurstLoss, DropCause, DuplicateConfig, Fate, FaultConfig, FaultInjector, FaultStats, RateLimit,

@@ -6,6 +6,7 @@
 //! For persistence there is a compact fixed-width binary format
 //! ([`TraceWriter`]/[`TraceReader`]) and a pcap exporter in [`crate::pcap`].
 
+use crate::batch::PacketBatch;
 use crate::error::{Error, ReplayReport};
 use crate::packet::{Direction, Packet, PacketKind, WIRE_OVERHEAD_BYTES};
 use csprov_sim::SimTime;
@@ -105,6 +106,19 @@ pub trait TraceSink {
         }
     }
 
+    /// Called with a burst in columnar (struct-of-arrays) form. Equivalent
+    /// to delivering the reconstructed rows through
+    /// [`TraceSink::on_packet`] — the default shim does exactly that, so
+    /// every sink keeps working unchanged — but the hot analyzers override
+    /// it to walk whole columns: run-folded bin accounting over the
+    /// timestamp column, branch-light bucketing over the size column.
+    /// Overrides must leave state byte-identical to the per-record path.
+    fn on_columns(&mut self, batch: &PacketBatch) {
+        for i in 0..batch.len() {
+            self.on_packet(&batch.record(i));
+        }
+    }
+
     /// Called when the trace ends, with the end-of-trace timestamp.
     fn on_end(&mut self, _end: SimTime) {}
 }
@@ -117,6 +131,8 @@ impl TraceSink for NullSink {
     fn on_packet(&mut self, _rec: &TraceRecord) {}
 
     fn on_batch(&mut self, _recs: &[TraceRecord]) {}
+
+    fn on_columns(&mut self, _batch: &PacketBatch) {}
 }
 
 /// A sink that counts packets and bytes, split by direction.
@@ -170,6 +186,18 @@ impl CountingSink {
         self.wire_bytes[Self::dir_idx(d)]
     }
 
+    /// Folds pre-aggregated per-direction lane totals in, as if `packets[d]`
+    /// records totalling `app_bytes[d]` application bytes had been delivered
+    /// for each direction lane `d` (`[inbound, outbound]`). Pure integer
+    /// sums, so the result is byte-identical to per-record delivery.
+    pub fn add_counts(&mut self, packets: [u64; 2], app_bytes: [u64; 2]) {
+        for i in 0..2 {
+            self.packets[i] += packets[i];
+            self.app_bytes[i] += app_bytes[i];
+            self.wire_bytes[i] += app_bytes[i] + packets[i] * u64::from(WIRE_OVERHEAD_BYTES);
+        }
+    }
+
     /// Superposes another sink's counts onto this one: packet and byte
     /// totals add per direction, and the end-of-trace time is the later of
     /// the two. Integer addition, so any merge order yields the same sums.
@@ -209,6 +237,26 @@ impl TraceSink for CountingSink {
             self.packets[i] += packets[i];
             self.app_bytes[i] += app[i];
             self.wire_bytes[i] += wire[i];
+        }
+    }
+
+    fn on_columns(&mut self, batch: &PacketBatch) {
+        // Pure integer accumulation over two dense columns: the tag byte
+        // selects the per-direction lane arithmetically, so the loop has no
+        // data-dependent branches and vectorizes.
+        let mut packets = [0u64; 2];
+        let mut app = [0u64; 2];
+        let tags = batch.tags();
+        let lens = batch.app_lens();
+        for (tag, len) in tags.iter().zip(lens) {
+            let d = usize::from(tag >> 7);
+            packets[d] += 1;
+            app[d] += u64::from(*len);
+        }
+        for i in 0..2 {
+            self.packets[i] += packets[i];
+            self.app_bytes[i] += app[i];
+            self.wire_bytes[i] += app[i] + packets[i] * u64::from(WIRE_OVERHEAD_BYTES);
         }
     }
 
@@ -256,6 +304,12 @@ impl TraceSink for Tee {
     fn on_batch(&mut self, recs: &[TraceRecord]) {
         for s in &mut self.sinks {
             s.on_batch(recs);
+        }
+    }
+
+    fn on_columns(&mut self, batch: &PacketBatch) {
+        for s in &mut self.sinks {
+            s.on_columns(batch);
         }
     }
 
@@ -476,6 +530,12 @@ impl<R: Read> TraceReader<R> {
         let mut report = ReplayReport::default();
         let mut last = SimTime::ZERO;
         let mut scanned: u64 = 0;
+        // The replay loop owns the journal for its whole window, so skips go
+        // through a buffered writer — the journal's fast lane. The single
+        // `net.replay.truncated` event comes after every skip in the
+        // unbuffered order, so flushing the writer before emitting it keeps
+        // the stored journal byte-identical to per-event emits.
+        let mut skip_writer = journal.map(|j| j.writer("net.replay.skip"));
         loop {
             let raw = match self.read_record_bytes() {
                 Ok(Some(raw)) => raw,
@@ -483,6 +543,9 @@ impl<R: Read> TraceReader<R> {
                 Err(Error::TruncatedRecord) => {
                     report.truncated = true;
                     if let Some(j) = journal {
+                        if let Some(w) = skip_writer.as_mut() {
+                            w.flush();
+                        }
                         j.emit(last.as_nanos(), "net.replay.truncated", scanned, 0);
                     }
                     break;
@@ -502,13 +565,14 @@ impl<R: Read> TraceReader<R> {
                 }
                 Err(e) if e.is_decode() => {
                     report.skipped += 1;
-                    if let Some(j) = journal {
-                        j.emit(last.as_nanos(), "net.replay.skip", scanned, 1);
+                    if let Some(w) = skip_writer.as_mut() {
+                        w.emit(last.as_nanos(), scanned, 1);
                     }
                 }
                 Err(e) => return Err(e),
             }
         }
+        drop(skip_writer); // flushes any buffered skips
         report.delivered += buf.len() as u64;
         sink.on_batch(&buf);
         sink.on_end(last);

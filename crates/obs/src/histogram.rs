@@ -22,23 +22,24 @@ impl Default for LogHistogram {
 }
 
 impl LogHistogram {
-    /// An empty histogram.
+    /// An empty histogram. `min` holds a `u64::MAX` sentinel until the first
+    /// record so the hot paths need no emptiness branch; the accessor
+    /// compensates.
     pub fn new() -> Self {
         LogHistogram {
             counts: [0; 65],
             total: 0,
             sum: 0,
-            min: 0,
+            min: u64::MAX,
             max: 0,
         }
     }
 
-    /// The bucket index a value falls into.
+    /// The bucket index a value falls into: one leading-zeros instruction,
+    /// no branch. Zero has 64 leading zeros, so it lands in bucket 0 without
+    /// a special case.
     pub fn bucket_index(value: u64) -> usize {
-        match value {
-            0 => 0,
-            v => (64 - v.leading_zeros()) as usize,
-        }
+        (64 - value.leading_zeros()) as usize
     }
 
     /// Inclusive `(low, high)` value range covered by bucket `index`.
@@ -51,33 +52,24 @@ impl LogHistogram {
         }
     }
 
-    /// Records one observation.
+    /// Records one observation. Branch-free: the empty-histogram case needs
+    /// no test because the `u64::MAX` min sentinel loses every `min` and the
+    /// zero max loses every `max`.
     pub fn record(&mut self, value: u64) {
         self.counts[Self::bucket_index(value)] += 1;
-        if self.total == 0 {
-            self.min = value;
-            self.max = value;
-        } else {
-            self.min = self.min.min(value);
-            self.max = self.max.max(value);
-        }
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
         self.total += 1;
         self.sum = self.sum.saturating_add(value);
     }
 
     /// Folds `other` into `self`; equivalent to having recorded both
-    /// observation streams into one histogram.
+    /// observation streams into one histogram. Merging an empty histogram
+    /// (in either direction) is a no-op by the same sentinel argument that
+    /// makes [`LogHistogram::record`] branch-free.
     pub fn merge(&mut self, other: &LogHistogram) {
-        if other.total == 0 {
-            return;
-        }
-        if self.total == 0 {
-            self.min = other.min;
-            self.max = other.max;
-        } else {
-            self.min = self.min.min(other.min);
-            self.max = self.max.max(other.max);
-        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
         for (dst, src) in self.counts.iter_mut().zip(other.counts.iter()) {
             *dst += src;
         }
@@ -97,7 +89,11 @@ impl LogHistogram {
 
     /// Smallest observation, or 0 when empty.
     pub fn min(&self) -> u64 {
-        self.min
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
     }
 
     /// Largest observation, or 0 when empty.
@@ -270,6 +266,14 @@ mod tests {
         // Extremes clamp to observed min/max.
         assert_eq!(h.quantile(0.0), 1);
         assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero_extremes() {
+        let h = LogHistogram::new();
+        assert_eq!(h.min(), 0, "sentinel must not leak through the accessor");
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.count(), 0);
     }
 
     #[test]

@@ -10,11 +10,21 @@
 //!
 //! Consumers hold an `Option<Journal>` side-channel, so an unexported
 //! journal costs exactly one branch per would-be emit. When attached, an
-//! emit is a bounds check plus a `Vec` push; once the capacity is reached
+//! emit is a bounds check plus a 32-byte packed append: the `&'static str`
+//! kind is interned into a `u32` id (a pointer-equality cache makes the
+//! common run-of-one-kind case a single comparison), and storage is a list
+//! of fixed-capacity chunks, so appending never copies previously stored
+//! events the way a doubling `Vec` would. Once the capacity is reached
 //! further events are counted (total and per kind) but not stored, keeping
 //! memory bounded on week-long traces. High-frequency producers (the sim
 //! dispatch loop) additionally sample — emitting every Nth occurrence —
 //! which is a policy of the *producer*, not of this type.
+//!
+//! Hot single-kind producers can go one step further with
+//! [`Journal::writer`]: a [`JournalWriter`] buffers encoded events locally
+//! and flushes them into the journal in blocks, so the per-event cost is an
+//! index bump plus a copy, with no `RefCell` borrow. See the writer's
+//! ordering contract.
 //!
 //! ## Exports
 //!
@@ -53,13 +63,187 @@ pub struct TraceEvent {
     pub value: u64,
 }
 
+/// The stored form of an event: the kind collapsed to an interned id, so a
+/// row is 32 bytes and the append path never touches string data.
+#[derive(Clone, Copy, Debug)]
+struct PackedEvent {
+    sim_ns: u64,
+    key: u64,
+    value: u64,
+    kind: u32,
+}
+
+/// Capacity of the first storage chunk; a fault-free run emits few events.
+const FIRST_CHUNK: usize = 4096;
+/// Capacity of every later chunk.
+const CHUNK: usize = 1 << 16;
+
 #[derive(Debug, Default)]
 struct JournalInner {
-    events: Vec<TraceEvent>,
+    /// Filled storage chunks, oldest first; a full chunk is never
+    /// reallocated or copied.
+    full: Vec<Vec<PackedEvent>>,
+    /// Events stored across `full` (total stored is `full_len + tail.len()`).
+    full_len: usize,
+    /// The active chunk appends go to, held directly so the hot path never
+    /// chases a chunk-list index.
+    tail: Vec<PackedEvent>,
+    /// How far `tail` may grow before the slow path must run: its capacity,
+    /// clamped by the journal capacity remaining. The single fast-path
+    /// compare `tail.len() < tail_limit` therefore also proves the append is
+    /// within the journal's bound.
+    tail_limit: usize,
+    /// Cleared chunks ready for reuse, so a cleared journal refills without
+    /// reallocating.
+    spare: Vec<Vec<PackedEvent>>,
     capacity: usize,
+    /// Interned kinds, in first-intern order; a `PackedEvent.kind` indexes
+    /// this table. Survives `clear` so outstanding writer ids stay valid.
+    kinds: Vec<&'static str>,
+    kind_ids: BTreeMap<&'static str, u32>,
+    /// One-entry intern cache: the last kind looked up. Static literals
+    /// usually arrive with a stable address, making the common same-kind
+    /// run a single pointer comparison.
+    last_kind: Option<(&'static str, u32)>,
     dropped: u64,
     dropped_by_kind: BTreeMap<&'static str, u64>,
     tap: Option<BroadcastBus>,
+}
+
+impl JournalInner {
+    /// Interns a kind. Inlined so the common case — the same static literal
+    /// as the previous emit — is a pointer comparison at the call site; the
+    /// table lookup is outlined.
+    #[inline]
+    fn intern(&mut self, kind: &'static str) -> u32 {
+        if let Some((cached, id)) = self.last_kind {
+            if std::ptr::eq(cached.as_ptr(), kind.as_ptr()) && cached.len() == kind.len() {
+                return id;
+            }
+        }
+        self.intern_miss(kind)
+    }
+
+    #[cold]
+    fn intern_miss(&mut self, kind: &'static str) -> u32 {
+        let id = match self.kind_ids.get(kind) {
+            Some(&id) => id,
+            None => {
+                let id = self.kinds.len() as u32;
+                self.kinds.push(kind);
+                self.kind_ids.insert(kind, id);
+                id
+            }
+        };
+        self.last_kind = Some((kind, id));
+        id
+    }
+
+    fn kind_str(&self, id: u32) -> &'static str {
+        // Ids are only ever produced by `intern`, so the lookup always
+        // succeeds; the fallback keeps this path free of panicking
+        // constructs.
+        self.kinds.get(id as usize).copied().unwrap_or("?")
+    }
+
+    /// Total stored events.
+    fn len(&self) -> usize {
+        self.full_len + self.tail.len()
+    }
+
+    /// Retires the (full or unallocated) tail and installs a fresh chunk —
+    /// from the spare list when one is waiting, freshly allocated otherwise.
+    /// Caller guarantees stored length is below capacity, so the new
+    /// `tail_limit` is at least 1 and the next append hits the fast path.
+    fn rotate(&mut self) {
+        self.full_len += self.tail.len();
+        let remaining = self.capacity.saturating_sub(self.full_len);
+        let next = match self.spare.pop() {
+            Some(chunk) => chunk,
+            None => {
+                let want = if self.full.is_empty() && self.full_len == 0 {
+                    FIRST_CHUNK
+                } else {
+                    CHUNK
+                };
+                Vec::with_capacity(want.min(remaining).max(1))
+            }
+        };
+        let old = std::mem::replace(&mut self.tail, next);
+        if old.capacity() > 0 {
+            self.full.push(old);
+        }
+        self.tail_limit = self.tail.capacity().min(remaining);
+    }
+
+    /// The not-fast path of an emit: the tail is full (or the journal is):
+    /// rotate chunks and store, or count the drop. Takes the event as
+    /// scalars, not a `PackedEvent`: an aggregate argument would be passed
+    /// by address, which forces the *fast* path at the call site to build
+    /// the event in stack memory and copy it (a store-forwarding stall per
+    /// emit) instead of storing the fields straight into the tail chunk.
+    #[cold]
+    fn store_slow(&mut self, kind: &'static str, sim_ns: u64, key: u64, value: u64, id: u32) {
+        if self.len() < self.capacity {
+            self.rotate();
+            self.tail.push(PackedEvent {
+                sim_ns,
+                key,
+                value,
+                kind: id,
+            });
+        } else {
+            self.drop_event(kind);
+        }
+    }
+
+    /// Appends a block of same-kind events with exactly the per-event
+    /// admission and drop accounting of individual emits, but copying
+    /// buffered events into the tail chunk slab-at-a-time.
+    fn append_block(&mut self, kind: &'static str, kind_id: u32, events: &[(u64, u64, u64)]) {
+        let mut rest = events;
+        while !rest.is_empty() {
+            let space = self.tail_limit.saturating_sub(self.tail.len());
+            if space == 0 {
+                if self.len() < self.capacity {
+                    self.rotate();
+                    continue;
+                }
+                // Nothing more fits: everything left is dropped, in bulk.
+                self.dropped += rest.len() as u64;
+                *self.dropped_by_kind.entry(kind).or_insert(0) += rest.len() as u64;
+                return;
+            }
+            let take = space.min(rest.len());
+            let (now, later) = rest.split_at(take);
+            self.tail
+                .extend(now.iter().map(|&(sim_ns, key, value)| PackedEvent {
+                    sim_ns,
+                    key,
+                    value,
+                    kind: kind_id,
+                }));
+            rest = later;
+        }
+    }
+
+    fn drop_event(&mut self, kind: &'static str) {
+        self.dropped += 1;
+        *self.dropped_by_kind.entry(kind).or_insert(0) += 1;
+    }
+
+    fn iter(&self) -> impl Iterator<Item = TraceEvent> + '_ {
+        self.full
+            .iter()
+            .flatten()
+            .chain(self.tail.iter())
+            .map(move |ev| TraceEvent {
+                sim_ns: ev.sim_ns,
+                kind: self.kind_str(ev.kind),
+                key: ev.key,
+                value: ev.value,
+            })
+    }
 }
 
 /// Shared handle onto a bounded trace journal; clones share storage.
@@ -76,13 +260,7 @@ impl Journal {
     /// counted as dropped.
     pub fn with_capacity(capacity: usize) -> Self {
         let journal = Journal::default();
-        {
-            let mut inner = journal.0.borrow_mut();
-            inner.capacity = capacity;
-            // Grow lazily from a modest floor; a fault-free run emits far
-            // fewer events than the cap.
-            inner.events.reserve(capacity.min(4096));
-        }
+        journal.0.borrow_mut().capacity = capacity;
         journal
     }
 
@@ -93,24 +271,67 @@ impl Journal {
 
     /// Appends one event, or counts it as dropped once at capacity. Either
     /// way the event is forwarded to the live tap when one is attached.
+    ///
+    /// The hot path is one compare (which also proves the journal bound —
+    /// see `tail_limit`), the intern cache hit, and a 32-byte append into
+    /// the active chunk.
     #[inline]
     pub fn emit(&self, sim_ns: u64, kind: &'static str, key: u64, value: u64) {
-        let event = TraceEvent {
-            sim_ns,
-            kind,
-            key,
-            value,
-        };
         let mut inner = self.0.borrow_mut();
-        if inner.events.len() < inner.capacity {
-            inner.events.push(event);
+        let inner = &mut *inner;
+        let id = inner.intern(kind);
+        if inner.tail.len() < inner.tail_limit {
+            inner.tail.push(PackedEvent {
+                sim_ns,
+                key,
+                value,
+                kind: id,
+            });
         } else {
-            inner.dropped += 1;
-            *inner.dropped_by_kind.entry(kind).or_insert(0) += 1;
+            inner.store_slow(kind, sim_ns, key, value, id);
         }
         if let Some(tap) = inner.tap.as_ref() {
-            tap.publish(BusEvent::Trace(event));
+            tap.publish(BusEvent::Trace(TraceEvent {
+                sim_ns,
+                kind,
+                key,
+                value,
+            }));
         }
+    }
+
+    /// A buffered single-kind append handle — the hot-path fast lane. See
+    /// [`JournalWriter`] for the ordering contract.
+    pub fn writer(&self, kind: &'static str) -> JournalWriter {
+        let kind_id = self.0.borrow_mut().intern(kind);
+        JournalWriter {
+            journal: self.clone(),
+            kind,
+            kind_id,
+            buf: Vec::with_capacity(JournalWriter::BUFFER),
+        }
+    }
+
+    /// Empties the stored events and drop accounting, retaining chunk
+    /// allocations (parked on the spare list for reuse) and the kind table
+    /// (so ids held by outstanding [`JournalWriter`]s stay valid). The tap,
+    /// if any, stays attached.
+    pub fn clear(&self) {
+        let mut inner = self.0.borrow_mut();
+        let inner = &mut *inner;
+        for mut chunk in inner.full.drain(..) {
+            chunk.clear();
+            inner.spare.push(chunk);
+        }
+        inner.full_len = 0;
+        let mut tail = std::mem::take(&mut inner.tail);
+        if tail.capacity() > 0 {
+            tail.clear();
+            inner.spare.push(tail);
+        }
+        inner.tail_limit = 0;
+        inner.dropped = 0;
+        inner.dropped_by_kind.clear();
     }
 
     /// Attaches a live tap: every subsequent emit is also published to
@@ -127,12 +348,12 @@ impl Journal {
 
     /// Number of stored events.
     pub fn len(&self) -> usize {
-        self.0.borrow().events.len()
+        self.0.borrow().len()
     }
 
     /// Whether nothing has been stored.
     pub fn is_empty(&self) -> bool {
-        self.0.borrow().events.is_empty()
+        self.0.borrow().len() == 0
     }
 
     /// Events emitted past capacity and therefore not stored.
@@ -147,34 +368,44 @@ impl Journal {
 
     /// Copies out the stored events in emit order.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.0.borrow().events.clone()
+        self.0.borrow().iter().collect()
     }
 
     /// Per-kind stored counts, kind-sorted — a cheap summary for smoke
     /// checks and reports.
     pub fn counts_by_kind(&self) -> Vec<(&'static str, u64)> {
         let inner = self.0.borrow();
-        let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
-        for ev in &inner.events {
-            *counts.entry(ev.kind).or_insert(0) += 1;
+        let mut counts = vec![0u64; inner.kinds.len()];
+        for ev in inner.full.iter().flatten().chain(inner.tail.iter()) {
+            if let Some(c) = counts.get_mut(ev.kind as usize) {
+                *c += 1;
+            }
         }
-        counts.into_iter().collect()
+        let mut out: Vec<(&'static str, u64)> = inner
+            .kinds
+            .iter()
+            .zip(counts)
+            .filter(|&(_, c)| c > 0)
+            .map(|(&k, c)| (k, c))
+            .collect();
+        out.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        out
     }
 
     /// JSON-lines export: a schema header object, then one object per event
     /// in emit order.
     pub fn export_jsonl(&self) -> String {
         let inner = self.0.borrow();
-        let mut out = String::with_capacity(64 + inner.events.len() * 72);
+        let mut out = String::with_capacity(64 + inner.len() * 72);
         let _ = writeln!(
             out,
             "{{\"schema\":{},\"events\":{},\"dropped\":{},\"capacity\":{}}}",
             escape(JOURNAL_SCHEMA),
-            inner.events.len(),
+            inner.len(),
             inner.dropped,
             inner.capacity
         );
-        for ev in &inner.events {
+        for ev in inner.iter() {
             let _ = writeln!(
                 out,
                 "{{\"sim_ns\":{},\"kind\":{},\"key\":{},\"value\":{}}}",
@@ -198,13 +429,13 @@ impl Journal {
         let inner = self.0.borrow();
         // Stable thread ids: first-seen order of subsystem prefixes.
         let mut tids: Vec<&str> = Vec::new();
-        for ev in &inner.events {
+        for ev in inner.iter() {
             let prefix = subsystem(ev.kind);
             if !tids.contains(&prefix) {
                 tids.push(prefix);
             }
         }
-        let mut out = String::with_capacity(128 + inner.events.len() * 120);
+        let mut out = String::with_capacity(128 + inner.len() * 120);
         out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
         let _ = write!(
             out,
@@ -220,7 +451,7 @@ impl Journal {
                 escape(prefix)
             );
         }
-        for ev in &inner.events {
+        for ev in inner.iter() {
             let prefix = subsystem(ev.kind);
             let tid = tids.iter().position(|p| *p == prefix).unwrap_or(0);
             let us = ev.sim_ns / 1_000;
@@ -252,6 +483,92 @@ impl Journal {
         }
         out.push_str("\n]}\n");
         out
+    }
+}
+
+/// A buffered append handle for one `(journal, kind)` pair.
+///
+/// `emit` pushes a 24-byte encoded event into a local buffer — no `RefCell`
+/// borrow, no intern lookup — and a full buffer (or an explicit
+/// [`JournalWriter::flush`], or drop) appends the block into the journal
+/// under a single borrow with exactly the capacity and drop accounting the
+/// unbuffered [`Journal::emit`] would have applied, tap forwarding included.
+///
+/// ## Ordering contract
+///
+/// Buffered events reach the stored journal (and the tap) at flush time, so
+/// a writer is only order-preserving while no other producer emits to the
+/// same journal between the writer's first buffered event and its flush.
+/// Use one where a single producer owns the journal for a window — e.g. a
+/// replay loop — and flush before handing the journal back. Stored bytes,
+/// drop counts and exports are then identical to per-event emits.
+#[derive(Debug)]
+pub struct JournalWriter {
+    journal: Journal,
+    kind: &'static str,
+    kind_id: u32,
+    buf: Vec<(u64, u64, u64)>, // (sim_ns, key, value)
+}
+
+impl JournalWriter {
+    /// Events buffered before an automatic flush.
+    const BUFFER: usize = 1024;
+
+    /// Buffers one event, flushing the block if the buffer is full.
+    #[inline]
+    pub fn emit(&mut self, sim_ns: u64, key: u64, value: u64) {
+        self.buf.push((sim_ns, key, value));
+        if self.buf.len() >= Self::BUFFER {
+            self.flush();
+        }
+    }
+
+    /// Number of events currently buffered (not yet in the journal).
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Appends every buffered event into the journal, in emit order. With no
+    /// tap attached the block is copied into storage chunk-slab at a time —
+    /// a bulk `extend` per chunk rather than a per-event admission check;
+    /// with a tap, events go one at a time so each is forwarded in order.
+    pub fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let mut inner = self.journal.0.borrow_mut();
+        let inner = &mut *inner;
+        if inner.tap.is_none() {
+            inner.append_block(self.kind, self.kind_id, &self.buf);
+        } else {
+            for &(sim_ns, key, value) in &self.buf {
+                if inner.tail.len() < inner.tail_limit {
+                    inner.tail.push(PackedEvent {
+                        sim_ns,
+                        key,
+                        value,
+                        kind: self.kind_id,
+                    });
+                } else {
+                    inner.store_slow(self.kind, sim_ns, key, value, self.kind_id);
+                }
+                if let Some(tap) = inner.tap.as_ref() {
+                    tap.publish(BusEvent::Trace(TraceEvent {
+                        sim_ns,
+                        kind: self.kind,
+                        key,
+                        value,
+                    }));
+                }
+            }
+        }
+        self.buf.clear();
+    }
+}
+
+impl Drop for JournalWriter {
+    fn drop(&mut self) {
+        self.flush();
     }
 }
 
@@ -379,5 +696,81 @@ mod tests {
             (j.export_jsonl(), j.export_chrome_trace())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn storage_spills_across_chunks_in_order() {
+        let n = (FIRST_CHUNK + CHUNK + 7) as u64;
+        let j = Journal::with_capacity(n as usize + 10);
+        for i in 0..n {
+            j.emit(i, "a.x", i, 0);
+        }
+        assert_eq!(j.len(), n as usize);
+        let events = j.events();
+        assert!(events.iter().enumerate().all(|(i, e)| e.sim_ns == i as u64));
+    }
+
+    #[test]
+    fn clear_resets_contents_but_reuses_storage() {
+        let j = Journal::with_capacity(4);
+        for i in 0..6 {
+            j.emit(i, "a.x", i, 0);
+        }
+        assert_eq!((j.len(), j.dropped()), (4, 2));
+        j.clear();
+        assert!(j.is_empty());
+        assert_eq!(j.dropped(), 0);
+        assert_eq!(j.counts_by_kind(), vec![]);
+        j.emit(9, "b.y", 1, 2);
+        assert_eq!(
+            j.events(),
+            vec![TraceEvent {
+                sim_ns: 9,
+                kind: "b.y",
+                key: 1,
+                value: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn writer_matches_unbuffered_emits_exactly() {
+        let direct = Journal::with_capacity(5);
+        let buffered = Journal::with_capacity(5);
+        let bus = BroadcastBus::new();
+        let sub = bus.subscribe(16);
+        buffered.set_tap(bus);
+        {
+            let mut w = buffered.writer("a.x");
+            for i in 0..8u64 {
+                direct.emit(i, "a.x", i, i * 2);
+                w.emit(i, i, i * 2);
+            }
+            // Writer flushes on drop.
+        }
+        assert_eq!(buffered.export_jsonl(), direct.export_jsonl());
+        assert_eq!(buffered.export_chrome_trace(), direct.export_chrome_trace());
+        assert_eq!(buffered.dropped(), direct.dropped());
+        // The tap saw all eight, storage-dropped ones included, in order.
+        let mut seen = Vec::new();
+        while let Some(BusEvent::Trace(ev)) = sub.try_recv() {
+            seen.push(ev.sim_ns);
+        }
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn writer_autoflushes_at_buffer_boundary() {
+        let j = Journal::new();
+        let mut w = j.writer("a.x");
+        for i in 0..(JournalWriter::BUFFER as u64) {
+            w.emit(i, 0, 0);
+        }
+        assert_eq!(j.len(), JournalWriter::BUFFER, "full buffer must flush");
+        assert_eq!(w.pending(), 0);
+        w.emit(99, 0, 0);
+        assert_eq!(w.pending(), 1);
+        w.flush();
+        assert_eq!(j.len(), JournalWriter::BUFFER + 1);
     }
 }

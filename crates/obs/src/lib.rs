@@ -45,7 +45,7 @@ pub mod timeseries;
 
 pub use bus::{BroadcastBus, BusEvent, BusStats, BusSubscriber};
 pub use histogram::LogHistogram;
-pub use journal::{Journal, TraceEvent, JOURNAL_SCHEMA};
+pub use journal::{Journal, JournalWriter, TraceEvent, JOURNAL_SCHEMA};
 pub use json::Json;
 pub use progress::ProgressReporter;
 pub use registry::{Counter, Gauge, Histogram, MetricsRegistry, METRICS_SCHEMA};

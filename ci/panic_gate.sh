@@ -6,12 +6,13 @@
 #
 # Scope: crates/net/src and crates/router/src (the net glob also covers
 # the columnar batch module, crates/net/src/batch.rs), plus the fleet
-# engine and the aggregate experiment in crates/core (degenerate fleet
-# configs and shard failures must surface as typed FleetError values), the
-# journal hot path in crates/obs, and the columnar ingest pipeline in
-# crates/core — excluding `#[cfg(test)]` modules (tests may unwrap
-# freely). Binaries (crates/bench) are exempt — a CLI aborting with a
-# message is fine; a library unwinding is not.
+# engine, its checkpoint codec, and the csprov-state/1 container layer
+# (state files are foreign bytes: corruption must surface as typed
+# StateError/CheckpointError values, shard failures as FleetError), the
+# aggregate experiment, the journal hot path in crates/obs, and the
+# columnar ingest pipeline in crates/core — excluding `#[cfg(test)]`
+# modules (tests may unwrap freely). Binaries (crates/bench) are exempt —
+# a CLI aborting with a message is fine; a library unwinding is not.
 #
 # Exits non-zero listing each offending line.
 
@@ -23,7 +24,9 @@ PATTERN='\.unwrap\(\)|\.expect\(|panic!|unreachable!|todo!|unimplemented!'
 status=0
 
 for f in crates/net/src/*.rs crates/router/src/*.rs \
-    crates/core/src/fleet.rs crates/core/src/experiments/aggregate.rs \
+    crates/core/src/fleet/mod.rs crates/core/src/fleet/persist.rs \
+    crates/analysis/src/persist.rs \
+    crates/core/src/experiments/aggregate.rs \
     crates/core/src/pipeline.rs crates/obs/src/journal.rs; do
     # Strip everything from the first `#[cfg(test)]` onward: by repo
     # convention the test module is the final item in each file.

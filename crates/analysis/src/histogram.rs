@@ -10,9 +10,9 @@ use csprov_net::{Direction, PacketBatch, TraceRecord, TraceSink};
 /// Packet-size histogram at 1-byte resolution, split by direction.
 #[derive(Debug, Clone)]
 pub struct SizeHistogram {
-    max_size: usize,
-    counts: [Vec<u64>; 2], // [inbound, outbound]
-    overflow: [u64; 2],
+    pub(crate) max_size: usize,
+    pub(crate) counts: [Vec<u64>; 2], // [inbound, outbound]
+    pub(crate) overflow: [u64; 2],
 }
 
 impl SizeHistogram {

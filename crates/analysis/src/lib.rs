@@ -29,6 +29,7 @@ pub mod flows;
 pub mod histogram;
 pub mod hurst;
 pub mod merge;
+pub mod persist;
 pub mod plot;
 pub mod report;
 pub mod series;
@@ -42,6 +43,7 @@ pub use flows::{FlowStats, FlowTable};
 pub use histogram::{Histogram, SizeHistogram};
 pub use hurst::{rs_hurst, rs_statistic, VarianceTime, VtPoint};
 pub use merge::MergeError;
+pub use persist::{ByteReader, ByteWriter, StateError, KIND_FACILITY, KIND_SHARD, STATE_SCHEMA};
 pub use series::{GaugeSeries, RateBin, RateSeries};
 pub use sessions::{summarize_sessions, SessionRecord, SessionSummary};
 pub use summary::{application_usage, gib, network_usage, ApplicationUsage, NetworkUsage};

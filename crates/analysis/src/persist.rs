@@ -1,0 +1,879 @@
+//! The `csprov-state/1` binary on-disk format.
+//!
+//! Fleet checkpoints and merged facility states are persisted in a
+//! versioned, checksummed, zero-dependency container so that a crashed
+//! campaign can resume from disk and independent processes can exchange
+//! shard states. The layout (see DESIGN §10):
+//!
+//! ```text
+//! header   magic "CSPS" (4) | version u16 LE | kind u8 | reserved u8 (=0)
+//! section  tag u32 LE | len u64 LE | payload[len] | crc32 u32 LE
+//! ...      (sections back to back until end of file)
+//! ```
+//!
+//! The CRC-32 (IEEE polynomial, the pcap/zlib one) covers `tag || len ||
+//! payload`, so a bit flip anywhere in a section body or its framing is
+//! caught; flips in the 8 header bytes are caught by the magic / version /
+//! kind / reserved checks. Multi-byte integers are little-endian; floats
+//! travel as IEEE-754 bit patterns ([`f64::to_bits`]) so accumulator state
+//! round-trips bit-for-bit.
+//!
+//! Decoding foreign bytes follows the same contract as the pcap reader:
+//! every failure is a typed [`StateError`], never a panic, and declared
+//! lengths are validated against the bytes actually present *before* any
+//! allocation, so a corrupted length field cannot make the decoder
+//! overallocate.
+
+use crate::histogram::SizeHistogram;
+use crate::series::{RateBin, RateSeries};
+use crate::welford::Welford;
+use csprov_net::{CountingSink, Direction};
+use csprov_sim::{SimDuration, SimTime};
+use std::error::Error;
+use std::fmt;
+
+/// Schema identifier for the container format.
+pub const STATE_SCHEMA: &str = "csprov-state/1";
+/// File magic: the first four bytes of every state file.
+pub const STATE_MAGIC: [u8; 4] = *b"CSPS";
+/// Container format version understood by this build.
+pub const STATE_VERSION: u16 = 1;
+
+/// Container kind byte: a single shard's reduced state.
+pub const KIND_SHARD: u8 = 1;
+/// Container kind byte: a merged facility aggregate.
+pub const KIND_FACILITY: u8 = 2;
+
+/// Why a state buffer cannot be decoded.
+///
+/// Decoders return these for any malformed input — truncated, bit-flipped,
+/// version-bumped, or arbitrary bytes — and never panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateError {
+    /// The buffer does not start with the `CSPS` magic.
+    BadMagic,
+    /// The container version is not one this build understands.
+    VersionMismatch {
+        /// Version found in the header.
+        found: u16,
+        /// Version this build supports.
+        supported: u16,
+    },
+    /// The header kind byte is not a known container kind.
+    BadKind {
+        /// Kind byte found in the header.
+        found: u8,
+    },
+    /// Decoding expected a different container kind (e.g. a facility file
+    /// passed where a shard checkpoint was required).
+    WrongKind {
+        /// Kind the decoder required.
+        expected: u8,
+        /// Kind the header carried.
+        found: u8,
+    },
+    /// A section checksum does not match its contents.
+    ChecksumMismatch {
+        /// Tag of the failing section.
+        section: u32,
+    },
+    /// The buffer ended before a declared field or section was complete.
+    Truncated,
+    /// Decoding consumed the container but bytes remain.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        extra: u64,
+    },
+    /// A declared length exceeds the bytes actually present; checked
+    /// before allocation so hostile lengths cannot trigger huge reserves.
+    Oversized {
+        /// Bytes the length field claims.
+        declared: u64,
+        /// Bytes actually available.
+        available: u64,
+    },
+    /// A field holds a value outside its domain (bad enum tag, nonzero
+    /// reserved byte, unexpected section tag, shape inconsistency).
+    BadField(&'static str),
+    /// The encoded analyzer was still mid-trace; only finished states
+    /// (with `on_end` delivered) are persistable.
+    Unfinished,
+}
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateError::BadMagic => write!(f, "not a csprov-state file (bad magic)"),
+            StateError::VersionMismatch { found, supported } => {
+                write!(
+                    f,
+                    "state format version {found} (this build reads {supported})"
+                )
+            }
+            StateError::BadKind { found } => write!(f, "unknown container kind {found}"),
+            StateError::WrongKind { expected, found } => {
+                write!(
+                    f,
+                    "container kind {found} where kind {expected} was required"
+                )
+            }
+            StateError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in section {section}")
+            }
+            StateError::Truncated => write!(f, "truncated state data"),
+            StateError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after container")
+            }
+            StateError::Oversized {
+                declared,
+                available,
+            } => {
+                write!(
+                    f,
+                    "declared length {declared} exceeds {available} available bytes"
+                )
+            }
+            StateError::BadField(what) => write!(f, "invalid field: {what}"),
+            StateError::Unfinished => write!(f, "cannot persist an unfinished analyzer"),
+        }
+    }
+}
+
+impl Error for StateError {}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3 / zlib polynomial, reflected), table built at compile
+// time so the hot path is one lookup per byte.
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+const CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of a byte slice, as used for section checksums.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+
+/// Append-only little-endian byte buffer with section framing.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a writer with the `csprov-state/1` container header for
+    /// `kind` already written.
+    pub fn container(kind: u8) -> Self {
+        let mut w = Self::new();
+        w.buf.extend_from_slice(&STATE_MAGIC);
+        w.put_u16(STATE_VERSION);
+        w.put_u8(kind);
+        w.put_u8(0); // reserved
+        w
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern (exact round-trip).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Appends raw bytes.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a framed, checksummed section: the closure writes the
+    /// payload into a scratch writer, then `tag | len | payload | crc` is
+    /// appended with the CRC covering `tag || len || payload`.
+    pub fn section<F: FnOnce(&mut ByteWriter)>(&mut self, tag: u32, f: F) {
+        let mut payload = ByteWriter::new();
+        f(&mut payload);
+        let mut framed = ByteWriter::new();
+        framed.put_u32(tag);
+        framed.put_u64(payload.buf.len() as u64);
+        framed.put_bytes(&payload.buf);
+        let crc = crc32(&framed.buf);
+        self.put_bytes(&framed.buf);
+        self.put_u32(crc);
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+
+/// Bounds-checked little-endian cursor over foreign bytes.
+///
+/// Every read returns [`StateError::Truncated`] past the end; no read
+/// allocates based on unvalidated lengths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader over a raw byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Validates the `csprov-state/1` container header and returns the
+    /// kind byte plus a reader positioned at the first section.
+    pub fn container(bytes: &'a [u8]) -> Result<(u8, ByteReader<'a>), StateError> {
+        let mut r = ByteReader::new(bytes);
+        let magic = r.take(4)?;
+        if magic != STATE_MAGIC {
+            return Err(StateError::BadMagic);
+        }
+        let version = r.get_u16()?;
+        if version != STATE_VERSION {
+            return Err(StateError::VersionMismatch {
+                found: version,
+                supported: STATE_VERSION,
+            });
+        }
+        let kind = r.get_u8()?;
+        if kind != KIND_SHARD && kind != KIND_FACILITY {
+            return Err(StateError::BadKind { found: kind });
+        }
+        let reserved = r.get_u8()?;
+        if reserved != 0 {
+            return Err(StateError::BadField("reserved header byte"));
+        }
+        Ok((kind, r))
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StateError> {
+        let end = self.pos.checked_add(n).ok_or(StateError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(StateError::Truncated);
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, StateError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, StateError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, StateError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, StateError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    pub fn get_f64(&mut self) -> Result<f64, StateError> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a `u64` element count and validates `count * elem_size`
+    /// against the remaining bytes *before* the caller allocates.
+    pub fn get_count(&mut self, elem_size: u64) -> Result<usize, StateError> {
+        let count = self.get_u64()?;
+        let available = self.remaining() as u64;
+        let needed = count.checked_mul(elem_size).ok_or(StateError::Oversized {
+            declared: u64::MAX,
+            available,
+        })?;
+        if needed > available {
+            return Err(StateError::Oversized {
+                declared: needed,
+                available,
+            });
+        }
+        usize::try_from(count).map_err(|_| StateError::Oversized {
+            declared: count,
+            available,
+        })
+    }
+
+    /// Reads the next section, verifying its tag and checksum, and returns
+    /// a reader over the payload only.
+    pub fn section(&mut self, expect_tag: u32) -> Result<ByteReader<'a>, StateError> {
+        let frame_start = self.pos;
+        let tag = self.get_u32()?;
+        if tag != expect_tag {
+            return Err(StateError::BadField("unexpected section tag"));
+        }
+        let len = self.get_u64()?;
+        let available = self.remaining() as u64;
+        // The CRC trailer needs 4 more bytes beyond the payload.
+        if len.checked_add(4).map_or(true, |need| need > available) {
+            return Err(StateError::Oversized {
+                declared: len,
+                available: available.saturating_sub(4),
+            });
+        }
+        let payload = self.take(len as usize)?;
+        let framed = &self.buf[frame_start..self.pos];
+        let crc = self.get_u32()?;
+        if crc32(framed) != crc {
+            return Err(StateError::ChecksumMismatch { section: tag });
+        }
+        Ok(ByteReader::new(payload))
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Succeeds only if every byte was consumed.
+    pub fn finish(&self) -> Result<(), StateError> {
+        if self.remaining() != 0 {
+            return Err(StateError::TrailingBytes {
+                extra: self.remaining() as u64,
+            });
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Analyzer codecs. These write raw (unframed) payload bytes; callers wrap
+// them in sections.
+
+/// Encodes a [`Welford`] accumulator (40 bytes, bit-exact).
+pub fn put_welford(w: &mut ByteWriter, s: &Welford) {
+    w.put_u64(s.n);
+    w.put_f64(s.mean);
+    w.put_f64(s.m2);
+    w.put_f64(s.min);
+    w.put_f64(s.max);
+}
+
+/// Decodes a [`Welford`] accumulator.
+pub fn get_welford(r: &mut ByteReader<'_>) -> Result<Welford, StateError> {
+    Ok(Welford {
+        n: r.get_u64()?,
+        mean: r.get_f64()?,
+        m2: r.get_f64()?,
+        min: r.get_f64()?,
+        max: r.get_f64()?,
+    })
+}
+
+fn direction_code(d: Option<Direction>) -> u8 {
+    match d {
+        None => 0,
+        Some(Direction::Inbound) => 1,
+        Some(Direction::Outbound) => 2,
+    }
+}
+
+fn direction_from(code: u8) -> Result<Option<Direction>, StateError> {
+    match code {
+        0 => Ok(None),
+        1 => Ok(Some(Direction::Inbound)),
+        2 => Ok(Some(Direction::Outbound)),
+        _ => Err(StateError::BadField("direction filter code")),
+    }
+}
+
+/// Encodes a finished [`RateSeries`]. Returns [`StateError::Unfinished`]
+/// if the series is mid-trace (`on_end` not delivered or a bin still
+/// open), without writing anything.
+pub fn put_rate_series(w: &mut ByteWriter, s: &RateSeries) -> Result<(), StateError> {
+    let end = match (s.end, s.current.is_some()) {
+        (Some(end), false) => end,
+        _ => return Err(StateError::Unfinished),
+    };
+    w.put_u64(s.width.as_nanos());
+    w.put_u8(direction_code(s.filter));
+    w.put_u64(s.skip);
+    match s.limit {
+        None => w.put_u8(0),
+        Some(l) => {
+            w.put_u8(1);
+            w.put_u64(l as u64);
+        }
+    }
+    w.put_u64(s.emitted);
+    w.put_u64(end.as_nanos());
+    put_welford(w, &s.stats);
+    w.put_u64(s.bins.len() as u64);
+    for bin in &s.bins {
+        w.put_u64(bin.packets);
+        w.put_u64(bin.wire_bytes);
+    }
+    Ok(())
+}
+
+/// Decodes a finished [`RateSeries`].
+pub fn get_rate_series(r: &mut ByteReader<'_>) -> Result<RateSeries, StateError> {
+    let width_ns = r.get_u64()?;
+    if width_ns == 0 {
+        return Err(StateError::BadField("zero bin width"));
+    }
+    let filter = direction_from(r.get_u8()?)?;
+    let skip = r.get_u64()?;
+    let limit = match r.get_u8()? {
+        0 => None,
+        1 => {
+            let l = r.get_u64()?;
+            Some(usize::try_from(l).map_err(|_| StateError::BadField("stored-bin limit"))?)
+        }
+        _ => return Err(StateError::BadField("limit flag")),
+    };
+    let emitted = r.get_u64()?;
+    let end = SimTime::from_nanos(r.get_u64()?);
+    let stats = get_welford(r)?;
+    let n = r.get_count(16)?;
+    let mut bins = Vec::with_capacity(n);
+    for _ in 0..n {
+        bins.push(RateBin {
+            packets: r.get_u64()?,
+            wire_bytes: r.get_u64()?,
+        });
+    }
+    Ok(RateSeries {
+        width: SimDuration::from_nanos(width_ns),
+        filter,
+        skip,
+        limit,
+        bins,
+        emitted,
+        stats,
+        current: None,
+        end: Some(end),
+    })
+}
+
+/// Encodes a [`SizeHistogram`].
+pub fn put_size_histogram(w: &mut ByteWriter, h: &SizeHistogram) {
+    w.put_u64(h.max_size as u64);
+    w.put_u64(h.overflow[0]);
+    w.put_u64(h.overflow[1]);
+    for dir in 0..2 {
+        for &c in &h.counts[dir] {
+            w.put_u64(c);
+        }
+    }
+}
+
+/// Decodes a [`SizeHistogram`]; the declared size range is validated
+/// against the bytes present before the count vectors are allocated.
+pub fn get_size_histogram(r: &mut ByteReader<'_>) -> Result<SizeHistogram, StateError> {
+    let max_size = r.get_u64()?;
+    let overflow = [r.get_u64()?, r.get_u64()?];
+    // Both direction vectors hold max_size + 1 u64s each.
+    let available = r.remaining() as u64;
+    let per_dir = max_size
+        .checked_add(1)
+        .and_then(|n| n.checked_mul(8))
+        .ok_or(StateError::Oversized {
+            declared: u64::MAX,
+            available,
+        })?;
+    let needed = per_dir.checked_mul(2).ok_or(StateError::Oversized {
+        declared: u64::MAX,
+        available,
+    })?;
+    if needed > available {
+        return Err(StateError::Oversized {
+            declared: needed,
+            available,
+        });
+    }
+    let max_size =
+        usize::try_from(max_size).map_err(|_| StateError::BadField("histogram size range"))?;
+    let mut counts = [
+        Vec::with_capacity(max_size + 1),
+        Vec::with_capacity(max_size + 1),
+    ];
+    for dir in counts.iter_mut() {
+        for _ in 0..=max_size {
+            dir.push(r.get_u64()?);
+        }
+    }
+    Ok(SizeHistogram {
+        max_size,
+        counts,
+        overflow,
+    })
+}
+
+/// Encodes a [`CountingSink`]. Returns [`StateError::Unfinished`] if the
+/// sink never saw `on_end`.
+pub fn put_counting_sink(w: &mut ByteWriter, c: &CountingSink) -> Result<(), StateError> {
+    let end = c.end.ok_or(StateError::Unfinished)?;
+    for dir in 0..2 {
+        w.put_u64(c.packets[dir]);
+        w.put_u64(c.app_bytes[dir]);
+        w.put_u64(c.wire_bytes[dir]);
+    }
+    w.put_u64(end.as_nanos());
+    Ok(())
+}
+
+/// Decodes a [`CountingSink`].
+pub fn get_counting_sink(r: &mut ByteReader<'_>) -> Result<CountingSink, StateError> {
+    let mut c = CountingSink::new();
+    for dir in 0..2 {
+        c.packets[dir] = r.get_u64()?;
+        c.app_bytes[dir] = r.get_u64()?;
+        c.wire_bytes[dir] = r.get_u64()?;
+    }
+    c.end = Some(SimTime::from_nanos(r.get_u64()?));
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csprov_net::{PacketKind, TraceRecord, TraceSink};
+
+    fn rec(ms: u64, dir: Direction, len: u32) -> TraceRecord {
+        TraceRecord {
+            time: SimTime::from_millis(ms),
+            direction: dir,
+            kind: PacketKind::ClientCommand,
+            session: 0,
+            app_len: len,
+        }
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // The zlib/IEEE check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn primitive_round_trips() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u16(0xBEEF);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_f64(-0.0);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u16().unwrap(), 0xBEEF);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.finish().is_ok());
+        assert_eq!(r.get_u8(), Err(StateError::Truncated));
+    }
+
+    #[test]
+    fn container_header_round_trip() {
+        let w = ByteWriter::container(KIND_SHARD);
+        let bytes = w.into_bytes();
+        let (kind, r) = ByteReader::container(&bytes).unwrap();
+        assert_eq!(kind, KIND_SHARD);
+        assert!(r.finish().is_ok());
+    }
+
+    #[test]
+    fn header_rejections_are_typed() {
+        let good = ByteWriter::container(KIND_FACILITY).into_bytes();
+        assert_eq!(ByteReader::container(&[]), Err(StateError::Truncated));
+        assert_eq!(
+            ByteReader::container(b"NOPE0000"),
+            Err(StateError::BadMagic)
+        );
+        let mut bumped = good.clone();
+        bumped[4] = 9; // version low byte
+        assert_eq!(
+            ByteReader::container(&bumped),
+            Err(StateError::VersionMismatch {
+                found: 9,
+                supported: 1
+            })
+        );
+        let mut badkind = good.clone();
+        badkind[6] = 77;
+        assert_eq!(
+            ByteReader::container(&badkind),
+            Err(StateError::BadKind { found: 77 })
+        );
+        let mut reserved = good;
+        reserved[7] = 1;
+        assert_eq!(
+            ByteReader::container(&reserved),
+            Err(StateError::BadField("reserved header byte"))
+        );
+    }
+
+    #[test]
+    fn section_round_trip_and_checksum() {
+        let mut w = ByteWriter::new();
+        w.section(3, |p| {
+            p.put_u64(42);
+            p.put_u64(43);
+        });
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let mut body = r.section(3).unwrap();
+        assert_eq!(body.get_u64().unwrap(), 42);
+        assert_eq!(body.get_u64().unwrap(), 43);
+        assert!(body.finish().is_ok());
+        assert!(r.finish().is_ok());
+
+        // Any single-bit flip in the framed bytes trips the checksum (or
+        // an earlier structural check).
+        for byte in 0..bytes.len() {
+            for bit in 0..8u8 {
+                let mut evil = bytes.clone();
+                evil[byte] ^= 1 << bit;
+                let mut r = ByteReader::new(&evil);
+                assert!(r.section(3).is_err(), "flip at {byte}:{bit} decoded");
+            }
+        }
+    }
+
+    #[test]
+    fn section_oversized_length_is_checked_before_payload() {
+        let mut w = ByteWriter::new();
+        w.put_u32(1); // tag
+        w.put_u64(u64::MAX); // hostile length
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(
+            r.section(1),
+            Err(StateError::Oversized { declared, .. }) if declared == u64::MAX
+        ));
+    }
+
+    #[test]
+    fn get_count_validates_before_allocation() {
+        let mut w = ByteWriter::new();
+        w.put_u64(1 << 60); // claims 2^60 elements
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.get_count(16), Err(StateError::Oversized { .. })));
+    }
+
+    #[test]
+    fn welford_round_trip_bit_exact() {
+        let mut s = Welford::new();
+        for i in 0..100 {
+            s.push((i as f64).sin() * 1e9);
+        }
+        let mut w = ByteWriter::new();
+        put_welford(&mut w, &s);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = get_welford(&mut r).unwrap();
+        assert_eq!(back.count(), s.count());
+        assert_eq!(back.mean().to_bits(), s.mean().to_bits());
+        assert_eq!(back.variance().to_bits(), s.variance().to_bits());
+        assert_eq!(back.min(), s.min());
+        assert_eq!(back.max(), s.max());
+        // Empty accumulator (infinite min/max sentinels) round-trips too.
+        let mut w = ByteWriter::new();
+        put_welford(&mut w, &Welford::new());
+        let bytes = w.into_bytes();
+        let empty = get_welford(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.min(), None);
+    }
+
+    #[test]
+    fn rate_series_round_trip() {
+        let mut s = RateSeries::with_window(
+            SimDuration::from_millis(10),
+            Some(Direction::Outbound),
+            2,
+            Some(5),
+        );
+        for i in 0..40u64 {
+            s.on_packet(&rec(i * 7, Direction::Outbound, 40));
+            s.on_packet(&rec(i * 7 + 1, Direction::Inbound, 130));
+        }
+        s.on_end(SimTime::from_millis(300));
+        let mut w = ByteWriter::new();
+        put_rate_series(&mut w, &s).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = get_rate_series(&mut r).unwrap();
+        assert!(r.finish().is_ok());
+        assert_eq!(back.bins(), s.bins());
+        assert_eq!(back.width(), s.width());
+        assert_eq!(back.end(), s.end());
+        assert_eq!(back.bin_stats().count(), s.bin_stats().count());
+        assert_eq!(
+            back.bin_stats().mean().to_bits(),
+            s.bin_stats().mean().to_bits()
+        );
+        assert_eq!(
+            back.bin_stats().variance().to_bits(),
+            s.bin_stats().variance().to_bits()
+        );
+    }
+
+    #[test]
+    fn unfinished_series_refuses_to_encode() {
+        let mut s = RateSeries::new(SimDuration::from_millis(10));
+        s.on_packet(&rec(1, Direction::Inbound, 40));
+        let mut w = ByteWriter::new();
+        assert_eq!(put_rate_series(&mut w, &s), Err(StateError::Unfinished));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn size_histogram_round_trip() {
+        let mut h = SizeHistogram::new(300);
+        h.record(Direction::Inbound, 40);
+        h.record(Direction::Outbound, 250);
+        h.record(Direction::Outbound, 1500); // overflow
+        let mut w = ByteWriter::new();
+        put_size_histogram(&mut w, &h);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = get_size_histogram(&mut r).unwrap();
+        assert!(r.finish().is_ok());
+        assert_eq!(back.grand_total(), h.grand_total());
+        assert_eq!(back.overflow(Direction::Outbound), 1);
+        assert_eq!(back.pdf(Direction::Inbound), h.pdf(Direction::Inbound));
+    }
+
+    #[test]
+    fn size_histogram_hostile_range_rejected_before_alloc() {
+        let mut w = ByteWriter::new();
+        w.put_u64(u64::MAX - 1); // max_size claiming ~2^64 buckets
+        w.put_u64(0);
+        w.put_u64(0);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(
+            get_size_histogram(&mut r),
+            Err(StateError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn counting_sink_round_trip() {
+        let mut c = CountingSink::new();
+        c.packets = [10, 20];
+        c.app_bytes = [400, 2600];
+        c.wire_bytes = [980, 3760];
+        c.end = Some(SimTime::from_secs(60));
+        let mut w = ByteWriter::new();
+        put_counting_sink(&mut w, &c).unwrap();
+        let bytes = w.into_bytes();
+        let back = get_counting_sink(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(back.packets, c.packets);
+        assert_eq!(back.app_bytes, c.app_bytes);
+        assert_eq!(back.wire_bytes, c.wire_bytes);
+        assert_eq!(back.end, c.end);
+        assert_eq!(
+            put_counting_sink(&mut ByteWriter::new(), &CountingSink::new()),
+            Err(StateError::Unfinished)
+        );
+    }
+
+    #[test]
+    fn errors_render() {
+        for e in [
+            StateError::BadMagic,
+            StateError::VersionMismatch {
+                found: 2,
+                supported: 1,
+            },
+            StateError::BadKind { found: 3 },
+            StateError::WrongKind {
+                expected: 1,
+                found: 2,
+            },
+            StateError::ChecksumMismatch { section: 4 },
+            StateError::Truncated,
+            StateError::TrailingBytes { extra: 9 },
+            StateError::Oversized {
+                declared: 10,
+                available: 2,
+            },
+            StateError::BadField("x"),
+            StateError::Unfinished,
+        ] {
+            assert!(!e.to_string().is_empty());
+            assert_eq!(e, e.clone());
+        }
+    }
+}

@@ -43,16 +43,16 @@ pub struct RateBin {
 /// ```
 #[derive(Debug, Clone)]
 pub struct RateSeries {
-    width: SimDuration,
-    filter: Option<Direction>,
-    skip: u64,
-    limit: Option<usize>,
-    bins: Vec<RateBin>,
+    pub(crate) width: SimDuration,
+    pub(crate) filter: Option<Direction>,
+    pub(crate) skip: u64,
+    pub(crate) limit: Option<usize>,
+    pub(crate) bins: Vec<RateBin>,
     /// Total bins emitted (stored or not); stored bins are a prefix.
-    emitted: u64,
-    stats: Welford,
-    current: Option<(u64, RateBin)>,
-    end: Option<SimTime>,
+    pub(crate) emitted: u64,
+    pub(crate) stats: Welford,
+    pub(crate) current: Option<(u64, RateBin)>,
+    pub(crate) end: Option<SimTime>,
 }
 
 impl RateSeries {

@@ -7,11 +7,11 @@
 /// Streaming mean/variance/min/max accumulator.
 #[derive(Debug, Clone, Default)]
 pub struct Welford {
-    n: u64,
-    mean: f64,
-    m2: f64,
-    min: f64,
-    max: f64,
+    pub(crate) n: u64,
+    pub(crate) mean: f64,
+    pub(crate) m2: f64,
+    pub(crate) min: f64,
+    pub(crate) max: f64,
 }
 
 impl Welford {

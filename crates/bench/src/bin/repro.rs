@@ -102,6 +102,10 @@ struct Options {
     chaos_seed: Option<u64>,
     fleet: Option<usize>,
     fleet_minutes: u64,
+    fleet_state_dir: Option<String>,
+    fleet_resume: bool,
+    fleet_retries: Option<u32>,
+    fleet_fail: Vec<fleet::FailSpec>,
     serve: Option<String>,
     serve_linger_secs: u64,
     speed: Speed,
@@ -133,6 +137,10 @@ fn parse_args() -> Result<Options, String> {
         chaos_seed: None,
         fleet: None,
         fleet_minutes: 30,
+        fleet_state_dir: None,
+        fleet_resume: false,
+        fleet_retries: None,
+        fleet_fail: Vec::new(),
         serve: None,
         serve_linger_secs: 0,
         speed: Speed::Max,
@@ -227,6 +235,26 @@ fn parse_args() -> Result<Options, String> {
                     return Err("--fleet-minutes must be > 0".into());
                 }
             }
+            "--fleet-state-dir" => {
+                opts.fleet_state_dir =
+                    Some(args.next().ok_or("--fleet-state-dir needs a directory")?)
+            }
+            "--resume" => opts.fleet_resume = true,
+            "--fleet-retries" => {
+                let n: u32 = args
+                    .next()
+                    .ok_or("--fleet-retries needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad fleet retries: {e}"))?;
+                if n == 0 {
+                    return Err("--fleet-retries must be > 0".into());
+                }
+                opts.fleet_retries = Some(n);
+            }
+            "--fleet-fail" => {
+                let spec = args.next().ok_or("--fleet-fail needs SHARD:COUNT,...")?;
+                opts.fleet_fail = parse_fail_plan(&spec)?;
+            }
             "--serve" => {
                 opts.serve = Some(args.next().ok_or("--serve needs an address (host:port)")?)
             }
@@ -287,7 +315,44 @@ fn parse_args() -> Result<Options, String> {
     if opts.serve_linger_secs > 0 && opts.serve.is_none() {
         return Err("--serve-linger requires --serve".into());
     }
+    if opts.fleet.is_none()
+        && (opts.fleet_state_dir.is_some()
+            || opts.fleet_resume
+            || opts.fleet_retries.is_some()
+            || !opts.fleet_fail.is_empty())
+    {
+        return Err(
+            "--fleet-state-dir/--resume/--fleet-retries/--fleet-fail require --fleet".into(),
+        );
+    }
+    if opts.fleet_resume && opts.fleet_state_dir.is_none() {
+        return Err("--resume requires --fleet-state-dir".into());
+    }
     Ok(opts)
+}
+
+/// Parses `--fleet-fail SHARD:COUNT,...` — the deterministic fault plan
+/// used by the crash-resume CI smoke and local resilience testing. A
+/// COUNT of `forever` (or `u32::MAX`) makes the shard fail permanently.
+fn parse_fail_plan(spec: &str) -> Result<Vec<fleet::FailSpec>, String> {
+    let mut plan = Vec::new();
+    for part in spec.split(',') {
+        let (shard, count) = part
+            .split_once(':')
+            .ok_or_else(|| format!("bad --fleet-fail entry '{part}' (want SHARD:COUNT)"))?;
+        let shard: usize = shard
+            .parse()
+            .map_err(|e| format!("bad --fleet-fail shard '{shard}': {e}"))?;
+        let failures: u32 = if count == "forever" {
+            u32::MAX
+        } else {
+            count
+                .parse()
+                .map_err(|e| format!("bad --fleet-fail count '{count}': {e}"))?
+        };
+        plan.push(fleet::FailSpec { shard, failures });
+    }
+    Ok(plan)
 }
 
 fn usage() {
@@ -295,9 +360,12 @@ fn usage() {
         "usage: repro [--seed N] [--hours H] [--full-week] [--csv DIR] [--progress] \
          [--metrics-out FILE] [--metrics-format text|json|prom] [--trace-out FILE] \
          [--series-out DIR] [--series-interval MS] [--chaos PROFILE] [--chaos-seed N] \
-         [--fleet N [--fleet-minutes M]] [--serve ADDR [--serve-linger S]] \
+         [--fleet N [--fleet-minutes M] [--fleet-state-dir DIR] [--resume] \
+         [--fleet-retries N] [--fleet-fail SHARD:COUNT,...]] \
+         [--serve ADDR [--serve-linger S]] \
          [--speed N|max] [--ingest columnar|per-record] <artifact|all|main|nat>..."
     );
+    eprintln!("       repro fleet merge OUT_REPORT STATE_FILE...");
     eprintln!("artifacts: table1..table4, fig1..fig15, ablate-tick, ablate-population,");
     eprintln!("           ablate-nat-capacity, ablate-nat-buffer, route-cache, source-model,");
     eprintln!("           web-vs-game");
@@ -514,7 +582,76 @@ fn write_csv(dir: &str, name: &str, headers: &[&str], cols: &[&[f64]]) {
     }
 }
 
+/// `repro fleet merge OUT_REPORT STATE_FILE...` — the multi-process
+/// provisioning path: folds shard checkpoint files (written by
+/// independent `--fleet-state-dir` runs or machines) through the same
+/// typed merge layer the in-process fleet uses, and writes the rendered
+/// provisioning report. Files stream through one accumulator in shard
+/// order, so merging 10k+ states never holds more than one decoded
+/// state at a time.
+fn fleet_merge_command(args: &[String]) -> ExitCode {
+    if args.len() < 2 {
+        eprintln!("usage: repro fleet merge OUT_REPORT STATE_FILE...");
+        return ExitCode::FAILURE;
+    }
+    let out = &args[0];
+    let paths: Vec<std::path::PathBuf> = args[1..].iter().map(std::path::PathBuf::from).collect();
+    // The report header's run length comes from the first shard's recorded
+    // duration (every shard of one fleet runs the same horizon).
+    let minutes = match std::fs::read(&paths[0]) {
+        Ok(bytes) => match fleet::persist::decode_shard_state(&bytes) {
+            Ok(state) => (state.duration.as_secs() / 60).max(1),
+            Err(e) => {
+                eprintln!("error: {}: {e}", paths[0].display());
+                return ExitCode::FAILURE;
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {}: {e}", paths[0].display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let (facility, shards) = match fleet::persist::merge_state_files(&paths) {
+        Ok(merged) => merged,
+        Err(e) => {
+            eprintln!("error: fleet merge failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = FleetConfig::new("fleet", 0, facility.shards, minutes);
+    let coverage = fleet::FleetCoverage::full(facility.shards);
+    let report = match fleet::ProvisioningReport::build(&config, &facility, &shards, coverage) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: fleet merge report failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = format!(
+        "================ fleet ================\n{}\n{}\n",
+        report.render().render(),
+        report.sizing_line()
+    );
+    if let Err(e) = std::fs::write(out, &text) {
+        eprintln!("error: could not write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "[merge] folded {} state files into {out} ({} packets)",
+        paths.len(),
+        facility.counts.total_packets()
+    );
+    print!("{text}");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
+    {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        if argv.len() >= 2 && argv[0] == "fleet" && argv[1] == "merge" {
+            return fleet_merge_command(&argv[2..]);
+        }
+    }
     let opts = match parse_args() {
         Ok(o) => o,
         Err(e) => {
@@ -885,6 +1022,15 @@ fn main() -> ExitCode {
         let t0 = Instant::now();
         let mut config = FleetConfig::new("fleet", opts.seed, servers, opts.fleet_minutes);
         config.speed = opts.speed;
+        if let Some(attempts) = opts.fleet_retries {
+            config.retry.attempts = attempts;
+        }
+        config.fail_plan = opts.fleet_fail.clone();
+        let persistence = match (&opts.fleet_state_dir, opts.fleet_resume) {
+            (Some(dir), true) => fleet::FleetPersistence::resume_from(dir),
+            (Some(dir), false) => fleet::FleetPersistence::checkpoint_to(dir),
+            (None, _) => fleet::FleetPersistence::none(),
+        };
         let fleet_horizon = SimDuration::from_mins(opts.fleet_minutes).as_nanos();
         if let Some(shared) = &serve_state {
             shared.update_status(|s| {
@@ -899,38 +1045,70 @@ fn main() -> ExitCode {
                 horizon_ns: fleet_horizon,
             });
         }
-        // Shard-completion observer for the serving plane: keep copies of
-        // the finished shards and re-render an interim provisioning report
-        // while the pool is still working. The canonical merge happens over
-        // the pool's own result vector, so none of this affects the answer.
+        // Execution-plane event hook: shard completions feed the serving
+        // plane (interim reports, live status), while recovery events
+        // (retries, losses, checkpoint and resume activity) narrate to
+        // stderr. The canonical merge happens inside the engine, so none
+        // of this affects the answer.
         let partial: Mutex<Vec<ShardState>> = Mutex::new(Vec::new());
-        let on_shard = |state: &ShardState| {
-            let Some(shared) = &serve_state else { return };
-            let mut done = partial.lock().unwrap_or_else(|e| e.into_inner());
-            done.push(state.clone());
-            let n = done.len() as u64;
-            shared.update_status(|s| {
-                s.shards_done = n;
-                s.sim_ns = fleet_horizon * n / servers as u64;
-            });
-            shared.bus().publish(BusEvent::Trace(TraceEvent {
-                sim_ns: fleet_horizon * n / servers as u64,
-                kind: "fleet.shard.done",
-                key: state.shard as u64,
-                value: n,
-            }));
-            if let Ok(report) = fleet::interim_report(&config, &done) {
-                shared.set_report(format!(
-                    "================ fleet (interim, {n}/{servers} shards) ================\n{}\n{}\n",
-                    report.render().render(),
-                    report.sizing_line()
-                ));
+        let on_event = |ev: &fleet::FleetEvent<'_>| match ev {
+            fleet::FleetEvent::ShardDone { state, .. } => {
+                let Some(shared) = &serve_state else { return };
+                let mut done = partial.lock().unwrap_or_else(|e| e.into_inner());
+                done.push((*state).clone());
+                let n = done.len() as u64;
+                shared.update_status(|s| {
+                    s.shards_done = n;
+                    s.sim_ns = fleet_horizon * n / servers as u64;
+                });
+                shared.bus().publish(BusEvent::Trace(TraceEvent {
+                    sim_ns: fleet_horizon * n / servers as u64,
+                    kind: "fleet.shard.done",
+                    key: state.shard as u64,
+                    value: n,
+                }));
+                if let Ok(report) = fleet::interim_report(&config, &done) {
+                    shared.set_report(format!(
+                            "================ fleet (interim, {n}/{servers} shards) ================\n{}\n{}\n",
+                            report.render().render(),
+                            report.sizing_line()
+                        ));
+                }
+            }
+            fleet::FleetEvent::ShardRetry {
+                shard,
+                attempt,
+                backoff_ns,
+                message,
+            } => {
+                eprintln!(
+                    "[fleet] shard {shard} attempt {attempt} failed ({message}); \
+                         retrying after {} ms simulated backoff",
+                    backoff_ns / 1_000_000
+                );
+            }
+            fleet::FleetEvent::ShardLost {
+                shard,
+                attempts,
+                message,
+            } => {
+                eprintln!(
+                    "[fleet] shard {shard} LOST after {attempts} attempts ({message}); \
+                         report degrades to a lower bound"
+                );
+            }
+            fleet::FleetEvent::CheckpointWritten { .. } => {}
+            fleet::FleetEvent::CheckpointFailed { shard, message } => {
+                eprintln!("[fleet] shard {shard} checkpoint write failed: {message}");
+            }
+            fleet::FleetEvent::ResumeLoaded { shard } => {
+                eprintln!("[fleet] shard {shard} restored from checkpoint");
+            }
+            fleet::FleetEvent::ResumeInvalid { message } => {
+                eprintln!("[fleet] ignoring invalid checkpoint: {message}");
             }
         };
-        let observer = serve_state
-            .as_ref()
-            .map(|_| &on_shard as &(dyn Fn(&ShardState) + Sync));
-        match fleet::run_fleet_observed(&config, observer) {
+        match fleet::run_fleet_full(&config, &persistence, Some(&on_event)) {
             Ok(run) => {
                 let secs = t0.elapsed().as_secs_f64();
                 println!("\n================ fleet ================");
@@ -973,6 +1151,22 @@ fn main() -> ExitCode {
                     run.facility.shards,
                     secs
                 );
+                let p = &run.persist;
+                if p.checkpoints_written + p.resumed + p.invalid_checkpoints > 0 {
+                    eprintln!(
+                        "[fleet] persistence: {} checkpoints written, {} shards resumed, \
+                         {} invalid checkpoints recomputed",
+                        p.checkpoints_written, p.resumed, p.invalid_checkpoints
+                    );
+                }
+                let cov = &run.report.coverage;
+                if cov.is_degraded() {
+                    eprintln!(
+                        "[fleet] DEGRADED: {}/{} shards merged; lost {:?}; \
+                         headline numbers are lower bounds",
+                        cov.merged, cov.configured, cov.lost
+                    );
+                }
                 eprintln!("[time] fleet: {secs:.3} s wall");
                 timings.push(phase(
                     "fleet",

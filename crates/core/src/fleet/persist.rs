@@ -1,0 +1,589 @@
+//! Checkpoint files for crash-safe fleet execution.
+//!
+//! Serializes [`ShardState`] and [`FacilityAnalysis`] into the
+//! `csprov-state/1` container (see [`csprov_analysis::persist`]): a
+//! versioned, checksummed, zero-dependency binary format. Every field
+//! travels as a fixed-width little-endian integer or an `f64` bit
+//! pattern inside a length-prefixed, CRC-framed section, so a decode
+//! either reproduces the encoded state bit-exactly or fails with a
+//! typed [`StateError`] — never a panic, never a partial value.
+//!
+//! On-disk protocol: one shard per file, `shard-NNNNN.state`, written
+//! atomically ([`write_checkpoint_atomic`]: write to a dot-prefixed tmp
+//! name in the same directory, `fsync`, `rename`). A crash mid-write
+//! leaves at worst a tmp file the resume scan ignores; a crash between
+//! shards leaves a directory of complete, individually-verifiable
+//! checkpoints.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use csprov_analysis::persist::{
+    get_counting_sink, get_rate_series, get_size_histogram, put_counting_sink, put_rate_series,
+    put_size_histogram,
+};
+use csprov_analysis::{ByteReader, ByteWriter, StateError, KIND_FACILITY, KIND_SHARD};
+use csprov_sim::SimDuration;
+
+use super::{FacilityAnalysis, FleetConfig, FleetError, FleetMerger, ShardState};
+
+/// Section tags inside a `csprov-state/1` container. Shard and facility
+/// containers use the same tag numbering for the shared analyzer payloads.
+const TAG_META: u32 = 1;
+const TAG_COUNTS: u32 = 2;
+const TAG_PER_MINUTE: u32 = 3;
+const TAG_PER_MINUTE_IN: u32 = 4;
+const TAG_PER_MINUTE_OUT: u32 = 5;
+const TAG_SIZES: u32 = 6;
+const TAG_PLAYERS: u32 = 7;
+
+/// Why a checkpoint file could not be used.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure (open, read, write, fsync, rename).
+    Io(std::io::Error),
+    /// The bytes are not a valid `csprov-state/1` shard container.
+    State(StateError),
+    /// The file decoded but does not belong to this fleet configuration.
+    Mismatch(&'static str),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "io: {e}"),
+            CheckpointError::State(e) => write!(f, "state: {e}"),
+            CheckpointError::Mismatch(what) => write!(f, "mismatch: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<StateError> for CheckpointError {
+    fn from(e: StateError) -> Self {
+        CheckpointError::State(e)
+    }
+}
+
+/// Encodes a [`ShardState`] as a `csprov-state/1` shard container.
+pub fn encode_shard_state(s: &ShardState) -> Result<Vec<u8>, StateError> {
+    let mut w = ByteWriter::container(KIND_SHARD);
+    w.section(TAG_META, |w| {
+        w.put_u64(s.shard as u64);
+        w.put_u64(s.seed);
+        w.put_u64(s.duration.as_nanos());
+        w.put_f64(s.mean_players);
+        w.put_u64(s.sessions.0);
+        w.put_u64(s.sessions.1);
+    });
+    let mut counts = ByteWriter::new();
+    put_counting_sink(&mut counts, &s.counts)?;
+    w.section(TAG_COUNTS, |w| w.put_bytes(counts.into_bytes().as_slice()));
+    for (tag, series) in [
+        (TAG_PER_MINUTE, &s.per_minute),
+        (TAG_PER_MINUTE_IN, &s.per_minute_in),
+        (TAG_PER_MINUTE_OUT, &s.per_minute_out),
+    ] {
+        let mut body = ByteWriter::new();
+        put_rate_series(&mut body, series)?;
+        w.section(tag, |w| w.put_bytes(body.into_bytes().as_slice()));
+    }
+    w.section(TAG_SIZES, |w| {
+        let mut body = ByteWriter::new();
+        put_size_histogram(&mut body, &s.sizes);
+        w.put_bytes(body.into_bytes().as_slice());
+    });
+    w.section(TAG_PLAYERS, |w| {
+        w.put_u64(s.players_per_minute.len() as u64);
+        for &p in &s.players_per_minute {
+            w.put_u32(p);
+        }
+    });
+    Ok(w.into_bytes())
+}
+
+/// Decodes a `csprov-state/1` shard container back into a [`ShardState`].
+pub fn decode_shard_state(bytes: &[u8]) -> Result<ShardState, StateError> {
+    let (kind, mut r) = ByteReader::container(bytes)?;
+    if kind != KIND_SHARD {
+        return Err(StateError::WrongKind {
+            expected: KIND_SHARD,
+            found: kind,
+        });
+    }
+    let mut meta = r.section(TAG_META)?;
+    let shard = usize::try_from(meta.get_u64()?).map_err(|_| StateError::BadField("shard"))?;
+    let seed = meta.get_u64()?;
+    let duration = SimDuration::from_nanos(meta.get_u64()?);
+    let mean_players = meta.get_f64()?;
+    let sessions = (meta.get_u64()?, meta.get_u64()?);
+    meta.finish()?;
+
+    let mut counts = r.section(TAG_COUNTS)?;
+    let counts_sink = get_counting_sink(&mut counts)?;
+    counts.finish()?;
+
+    let mut series = Vec::with_capacity(3);
+    for tag in [TAG_PER_MINUTE, TAG_PER_MINUTE_IN, TAG_PER_MINUTE_OUT] {
+        let mut body = r.section(tag)?;
+        series.push(get_rate_series(&mut body)?);
+        body.finish()?;
+    }
+    let per_minute_out = series.pop().ok_or(StateError::Truncated)?;
+    let per_minute_in = series.pop().ok_or(StateError::Truncated)?;
+    let per_minute = series.pop().ok_or(StateError::Truncated)?;
+
+    let mut sizes = r.section(TAG_SIZES)?;
+    let size_hist = get_size_histogram(&mut sizes)?;
+    sizes.finish()?;
+
+    let mut players = r.section(TAG_PLAYERS)?;
+    let n = players.get_count(4)?;
+    let mut players_per_minute = Vec::with_capacity(n);
+    for _ in 0..n {
+        players_per_minute.push(players.get_u32()?);
+    }
+    players.finish()?;
+    r.finish()?;
+
+    Ok(ShardState {
+        shard,
+        seed,
+        duration,
+        counts: counts_sink,
+        per_minute,
+        per_minute_in,
+        per_minute_out,
+        sizes: size_hist,
+        players_per_minute,
+        mean_players,
+        sessions,
+    })
+}
+
+/// Encodes a [`FacilityAnalysis`] as a `csprov-state/1` facility container.
+pub fn encode_facility(a: &FacilityAnalysis) -> Result<Vec<u8>, StateError> {
+    let mut w = ByteWriter::container(KIND_FACILITY);
+    w.section(TAG_META, |w| {
+        w.put_u64(a.shards as u64);
+        w.put_u64(a.dropped_bins);
+        w.put_u64(a.sessions.0);
+        w.put_u64(a.sessions.1);
+    });
+    let mut counts = ByteWriter::new();
+    put_counting_sink(&mut counts, &a.counts)?;
+    w.section(TAG_COUNTS, |w| w.put_bytes(counts.into_bytes().as_slice()));
+    for (tag, series) in [
+        (TAG_PER_MINUTE, &a.per_minute),
+        (TAG_PER_MINUTE_IN, &a.per_minute_in),
+        (TAG_PER_MINUTE_OUT, &a.per_minute_out),
+    ] {
+        let mut body = ByteWriter::new();
+        put_rate_series(&mut body, series)?;
+        w.section(tag, |w| w.put_bytes(body.into_bytes().as_slice()));
+    }
+    w.section(TAG_SIZES, |w| {
+        let mut body = ByteWriter::new();
+        put_size_histogram(&mut body, &a.sizes);
+        w.put_bytes(body.into_bytes().as_slice());
+    });
+    w.section(TAG_PLAYERS, |w| {
+        w.put_u64(a.players_per_minute.len() as u64);
+        for &p in &a.players_per_minute {
+            w.put_u64(p);
+        }
+    });
+    Ok(w.into_bytes())
+}
+
+/// Decodes a `csprov-state/1` facility container.
+pub fn decode_facility(bytes: &[u8]) -> Result<FacilityAnalysis, StateError> {
+    let (kind, mut r) = ByteReader::container(bytes)?;
+    if kind != KIND_FACILITY {
+        return Err(StateError::WrongKind {
+            expected: KIND_FACILITY,
+            found: kind,
+        });
+    }
+    let mut meta = r.section(TAG_META)?;
+    let shards = usize::try_from(meta.get_u64()?).map_err(|_| StateError::BadField("shards"))?;
+    let dropped_bins = meta.get_u64()?;
+    let sessions = (meta.get_u64()?, meta.get_u64()?);
+    meta.finish()?;
+
+    let mut counts = r.section(TAG_COUNTS)?;
+    let counts_sink = get_counting_sink(&mut counts)?;
+    counts.finish()?;
+
+    let mut series = Vec::with_capacity(3);
+    for tag in [TAG_PER_MINUTE, TAG_PER_MINUTE_IN, TAG_PER_MINUTE_OUT] {
+        let mut body = r.section(tag)?;
+        series.push(get_rate_series(&mut body)?);
+        body.finish()?;
+    }
+    let per_minute_out = series.pop().ok_or(StateError::Truncated)?;
+    let per_minute_in = series.pop().ok_or(StateError::Truncated)?;
+    let per_minute = series.pop().ok_or(StateError::Truncated)?;
+
+    let mut sizes = r.section(TAG_SIZES)?;
+    let size_hist = get_size_histogram(&mut sizes)?;
+    sizes.finish()?;
+
+    let mut players = r.section(TAG_PLAYERS)?;
+    let n = players.get_count(8)?;
+    let mut players_per_minute = Vec::with_capacity(n);
+    for _ in 0..n {
+        players_per_minute.push(players.get_u64()?);
+    }
+    players.finish()?;
+    r.finish()?;
+
+    Ok(FacilityAnalysis {
+        shards,
+        counts: counts_sink,
+        per_minute,
+        per_minute_in,
+        per_minute_out,
+        sizes: size_hist,
+        players_per_minute,
+        dropped_bins,
+        sessions,
+    })
+}
+
+/// The canonical checkpoint file name for a shard: `shard-00042.state`.
+/// Five digits keep lexicographic order aligned with shard order for
+/// fleets up to 100k servers.
+pub fn shard_file_name(shard: usize) -> String {
+    format!("shard-{shard:05}.state")
+}
+
+/// Parses a checkpoint file name back to its shard index. Returns `None`
+/// for anything that is not exactly `shard-NNNNN.state` (tmp files, other
+/// droppings) so the resume scan skips them silently.
+fn parse_shard_file_name(name: &str) -> Option<usize> {
+    let digits = name.strip_prefix("shard-")?.strip_suffix(".state")?;
+    if digits.len() != 5 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Writes `state`'s checkpoint into `dir` atomically: encode, write to a
+/// dot-prefixed tmp name in the same directory, `fsync`, then `rename`
+/// over the final name. Readers therefore only ever observe a complete
+/// file or no file; a crash mid-write leaves a tmp file the resume scan
+/// ignores.
+pub fn write_checkpoint_atomic(dir: &Path, state: &ShardState) -> Result<PathBuf, CheckpointError> {
+    let bytes = encode_shard_state(state)?;
+    let final_path = dir.join(shard_file_name(state.shard));
+    let tmp_path = dir.join(format!(".shard-{:05}.state.tmp", state.shard));
+    let mut file = fs::File::create(&tmp_path)?;
+    file.write_all(&bytes)?;
+    file.sync_all()?;
+    drop(file);
+    if let Err(e) = fs::rename(&tmp_path, &final_path) {
+        let _ = fs::remove_file(&tmp_path);
+        return Err(CheckpointError::Io(e));
+    }
+    Ok(final_path)
+}
+
+/// The result of scanning a state directory for resumable checkpoints.
+#[derive(Default)]
+pub struct CheckpointScan {
+    /// Shards with a valid, config-matching checkpoint, in shard order.
+    pub states: BTreeMap<usize, ShardState>,
+    /// Files that looked like checkpoints but failed to decode or did not
+    /// match the fleet configuration. These shards are recomputed.
+    pub rejected: Vec<(PathBuf, CheckpointError)>,
+}
+
+/// Scans `dir` for valid checkpoints belonging to `config`.
+///
+/// Every `shard-NNNNN.state` file with `NNNNN < config.servers` is read
+/// and decoded; a checkpoint is accepted only if its recorded shard index,
+/// derived seed, and duration match what the fleet would compute for that
+/// shard — so a directory from a different fleet (or an edited file) can
+/// never smuggle foreign traffic into the report. Invalid files are
+/// returned in `rejected`, not treated as fatal: the resume recomputes
+/// those shards from the same derived seeds, preserving byte-identity.
+pub fn load_checkpoints(
+    dir: &Path,
+    config: &FleetConfig,
+) -> Result<CheckpointScan, CheckpointError> {
+    let mut scan = CheckpointScan::default();
+    let entries = fs::read_dir(dir)?;
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(shard) = parse_shard_file_name(name) else {
+            continue;
+        };
+        if shard >= config.servers {
+            continue;
+        }
+        let path = entry.path();
+        match read_checkpoint(&path, shard, config) {
+            Ok(state) => {
+                scan.states.insert(shard, state);
+            }
+            Err(err) => scan.rejected.push((path, err)),
+        }
+    }
+    Ok(scan)
+}
+
+/// Reads and validates one checkpoint file against the fleet config.
+fn read_checkpoint(
+    path: &Path,
+    shard: usize,
+    config: &FleetConfig,
+) -> Result<ShardState, CheckpointError> {
+    let bytes = fs::read(path)?;
+    let state = decode_shard_state(&bytes)?;
+    if state.shard != shard {
+        return Err(CheckpointError::Mismatch("shard index"));
+    }
+    if state.seed != config.scenario(shard).seed {
+        return Err(CheckpointError::Mismatch("derived seed"));
+    }
+    if state.duration != SimDuration::from_mins(config.minutes) {
+        return Err(CheckpointError::Mismatch("duration"));
+    }
+    Ok(state)
+}
+
+/// Folds shard checkpoint files into a facility aggregate without holding
+/// more than one decoded state at a time: each file streams through the
+/// [`FleetMerger`] accumulator and is dropped before the next is read.
+/// Because superposition merging is commutative and associative, this
+/// flat left fold is byte-identical to any tree-shaped fold over the same
+/// files, so 10k+ states merge in O(1) decoded-state memory.
+///
+/// Files are folded in shard order regardless of argument order; a
+/// duplicate shard index is an error (merging the same traffic twice
+/// would silently double-count it).
+pub fn merge_state_files(
+    paths: &[PathBuf],
+) -> Result<(FacilityAnalysis, Vec<super::ShardStats>), MergeFilesError> {
+    let mut ordered: BTreeMap<usize, &PathBuf> = BTreeMap::new();
+    for path in paths {
+        let bytes = fs::read(path)
+            .map_err(|e| MergeFilesError::File(path.clone(), CheckpointError::Io(e)))?;
+        let state = decode_shard_state(&bytes)
+            .map_err(|e| MergeFilesError::File(path.clone(), CheckpointError::State(e)))?;
+        if ordered.insert(state.shard, path).is_some() {
+            return Err(MergeFilesError::DuplicateShard(state.shard));
+        }
+    }
+    let mut merger = FleetMerger::new();
+    for (_, path) in ordered {
+        let bytes = fs::read(path)
+            .map_err(|e| MergeFilesError::File(path.clone(), CheckpointError::Io(e)))?;
+        let state = decode_shard_state(&bytes)
+            .map_err(|e| MergeFilesError::File(path.clone(), CheckpointError::State(e)))?;
+        merger.push(&state).map_err(MergeFilesError::Merge)?;
+    }
+    merger.finish().map_err(MergeFilesError::Merge)
+}
+
+/// Why [`merge_state_files`] failed.
+#[derive(Debug)]
+pub enum MergeFilesError {
+    /// A file could not be read or decoded.
+    File(PathBuf, CheckpointError),
+    /// Two files carry the same shard index.
+    DuplicateShard(usize),
+    /// The decoded states could not be merged.
+    Merge(FleetError),
+}
+
+impl std::fmt::Display for MergeFilesError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeFilesError::File(path, e) => write!(f, "{}: {e}", path.display()),
+            MergeFilesError::DuplicateShard(s) => {
+                write!(
+                    f,
+                    "duplicate shard {s}: merging it twice would double-count"
+                )
+            }
+            MergeFilesError::Merge(e) => write!(f, "merge: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MergeFilesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_state(shard: usize) -> ShardState {
+        let config = FleetConfig::new("persist-test", 99, 4, 3);
+        let cfg = config.scenario(shard);
+        let run = crate::pipeline::MainRun::execute(cfg);
+        run.into_fleet_shard(shard)
+    }
+
+    #[test]
+    fn shard_round_trip_is_bit_exact() {
+        let state = sample_state(1);
+        let bytes = encode_shard_state(&state).unwrap();
+        let back = decode_shard_state(&bytes).unwrap();
+        assert_eq!(back.shard, state.shard);
+        assert_eq!(back.seed, state.seed);
+        assert_eq!(back.duration, state.duration);
+        assert_eq!(back.sessions, state.sessions);
+        assert_eq!(back.players_per_minute, state.players_per_minute);
+        assert_eq!(back.mean_players.to_bits(), state.mean_players.to_bits());
+        assert_eq!(back.counts.total_packets(), state.counts.total_packets());
+        assert_eq!(back.per_minute.bins(), state.per_minute.bins());
+        // The strongest check: re-encoding the decoded state reproduces
+        // the original bytes exactly.
+        assert_eq!(encode_shard_state(&back).unwrap(), bytes);
+    }
+
+    #[test]
+    fn facility_round_trip_is_bit_exact() {
+        let states = vec![sample_state(0), sample_state(1)];
+        let facility = FacilityAnalysis::merge(states).unwrap();
+        let bytes = encode_facility(&facility).unwrap();
+        let back = decode_facility(&bytes).unwrap();
+        assert_eq!(encode_facility(&back).unwrap(), bytes);
+        assert_eq!(back.shards, facility.shards);
+        assert_eq!(back.players_per_minute, facility.players_per_minute);
+    }
+
+    #[test]
+    fn wrong_kind_is_typed() {
+        let state = sample_state(0);
+        let bytes = encode_shard_state(&state).unwrap();
+        assert!(matches!(
+            decode_facility(&bytes),
+            Err(StateError::WrongKind { .. })
+        ));
+    }
+
+    #[test]
+    fn file_names_round_trip_and_reject_droppings() {
+        assert_eq!(shard_file_name(42), "shard-00042.state");
+        assert_eq!(parse_shard_file_name("shard-00042.state"), Some(42));
+        assert_eq!(parse_shard_file_name(".shard-00042.state.tmp"), None);
+        assert_eq!(parse_shard_file_name("shard-42.state"), None);
+        assert_eq!(parse_shard_file_name("shard-0004x.state"), None);
+        assert_eq!(parse_shard_file_name("report.txt"), None);
+    }
+
+    #[test]
+    fn atomic_write_then_load_round_trips() {
+        let dir = std::env::temp_dir().join(format!("csprov-persist-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let config = FleetConfig::new("persist-test", 99, 4, 3);
+        let state = sample_state(2);
+        let path = write_checkpoint_atomic(&dir, &state).unwrap();
+        assert_eq!(path.file_name().unwrap(), "shard-00002.state");
+        // A stray tmp file and a foreign file must both be ignored.
+        fs::write(dir.join(".shard-00003.state.tmp"), b"partial").unwrap();
+        fs::write(dir.join("notes.txt"), b"hello").unwrap();
+        let scan = load_checkpoints(&dir, &config).unwrap();
+        assert_eq!(scan.states.len(), 1);
+        assert!(scan.rejected.is_empty());
+        assert_eq!(scan.states[&2].seed, state.seed);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_and_mismatched_checkpoints_are_rejected_not_fatal() {
+        let dir = std::env::temp_dir().join(format!("csprov-persist-bad-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let config = FleetConfig::new("persist-test", 99, 4, 3);
+
+        // Corrupt: flip a byte mid-file.
+        let state = sample_state(0);
+        let mut bytes = encode_shard_state(&state).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(dir.join(shard_file_name(0)), &bytes).unwrap();
+
+        // Mismatched: a valid checkpoint from a different fleet seed.
+        let other = FleetConfig::new("persist-test", 100, 4, 3);
+        let foreign = crate::pipeline::MainRun::execute(other.scenario(1)).into_fleet_shard(1);
+        fs::write(
+            dir.join(shard_file_name(1)),
+            encode_shard_state(&foreign).unwrap(),
+        )
+        .unwrap();
+
+        // Out of range: shard index beyond the fleet is skipped entirely.
+        let high = sample_state(2);
+        fs::write(
+            dir.join(shard_file_name(20000)),
+            encode_shard_state(&high).unwrap(),
+        )
+        .unwrap();
+
+        let scan = load_checkpoints(&dir, &config).unwrap();
+        assert!(scan.states.is_empty());
+        assert_eq!(scan.rejected.len(), 2);
+        assert!(scan
+            .rejected
+            .iter()
+            .any(|(_, e)| matches!(e, CheckpointError::State(_))));
+        assert!(scan
+            .rejected
+            .iter()
+            .any(|(_, e)| matches!(e, CheckpointError::Mismatch("derived seed"))));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merge_state_files_matches_in_memory_merge() {
+        let dir = std::env::temp_dir().join(format!("csprov-persist-merge-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let states: Vec<ShardState> = (0..3).map(sample_state).collect();
+        let mut paths = Vec::new();
+        for s in &states {
+            paths.push(write_checkpoint_atomic(&dir, s).unwrap());
+        }
+        // Feed the files in reverse order; the fold must still be canonical.
+        paths.reverse();
+        let (from_files, stats) = merge_state_files(&paths).unwrap();
+        let in_memory = FacilityAnalysis::merge(states).unwrap();
+        assert_eq!(
+            encode_facility(&from_files).unwrap(),
+            encode_facility(&in_memory).unwrap()
+        );
+        assert_eq!(stats.len(), 3);
+        assert!(stats.windows(2).all(|w| w[0].shard < w[1].shard));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_shard_files_are_an_error() {
+        let dir = std::env::temp_dir().join(format!("csprov-persist-dup-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let state = sample_state(0);
+        let a = write_checkpoint_atomic(&dir, &state).unwrap();
+        let b = dir.join("copy.state");
+        fs::copy(&a, &b).unwrap();
+        let err = merge_state_files(&[a, b]).unwrap_err();
+        assert!(matches!(err, MergeFilesError::DuplicateShard(0)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -43,9 +43,12 @@ pub mod sweep;
 
 pub use chaos::{ChaosReport, ChaosSpec};
 pub use experiments::ExperimentId;
-pub use fleet::{FleetConfig, FleetError, FleetRun, ProvisioningReport};
+pub use fleet::{
+    run_fleet, run_fleet_full, FailSpec, FleetConfig, FleetCoverage, FleetError, FleetEvent,
+    FleetMerger, FleetPersistence, FleetRun, PersistSummary, ProvisioningReport, RetryPolicy,
+};
 pub use pipeline::{FullAnalysis, MainRun, INGEST_PATH_ENV};
-pub use sweep::{run_parallel, work_steal, RunSummary, WorkerPanic};
+pub use sweep::{run_parallel, work_steal, RunSummary, WorkerPanic, WorkerPanics};
 
 // Re-export the component crates under one roof for downstream users.
 pub use csprov_analysis as analysis;

@@ -16,9 +16,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A worker thread panicked while processing one work item.
 ///
-/// The panic is contained to the item: [`work_steal`] catches it, lets the
-/// surviving workers finish, and reports the lowest-indexed failure instead
-/// of aborting the process.
+/// The panic is contained to the item: [`work_steal`] catches it, keeps
+/// draining the queue, and reports every failure instead of aborting the
+/// process.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WorkerPanic {
     /// Index of the item whose worker panicked.
@@ -39,7 +39,60 @@ impl fmt::Display for WorkerPanic {
 
 impl std::error::Error for WorkerPanic {}
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+/// Every contained panic from one [`work_steal`] call, sorted by item
+/// index. Guaranteed non-empty when returned as an error, so a multi-item
+/// fault (say, three shards of a fleet dying for different reasons) is
+/// diagnosable from a single run instead of one-failure-per-rerun.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanics {
+    failures: Vec<WorkerPanic>,
+}
+
+impl WorkerPanics {
+    fn new(mut failures: Vec<WorkerPanic>) -> WorkerPanics {
+        failures.sort_by_key(|a| a.index);
+        WorkerPanics { failures }
+    }
+
+    /// The lowest-indexed failure (the one legacy callers reported).
+    pub fn first(&self) -> &WorkerPanic {
+        // Construction guarantees non-emptiness; an empty failure set is
+        // returned as Ok, never as WorkerPanics.
+        &self.failures[0]
+    }
+
+    /// Number of failed items.
+    pub fn count(&self) -> usize {
+        self.failures.len()
+    }
+
+    /// Failed item indices, ascending.
+    pub fn indices(&self) -> Vec<usize> {
+        self.failures.iter().map(|p| p.index).collect()
+    }
+
+    /// Every contained failure, sorted by item index.
+    pub fn failures(&self) -> &[WorkerPanic] {
+        &self.failures
+    }
+}
+
+impl fmt::Display for WorkerPanics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let indices: Vec<String> = self.failures.iter().map(|p| p.index.to_string()).collect();
+        write!(
+            f,
+            "{} worker panic(s) on items [{}]; first: {}",
+            self.failures.len(),
+            indices.join(", "),
+            self.first()
+        )
+    }
+}
+
+impl std::error::Error for WorkerPanics {}
+
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -57,11 +110,11 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// at a wave barrier. Each `f` call runs on exactly one item, so outputs are
 /// independent of thread count and claim order.
 ///
-/// A panicking `f` does not abort the process: the panic is caught (its
-/// worker stops; the others keep draining the queue) and the call returns
-/// the [`WorkerPanic`] with the lowest failing index so callers can surface
-/// a deterministic error.
-pub fn work_steal<I, T, F>(items: &[I], f: F) -> Result<Vec<T>, WorkerPanic>
+/// A panicking `f` does not abort the process: the panic is caught, the
+/// worker moves on to the next item, and the call returns every failure
+/// (sorted by item index) as one [`WorkerPanics`] error, so a run with
+/// several independent faults is diagnosable in a single pass.
+pub fn work_steal<I, T, F>(items: &[I], f: F) -> Result<Vec<T>, WorkerPanics>
 where
     I: Sync,
     T: Send,
@@ -84,19 +137,16 @@ where
                 let cursor = &cursor;
                 scope.spawn(move || {
                     let mut mine = Vec::new();
-                    let mut failed = None;
+                    let mut failed = Vec::new();
                     loop {
                         let idx = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(idx) else { break };
                         match catch_unwind(AssertUnwindSafe(|| f(idx, item))) {
                             Ok(out) => mine.push((idx, out)),
-                            Err(payload) => {
-                                failed = Some(WorkerPanic {
-                                    index: idx,
-                                    message: panic_message(payload),
-                                });
-                                break;
-                            }
+                            Err(payload) => failed.push(WorkerPanic {
+                                index: idx,
+                                message: panic_message(payload),
+                            }),
                         }
                     }
                     (mine, failed)
@@ -118,8 +168,8 @@ where
             }
         }
     });
-    if let Some(first) = failures.into_iter().min_by_key(|p| p.index) {
-        return Err(first);
+    if !failures.is_empty() {
+        return Err(WorkerPanics::new(failures));
     }
     results.sort_by_key(|&(idx, _)| idx);
     Ok(results.into_iter().map(|(_, out)| out).collect())
@@ -266,21 +316,30 @@ mod tests {
 
     #[test]
     fn work_steal_contains_worker_panics() {
-        // A panicking item must surface as a typed error (lowest index
-        // wins), not abort the process or poison the scope.
+        // Panicking items must surface as one typed error retaining every
+        // failure, not abort the process or poison the scope.
         let items: Vec<u32> = (0..32).collect();
         let err = work_steal(&items, |_, &x| {
             assert!(x != 7 && x != 20, "bad item {x}");
             x
         })
         .unwrap_err();
-        assert_eq!(err.index, 7, "lowest failing index must be reported");
+        assert_eq!(err.count(), 2, "both failures must be retained");
+        assert_eq!(err.indices(), vec![7, 20]);
+        assert_eq!(err.first().index, 7, "lowest index leads");
         assert!(
-            err.message.contains("bad item 7"),
+            err.first().message.contains("bad item 7"),
             "message: {}",
-            err.message
+            err.first().message
         );
-        assert!(err.to_string().contains("item 7"));
+        assert!(
+            err.failures()[1].message.contains("bad item 20"),
+            "message: {}",
+            err.failures()[1].message
+        );
+        let rendered = err.to_string();
+        assert!(rendered.contains("2 worker panic(s)"), "{rendered}");
+        assert!(rendered.contains("[7, 20]"), "{rendered}");
 
         // And a clean pass over the same items still works afterwards.
         let ok = work_steal(&items, |_, &x| x).unwrap();

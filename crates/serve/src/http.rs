@@ -10,11 +10,11 @@
 
 use crate::sse;
 use crate::state::ServeShared;
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long an idle SSE subscriber waits before re-checking shutdown.
 const SSE_POLL: Duration = Duration::from_millis(250);
@@ -22,8 +22,30 @@ const SSE_POLL: Duration = Duration::from_millis(250);
 const SSE_KEEPALIVE_POLLS: u32 = 8;
 /// Queue capacity handed to each SSE subscriber.
 const SSE_QUEUE_CAPACITY: usize = 8192;
-/// Upper bound on a request head; longer requests are rejected.
-const MAX_REQUEST_BYTES: u64 = 8192;
+/// Upper bound on a request head (request line + headers); longer
+/// requests are rejected with 431 before any routing.
+const MAX_REQUEST_BYTES: usize = 8192;
+/// Total wall budget for delivering a complete request head. A client
+/// that trickles bytes slower than this (slow loris) is rejected with
+/// 408; the per-read socket timeout alone would let it hold a handler
+/// thread indefinitely by sending one byte per timeout window.
+const HEAD_DEADLINE: Duration = Duration::from_secs(5);
+/// Per-`read` socket timeout while collecting the head; short so the
+/// deadline above is checked frequently even against a silent peer.
+const HEAD_READ_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Why a request head was refused before routing. Each cause maps to a
+/// distinct status code and a distinct `serve.http.*` tally, so abuse is
+/// observable by kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RequestError {
+    /// The head exceeded [`MAX_REQUEST_BYTES`].
+    TooLarge,
+    /// The head was not complete within [`HEAD_DEADLINE`].
+    Timeout,
+    /// The bytes received do not form an HTTP request head.
+    Malformed(&'static str),
+}
 
 /// A running server. Dropping the handle shuts the server down.
 pub struct ServeHandle {
@@ -96,25 +118,88 @@ fn accept_loop(listener: TcpListener, shared: Arc<ServeShared>) {
     }
 }
 
-fn handle_connection(stream: TcpStream, shared: Arc<ServeShared>) -> io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    let mut reader = BufReader::new(stream.try_clone()?).take(MAX_REQUEST_BYTES);
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
-    // Drain headers; none influence these read-only endpoints.
+/// Collects a complete request head (through the blank line) under both
+/// a byte bound and a wall deadline. The buffer can never exceed
+/// [`MAX_REQUEST_BYTES`] + one read chunk, so a hostile peer cannot make
+/// this allocate, and a peer that stalls or trickles cannot hold the
+/// thread past [`HEAD_DEADLINE`].
+fn read_request_head(stream: &mut TcpStream) -> Result<String, RequestError> {
+    let deadline = Instant::now() + HEAD_DEADLINE;
+    let mut head: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
     loop {
-        let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
-            break;
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(RequestError::Malformed("eof before end of head")),
+            Ok(n) => {
+                head.extend_from_slice(&chunk[..n]);
+                if head.len() > MAX_REQUEST_BYTES {
+                    return Err(RequestError::TooLarge);
+                }
+                if head.windows(4).any(|w| w == b"\r\n\r\n")
+                    || head.windows(2).any(|w| w == b"\n\n")
+                {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(_) => return Err(RequestError::Malformed("read error")),
+        }
+        if Instant::now() >= deadline {
+            return Err(RequestError::Timeout);
         }
     }
+    String::from_utf8(head).map_err(|_| RequestError::Malformed("head is not UTF-8"))
+}
+
+/// Answers a refused head with its status code and counts it.
+fn reject(stream: TcpStream, shared: &ServeShared, err: RequestError) -> io::Result<()> {
+    let (status, body) = match err {
+        RequestError::TooLarge => {
+            shared.http().record_too_large();
+            (
+                "431 Request Header Fields Too Large",
+                "request head too large\n",
+            )
+        }
+        RequestError::Timeout => {
+            shared.http().record_timeout();
+            (
+                "408 Request Timeout",
+                "request head not delivered in time\n",
+            )
+        }
+        RequestError::Malformed(_) => {
+            shared.http().record_malformed();
+            ("400 Bad Request", "bad request\n")
+        }
+    };
+    respond(stream, status, "text/plain", body)
+}
+
+fn handle_connection(mut stream: TcpStream, shared: Arc<ServeShared>) -> io::Result<()> {
+    shared.http().record_accepted();
+    stream.set_read_timeout(Some(HEAD_READ_TIMEOUT))?;
+    let head = match read_request_head(&mut stream) {
+        Ok(head) => head,
+        Err(err) => return reject(stream, &shared, err),
+    };
+    // Only the request line matters; no header influences these
+    // read-only endpoints.
+    let request_line = head.lines().next().unwrap_or("");
 
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("");
     let target = parts.next().unwrap_or("");
     if method.is_empty() || target.is_empty() {
-        return respond(stream, "400 Bad Request", "text/plain", "bad request\n");
+        return reject(
+            stream,
+            &shared,
+            RequestError::Malformed("empty request line"),
+        );
     }
+    shared.http().record_served();
     if method != "GET" {
         return respond(
             stream,
@@ -251,6 +336,7 @@ pub fn csv_to_json(csv: &str) -> String {
 mod tests {
     use super::*;
     use csprov_obs::{BroadcastBus, BusEvent, Json};
+    use std::io::{BufRead, BufReader};
 
     fn start() -> (ServeHandle, Arc<ServeShared>) {
         let shared = Arc::new(ServeShared::new(BroadcastBus::new()));
@@ -369,6 +455,86 @@ mod tests {
             trace.get("kind").and_then(Json::as_str),
             Some("game.tick.begin")
         );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn oversized_head_is_rejected_431_and_counted() {
+        let (mut handle, shared) = start();
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+        // A request line that never ends and exceeds the byte bound. The
+        // server may close (and reset) the connection while we are still
+        // flooding, so write and read errors here are expected outcomes,
+        // not failures; the rejection counter is the authoritative check.
+        let junk = vec![b'a'; MAX_REQUEST_BYTES + 1024];
+        let _ = stream.write_all(b"GET /");
+        let _ = stream.write_all(&junk);
+        let mut response = String::new();
+        let _ = stream.read_to_string(&mut response);
+        if !response.is_empty() {
+            assert!(response.starts_with("HTTP/1.1 431"), "got {response}");
+        }
+        let t0 = Instant::now();
+        while shared.http().snapshot().rejected_too_large == 0 {
+            assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "rejection not counted"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let http = shared.http().snapshot();
+        assert_eq!(http.rejected_too_large, 1);
+        assert_eq!(http.served, 0);
+        assert!(shared.status_json().contains("\"too_large\":1"));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn garbage_head_is_rejected_400_and_counted() {
+        let (mut handle, shared) = start();
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+        // A complete head whose request line is blank.
+        stream.write_all(b"\r\n\r\n").expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 400"), "got {response}");
+        assert_eq!(shared.http().snapshot().rejected_malformed, 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn half_open_connection_cannot_outlive_the_deadline() {
+        // A client that sends a partial head and then goes silent (the
+        // simplest slow loris) must be rejected once the head deadline
+        // passes, freeing the handler thread. The deadline is 5 s; allow
+        // slack for a loaded CI box but fail well before "forever".
+        let (mut handle, shared) = start();
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\n")
+            .expect("send");
+        // No terminating blank line, no more bytes.
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("timeout");
+        let t0 = Instant::now();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 408"), "got {response}");
+        assert!(t0.elapsed() < Duration::from_secs(20));
+        assert_eq!(shared.http().snapshot().rejected_timeout, 1);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn served_requests_are_counted() {
+        let (mut handle, shared) = start();
+        let _ = get(handle.addr(), "/status");
+        let _ = get(handle.addr(), "/nope");
+        let http = shared.http().snapshot();
+        assert_eq!(http.accepted, 2);
+        assert_eq!(http.served, 2);
+        assert_eq!(http.rejected(), 0);
         handle.shutdown();
     }
 

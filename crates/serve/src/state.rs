@@ -14,9 +14,83 @@
 //! of one.
 
 use csprov_obs::{BroadcastBus, MetricsRegistry};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 use std::time::Instant;
+
+/// Lock-free tallies of HTTP connection outcomes, written by handler
+/// threads and read by `/status` and the metrics exporter. Rejections
+/// are split by cause so a slow-loris attempt (`timeout`), an oversized
+/// head (`too_large`) and plain garbage (`malformed`) are separately
+/// visible.
+#[derive(Default)]
+pub struct HttpCounters {
+    accepted: AtomicU64,
+    served: AtomicU64,
+    rejected_too_large: AtomicU64,
+    rejected_timeout: AtomicU64,
+    rejected_malformed: AtomicU64,
+}
+
+/// A point-in-time copy of [`HttpCounters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HttpStats {
+    /// Connections accepted by the listener.
+    pub accepted: u64,
+    /// Requests that were routed to an endpoint (any status code).
+    pub served: u64,
+    /// Heads rejected for exceeding the byte bound (431).
+    pub rejected_too_large: u64,
+    /// Heads rejected for missing the delivery deadline (408).
+    pub rejected_timeout: u64,
+    /// Heads rejected as unparsable (400 before routing).
+    pub rejected_malformed: u64,
+}
+
+impl HttpStats {
+    /// Total rejected connections across all causes.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_too_large + self.rejected_timeout + self.rejected_malformed
+    }
+}
+
+impl HttpCounters {
+    /// Counts an accepted connection.
+    pub fn record_accepted(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a request that reached routing.
+    pub fn record_served(&self) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a head rejected for size.
+    pub fn record_too_large(&self) {
+        self.rejected_too_large.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a head rejected for blowing the delivery deadline.
+    pub fn record_timeout(&self) {
+        self.rejected_timeout.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a head rejected as unparsable.
+    pub fn record_malformed(&self) {
+        self.rejected_malformed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough snapshot (each counter read atomically).
+    pub fn snapshot(&self) -> HttpStats {
+        HttpStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            rejected_too_large: self.rejected_too_large.load(Ordering::Relaxed),
+            rejected_timeout: self.rejected_timeout.load(Ordering::Relaxed),
+            rejected_malformed: self.rejected_malformed.load(Ordering::Relaxed),
+        }
+    }
+}
 
 /// Progress of the run being served, updated by the simulation thread.
 #[derive(Clone, Debug)]
@@ -73,6 +147,7 @@ pub struct ServeShared {
     series: Mutex<String>,
     report: Mutex<String>,
     status: Mutex<RunStatus>,
+    http: HttpCounters,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -92,7 +167,14 @@ impl ServeShared {
             series: Mutex::new(String::new()),
             report: Mutex::new(String::new()),
             status: Mutex::new(RunStatus::default()),
+            http: HttpCounters::default(),
         }
+    }
+
+    /// The HTTP connection-outcome counters (handler threads write,
+    /// `/status` and the exporter read).
+    pub fn http(&self) -> &HttpCounters {
+        &self.http
     }
 
     /// The live event bus.
@@ -162,6 +244,7 @@ impl ServeShared {
     pub fn status_json(&self) -> String {
         let s = self.status();
         let bus = self.bus.stats();
+        let http = self.http.snapshot();
         let progress = if s.horizon_ns > 0 {
             (s.sim_ns as f64 / s.horizon_ns as f64).min(1.0)
         } else {
@@ -176,6 +259,9 @@ impl ServeShared {
                 "\"lag_ns\":{lag},\"wall_elapsed_ns\":{wall},",
                 "\"shards\":{{\"done\":{sdone},\"total\":{stotal}}},",
                 "\"journal_dropped\":{jdrop},",
+                "\"http\":{{\"accepted\":{haccepted},\"served\":{hserved},",
+                "\"rejected\":{{\"too_large\":{hlarge},\"timeout\":{htimeout},",
+                "\"malformed\":{hmalformed}}}}},",
                 "\"bus\":{{\"subscribers\":{subs},\"published\":{pubd},",
                 "\"dropped\":{dropped},\"max_depth\":{depth}}}}}"
             ),
@@ -192,6 +278,11 @@ impl ServeShared {
             sdone = s.shards_done,
             stotal = s.shards_total,
             jdrop = s.journal_dropped,
+            haccepted = http.accepted,
+            hserved = http.served,
+            hlarge = http.rejected_too_large,
+            htimeout = http.rejected_timeout,
+            hmalformed = http.rejected_malformed,
             subs = bus.subscribers,
             pubd = bus.published,
             dropped = bus.dropped,
@@ -231,6 +322,19 @@ impl ServeShared {
         let lag = registry.wall_gauge("serve.lag_ns");
         lag.set(status.lag_ns.min(i64::MAX as u64) as i64);
         registry.describe("serve.lag_ns", "sim-vs-wall lag behind the pacing schedule");
+        let http = self.http.snapshot();
+        set_monotonic(&registry.wall_counter("serve.http.accepted"), http.accepted);
+        registry.describe("serve.http.accepted", "HTTP connections accepted");
+        set_monotonic(&registry.wall_counter("serve.http.served"), http.served);
+        registry.describe("serve.http.served", "HTTP requests routed to an endpoint");
+        set_monotonic(
+            &registry.wall_counter("serve.http.rejected"),
+            http.rejected(),
+        );
+        registry.describe(
+            "serve.http.rejected",
+            "HTTP heads rejected (oversized, slow, or malformed)",
+        );
     }
 }
 

@@ -43,7 +43,9 @@ pub use flows::{FlowStats, FlowTable};
 pub use histogram::{Histogram, SizeHistogram};
 pub use hurst::{rs_hurst, rs_statistic, VarianceTime, VtPoint};
 pub use merge::MergeError;
-pub use persist::{ByteReader, ByteWriter, StateError, KIND_FACILITY, KIND_SHARD, STATE_SCHEMA};
+pub use persist::{
+    ByteReader, ByteWriter, StateError, KIND_FACILITY, KIND_HEARTBEAT, KIND_SHARD, STATE_SCHEMA,
+};
 pub use series::{GaugeSeries, RateBin, RateSeries};
 pub use sessions::{summarize_sessions, SessionRecord, SessionSummary};
 pub use summary::{application_usage, gib, network_usage, ApplicationUsage, NetworkUsage};

@@ -43,6 +43,8 @@ pub const STATE_VERSION: u16 = 1;
 pub const KIND_SHARD: u8 = 1;
 /// Container kind byte: a merged facility aggregate.
 pub const KIND_FACILITY: u8 = 2;
+/// Container kind byte: a fleet worker's heartbeat sidecar record.
+pub const KIND_HEARTBEAT: u8 = 3;
 
 /// Why a state buffer cannot be decoded.
 ///
@@ -298,7 +300,7 @@ impl<'a> ByteReader<'a> {
             });
         }
         let kind = r.get_u8()?;
-        if kind != KIND_SHARD && kind != KIND_FACILITY {
+        if kind != KIND_SHARD && kind != KIND_FACILITY && kind != KIND_HEARTBEAT {
             return Err(StateError::BadKind { found: kind });
         }
         let reserved = r.get_u8()?;
@@ -857,7 +859,7 @@ mod tests {
                 found: 2,
                 supported: 1,
             },
-            StateError::BadKind { found: 3 },
+            StateError::BadKind { found: 99 },
             StateError::WrongKind {
                 expected: 1,
                 found: 2,

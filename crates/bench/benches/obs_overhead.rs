@@ -7,7 +7,7 @@
 
 use csprov_bench::harness::{black_box, Harness, Throughput};
 use csprov_net::{client_endpoint, server_endpoint, Direction, Packet, PacketKind};
-use csprov_obs::{BroadcastBus, BusEvent, Journal, MetricsRegistry, TraceEvent};
+use csprov_obs::{BroadcastBus, BusEvent, Journal, MetricsRegistry, Profile, TraceEvent};
 use csprov_router::{EngineConfig, ForwardingEngine, NatDevice, NatTaps, RouterMetrics};
 use csprov_sim::{Pacer, SimDuration, SimTime, Simulator, Speed, StopFlag};
 use std::cell::Cell;
@@ -22,6 +22,7 @@ enum KernelObs {
     Observed,
     Journaled,
     PacedMax,
+    Profiled,
 }
 
 /// The kernel workload from the `sim_kernel` bench: 5 periodic processes,
@@ -50,6 +51,10 @@ fn run_kernel(obs: KernelObs) -> u64 {
         // this row is the whole price of `--serve`'s pacing hook on an
         // unpaced run (budget: <2% vs Plain).
         KernelObs::PacedMax => sim.set_pacer(Pacer::new(Speed::Max)),
+        // `--profile-out`'s price on the dispatch loop: one wall-time
+        // frame around the whole run plus the per-dispatch branch
+        // (budget: <2% vs Plain, same as every other obs hook).
+        KernelObs::Profiled => sim.set_profile(Profile::new()),
     }
     sim.run_until(SimTime::from_secs(1));
     sim.events_executed()
@@ -69,6 +74,9 @@ fn bench_sim_kernel(h: &mut Harness) {
     });
     g.bench_function("periodic_100k_paced_max", |b| {
         b.iter(|| black_box(run_kernel(KernelObs::PacedMax)))
+    });
+    g.bench_function("periodic_100k_profiled", |b| {
+        b.iter(|| black_box(run_kernel(KernelObs::Profiled)))
     });
     g.finish();
 }
@@ -252,6 +260,41 @@ fn bench_primitives(h: &mut Harness) {
             }
             w.flush();
             black_box(j.len())
+        })
+    });
+    g.bench_function("profile_enter_exit_1m", |b| {
+        // Raw price of one profiler frame: enter + drop-guard exit,
+        // two `Instant::now()` reads plus the node-tree touch.
+        let profile = Profile::new();
+        b.iter(|| {
+            for _ in 0..1_000_000u64 {
+                let _scope = profile.enter("bench.frame");
+            }
+            black_box(profile.enters())
+        })
+    });
+    g.bench_function("span_enter_1m_plain", |b| {
+        // Span guard without a profile attached — the pre-existing
+        // instrument cost the profiled row below is compared against.
+        let span = registry.span("bench.span");
+        b.iter(|| {
+            for i in 0..1_000_000u64 {
+                let _g = span.enter(i);
+            }
+            black_box(span.entry_count())
+        })
+    });
+    g.bench_function("span_enter_1m_profiled", |b| {
+        // The same span with a profile attached: each guard now also
+        // opens and closes a wall-time frame.
+        let profiled_registry = MetricsRegistry::new();
+        profiled_registry.attach_profile(Some(Profile::new()));
+        let span = profiled_registry.span("bench.span");
+        b.iter(|| {
+            for i in 0..1_000_000u64 {
+                let _g = span.enter(i);
+            }
+            black_box(span.entry_count())
         })
     });
     g.finish();

@@ -26,6 +26,11 @@
 //!   --series-out DIR   sim-time metric series per world run (DIR/main.csv,
 //!                      DIR/nat.csv), sampled on the sim clock
 //!   --series-interval MS  series sampling period in sim-ms (default 1000)
+//!   --profile-out DIR  hierarchical wall-time profile per world run:
+//!                      DIR/<run>.folded (collapsed stacks, flamegraph-
+//!                      ready) and DIR/<run>.trace.json (journal merged
+//!                      with profile spans, Perfetto-openable), plus a
+//!                      ranked self-time table on stderr
 //!   --chaos PROFILE    run under a fault-injection campaign:
 //!                      none modem-burst reorder-dup last-mile-loss nat-exhaust
 //!   --chaos-seed N     impairment seed (default: same as --seed)
@@ -36,8 +41,9 @@
 //!                      uplink sizing); may be used without artifacts
 //!   --fleet-minutes M  simulated minutes per fleet server (default 30)
 //!   --serve ADDR       stream the run live over HTTP (GET /metrics,
-//!                      /events (SSE), /series, /status, /report); the
-//!                      server runs for the duration of the repro
+//!                      /events (SSE), /series, /status, /report,
+//!                      /healthz, /shards, /profile); the server runs
+//!                      for the duration of the repro
 //!   --serve-linger S   keep serving S seconds after the run finishes
 //!                      (requires --serve)
 //!   --speed S          replay speed: a multiplier (1 = wall clock,
@@ -60,7 +66,8 @@ use csprov_bench::harness::{render_bench_json, BenchResult};
 use csprov_game::{GameMetrics, ScenarioConfig, WorldInstruments, PAPER_TRACE_SECS};
 use csprov_net::LinkMetrics;
 use csprov_obs::{
-    BroadcastBus, BusEvent, Journal, MetricsRegistry, ProgressReporter, SeriesSampler, TraceEvent,
+    BroadcastBus, BusEvent, Journal, MetricsRegistry, Profile, ProfileSnapshot, ProgressReporter,
+    SeriesSampler, ShardHealthBoard, TraceEvent, SHARD_RUNNING,
 };
 use csprov_router::EngineConfig;
 use csprov_serve::ServeShared;
@@ -68,6 +75,7 @@ use csprov_sim::{Pacer, PacerStats, SimDuration, Simulator, Speed};
 use std::cell::{Cell, RefCell};
 use std::process::ExitCode;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -98,6 +106,7 @@ struct Options {
     trace_out: Option<String>,
     series_out: Option<String>,
     series_interval_ms: u64,
+    profile_out: Option<String>,
     chaos: Option<ChaosSpec>,
     chaos_seed: Option<u64>,
     fleet: Option<usize>,
@@ -133,6 +142,7 @@ fn parse_args() -> Result<Options, String> {
         trace_out: None,
         series_out: None,
         series_interval_ms: 1000,
+        profile_out: None,
         chaos: None,
         chaos_seed: None,
         fleet: None,
@@ -196,6 +206,9 @@ fn parse_args() -> Result<Options, String> {
                 if opts.series_interval_ms == 0 {
                     return Err("--series-interval must be > 0".into());
                 }
+            }
+            "--profile-out" => {
+                opts.profile_out = Some(args.next().ok_or("--profile-out needs a directory")?)
             }
             "--chaos" => {
                 let name = args.next().ok_or("--chaos needs a profile name")?;
@@ -333,24 +346,42 @@ fn parse_args() -> Result<Options, String> {
 
 /// Parses `--fleet-fail SHARD:COUNT,...` — the deterministic fault plan
 /// used by the crash-resume CI smoke and local resilience testing. A
-/// COUNT of `forever` (or `u32::MAX`) makes the shard fail permanently.
+/// COUNT of `forever` (or `u32::MAX`) makes the shard fail permanently;
+/// `SHARD:stall=MS` instead makes the shard sleep MS wall-milliseconds
+/// before each attempt (sim results unchanged), which is how the health
+/// watchdog is exercised end to end.
 fn parse_fail_plan(spec: &str) -> Result<Vec<fleet::FailSpec>, String> {
     let mut plan = Vec::new();
     for part in spec.split(',') {
-        let (shard, count) = part
-            .split_once(':')
-            .ok_or_else(|| format!("bad --fleet-fail entry '{part}' (want SHARD:COUNT)"))?;
+        let (shard, action) = part.split_once(':').ok_or_else(|| {
+            format!("bad --fleet-fail entry '{part}' (want SHARD:COUNT or SHARD:stall=MS)")
+        })?;
         let shard: usize = shard
             .parse()
             .map_err(|e| format!("bad --fleet-fail shard '{shard}': {e}"))?;
-        let failures: u32 = if count == "forever" {
+        if let Some(ms) = action.strip_prefix("stall=") {
+            let stall_ms: u64 = ms
+                .parse()
+                .map_err(|e| format!("bad --fleet-fail stall '{ms}': {e}"))?;
+            plan.push(fleet::FailSpec {
+                shard,
+                failures: 0,
+                stall_ms,
+            });
+            continue;
+        }
+        let failures: u32 = if action == "forever" {
             u32::MAX
         } else {
-            count
+            action
                 .parse()
-                .map_err(|e| format!("bad --fleet-fail count '{count}': {e}"))?
+                .map_err(|e| format!("bad --fleet-fail count '{action}': {e}"))?
         };
-        plan.push(fleet::FailSpec { shard, failures });
+        plan.push(fleet::FailSpec {
+            shard,
+            failures,
+            stall_ms: 0,
+        });
     }
     Ok(plan)
 }
@@ -359,9 +390,10 @@ fn usage() {
     eprintln!(
         "usage: repro [--seed N] [--hours H] [--full-week] [--csv DIR] [--progress] \
          [--metrics-out FILE] [--metrics-format text|json|prom] [--trace-out FILE] \
-         [--series-out DIR] [--series-interval MS] [--chaos PROFILE] [--chaos-seed N] \
+         [--series-out DIR] [--series-interval MS] [--profile-out DIR] \
+         [--chaos PROFILE] [--chaos-seed N] \
          [--fleet N [--fleet-minutes M] [--fleet-state-dir DIR] [--resume] \
-         [--fleet-retries N] [--fleet-fail SHARD:COUNT,...]] \
+         [--fleet-retries N] [--fleet-fail SHARD:COUNT|SHARD:stall=MS,...]] \
          [--serve ADDR [--serve-linger S]] \
          [--speed N|max] [--ingest columnar|per-record] <artifact|all|main|nat>..."
     );
@@ -537,6 +569,98 @@ fn write_series(sampler: &RefCell<SeriesSampler>, dir: &str, label: &str, horizo
     }
 }
 
+/// Starts wall-time profiling for one world run: a fresh [`Profile`]
+/// (frame trees are per-run), attached to the registry so spans created
+/// for this run frame themselves. Must run before the run's instruments
+/// are built — spans capture the profile at creation time.
+fn start_profile(enabled: bool, registry: Option<&MetricsRegistry>) -> Option<Profile> {
+    if !enabled {
+        return None;
+    }
+    let profile = Profile::new();
+    if let Some(registry) = registry {
+        registry.attach_profile(Some(profile.clone()));
+    }
+    Some(profile)
+}
+
+/// Finishes one run's profile: detaches it from the registry, exports
+/// the `profile.*` wall counters, writes the collapsed-stack and merged
+/// Chrome-trace views (`--profile-out`), and folds the run's snapshot
+/// into the cross-run cumulative behind the ranked table / `/profile`.
+/// Everything here is wall-domain — stderr and side files only, so the
+/// byte-identity of stdout and determinism artifacts is untouched.
+fn finish_profile(
+    profile: &Profile,
+    label: &str,
+    out_dir: Option<&str>,
+    journal: Option<&Journal>,
+    registry: Option<&MetricsRegistry>,
+    total: &mut Option<ProfileSnapshot>,
+) {
+    if let Some(registry) = registry {
+        registry.attach_profile(None);
+        export_profile_metrics(registry, profile);
+    }
+    if let Some(dir) = out_dir {
+        let folded_path = format!("{dir}/{label}.folded");
+        let write = std::fs::create_dir_all(dir)
+            .and_then(|_| std::fs::write(&folded_path, profile.render_folded()));
+        match write {
+            Ok(()) => eprintln!(
+                "[profile] wrote {folded_path} ({} frames, {} enters)",
+                profile.frames(),
+                profile.enters()
+            ),
+            Err(e) => eprintln!("warning: could not write {folded_path}: {e}"),
+        }
+        if let Some(journal) = journal {
+            let trace_path = format!("{dir}/{label}.trace.json");
+            let data = journal.export_chrome_trace_with(&profile.chrome_rows(2));
+            match std::fs::write(&trace_path, data) {
+                Ok(()) => eprintln!("[profile] wrote {trace_path} (journal + profile spans)"),
+                Err(e) => eprintln!("warning: could not write {trace_path}: {e}"),
+            }
+        }
+    }
+    absorb_profile(total, &profile.snapshot());
+}
+
+/// Folds a run's profile snapshot into the cross-run cumulative.
+fn absorb_profile(total: &mut Option<ProfileSnapshot>, snap: &ProfileSnapshot) {
+    match total {
+        Some(total) => total.absorb(snap),
+        None => *total = Some(snap.clone()),
+    }
+}
+
+/// Exports one run's profiler self-observability as wall-flagged
+/// `profile.*` instruments with HELP text. Counters accumulate across
+/// runs (each run brings a fresh profile, so per-run totals add).
+fn export_profile_metrics(registry: &MetricsRegistry, profile: &Profile) {
+    let frames = registry.wall_gauge("profile.frames");
+    frames.set(profile.frames() as i64);
+    registry.describe("profile.frames", "distinct frames in the profile call tree");
+    registry
+        .wall_counter("profile.enters")
+        .add(profile.enters());
+    registry.describe("profile.enters", "profiled span entries (wall domain)");
+    registry
+        .wall_counter("profile.wall_ns")
+        .add(profile.total_wall_ns());
+    registry.describe(
+        "profile.wall_ns",
+        "wall time attributed to root profile frames",
+    );
+    registry
+        .wall_counter("profile.dropped")
+        .add(profile.events_dropped());
+    registry.describe(
+        "profile.dropped",
+        "profile events dropped at the bounded ring capacity",
+    );
+}
+
 /// End-of-run refresh for the serving plane: final status, a closing
 /// series row (unless `--series-out` already flushed one), fresh
 /// `/metrics` + `/series` snapshots, and the run-finished bus event.
@@ -683,10 +807,18 @@ fn main() -> ExitCode {
     let needs_nat = opts.artifacts.iter().any(|a| a.needs_nat_run());
 
     // The registry backs the snapshot dump (--metrics-out), the sim-time
-    // series (--series-out) and the live /metrics + /series endpoints.
-    let registry =
-        (opts.metrics_out.is_some() || opts.series_out.is_some() || opts.serve.is_some())
-            .then(MetricsRegistry::new);
+    // series (--series-out), the live /metrics + /series endpoints, and
+    // span->profile framing (--profile-out needs spans to attribute
+    // tick/flush time, so it implies a registry).
+    let registry = (opts.metrics_out.is_some()
+        || opts.series_out.is_some()
+        || opts.serve.is_some()
+        || opts.profile_out.is_some())
+    .then(MetricsRegistry::new);
+    // Profiling is on for --profile-out (files + table) and for --serve
+    // (the /profile endpoint); both are wall-domain-only consumers.
+    let profile_enabled = opts.profile_out.is_some() || opts.serve.is_some();
+    let mut profile_total: Option<ProfileSnapshot> = None;
     let series_interval_ns = (opts.series_out.is_some() || opts.serve.is_some())
         .then(|| opts.series_interval_ms * 1_000_000);
 
@@ -702,7 +834,8 @@ fn main() -> ExitCode {
         match csprov_serve::serve(addr.as_str(), shared.clone()) {
             Ok(handle) => {
                 eprintln!(
-                    "[serve] listening on http://{} (/metrics /events /series /status /report)",
+                    "[serve] listening on http://{} (/metrics /events /series /status /report \
+                     /healthz /shards /profile)",
                     handle.addr()
                 );
                 serve_handle = Some(handle);
@@ -751,7 +884,8 @@ fn main() -> ExitCode {
         if let (Some(journal), Some(shared)) = (&journal, &serve_state) {
             journal.set_tap(shared.bus().clone());
         }
-        let (instruments, reporter, sampler) = instruments_for(TelemetrySpec {
+        let profile = start_profile(profile_enabled, registry.as_ref());
+        let (mut instruments, reporter, sampler) = instruments_for(TelemetrySpec {
             label: "main",
             horizon_ns: duration.as_nanos(),
             registry: registry.as_ref(),
@@ -761,6 +895,7 @@ fn main() -> ExitCode {
             speed: opts.speed,
             serve: serve_state.clone(),
         });
+        instruments.profile = profile.clone();
         if let Some(shared) = &serve_state {
             shared.update_status(|s| {
                 s.state = "running";
@@ -800,6 +935,19 @@ fn main() -> ExitCode {
         if let (Some(sampler), Some(dir)) = (&sampler, &opts.series_out) {
             write_series(sampler, dir, "main", duration.as_nanos());
         }
+        if let Some(profile) = &profile {
+            finish_profile(
+                profile,
+                "main",
+                opts.profile_out.as_deref(),
+                journal.as_ref(),
+                registry.as_ref(),
+                &mut profile_total,
+            );
+            if let (Some(shared), Some(total)) = (&serve_state, &profile_total) {
+                shared.set_profile(total.render_table());
+            }
+        }
         if let Some(shared) = &serve_state {
             finish_serve_run(
                 shared,
@@ -833,7 +981,8 @@ fn main() -> ExitCode {
         if let (Some(journal), Some(shared)) = (&journal, &serve_state) {
             journal.set_tap(shared.bus().clone());
         }
-        let (instruments, reporter, sampler) = instruments_for(TelemetrySpec {
+        let profile = start_profile(profile_enabled, registry.as_ref());
+        let (mut instruments, reporter, sampler) = instruments_for(TelemetrySpec {
             label: "nat",
             horizon_ns: nat_horizon,
             registry: registry.as_ref(),
@@ -843,6 +992,7 @@ fn main() -> ExitCode {
             speed: opts.speed,
             serve: serve_state.clone(),
         });
+        instruments.profile = profile.clone();
         if let Some(shared) = &serve_state {
             shared.update_status(|s| {
                 s.state = "running";
@@ -886,6 +1036,19 @@ fn main() -> ExitCode {
         }
         if let (Some(sampler), Some(dir)) = (&sampler, &opts.series_out) {
             write_series(sampler, dir, "nat", nat_horizon);
+        }
+        if let Some(profile) = &profile {
+            finish_profile(
+                profile,
+                "nat",
+                opts.profile_out.as_deref(),
+                journal.as_ref(),
+                registry.as_ref(),
+                &mut profile_total,
+            );
+            if let (Some(shared), Some(total)) = (&serve_state, &profile_total) {
+                shared.set_profile(total.render_table());
+            }
         }
         if let Some(shared) = &serve_state {
             finish_serve_run(
@@ -1026,6 +1189,26 @@ fn main() -> ExitCode {
             config.retry.attempts = attempts;
         }
         config.fail_plan = opts.fleet_fail.clone();
+        config.profile = profile_enabled;
+        // The health board behind /shards: workers beat it in-process;
+        // a scanner thread folds in .hb sidecars so externally-written
+        // heartbeats (other processes sharing the state dir) are seen
+        // too. The watchdog deadline is wall-domain and tunable because
+        // "stalled" is a property of the host, not the simulation.
+        let watchdog_ms: u64 = std::env::var("CSPROV_WATCHDOG_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&ms| ms > 0)
+            .unwrap_or(3000);
+        let board = serve_state.as_ref().map(|shared| {
+            let board = Arc::new(ShardHealthBoard::new(
+                servers,
+                Duration::from_millis(watchdog_ms),
+            ));
+            shared.set_board(board.clone());
+            board
+        });
+        config.health = board.clone();
         let persistence = match (&opts.fleet_state_dir, opts.fleet_resume) {
             (Some(dir), true) => fleet::FleetPersistence::resume_from(dir),
             (Some(dir), false) => fleet::FleetPersistence::checkpoint_to(dir),
@@ -1108,7 +1291,44 @@ fn main() -> ExitCode {
                 eprintln!("[fleet] ignoring invalid checkpoint: {message}");
             }
         };
-        match fleet::run_fleet_full(&config, &persistence, Some(&on_event)) {
+        // Heartbeat sidecar scanner: while the fleet runs, fold any .hb
+        // files in the state dir into the board and narrate fresh beats
+        // onto the bus. Reads only; undecodable files are skipped.
+        let scan_stop = Arc::new(AtomicBool::new(false));
+        let scanner = match (&board, &opts.fleet_state_dir, &serve_state) {
+            (Some(board), Some(dir), Some(shared)) => {
+                let board = board.clone();
+                let shared = shared.clone();
+                let dir = std::path::PathBuf::from(dir);
+                let stop = scan_stop.clone();
+                std::thread::Builder::new()
+                    .name("csprov-hb-scan".to_string())
+                    .spawn(move || {
+                        while !stop.load(Ordering::Relaxed) {
+                            for rec in fleet::persist::scan_heartbeats(&dir) {
+                                board.apply(&rec);
+                                if rec.state == SHARD_RUNNING {
+                                    shared.bus().publish(BusEvent::Trace(TraceEvent {
+                                        sim_ns: rec.sim_ns,
+                                        kind: "fleet.shard.beat",
+                                        key: rec.shard,
+                                        value: rec.retries,
+                                    }));
+                                }
+                            }
+                            std::thread::sleep(Duration::from_millis(300));
+                        }
+                    })
+                    .ok()
+            }
+            _ => None,
+        };
+        let fleet_result = fleet::run_fleet_full(&config, &persistence, Some(&on_event));
+        scan_stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = scanner {
+            let _ = handle.join();
+        }
+        match fleet_result {
             Ok(run) => {
                 let secs = t0.elapsed().as_secs_f64();
                 println!("\n================ fleet ================");
@@ -1116,6 +1336,27 @@ fn main() -> ExitCode {
                 println!("{}", run.report.sizing_line());
                 if let Some(registry) = &registry {
                     run.export_metrics(registry);
+                    if let Some(board) = &board {
+                        board.export_metrics(registry);
+                    }
+                }
+                if let Some(snap) = &run.profile {
+                    if let Some(dir) = &opts.profile_out {
+                        let folded_path = format!("{dir}/fleet.folded");
+                        let write = std::fs::create_dir_all(dir)
+                            .and_then(|_| std::fs::write(&folded_path, snap.render_folded()));
+                        match write {
+                            Ok(()) => eprintln!(
+                                "[profile] wrote {folded_path} ({} frames)",
+                                snap.entries().len()
+                            ),
+                            Err(e) => eprintln!("warning: could not write {folded_path}: {e}"),
+                        }
+                    }
+                    absorb_profile(&mut profile_total, snap);
+                    if let (Some(shared), Some(total)) = (&serve_state, &profile_total) {
+                        shared.set_profile(total.render_table());
+                    }
                 }
                 let journal =
                     (opts.trace_out.is_some() || serve_state.is_some()).then(Journal::new);
@@ -1186,6 +1427,16 @@ fn main() -> ExitCode {
         println!("{}", report.render());
     }
 
+    // The cumulative wall-time attribution across every run this
+    // invocation performed, ranked by self time. Stderr, not stdout —
+    // wall timings must never contaminate the determinism artifacts.
+    if let Some(total) = &profile_total {
+        eprintln!("[profile] wall-time attribution (self-time ranked):");
+        for line in total.render_table().lines() {
+            eprintln!("  {line}");
+        }
+    }
+
     let total_secs = total_t0.elapsed().as_secs_f64();
     eprintln!("[time] total: {total_secs:.3} s wall");
     timings.push(phase("total", total_secs, None));
@@ -1219,7 +1470,19 @@ fn main() -> ExitCode {
                 }
                 out
             }
-            MetricsFormat::Text => registry.render_deterministic(),
+            MetricsFormat::Text => {
+                // Deterministic section first (byte-stable per seed),
+                // then the wall section (span wall histograms with
+                // p50/p95/p99, profile.*, shard.*, serve.*) under a
+                // comment fence so consumers can split them apart.
+                let mut out = registry.render_deterministic();
+                let wall = registry.render_wall();
+                if !wall.is_empty() {
+                    out.push_str("# ---- wall (host-dependent) ----\n");
+                    out.push_str(&wall);
+                }
+                out
+            }
             MetricsFormat::Json => {
                 let mut out = String::new();
                 for label in &labels {

@@ -39,12 +39,17 @@ use csprov_analysis::{
 };
 use csprov_game::{ScenarioConfig, WorldInstruments};
 use csprov_net::CountingSink;
-use csprov_obs::{Journal, MetricsRegistry};
+use csprov_obs::{
+    unix_ms, HeartbeatRecord, Journal, MetricsRegistry, Profile, ProfileSnapshot, ShardHealthBoard,
+    SHARD_DONE, SHARD_LOST, SHARD_RUNNING,
+};
 use csprov_sim::{Pacer, RngStream, SimDuration, Speed};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// What a fleet run should simulate.
 #[derive(Debug, Clone)]
@@ -69,6 +74,15 @@ pub struct FleetConfig {
     /// Deterministic fault injection for tests and drills: listed shards
     /// fail their first N attempts with a typed (non-panicking) error.
     pub fail_plan: Vec<FailSpec>,
+    /// Shared per-shard health board workers publish heartbeats into.
+    /// Observe-only: the board never feeds back into shard execution, so
+    /// the aggregate is byte-identical with or without it attached.
+    pub health: Option<Arc<ShardHealthBoard>>,
+    /// When true, every worker keeps a thread-local wall-time profile of
+    /// its shard (execute / encode / checkpoint frames, with the sim and
+    /// pipeline frames nested inside) and the coordinator absorbs the
+    /// snapshots into [`FleetRun::profile`]. Observe-only.
+    pub profile: bool,
 }
 
 impl FleetConfig {
@@ -83,6 +97,8 @@ impl FleetConfig {
             speed: Speed::Max,
             retry: RetryPolicy::default(),
             fail_plan: Vec::new(),
+            health: None,
+            profile: false,
         }
     }
 
@@ -146,6 +162,10 @@ pub struct FailSpec {
     pub shard: usize,
     /// Number of leading attempts that fail (`u32::MAX` = permanent).
     pub failures: u32,
+    /// Wall milliseconds the worker sleeps before each attempt. Purely a
+    /// wall-clock stall — the shard still computes the same bytes — so
+    /// watchdog tests can manufacture a silent-but-alive shard on demand.
+    pub stall_ms: u64,
 }
 
 /// Where (and whether) a fleet run checkpoints shard states.
@@ -916,6 +936,9 @@ pub struct FleetRun {
     pub report: ProvisioningReport,
     /// Checkpoint/resume counters (all zero without persistence).
     pub persist: PersistSummary,
+    /// Merged wall-time profile across every worker plus the coordinator's
+    /// own merge frame; `None` unless [`FleetConfig::profile`] was set.
+    pub profile: Option<ProfileSnapshot>,
 }
 
 impl FleetRun {
@@ -1081,7 +1104,11 @@ pub fn run_fleet_full(
             }
         }
     }
+    let horizon_ns = SimDuration::from_mins(config.minutes).as_nanos();
     for state in loaded.values() {
+        if let Some(board) = &config.health {
+            board.done(state.shard, horizon_ns);
+        }
         emit(FleetEvent::ShardDone {
             state,
             attempt: 0,
@@ -1109,28 +1136,38 @@ pub fn run_fleet_full(
         }
     })?;
 
+    let coord_profile = config.profile.then(Profile::new);
     let mut merger = FleetMerger::new();
-    for state in loaded.values() {
-        merger.push(state)?;
+    {
+        let _merge_scope = coord_profile.as_ref().map(|p| p.enter("fleet.merge"));
+        for state in loaded.values() {
+            merger.push(state)?;
+        }
+        for outcome in &outcomes {
+            if let Some(state) = &outcome.state {
+                merger.push(state)?;
+            }
+        }
     }
     let mut retries = 0u64;
     let mut backoff_ns = 0u64;
     let mut lost: Vec<usize> = Vec::new();
     let mut first_loss: Option<String> = None;
+    let mut fleet_profile = coord_profile.as_ref().map(|p| p.snapshot());
     for outcome in &outcomes {
         retries += u64::from(outcome.retries);
         backoff_ns = backoff_ns.saturating_add(outcome.backoff_ns);
         summary.checkpoints_written += u64::from(outcome.checkpoint_written);
         summary.checkpoint_failures += u64::from(outcome.checkpoint_failed);
-        match &outcome.state {
-            Some(state) => merger.push(state)?,
-            None => {
-                // `todo` is built in ascending shard order and work_steal
-                // returns outcomes in input order, so `lost` is ascending.
-                lost.push(outcome.shard);
-                if first_loss.is_none() {
-                    first_loss = Some(outcome.message.clone());
-                }
+        if let (Some(total), Some(snap)) = (fleet_profile.as_mut(), outcome.profile.as_ref()) {
+            total.absorb(snap);
+        }
+        if outcome.state.is_none() {
+            // `todo` is built in ascending shard order and work_steal
+            // returns outcomes in input order, so `lost` is ascending.
+            lost.push(outcome.shard);
+            if first_loss.is_none() {
+                first_loss = Some(outcome.message.clone());
             }
         }
     }
@@ -1154,6 +1191,7 @@ pub fn run_fleet_full(
         shards,
         report,
         persist: summary,
+        profile: fleet_profile,
     })
 }
 
@@ -1167,6 +1205,64 @@ struct ShardOutcome {
     backoff_ns: u64,
     checkpoint_written: bool,
     checkpoint_failed: bool,
+    /// The worker's wall-time profile snapshot (with [`FleetConfig::profile`]).
+    profile: Option<ProfileSnapshot>,
+}
+
+/// Wall-clock interval between heartbeat sidecar rewrites. Beats on the
+/// in-process board are much cheaper (a few atomic stores) and ride every
+/// observer callback; only the file write is rate-limited.
+const HEARTBEAT_FILE_INTERVAL: Duration = Duration::from_millis(500);
+
+/// Kernel-observer stride for heartbeat publication: every N executed
+/// events the worker refreshes its watermark. Matches the repro binary's
+/// telemetry stride so attaching health costs one closure call per stride.
+const HEARTBEAT_STRIDE: u64 = 8192;
+
+/// Builds the observer a worker attaches when a health board is present:
+/// every stride it publishes the shard's sim-time watermark to the board,
+/// and (when a state directory exists) rewrites the `shard-NNNNN.hb`
+/// sidecar at most every [`HEARTBEAT_FILE_INTERVAL`].
+fn heartbeat_observer(
+    shard: usize,
+    horizon_ns: u64,
+    retries: u32,
+    board: Arc<ShardHealthBoard>,
+    sidecar_dir: Option<PathBuf>,
+    started: Instant,
+) -> csprov_sim::Observer {
+    let mut last_write: Option<Instant> = None;
+    Box::new(move |sim: &csprov_sim::Simulator| {
+        let sim_ns = sim.now().as_nanos();
+        board.beat(shard, sim_ns);
+        let Some(dir) = &sidecar_dir else { return };
+        let now = Instant::now();
+        if last_write.is_some_and(|t| now.duration_since(t) < HEARTBEAT_FILE_INTERVAL) {
+            return;
+        }
+        last_write = Some(now);
+        let rec = HeartbeatRecord {
+            shard: shard as u64,
+            state: SHARD_RUNNING,
+            sim_ns,
+            horizon_ns,
+            retries: u64::from(retries),
+            checkpoints: 0,
+            wall_ms: started.elapsed().as_millis() as u64,
+            unix_ms: unix_ms(),
+        };
+        // Best-effort: a failed sidecar write only means a stale beat,
+        // which is precisely what the watchdog exists to notice.
+        let _ = persist::write_heartbeat(dir, &rec);
+    })
+}
+
+/// Writes a lifecycle (running/done/lost) heartbeat sidecar for a shard,
+/// stamping the wall clocks at write time.
+fn write_final_heartbeat(dir: &std::path::Path, started: Instant, mut rec: HeartbeatRecord) {
+    rec.wall_ms = started.elapsed().as_millis() as u64;
+    rec.unix_ms = unix_ms();
+    let _ = persist::write_heartbeat(dir, &rec);
 }
 
 /// Runs one shard with retries. Never panics: injected faults are typed,
@@ -1184,27 +1280,81 @@ fn run_one_shard(
             f(&ev);
         }
     };
+    let started = Instant::now();
+    let horizon_ns = cfg.duration.as_nanos();
     let attempts = config.retry.attempts.max(1);
-    let injected = config
-        .fail_plan
-        .iter()
-        .find(|f| f.shard == shard)
-        .map_or(0, |f| f.failures);
+    let plan = config.fail_plan.iter().find(|f| f.shard == shard);
+    let injected = plan.map_or(0, |f| f.failures);
+    let stall_ms = plan.map_or(0, |f| f.stall_ms);
+    let profile = config.profile.then(Profile::new);
+    let sidecar_dir = state_dir.map(std::path::Path::to_path_buf);
+    if let Some(board) = &config.health {
+        board.start(shard, horizon_ns);
+        if let Some(dir) = &sidecar_dir {
+            write_final_heartbeat(
+                dir,
+                started,
+                HeartbeatRecord {
+                    shard: shard as u64,
+                    state: SHARD_RUNNING,
+                    sim_ns: 0,
+                    horizon_ns,
+                    retries: 0,
+                    checkpoints: 0,
+                    wall_ms: 0,
+                    unix_ms: 0,
+                },
+            );
+        }
+    }
     let mut retries = 0u32;
     let mut backoff_ns = 0u64;
     let mut last_message = String::new();
     for attempt in 1..=attempts {
+        if stall_ms > 0 {
+            // Beat once so the board sees a *running* shard, then go
+            // silent for the stall: exactly the signature a wedged worker
+            // leaves behind, without touching what the shard computes.
+            if let Some(board) = &config.health {
+                board.beat(shard, 0);
+            }
+            std::thread::sleep(Duration::from_millis(stall_ms));
+        }
         let result: Result<ShardState, String> = if attempt <= injected {
             Err(format!("injected fault (attempt {attempt} of {attempts})"))
         } else {
             let speed = config.speed;
+            let observer = config.health.as_ref().map(|board| {
+                (
+                    HEARTBEAT_STRIDE,
+                    heartbeat_observer(
+                        shard,
+                        horizon_ns,
+                        retries,
+                        board.clone(),
+                        sidecar_dir.clone(),
+                        started,
+                    ),
+                )
+            });
+            let worker_profile = profile.clone();
             catch_unwind(AssertUnwindSafe(|| {
-                let instruments = WorldInstruments {
-                    pacer: speed.is_paced().then(|| Pacer::new(speed)),
-                    ..WorldInstruments::default()
+                let run = {
+                    let _scope = worker_profile
+                        .as_ref()
+                        .map(|p| p.enter("fleet.shard.execute"));
+                    let instruments = WorldInstruments {
+                        pacer: speed.is_paced().then(|| Pacer::new(speed)),
+                        observer,
+                        profile: worker_profile.clone(),
+                        ..WorldInstruments::default()
+                    };
+                    MainRun::execute_instrumented(cfg.clone(), instruments, None)
                 };
-                MainRun::execute_instrumented(cfg.clone(), instruments, None)
-                    .into_fleet_shard(shard)
+                let _scope = worker_profile
+                    .as_ref()
+                    .map(|p| p.enter("fleet.shard.encode"));
+                run.into_fleet_shard(shard)
             }))
             .map_err(panic_message)
         };
@@ -1213,6 +1363,7 @@ fn run_one_shard(
                 let mut written = false;
                 let mut failed = false;
                 if let Some(dir) = state_dir {
+                    let _scope = profile.as_ref().map(|p| p.enter("fleet.shard.checkpoint"));
                     match persist::write_checkpoint_atomic(dir, &state) {
                         Ok(_) => {
                             written = true;
@@ -1228,6 +1379,28 @@ fn run_one_shard(
                         }
                     }
                 }
+                if let Some(board) = &config.health {
+                    if written {
+                        board.checkpoint(shard);
+                    }
+                    board.done(shard, horizon_ns);
+                    if let Some(dir) = &sidecar_dir {
+                        write_final_heartbeat(
+                            dir,
+                            started,
+                            HeartbeatRecord {
+                                shard: shard as u64,
+                                state: SHARD_DONE,
+                                sim_ns: horizon_ns,
+                                horizon_ns,
+                                retries: u64::from(retries),
+                                checkpoints: u64::from(written),
+                                wall_ms: 0,
+                                unix_ms: 0,
+                            },
+                        );
+                    }
+                }
                 emit(FleetEvent::ShardDone {
                     state: &state,
                     attempt,
@@ -1241,6 +1414,7 @@ fn run_one_shard(
                     backoff_ns,
                     checkpoint_written: written,
                     checkpoint_failed: failed,
+                    profile: profile.as_ref().map(|p| p.snapshot()),
                 };
             }
             Err(message) => {
@@ -1248,6 +1422,9 @@ fn run_one_shard(
                     let delay = config.retry.backoff_for(attempt);
                     retries += 1;
                     backoff_ns = backoff_ns.saturating_add(delay);
+                    if let Some(board) = &config.health {
+                        board.retry(shard);
+                    }
                     emit(FleetEvent::ShardRetry {
                         shard,
                         attempt,
@@ -1255,6 +1432,25 @@ fn run_one_shard(
                         message: &message,
                     });
                 } else {
+                    if let Some(board) = &config.health {
+                        board.lost(shard);
+                        if let Some(dir) = &sidecar_dir {
+                            write_final_heartbeat(
+                                dir,
+                                started,
+                                HeartbeatRecord {
+                                    shard: shard as u64,
+                                    state: SHARD_LOST,
+                                    sim_ns: 0,
+                                    horizon_ns,
+                                    retries: u64::from(retries),
+                                    checkpoints: 0,
+                                    wall_ms: 0,
+                                    unix_ms: 0,
+                                },
+                            );
+                        }
+                    }
                     emit(FleetEvent::ShardLost {
                         shard,
                         attempts,
@@ -1273,6 +1469,7 @@ fn run_one_shard(
         backoff_ns,
         checkpoint_written: false,
         checkpoint_failed: false,
+        profile: profile.as_ref().map(|p| p.snapshot()),
     }
 }
 
@@ -1465,6 +1662,7 @@ mod tests {
         faulty_cfg.fail_plan = vec![FailSpec {
             shard: 1,
             failures: 2,
+            stall_ms: 0,
         }];
         let clean = run_fleet(&clean_cfg).unwrap();
         let recovered = run_fleet(&faulty_cfg).unwrap();
@@ -1495,6 +1693,7 @@ mod tests {
         cfg.fail_plan = vec![FailSpec {
             shard: 2,
             failures: u32::MAX,
+            stall_ms: 0,
         }];
         let run = run_fleet(&cfg).unwrap();
         let cov = &run.report.coverage;
@@ -1525,6 +1724,7 @@ mod tests {
             .map(|shard| FailSpec {
                 shard,
                 failures: u32::MAX,
+                stall_ms: 0,
             })
             .collect();
         match run_fleet(&cfg) {
@@ -1581,12 +1781,116 @@ mod tests {
     }
 
     #[test]
+    fn stalled_shard_is_flagged_within_the_watchdog_deadline() {
+        // Shard 1 beats once, then goes silent for 400 ms against a 50 ms
+        // watchdog: the board must flag it stalled while the run is still
+        // in flight, well before the deadline.
+        let mut cfg = FleetConfig::new("stall", 61, 2, 1);
+        cfg.fail_plan = vec![FailSpec {
+            shard: 1,
+            failures: 0,
+            stall_ms: 400,
+        }];
+        let board = Arc::new(ShardHealthBoard::new(2, Duration::from_millis(50)));
+        cfg.health = Some(board.clone());
+        let runner = std::thread::spawn(move || run_fleet(&cfg).unwrap());
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut flagged = false;
+        while Instant::now() < deadline {
+            let json = board.render_json();
+            if json.contains("\"verdict\":\"stalled\"") {
+                flagged = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let run = runner.join().unwrap();
+        assert!(flagged, "silent shard never flagged stalled");
+        // Once the run drains, every shard is done and nothing is stalled.
+        let json = board.render_json();
+        assert!(!json.contains("\"verdict\":\"stalled\""), "final: {json}");
+        assert!(json.contains("\"done\":2"), "final: {json}");
+        // The stall is wall-only: traffic matches an unimpaired fleet.
+        let clean = run_fleet(&FleetConfig::new("stall", 61, 2, 1)).unwrap();
+        assert_eq!(
+            run.facility.per_minute.bins(),
+            clean.facility.per_minute.bins()
+        );
+    }
+
+    #[test]
+    fn healthy_fleet_never_flags_a_shard() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let mut cfg = FleetConfig::new("healthy", 67, 3, 1);
+        // A generous watchdog a healthy sub-second shard can't trip.
+        let board = Arc::new(ShardHealthBoard::new(3, Duration::from_secs(30)));
+        cfg.health = Some(board.clone());
+        let saw_stall = AtomicBool::new(false);
+        let watcher_board = board.clone();
+        let stop = Arc::new(AtomicBool::new(false));
+        let watcher_stop = stop.clone();
+        let watcher = std::thread::spawn(move || {
+            let mut seen = false;
+            while !watcher_stop.load(Ordering::Relaxed) {
+                if watcher_board
+                    .render_json()
+                    .contains("\"verdict\":\"stalled\"")
+                {
+                    seen = true;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            seen
+        });
+        run_fleet(&cfg).unwrap();
+        stop.store(true, Ordering::Relaxed);
+        saw_stall.fetch_or(watcher.join().unwrap(), Ordering::Relaxed);
+        assert!(!saw_stall.load(Ordering::Relaxed), "healthy run flagged");
+        let json = board.render_json();
+        assert!(json.contains("\"done\":3"), "{json}");
+        assert!(json.contains("\"lost\":0"), "{json}");
+    }
+
+    #[test]
+    fn profiled_fleet_attributes_worker_and_merge_frames() {
+        let mut cfg = FleetConfig::new("profiled", 71, 2, 1);
+        cfg.profile = true;
+        let run = run_fleet(&cfg).unwrap();
+        let snap = run.profile.expect("profile requested");
+        for frame in ["fleet.shard.execute", "fleet.merge", "sim.dispatch"] {
+            assert!(
+                snap.entries()
+                    .iter()
+                    .any(|e| e.path.last().is_some_and(|f| f == frame)),
+                "missing frame {frame}"
+            );
+        }
+        // Two shards ran, each framed once.
+        let execute = snap
+            .entries()
+            .iter()
+            .find(|e| e.path == ["fleet.shard.execute"])
+            .unwrap();
+        assert_eq!(execute.count, 2);
+        // Nesting survived the merge: the dispatch loop sits under execute.
+        assert!(snap
+            .entries()
+            .iter()
+            .any(|e| e.path == ["fleet.shard.execute", "sim.dispatch"]));
+        // And the result is byte-identical to an unprofiled fleet.
+        let plain = run_fleet(&FleetConfig::new("profiled", 71, 2, 1)).unwrap();
+        assert!(plain.profile.is_none());
+        assert_eq!(run.report.render().render(), plain.report.render().render());
+    }
+
+    #[test]
     fn events_narrate_the_run() {
         use std::sync::Mutex;
         let mut cfg = FleetConfig::new("events", 59, 2, 1);
         cfg.fail_plan = vec![FailSpec {
             shard: 0,
             failures: 1,
+            stall_ms: 0,
         }];
         let log: Mutex<Vec<String>> = Mutex::new(Vec::new());
         let capture = |ev: &FleetEvent<'_>| {

@@ -24,7 +24,10 @@ use csprov_analysis::persist::{
     get_counting_sink, get_rate_series, get_size_histogram, put_counting_sink, put_rate_series,
     put_size_histogram,
 };
-use csprov_analysis::{ByteReader, ByteWriter, StateError, KIND_FACILITY, KIND_SHARD};
+use csprov_analysis::{
+    ByteReader, ByteWriter, StateError, KIND_FACILITY, KIND_HEARTBEAT, KIND_SHARD,
+};
+use csprov_obs::HeartbeatRecord;
 use csprov_sim::SimDuration;
 
 use super::{FacilityAnalysis, FleetConfig, FleetError, FleetMerger, ShardState};
@@ -258,6 +261,111 @@ pub fn decode_facility(bytes: &[u8]) -> Result<FacilityAnalysis, StateError> {
         dropped_bins,
         sessions,
     })
+}
+
+/// Encodes a worker heartbeat as a `csprov-state/1` heartbeat container:
+/// one meta section carrying the eight [`HeartbeatRecord`] fields.
+pub fn encode_heartbeat(rec: &HeartbeatRecord) -> Vec<u8> {
+    let mut w = ByteWriter::container(KIND_HEARTBEAT);
+    w.section(TAG_META, |w| {
+        w.put_u64(rec.shard);
+        w.put_u8(rec.state);
+        w.put_u64(rec.sim_ns);
+        w.put_u64(rec.horizon_ns);
+        w.put_u64(rec.retries);
+        w.put_u64(rec.checkpoints);
+        w.put_u64(rec.wall_ms);
+        w.put_u64(rec.unix_ms);
+    });
+    w.into_bytes()
+}
+
+/// Decodes a `csprov-state/1` heartbeat container.
+pub fn decode_heartbeat(bytes: &[u8]) -> Result<HeartbeatRecord, StateError> {
+    let (kind, mut r) = ByteReader::container(bytes)?;
+    if kind != KIND_HEARTBEAT {
+        return Err(StateError::WrongKind {
+            expected: KIND_HEARTBEAT,
+            found: kind,
+        });
+    }
+    let mut meta = r.section(TAG_META)?;
+    let rec = HeartbeatRecord {
+        shard: meta.get_u64()?,
+        state: meta.get_u8()?,
+        sim_ns: meta.get_u64()?,
+        horizon_ns: meta.get_u64()?,
+        retries: meta.get_u64()?,
+        checkpoints: meta.get_u64()?,
+        wall_ms: meta.get_u64()?,
+        unix_ms: meta.get_u64()?,
+    };
+    meta.finish()?;
+    r.finish()?;
+    Ok(rec)
+}
+
+/// The heartbeat sidecar file name for a shard: `shard-00042.hb`. Lives
+/// next to the checkpoint in the state directory; the resume scan ignores
+/// it (it is not a `.state` file) and the serving plane's watchdog scan
+/// reads it.
+pub fn heartbeat_file_name(shard: usize) -> String {
+    format!("shard-{shard:05}.hb")
+}
+
+/// Parses a heartbeat sidecar name back to its shard index; `None` for
+/// anything that is not exactly `shard-NNNNN.hb`.
+fn parse_heartbeat_file_name(name: &str) -> Option<usize> {
+    let digits = name.strip_prefix("shard-")?.strip_suffix(".hb")?;
+    if digits.len() != 5 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Writes a heartbeat sidecar via tmp + rename so readers never observe a
+/// torn record. Unlike checkpoints there is deliberately no `fsync`:
+/// heartbeats are ephemeral liveness signals rewritten every few hundred
+/// milliseconds, and losing one to a crash is exactly the signal the
+/// watchdog exists to notice.
+pub fn write_heartbeat(dir: &Path, rec: &HeartbeatRecord) -> Result<PathBuf, CheckpointError> {
+    let shard = usize::try_from(rec.shard).map_err(|_| CheckpointError::Mismatch("shard"))?;
+    let final_path = dir.join(heartbeat_file_name(shard));
+    let tmp_path = dir.join(format!(".shard-{shard:05}.hb.tmp"));
+    fs::write(&tmp_path, encode_heartbeat(rec))?;
+    if let Err(e) = fs::rename(&tmp_path, &final_path) {
+        let _ = fs::remove_file(&tmp_path);
+        return Err(CheckpointError::Io(e));
+    }
+    Ok(final_path)
+}
+
+/// Scans `dir` for heartbeat sidecars, returning every record that
+/// decodes cleanly in shard order. Undecodable or foreign files are
+/// skipped silently — a torn or stale sidecar simply means that shard
+/// reports no fresh beat, which the watchdog handles.
+pub fn scan_heartbeats(dir: &Path) -> Vec<HeartbeatRecord> {
+    let mut found: BTreeMap<usize, HeartbeatRecord> = BTreeMap::new();
+    let Ok(entries) = fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(shard) = parse_heartbeat_file_name(name) else {
+            continue;
+        };
+        let Ok(bytes) = fs::read(entry.path()) else {
+            continue;
+        };
+        let Ok(rec) = decode_heartbeat(&bytes) else {
+            continue;
+        };
+        if rec.shard == shard as u64 {
+            found.insert(shard, rec);
+        }
+    }
+    found.into_values().collect()
 }
 
 /// The canonical checkpoint file name for a shard: `shard-00042.state`.
@@ -570,6 +678,63 @@ mod tests {
         );
         assert_eq!(stats.len(), 3);
         assert!(stats.windows(2).all(|w| w[0].shard < w[1].shard));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn heartbeat_round_trip_and_scan() {
+        let dir = std::env::temp_dir().join(format!("csprov-persist-hb-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let rec = HeartbeatRecord {
+            shard: 7,
+            state: csprov_obs::SHARD_RUNNING,
+            sim_ns: 123_456_789,
+            horizon_ns: 600_000_000_000,
+            retries: 1,
+            checkpoints: 0,
+            wall_ms: 250,
+            unix_ms: 1_700_000_000_000,
+        };
+        let bytes = encode_heartbeat(&rec);
+        assert_eq!(decode_heartbeat(&bytes).unwrap(), rec);
+        // A heartbeat container is not a shard checkpoint.
+        assert!(matches!(
+            decode_shard_state(&bytes),
+            Err(StateError::WrongKind { .. })
+        ));
+
+        let path = write_heartbeat(&dir, &rec).unwrap();
+        assert_eq!(path.file_name().unwrap(), "shard-00007.hb");
+        // Torn tmp files, garbage sidecars, and foreign names are skipped.
+        fs::write(dir.join(".shard-00008.hb.tmp"), b"partial").unwrap();
+        fs::write(dir.join("shard-00009.hb"), b"garbage").unwrap();
+        fs::write(dir.join("notes.hb"), b"hello").unwrap();
+        let scanned = scan_heartbeats(&dir);
+        assert_eq!(scanned, vec![rec]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn heartbeat_sidecars_are_invisible_to_the_resume_scan() {
+        let dir = std::env::temp_dir().join(format!("csprov-persist-hbr-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let config = FleetConfig::new("persist-test", 99, 4, 3);
+        let rec = HeartbeatRecord {
+            shard: 0,
+            state: csprov_obs::SHARD_RUNNING,
+            sim_ns: 1,
+            horizon_ns: 2,
+            retries: 0,
+            checkpoints: 0,
+            wall_ms: 0,
+            unix_ms: 1,
+        };
+        write_heartbeat(&dir, &rec).unwrap();
+        let scan = load_checkpoints(&dir, &config).unwrap();
+        assert!(scan.states.is_empty());
+        assert!(scan.rejected.is_empty(), "a .hb file is not a checkpoint");
         let _ = fs::remove_dir_all(&dir);
     }
 

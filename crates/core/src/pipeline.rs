@@ -9,7 +9,7 @@
 use csprov_analysis::{FlowTable, RateSeries, SizeHistogram, VarianceTime};
 use csprov_game::{Middlebox, ScenarioConfig, TraceOutcome, World, WorldInstruments};
 use csprov_net::{CountingSink, Direction, PacketBatch, TraceRecord, TraceSink};
-use csprov_obs::MetricsRegistry;
+use csprov_obs::{MetricsRegistry, Profile};
 use csprov_sim::{SimDuration, SimTime};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -299,6 +299,38 @@ impl TraceSink for FullAnalysis {
     }
 }
 
+/// Observe-only tap shim that frames every sink delivery in a wall-time
+/// profiler before forwarding to the wrapped analysis. It exists only for
+/// the duration of the run, so [`FullAnalysis`] (and [`MainRun`]) stay
+/// `Send` even though [`Profile`] is thread-local.
+struct ProfiledTap {
+    inner: Rc<RefCell<FullAnalysis>>,
+    profile: Profile,
+}
+
+impl TraceSink for ProfiledTap {
+    fn on_packet(&mut self, rec: &TraceRecord) {
+        self.inner.borrow_mut().on_packet(rec);
+    }
+
+    fn on_batch(&mut self, recs: &[TraceRecord]) {
+        let mut scope = self.profile.enter("pipeline.ingest");
+        scope.add_items(recs.len() as u64);
+        self.inner.borrow_mut().on_batch(recs);
+    }
+
+    fn on_columns(&mut self, batch: &PacketBatch) {
+        let mut scope = self.profile.enter("pipeline.ingest");
+        scope.add_items(batch.len() as u64);
+        self.inner.borrow_mut().on_columns(batch);
+    }
+
+    fn on_end(&mut self, end: SimTime) {
+        let _scope = self.profile.enter("pipeline.fold");
+        self.inner.borrow_mut().on_end(end);
+    }
+}
+
 /// A finished main-trace run: the analyzers plus the world outcome.
 pub struct MainRun {
     /// The scenario that produced it.
@@ -337,8 +369,14 @@ impl MainRun {
         registry: Option<&MetricsRegistry>,
     ) -> MainRun {
         let analysis = Rc::new(RefCell::new(FullAnalysis::new(config.duration)));
-        let outcome =
-            World::run_instrumented(config.clone(), analysis.clone(), middlebox, instruments);
+        let sink: Rc<RefCell<dyn TraceSink>> = match instruments.profile.clone() {
+            Some(profile) => Rc::new(RefCell::new(ProfiledTap {
+                inner: analysis.clone(),
+                profile,
+            })),
+            None => analysis.clone(),
+        };
+        let outcome = World::run_instrumented(config.clone(), sink, middlebox, instruments);
         let analysis = match Rc::try_unwrap(analysis) {
             Ok(cell) => cell.into_inner(),
             // The world releases its sink handle when the run returns, so
@@ -404,6 +442,52 @@ mod tests {
                 a.per_minute_in.bins()[i].packets + a.per_minute_out.bins()[i].packets
             );
         }
+    }
+
+    #[test]
+    fn profiled_run_matches_unprofiled_and_frames_the_ingest() {
+        let plain = MainRun::execute(ScenarioConfig::new(11, SimDuration::from_mins(2)));
+        let profile = Profile::new();
+        let instruments = WorldInstruments {
+            profile: Some(profile.clone()),
+            ..Default::default()
+        };
+        let profiled = MainRun::execute_instrumented(
+            ScenarioConfig::new(11, SimDuration::from_mins(2)),
+            instruments,
+            None,
+        );
+        assert_eq!(
+            plain.analysis.counts.total_packets(),
+            profiled.analysis.counts.total_packets(),
+            "profiling must not perturb the analysis"
+        );
+        assert_eq!(
+            plain.analysis.counts.total_wire_bytes(),
+            profiled.analysis.counts.total_wire_bytes()
+        );
+        assert_eq!(
+            plain.outcome.sessions.len(),
+            profiled.outcome.sessions.len()
+        );
+        let snap = profile.snapshot();
+        let ingest = snap
+            .entries()
+            .iter()
+            .find(|e| e.path.last().is_some_and(|f| f == "pipeline.ingest"))
+            .expect("ingest frames recorded");
+        assert!(
+            ingest.items > 0 && ingest.items <= profiled.analysis.counts.total_packets(),
+            "ingest frame items count batched records (got {} of {})",
+            ingest.items,
+            profiled.analysis.counts.total_packets()
+        );
+        assert!(
+            snap.entries()
+                .iter()
+                .any(|e| e.path.last().is_some_and(|f| f == "pipeline.fold")),
+            "analyzer finalization is framed"
+        );
     }
 
     #[test]

@@ -60,6 +60,12 @@ pub struct WorldInstruments {
     /// ever sleeps the thread, so a paced run computes exactly what an
     /// unpaced one computes.
     pub pacer: Option<csprov_sim::Pacer>,
+    /// Hierarchical wall-time profiler. Handed to the kernel (which
+    /// frames its dispatch loop as `sim.dispatch`) and available to the
+    /// pipeline layers around the run; spans built from a registry with
+    /// the same profile attached nest under whatever frame is open.
+    /// Observe-only, like everything else here.
+    pub profile: Option<csprov_obs::Profile>,
 }
 
 /// Sampling stride for kernel dispatch events when a journal is attached:
@@ -233,6 +239,9 @@ impl World {
         }
         if let Some(pacer) = instruments.pacer {
             sim.set_pacer(pacer);
+        }
+        if let Some(profile) = instruments.profile {
+            sim.set_profile(profile);
         }
         schedule_warm_start(&state, &mut sim);
         schedule_arrivals(&state, &mut sim);

@@ -1,0 +1,518 @@
+//! Fleet shard health: a lock-free heartbeat board plus the wall-clock
+//! watchdog that turns beats into `stalled`/`degraded` verdicts.
+//!
+//! Each fleet worker — in-process on a work-stealing thread, or a
+//! separate process writing `csprov-state/1` heartbeat sidecars —
+//! reports into one [`ShardHealthBoard`] slot: run state, sim-time
+//! watermark, retries, checkpoints, and the wall time of its last beat.
+//! The board is all atomics, so worker threads beat without locking and
+//! HTTP handler threads render `/shards` without blocking anyone.
+//!
+//! Verdicts are computed on demand at render time, not pushed: a stalled
+//! worker by definition cannot push its own bad news, so the watchdog
+//! compares each running shard's last beat against `watchdog` wall time
+//! whenever someone asks. Everything here is wall-domain observability
+//! and must never feed a determinism artifact.
+
+use crate::registry::MetricsRegistry;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::time::{Duration, Instant, SystemTime};
+
+/// Shard has not started executing yet.
+pub const SHARD_PENDING: u8 = 0;
+/// Shard is executing (or retrying after an injected/real failure).
+pub const SHARD_RUNNING: u8 = 1;
+/// Shard finished and its state was collected.
+pub const SHARD_DONE: u8 = 2;
+/// Shard exhausted its retry budget and was abandoned.
+pub const SHARD_LOST: u8 = 3;
+
+/// One decoded heartbeat, as carried by the `csprov-state/1` sidecar
+/// files out-of-process workers write (see `csprov::fleet::persist`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HeartbeatRecord {
+    /// Shard index.
+    pub shard: u64,
+    /// One of the `SHARD_*` states.
+    pub state: u8,
+    /// Sim-time watermark, ns.
+    pub sim_ns: u64,
+    /// Sim horizon for the shard, ns (0 if unknown).
+    pub horizon_ns: u64,
+    /// Retries consumed so far.
+    pub retries: u64,
+    /// Checkpoints written so far.
+    pub checkpoints: u64,
+    /// Wall ms since the worker started this shard.
+    pub wall_ms: u64,
+    /// Unix wall-clock ms when the beat was written; orders beats across
+    /// processes and lets the scanner estimate staleness.
+    pub unix_ms: u64,
+}
+
+struct Slot {
+    state: AtomicU8,
+    sim_ns: AtomicU64,
+    horizon_ns: AtomicU64,
+    retries: AtomicU64,
+    checkpoints: AtomicU64,
+    /// Board-epoch-relative ms of the last beat.
+    last_beat_ms: AtomicU64,
+    /// Newest `unix_ms` applied from a sidecar (0 = none yet).
+    hb_unix_ms: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            state: AtomicU8::new(SHARD_PENDING),
+            sim_ns: AtomicU64::new(0),
+            horizon_ns: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
+            last_beat_ms: AtomicU64::new(0),
+            hb_unix_ms: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Per-shard health slots plus the watchdog deadline. `Send + Sync`;
+/// share it as an `Arc` between the fleet executor, the sidecar scanner,
+/// and the serving plane.
+pub struct ShardHealthBoard {
+    slots: Vec<Slot>,
+    epoch: Instant,
+    watchdog: Duration,
+}
+
+impl std::fmt::Debug for ShardHealthBoard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardHealthBoard")
+            .field("shards", &self.slots.len())
+            .field("watchdog", &self.watchdog)
+            .finish()
+    }
+}
+
+/// Current unix time in ms (wall domain only).
+pub fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+impl ShardHealthBoard {
+    /// A board for `shards` slots; a running shard whose last beat is
+    /// older than `watchdog` wall time is flagged `stalled`.
+    pub fn new(shards: usize, watchdog: Duration) -> Self {
+        ShardHealthBoard {
+            slots: (0..shards).map(|_| Slot::new()).collect(),
+            epoch: Instant::now(),
+            watchdog,
+        }
+    }
+
+    /// Number of shard slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the board tracks no shards.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The configured watchdog deadline.
+    pub fn watchdog(&self) -> Duration {
+        self.watchdog
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Marks `shard` running with `horizon_ns` and beats it.
+    pub fn start(&self, shard: usize, horizon_ns: u64) {
+        if let Some(slot) = self.slots.get(shard) {
+            slot.state.store(SHARD_RUNNING, Ordering::Relaxed);
+            slot.horizon_ns.store(horizon_ns, Ordering::Relaxed);
+            slot.last_beat_ms.store(self.now_ms(), Ordering::Relaxed);
+        }
+    }
+
+    /// Advances `shard`'s sim-time watermark and refreshes its beat.
+    pub fn beat(&self, shard: usize, sim_ns: u64) {
+        if let Some(slot) = self.slots.get(shard) {
+            slot.sim_ns.fetch_max(sim_ns, Ordering::Relaxed);
+            slot.last_beat_ms.store(self.now_ms(), Ordering::Relaxed);
+        }
+    }
+
+    /// Counts a retry (the shard stays/returns to running).
+    pub fn retry(&self, shard: usize) {
+        if let Some(slot) = self.slots.get(shard) {
+            slot.retries.fetch_add(1, Ordering::Relaxed);
+            slot.state.store(SHARD_RUNNING, Ordering::Relaxed);
+            slot.last_beat_ms.store(self.now_ms(), Ordering::Relaxed);
+        }
+    }
+
+    /// Counts a written checkpoint.
+    pub fn checkpoint(&self, shard: usize) {
+        if let Some(slot) = self.slots.get(shard) {
+            slot.checkpoints.fetch_add(1, Ordering::Relaxed);
+            slot.last_beat_ms.store(self.now_ms(), Ordering::Relaxed);
+        }
+    }
+
+    /// Marks `shard` done at `sim_ns`.
+    pub fn done(&self, shard: usize, sim_ns: u64) {
+        if let Some(slot) = self.slots.get(shard) {
+            slot.sim_ns.fetch_max(sim_ns, Ordering::Relaxed);
+            slot.state.store(SHARD_DONE, Ordering::Relaxed);
+            slot.last_beat_ms.store(self.now_ms(), Ordering::Relaxed);
+        }
+    }
+
+    /// Marks `shard` lost (retry budget exhausted).
+    pub fn lost(&self, shard: usize) {
+        if let Some(slot) = self.slots.get(shard) {
+            slot.state.store(SHARD_LOST, Ordering::Relaxed);
+            slot.last_beat_ms.store(self.now_ms(), Ordering::Relaxed);
+        }
+    }
+
+    /// Applies a heartbeat decoded from a sidecar file. Records are
+    /// ordered by `unix_ms`; a stale or replayed record is ignored, and a
+    /// terminal local state (done/lost) is never downgraded by a sidecar
+    /// still claiming `running`.
+    pub fn apply(&self, rec: &HeartbeatRecord) {
+        let Some(slot) = self.slots.get(rec.shard as usize) else {
+            return;
+        };
+        let prev = slot.hb_unix_ms.load(Ordering::Relaxed);
+        if rec.unix_ms <= prev {
+            return;
+        }
+        slot.hb_unix_ms.store(rec.unix_ms, Ordering::Relaxed);
+        let current = slot.state.load(Ordering::Relaxed);
+        if current < SHARD_DONE || rec.state >= SHARD_DONE {
+            slot.state.store(rec.state, Ordering::Relaxed);
+        }
+        slot.sim_ns.fetch_max(rec.sim_ns, Ordering::Relaxed);
+        if rec.horizon_ns > 0 {
+            slot.horizon_ns.store(rec.horizon_ns, Ordering::Relaxed);
+        }
+        slot.retries.fetch_max(rec.retries, Ordering::Relaxed);
+        slot.checkpoints
+            .fetch_max(rec.checkpoints, Ordering::Relaxed);
+        // Staleness travels with the record: a beat written `age` ms ago
+        // lands on the board `age` ms in the past.
+        let age_ms = unix_ms().saturating_sub(rec.unix_ms);
+        slot.last_beat_ms
+            .store(self.now_ms().saturating_sub(age_ms), Ordering::Relaxed);
+    }
+
+    fn verdict(&self, slot: &Slot, now_ms: u64) -> &'static str {
+        let state = slot.state.load(Ordering::Relaxed);
+        if state == SHARD_LOST {
+            return "lost";
+        }
+        if state == SHARD_RUNNING {
+            let age = now_ms.saturating_sub(slot.last_beat_ms.load(Ordering::Relaxed));
+            if age > self.watchdog.as_millis() as u64 {
+                return "stalled";
+            }
+        }
+        if slot.retries.load(Ordering::Relaxed) > 0 {
+            return "degraded";
+        }
+        "ok"
+    }
+
+    /// Renders the `/shards` document: per-shard state, watermark,
+    /// progress, and watchdog verdict, plus a summary roll-up.
+    pub fn render_json(&self) -> String {
+        let now_ms = self.now_ms();
+        let mut shards = String::new();
+        let (mut pending, mut running, mut done, mut lost) = (0u64, 0u64, 0u64, 0u64);
+        let (mut stalled, mut degraded) = (0u64, 0u64);
+        for (i, slot) in self.slots.iter().enumerate() {
+            let state = slot.state.load(Ordering::Relaxed);
+            let state_name = match state {
+                SHARD_RUNNING => {
+                    running += 1;
+                    "running"
+                }
+                SHARD_DONE => {
+                    done += 1;
+                    "done"
+                }
+                SHARD_LOST => {
+                    lost += 1;
+                    "lost"
+                }
+                _ => {
+                    pending += 1;
+                    "pending"
+                }
+            };
+            let verdict = self.verdict(slot, now_ms);
+            match verdict {
+                "stalled" => stalled += 1,
+                "degraded" => degraded += 1,
+                _ => {}
+            }
+            let sim_ns = slot.sim_ns.load(Ordering::Relaxed);
+            let horizon_ns = slot.horizon_ns.load(Ordering::Relaxed);
+            let progress = if horizon_ns > 0 {
+                (sim_ns as f64 / horizon_ns as f64).min(1.0)
+            } else {
+                0.0
+            };
+            let beat_age_ms = if state == SHARD_PENDING {
+                0
+            } else {
+                now_ms.saturating_sub(slot.last_beat_ms.load(Ordering::Relaxed))
+            };
+            if i > 0 {
+                shards.push(',');
+            }
+            shards.push_str(&format!(
+                "{{\"shard\":{i},\"state\":\"{state_name}\",\"verdict\":\"{verdict}\",\
+                 \"sim_ns\":{sim_ns},\"horizon_ns\":{horizon_ns},\
+                 \"progress\":{progress:.6},\"retries\":{retries},\
+                 \"checkpoints\":{checkpoints},\"beat_age_ms\":{beat_age_ms}}}",
+                retries = slot.retries.load(Ordering::Relaxed),
+                checkpoints = slot.checkpoints.load(Ordering::Relaxed),
+            ));
+        }
+        format!(
+            "{{\"schema\":\"csprov-shards/1\",\"watchdog_ms\":{watchdog},\
+             \"summary\":{{\"total\":{total},\"pending\":{pending},\
+             \"running\":{running},\"done\":{done},\"lost\":{lost},\
+             \"stalled\":{stalled},\"degraded\":{degraded}}},\
+             \"shards\":[{shards}]}}",
+            watchdog = self.watchdog.as_millis(),
+            total = self.slots.len(),
+        )
+    }
+
+    /// Exports the board as wall-flagged `shard.*` instruments with HELP
+    /// text. Call from the simulation thread (the registry is
+    /// single-threaded by design).
+    pub fn export_metrics(&self, registry: &MetricsRegistry) {
+        let now_ms = self.now_ms();
+        let (mut running, mut done, mut lost) = (0i64, 0i64, 0i64);
+        let (mut stalled, mut degraded) = (0i64, 0i64);
+        let (mut retries, mut checkpoints) = (0u64, 0u64);
+        let mut floor_ns = u64::MAX;
+        let mut any_unfinished = false;
+        for slot in &self.slots {
+            let state = slot.state.load(Ordering::Relaxed);
+            match state {
+                SHARD_RUNNING => running += 1,
+                SHARD_DONE => done += 1,
+                SHARD_LOST => lost += 1,
+                _ => {}
+            }
+            match self.verdict(slot, now_ms) {
+                "stalled" => stalled += 1,
+                "degraded" => degraded += 1,
+                _ => {}
+            }
+            retries += slot.retries.load(Ordering::Relaxed);
+            checkpoints += slot.checkpoints.load(Ordering::Relaxed);
+            let sim_ns = slot.sim_ns.load(Ordering::Relaxed);
+            if state != SHARD_DONE {
+                any_unfinished = true;
+                floor_ns = floor_ns.min(sim_ns);
+            } else if !any_unfinished {
+                floor_ns = floor_ns.min(sim_ns);
+            }
+        }
+        if self.slots.is_empty() {
+            floor_ns = 0;
+        }
+        for (name, value, help) in [
+            ("shard.running", running, "fleet shards currently executing"),
+            ("shard.done", done, "fleet shards completed and collected"),
+            (
+                "shard.lost",
+                lost,
+                "fleet shards abandoned after retry budget",
+            ),
+            (
+                "shard.stalled",
+                stalled,
+                "running shards whose last heartbeat is older than the watchdog",
+            ),
+            (
+                "shard.degraded",
+                degraded,
+                "shards that consumed at least one retry",
+            ),
+        ] {
+            registry.wall_gauge(name).set(value);
+            registry.describe(name, help);
+        }
+        raise_counter(registry, "shard.retries", retries);
+        registry.describe("shard.retries", "retries consumed across all shards");
+        raise_counter(registry, "shard.checkpoints", checkpoints);
+        registry.describe(
+            "shard.checkpoints",
+            "checkpoint files written across all shards",
+        );
+        registry
+            .wall_gauge("shard.watermark_ns")
+            .set(floor_ns.min(i64::MAX as u64) as i64);
+        registry.describe(
+            "shard.watermark_ns",
+            "lowest sim-time watermark across unfinished shards (fleet progress floor)",
+        );
+    }
+}
+
+/// Raises a counter to an absolute snapshot value (counters only add).
+fn raise_counter(registry: &MetricsRegistry, name: &str, target: u64) {
+    let counter = registry.wall_counter(name);
+    let current = counter.get();
+    if target > current {
+        counter.add(target - current);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    fn board(shards: usize, watchdog_ms: u64) -> ShardHealthBoard {
+        ShardHealthBoard::new(shards, Duration::from_millis(watchdog_ms))
+    }
+
+    #[test]
+    fn silent_running_shard_is_flagged_stalled_after_the_watchdog() {
+        let b = board(2, 20);
+        b.start(0, 1_000);
+        b.start(1, 1_000);
+        b.beat(0, 100);
+        std::thread::sleep(Duration::from_millis(60));
+        b.beat(1, 900); // shard 1 keeps beating; shard 0 went silent
+        let doc = Json::parse(&b.render_json()).expect("valid JSON");
+        let shards = doc.get("shards").and_then(Json::as_arr).expect("shards");
+        assert_eq!(
+            shards[0].get("verdict").and_then(Json::as_str),
+            Some("stalled")
+        );
+        assert_eq!(shards[1].get("verdict").and_then(Json::as_str), Some("ok"));
+        let summary = doc.get("summary").expect("summary");
+        assert_eq!(summary.get("stalled").and_then(Json::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn healthy_lifecycle_never_flags() {
+        let b = board(1, 10_000);
+        b.start(0, 1_000);
+        b.beat(0, 500);
+        b.checkpoint(0);
+        b.done(0, 1_000);
+        let doc = Json::parse(&b.render_json()).expect("valid JSON");
+        let shard = &doc.get("shards").and_then(Json::as_arr).expect("shards")[0];
+        assert_eq!(shard.get("state").and_then(Json::as_str), Some("done"));
+        assert_eq!(shard.get("verdict").and_then(Json::as_str), Some("ok"));
+        assert_eq!(shard.get("progress").and_then(Json::as_f64), Some(1.0));
+        assert!(!b.render_json().contains("\"verdict\":\"stalled\""));
+    }
+
+    #[test]
+    fn done_shards_are_exempt_from_the_watchdog() {
+        let b = board(1, 10);
+        b.start(0, 100);
+        b.done(0, 100);
+        std::thread::sleep(Duration::from_millis(40));
+        let json = b.render_json();
+        assert!(json.contains("\"verdict\":\"ok\""), "got {json}");
+    }
+
+    #[test]
+    fn retries_mark_a_shard_degraded_and_loss_is_terminal() {
+        let b = board(2, 10_000);
+        b.start(0, 100);
+        b.retry(0);
+        b.start(1, 100);
+        b.lost(1);
+        let doc = Json::parse(&b.render_json()).expect("valid JSON");
+        let shards = doc.get("shards").and_then(Json::as_arr).expect("shards");
+        assert_eq!(
+            shards[0].get("verdict").and_then(Json::as_str),
+            Some("degraded")
+        );
+        assert_eq!(
+            shards[1].get("verdict").and_then(Json::as_str),
+            Some("lost")
+        );
+    }
+
+    #[test]
+    fn sidecar_records_apply_monotonically() {
+        let b = board(1, 10_000);
+        let rec = HeartbeatRecord {
+            shard: 0,
+            state: SHARD_RUNNING,
+            sim_ns: 500,
+            horizon_ns: 1_000,
+            retries: 1,
+            checkpoints: 2,
+            wall_ms: 10,
+            unix_ms: unix_ms(),
+        };
+        b.apply(&rec);
+        // A replay or older record must not regress anything.
+        b.apply(&HeartbeatRecord {
+            sim_ns: 100,
+            retries: 0,
+            unix_ms: rec.unix_ms.saturating_sub(5),
+            ..rec
+        });
+        let doc = Json::parse(&b.render_json()).expect("valid JSON");
+        let shard = &doc.get("shards").and_then(Json::as_arr).expect("shards")[0];
+        assert_eq!(shard.get("sim_ns").and_then(Json::as_f64), Some(500.0));
+        assert_eq!(shard.get("retries").and_then(Json::as_f64), Some(1.0));
+        // A done record supersedes running; a late running record cannot
+        // resurrect a done shard.
+        b.apply(&HeartbeatRecord {
+            state: SHARD_DONE,
+            sim_ns: 1_000,
+            unix_ms: rec.unix_ms + 10,
+            ..rec
+        });
+        b.apply(&HeartbeatRecord {
+            state: SHARD_RUNNING,
+            unix_ms: rec.unix_ms + 20,
+            ..rec
+        });
+        assert!(b.render_json().contains("\"state\":\"done\""));
+    }
+
+    #[test]
+    fn export_metrics_is_wall_only_with_help() {
+        let b = board(3, 10_000);
+        b.start(0, 100);
+        b.retry(0);
+        b.checkpoint(0);
+        b.done(1, 100);
+        let registry = MetricsRegistry::new();
+        b.export_metrics(&registry);
+        b.export_metrics(&registry); // idempotent re-export
+        let prom = registry.render_prometheus();
+        assert!(prom.contains("shard_running 1\n"), "got {prom}");
+        assert!(prom.contains("shard_done 1\n"));
+        assert!(prom.contains("shard_retries 1\n"));
+        assert!(prom.contains("shard_checkpoints 1\n"));
+        assert!(prom.contains("# HELP shard_stalled "));
+        assert!(prom.contains("# HELP shard_watermark_ns "));
+        assert!(!registry.render_deterministic().contains("shard."));
+    }
+}

@@ -426,6 +426,15 @@ impl Journal {
     /// thread-scoped instant. Timestamps are microseconds with nanosecond
     /// decimals, as the format requires.
     pub fn export_chrome_trace(&self) -> String {
+        self.export_chrome_trace_with("")
+    }
+
+    /// [`Self::export_chrome_trace`] with extra pre-rendered trace-event
+    /// rows merged into the envelope (e.g. a wall-time profile's `"X"`
+    /// complete-event rows on their own pid, see `Profile::chrome_rows`).
+    /// `extra_rows` must be zero or more JSON objects joined by `",\n"`
+    /// with no trailing comma; an empty string adds nothing.
+    pub fn export_chrome_trace_with(&self, extra_rows: &str) -> String {
         let inner = self.0.borrow();
         // Stable thread ids: first-seen order of subsystem prefixes.
         let mut tids: Vec<&str> = Vec::new();
@@ -480,6 +489,10 @@ impl Journal {
                     ev.value
                 );
             }
+        }
+        if !extra_rows.is_empty() {
+            out.push_str(",\n");
+            out.push_str(extra_rows);
         }
         out.push_str("\n]}\n");
         out

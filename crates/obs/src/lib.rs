@@ -35,18 +35,25 @@
 //! metric value.
 
 pub mod bus;
+pub mod health;
 pub mod histogram;
 pub mod journal;
 pub mod json;
+pub mod profile;
 pub mod progress;
 pub mod registry;
 pub mod span;
 pub mod timeseries;
 
 pub use bus::{BroadcastBus, BusEvent, BusStats, BusSubscriber};
+pub use health::{
+    unix_ms, HeartbeatRecord, ShardHealthBoard, SHARD_DONE, SHARD_LOST, SHARD_PENDING,
+    SHARD_RUNNING,
+};
 pub use histogram::LogHistogram;
 pub use journal::{Journal, JournalWriter, TraceEvent, JOURNAL_SCHEMA};
 pub use json::Json;
+pub use profile::{Profile, ProfileEntry, ProfileScope, ProfileSnapshot};
 pub use progress::ProgressReporter;
 pub use registry::{Counter, Gauge, Histogram, MetricsRegistry, METRICS_SCHEMA};
 pub use span::{Span, SpanGuard};

@@ -1,0 +1,526 @@
+//! Hierarchical wall-time profiler: a per-thread span stack feeding a
+//! self-time/total-time accumulator.
+//!
+//! [`Profile`] grows a tree of frames as [`Profile::enter`] guards nest:
+//! each scope records wall time into its node and into its parent's
+//! child-time, so `self = total - child` attributes every host cycle to
+//! exactly one frame. The accumulator is `Rc`-based and single-threaded
+//! like the rest of the instrument layer; a [`ProfileSnapshot`] is the
+//! `Send` projection used to merge worker profiles across threads and to
+//! render the collapsed-stack (`.folded`) flamegraph format, the ranked
+//! self-time table, and Chrome-trace rows.
+//!
+//! Everything here is wall-domain observability: a profile must only
+//! ever reach stderr, files, or HTTP — never stdout or a determinism
+//! artifact. The scope guard costs one `Instant::now` pair plus a
+//! `RefCell` borrow and a short linear child search, which keeps an
+//! *attached* profile inside the workspace's <2% overhead gate; an
+//! unattached profile costs one `Option` check at span entry.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Upper bound on retained enter/exit events for the Chrome-trace view.
+/// Beyond this the tree totals keep accumulating but per-event rows are
+/// dropped (and counted), so a week-long run cannot grow memory.
+const EVENT_RING_CAPACITY: usize = 65_536;
+
+/// One frame in the profile tree. Index 0 is the synthetic root, which
+/// only exists to give top-level frames a parent to bill child time to.
+struct Node {
+    name: String,
+    parent: usize,
+    children: Vec<usize>,
+    count: u64,
+    items: u64,
+    total_ns: u64,
+    child_ns: u64,
+}
+
+struct ProfileInner {
+    nodes: Vec<Node>,
+    stack: Vec<usize>,
+    epoch: Instant,
+    enters: u64,
+    /// (node index, start ns since epoch, duration ns) per completed
+    /// scope, bounded by [`EVENT_RING_CAPACITY`].
+    events: Vec<(u32, u64, u64)>,
+    events_dropped: u64,
+}
+
+impl ProfileInner {
+    fn find_or_insert(&mut self, parent: usize, name: &str) -> usize {
+        for &child in &self.nodes[parent].children {
+            if self.nodes[child].name == name {
+                return child;
+            }
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(Node {
+            name: name.to_string(),
+            parent,
+            children: Vec::new(),
+            count: 0,
+            items: 0,
+            total_ns: 0,
+            child_ns: 0,
+        });
+        self.nodes[parent].children.push(idx);
+        idx
+    }
+}
+
+/// A hierarchical wall-time accumulator. Cheap to clone (shared state).
+#[derive(Clone)]
+pub struct Profile {
+    inner: Rc<RefCell<ProfileInner>>,
+}
+
+impl Default for Profile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Profile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Profile")
+            .field("frames", &(inner.nodes.len() - 1))
+            .field("enters", &inner.enters)
+            .finish()
+    }
+}
+
+impl Profile {
+    /// A fresh profile with only the synthetic root frame.
+    pub fn new() -> Self {
+        Profile {
+            inner: Rc::new(RefCell::new(ProfileInner {
+                nodes: vec![Node {
+                    name: String::new(),
+                    parent: 0,
+                    children: Vec::new(),
+                    count: 0,
+                    items: 0,
+                    total_ns: 0,
+                    child_ns: 0,
+                }],
+                stack: Vec::new(),
+                epoch: Instant::now(),
+                enters: 0,
+                events: Vec::new(),
+                events_dropped: 0,
+            })),
+        }
+    }
+
+    /// Pushes `name` onto the span stack under the currently-open frame.
+    /// The returned guard pops it and bills the elapsed wall time on drop.
+    pub fn enter(&self, name: &str) -> ProfileScope {
+        let mut inner = self.inner.borrow_mut();
+        let parent = *inner.stack.last().unwrap_or(&0);
+        let node = inner.find_or_insert(parent, name);
+        inner.stack.push(node);
+        inner.enters += 1;
+        let depth = inner.stack.len();
+        drop(inner);
+        ProfileScope {
+            profile: self.clone(),
+            node,
+            depth,
+            started: Instant::now(),
+            items: 0,
+        }
+    }
+
+    /// Distinct frames observed (excluding the synthetic root).
+    pub fn frames(&self) -> usize {
+        self.inner.borrow().nodes.len() - 1
+    }
+
+    /// Total scope entries since creation.
+    pub fn enters(&self) -> u64 {
+        self.inner.borrow().enters
+    }
+
+    /// Wall nanoseconds billed to top-level frames (total observed time).
+    pub fn total_wall_ns(&self) -> u64 {
+        self.inner.borrow().nodes[0].child_ns
+    }
+
+    /// Chrome-trace events dropped at the ring bound.
+    pub fn events_dropped(&self) -> u64 {
+        self.inner.borrow().events_dropped
+    }
+
+    /// The `Send` projection of the current tree, for cross-thread merge
+    /// and rendering.
+    pub fn snapshot(&self) -> ProfileSnapshot {
+        let inner = self.inner.borrow();
+        let mut entries = Vec::with_capacity(inner.nodes.len().saturating_sub(1));
+        // DFS from the root, building each frame's full path.
+        let mut todo: Vec<(usize, Vec<String>)> = vec![(0, Vec::new())];
+        while let Some((idx, path)) = todo.pop() {
+            let node = &inner.nodes[idx];
+            if idx != 0 {
+                entries.push(ProfileEntry {
+                    path: path.clone(),
+                    count: node.count,
+                    items: node.items,
+                    total_ns: node.total_ns,
+                    child_ns: node.child_ns,
+                });
+            }
+            for &child in &node.children {
+                let mut child_path = path.clone();
+                child_path.push(inner.nodes[child].name.clone());
+                todo.push((child, child_path));
+            }
+        }
+        entries.sort_by(|a, b| a.path.cmp(&b.path));
+        ProfileSnapshot { entries }
+    }
+
+    /// Collapsed-stack flamegraph lines (`a;b;c <self_ns>`).
+    pub fn render_folded(&self) -> String {
+        self.snapshot().render_folded()
+    }
+
+    /// Ranked self-time table.
+    pub fn render_table(&self) -> String {
+        self.snapshot().render_table()
+    }
+
+    /// Chrome-trace `"X"` (complete) event rows for the retained enter/
+    /// exit events, one JSON object per row joined with `",\n"`, prefixed
+    /// by process/thread name metadata for `pid`. Timestamps are wall
+    /// microseconds since the profile epoch. Suitable for
+    /// `Journal::export_chrome_trace_with`.
+    pub fn chrome_rows(&self, pid: u32) -> String {
+        let inner = self.inner.borrow();
+        let mut out = String::with_capacity(64 + inner.events.len() * 96);
+        out.push_str(&format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\
+             \"args\":{{\"name\":\"profile (wall time)\"}}}}"
+        ));
+        out.push_str(&format!(
+            ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":1,\
+             \"args\":{{\"name\":\"span stack\"}}}}"
+        ));
+        for &(node, start_ns, dur_ns) in &inner.events {
+            let name = &inner.nodes[node as usize].name;
+            out.push_str(&format!(
+                ",\n{{\"name\":{},\"ph\":\"X\",\"ts\":{}.{:03},\"dur\":{}.{:03},\
+                 \"pid\":{pid},\"tid\":1}}",
+                crate::json::escape(name),
+                start_ns / 1_000,
+                start_ns % 1_000,
+                dur_ns / 1_000,
+                dur_ns % 1_000,
+            ));
+        }
+        out
+    }
+}
+
+/// Drop guard for one open frame. Created by [`Profile::enter`].
+pub struct ProfileScope {
+    profile: Profile,
+    node: usize,
+    depth: usize,
+    started: Instant,
+    items: u64,
+}
+
+impl ProfileScope {
+    /// Attributes `n` processed items to this frame (for items/sec in
+    /// the table).
+    pub fn add_items(&mut self, n: u64) {
+        self.items += n;
+    }
+}
+
+impl Drop for ProfileScope {
+    fn drop(&mut self) {
+        let wall_ns = self.started.elapsed().as_nanos() as u64;
+        let mut inner = self.profile.inner.borrow_mut();
+        // Pop this frame (and anything leaked above it, so an early drop
+        // cannot corrupt the stack for subsequent scopes).
+        inner.stack.truncate(self.depth.saturating_sub(1));
+        let start_ns = self
+            .started
+            .saturating_duration_since(inner.epoch)
+            .as_nanos() as u64;
+        let node = &mut inner.nodes[self.node];
+        node.count += 1;
+        node.items += self.items;
+        node.total_ns += wall_ns;
+        let parent = node.parent;
+        inner.nodes[parent].child_ns += wall_ns;
+        if inner.events.len() < EVENT_RING_CAPACITY {
+            inner.events.push((self.node as u32, start_ns, wall_ns));
+        } else {
+            inner.events_dropped += 1;
+        }
+    }
+}
+
+/// One frame in a [`ProfileSnapshot`]: its full path from the root plus
+/// its accumulated tallies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProfileEntry {
+    /// Frame names from the top-level frame down to this one.
+    pub path: Vec<String>,
+    /// Completed scope entries.
+    pub count: u64,
+    /// Items attributed via [`ProfileScope::add_items`].
+    pub items: u64,
+    /// Wall nanoseconds including children.
+    pub total_ns: u64,
+    /// Wall nanoseconds billed to direct children.
+    pub child_ns: u64,
+}
+
+impl ProfileEntry {
+    /// Wall nanoseconds spent in this frame itself (total minus child).
+    pub fn self_ns(&self) -> u64 {
+        self.total_ns.saturating_sub(self.child_ns)
+    }
+}
+
+/// A mergeable, `Send` projection of a [`Profile`] tree. Merging is a
+/// commutative sum per frame path, so shard profiles accumulated on
+/// worker threads can be absorbed in any order.
+#[derive(Clone, Debug, Default)]
+pub struct ProfileSnapshot {
+    entries: Vec<ProfileEntry>,
+}
+
+impl ProfileSnapshot {
+    /// The frames, sorted by path.
+    pub fn entries(&self) -> &[ProfileEntry] {
+        &self.entries
+    }
+
+    /// True when no frames have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sums `other` into `self`, matching frames by path.
+    pub fn absorb(&mut self, other: &ProfileSnapshot) {
+        for entry in &other.entries {
+            match self.entries.iter_mut().find(|e| e.path == entry.path) {
+                Some(mine) => {
+                    mine.count += entry.count;
+                    mine.items += entry.items;
+                    mine.total_ns += entry.total_ns;
+                    mine.child_ns += entry.child_ns;
+                }
+                None => self.entries.push(entry.clone()),
+            }
+        }
+        self.entries.sort_by(|a, b| a.path.cmp(&b.path));
+    }
+
+    /// Wall nanoseconds across top-level frames.
+    pub fn total_wall_ns(&self) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.path.len() == 1)
+            .map(|e| e.total_ns)
+            .sum()
+    }
+
+    /// Collapsed-stack flamegraph format: one `frame;frame;frame self_ns`
+    /// line per frame, sorted by path. Feed to any flamegraph renderer
+    /// that accepts Brendan Gregg's folded format.
+    pub fn render_folded(&self) -> String {
+        let mut out = String::new();
+        for entry in &self.entries {
+            out.push_str(&entry.path.join(";"));
+            out.push(' ');
+            out.push_str(&entry.self_ns().to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The ranked self-time table: frames sorted by self time descending,
+    /// with share of total observed wall time, counts, and items.
+    pub fn render_table(&self) -> String {
+        let total = self.total_wall_ns().max(1);
+        let mut ranked: Vec<&ProfileEntry> = self.entries.iter().collect();
+        ranked.sort_by(|a, b| b.self_ns().cmp(&a.self_ns()).then(a.path.cmp(&b.path)));
+        let mut out = String::new();
+        out.push_str(&format!(
+            "self-time ranked over {:.3} ms observed wall time ({} frames)\n",
+            self.total_wall_ns() as f64 / 1e6,
+            self.entries.len()
+        ));
+        out.push_str(&format!(
+            "{:>7} {:>12} {:>12} {:>10} {:>14}  {}\n",
+            "self%", "self_ms", "total_ms", "count", "items", "frame"
+        ));
+        for entry in ranked {
+            out.push_str(&format!(
+                "{:>6.1}% {:>12.3} {:>12.3} {:>10} {:>14}  {}\n",
+                entry.self_ns() as f64 * 100.0 / total as f64,
+                entry.self_ns() as f64 / 1e6,
+                entry.total_ns as f64 / 1e6,
+                entry.count,
+                entry.items,
+                entry.path.join(";"),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy(profile: &Profile, name: &str, items: u64) {
+        let mut scope = profile.enter(name);
+        scope.add_items(items);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    #[test]
+    fn nested_scopes_build_a_tree_with_self_le_total() {
+        let profile = Profile::new();
+        {
+            let _outer = profile.enter("fleet.shard.execute");
+            busy(&profile, "pipeline.ingest", 100);
+            busy(&profile, "pipeline.ingest", 50);
+            busy(&profile, "fleet.shard.encode", 0);
+        }
+        assert_eq!(profile.frames(), 3);
+        assert_eq!(profile.enters(), 4);
+        let snap = profile.snapshot();
+        let execute = snap
+            .entries()
+            .iter()
+            .find(|e| e.path == ["fleet.shard.execute"])
+            .expect("top frame present");
+        let ingest = snap
+            .entries()
+            .iter()
+            .find(|e| e.path == ["fleet.shard.execute", "pipeline.ingest"])
+            .expect("nested frame present");
+        assert_eq!(ingest.count, 2);
+        assert_eq!(ingest.items, 150);
+        // Children bill into the parent: self <= total everywhere, and
+        // the parent's child time is at least the nested frames' totals.
+        assert!(execute.self_ns() <= execute.total_ns);
+        assert!(execute.child_ns >= ingest.total_ns);
+        assert!(snap.total_wall_ns() >= execute.total_ns);
+        // Self times over the whole tree can never exceed observed time.
+        let self_sum: u64 = snap.entries().iter().map(|e| e.self_ns()).sum();
+        assert!(self_sum <= snap.total_wall_ns());
+    }
+
+    #[test]
+    fn folded_output_parses_as_stack_space_count() {
+        let profile = Profile::new();
+        {
+            let _a = profile.enter("run.main");
+            busy(&profile, "sim.dispatch", 10);
+        }
+        busy(&profile, "journal.flush", 0);
+        let folded = profile.render_folded();
+        assert!(!folded.is_empty());
+        for line in folded.lines() {
+            let (stack, count) = line.rsplit_once(' ').expect("space separator");
+            assert!(!stack.is_empty());
+            assert!(stack.split(';').all(|f| !f.is_empty()), "bad stack {stack}");
+            count.parse::<u64>().expect("count is an integer");
+        }
+        assert!(folded.contains("run.main;sim.dispatch "));
+    }
+
+    #[test]
+    fn snapshots_absorb_commutatively() {
+        let a = Profile::new();
+        busy(&a, "fleet.shard.execute", 5);
+        let b = Profile::new();
+        busy(&b, "fleet.shard.execute", 7);
+        busy(&b, "fleet.merge", 0);
+
+        let mut ab = a.snapshot();
+        ab.absorb(&b.snapshot());
+        let mut ba = b.snapshot();
+        ba.absorb(&a.snapshot());
+        assert_eq!(ab.entries(), ba.entries());
+        let execute = ab
+            .entries()
+            .iter()
+            .find(|e| e.path == ["fleet.shard.execute"])
+            .unwrap();
+        assert_eq!(execute.count, 2);
+        assert_eq!(execute.items, 12);
+    }
+
+    #[test]
+    fn table_ranks_by_self_time_and_reports_share() {
+        let profile = Profile::new();
+        busy(&profile, "slow.frame", 1);
+        {
+            let _s = profile.enter("fast.frame");
+        }
+        let table = profile.render_table();
+        let slow = table.find("slow.frame").expect("slow frame listed");
+        let fast = table.find("fast.frame").expect("fast frame listed");
+        assert!(slow < fast, "slower frame ranks first:\n{table}");
+        assert!(table.contains("self%"));
+    }
+
+    #[test]
+    fn chrome_rows_are_json_objects_on_their_own_pid() {
+        let profile = Profile::new();
+        busy(&profile, "serve.render", 0);
+        let rows = profile.chrome_rows(2);
+        let wrapped = format!("[{rows}]");
+        let doc = crate::json::Json::parse(&wrapped).expect("rows parse as JSON");
+        let arr = doc.as_arr().expect("array");
+        assert!(arr.len() >= 3, "metas + one event");
+        let event = arr.last().unwrap();
+        assert_eq!(
+            event.get("name").and_then(crate::json::Json::as_str),
+            Some("serve.render")
+        );
+        assert_eq!(
+            event.get("ph").and_then(crate::json::Json::as_str),
+            Some("X")
+        );
+        assert_eq!(
+            event.get("pid").and_then(crate::json::Json::as_f64),
+            Some(2.0)
+        );
+    }
+
+    #[test]
+    fn early_drop_of_an_outer_scope_keeps_the_stack_sane() {
+        let profile = Profile::new();
+        let outer = profile.enter("outer");
+        let inner = profile.enter("inner");
+        drop(outer); // out of order: truncates the stack past "inner"
+        drop(inner);
+        let _next = profile.enter("next");
+        let snap = profile.snapshot();
+        assert!(snap.entries().iter().any(|e| e.path == ["next"]));
+    }
+
+    #[test]
+    fn event_ring_is_bounded() {
+        let profile = Profile::new();
+        for _ in 0..(EVENT_RING_CAPACITY + 10) {
+            let _s = profile.enter("hot");
+        }
+        assert_eq!(profile.events_dropped(), 10);
+        assert_eq!(profile.enters(), (EVENT_RING_CAPACITY + 10) as u64);
+    }
+}

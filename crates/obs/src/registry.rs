@@ -13,6 +13,7 @@
 
 use crate::histogram::LogHistogram;
 use crate::json::escape as json_str;
+use crate::profile::Profile;
 use crate::span::Span;
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
@@ -116,6 +117,10 @@ struct Entry {
 #[derive(Clone, Default)]
 pub struct MetricsRegistry {
     entries: Rc<RefCell<BTreeMap<String, Entry>>>,
+    /// When attached (see [`Self::attach_profile`]), spans created via
+    /// [`Self::span`] also push frames onto this hierarchical wall-time
+    /// profiler.
+    profile: Rc<RefCell<Option<Profile>>>,
 }
 
 impl MetricsRegistry {
@@ -201,14 +206,29 @@ impl MetricsRegistry {
     }
 
     /// Registers a span: `<name>.count` and `<name>.sim_gap_ns` stay in the
-    /// deterministic domain, `<name>.wall_ns` records host time.
+    /// deterministic domain, `<name>.wall_ns` records host time. If a
+    /// profile is attached, span entries also become profile frames.
     pub fn span(&self, name: &str) -> Span {
         Span::new(
+            name,
             self.counter(&format!("{name}.count")),
             self.counter(&format!("{name}.items")),
             self.histogram(&format!("{name}.sim_gap_ns")),
             self.wall_histogram(&format!("{name}.wall_ns")),
+            self.profile.borrow().clone(),
         )
+    }
+
+    /// Attaches (or with `None`, detaches) a wall-time profiler. Spans
+    /// created *after* this call feed it; existing spans are unaffected,
+    /// so attach before building per-run instruments.
+    pub fn attach_profile(&self, profile: Option<Profile>) {
+        *self.profile.borrow_mut() = profile;
+    }
+
+    /// The currently attached profile, if any.
+    pub fn profile(&self) -> Option<Profile> {
+        self.profile.borrow().clone()
     }
 
     /// Number of registered instruments.
@@ -237,12 +257,35 @@ impl MetricsRegistry {
         self.render(false)
     }
 
+    /// One line per *wall* instrument only, name-sorted — the
+    /// host-dependent section (span wall histograms with p50/p95/p99,
+    /// `profile.*`, `shard.*`, `serve.*`). Render it alongside
+    /// [`Self::render_deterministic`] for an operational text view that
+    /// keeps the determinism surface separable.
+    pub fn render_wall(&self) -> String {
+        let mut out = String::new();
+        for (name, entry) in self.entries.borrow().iter() {
+            if !entry.wall {
+                continue;
+            }
+            self.render_entry(&mut out, name, entry);
+        }
+        out
+    }
+
     fn render(&self, include_wall: bool) -> String {
         let mut out = String::new();
         for (name, entry) in self.entries.borrow().iter() {
             if entry.wall && !include_wall {
                 continue;
             }
+            self.render_entry(&mut out, name, entry);
+        }
+        out
+    }
+
+    fn render_entry(&self, out: &mut String, name: &str, entry: &Entry) {
+        {
             match &entry.instrument {
                 Instrument::Counter(c) => {
                     let _ = writeln!(out, "{name} counter {}", c.get());
@@ -271,7 +314,6 @@ impl MetricsRegistry {
                 }
             }
         }
-        out
     }
 
     /// One JSON object per line, name-sorted, tagged with `artifact` and a

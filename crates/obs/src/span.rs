@@ -11,6 +11,7 @@
 //! The guard also carries an item count (players snapshotted, packets
 //! forwarded) so rates can be derived from the snapshot alone.
 
+use crate::profile::{Profile, ProfileScope};
 use crate::registry::{Counter, Histogram};
 use std::cell::Cell;
 use std::rc::Rc;
@@ -19,26 +20,35 @@ use std::time::Instant;
 /// A named, re-enterable timed region. Clone freely; clones share state.
 #[derive(Clone)]
 pub struct Span {
+    name: Rc<str>,
     count: Counter,
     items: Counter,
     sim_gap_ns: Histogram,
     wall_ns: Histogram,
     last_sim_ns: Rc<Cell<Option<u64>>>,
+    /// When attached, every entry also pushes a frame onto the
+    /// hierarchical wall-time profiler's span stack. `None` costs one
+    /// branch per entry.
+    profile: Option<Profile>,
 }
 
 impl Span {
     pub(crate) fn new(
+        name: &str,
         count: Counter,
         items: Counter,
         sim_gap_ns: Histogram,
         wall_ns: Histogram,
+        profile: Option<Profile>,
     ) -> Self {
         Span {
+            name: Rc::from(name),
             count,
             items,
             sim_gap_ns,
             wall_ns,
             last_sim_ns: Rc::new(Cell::new(None)),
+            profile,
         }
     }
 
@@ -50,6 +60,7 @@ impl Span {
             started: Instant::now(),
             sim_now_ns,
             items: 0,
+            scope: self.profile.as_ref().map(|p| p.enter(&self.name)),
         }
     }
 
@@ -70,12 +81,17 @@ pub struct SpanGuard<'a> {
     started: Instant,
     sim_now_ns: u64,
     items: u64,
+    /// Open profile frame, popped when the guard drops.
+    scope: Option<ProfileScope>,
 }
 
 impl SpanGuard<'_> {
     /// Attributes `n` processed items to this entry.
     pub fn add_items(&mut self, n: u64) {
         self.items += n;
+        if let Some(scope) = self.scope.as_mut() {
+            scope.add_items(n);
+        }
     }
 }
 
@@ -114,6 +130,35 @@ mod tests {
         assert_eq!(gaps.min(), 50_000_000);
         assert_eq!(gaps.max(), 50_000_000);
         assert_eq!(reg.wall_histogram("tick.wall_ns").snapshot().count(), 4);
+    }
+
+    #[test]
+    fn attached_profile_sees_span_entries_as_frames() {
+        let reg = MetricsRegistry::new();
+        let profile = crate::profile::Profile::new();
+        reg.attach_profile(Some(profile.clone()));
+        let span = reg.span("game.tick");
+        {
+            let mut g = span.enter(0);
+            g.add_items(2);
+        }
+        let snap = profile.snapshot();
+        let entry = snap
+            .entries()
+            .iter()
+            .find(|e| e.path == ["game.tick"])
+            .expect("span entry became a profile frame");
+        assert_eq!(entry.count, 1);
+        assert_eq!(entry.items, 2);
+        // Spans created after detaching profile nothing.
+        reg.attach_profile(None);
+        let plain = reg.span("other");
+        drop(plain.enter(0));
+        assert!(profile
+            .snapshot()
+            .entries()
+            .iter()
+            .all(|e| e.path != ["other"]));
     }
 
     #[test]

@@ -231,8 +231,23 @@ fn handle_connection(mut stream: TcpStream, shared: Arc<ServeShared>) -> io::Res
         }
         "/status" => respond(stream, "200 OK", "application/json", &shared.status_json()),
         "/report" => respond(stream, "200 OK", "text/plain", &shared.report()),
+        "/healthz" => respond(stream, "200 OK", "application/json", &shared.healthz_json()),
+        "/shards" => respond(stream, "200 OK", "application/json", &shared.shards_json()),
+        "/profile" => {
+            let table = shared.profile();
+            if table.is_empty() {
+                respond(
+                    stream,
+                    "200 OK",
+                    "text/plain",
+                    "profiling disabled (run with --profile-out)\n",
+                )
+            } else {
+                respond(stream, "200 OK", "text/plain", &table)
+            }
+        }
         "/events" => stream_events(stream, &shared),
-        _ => respond(stream, "404 Not Found", "text/plain", "not found\n"),
+        _ => respond(stream, "404 Not Found", "text/plain", NOT_FOUND),
     }
 }
 
@@ -242,7 +257,16 @@ const INDEX: &str = "csprov-serve: live telemetry for a running csprov simulatio
     GET /events   live journal events (Server-Sent Events)\n\
     GET /series   sim-time series snapshot (CSV; ?format=json)\n\
     GET /status   run progress, pacing lag, bus stats (JSON)\n\
-    GET /report   provisioning report so far (text)\n";
+    GET /report   provisioning report so far (text)\n\
+    GET /healthz  serving-plane liveness probe (JSON)\n\
+    GET /shards   fleet shard health and watchdog verdicts (JSON)\n\
+    GET /profile  wall-time self/total profile table (text)\n";
+
+/// 404 body: names every endpoint so a mistyped path is self-correcting
+/// from curl alone.
+const NOT_FOUND: &str = "not found\n\
+    known endpoints: / /metrics /events /series /status /report \
+    /healthz /shards /profile\n";
 
 fn respond(mut stream: TcpStream, status: &str, content_type: &str, body: &str) -> io::Result<()> {
     let head = format!(
@@ -385,10 +409,41 @@ mod tests {
         let (_, body) = get(addr, "/report");
         assert_eq!(body, "== sizing ==\n");
 
-        let (head, _) = get(addr, "/nope");
+        let (head, body) = get(addr, "/nope");
         assert!(head.starts_with("HTTP/1.1 404"));
+        assert!(
+            body.contains("/healthz") && body.contains("/shards") && body.contains("/profile"),
+            "404 body lists endpoints, got {body}"
+        );
         let (head, _) = get(addr, "/");
         assert!(head.starts_with("HTTP/1.1 200"));
+
+        handle.shutdown();
+    }
+
+    #[test]
+    fn health_and_profile_endpoints_answer() {
+        let (mut handle, shared) = start();
+        let addr = handle.addr();
+
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200"), "got {head}");
+        assert!(head.contains("application/json"));
+        let doc = Json::parse(&body).expect("healthz JSON parses");
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+
+        let (_, body) = get(addr, "/shards");
+        let doc = Json::parse(&body).expect("shards JSON parses");
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("csprov-shards/1")
+        );
+
+        let (_, body) = get(addr, "/profile");
+        assert!(body.contains("profiling disabled"), "got {body}");
+        shared.set_profile("== profile ==\nframe x\n".to_string());
+        let (_, body) = get(addr, "/profile");
+        assert_eq!(body, "== profile ==\nframe x\n");
 
         handle.shutdown();
     }

@@ -13,9 +13,9 @@
 //! nothing an HTTP client does can reach an instrument, only a snapshot
 //! of one.
 
-use csprov_obs::{BroadcastBus, MetricsRegistry};
+use csprov_obs::{BroadcastBus, MetricsRegistry, ShardHealthBoard};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 /// Lock-free tallies of HTTP connection outcomes, written by handler
@@ -146,6 +146,8 @@ pub struct ServeShared {
     metrics: Mutex<String>,
     series: Mutex<String>,
     report: Mutex<String>,
+    profile: Mutex<String>,
+    board: Mutex<Option<Arc<ShardHealthBoard>>>,
     status: Mutex<RunStatus>,
     http: HttpCounters,
 }
@@ -166,6 +168,8 @@ impl ServeShared {
             metrics: Mutex::new(String::new()),
             series: Mutex::new(String::new()),
             report: Mutex::new(String::new()),
+            profile: Mutex::new(String::new()),
+            board: Mutex::new(None),
             status: Mutex::new(RunStatus::default()),
             http: HttpCounters::default(),
         }
@@ -227,6 +231,64 @@ impl ServeShared {
     /// Current `/report` snapshot.
     pub fn report(&self) -> String {
         lock(&self.report).clone()
+    }
+
+    /// Replaces the `/profile` snapshot (wall-time self/total table).
+    pub fn set_profile(&self, text: String) {
+        *lock(&self.profile) = text;
+    }
+
+    /// Current `/profile` snapshot (empty until a profiled run renders).
+    pub fn profile(&self) -> String {
+        lock(&self.profile).clone()
+    }
+
+    /// Attaches the fleet health board backing `/shards`. The board is
+    /// all-atomics, so handler threads can render it directly — it is
+    /// the one instrument allowed across the thread boundary.
+    pub fn set_board(&self, board: Arc<ShardHealthBoard>) {
+        *lock(&self.board) = Some(board);
+    }
+
+    /// The attached fleet health board, if any.
+    pub fn board(&self) -> Option<Arc<ShardHealthBoard>> {
+        lock(&self.board).clone()
+    }
+
+    /// Renders `/shards`: the health board document, or a shape-stable
+    /// empty document when no fleet is attached (single-run serves).
+    pub fn shards_json(&self) -> String {
+        match self.board() {
+            Some(board) => board.render_json(),
+            None => concat!(
+                "{\"schema\":\"csprov-shards/1\",\"watchdog_ms\":0,",
+                "\"summary\":{\"total\":0,\"pending\":0,\"running\":0,",
+                "\"done\":0,\"lost\":0,\"stalled\":0,\"degraded\":0},",
+                "\"shards\":[]}"
+            )
+            .to_string(),
+        }
+    }
+
+    /// Renders `/healthz`: a liveness probe for the serving plane
+    /// itself. `ok` is true as long as the server is answering and
+    /// shutdown has not been requested — a load balancer needs nothing
+    /// deeper, and anything deeper belongs on `/status` or `/shards`.
+    pub fn healthz_json(&self) -> String {
+        let s = self.status();
+        let bus = self.bus.stats();
+        format!(
+            concat!(
+                "{{\"schema\":\"csprov-healthz/1\",\"ok\":{ok},",
+                "\"state\":{state},\"uptime_ns\":{uptime},",
+                "\"bus\":{{\"subscribers\":{subs},\"max_depth\":{depth}}}}}"
+            ),
+            ok = !self.is_shutdown(),
+            state = csprov_obs::json::escape(s.state),
+            uptime = self.started.elapsed().as_nanos(),
+            subs = bus.subscribers,
+            depth = bus.max_depth,
+        )
     }
 
     /// Applies `f` to the run status under the lock.
@@ -424,6 +486,49 @@ mod tests {
             .iter()
             .all(|(n, _, _)| !n.starts_with("serve.")));
         drop(slow);
+    }
+
+    #[test]
+    fn healthz_reports_liveness_and_flips_on_shutdown() {
+        let shared = ServeShared::new(BroadcastBus::new());
+        let doc = Json::parse(&shared.healthz_json()).expect("healthz is valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("csprov-healthz/1")
+        );
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+        assert!(doc.get("uptime_ns").and_then(Json::as_f64).is_some());
+        shared.request_shutdown();
+        let doc = Json::parse(&shared.healthz_json()).expect("healthz parses");
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+    }
+
+    #[test]
+    fn shards_json_is_shape_stable_without_a_board() {
+        let shared = ServeShared::new(BroadcastBus::new());
+        let doc = Json::parse(&shared.shards_json()).expect("empty shards doc parses");
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("csprov-shards/1")
+        );
+        let summary = doc.get("summary").expect("summary section");
+        assert_eq!(summary.get("total").and_then(Json::as_f64), Some(0.0));
+
+        let board = Arc::new(ShardHealthBoard::new(2, std::time::Duration::from_secs(5)));
+        board.start(0, 1_000);
+        shared.set_board(board);
+        let doc = Json::parse(&shared.shards_json()).expect("board doc parses");
+        let summary = doc.get("summary").expect("summary section");
+        assert_eq!(summary.get("total").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(summary.get("running").and_then(Json::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn profile_snapshot_swaps_like_the_other_slots() {
+        let shared = ServeShared::new(BroadcastBus::new());
+        assert_eq!(shared.profile(), "");
+        shared.set_profile("frame self total\n".to_string());
+        assert_eq!(shared.profile(), "frame self total\n");
     }
 
     #[test]

@@ -24,7 +24,7 @@
 use crate::event::{EventHandle, EventId, EventQueue};
 use crate::pacing::Pacer;
 use crate::time::{SimDuration, SimTime};
-use csprov_obs::Journal;
+use csprov_obs::{Journal, Profile};
 
 /// A scheduled action: a one-shot closure run with access to the simulator.
 pub type Action = Box<dyn FnOnce(&mut Simulator)>;
@@ -55,6 +55,7 @@ pub struct Simulator {
     observer: Option<(u64, Observer)>,
     journal: Option<JournalTap>,
     pacer: Option<Pacer>,
+    profile: Option<Profile>,
 }
 
 impl Default for Simulator {
@@ -75,6 +76,7 @@ impl Simulator {
             observer: None,
             journal: None,
             pacer: None,
+            profile: None,
         }
     }
 
@@ -144,6 +146,21 @@ impl Simulator {
     /// Removes the installed pacer, if any.
     pub fn clear_pacer(&mut self) {
         self.pacer = None;
+    }
+
+    /// Attaches a wall-time [`Profile`]: each [`Simulator::run_until`]
+    /// call is framed as one `sim.dispatch` profile scope carrying the
+    /// number of events executed inside it. Observe-only — the profile is
+    /// never read back by the engine — and deliberately coarse: one scope
+    /// per dispatch loop, not per event, so attaching it costs one
+    /// `Option` check per `run_until` call.
+    pub fn set_profile(&mut self, profile: Profile) {
+        self.profile = Some(profile);
+    }
+
+    /// Removes the attached profile, if any.
+    pub fn clear_profile(&mut self) {
+        self.profile = None;
     }
 
     /// Schedules `action` at absolute time `at`.
@@ -261,6 +278,10 @@ impl Simulator {
     /// horizon was reached, so subsequent scheduling is relative to the
     /// horizon rather than the last event.
     pub fn run_until(&mut self, until: SimTime) {
+        // One profile frame per dispatch loop (not per event), carrying
+        // the executed-event count as its item total.
+        let mut scope = self.profile.as_ref().map(|p| p.enter("sim.dispatch"));
+        let executed_before = self.executed;
         self.stopped = false;
         while !self.stopped {
             match self.queue.peek_time() {
@@ -272,6 +293,9 @@ impl Simulator {
         }
         if !self.stopped && self.now < until {
             self.now = until;
+        }
+        if let Some(scope) = scope.as_mut() {
+            scope.add_items(self.executed - executed_before);
         }
     }
 
@@ -287,6 +311,28 @@ mod tests {
     use super::*;
     use std::cell::RefCell;
     use std::rc::Rc;
+
+    #[test]
+    fn attached_profile_frames_the_dispatch_loop() {
+        let mut sim = Simulator::new();
+        let profile = csprov_obs::Profile::new();
+        sim.set_profile(profile.clone());
+        for ms in [10u64, 20] {
+            sim.schedule_at(SimTime::from_millis(ms), |_| {});
+        }
+        sim.run_until(SimTime::from_millis(100));
+        let snap = profile.snapshot();
+        let dispatch = snap
+            .entries()
+            .iter()
+            .find(|e| e.path == ["sim.dispatch"])
+            .expect("dispatch frame recorded");
+        assert_eq!(dispatch.count, 1);
+        assert_eq!(dispatch.items, 2);
+        // The frame is observe-only: results match an unprofiled run.
+        assert_eq!(sim.events_executed(), 2);
+        assert_eq!(sim.now(), SimTime::from_millis(100));
+    }
 
     #[test]
     fn events_fire_in_order_and_advance_clock() {

@@ -25,6 +25,7 @@ fn instruments(registry: &MetricsRegistry) -> WorldInstruments {
         observer: None,
         journal: None,
         pacer: None,
+        profile: None,
     }
 }
 

@@ -84,6 +84,7 @@ fn degraded_fleet_reports_explicit_coverage() {
     config.fail_plan = vec![FailSpec {
         shard: 1,
         failures: u32::MAX,
+        stall_ms: 0,
     }];
     let run = run_fleet(&config).expect("degraded fleet still reports");
 
@@ -137,6 +138,7 @@ fn fleet_with_no_survivors_fails_typed() {
         .map(|shard| FailSpec {
             shard,
             failures: u32::MAX,
+            stall_ms: 0,
         })
         .collect();
     match run_fleet(&config) {

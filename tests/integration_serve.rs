@@ -34,6 +34,7 @@ fn run_with_journal(seed: u64, bus: Option<&BroadcastBus>, speed: Speed) -> (Mai
         observer: None,
         journal: Some(journal.clone()),
         pacer: speed.is_paced().then(|| Pacer::new(speed)),
+        profile: None,
     };
     let run = MainRun::execute_instrumented(scenario(seed), instruments, Some(&registry));
     (run, journal)

@@ -25,6 +25,7 @@ status=0
 
 for f in crates/net/src/*.rs crates/router/src/*.rs \
     crates/core/src/fleet/mod.rs crates/core/src/fleet/persist.rs \
+    crates/core/src/fleet/coord.rs \
     crates/analysis/src/persist.rs \
     crates/core/src/experiments/aggregate.rs \
     crates/core/src/pipeline.rs crates/obs/src/journal.rs; do

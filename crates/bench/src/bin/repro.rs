@@ -398,6 +398,15 @@ fn usage() {
          [--speed N|max] [--ingest columnar|per-record] <artifact|all|main|nat>..."
     );
     eprintln!("       repro fleet merge OUT_REPORT STATE_FILE...");
+    eprintln!(
+        "       repro fleet work --shards LO:HI --fleet N --fleet-state-dir DIR \
+         [--seed S] [--fleet-minutes M] [--fleet-retries N] [--fleet-fail SPEC]"
+    );
+    eprintln!(
+        "       repro fleet coordinate --fleet N --fleet-state-dir DIR [--seed S] \
+         [--fleet-minutes M] [--workers W] [--fan-in K] [--fleet-retries N] \
+         [--fleet-fail SPEC] [--serve ADDR [--serve-linger S]]"
+    );
     eprintln!("artifacts: table1..table4, fig1..fig15, ablate-tick, ablate-population,");
     eprintln!("           ablate-nat-capacity, ablate-nat-buffer, route-cache, source-model,");
     eprintln!("           web-vs-game");
@@ -769,11 +778,537 @@ fn fleet_merge_command(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Flags shared by `repro fleet work` and `repro fleet coordinate`.
+/// Both subcommands describe the *same* fleet (`--seed`, `--fleet`,
+/// `--fleet-minutes`, `--fleet-retries`, `--fleet-fail`) so shard seeds
+/// derive identically no matter which process runs a shard; the rest is
+/// role-specific (an assigned `--shards` range for a worker, worker and
+/// merge-tree counts plus an optional serving plane for the coordinator).
+struct CoordCli {
+    seed: u64,
+    servers: Option<usize>,
+    minutes: u64,
+    state_dir: Option<String>,
+    retries: Option<u32>,
+    fail_spec: Option<String>,
+    shards: Option<fleet::coord::ShardRange>,
+    workers: usize,
+    fan_in: usize,
+    serve: Option<String>,
+    serve_linger_secs: u64,
+}
+
+fn parse_coord_cli(args: &[String]) -> Result<CoordCli, String> {
+    let mut o = CoordCli {
+        seed: 2002,
+        servers: None,
+        minutes: 30,
+        state_dir: None,
+        retries: None,
+        fail_spec: None,
+        shards: None,
+        workers: 2,
+        fan_in: 16,
+        serve: None,
+        serve_linger_secs: 0,
+    };
+    let mut args = args.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                o.seed = args
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--fleet" => {
+                let n: usize = args
+                    .next()
+                    .ok_or("--fleet needs a server count")?
+                    .parse()
+                    .map_err(|e| format!("bad fleet size: {e}"))?;
+                if n == 0 {
+                    return Err("--fleet must be > 0".into());
+                }
+                o.servers = Some(n);
+            }
+            "--fleet-minutes" => {
+                o.minutes = args
+                    .next()
+                    .ok_or("--fleet-minutes needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad fleet minutes: {e}"))?;
+                if o.minutes == 0 {
+                    return Err("--fleet-minutes must be > 0".into());
+                }
+            }
+            "--fleet-state-dir" => {
+                o.state_dir = Some(
+                    args.next()
+                        .ok_or("--fleet-state-dir needs a directory")?
+                        .clone(),
+                );
+            }
+            "--fleet-retries" => {
+                let n: u32 = args
+                    .next()
+                    .ok_or("--fleet-retries needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad fleet retries: {e}"))?;
+                if n == 0 {
+                    return Err("--fleet-retries must be > 0".into());
+                }
+                o.retries = Some(n);
+            }
+            "--fleet-fail" => {
+                let spec = args.next().ok_or("--fleet-fail needs SHARD:COUNT,...")?;
+                parse_fail_plan(spec)?;
+                o.fail_spec = Some(spec.clone());
+            }
+            "--shards" => {
+                let spec = args.next().ok_or("--shards needs LO:HI")?;
+                o.shards = Some(
+                    fleet::coord::ShardRange::parse(spec)
+                        .ok_or_else(|| format!("bad --shards '{spec}' (want LO:HI, HI > LO)"))?,
+                );
+            }
+            "--workers" => {
+                let n: usize = args
+                    .next()
+                    .ok_or("--workers needs a count")?
+                    .parse()
+                    .map_err(|e| format!("bad worker count: {e}"))?;
+                if n == 0 {
+                    return Err("--workers must be > 0".into());
+                }
+                o.workers = n;
+            }
+            "--fan-in" => {
+                let n: usize = args
+                    .next()
+                    .ok_or("--fan-in needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad fan-in: {e}"))?;
+                if n < 2 {
+                    return Err("--fan-in must be >= 2".into());
+                }
+                o.fan_in = n;
+            }
+            "--serve" => o.serve = Some(args.next().ok_or("--serve needs HOST:PORT")?.clone()),
+            "--serve-linger" => {
+                o.serve_linger_secs = args
+                    .next()
+                    .ok_or("--serve-linger needs seconds")?
+                    .parse()
+                    .map_err(|e| format!("bad linger: {e}"))?;
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if o.servers.is_none() {
+        return Err("--fleet N is required".into());
+    }
+    if o.state_dir.is_none() {
+        return Err("--fleet-state-dir DIR is required".into());
+    }
+    Ok(o)
+}
+
+/// Builds the fleet config both subcommands agree on. Shard traffic is a
+/// pure function of (seed, shard index), so a worker and the coordinator
+/// constructing this independently stay byte-compatible.
+fn coord_fleet_config(o: &CoordCli) -> Result<FleetConfig, String> {
+    let mut config = FleetConfig::new("fleet", o.seed, o.servers.unwrap(), o.minutes);
+    if let Some(attempts) = o.retries {
+        config.retry.attempts = attempts;
+    }
+    if let Some(spec) = &o.fail_spec {
+        config.fail_plan = parse_fail_plan(spec)?;
+    }
+    Ok(config)
+}
+
+/// `repro fleet work --shards LO:HI ...` — the worker half of the
+/// coordinator/worker protocol: executes one assigned shard range against
+/// the shared state directory, writing checkpoints and heartbeat sidecars
+/// the coordinator watches. Narrates to stderr only (stdout belongs to
+/// the coordinator's report). Exits 0 even when shards were lost after
+/// exhausting retries — loss is coverage accounting, not a worker crash.
+fn fleet_work_command(args: &[String]) -> ExitCode {
+    let opts = match parse_coord_cli(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: repro fleet work --shards LO:HI --fleet N --fleet-state-dir DIR \
+                 [--seed S] [--fleet-minutes M] [--fleet-retries N] [--fleet-fail SPEC]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(range) = opts.shards else {
+        eprintln!("error: fleet work requires --shards LO:HI");
+        return ExitCode::FAILURE;
+    };
+    let config = match coord_fleet_config(&opts) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let state_dir = std::path::PathBuf::from(opts.state_dir.as_deref().unwrap());
+    eprintln!(
+        "[worker] shards {range} of a {}-shard fleet (seed {}, state dir {})",
+        config.servers,
+        config.seed,
+        state_dir.display()
+    );
+    let t0 = Instant::now();
+    let on_event = |ev: &fleet::FleetEvent<'_>| match ev {
+        fleet::FleetEvent::ShardDone {
+            state,
+            from_checkpoint,
+            ..
+        } => {
+            if !from_checkpoint {
+                eprintln!("[worker] shard {} done", state.shard);
+            }
+        }
+        fleet::FleetEvent::ShardRetry {
+            shard,
+            attempt,
+            backoff_ns,
+            message,
+        } => {
+            eprintln!(
+                "[worker] shard {shard} attempt {attempt} failed ({message}); \
+                 retrying after {} ms simulated backoff",
+                backoff_ns / 1_000_000
+            );
+        }
+        fleet::FleetEvent::ShardLost {
+            shard,
+            attempts,
+            message,
+        } => {
+            eprintln!("[worker] shard {shard} LOST after {attempts} attempts ({message})");
+        }
+        fleet::FleetEvent::CheckpointWritten { .. } => {}
+        fleet::FleetEvent::CheckpointFailed { shard, message } => {
+            eprintln!("[worker] shard {shard} checkpoint write failed: {message}");
+        }
+        fleet::FleetEvent::ResumeLoaded { shard } => {
+            eprintln!("[worker] shard {shard} restored from checkpoint");
+        }
+        fleet::FleetEvent::ResumeInvalid { message } => {
+            eprintln!("[worker] ignoring invalid checkpoint: {message}");
+        }
+    };
+    match fleet::coord::run_worker_range(&config, range, &state_dir, Some(&on_event)) {
+        Ok(summary) => {
+            eprintln!(
+                "[worker] range {range} finished in {:.1} s wall: {} done, {} resumed, \
+                 {} lost, {} retries",
+                t0.elapsed().as_secs_f64(),
+                summary.done.len(),
+                summary.resumed.len(),
+                summary.lost.len(),
+                summary.retries
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: fleet work failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// A spawned `repro fleet work` child as a pollable coordinator handle.
+struct ProcessWorker {
+    child: std::process::Child,
+}
+
+impl fleet::coord::WorkerHandle for ProcessWorker {
+    fn try_status(&mut self) -> Option<Result<(), String>> {
+        match self.child.try_wait() {
+            Ok(None) => None,
+            Ok(Some(status)) if status.success() => Some(Ok(())),
+            Ok(Some(status)) => Some(Err(status.to_string())),
+            Err(e) => Some(Err(e.to_string())),
+        }
+    }
+}
+
+/// `repro fleet coordinate ...` — plans shard ranges, spawns `repro fleet
+/// work` children against the shared state directory, watches their
+/// heartbeat sidecars and exits, re-dispatches ranges of killed workers,
+/// folds the collected checkpoints through the hierarchical merge tree,
+/// and prints the same byte-identical report as an in-process `--fleet`
+/// run. With `--serve`, `/shards` and `/report` watch a fleet this
+/// process never executes — the board is fed purely from sidecars.
+fn fleet_coordinate_command(args: &[String]) -> ExitCode {
+    let opts = match parse_coord_cli(args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: repro fleet coordinate --fleet N --fleet-state-dir DIR [--seed S] \
+                 [--fleet-minutes M] [--workers W] [--fan-in K] [--fleet-retries N] \
+                 [--fleet-fail SPEC] [--serve HOST:PORT [--serve-linger S]]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.shards.is_some() {
+        eprintln!("error: --shards belongs to fleet work (the coordinator plans ranges)");
+        return ExitCode::FAILURE;
+    }
+    let mut config = match coord_fleet_config(&opts) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let servers = config.servers;
+    let state_dir = std::path::PathBuf::from(opts.state_dir.as_deref().unwrap());
+    let watchdog_ms: u64 = std::env::var("CSPROV_WATCHDOG_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&ms| ms > 0)
+        .unwrap_or(3000);
+    let board = Arc::new(ShardHealthBoard::new(
+        servers,
+        Duration::from_millis(watchdog_ms),
+    ));
+    config.health = Some(board.clone());
+    let fleet_horizon = SimDuration::from_mins(opts.minutes).as_nanos();
+
+    // The optional serving plane: this process executes nothing, so every
+    // document it serves is assembled from observation — `/shards` from
+    // sidecar records aged by mtime, `/report` from checkpoints collected
+    // so far.
+    let serve_state = opts
+        .serve
+        .as_ref()
+        .map(|_| Arc::new(ServeShared::new(BroadcastBus::new())));
+    let mut serve_handle = None;
+    if let (Some(addr), Some(shared)) = (&opts.serve, &serve_state) {
+        match csprov_serve::serve(addr.as_str(), shared.clone()) {
+            Ok(handle) => {
+                eprintln!(
+                    "[serve] listening on http://{} (/metrics /events /series /status /report \
+                     /healthz /shards /profile)",
+                    handle.addr()
+                );
+                serve_handle = Some(handle);
+            }
+            Err(e) => {
+                eprintln!("error: could not bind --serve {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        shared.set_board(board.clone());
+        shared.update_status(|s| {
+            s.state = "running";
+            s.mode = "coordinate";
+            s.label = "fleet".to_string();
+            s.seed = opts.seed;
+            s.horizon_ns = fleet_horizon;
+            s.shards_total = servers as u64;
+        });
+        shared.bus().publish(BusEvent::RunStarted {
+            label: "fleet".into(),
+            horizon_ns: fleet_horizon,
+        });
+    }
+
+    eprintln!(
+        "[coord] fleet: {servers} servers x {} simulated min (seed {}), {} workers, \
+         fan-in {}, state dir {}",
+        opts.minutes,
+        opts.seed,
+        opts.workers,
+        opts.fan_in,
+        state_dir.display()
+    );
+    let t0 = Instant::now();
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: cannot locate own executable to spawn workers: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let launch = |worker: usize, range: fleet::coord::ShardRange| {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("fleet")
+            .arg("work")
+            .arg("--shards")
+            .arg(range.to_string())
+            .arg("--seed")
+            .arg(opts.seed.to_string())
+            .arg("--fleet")
+            .arg(servers.to_string())
+            .arg("--fleet-minutes")
+            .arg(opts.minutes.to_string())
+            .arg("--fleet-state-dir")
+            .arg(&state_dir);
+        if let Some(attempts) = opts.retries {
+            cmd.arg("--fleet-retries").arg(attempts.to_string());
+        }
+        if let Some(spec) = &opts.fail_spec {
+            cmd.arg("--fleet-fail").arg(spec);
+        }
+        // Worker stdout is the coordinator's: only the coordinator may
+        // print to it (the report must stay byte-identical to --fleet).
+        cmd.stdout(std::process::Stdio::null());
+        cmd.spawn()
+            .map(|child| ProcessWorker { child })
+            .map_err(|e| format!("spawn worker {worker}: {e}"))
+    };
+    let partial: Mutex<Vec<ShardState>> = Mutex::new(Vec::new());
+    let on_event = |ev: &fleet::coord::CoordEvent<'_>| match ev {
+        fleet::coord::CoordEvent::WorkerLaunched {
+            worker,
+            range,
+            attempt,
+        } => {
+            eprintln!("[coord] worker {worker} launched for shards {range} (attempt {attempt})");
+        }
+        fleet::coord::CoordEvent::WorkerExited {
+            worker,
+            range,
+            clean,
+            detail,
+        } => {
+            if *clean {
+                eprintln!("[coord] worker {worker} finished shards {range}");
+            } else {
+                eprintln!("[coord] worker {worker} died on shards {range} ({detail})");
+            }
+        }
+        fleet::coord::CoordEvent::RangeRedispatched {
+            worker,
+            range,
+            attempt,
+        } => {
+            eprintln!(
+                "[coord] re-dispatching shards {range} of worker {worker} (attempt {attempt})"
+            );
+        }
+        fleet::coord::CoordEvent::RangeLost {
+            worker,
+            range,
+            shards,
+            message,
+        } => {
+            eprintln!(
+                "[coord] shards {shards:?} of worker {worker} (range {range}) LOST ({message}); \
+                 report degrades to a lower bound"
+            );
+        }
+        fleet::coord::CoordEvent::ShardCollected { shard, state } => {
+            eprintln!("[coord] shard {shard} collected");
+            let Some(shared) = &serve_state else { return };
+            let mut done = partial.lock().unwrap_or_else(|e| e.into_inner());
+            done.push((*state).clone());
+            let n = done.len() as u64;
+            shared.update_status(|s| {
+                s.shards_done = n;
+                s.sim_ns = fleet_horizon * n / servers as u64;
+            });
+            shared.bus().publish(BusEvent::Trace(TraceEvent {
+                sim_ns: fleet_horizon * n / servers as u64,
+                kind: "fleet.shard.done",
+                key: *shard as u64,
+                value: n,
+            }));
+            if let Ok(report) = fleet::interim_report(&config, &done) {
+                shared.set_report(format!(
+                    "================ fleet (interim, {n}/{servers} shards) ================\n{}\n{}\n",
+                    report.render().render(),
+                    report.sizing_line()
+                ));
+            }
+        }
+    };
+    let coord_opts = fleet::coord::CoordOptions {
+        workers: opts.workers,
+        fan_in: opts.fan_in,
+        ..fleet::coord::CoordOptions::default()
+    };
+    let result =
+        fleet::coord::coordinate(&config, &state_dir, &coord_opts, launch, Some(&on_event));
+    let run = match result {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("error: fleet coordinate failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let secs = t0.elapsed().as_secs_f64();
+    println!("\n================ fleet ================");
+    println!("{}", run.report.render().render());
+    println!("{}", run.report.sizing_line());
+    eprintln!(
+        "[coord] fleet done: {} packets across {} shards in {:.1} s wall",
+        run.facility.counts.total_packets(),
+        run.facility.shards,
+        secs
+    );
+    let cov = &run.report.coverage;
+    if cov.is_degraded() {
+        eprintln!(
+            "[fleet] DEGRADED: {}/{} shards merged; lost {:?}; \
+             headline numbers are lower bounds",
+            cov.merged, cov.configured, cov.lost
+        );
+    }
+    if let Some(shared) = &serve_state {
+        shared.set_report(format!(
+            "================ fleet ================\n{}\n{}\n",
+            run.report.render().render(),
+            run.report.sizing_line()
+        ));
+        shared.update_status(|s| {
+            s.state = "finished";
+            s.sim_ns = fleet_horizon;
+            s.shards_done = run.facility.shards as u64;
+            s.events = run.facility.counts.total_packets();
+        });
+        shared.bus().publish(BusEvent::RunFinished {
+            label: "fleet".into(),
+            sim_ns: fleet_horizon,
+            events: run.facility.counts.total_packets(),
+        });
+        if opts.serve_linger_secs > 0 {
+            eprintln!(
+                "[serve] lingering {} s before shutdown",
+                opts.serve_linger_secs
+            );
+            std::thread::sleep(Duration::from_secs(opts.serve_linger_secs));
+        }
+    }
+    if let Some(mut handle) = serve_handle.take() {
+        handle.shutdown();
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     {
         let argv: Vec<String> = std::env::args().skip(1).collect();
-        if argv.len() >= 2 && argv[0] == "fleet" && argv[1] == "merge" {
-            return fleet_merge_command(&argv[2..]);
+        if argv.len() >= 2 && argv[0] == "fleet" {
+            match argv[1].as_str() {
+                "merge" => return fleet_merge_command(&argv[2..]),
+                "work" => return fleet_work_command(&argv[2..]),
+                "coordinate" => return fleet_coordinate_command(&argv[2..]),
+                _ => {}
+            }
         }
     }
     let opts = match parse_args() {
@@ -1305,14 +1840,20 @@ fn main() -> ExitCode {
                     .name("csprov-hb-scan".to_string())
                     .spawn(move || {
                         while !stop.load(Ordering::Relaxed) {
-                            for rec in fleet::persist::scan_heartbeats(&dir) {
-                                board.apply(&rec);
-                                if rec.state == SHARD_RUNNING {
+                            // Freshness comes from the sidecar's observed
+                            // mtime age on this clock, never the record's
+                            // embedded wall time: re-scanning an unchanged
+                            // file must not refresh it (that would mask a
+                            // stall), and a skewed writer clock must not
+                            // forge one.
+                            for o in fleet::persist::scan_heartbeats_observed(&dir) {
+                                board.apply_observed(&o.rec, o.age_ms);
+                                if o.rec.state == SHARD_RUNNING {
                                     shared.bus().publish(BusEvent::Trace(TraceEvent {
-                                        sim_ns: rec.sim_ns,
+                                        sim_ns: o.rec.sim_ns,
                                         kind: "fleet.shard.beat",
-                                        key: rec.shard,
-                                        value: rec.retries,
+                                        key: o.rec.shard,
+                                        value: o.rec.retries,
                                     }));
                                 }
                             }

@@ -29,6 +29,7 @@
 //! exponent, and an uplink-sizing line in the spirit of the paper's OC-3
 //! discussion.
 
+pub mod coord;
 pub mod persist;
 
 use crate::pipeline::MainRun;
@@ -601,6 +602,42 @@ impl FleetMerger {
                 acc.sessions.1 += s.sessions.1;
             }
         }
+        Ok(())
+    }
+
+    /// Absorbs another merger: the fold of states A++B, given the folds
+    /// of A and of B. Every ingredient is commutative and associative —
+    /// integer superposition for bins/counts/sizes, running-min truncation
+    /// for the player sums (equivalent to truncating to the global minimum
+    /// up front), and concatenation for the per-shard scalars settled in
+    /// [`FleetMerger::finish`] — so absorbing partial folds in any tree
+    /// shape is byte-identical to one streaming fold over all states.
+    /// This is what lets the coordinator fold each worker range as it
+    /// completes and combine the partials hierarchically.
+    pub fn absorb(&mut self, other: FleetMerger) -> Result<(), FleetError> {
+        match (self.acc.as_mut(), other.acc) {
+            (None, maybe) => {
+                self.acc = maybe;
+                self.players = other.players;
+            }
+            (Some(_), None) => {}
+            (Some(acc), Some(theirs)) => {
+                acc.counts.merge(&theirs.counts);
+                acc.per_minute.merge_superpose(&theirs.per_minute)?;
+                acc.per_minute_in.merge_superpose(&theirs.per_minute_in)?;
+                acc.per_minute_out.merge_superpose(&theirs.per_minute_out)?;
+                acc.sizes.merge(&theirs.sizes)?;
+                acc.sessions.0 += theirs.sessions.0;
+                acc.sessions.1 += theirs.sessions.1;
+                let keep = self.players.len().min(other.players.len());
+                self.players.truncate(keep);
+                for (agg, add) in self.players.iter_mut().zip(&other.players) {
+                    *agg += add;
+                }
+            }
+        }
+        self.bin_lens.extend(other.bin_lens);
+        self.stats.extend(other.stats);
         Ok(())
     }
 

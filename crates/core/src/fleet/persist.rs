@@ -340,21 +340,46 @@ pub fn write_heartbeat(dir: &Path, rec: &HeartbeatRecord) -> Result<PathBuf, Che
     Ok(final_path)
 }
 
+/// A heartbeat record plus how long ago the sidecar file was last
+/// written, measured on the *observer's* clock via the file mtime.
+///
+/// The embedded [`HeartbeatRecord::unix_ms`] orders records (it came from
+/// the writer's clock and survives replays bit-exactly); the observed age
+/// is what freshness judgments must use, because a worker machine whose
+/// clock is skewed would otherwise read as stalled while beating (lagging
+/// clock) or alive while dead (fast clock).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObservedHeartbeat {
+    /// The decoded sidecar record.
+    pub rec: HeartbeatRecord,
+    /// Milliseconds between the sidecar's mtime and the scan, on the
+    /// scanning machine's clock (0 when the filesystem reports no mtime).
+    pub age_ms: u64,
+}
+
 /// Scans `dir` for heartbeat sidecars, returning every record that
-/// decodes cleanly in shard order. Undecodable or foreign files are
-/// skipped silently — a torn or stale sidecar simply means that shard
-/// reports no fresh beat, which the watchdog handles.
-pub fn scan_heartbeats(dir: &Path) -> Vec<HeartbeatRecord> {
-    let mut found: BTreeMap<usize, HeartbeatRecord> = BTreeMap::new();
+/// decodes cleanly in shard order together with its observed file age.
+/// Undecodable or foreign files are skipped silently — a torn or stale
+/// sidecar simply means that shard reports no fresh beat, which the
+/// watchdog handles.
+pub fn scan_heartbeats_observed(dir: &Path) -> Vec<ObservedHeartbeat> {
+    let mut found: BTreeMap<usize, ObservedHeartbeat> = BTreeMap::new();
     let Ok(entries) = fs::read_dir(dir) else {
         return Vec::new();
     };
+    let now = std::time::SystemTime::now();
     for entry in entries.flatten() {
         let name = entry.file_name();
         let Some(name) = name.to_str() else { continue };
         let Some(shard) = parse_heartbeat_file_name(name) else {
             continue;
         };
+        let age_ms = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|mtime| now.duration_since(mtime).ok())
+            .map_or(0, |age| age.as_millis() as u64);
         let Ok(bytes) = fs::read(entry.path()) else {
             continue;
         };
@@ -362,10 +387,19 @@ pub fn scan_heartbeats(dir: &Path) -> Vec<HeartbeatRecord> {
             continue;
         };
         if rec.shard == shard as u64 {
-            found.insert(shard, rec);
+            found.insert(shard, ObservedHeartbeat { rec, age_ms });
         }
     }
     found.into_values().collect()
+}
+
+/// [`scan_heartbeats_observed`] without the ages, for callers that only
+/// need the records (ordering, final retry accounting).
+pub fn scan_heartbeats(dir: &Path) -> Vec<HeartbeatRecord> {
+    scan_heartbeats_observed(dir)
+        .into_iter()
+        .map(|o| o.rec)
+        .collect()
 }
 
 /// The canonical checkpoint file name for a shard: `shard-00042.state`.
@@ -453,7 +487,10 @@ pub fn load_checkpoints(
 }
 
 /// Reads and validates one checkpoint file against the fleet config.
-fn read_checkpoint(
+/// Public for the coordinator, which collects checkpoints incrementally
+/// as worker processes finish shards instead of scanning the whole
+/// directory each poll.
+pub fn read_checkpoint(
     path: &Path,
     shard: usize,
     config: &FleetConfig,
@@ -485,6 +522,16 @@ fn read_checkpoint(
 pub fn merge_state_files(
     paths: &[PathBuf],
 ) -> Result<(FacilityAnalysis, Vec<super::ShardStats>), MergeFilesError> {
+    let ordered = order_state_files(paths)?;
+    let mut merger = FleetMerger::new();
+    fold_state_files(&mut merger, &ordered)?;
+    merger.finish().map_err(MergeFilesError::Merge)
+}
+
+/// Orders checkpoint files canonically by their *decoded* shard index
+/// (file names are not trusted) and rejects duplicates. Shared by the
+/// flat fold and every level of the hierarchical merge tree.
+fn order_state_files(paths: &[PathBuf]) -> Result<Vec<PathBuf>, MergeFilesError> {
     let mut ordered: BTreeMap<usize, &PathBuf> = BTreeMap::new();
     for path in paths {
         let bytes = fs::read(path)
@@ -495,15 +542,64 @@ pub fn merge_state_files(
             return Err(MergeFilesError::DuplicateShard(state.shard));
         }
     }
-    let mut merger = FleetMerger::new();
-    for (_, path) in ordered {
+    Ok(ordered.into_values().cloned().collect())
+}
+
+/// Streams `paths` through `merger`, holding one decoded state at a time.
+fn fold_state_files(merger: &mut FleetMerger, paths: &[PathBuf]) -> Result<(), MergeFilesError> {
+    for path in paths {
         let bytes = fs::read(path)
             .map_err(|e| MergeFilesError::File(path.clone(), CheckpointError::Io(e)))?;
         let state = decode_shard_state(&bytes)
             .map_err(|e| MergeFilesError::File(path.clone(), CheckpointError::State(e)))?;
         merger.push(&state).map_err(MergeFilesError::Merge)?;
     }
-    merger.finish().map_err(MergeFilesError::Merge)
+    Ok(())
+}
+
+/// Folds shard checkpoint files through a hierarchical merge tree with
+/// fan-in `fan_in`: leaves fold runs of `fan_in` files through the same
+/// streaming machinery as [`merge_state_files`], then mergers absorb each
+/// other `fan_in` at a time until one remains.
+///
+/// Because superposition merging is commutative and associative, the
+/// result is byte-identical to the flat fold for every tree shape; the
+/// tree exists for the coordinator, where each completed worker range can
+/// be folded as it lands and the partial mergers (O(shards) scalars each,
+/// not decoded states) combine at the end. Intermediate nodes stay
+/// [`FleetMerger`]s rather than encoded facility files: a facility
+/// container cannot carry the per-shard bin lengths the global
+/// dropped-bins settlement needs.
+pub fn merge_state_tree(
+    paths: &[PathBuf],
+    fan_in: usize,
+) -> Result<(FacilityAnalysis, Vec<super::ShardStats>), MergeFilesError> {
+    let fan_in = fan_in.max(2);
+    let ordered = order_state_files(paths)?;
+    let mut level: Vec<FleetMerger> = Vec::with_capacity(ordered.len().div_ceil(fan_in));
+    for chunk in ordered.chunks(fan_in) {
+        let mut merger = FleetMerger::new();
+        fold_state_files(&mut merger, chunk)?;
+        level.push(merger);
+    }
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(fan_in));
+        let mut nodes = level.into_iter();
+        while let Some(mut base) = nodes.next() {
+            for _ in 1..fan_in {
+                match nodes.next() {
+                    Some(other) => base.absorb(other).map_err(MergeFilesError::Merge)?,
+                    None => break,
+                }
+            }
+            next.push(base);
+        }
+        level = next;
+    }
+    match level.pop() {
+        Some(merger) => merger.finish().map_err(MergeFilesError::Merge),
+        None => Err(MergeFilesError::Merge(FleetError::NoServers)),
+    }
 }
 
 /// Why [`merge_state_files`] failed.
@@ -678,6 +774,83 @@ mod tests {
         );
         assert_eq!(stats.len(), 3);
         assert!(stats.windows(2).all(|w| w[0].shard < w[1].shard));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tree_merge_is_byte_identical_to_the_flat_fold_for_every_fan_in() {
+        let dir = std::env::temp_dir().join(format!("csprov-persist-tree-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let config = FleetConfig::new("persist-test", 99, 4, 3);
+        let mut paths = Vec::new();
+        for shard in 0..4 {
+            let cfg = config.scenario(shard);
+            let run = crate::pipeline::MainRun::execute(cfg);
+            paths.push(write_checkpoint_atomic(&dir, &run.into_fleet_shard(shard)).unwrap());
+        }
+        // Feed out of order; every tree shape must canonicalize.
+        paths.swap(0, 3);
+        let (flat, flat_stats) = merge_state_files(&paths).unwrap();
+        let flat_bytes = encode_facility(&flat).unwrap();
+        for fan_in in [2, 3, 16] {
+            let (tree, tree_stats) = merge_state_tree(&paths, fan_in).unwrap();
+            assert_eq!(
+                encode_facility(&tree).unwrap(),
+                flat_bytes,
+                "fan-in {fan_in} diverged from the flat fold"
+            );
+            assert_eq!(tree_stats, flat_stats, "fan-in {fan_in} stats diverged");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tree_merge_rejects_duplicates_and_empty_input() {
+        let dir = std::env::temp_dir().join(format!("csprov-persist-tdup-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(
+            merge_state_tree(&[], 4),
+            Err(MergeFilesError::Merge(FleetError::NoServers))
+        ));
+        let state = sample_state(0);
+        let a = write_checkpoint_atomic(&dir, &state).unwrap();
+        let b = dir.join("copy.state");
+        fs::copy(&a, &b).unwrap();
+        assert!(matches!(
+            merge_state_tree(&[a, b], 2),
+            Err(MergeFilesError::DuplicateShard(0))
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn observed_scan_reports_mtime_age_not_embedded_clock() {
+        let dir = std::env::temp_dir().join(format!("csprov-persist-obs-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        // A record whose writer clock lies an hour in the past: the
+        // observed age must still come from the file's mtime (fresh).
+        let rec = HeartbeatRecord {
+            shard: 3,
+            state: csprov_obs::SHARD_RUNNING,
+            sim_ns: 42,
+            horizon_ns: 100,
+            retries: 0,
+            checkpoints: 0,
+            wall_ms: 5,
+            unix_ms: csprov_obs::unix_ms().saturating_sub(3_600_000),
+        };
+        write_heartbeat(&dir, &rec).unwrap();
+        let scanned = scan_heartbeats_observed(&dir);
+        assert_eq!(scanned.len(), 1);
+        assert_eq!(scanned[0].rec, rec);
+        assert!(
+            scanned[0].age_ms < 60_000,
+            "age must be mtime-derived, got {} ms",
+            scanned[0].age_ms
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -15,7 +15,7 @@
 //! and must never feed a determinism artifact.
 
 use crate::registry::MetricsRegistry;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::{Duration, Instant, SystemTime};
 
 /// Shard has not started executing yet.
@@ -50,29 +50,67 @@ pub struct HeartbeatRecord {
     pub unix_ms: u64,
 }
 
+/// Ordering-word bit marking a terminal state (done/lost). Terminal
+/// records outrank any non-terminal record regardless of timestamp, so a
+/// late-arriving `running` sidecar can never resurrect a finished shard.
+const ORD_TERMINAL: u64 = 1 << 62;
+/// Widest `unix_ms` the ordering word can carry (60 bits ≈ 36 My).
+const ORD_MS_MAX: u64 = (1 << 60) - 1;
+
+/// Packs a heartbeat's ordering key into one word claimable with a
+/// single `fetch_max`: terminal bit, then writer `unix_ms`, then the
+/// state rank as the tie-break within the same millisecond.
+fn pack_ord(unix_ms: u64, state: u8) -> u64 {
+    let terminal = if state >= SHARD_DONE { ORD_TERMINAL } else { 0 };
+    terminal | (unix_ms.min(ORD_MS_MAX) << 2) | u64::from(state & 0b11)
+}
+
+/// The `SHARD_*` state carried in an ordering word.
+fn ord_state(ord: u64) -> u8 {
+    (ord & 0b11) as u8
+}
+
 struct Slot {
-    state: AtomicU8,
+    /// Packed (terminal, unix_ms, state) ordering word. The slot's
+    /// current state lives in the low bits; every writer claims it with
+    /// `fetch_max`, so concurrent appliers can never regress it.
+    hb_ord: AtomicU64,
     sim_ns: AtomicU64,
     horizon_ns: AtomicU64,
     retries: AtomicU64,
     checkpoints: AtomicU64,
-    /// Board-epoch-relative ms of the last beat.
+    /// Board-epoch-relative ms of the last *observed* beat. Fed from the
+    /// observer's own clock (or sidecar mtime), never from the writer's
+    /// embedded `unix_ms`, so cross-machine clock skew cannot forge or
+    /// hide staleness.
     last_beat_ms: AtomicU64,
-    /// Newest `unix_ms` applied from a sidecar (0 = none yet).
-    hb_unix_ms: AtomicU64,
+    /// Writer-clock minus observer-clock estimate, ms (positive = the
+    /// worker's clock runs ahead of ours). Diagnostic only.
+    skew_ms: AtomicI64,
 }
 
 impl Slot {
     fn new() -> Self {
         Slot {
-            state: AtomicU8::new(SHARD_PENDING),
+            hb_ord: AtomicU64::new(0),
             sim_ns: AtomicU64::new(0),
             horizon_ns: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             checkpoints: AtomicU64::new(0),
             last_beat_ms: AtomicU64::new(0),
-            hb_unix_ms: AtomicU64::new(0),
+            skew_ms: AtomicI64::new(0),
         }
+    }
+
+    fn state(&self) -> u8 {
+        ord_state(self.hb_ord.load(Ordering::Relaxed))
+    }
+
+    /// Claims the ordering word for (`unix_ms`, `state`); returns true
+    /// when this record is the newest the slot has seen.
+    fn claim(&self, unix_ms: u64, state: u8) -> bool {
+        let ord = pack_ord(unix_ms, state);
+        self.hb_ord.fetch_max(ord, Ordering::Relaxed) < ord
     }
 }
 
@@ -135,9 +173,10 @@ impl ShardHealthBoard {
     /// Marks `shard` running with `horizon_ns` and beats it.
     pub fn start(&self, shard: usize, horizon_ns: u64) {
         if let Some(slot) = self.slots.get(shard) {
-            slot.state.store(SHARD_RUNNING, Ordering::Relaxed);
-            slot.horizon_ns.store(horizon_ns, Ordering::Relaxed);
-            slot.last_beat_ms.store(self.now_ms(), Ordering::Relaxed);
+            slot.claim(unix_ms(), SHARD_RUNNING);
+            slot.horizon_ns.fetch_max(horizon_ns, Ordering::Relaxed);
+            slot.last_beat_ms
+                .fetch_max(self.now_ms(), Ordering::Relaxed);
         }
     }
 
@@ -145,7 +184,8 @@ impl ShardHealthBoard {
     pub fn beat(&self, shard: usize, sim_ns: u64) {
         if let Some(slot) = self.slots.get(shard) {
             slot.sim_ns.fetch_max(sim_ns, Ordering::Relaxed);
-            slot.last_beat_ms.store(self.now_ms(), Ordering::Relaxed);
+            slot.last_beat_ms
+                .fetch_max(self.now_ms(), Ordering::Relaxed);
         }
     }
 
@@ -153,8 +193,9 @@ impl ShardHealthBoard {
     pub fn retry(&self, shard: usize) {
         if let Some(slot) = self.slots.get(shard) {
             slot.retries.fetch_add(1, Ordering::Relaxed);
-            slot.state.store(SHARD_RUNNING, Ordering::Relaxed);
-            slot.last_beat_ms.store(self.now_ms(), Ordering::Relaxed);
+            slot.claim(unix_ms(), SHARD_RUNNING);
+            slot.last_beat_ms
+                .fetch_max(self.now_ms(), Ordering::Relaxed);
         }
     }
 
@@ -162,7 +203,8 @@ impl ShardHealthBoard {
     pub fn checkpoint(&self, shard: usize) {
         if let Some(slot) = self.slots.get(shard) {
             slot.checkpoints.fetch_add(1, Ordering::Relaxed);
-            slot.last_beat_ms.store(self.now_ms(), Ordering::Relaxed);
+            slot.last_beat_ms
+                .fetch_max(self.now_ms(), Ordering::Relaxed);
         }
     }
 
@@ -170,52 +212,77 @@ impl ShardHealthBoard {
     pub fn done(&self, shard: usize, sim_ns: u64) {
         if let Some(slot) = self.slots.get(shard) {
             slot.sim_ns.fetch_max(sim_ns, Ordering::Relaxed);
-            slot.state.store(SHARD_DONE, Ordering::Relaxed);
-            slot.last_beat_ms.store(self.now_ms(), Ordering::Relaxed);
+            slot.claim(unix_ms(), SHARD_DONE);
+            slot.last_beat_ms
+                .fetch_max(self.now_ms(), Ordering::Relaxed);
         }
     }
 
     /// Marks `shard` lost (retry budget exhausted).
     pub fn lost(&self, shard: usize) {
         if let Some(slot) = self.slots.get(shard) {
-            slot.state.store(SHARD_LOST, Ordering::Relaxed);
-            slot.last_beat_ms.store(self.now_ms(), Ordering::Relaxed);
+            slot.claim(unix_ms(), SHARD_LOST);
+            slot.last_beat_ms
+                .fetch_max(self.now_ms(), Ordering::Relaxed);
         }
     }
 
-    /// Applies a heartbeat decoded from a sidecar file. Records are
-    /// ordered by `unix_ms`; a stale or replayed record is ignored, and a
-    /// terminal local state (done/lost) is never downgraded by a sidecar
-    /// still claiming `running`.
-    pub fn apply(&self, rec: &HeartbeatRecord) {
+    /// Returns `shard` to `pending` so a re-dispatched range can report
+    /// fresh state. Terminal stickiness is authority for *peers*; the
+    /// coordinator that owns re-dispatch resets the ordering word outright
+    /// (call only after deleting the dead worker's sidecar files, from the
+    /// single thread that applies scans in that process).
+    pub fn reset_for_redispatch(&self, shard: usize) {
+        if let Some(slot) = self.slots.get(shard) {
+            slot.hb_ord.store(0, Ordering::Relaxed);
+            slot.last_beat_ms
+                .fetch_max(self.now_ms(), Ordering::Relaxed);
+            slot.skew_ms.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Applies a heartbeat decoded from a sidecar file, observed
+    /// `observed_age_ms` ago on *our* clock (sidecar mtime age at scan
+    /// time, or 0 at arrival). Ordering races with other appliers and
+    /// replays can never regress the slot: the (terminal, `unix_ms`,
+    /// state) word is claimed with one `fetch_max`, and the monotone
+    /// watermarks (`sim_ns`, retries, checkpoints) apply even when the
+    /// ordering claim loses — a second record in the same millisecond
+    /// still advances them. Freshness is tracked purely from the observed
+    /// age; the writer's `unix_ms` orders records but never ages them, so
+    /// a worker with a skewed clock cannot read as stalled (or mask a
+    /// real stall) while its sidecars keep arriving.
+    pub fn apply_observed(&self, rec: &HeartbeatRecord, observed_age_ms: u64) {
         let Some(slot) = self.slots.get(rec.shard as usize) else {
             return;
         };
-        let prev = slot.hb_unix_ms.load(Ordering::Relaxed);
-        if rec.unix_ms <= prev {
-            return;
-        }
-        slot.hb_unix_ms.store(rec.unix_ms, Ordering::Relaxed);
-        let current = slot.state.load(Ordering::Relaxed);
-        if current < SHARD_DONE || rec.state >= SHARD_DONE {
-            slot.state.store(rec.state, Ordering::Relaxed);
-        }
+        let newest = slot.claim(rec.unix_ms, rec.state);
         slot.sim_ns.fetch_max(rec.sim_ns, Ordering::Relaxed);
-        if rec.horizon_ns > 0 {
-            slot.horizon_ns.store(rec.horizon_ns, Ordering::Relaxed);
-        }
+        slot.horizon_ns.fetch_max(rec.horizon_ns, Ordering::Relaxed);
         slot.retries.fetch_max(rec.retries, Ordering::Relaxed);
         slot.checkpoints
             .fetch_max(rec.checkpoints, Ordering::Relaxed);
-        // Staleness travels with the record: a beat written `age` ms ago
-        // lands on the board `age` ms in the past.
-        let age_ms = unix_ms().saturating_sub(rec.unix_ms);
-        slot.last_beat_ms
-            .store(self.now_ms().saturating_sub(age_ms), Ordering::Relaxed);
+        slot.last_beat_ms.fetch_max(
+            self.now_ms().saturating_sub(observed_age_ms),
+            Ordering::Relaxed,
+        );
+        if newest {
+            let written_unix_ms = unix_ms().saturating_sub(observed_age_ms);
+            let skew = rec.unix_ms as i64 - written_unix_ms as i64;
+            slot.skew_ms.store(skew, Ordering::Relaxed);
+        }
+    }
+
+    /// Applies a heartbeat observed just now (age 0). Single-machine
+    /// callers that scan sidecars they share a clock with can use this;
+    /// cross-process observers should pass the sidecar's mtime age to
+    /// [`ShardHealthBoard::apply_observed`].
+    pub fn apply(&self, rec: &HeartbeatRecord) {
+        self.apply_observed(rec, 0);
     }
 
     fn verdict(&self, slot: &Slot, now_ms: u64) -> &'static str {
-        let state = slot.state.load(Ordering::Relaxed);
+        let state = slot.state();
         if state == SHARD_LOST {
             return "lost";
         }
@@ -224,10 +291,13 @@ impl ShardHealthBoard {
             if age > self.watchdog.as_millis() as u64 {
                 return "stalled";
             }
+            if slot.retries.load(Ordering::Relaxed) > 0 {
+                return "degraded";
+            }
         }
-        if slot.retries.load(Ordering::Relaxed) > 0 {
-            return "degraded";
-        }
+        // Done shards render "ok" even with retries on the meter: the
+        // coverage recovered, and the nonzero `retries` field carries the
+        // history.
         "ok"
     }
 
@@ -239,7 +309,7 @@ impl ShardHealthBoard {
         let (mut pending, mut running, mut done, mut lost) = (0u64, 0u64, 0u64, 0u64);
         let (mut stalled, mut degraded) = (0u64, 0u64);
         for (i, slot) in self.slots.iter().enumerate() {
-            let state = slot.state.load(Ordering::Relaxed);
+            let state = slot.state();
             let state_name = match state {
                 SHARD_RUNNING => {
                     running += 1;
@@ -283,9 +353,11 @@ impl ShardHealthBoard {
                 "{{\"shard\":{i},\"state\":\"{state_name}\",\"verdict\":\"{verdict}\",\
                  \"sim_ns\":{sim_ns},\"horizon_ns\":{horizon_ns},\
                  \"progress\":{progress:.6},\"retries\":{retries},\
-                 \"checkpoints\":{checkpoints},\"beat_age_ms\":{beat_age_ms}}}",
+                 \"checkpoints\":{checkpoints},\"beat_age_ms\":{beat_age_ms},\
+                 \"skew_ms\":{skew_ms}}}",
                 retries = slot.retries.load(Ordering::Relaxed),
                 checkpoints = slot.checkpoints.load(Ordering::Relaxed),
+                skew_ms = slot.skew_ms.load(Ordering::Relaxed),
             ));
         }
         format!(
@@ -310,7 +382,7 @@ impl ShardHealthBoard {
         let mut floor_ns = u64::MAX;
         let mut any_unfinished = false;
         for slot in &self.slots {
-            let state = slot.state.load(Ordering::Relaxed);
+            let state = slot.state();
             match state {
                 SHARD_RUNNING => running += 1,
                 SHARD_DONE => done += 1,
@@ -351,7 +423,7 @@ impl ShardHealthBoard {
             (
                 "shard.degraded",
                 degraded,
-                "shards that consumed at least one retry",
+                "running shards that consumed at least one retry",
             ),
         ] {
             registry.wall_gauge(name).set(value);
@@ -494,6 +566,226 @@ mod tests {
             ..rec
         });
         assert!(b.render_json().contains("\"state\":\"done\""));
+    }
+
+    #[test]
+    fn done_after_retries_renders_ok_with_the_retry_count() {
+        // A shard that retried and then completed recovered its coverage:
+        // the verdict is "ok", and the history lives in `retries`.
+        let b = board(1, 10_000);
+        b.start(0, 100);
+        b.retry(0);
+        b.done(0, 100);
+        let doc = Json::parse(&b.render_json()).expect("valid JSON");
+        let shard = &doc.get("shards").and_then(Json::as_arr).expect("shards")[0];
+        assert_eq!(shard.get("state").and_then(Json::as_str), Some("done"));
+        assert_eq!(shard.get("verdict").and_then(Json::as_str), Some("ok"));
+        assert_eq!(shard.get("retries").and_then(Json::as_f64), Some(1.0));
+        let summary = doc.get("summary").expect("summary");
+        assert_eq!(summary.get("degraded").and_then(Json::as_f64), Some(0.0));
+    }
+
+    #[test]
+    fn equal_millisecond_record_still_advances_the_watermarks() {
+        // Two beats can land in the same wall millisecond; the second one
+        // loses the ordering claim but its monotone watermarks must land.
+        let b = board(1, 10_000);
+        let now = unix_ms();
+        let rec = HeartbeatRecord {
+            shard: 0,
+            state: SHARD_RUNNING,
+            sim_ns: 100,
+            horizon_ns: 1_000,
+            retries: 0,
+            checkpoints: 0,
+            wall_ms: 1,
+            unix_ms: now,
+        };
+        b.apply(&rec);
+        b.apply(&HeartbeatRecord {
+            sim_ns: 400,
+            checkpoints: 1,
+            ..rec
+        });
+        let doc = Json::parse(&b.render_json()).expect("valid JSON");
+        let shard = &doc.get("shards").and_then(Json::as_arr).expect("shards")[0];
+        assert_eq!(shard.get("sim_ns").and_then(Json::as_f64), Some(400.0));
+        assert_eq!(shard.get("checkpoints").and_then(Json::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn skewed_worker_clocks_neither_forge_nor_mask_stalls() {
+        // A worker whose clock lags ours by a minute keeps beating: the
+        // observed age is what counts, so it must never read "stalled".
+        let b = board(2, 50);
+        let now = unix_ms();
+        let slow = HeartbeatRecord {
+            shard: 0,
+            state: SHARD_RUNNING,
+            sim_ns: 100,
+            horizon_ns: 1_000,
+            retries: 0,
+            checkpoints: 0,
+            wall_ms: 1,
+            unix_ms: now.saturating_sub(60_000),
+        };
+        b.apply_observed(&slow, 0);
+        // A worker whose clock runs a minute ahead beat once and then
+        // went silent: the future timestamp must not hide the stall.
+        let fast = HeartbeatRecord {
+            shard: 1,
+            unix_ms: now + 60_000,
+            ..slow
+        };
+        b.apply_observed(&fast, 0);
+        std::thread::sleep(Duration::from_millis(80));
+        // The lagging worker is still beating — a fresh observation lands
+        // within the watchdog window even though its own clock reads a
+        // minute in the past.
+        b.apply_observed(
+            &HeartbeatRecord {
+                sim_ns: 200,
+                unix_ms: slow.unix_ms + 100,
+                ..slow
+            },
+            0,
+        );
+        let doc = Json::parse(&b.render_json()).expect("valid JSON");
+        let shards = doc.get("shards").and_then(Json::as_arr).expect("shards");
+        assert_eq!(shards[0].get("verdict").and_then(Json::as_str), Some("ok"));
+        let skew0 = shards[0]
+            .get("skew_ms")
+            .and_then(Json::as_f64)
+            .expect("skew");
+        assert!(
+            skew0 < -50_000.0,
+            "lagging clock skew measured, got {skew0}"
+        );
+        assert_eq!(
+            shards[1].get("verdict").and_then(Json::as_str),
+            Some("stalled")
+        );
+        let skew1 = shards[1]
+            .get("skew_ms")
+            .and_then(Json::as_f64)
+            .expect("skew");
+        assert!(skew1 > 50_000.0, "fast clock skew measured, got {skew1}");
+    }
+
+    /// Strips the wall-jittery fields (`beat_age_ms`, `skew_ms`) from a
+    /// rendered `/shards` doc so two boards can be compared exactly.
+    fn stable_view(json: &str) -> Vec<(String, String, f64, f64, f64)> {
+        let doc = Json::parse(json).expect("valid JSON");
+        doc.get("shards")
+            .and_then(Json::as_arr)
+            .expect("shards")
+            .iter()
+            .map(|s| {
+                (
+                    s.get("state").and_then(Json::as_str).unwrap().to_string(),
+                    s.get("verdict").and_then(Json::as_str).unwrap().to_string(),
+                    s.get("sim_ns").and_then(Json::as_f64).unwrap(),
+                    s.get("retries").and_then(Json::as_f64).unwrap(),
+                    s.get("checkpoints").and_then(Json::as_f64).unwrap(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn concurrent_appliers_converge_to_the_serial_order() {
+        // N threads replaying shuffled, duplicated heartbeat records must
+        // land the board in the same state as one serial apply in
+        // `unix_ms` order — the fetch_max claims make replays and races
+        // unable to regress anything.
+        use std::sync::Arc;
+        let shards = 4usize;
+        let base = unix_ms();
+        let mut records = Vec::new();
+        for shard in 0..shards as u64 {
+            for step in 0..20u64 {
+                let state = if step == 19 && shard % 2 == 0 {
+                    SHARD_DONE
+                } else {
+                    SHARD_RUNNING
+                };
+                records.push(HeartbeatRecord {
+                    shard,
+                    state,
+                    sim_ns: (step + 1) * 50,
+                    horizon_ns: 1_000,
+                    retries: u64::from(step > 10 && shard == 1),
+                    checkpoints: step / 8,
+                    wall_ms: step,
+                    unix_ms: base + step * 7 + shard,
+                });
+            }
+        }
+
+        let serial = board(shards, 1_000_000);
+        let mut ordered = records.clone();
+        ordered.sort_by_key(|r| r.unix_ms);
+        for rec in &ordered {
+            serial.apply(rec);
+        }
+        let want = stable_view(&serial.render_json());
+
+        for trial in 0..8u64 {
+            let concurrent = Arc::new(board(shards, 1_000_000));
+            let threads: Vec<_> = (0..4u64)
+                .map(|t| {
+                    let b = Arc::clone(&concurrent);
+                    // Deterministic per-thread shuffle with duplicates: a
+                    // different stride walk of the record list per thread.
+                    let mut replay = records.clone();
+                    let stride = (trial * 4 + t) as usize * 2 + 3;
+                    let rot = stride % replay.len();
+                    replay.rotate_left(rot);
+                    replay.extend_from_slice(&records[..stride.min(records.len())]);
+                    std::thread::spawn(move || {
+                        for rec in &replay {
+                            b.apply(rec);
+                        }
+                    })
+                })
+                .collect();
+            for t in threads {
+                t.join().expect("applier thread");
+            }
+            assert_eq!(
+                stable_view(&concurrent.render_json()),
+                want,
+                "trial {trial} diverged from the serial apply"
+            );
+        }
+    }
+
+    #[test]
+    fn redispatch_reset_returns_a_terminal_shard_to_pending() {
+        let b = board(1, 10_000);
+        b.start(0, 1_000);
+        b.lost(0);
+        assert!(b.render_json().contains("\"state\":\"lost\""));
+        b.reset_for_redispatch(0);
+        let doc = Json::parse(&b.render_json()).expect("valid JSON");
+        let shard = &doc.get("shards").and_then(Json::as_arr).expect("shards")[0];
+        assert_eq!(shard.get("state").and_then(Json::as_str), Some("pending"));
+        // A fresh worker's records apply normally after the reset, even
+        // with a lagging clock.
+        b.apply_observed(
+            &HeartbeatRecord {
+                shard: 0,
+                state: SHARD_RUNNING,
+                sim_ns: 10,
+                horizon_ns: 1_000,
+                retries: 0,
+                checkpoints: 0,
+                wall_ms: 1,
+                unix_ms: unix_ms().saturating_sub(60_000),
+            },
+            0,
+        );
+        assert!(b.render_json().contains("\"state\":\"running\""));
     }
 
     #[test]

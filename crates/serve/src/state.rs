@@ -97,6 +97,10 @@ impl HttpCounters {
 pub struct RunStatus {
     /// `"starting"`, `"running"` or `"finished"`.
     pub state: &'static str,
+    /// Who executes the fleet this plane observes: `"run"` when this
+    /// process simulates, `"coordinate"` when it only watches worker
+    /// processes through their state-dir sidecars and checkpoints.
+    pub mode: &'static str,
     /// Labels of the artifacts/runs requested, comma-joined.
     pub label: String,
     /// The run seed.
@@ -123,6 +127,7 @@ impl Default for RunStatus {
     fn default() -> Self {
         RunStatus {
             state: "starting",
+            mode: "run",
             label: String::new(),
             seed: 0,
             speed: "max".to_string(),
@@ -315,6 +320,7 @@ impl ServeShared {
         format!(
             concat!(
                 "{{\"schema\":\"csprov-status/1\",\"state\":{state},",
+                "\"mode\":{mode},",
                 "\"label\":{label},\"seed\":{seed},\"speed\":{speed},",
                 "\"horizon_ns\":{horizon},\"sim_ns\":{sim},",
                 "\"progress\":{progress:.6},\"events\":{events},",
@@ -328,6 +334,7 @@ impl ServeShared {
                 "\"dropped\":{dropped},\"max_depth\":{depth}}}}}"
             ),
             state = csprov_obs::json::escape(s.state),
+            mode = csprov_obs::json::escape(s.mode),
             label = csprov_obs::json::escape(&s.label),
             seed = s.seed,
             speed = csprov_obs::json::escape(&s.speed),
@@ -433,7 +440,11 @@ mod tests {
         });
         let doc = Json::parse(&shared.status_json()).expect("status is valid JSON");
         assert_eq!(doc.get("state").and_then(Json::as_str), Some("running"));
+        assert_eq!(doc.get("mode").and_then(Json::as_str), Some("run"));
         assert_eq!(doc.get("seed").and_then(Json::as_f64), Some(42.0));
+        shared.update_status(|s| s.mode = "coordinate");
+        let doc = Json::parse(&shared.status_json()).expect("status is valid JSON");
+        assert_eq!(doc.get("mode").and_then(Json::as_str), Some("coordinate"));
         assert_eq!(doc.get("progress").and_then(Json::as_f64), Some(0.25));
         let bus = doc.get("bus").expect("bus section");
         assert_eq!(bus.get("subscribers").and_then(Json::as_f64), Some(1.0));
